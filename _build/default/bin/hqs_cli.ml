@@ -1,0 +1,120 @@
+(* hqs: solve a DQDIMACS file with the elimination-based solver. Exit code
+   10 = SAT, 20 = UNSAT (the SAT-competition convention), 1 = aborted. *)
+
+open Cmdliner
+
+let solve file timeout node_limit no_preprocess no_unitpure no_maxsat no_thm2 bce expand_all
+    sat_probe no_fraig search_backend show_model show_stats =
+  let pcnf =
+    try Dqbf.Pcnf.parse_file file
+    with Failure msg | Sys_error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 2
+  in
+  (match Dqbf.Pcnf.validate pcnf with
+  | Ok () -> ()
+  | Error msg ->
+      Printf.eprintf "invalid input: %s\n" msg;
+      exit 2);
+  let config =
+    {
+      Hqs.default_config with
+      preprocess =
+        (if no_preprocess then Dqbf.Preprocess.off
+         else { Dqbf.Preprocess.default_config with blocked_clauses = bce });
+      use_unitpure = not no_unitpure;
+      use_maxsat = not no_maxsat;
+      use_thm2 = not no_thm2;
+      use_fraig = not no_fraig;
+      mode = (if expand_all then Hqs.Expand_all else Hqs.Elimination);
+      use_sat_probe = sat_probe;
+      qbf_backend = (if search_backend then Hqs.Search_backend else Hqs.Elim_backend);
+      node_limit;
+    }
+  in
+  let budget =
+    match timeout with
+    | None -> Hqs_util.Budget.unlimited
+    | Some s -> Hqs_util.Budget.of_seconds s
+  in
+  let run () =
+    if show_model then begin
+      let verdict, model, stats = Hqs.solve_pcnf_model ~config ~budget pcnf in
+      (match (verdict, model) with
+      | Hqs.Sat, Some model ->
+          (* print each Skolem function as a truth table over its deps *)
+          List.iter
+            (fun (y, deps) ->
+              Printf.printf "v %d :" (y + 1);
+              let k = List.length deps in
+              if k <= 6 then
+                for bits = 0 to (1 lsl k) - 1 do
+                  let env v =
+                    match List.find_index (fun d -> d = v) deps with
+                    | Some i -> bits land (1 lsl i) <> 0
+                    | None -> false
+                  in
+                  Printf.printf " %d" (if Dqbf.Skolem.eval model y env then 1 else 0)
+                done
+              else Printf.printf " <%d-input function>" k;
+              print_newline ())
+            pcnf.Dqbf.Pcnf.exists;
+          (* independent certificate check *)
+          let original = Dqbf.Pcnf.to_formula pcnf in
+          (match Dqbf.Skolem.verify original model with
+          | Ok () -> print_endline "c model verified"
+          | Error e -> Format.printf "c MODEL REJECTED: %a@." Dqbf.Skolem.pp_failure e)
+      | _ -> ());
+      (verdict, stats)
+    end
+    else Hqs.solve_pcnf ~config ~budget pcnf
+  in
+  match run () with
+  | verdict, stats ->
+      if show_stats then Format.eprintf "c %a@." Hqs.pp_stats stats;
+      (match verdict with
+      | Hqs.Sat ->
+          print_endline "s cnf SAT";
+          exit 10
+      | Hqs.Unsat ->
+          print_endline "s cnf UNSAT";
+          exit 20)
+  | exception Hqs_util.Budget.Timeout ->
+      print_endline "s cnf TIMEOUT";
+      exit 1
+  | exception Hqs_util.Budget.Out_of_memory_budget ->
+      print_endline "s cnf MEMOUT";
+      exit 1
+
+let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"DQDIMACS input")
+
+let timeout =
+  Arg.(value & opt (some float) None & info [ "timeout"; "t" ] ~docv:"SECONDS" ~doc:"wall-clock limit")
+
+let node_limit =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "node-limit" ] ~docv:"N" ~doc:"AIG node budget (memout emulation)")
+
+let flag names doc = Arg.(value & flag & info names ~doc)
+
+let cmd =
+  let doc = "solve a DQBF by quantifier elimination (HQS, DATE 2015)" in
+  Cmd.v
+    (Cmd.info "hqs" ~doc)
+    Term.(
+      const solve $ file $ timeout $ node_limit
+      $ flag [ "no-preprocess" ] "disable CNF preprocessing"
+      $ flag [ "no-unitpure" ] "disable unit/pure detection on the AIG"
+      $ flag [ "no-maxsat" ] "use the greedy elimination set instead of MaxSAT"
+      $ flag [ "no-thm2" ] "disable elimination of fully-dependent existentials"
+      $ flag [ "bce" ] "enable blocked-clause elimination (SAT'15 extension)"
+      $ flag [ "expand-all" ] "eliminate every universal (ICCD'13 baseline)"
+      $ flag [ "sat-probe" ] "start with a plain SAT call on the matrix"
+      $ flag [ "no-fraig" ] "disable FRAIG sweeping"
+      $ flag [ "search-backend" ] "use the QDPLL search back end instead of AIG elimination"
+      $ flag [ "model" ] "on SAT, print and verify Skolem functions"
+      $ flag [ "stats" ] "print statistics to stderr")
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,59 @@
+(* idq: solve a DQDIMACS file with the instantiation-based baseline. *)
+
+open Cmdliner
+
+let solve file timeout node_limit show_stats =
+  let pcnf =
+    try Dqbf.Pcnf.parse_file file
+    with Failure msg | Sys_error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 2
+  in
+  (match Dqbf.Pcnf.validate pcnf with
+  | Ok () -> ()
+  | Error msg ->
+      Printf.eprintf "invalid input: %s\n" msg;
+      exit 2);
+  let budget =
+    match timeout with
+    | None -> Hqs_util.Budget.unlimited
+    | Some s -> Hqs_util.Budget.of_seconds s
+  in
+  match Idq.solve_pcnf ~budget ?node_limit pcnf with
+  | answer, stats ->
+      if show_stats then
+        Printf.eprintf "c rounds=%d ground-vars=%d instance-nodes=%d total=%.3fs\n"
+          stats.Idq.rounds stats.Idq.ground_vars stats.Idq.instance_nodes stats.Idq.total_time;
+      if answer then begin
+        print_endline "s cnf SAT";
+        exit 10
+      end
+      else begin
+        print_endline "s cnf UNSAT";
+        exit 20
+      end
+  | exception Hqs_util.Budget.Timeout ->
+      print_endline "s cnf TIMEOUT";
+      exit 1
+  | exception Hqs_util.Budget.Out_of_memory_budget ->
+      print_endline "s cnf MEMOUT";
+      exit 1
+
+let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"DQDIMACS input")
+
+let timeout =
+  Arg.(value & opt (some float) None & info [ "timeout"; "t" ] ~docv:"SECONDS" ~doc:"wall-clock limit")
+
+let node_limit =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "node-limit" ] ~docv:"N" ~doc:"ground-instance AIG node budget")
+
+let stats = Arg.(value & flag & info [ "stats" ] ~doc:"print statistics to stderr")
+
+let cmd =
+  let doc = "instantiation-based DQBF solving (iDQ-style baseline)" in
+  Cmd.v (Cmd.info "idq" ~doc) Term.(const solve $ file $ timeout $ node_limit $ stats)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,1 @@
+examples/arbiter.ml: Circuit Hqs Hqs_util List Printf Unix

@@ -1,0 +1,1 @@
+examples/certify.ml: Aig Array Circuit Dqbf Format Hqs List Printf

@@ -1,0 +1,1 @@
+examples/certify.mli:

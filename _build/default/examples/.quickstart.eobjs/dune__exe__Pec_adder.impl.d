@@ -1,0 +1,1 @@
+examples/pec_adder.ml: Array Circuit Dqbf Hqs List Printf Unix

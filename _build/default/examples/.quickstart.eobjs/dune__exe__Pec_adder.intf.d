@@ -1,0 +1,1 @@
+examples/pec_adder.mli:

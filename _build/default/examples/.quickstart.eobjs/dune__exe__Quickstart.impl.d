@@ -1,0 +1,1 @@
+examples/quickstart.ml: Aig Dqbf Format Hqs Hqs_util Idq List Printf String

@@ -1,0 +1,1 @@
+examples/xor_chain.ml: Circuit Hqs Hqs_util Idq List Printf Unix

@@ -1,0 +1,1 @@
+examples/xor_chain.mli:

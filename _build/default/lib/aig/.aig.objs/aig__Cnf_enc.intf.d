@@ -1,0 +1,1 @@
+lib/aig/cnf_enc.mli: Man Sat

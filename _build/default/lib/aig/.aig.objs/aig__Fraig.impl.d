@@ -1,0 +1,1 @@
+lib/aig/fraig.ml: Array Budget Cnf_enc Hashtbl Hqs_util Int64 List Man Rng Sat Sys Vec

@@ -1,0 +1,1 @@
+lib/aig/fraig.mli: Hqs_util Man

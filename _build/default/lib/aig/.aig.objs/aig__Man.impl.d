@@ -1,0 +1,1 @@
+lib/aig/man.ml: Array Bitset Budget Hashtbl Hqs_util List Stack Vec

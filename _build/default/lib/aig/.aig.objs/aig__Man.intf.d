@@ -1,0 +1,1 @@
+lib/aig/man.mli: Hqs_util

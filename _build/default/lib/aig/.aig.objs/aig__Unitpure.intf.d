@@ -1,0 +1,1 @@
+lib/aig/unitpure.mli: Man

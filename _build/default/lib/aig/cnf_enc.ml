@@ -1,0 +1,28 @@
+module S = Sat.Solver
+module L = Sat.Lit
+
+type t = { solver : S.t; map : (int, int) Hashtbl.t (* AIG node -> SAT var *) }
+
+let create solver = { solver; map = Hashtbl.create 256 }
+
+let sat_lit man enc root =
+  let node_var n = Hashtbl.find enc.map n in
+  let edge_lit e = L.apply_sign (L.of_var (node_var (Man.node_of e))) ~neg:(Man.is_compl e) in
+  Man.iter_cone man [ root ] (fun n ->
+      if not (Hashtbl.mem enc.map n) then begin
+        let v = S.new_var enc.solver in
+        Hashtbl.add enc.map n v;
+        if n = 0 then (* constant-false node *)
+          S.add_clause enc.solver [ L.mk v ~neg:true ]
+        else if Man.is_and man (n * 2) then begin
+          let e0, e1 = Man.fanins man (n * 2) in
+          let x = L.of_var v and l0 = edge_lit e0 and l1 = edge_lit e1 in
+          S.add_clause enc.solver [ L.neg x; l0 ];
+          S.add_clause enc.solver [ L.neg x; l1 ];
+          S.add_clause enc.solver [ x; L.neg l0; L.neg l1 ]
+        end
+        (* inputs: just the fresh variable *)
+      end);
+  edge_lit root
+
+let sat_var_of_aig_var man enc v = sat_lit man enc (Man.input man v)

@@ -1,0 +1,202 @@
+open Hqs_util
+module S = Sat.Solver
+module L = Sat.Lit
+
+module Sig_key = struct
+  type t = int array
+
+  let equal = ( = )
+  let hash = Hashtbl.hash
+end
+
+module Sig_tbl = Hashtbl.Make (Sig_key)
+
+(* A simulation signature: [base_words] words of random patterns plus one
+   word of counterexample patterns. Signatures are normalized so bit 0 of
+   word 0 is clear; [normalize] reports whether it complemented. *)
+let normalize s =
+  if s.(0) land 1 = 1 then (Array.map lnot s, true) else (s, false)
+
+let reduce ?(seed = 0x51) ?(base_words = 6) ?(conflict_limit = 150) ?(max_candidates = 3)
+    ?(max_sat_checks = 1500) ?(budget = Budget.unlimited) man roots =
+  let sat_checks = ref 0 in
+  let words = base_words + 1 in
+  let rng = Rng.create seed in
+  let out = Man.create ?node_limit:(Man.node_limit man) () in
+  (* per-variable random patterns; the last word holds counterexamples *)
+  let var_words : (int, int array) Hashtbl.t = Hashtbl.create 64 in
+  let word_of_var v =
+    match Hashtbl.find_opt var_words v with
+    | Some w -> w
+    | None ->
+        let w = Array.init words (fun i -> if i < base_words then Int64.to_int (Rng.next64 rng) else 0) in
+        Hashtbl.add var_words v w;
+        w
+  in
+  (* simulation vectors per [out] node, indexed by node id *)
+  let sims : int array Vec.t = Vec.create ~dummy:[||] () in
+  let node_sim n = Vec.get sims n in
+  let edge_sim e =
+    let s = node_sim (Man.node_of e) in
+    if Man.is_compl e then Array.map lnot s else Array.copy s
+  in
+  let record_sim n s = begin
+    Vec.grow_to sims (n + 1) [||];
+    Vec.set sims n s
+  end in
+  let compute_sim n =
+    if n = 0 then Array.make words 0
+    else if Man.is_input out (n * 2) then Array.copy (word_of_var (Man.var_of_input out (n * 2)))
+    else begin
+      let e0, e1 = Man.fanins out (n * 2) in
+      let s0 = node_sim (Man.node_of e0) and s1 = node_sim (Man.node_of e1) in
+      Array.init words (fun i ->
+          let a = if Man.is_compl e0 then lnot s0.(i) else s0.(i) in
+          let b = if Man.is_compl e1 then lnot s1.(i) else s1.(i) in
+          a land b)
+    end
+  in
+  let ensure_sim n =
+    if n >= Vec.size sims || Array.length (node_sim n) = 0 then record_sim n (compute_sim n)
+  in
+  (* SAT machinery over [out] *)
+  let solver = S.create () in
+  let enc = Cnf_enc.create solver in
+  let classes : Man.lit list ref Sig_tbl.t = Sig_tbl.create 256 in
+  let reps : Man.lit Vec.t = Vec.create ~dummy:0 () in
+  let rep_nodes : (int, unit) Hashtbl.t = Hashtbl.create 256 in
+  let register_rep lit =
+    Vec.push reps lit;
+    Hashtbl.replace rep_nodes (Man.node_of lit) ();
+    let s, flipped = normalize (edge_sim lit) in
+    let lit = Man.apply_sign lit ~neg:flipped in
+    match Sig_tbl.find_opt classes s with
+    | Some l -> l := lit :: !l
+    | None -> Sig_tbl.add classes s (ref [ lit ])
+  in
+  (* counterexample refinement *)
+  let pending_cex : (int * bool) list list ref = ref [] in
+  let flush_cex () =
+    let patterns = Array.of_list (List.rev !pending_cex) in
+    pending_cex := [];
+    Hashtbl.iter
+      (fun v w ->
+        let bits = ref 0 in
+        Array.iteri
+          (fun i pattern ->
+            match List.assoc_opt v pattern with
+            | Some true -> bits := !bits lor (1 lsl i)
+            | Some false | None -> ())
+          patterns;
+        w.(words - 1) <- !bits)
+      var_words;
+    (* re-simulate every node (fanins precede their nodes by construction) *)
+    for n = 0 to Man.num_nodes out - 1 do
+      record_sim n (compute_sim n)
+    done;
+    (* rebuild classes from surviving representatives *)
+    Sig_tbl.reset classes;
+    let old_reps = Vec.to_list reps in
+    Vec.clear reps;
+    List.iter register_rep old_reps
+  in
+  let add_cex () =
+    (* read input-variable values from the model *)
+    let pattern =
+      Hashtbl.fold
+        (fun v _ acc ->
+          let ain = Man.input out v in
+          (v, S.lit_value solver (Cnf_enc.sat_lit out enc ain)) :: acc)
+        var_words []
+    in
+    pending_cex := pattern :: !pending_cex;
+    if List.length !pending_cex >= Sys.int_size - 2 then flush_cex ()
+  in
+  (* prove a = b (if [compl_] then a = not b) *)
+  let prove_equal a b ~compl_ =
+    Budget.check budget;
+    incr sat_checks;
+    let la = Cnf_enc.sat_lit out enc a in
+    let lb = Cnf_enc.sat_lit out enc b in
+    let lb = if compl_ then L.neg lb else lb in
+    match S.solve ~assumptions:[ la; L.neg lb ] ~budget ~conflict_limit solver with
+    | S.Sat ->
+        add_cex ();
+        false
+    | S.Unknown -> false
+    | S.Unsat -> (
+        match S.solve ~assumptions:[ L.neg la; lb ] ~budget ~conflict_limit solver with
+        | S.Sat ->
+            add_cex ();
+            false
+        | S.Unknown -> false
+        | S.Unsat -> true)
+  in
+  (* remember nodes already proven equal to a representative *)
+  let merged_to : (int, Man.lit) Hashtbl.t = Hashtbl.create 64 in
+  (* map old nodes into [out], merging equivalents *)
+  let table : (int, Man.lit) Hashtbl.t = Hashtbl.create 256 in
+  let get edge = Man.apply_sign (Hashtbl.find table (Man.node_of edge)) ~neg:(Man.is_compl edge) in
+  Man.iter_cone man roots (fun n ->
+      let mapped =
+        if n = 0 then Man.false_
+        else if Man.is_input man (n * 2) then begin
+          let lit = Man.input out (Man.var_of_input man (n * 2)) in
+          ensure_sim (Man.node_of lit);
+          lit
+        end
+        else begin
+          let e0 = get (fst (Man.fanins man (n * 2))) and e1 = get (snd (Man.fanins man (n * 2))) in
+          let cand = Man.mk_and out e0 e1 in
+          let cnode = Man.node_of cand in
+          if Man.is_const cand || Man.is_input out cand || Hashtbl.mem rep_nodes cnode then cand
+          else begin
+            match Hashtbl.find_opt merged_to cnode with
+            | Some rep -> Man.apply_sign rep ~neg:(Man.is_compl cand)
+            | None ->
+            ensure_sim cnode;
+            (* candidate equivalence class lookup *)
+            let s, flipped = normalize (edge_sim cand) in
+            let cand_n = Man.apply_sign cand ~neg:flipped in
+            let merged = ref None in
+            (* all-zero signature: try the constant-false proof first *)
+            if Array.for_all (fun w -> w = 0) s && !sat_checks < max_sat_checks then begin
+              Budget.check budget;
+              incr sat_checks;
+              let lc = Cnf_enc.sat_lit out enc cand_n in
+              match S.solve ~assumptions:[ lc ] ~budget ~conflict_limit solver with
+              | S.Unsat -> merged := Some Man.false_
+              | S.Sat ->
+                  add_cex ();
+                  ()
+              | S.Unknown -> ()
+            end;
+            (match Sig_tbl.find_opt classes s with
+            | None -> ()
+            | Some lst ->
+                let checked = ref 0 in
+                List.iter
+                  (fun rep ->
+                    if !merged = None && !checked < max_candidates
+                       && !sat_checks < max_sat_checks
+                       && Man.node_of rep <> Man.node_of cand_n
+                    then begin
+                      incr checked;
+                      if prove_equal cand_n rep ~compl_:false then merged := Some rep
+                    end)
+                  !lst);
+            match !merged with
+            | Some rep ->
+                (* cand == rep up to the normalization flip *)
+                let res = Man.apply_sign rep ~neg:flipped in
+                Hashtbl.replace merged_to cnode (Man.apply_sign res ~neg:(Man.is_compl cand));
+                res
+            | None ->
+                register_rep cand;
+                cand
+          end
+        end
+      in
+      Hashtbl.replace table n mapped);
+  let mapped_roots = List.map get roots in
+  Man.compact out mapped_roots

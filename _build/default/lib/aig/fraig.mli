@@ -1,0 +1,27 @@
+(** FRAIG-style functional reduction of AIG cones (Mishchenko et al.), the
+    "conversion to FRAIGs from time to time" of Section II-C.
+
+    Nodes are grouped into candidate equivalence classes by bit-parallel
+    random simulation; candidate pairs are then proved or refuted with the
+    CDCL solver. Proven-equivalent nodes are merged (up to complement), and
+    counterexamples returned by the solver refine the simulation patterns.
+    The result is a fresh manager containing only the reduced cones, with
+    input variable ids preserved.
+
+    The reduction is semantics-preserving by construction: merges happen
+    only on UNSAT (proof) answers; timeouts and conflict-limit hits merely
+    lose reduction opportunities. *)
+
+val reduce :
+  ?seed:int ->
+  ?base_words:int ->
+  ?conflict_limit:int ->
+  ?max_candidates:int ->
+  ?max_sat_checks:int ->
+  ?budget:Hqs_util.Budget.t ->
+  Man.t ->
+  Man.lit list ->
+  Man.t * Man.lit list
+(** [reduce man roots] returns a functionally reduced copy of the cones.
+    @raise Hqs_util.Budget.Timeout if the budget expires.
+    @raise Hqs_util.Budget.Out_of_memory_budget if the node limit is hit. *)

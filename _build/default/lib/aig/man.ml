@@ -1,0 +1,247 @@
+open Hqs_util
+
+type lit = int
+
+type t = {
+  fanin0 : int Vec.t; (* AND: fanin edge; input: -1; const: -2 *)
+  fanin1 : int Vec.t; (* AND: fanin edge; input: variable id; const: -2 *)
+  strash : (int * int, int) Hashtbl.t;
+  input_of_var : int Vec.t; (* var -> node index, -1 if absent *)
+  mutable num_inputs : int;
+  mutable node_limit : int; (* max_int = unlimited *)
+}
+
+let false_ = 0
+let true_ = 1
+
+let create ?node_limit () =
+  let m =
+    {
+      fanin0 = Vec.create ~dummy:min_int ();
+      fanin1 = Vec.create ~dummy:min_int ();
+      strash = Hashtbl.create 1024;
+      input_of_var = Vec.create ~dummy:(-1) ();
+      num_inputs = 0;
+      node_limit = (match node_limit with None -> max_int | Some n -> n);
+    }
+  in
+  (* node 0: constant false *)
+  Vec.push m.fanin0 (-2);
+  Vec.push m.fanin1 (-2);
+  m
+
+let set_node_limit m limit =
+  m.node_limit <- (match limit with None -> max_int | Some n -> n)
+
+let num_nodes m = Vec.size m.fanin0
+let num_ands m = num_nodes m - m.num_inputs - 1
+
+let compl_ l = l lxor 1
+let apply_sign l ~neg = if neg then compl_ l else l
+let node_of l = l lsr 1
+let is_compl l = l land 1 = 1
+let is_const l = node_of l = 0
+let is_true l = l = true_
+let is_false l = l = false_
+
+let node_is_input m n = n > 0 && Vec.get m.fanin0 n = -1
+let node_is_and m n = n > 0 && Vec.get m.fanin0 n >= 0
+let is_input m l = node_is_input m (node_of l)
+let is_and m l = node_is_and m (node_of l)
+
+let var_of_input m l =
+  let n = node_of l in
+  if not (node_is_input m n) then invalid_arg "Aig.var_of_input";
+  Vec.get m.fanin1 n
+
+let fanins m l =
+  let n = node_of l in
+  if not (node_is_and m n) then invalid_arg "Aig.fanins";
+  (Vec.get m.fanin0 n, Vec.get m.fanin1 n)
+
+let alloc_node m f0 f1 =
+  if num_nodes m >= m.node_limit then raise Budget.Out_of_memory_budget;
+  let n = num_nodes m in
+  Vec.push m.fanin0 f0;
+  Vec.push m.fanin1 f1;
+  n
+
+let input m v =
+  if v < 0 then invalid_arg "Aig.input: negative variable";
+  Vec.grow_to m.input_of_var (v + 1) (-1);
+  let existing = Vec.get m.input_of_var v in
+  if existing >= 0 then existing * 2
+  else begin
+    let n = alloc_node m (-1) v in
+    Vec.set m.input_of_var v n;
+    m.num_inputs <- m.num_inputs + 1;
+    n * 2
+  end
+
+let mk_and m a b =
+  if a = false_ || b = false_ then false_
+  else if a = true_ then b
+  else if b = true_ then a
+  else if a = b then a
+  else if a = compl_ b then false_
+  else begin
+    let a, b = if a <= b then (a, b) else (b, a) in
+    match Hashtbl.find_opt m.strash (a, b) with
+    | Some n -> n * 2
+    | None ->
+        let n = alloc_node m a b in
+        Hashtbl.add m.strash (a, b) n;
+        n * 2
+  end
+
+let mk_or m a b = compl_ (mk_and m (compl_ a) (compl_ b))
+let mk_implies m a b = mk_or m (compl_ a) b
+
+let mk_xor m a b =
+  (* (a and not b) or (not a and b) *)
+  mk_or m (mk_and m a (compl_ b)) (mk_and m (compl_ a) b)
+
+let mk_iff m a b = compl_ (mk_xor m a b)
+let mk_ite m c a b = mk_or m (mk_and m c a) (mk_and m (compl_ c) b)
+
+(* balanced reduction keeps cone depth logarithmic in the list length *)
+let balanced_reduce op neutral = function
+  | [] -> neutral
+  | l ->
+      let arr = ref (Array.of_list l) in
+      while Array.length !arr > 1 do
+        let a = !arr in
+        let n = Array.length a in
+        let next = Array.make ((n + 1) / 2) neutral in
+        for i = 0 to (n / 2) - 1 do
+          next.(i) <- op a.(2 * i) a.((2 * i) + 1)
+        done;
+        if n land 1 = 1 then next.((n - 1) / 2) <- a.(n - 1);
+        arr := next
+      done;
+      !arr.(0)
+
+let mk_and_list m l = balanced_reduce (mk_and m) true_ l
+let mk_or_list m l = balanced_reduce (mk_or m) false_ l
+
+(* ------------------------------------------------------------- traversal *)
+
+let iter_cone m roots f =
+  let visited = Hashtbl.create 256 in
+  let stack = Stack.create () in
+  List.iter (fun r -> Stack.push (node_of r, false) stack) roots;
+  while not (Stack.is_empty stack) do
+    let n, expanded = Stack.pop stack in
+    if expanded then f n
+    else if not (Hashtbl.mem visited n) then begin
+      Hashtbl.add visited n ();
+      Stack.push (n, true) stack;
+      if node_is_and m n then begin
+        Stack.push (node_of (Vec.get m.fanin0 n), false) stack;
+        Stack.push (node_of (Vec.get m.fanin1 n), false) stack
+      end
+    end
+  done
+
+let support m root =
+  let acc = ref Bitset.empty in
+  iter_cone m [ root ] (fun n -> if node_is_input m n then acc := Bitset.add (Vec.get m.fanin1 n) !acc);
+  !acc
+
+let cone_size m root =
+  let count = ref 0 in
+  iter_cone m [ root ] (fun n -> if node_is_and m n then incr count);
+  !count
+
+(* generic bottom-up evaluation over the cone; [leaf] gives input values *)
+let eval_gen (type a) m root ~(leaf : int -> a) ~(band : a -> a -> a) ~(bnot : a -> a)
+    ~(bfalse : a) : a =
+  let table : (int, a) Hashtbl.t = Hashtbl.create 256 in
+  let get edge =
+    let v = Hashtbl.find table (node_of edge) in
+    if is_compl edge then bnot v else v
+  in
+  iter_cone m [ root ] (fun n ->
+      let v =
+        if n = 0 then bfalse
+        else if node_is_input m n then leaf (Vec.get m.fanin1 n)
+        else band (get (Vec.get m.fanin0 n)) (get (Vec.get m.fanin1 n))
+      in
+      Hashtbl.replace table n v);
+  get root
+
+let eval m root assignment =
+  eval_gen m root ~leaf:assignment ~band:( && ) ~bnot:not ~bfalse:false
+
+let sim_words m root var_word =
+  eval_gen m root ~leaf:var_word ~band:( land ) ~bnot:lnot ~bfalse:0
+
+(* --------------------------------------------------------- substitutions *)
+
+let compose m root subst =
+  let table = Hashtbl.create 256 in
+  let get edge =
+    let v = Hashtbl.find table (node_of edge) in
+    if is_compl edge then compl_ v else v
+  in
+  iter_cone m [ root ] (fun n ->
+      let v =
+        if n = 0 then false_
+        else if node_is_input m n then begin
+          match subst (Vec.get m.fanin1 n) with Some f -> f | None -> n * 2
+        end
+        else mk_and m (get (Vec.get m.fanin0 n)) (get (Vec.get m.fanin1 n))
+      in
+      Hashtbl.replace table n v);
+  get root
+
+let cofactor m root ~var ~value =
+  let c = if value then true_ else false_ in
+  compose m root (fun v -> if v = var then Some c else None)
+
+let exists m root ~var =
+  mk_or m (cofactor m root ~var ~value:false) (cofactor m root ~var ~value:true)
+
+let forall m root ~var =
+  mk_and m (cofactor m root ~var ~value:false) (cofactor m root ~var ~value:true)
+
+let compact m roots =
+  let fresh =
+    create
+      ?node_limit:(if m.node_limit = max_int then None else Some m.node_limit)
+      ()
+  in
+  let table = Hashtbl.create 256 in
+  let get edge =
+    let v = Hashtbl.find table (node_of edge) in
+    if is_compl edge then compl_ v else v
+  in
+  iter_cone m roots (fun n ->
+      let v =
+        if n = 0 then false_
+        else if node_is_input m n then input fresh (Vec.get m.fanin1 n)
+        else mk_and fresh (get (Vec.get m.fanin0 n)) (get (Vec.get m.fanin1 n))
+      in
+      Hashtbl.replace table n v);
+  (fresh, List.map get roots)
+
+let node_limit m = if m.node_limit = max_int then None else Some m.node_limit
+
+let and_conjuncts m root =
+  let seen = Hashtbl.create 16 in
+  let acc = ref [] in
+  let rec walk l =
+    if not (Hashtbl.mem seen l) then begin
+      Hashtbl.add seen l ();
+      if (not (is_compl l)) && node_is_and m (node_of l) then begin
+        let e0, e1 = fanins m l in
+        walk e0;
+        walk e1
+      end
+      else acc := l :: !acc
+    end
+  in
+  walk root;
+  List.rev !acc
+
+let or_disjuncts m root = List.map compl_ (and_conjuncts m (compl_ root))

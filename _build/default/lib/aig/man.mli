@@ -1,0 +1,115 @@
+(** And-Inverter Graphs with structural hashing.
+
+    Nodes are two-input AND gates or inputs; edges carry a complement bit.
+    An edge (literal) is an int: [2*node + complement]. Node 0 is the
+    constant-false node, so literal 0 is [false] and literal 1 is [true].
+    Inputs are labelled with external variable ids (the DQBF/QBF variables),
+    which survive compaction and FRAIG reduction.
+
+    The manager optionally enforces a node budget; exceeding it raises
+    {!Hqs_util.Budget.Out_of_memory_budget}, which the benchmark harness
+    reports as a memout (the paper's 8 GB cap). *)
+
+type t
+type lit = int
+
+val false_ : lit
+val true_ : lit
+
+val create : ?node_limit:int -> unit -> t
+
+val num_nodes : t -> int
+(** Total nodes allocated (including constant and inputs). *)
+
+val num_ands : t -> int
+
+(* ------------------------------------------------------------ literals *)
+
+val compl_ : lit -> lit
+(** Complement an edge. *)
+
+val apply_sign : lit -> neg:bool -> lit
+val node_of : lit -> int
+val is_compl : lit -> bool
+val is_const : lit -> bool
+val is_true : lit -> bool
+val is_false : lit -> bool
+val is_input : t -> lit -> bool
+val is_and : t -> lit -> bool
+
+val var_of_input : t -> lit -> int
+(** Variable id of an input literal (sign ignored).
+    @raise Invalid_argument if the node is not an input. *)
+
+val fanins : t -> lit -> lit * lit
+(** Fanin edges of an AND node. @raise Invalid_argument otherwise. *)
+
+(* --------------------------------------------------------- construction *)
+
+val input : t -> int -> lit
+(** [input m v] returns the (positive) input literal for variable [v],
+    creating the input node on first use. *)
+
+val mk_and : t -> lit -> lit -> lit
+val mk_or : t -> lit -> lit -> lit
+val mk_xor : t -> lit -> lit -> lit
+val mk_iff : t -> lit -> lit -> lit
+val mk_implies : t -> lit -> lit -> lit
+val mk_ite : t -> lit -> lit -> lit -> lit
+
+val mk_and_list : t -> lit list -> lit
+(** Balanced conjunction (keeps the graph shallow). *)
+
+val mk_or_list : t -> lit list -> lit
+
+(* -------------------------------------------------------------- queries *)
+
+val support : t -> lit -> Hqs_util.Bitset.t
+(** Set of variable ids the cone of [lit] depends on (syntactically). *)
+
+val cone_size : t -> lit -> int
+(** Number of AND nodes in the cone. *)
+
+val eval : t -> lit -> (int -> bool) -> bool
+(** Evaluate under a variable assignment. *)
+
+val sim_words : t -> lit -> (int -> int) -> int
+(** Bit-parallel evaluation: the assignment maps each variable to a word of
+    patterns; returns the word of outputs. *)
+
+val iter_cone : t -> lit list -> (int -> unit) -> unit
+(** Apply a function to every node index in the cones of the given roots, in
+    topological (fanin-first) order, each node once. *)
+
+(* ------------------------------------------------------- transformations *)
+
+val cofactor : t -> lit -> var:int -> value:bool -> lit
+(** Substitute a constant for a variable. *)
+
+val compose : t -> lit -> (int -> lit option) -> lit
+(** Simultaneous substitution of input variables by functions. Variables
+    mapped to [None] stay. *)
+
+val exists : t -> lit -> var:int -> lit
+(** [cofactor 0 OR cofactor 1] — existential quantification. *)
+
+val forall : t -> lit -> var:int -> lit
+(** [cofactor 0 AND cofactor 1] — universal quantification. *)
+
+val compact : t -> lit list -> t * lit list
+(** Copy the cones of the given roots into a fresh manager (dropping garbage
+    nodes); input variable ids are preserved. The new manager inherits the
+    node limit. *)
+
+val set_node_limit : t -> int option -> unit
+
+val node_limit : t -> int option
+(** Current node budget, if any. *)
+
+val and_conjuncts : t -> lit -> lit list
+(** Maximal decomposition of the root as a conjunction: walks the top
+    AND-tree through non-complemented edges, returning the deduplicated
+    leaves. A literal that is not a plain AND node is returned alone. *)
+
+val or_disjuncts : t -> lit -> lit list
+(** Dual decomposition as a disjunction. *)

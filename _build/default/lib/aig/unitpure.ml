@@ -1,0 +1,72 @@
+type status = { pos_unit : bool; neg_unit : bool; pos_pure : bool; neg_pure : bool }
+
+let no_status = { pos_unit = false; neg_unit = false; pos_pure = false; neg_pure = false }
+
+(* Per-variable marks collected during the walk. *)
+type marks = {
+  mutable seen_even : bool; (* reached along a path with an even number of negations *)
+  mutable seen_odd : bool;
+  mutable unit_pos : bool; (* reached along a completely negation-free path *)
+  mutable unit_neg : bool; (* negation-free path ending in a complemented edge *)
+}
+
+(* Node states: (parity of negations so far, negation-free so far).
+   Negation-free implies even parity, so only three states are reachable;
+   we encode them as 0 = (even, negfree), 1 = (even, not negfree),
+   2 = (odd, not negfree) and keep a 3-bit visited mask per node. *)
+let state ~parity ~negfree = if negfree then 0 else if parity = 0 then 1 else 2
+
+let scan man root =
+  let var_marks : (int, marks) Hashtbl.t = Hashtbl.create 64 in
+  let mark v =
+    match Hashtbl.find_opt var_marks v with
+    | Some m -> m
+    | None ->
+        let m = { seen_even = false; seen_odd = false; unit_pos = false; unit_neg = false } in
+        Hashtbl.add var_marks v m;
+        m
+  in
+  let visited : (int, int) Hashtbl.t = Hashtbl.create 256 in
+  let stack = Stack.create () in
+  (* visit an edge from a context with the given parity/negfree state *)
+  let push_edge edge ~parity ~negfree =
+    let c = Man.is_compl edge in
+    let n = Man.node_of edge in
+    let parity' = parity lxor if c then 1 else 0 in
+    let negfree' = negfree && not c in
+    if Man.is_input man (n * 2) then begin
+      let v = Man.var_of_input man (n * 2) in
+      let m = mark v in
+      if parity' = 0 then m.seen_even <- true else m.seen_odd <- true;
+      if negfree' then m.unit_pos <- true;
+      if negfree && c then m.unit_neg <- true
+    end
+    else if Man.is_and man (n * 2) then begin
+      let s = state ~parity:parity' ~negfree:negfree' in
+      let mask = try Hashtbl.find visited n with Not_found -> 0 in
+      if mask land (1 lsl s) = 0 then begin
+        Hashtbl.replace visited n (mask lor (1 lsl s));
+        Stack.push (n, parity', negfree') stack
+      end
+    end
+    (* constant node: nothing to record *)
+  in
+  push_edge root ~parity:0 ~negfree:true;
+  while not (Stack.is_empty stack) do
+    let n, parity, negfree = Stack.pop stack in
+    let e0, e1 = Man.fanins man (n * 2) in
+    push_edge e0 ~parity ~negfree;
+    push_edge e1 ~parity ~negfree
+  done;
+  Hashtbl.fold
+    (fun v m acc ->
+      let st =
+        {
+          pos_unit = m.unit_pos;
+          neg_unit = m.unit_neg;
+          pos_pure = m.seen_even && not m.seen_odd;
+          neg_pure = m.seen_odd && not m.seen_even;
+        }
+      in
+      (v, st) :: acc)
+    var_marks []

@@ -1,0 +1,1 @@
+lib/circuit/families.ml: Dqbf List Netlist Option Pec Printf

@@ -1,0 +1,1 @@
+lib/circuit/families.mli: Dqbf Netlist

@@ -1,0 +1,1 @@
+lib/circuit/pec.ml: Array Dqbf Hashtbl List Netlist

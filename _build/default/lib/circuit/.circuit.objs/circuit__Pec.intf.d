@@ -1,0 +1,1 @@
+lib/circuit/pec.mli: Dqbf Netlist

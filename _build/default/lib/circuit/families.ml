@@ -1,0 +1,402 @@
+module N = Netlist
+module B = Netlist.Builder
+
+type instance = {
+  id : string;
+  family : string;
+  spec : N.t;
+  impl : N.t;
+  pcnf : Dqbf.Pcnf.t;
+  golden : int -> bool list -> bool list;
+}
+
+let all_families = [ "adder"; "bitcell"; "lookahead"; "pec_xor"; "z4"; "comp"; "c432" ]
+
+(* spread [boxes] positions evenly over [0, cells); when a fault is to be
+   injected, keep at least one cell un-boxed so the fault cannot be
+   compensated by simply not existing *)
+let box_positions ?(fault = false) ~cells ~boxes () =
+  let cap = if fault then max 0 (cells - 1) else cells in
+  let boxes = min boxes cap in
+  List.init boxes (fun k -> k * cells / boxes)
+
+let first_free ~cells ~boxed =
+  let rec go i =
+    if i >= cells then invalid_arg "Families.first_free: every cell is boxed"
+    else if List.mem i boxed then go (i + 1)
+    else i
+  in
+  go 0
+
+let mk_instance ~family ~id ~spec ~impl ~golden =
+  { id; family; spec; impl; pcnf = Pec.encode ~spec ~impl; golden }
+
+let id_of family params boxes fault =
+  Printf.sprintf "%s_%s_k%d_%s" family params boxes (if fault then "f" else "ok")
+
+(* ----------------------------------------------------------------- adder *)
+
+(* full-adder cell; the injected fault replaces the outer XOR of the sum
+   with an OR, so the faulty cell differs on exactly one input pattern *)
+let fa_cell b ~faulty a bi c =
+  let axb = B.xor2 b a bi in
+  let s = if faulty then B.or2 b axb c else B.xor2 b axb c in
+  let cout = B.or2 b (B.and2 b a bi) (B.and2 b c axb) in
+  (s, cout)
+
+let adder_netlist ~bits ~boxed ~fault_at name =
+  let b = B.create name in
+  let a = B.inputs b bits and bv = B.inputs b bits in
+  let cin = B.input b in
+  let carry = ref cin in
+  let sums = ref [] in
+  for i = 0 to bits - 1 do
+    if List.mem i boxed then begin
+      match B.black_box b ~inputs:[ List.nth a i; List.nth bv i; !carry ] ~num_outputs:2 with
+      | [ s; cout ] ->
+          sums := s :: !sums;
+          carry := cout
+      | _ -> assert false
+    end
+    else begin
+      let s, cout = fa_cell b ~faulty:(fault_at = Some i) (List.nth a i) (List.nth bv i) !carry in
+      sums := s :: !sums;
+      carry := cout
+    end
+  done;
+  B.build b ~outputs:(List.rev !sums @ [ !carry ])
+
+let adder ~bits ~boxes ~fault =
+  let boxed = box_positions ~fault ~cells:bits ~boxes () in
+  let fault_at = if fault then Some (first_free ~cells:bits ~boxed) else None in
+  let spec = adder_netlist ~bits ~boxed:[] ~fault_at:None "adder_spec" in
+  let impl = adder_netlist ~bits ~boxed ~fault_at "adder_impl" in
+  let golden _ = function
+    | [ a; bi; c ] ->
+        let s = a <> bi <> c in
+        let cout = (a && bi) || (c && (a <> bi)) in
+        [ s; cout ]
+    | _ -> invalid_arg "adder golden"
+  in
+  mk_instance ~family:"adder" ~id:(id_of "adder" (Printf.sprintf "b%d" bits) boxes fault) ~spec
+    ~impl ~golden
+
+(* --------------------------------------------------------------- bitcell *)
+
+(* token-passing arbiter: cell i grants iff it requests and the token
+   reached it; the token dies at the first requester *)
+let bitcell_netlist ~cells ~boxed ~fault_at name =
+  let b = B.create name in
+  let req = B.inputs b cells in
+  let grants = ref [] in
+  let carry = ref None in
+  for i = 0 to cells - 1 do
+    let r = List.nth req i in
+    if List.mem i boxed then begin
+      let ins = match !carry with None -> [ r ] | Some c -> [ r; c ] in
+      match B.black_box b ~inputs:ins ~num_outputs:2 with
+      | [ g; c' ] ->
+          grants := g :: !grants;
+          carry := Some c'
+      | _ -> assert false
+    end
+    else begin
+      let faulty = fault_at = Some i in
+      let g, c' =
+        match !carry with
+        | None ->
+            (* first cell: token present *)
+            let g = if faulty then B.not_ b r else r in
+            (g, B.not_ b r)
+        | Some c ->
+            let g = if faulty then B.or2 b r c else B.and2 b r c in
+            (g, B.and2 b c (B.not_ b r))
+      in
+      grants := g :: !grants;
+      carry := Some c'
+    end
+  done;
+  B.build b ~outputs:(List.rev !grants @ [ Option.get !carry ])
+
+let bitcell ~cells ~boxes ~fault =
+  let boxed = box_positions ~fault ~cells ~boxes () in
+  let fault_at = if fault then Some (first_free ~cells ~boxed) else None in
+  let spec = bitcell_netlist ~cells ~boxed:[] ~fault_at:None "bitcell_spec" in
+  let impl = bitcell_netlist ~cells ~boxed ~fault_at "bitcell_impl" in
+  let golden i ins =
+    match ins with
+    | [ r ] -> [ r; not r ] (* only box 0 can have one input *)
+    | [ r; c ] -> [ r && c; c && not r ]
+    | _ -> invalid_arg (Printf.sprintf "bitcell golden: box %d" i)
+  in
+  mk_instance ~family:"bitcell"
+    ~id:(id_of "bitcell" (Printf.sprintf "n%d" cells) boxes fault)
+    ~spec ~impl ~golden
+
+(* ------------------------------------------------------------- lookahead *)
+
+(* lookahead arbiter: every position gets its own prefix-OR tree of all
+   earlier requests; grant_i = req_i and none-before *)
+let rec or_tree b = function
+  | [] -> None
+  | [ s ] -> Some s
+  | l ->
+      let rec split i acc = function
+        | [] -> (List.rev acc, [])
+        | x :: rest when i > 0 -> split (i - 1) (x :: acc) rest
+        | rest -> (List.rev acc, rest)
+      in
+      let left, right = split (List.length l / 2) [] l in
+      (match (or_tree b left, or_tree b right) with
+      | Some x, Some y -> Some (B.or2 b x y)
+      | Some x, None | None, Some x -> Some x
+      | None, None -> None)
+
+let lookahead_netlist ~cells ~boxed ~fault_at name =
+  let b = B.create name in
+  let req = B.inputs b cells in
+  let grants =
+    List.init cells (fun i ->
+        let r = List.nth req i in
+        let before = List.filteri (fun j _ -> j < i) req in
+        match or_tree b before with
+        | None ->
+            if List.mem i boxed then List.hd (B.black_box b ~inputs:[ r ] ~num_outputs:1)
+            else if fault_at = Some i then B.not_ b r
+            else r
+        | Some p ->
+            if List.mem i boxed then
+              List.hd (B.black_box b ~inputs:[ r; p ] ~num_outputs:1)
+            else begin
+              let faulty = fault_at = Some i in
+              if faulty then B.and2 b r p else B.and2 b r (B.not_ b p)
+            end)
+  in
+  B.build b ~outputs:grants
+
+let lookahead ~cells ~boxes ~fault =
+  let boxed = box_positions ~fault ~cells ~boxes () in
+  let fault_at = if fault then Some (first_free ~cells ~boxed) else None in
+  let spec = lookahead_netlist ~cells ~boxed:[] ~fault_at:None "lookahead_spec" in
+  let impl = lookahead_netlist ~cells ~boxed ~fault_at "lookahead_impl" in
+  let golden _ ins =
+    match ins with
+    | [ r ] -> [ r ]
+    | [ r; p ] -> [ r && not p ]
+    | _ -> invalid_arg "lookahead golden"
+  in
+  mk_instance ~family:"lookahead"
+    ~id:(id_of "lookahead" (Printf.sprintf "n%d" cells) boxes fault)
+    ~spec ~impl ~golden
+
+(* --------------------------------------------------------------- pec_xor *)
+
+let pec_xor_netlist ~length ~boxed ~fault_at name =
+  let b = B.create name in
+  let x = B.inputs b length in
+  let t = ref (List.hd x) in
+  for i = 1 to length - 1 do
+    let xi = List.nth x i in
+    if List.mem i boxed then t := List.hd (B.black_box b ~inputs:[ !t; xi ] ~num_outputs:1)
+    else if fault_at = Some i then t := B.and2 b !t xi
+    else t := B.xor2 b !t xi
+  done;
+  B.build b ~outputs:[ !t ]
+
+let pec_xor ~length ~boxes ~fault =
+  let cells = max 1 (length - 1) in
+  let boxed = List.map (fun p -> p + 1) (box_positions ~fault ~cells ~boxes ()) in
+  let fault_at =
+    if fault then begin
+      let rec free i = if i >= length then 1 else if List.mem i boxed then free (i + 1) else i in
+      Some (free 1)
+    end
+    else None
+  in
+  let spec = pec_xor_netlist ~length ~boxed:[] ~fault_at:None "pec_xor_spec" in
+  let impl = pec_xor_netlist ~length ~boxed ~fault_at "pec_xor_impl" in
+  let golden _ = function
+    | [ t; x ] -> [ t <> x ]
+    | _ -> invalid_arg "pec_xor golden"
+  in
+  mk_instance ~family:"pec_xor"
+    ~id:(id_of "pec_xor" (Printf.sprintf "n%d" length) boxes fault)
+    ~spec ~impl ~golden
+
+(* -------------------------------------------------------------------- z4 *)
+
+(* z4ml-like: 2x2-bit multiply followed by an [add_bits]-bit addend,
+   product + c, ripple-carry; boxes replace adder cells *)
+let z4_netlist ~add_bits ~boxed ~fault_at name =
+  let b = B.create name in
+  let a = B.inputs b 2 and bv = B.inputs b 2 in
+  let c = B.inputs b add_bits in
+  let pp i j = B.and2 b (List.nth a i) (List.nth bv j) in
+  let m0 = pp 0 0 in
+  let p01 = pp 0 1 and p10 = pp 1 0 and p11 = pp 1 1 in
+  let m1 = if fault_at = Some (-1) then B.or2 b p01 p10 else B.xor2 b p01 p10 in
+  let c1 = B.and2 b p01 p10 in
+  let m2 = B.xor2 b p11 c1 in
+  let m3 = B.and2 b p11 c1 in
+  let prod = [ m0; m1; m2; m3 ] in
+  (* prod + c over max(4, add_bits) positions *)
+  let width = max 4 add_bits in
+  let zero = ref None in
+  let get_zero () =
+    match !zero with
+    | Some z -> z
+    | None ->
+        let z = B.and2 b m0 (B.not_ b m0) in
+        zero := Some z;
+        z
+  in
+  let bit_of lst i = if i < List.length lst then Some (List.nth lst i) else None in
+  let carry = ref None in
+  let sums = ref [] in
+  for i = 0 to width - 1 do
+    let ai = bit_of prod i and bi = if i < add_bits then bit_of c i else None in
+    let ai = match ai with Some s -> s | None -> get_zero () in
+    let bi = match bi with Some s -> s | None -> get_zero () in
+    let cin = match !carry with Some s -> s | None -> get_zero () in
+    if List.mem i boxed then begin
+      match B.black_box b ~inputs:[ ai; bi; cin ] ~num_outputs:2 with
+      | [ s; cout ] ->
+          sums := s :: !sums;
+          carry := Some cout
+      | _ -> assert false
+    end
+    else begin
+      let s, cout = fa_cell b ~faulty:(fault_at = Some i) ai bi cin in
+      sums := s :: !sums;
+      carry := Some cout
+    end
+  done;
+  B.build b ~outputs:(List.rev !sums @ [ Option.get !carry ])
+
+let z4 ~add_bits ~boxes ~fault =
+  let width = max 4 add_bits in
+  let boxed = box_positions ~cells:width ~boxes () in
+  (* fault in the multiplier (-1) to keep it outside every box *)
+  let fault_at = if fault then Some (-1) else None in
+  let spec = z4_netlist ~add_bits ~boxed:[] ~fault_at:None "z4_spec" in
+  let impl = z4_netlist ~add_bits ~boxed ~fault_at "z4_impl" in
+  let golden _ = function
+    | [ a; bi; c ] -> [ a <> bi <> c; (a && bi) || (c && (a <> bi)) ]
+    | _ -> invalid_arg "z4 golden"
+  in
+  mk_instance ~family:"z4" ~id:(id_of "z4" (Printf.sprintf "c%d" add_bits) boxes fault) ~spec
+    ~impl ~golden
+
+(* ------------------------------------------------------------------ comp *)
+
+(* iterative magnitude comparator, MSB first; cell carries (eq, gt) *)
+let comp_netlist ~bits ~boxed ~fault_at name =
+  let b = B.create name in
+  let a = B.inputs b bits and bv = B.inputs b bits in
+  let state = ref None in
+  for k = 0 to bits - 1 do
+    let i = bits - 1 - k in
+    (* cell index k processes bit i (MSB first) *)
+    let ai = List.nth a i and bi = List.nth bv i in
+    if List.mem k boxed then begin
+      let ins = match !state with None -> [ ai; bi ] | Some (eq, gt) -> [ ai; bi; eq; gt ] in
+      match B.black_box b ~inputs:ins ~num_outputs:2 with
+      | [ eq'; gt' ] -> state := Some (eq', gt')
+      | _ -> assert false
+    end
+    else begin
+      let faulty = fault_at = Some k in
+      let bit_eq = B.xnor2 b ai bi in
+      let bit_gt = if faulty then B.and2 b ai bi else B.and2 b ai (B.not_ b bi) in
+      let eq', gt' =
+        match !state with
+        | None -> (bit_eq, bit_gt)
+        | Some (eq, gt) -> (B.and2 b eq bit_eq, B.or2 b gt (B.and2 b eq bit_gt))
+      in
+      state := Some (eq', gt')
+    end
+  done;
+  let eq, gt = Option.get !state in
+  let lt = B.gate b N.Nor [ eq; gt ] in
+  B.build b ~outputs:[ gt; eq; lt ]
+
+let comp ~bits ~boxes ~fault =
+  let boxed = box_positions ~fault ~cells:bits ~boxes () in
+  let fault_at = if fault then Some (first_free ~cells:bits ~boxed) else None in
+  let spec = comp_netlist ~bits ~boxed:[] ~fault_at:None "comp_spec" in
+  let impl = comp_netlist ~bits ~boxed ~fault_at "comp_impl" in
+  let golden _ = function
+    | [ a; bi ] -> [ a = bi; a && not bi ]
+    | [ a; bi; eq; gt ] -> [ eq && a = bi; gt || (eq && a && not bi) ]
+    | _ -> invalid_arg "comp golden"
+  in
+  mk_instance ~family:"comp" ~id:(id_of "comp" (Printf.sprintf "b%d" bits) boxes fault) ~spec
+    ~impl ~golden
+
+(* ------------------------------------------------------------------ c432 *)
+
+(* priority interrupt controller in the shape of ISCAS-85 C432: [groups]
+   request groups of [lines] lines with per-group enables; the highest-
+   priority active group wins and its request lines are gated through *)
+let c432_netlist ~groups ~lines ~boxed ~fault_at name =
+  let b = B.create name in
+  let req = List.init groups (fun _ -> B.inputs b lines) in
+  let en = B.inputs b groups in
+  let active =
+    List.init groups (fun g ->
+        let any = Option.get (or_tree b (List.nth req g)) in
+        B.and2 b (List.nth en g) any)
+  in
+  (* priority chain cells: sel_g = active_g and not blocked_g *)
+  let blocked = ref None in
+  let sels = ref [] in
+  for g = 0 to groups - 1 do
+    let act = List.nth active g in
+    if List.mem g boxed then begin
+      let ins = match !blocked with None -> [ act ] | Some bl -> [ act; bl ] in
+      match B.black_box b ~inputs:ins ~num_outputs:2 with
+      | [ sel; bl' ] ->
+          sels := sel :: !sels;
+          blocked := Some bl'
+      | _ -> assert false
+    end
+    else begin
+      let sel, bl' =
+        match !blocked with
+        | None -> (act, act)
+        | Some bl -> (B.and2 b act (B.not_ b bl), B.or2 b bl act)
+      in
+      sels := sel :: !sels;
+      blocked := Some bl'
+    end
+  done;
+  let sels = List.rev !sels in
+  (* the fault lives in the output gating, where no box can compensate:
+     one AND term of line 0 becomes an OR *)
+  let line_outs =
+    List.init lines (fun j ->
+        let terms =
+          List.mapi
+            (fun g sel ->
+              let r = List.nth (List.nth req g) j in
+              if j = 0 && fault_at = Some g then B.or2 b sel r else B.and2 b sel r)
+            sels
+        in
+        Option.get (or_tree b terms))
+  in
+  let any = Option.get (or_tree b sels) in
+  B.build b ~outputs:(line_outs @ [ any ])
+
+let c432 ~groups ~lines ~boxes ~fault =
+  let boxed = box_positions ~fault ~cells:groups ~boxes () in
+  let fault_at = if fault then Some (first_free ~cells:groups ~boxed) else None in
+  let spec = c432_netlist ~groups ~lines ~boxed:[] ~fault_at:None "c432_spec" in
+  let impl = c432_netlist ~groups ~lines ~boxed ~fault_at "c432_impl" in
+  let golden _ = function
+    | [ act ] -> [ act; act ]
+    | [ act; bl ] -> [ act && not bl; bl || act ]
+    | _ -> invalid_arg "c432 golden"
+  in
+  mk_instance ~family:"c432"
+    ~id:(id_of "c432" (Printf.sprintf "g%dl%d" groups lines) boxes fault)
+    ~spec ~impl ~golden

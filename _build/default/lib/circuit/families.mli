@@ -1,0 +1,40 @@
+(** The seven PEC benchmark families of the paper's evaluation (Section IV),
+    rebuilt as parameterized generators:
+
+    - [adder]: ripple-carry adders with full-adder cells boxed;
+    - [bitcell]: the iterative (token-passing) arbiter of Dally-Harting,
+      with arbiter cells boxed;
+    - [lookahead]: the lookahead arbiter (per-position prefix-OR trees),
+      with grant cells boxed;
+    - [pec_xor]: the XOR chains of Finkbeiner-Tentrup;
+    - [z4]: a 2-bit multiply-add block, z4ml-like (ISCAS 85);
+    - [comp]: an iterative magnitude comparator (ISCAS-85-comp-like);
+    - [c432]: a priority interrupt controller in the shape of ISCAS 85
+      C432 (grouped request lines, priority selection, line gating).
+
+    Each generator returns the complete specification, the implementation
+    with [boxes] black boxes, and the DQBF encoding. With [fault:true] a
+    gate outside the boxes is altered so the design becomes unrealizable
+    (the paper's UNSAT-heavy mix); with [fault:false] the boxes can be
+    filled to match the spec, so the instance is satisfiable. *)
+
+type instance = {
+  id : string;
+  family : string;
+  spec : Netlist.t;
+  impl : Netlist.t;
+  pcnf : Dqbf.Pcnf.t;
+  golden : int -> bool list -> bool list;
+      (** the intended implementation of each black box (meaningful for
+          fault-free instances; used by tests). *)
+}
+
+val adder : bits:int -> boxes:int -> fault:bool -> instance
+val bitcell : cells:int -> boxes:int -> fault:bool -> instance
+val lookahead : cells:int -> boxes:int -> fault:bool -> instance
+val pec_xor : length:int -> boxes:int -> fault:bool -> instance
+val z4 : add_bits:int -> boxes:int -> fault:bool -> instance
+val comp : bits:int -> boxes:int -> fault:bool -> instance
+val c432 : groups:int -> lines:int -> boxes:int -> fault:bool -> instance
+
+val all_families : string list

@@ -1,0 +1,127 @@
+type kind = And | Or | Nand | Nor | Xor | Xnor | Not | Buf
+
+type node = Input of int | Gate of kind * int list | Bb_out of { bb : int; port : int }
+type blackbox = { bb_inputs : int list; bb_outputs : int list }
+
+type t = {
+  name : string;
+  num_inputs : int;
+  nodes : node array;
+  outputs : int list;
+  boxes : blackbox array;
+}
+
+let is_complete t = Array.length t.boxes = 0
+
+let eval_gate kind args =
+  let parity = List.fold_left (fun acc b -> acc <> b) false args in
+  match (kind, args) with
+  | And, _ -> List.for_all Fun.id args
+  | Or, _ -> List.exists Fun.id args
+  | Nand, _ -> not (List.for_all Fun.id args)
+  | Nor, _ -> not (List.exists Fun.id args)
+  | Xor, _ -> parity
+  | Xnor, _ -> not parity
+  | Not, [ a ] -> not a
+  | Buf, [ a ] -> a
+  | (Not | Buf), _ -> invalid_arg "Netlist.eval_gate: bad arity"
+
+let eval_with_boxes t ~box_fn inputs =
+  if Array.length inputs <> t.num_inputs then invalid_arg "Netlist.eval: input arity";
+  let values = Array.make (Array.length t.nodes) false in
+  let box_results =
+    Array.map
+      (fun _ -> lazy (assert false)) (* placeholders, filled below *)
+      t.boxes
+  in
+  Array.iteri
+    (fun i box ->
+      box_results.(i) <-
+        lazy
+          (let ins = List.map (fun s -> values.(s)) box.bb_inputs in
+           let outs = box_fn i ins in
+           if List.length outs <> List.length box.bb_outputs then
+             invalid_arg "Netlist.eval_with_boxes: box output arity";
+           outs))
+    t.boxes;
+  Array.iteri
+    (fun s node ->
+      values.(s) <-
+        (match node with
+        | Input i -> inputs.(i)
+        | Gate (kind, args) -> eval_gate kind (List.map (fun a -> values.(a)) args)
+        | Bb_out { bb; port } -> List.nth (Lazy.force box_results.(bb)) port))
+    t.nodes;
+  Array.of_list (List.map (fun s -> values.(s)) t.outputs)
+
+let eval t inputs =
+  if not (is_complete t) then invalid_arg "Netlist.eval: netlist has black boxes";
+  eval_with_boxes t ~box_fn:(fun _ _ -> assert false) inputs
+
+let counts t =
+  let gates =
+    Array.fold_left (fun acc n -> match n with Gate _ -> acc + 1 | _ -> acc) 0 t.nodes
+  in
+  (gates, Array.length t.boxes)
+
+module Builder = struct
+  type netlist_t = t
+
+  type t = {
+    name : string;
+    mutable rev_nodes : node list;
+    mutable num_nodes : int;
+    mutable num_inputs : int;
+    mutable rev_boxes : blackbox list;
+    mutable num_boxes : int;
+  }
+
+  let create name =
+    { name; rev_nodes = []; num_nodes = 0; num_inputs = 0; rev_boxes = []; num_boxes = 0 }
+
+  let add b node =
+    let s = b.num_nodes in
+    b.rev_nodes <- node :: b.rev_nodes;
+    b.num_nodes <- s + 1;
+    s
+
+  let input b =
+    let i = b.num_inputs in
+    b.num_inputs <- i + 1;
+    add b (Input i)
+
+  let inputs b n = List.init n (fun _ -> input b)
+
+  let gate b kind args =
+    (match (kind, args) with
+    | (Not | Buf), [ _ ] -> ()
+    | (Not | Buf), _ -> invalid_arg "Builder.gate: Not/Buf need exactly one fanin"
+    | _, [] -> invalid_arg "Builder.gate: empty fanin"
+    | _ -> ());
+    List.iter (fun a -> if a < 0 || a >= b.num_nodes then invalid_arg "Builder.gate: bad signal") args;
+    add b (Gate (kind, args))
+
+  let not_ b a = gate b Not [ a ]
+  let and2 b x y = gate b And [ x; y ]
+  let or2 b x y = gate b Or [ x; y ]
+  let xor2 b x y = gate b Xor [ x; y ]
+  let xnor2 b x y = gate b Xnor [ x; y ]
+
+  let black_box b ~inputs ~num_outputs =
+    List.iter (fun a -> if a < 0 || a >= b.num_nodes then invalid_arg "Builder.black_box") inputs;
+    let bb = b.num_boxes in
+    b.num_boxes <- bb + 1;
+    let outs = List.init num_outputs (fun port -> add b (Bb_out { bb; port })) in
+    b.rev_boxes <- { bb_inputs = inputs; bb_outputs = outs } :: b.rev_boxes;
+    outs
+
+  let build b ~outputs : netlist_t =
+    List.iter (fun s -> if s < 0 || s >= b.num_nodes then invalid_arg "Builder.build") outputs;
+    {
+      name = b.name;
+      num_inputs = b.num_inputs;
+      nodes = Array.of_list (List.rev b.rev_nodes);
+      outputs;
+      boxes = Array.of_list (List.rev b.rev_boxes);
+    }
+end

@@ -1,0 +1,128 @@
+module N = Netlist
+
+let encode ~spec ~impl =
+  if not (N.is_complete spec) then invalid_arg "Pec.encode: spec must be complete";
+  if spec.N.num_inputs <> impl.N.num_inputs then invalid_arg "Pec.encode: input arity mismatch";
+  if List.length spec.N.outputs <> List.length impl.N.outputs then
+    invalid_arg "Pec.encode: output arity mismatch";
+  let next = ref 0 in
+  let fresh () =
+    let v = !next in
+    incr next;
+    v
+  in
+  (* primary inputs *)
+  let x = Array.init spec.N.num_inputs (fun _ -> fresh ()) in
+  (* black-box input copies z and outputs y *)
+  let z_of = Hashtbl.create 16 in
+  Array.iteri
+    (fun i box ->
+      List.iteri (fun j _ -> Hashtbl.replace z_of (i, j) (fresh ())) box.N.bb_inputs)
+    impl.N.boxes;
+  let y_of = Hashtbl.create 16 in
+  Array.iteri
+    (fun i box ->
+      List.iteri (fun k _ -> Hashtbl.replace y_of (i, k) (fresh ())) box.N.bb_outputs)
+    impl.N.boxes;
+  let z_vars =
+    Array.to_list impl.N.boxes
+    |> List.mapi (fun i box -> List.mapi (fun j _ -> Hashtbl.find z_of (i, j)) box.N.bb_inputs)
+  in
+  let univs = Array.to_list x @ List.concat z_vars in
+  (* existential declarations: box outputs depend on their own z only *)
+  let y_decls =
+    Array.to_list impl.N.boxes
+    |> List.mapi (fun i box ->
+           let deps = List.mapi (fun j _ -> Hashtbl.find z_of (i, j)) box.N.bb_inputs in
+           List.mapi (fun k _ -> (Hashtbl.find y_of (i, k), deps)) box.N.bb_outputs)
+    |> List.concat
+  in
+  (* Tseitin machinery over DIMACS literals *)
+  let clauses = ref [] in
+  let aux_vars = ref [] in
+  let emit c = clauses := c :: !clauses in
+  let fresh_aux () =
+    let v = fresh () in
+    aux_vars := v :: !aux_vars;
+    v
+  in
+  let pos v = v + 1 in
+  let and2 a b =
+    let g = pos (fresh_aux ()) in
+    emit [ -g; a ];
+    emit [ -g; b ];
+    emit [ g; -a; -b ];
+    g
+  in
+  let or2 a b = -and2 (-a) (-b) in
+  let xor2 a b =
+    let g = pos (fresh_aux ()) in
+    emit [ -g; a; b ];
+    emit [ -g; -a; -b ];
+    emit [ g; -a; b ];
+    emit [ g; a; -b ];
+    g
+  in
+  let xnor2 a b = -xor2 a b in
+  let chain op = function
+    | [] -> invalid_arg "Pec: empty gate"
+    | l :: rest -> List.fold_left op l rest
+  in
+  let and_list = function [] -> None | l -> Some (chain and2 l) in
+  let gate_lit kind args =
+    match (kind, args) with
+    | N.And, _ -> chain and2 args
+    | N.Or, _ -> chain or2 args
+    | N.Nand, _ -> -chain and2 args
+    | N.Nor, _ -> -chain or2 args
+    | N.Xor, _ -> chain xor2 args
+    | N.Xnor, _ -> -chain xor2 args
+    | N.Not, [ a ] -> -a
+    | N.Buf, [ a ] -> a
+    | (N.Not | N.Buf), _ -> invalid_arg "Pec: bad arity"
+  in
+  let signal_lits (net : N.t) ~bb_out =
+    let lits = Array.make (Array.length net.N.nodes) 0 in
+    Array.iteri
+      (fun s node ->
+        lits.(s) <-
+          (match node with
+          | N.Input i -> pos x.(i)
+          | N.Gate (kind, args) -> gate_lit kind (List.map (fun a -> lits.(a)) args)
+          | N.Bb_out { bb; port } -> bb_out bb port))
+      net.N.nodes;
+    lits
+  in
+  let impl_lits = signal_lits impl ~bb_out:(fun i k -> pos (Hashtbl.find y_of (i, k))) in
+  let spec_lits = signal_lits spec ~bb_out:(fun _ _ -> assert false) in
+  (* premise: every z equals the signal driving the corresponding box input *)
+  let premise_terms =
+    Array.to_list impl.N.boxes
+    |> List.mapi (fun i box ->
+           List.mapi
+             (fun j sig_ -> xnor2 (pos (Hashtbl.find z_of (i, j))) impl_lits.(sig_))
+             box.N.bb_inputs)
+    |> List.concat
+  in
+  let conclusion_terms =
+    List.map2 (fun a b -> xnor2 impl_lits.(a) spec_lits.(b)) impl.N.outputs spec.N.outputs
+  in
+  let conclusion =
+    match and_list conclusion_terms with Some c -> c | None -> invalid_arg "Pec: no outputs"
+  in
+  let matrix =
+    match and_list premise_terms with
+    | None -> conclusion (* no boxes: plain equivalence *)
+    | Some premise -> or2 (-premise) conclusion
+  in
+  emit [ matrix ];
+  let all_univ_deps = univs in
+  let exists =
+    y_decls @ List.map (fun v -> (v, all_univ_deps)) (List.rev !aux_vars)
+  in
+  {
+    Dqbf.Pcnf.num_vars = !next;
+    univs;
+    exists;
+    clauses = List.rev !clauses;
+  }

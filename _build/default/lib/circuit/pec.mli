@@ -1,0 +1,19 @@
+(** Partial equivalence checking (PEC) to DQBF, the encoding of Gitina et
+    al. (ICCD 2013) used by the paper's benchmark set.
+
+    Given a complete specification and an implementation containing black
+    boxes, realizability — "can the boxes be implemented so that the
+    design matches the spec?" — becomes the DQBF
+
+    forall x (primary inputs) forall z (copies of the box input signals)
+    exists y_i(z_i) (box outputs, each depending only on its own box's
+    inputs): (z = driving logic(x, y)) -> (impl(x, y) = spec(x))
+
+    The matrix is Tseitin-encoded with 2-input AND/XOR gates so that the
+    CNF preprocessor's gate detection faces exactly the structure it
+    expects. With two or more boxes observing incomparable signal sets the
+    result is genuinely non-QBF (Theorem 4). *)
+
+val encode : spec:Netlist.t -> impl:Netlist.t -> Dqbf.Pcnf.t
+(** @raise Invalid_argument if [spec] is incomplete, or the interfaces
+    (input/output counts) disagree. *)

@@ -1,0 +1,277 @@
+open Hqs_util
+module M = Aig.Man
+module F = Dqbf.Formula
+
+type verdict = Sat | Unsat
+type mode = Elimination | Expand_all
+type qbf_backend = Elim_backend | Search_backend
+
+type config = {
+  preprocess : Dqbf.Preprocess.config;
+  mode : mode;
+  use_unitpure : bool;
+  use_thm2 : bool;
+  use_maxsat : bool;
+  use_fraig : bool;
+  fraig_threshold : int;
+  use_sat_probe : bool;
+  node_limit : int option;
+  qbf : Qbf.Solver.config;
+  qbf_backend : qbf_backend;
+}
+
+let default_config =
+  {
+    preprocess = Dqbf.Preprocess.default_config;
+    mode = Elimination;
+    use_unitpure = true;
+    use_thm2 = true;
+    use_maxsat = true;
+    use_fraig = true;
+    fraig_threshold = 50000;
+    use_sat_probe = false;
+    node_limit = None;
+    qbf = Qbf.Solver.default_config;
+    qbf_backend = Elim_backend;
+  }
+
+type stats = {
+  mutable pre_stats : Dqbf.Preprocess.stats option;
+  mutable univ_elims : int;
+  mutable exist_elims : int;
+  mutable unitpure_elims : int;
+  mutable maxsat_runs : int;
+  mutable maxsat_set_size : int;
+  mutable maxsat_time : float;
+  mutable unitpure_time : float;
+  mutable qbf_time : float;
+  mutable peak_nodes : int;
+  mutable total_time : float;
+}
+
+let fresh_stats () =
+  {
+    pre_stats = None;
+    univ_elims = 0;
+    exist_elims = 0;
+    unitpure_elims = 0;
+    maxsat_runs = 0;
+    maxsat_set_size = 0;
+    maxsat_time = 0.0;
+    unitpure_time = 0.0;
+    qbf_time = 0.0;
+    peak_nodes = 0;
+    total_time = 0.0;
+  }
+
+exception Done of verdict
+
+let sat_probe ~budget f =
+  (* if the matrix alone is unsatisfiable, no Skolem functions exist *)
+  let solver = Sat.Solver.create () in
+  let enc = Aig.Cnf_enc.create solver in
+  let out = Aig.Cnf_enc.sat_lit (F.man f) enc (F.matrix f) in
+  Sat.Solver.add_clause solver [ out ];
+  match Sat.Solver.solve ~budget ~conflict_limit:20000 solver with
+  | Sat.Solver.Unsat -> raise (Done Unsat)
+  | Sat.Solver.Sat | Sat.Solver.Unknown -> ()
+
+let solve_impl ~config ~budget ~trail f0 =
+  let t_start = Budget.now () in
+  let stats = fresh_stats () in
+  let f = F.copy f0 in
+  M.set_node_limit (F.man f) config.node_limit;
+  let queue = ref [] in
+  let last_size = ref (M.num_nodes (F.man f)) in
+  let fraig_floor = ref 0 in
+  let note_size () = stats.peak_nodes <- max stats.peak_nodes (M.num_nodes (F.man f)) in
+  let compact_or_fraig () =
+    note_size ();
+    let cone = M.cone_size (F.man f) (F.matrix f) in
+    if config.use_fraig && cone > config.fraig_threshold && cone > 2 * !fraig_floor then begin
+      (* time-boxed sweep: on a local timeout keep the unreduced matrix *)
+      let sweep_budget = Budget.of_seconds (min 2.0 (0.2 *. Budget.remaining budget)) in
+      match Aig.Fraig.reduce ~budget:sweep_budget (F.man f) [ F.matrix f ] with
+      | man, roots ->
+          F.replace_man f man (List.hd roots);
+          last_size := M.num_nodes man;
+          fraig_floor := M.cone_size man (F.matrix f)
+      | exception Budget.Timeout when not (Budget.expired budget) -> fraig_floor := cone
+    end
+    else if M.num_nodes (F.man f) > (2 * !last_size) + 1024 then begin
+      let man, roots = M.compact (F.man f) [ F.matrix f ] in
+      F.replace_man f man (List.hd roots);
+      last_size := M.num_nodes man
+    end
+  in
+  let refill_queue () =
+    let t0 = Budget.now () in
+    let set =
+      match config.mode with
+      | Expand_all -> Bitset.to_list (F.universals f)
+      | Elimination ->
+          if config.use_maxsat then Dqbf.Elimset.minimum_set ~budget f
+          else Dqbf.Elimset.greedy_all f
+    in
+    stats.maxsat_time <- stats.maxsat_time +. (Budget.now () -. t0);
+    stats.maxsat_runs <- stats.maxsat_runs + 1;
+    if stats.maxsat_runs = 1 then stats.maxsat_set_size <- List.length set;
+    queue := Dqbf.Elimset.ordered_queue f set
+  in
+  let verdict =
+    try
+      if config.use_sat_probe then sat_probe ~budget f;
+      let continue_ = ref true in
+      while !continue_ do
+        Budget.check budget;
+        note_size ();
+        if M.is_true (F.matrix f) then raise (Done Sat);
+        if M.is_false (F.matrix f) then raise (Done Unsat);
+        Dqbf.Elim.prune_prefix ?trail f;
+        (* unit / pure elimination (Theorems 5-6) *)
+        let eliminated_up =
+          if not config.use_unitpure then false
+          else begin
+            let t0 = Budget.now () in
+            let r = Dqbf.Elim.unit_pure_round ?trail f in
+            stats.unitpure_time <- stats.unitpure_time +. (Budget.now () -. t0);
+            match r with
+            | `Unsat -> raise (Done Unsat)
+            | `Eliminated n ->
+                stats.unitpure_elims <- stats.unitpure_elims + n;
+                true
+            | `None -> false
+          end
+        in
+        if not eliminated_up then begin
+          let must_linearize =
+            match config.mode with
+            | Elimination -> not (Dqbf.Depgraph.is_acyclic f)
+            | Expand_all -> not (Bitset.is_empty (F.universals f))
+          in
+          if must_linearize then begin
+            (* Theorem 2 on fully-dependent existentials, then one
+               universal elimination (Theorem 1) *)
+            if config.use_thm2 then begin
+              let k = Dqbf.Elim.eliminate_full_existentials ?trail f in
+              stats.exist_elims <- stats.exist_elims + k
+            end;
+            if not (M.is_const (F.matrix f)) then begin
+              let rec next_univ () =
+                match !queue with
+                | x :: rest ->
+                    queue := rest;
+                    if F.is_universal f x then Some x else next_univ ()
+                | [] -> None
+              in
+              let x =
+                match next_univ () with
+                | Some x -> Some x
+                | None ->
+                    refill_queue ();
+                    next_univ ()
+              in
+              match x with
+              | Some x ->
+                  Dqbf.Elim.universal ?trail f x;
+                  stats.univ_elims <- stats.univ_elims + 1;
+                  compact_or_fraig ()
+              | None ->
+                  (* no universal left to eliminate; the dependency graph
+                     must be acyclic now *)
+                  assert (Dqbf.Depgraph.is_acyclic f)
+            end
+          end
+          else begin
+            (* linear prefix: hand over to the QBF back end *)
+            match Dqbf.Depgraph.qbf_prefix f with
+            | None -> assert false
+            | Some prefix ->
+                let t0 = Budget.now () in
+                let answer =
+                  match config.qbf_backend with
+                  | Elim_backend ->
+                      let on_define =
+                        Option.map
+                          (fun trail y man fn -> Dqbf.Model_trail.record_def trail man y fn)
+                          trail
+                      in
+                      Qbf.Solver.solve ~config:config.qbf ~budget ?on_define (F.man f)
+                        (F.matrix f) prefix
+                  | Search_backend ->
+                      let on_model =
+                        Option.map
+                          (fun trail mman defs ->
+                            List.iter
+                              (fun (y, fn) -> Dqbf.Model_trail.record_def trail mman y fn)
+                              defs)
+                          trail
+                      in
+                      Qbf.Qdpll.solve ~budget ?on_model (F.man f) (F.matrix f) prefix
+                in
+                stats.qbf_time <- stats.qbf_time +. (Budget.now () -. t0);
+                raise (Done (if answer then Sat else Unsat))
+          end
+        end
+      done;
+      assert false
+    with Done v -> v
+  in
+  (* remaining existentials (if any) are don't-cares on a SAT verdict *)
+  (match (verdict, trail) with
+  | Sat, Some trail ->
+      List.iter (fun (y, _) -> Dqbf.Model_trail.record_const trail y false) (F.existentials f)
+  | _ -> ());
+  stats.total_time <- Budget.now () -. t_start;
+  (verdict, stats)
+
+let solve_formula ?(config = default_config) ?(budget = Budget.unlimited) f0 =
+  solve_impl ~config ~budget ~trail:None f0
+
+let solve_formula_model ?(config = default_config) ?(budget = Budget.unlimited) f0 =
+  let trail = Dqbf.Model_trail.create () in
+  let verdict, stats = solve_impl ~config ~budget ~trail:(Some trail) f0 in
+  let model =
+    match verdict with
+    | Unsat -> None
+    | Sat ->
+        let skolem = Dqbf.Model_trail.reconstruct trail in
+        Some (Dqbf.Skolem.restrict skolem ~keep:(Dqbf.Formula.is_existential f0))
+  in
+  (verdict, model, stats)
+
+let solve_pcnf ?(config = default_config) ?budget pcnf =
+  match Dqbf.Preprocess.run ~config:config.preprocess ?node_limit:config.node_limit pcnf with
+  | Dqbf.Preprocess.Unsat ->
+      let stats = fresh_stats () in
+      (Unsat, stats)
+  | Dqbf.Preprocess.Formula (f, pre) ->
+      let verdict, stats = solve_formula ~config ?budget f in
+      stats.pre_stats <- Some pre;
+      (verdict, stats)
+
+let solve_pcnf_model ?(config = default_config) ?(budget = Budget.unlimited) pcnf =
+  let trail = Dqbf.Model_trail.create () in
+  match
+    Dqbf.Preprocess.run ~config:config.preprocess ?node_limit:config.node_limit ~trail pcnf
+  with
+  | Dqbf.Preprocess.Unsat -> (Unsat, None, fresh_stats ())
+  | Dqbf.Preprocess.Formula (f, pre) ->
+      let verdict, stats = solve_impl ~config ~budget ~trail:(Some trail) f in
+      stats.pre_stats <- Some pre;
+      let model =
+        match verdict with
+        | Unsat -> None
+        | Sat ->
+            let skolem = Dqbf.Model_trail.reconstruct trail in
+            let declared = Hqs_util.Bitset.of_list (List.map fst pcnf.Dqbf.Pcnf.exists) in
+            Some (Dqbf.Skolem.restrict skolem ~keep:(fun y -> Hqs_util.Bitset.mem y declared))
+      in
+      (verdict, model, stats)
+
+let pp_stats fmt s =
+  Format.fprintf fmt
+    "univ-elims=%d exist-elims=%d unit/pure=%d maxsat-set=%d maxsat-time=%.3fs \
+     unitpure-time=%.3fs qbf-time=%.3fs peak-nodes=%d total=%.3fs"
+    s.univ_elims s.exist_elims s.unitpure_elims s.maxsat_set_size s.maxsat_time s.unitpure_time
+    s.qbf_time s.peak_nodes s.total_time

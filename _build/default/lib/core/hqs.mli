@@ -1,0 +1,86 @@
+(** HQS — the paper's solver (Fig. 3): decide a DQBF by eliminating a
+    minimum set of universal variables (chosen by partial MaxSAT over the
+    dependency graph) until the prefix is linearly orderable, then hand the
+    AIG to the QBF back end.
+
+    The main loop interleaves, exactly as in the paper:
+    - unit/pure detection on the AIG (Theorems 5-6),
+    - elimination of existentials depending on all universals (Theorem 2),
+    - elimination of the next queued universal variable (Theorem 1),
+      cheapest first (fewest existential copies),
+    - FRAIG compaction when the graph grows. *)
+
+type verdict = Sat | Unsat
+
+type mode =
+  | Elimination  (** the paper's strategy: make the prefix QBF-expressible *)
+  | Expand_all
+      (** the ICCD'13 baseline ([10]): eliminate every universal variable
+          and finish with a SAT call *)
+
+type qbf_backend =
+  | Elim_backend  (** AIG elimination, the AIGSOLVE role (default) *)
+  | Search_backend  (** clause-level QDPLL search, the DepQBF role *)
+
+type config = {
+  preprocess : Dqbf.Preprocess.config;
+  mode : mode;
+  use_unitpure : bool;
+  use_thm2 : bool;  (** eliminate existentials with full dependency sets *)
+  use_maxsat : bool;  (** false: eliminate all difference variables (greedy) *)
+  use_fraig : bool;
+  fraig_threshold : int;
+  use_sat_probe : bool;
+      (** one up-front SAT call on the matrix: if the matrix alone is
+          unsatisfiable, so is the DQBF (the improvement sketched in the
+          paper's Section IV discussion of iDQ's cheap refutations) *)
+  node_limit : int option;  (** memout emulation *)
+  qbf : Qbf.Solver.config;
+  qbf_backend : qbf_backend;
+}
+
+val default_config : config
+
+type stats = {
+  mutable pre_stats : Dqbf.Preprocess.stats option;
+  mutable univ_elims : int;
+  mutable exist_elims : int;
+  mutable unitpure_elims : int;
+  mutable maxsat_runs : int;
+  mutable maxsat_set_size : int;  (** size of the first elimination set *)
+  mutable maxsat_time : float;
+  mutable unitpure_time : float;
+  mutable qbf_time : float;
+  mutable peak_nodes : int;
+  mutable total_time : float;
+}
+
+val solve_formula :
+  ?config:config -> ?budget:Hqs_util.Budget.t -> Dqbf.Formula.t -> verdict * stats
+(** Decides the DQBF. The input formula is copied, not mutated.
+    @raise Hqs_util.Budget.Timeout on deadline.
+    @raise Hqs_util.Budget.Out_of_memory_budget when the node limit is hit. *)
+
+val solve_pcnf :
+  ?config:config -> ?budget:Hqs_util.Budget.t -> Dqbf.Pcnf.t -> verdict * stats
+(** Full pipeline from a prefixed CNF, including CNF preprocessing. *)
+
+val solve_formula_model :
+  ?config:config ->
+  ?budget:Hqs_util.Budget.t ->
+  Dqbf.Formula.t ->
+  verdict * Dqbf.Skolem.t option * stats
+(** Like {!solve_formula}, additionally reconstructing Skolem functions
+    (Definition 2) on a [Sat] verdict. The model covers exactly the
+    formula's existential variables and can be checked independently with
+    {!Dqbf.Skolem.verify}. *)
+
+val solve_pcnf_model :
+  ?config:config ->
+  ?budget:Hqs_util.Budget.t ->
+  Dqbf.Pcnf.t ->
+  verdict * Dqbf.Skolem.t option * stats
+(** Like {!solve_pcnf} with Skolem reconstruction; preprocessing steps
+    (units, equivalences, gate substitutions) are folded into the model. *)
+
+val pp_stats : Format.formatter -> stats -> unit

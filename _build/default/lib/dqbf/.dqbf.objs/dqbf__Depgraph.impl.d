@@ -1,0 +1,1 @@
+lib/dqbf/depgraph.ml: Bitset Formula Hqs_util List Qbf

@@ -1,0 +1,1 @@
+lib/dqbf/depgraph.mli: Formula Qbf

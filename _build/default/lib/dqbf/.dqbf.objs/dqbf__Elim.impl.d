@@ -1,0 +1,1 @@
+lib/dqbf/elim.ml: Aig Bitset Formula Hashtbl Hqs_util List Model_trail Option

@@ -1,0 +1,1 @@
+lib/dqbf/elim.mli: Formula Model_trail

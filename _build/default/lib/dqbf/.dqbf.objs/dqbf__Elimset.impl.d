@@ -1,0 +1,1 @@
+lib/dqbf/elimset.ml: Array Bitset Depgraph Formula Hashtbl Hqs_util List Maxsat Sat

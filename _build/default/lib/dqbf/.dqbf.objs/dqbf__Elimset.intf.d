@@ -1,0 +1,1 @@
+lib/dqbf/elimset.mli: Formula Hqs_util

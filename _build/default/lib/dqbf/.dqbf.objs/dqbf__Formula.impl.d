@@ -1,0 +1,1 @@
+lib/dqbf/formula.ml: Aig Bitset Format Hashtbl Hqs_util List

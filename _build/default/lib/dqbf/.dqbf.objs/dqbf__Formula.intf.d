@@ -1,0 +1,1 @@
+lib/dqbf/formula.mli: Aig Format Hqs_util

@@ -1,0 +1,1 @@
+lib/dqbf/model_trail.ml: Aig Hashtbl List Skolem

@@ -1,0 +1,1 @@
+lib/dqbf/model_trail.mli: Aig Skolem

@@ -1,0 +1,1 @@
+lib/dqbf/pcnf.ml: Aig Buffer Formula Hashtbl Hqs_util List Printf String

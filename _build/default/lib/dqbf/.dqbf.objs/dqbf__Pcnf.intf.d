@@ -1,0 +1,1 @@
+lib/dqbf/pcnf.mli: Formula

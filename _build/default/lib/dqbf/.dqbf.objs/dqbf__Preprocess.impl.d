@@ -1,0 +1,1 @@
+lib/dqbf/preprocess.ml: Aig Bitset Formula Fun Hashtbl Hqs_util List Model_trail Option Pcnf Sat

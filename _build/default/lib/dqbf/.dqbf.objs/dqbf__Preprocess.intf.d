@@ -1,0 +1,1 @@
+lib/dqbf/preprocess.mli: Formula Model_trail Pcnf

@@ -1,0 +1,1 @@
+lib/dqbf/reference.ml: Aig Bitset Budget Formula Hashtbl Hqs_util List Sat

@@ -1,0 +1,1 @@
+lib/dqbf/reference.mli: Formula Hqs_util

@@ -1,0 +1,1 @@
+lib/dqbf/skolem.ml: Aig Bitset Budget Format Formula Hashtbl Hqs_util List Sat

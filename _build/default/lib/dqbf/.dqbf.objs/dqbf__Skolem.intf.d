@@ -1,0 +1,1 @@
+lib/dqbf/skolem.mli: Aig Format Formula Hqs_util

@@ -1,0 +1,61 @@
+open Hqs_util
+
+let edges f =
+  let exs = Formula.existentials f in
+  List.concat_map
+    (fun (y, dy) ->
+      List.filter_map
+        (fun (y', dy') ->
+          if y <> y' && not (Bitset.subset dy dy') then Some (y, y') else None)
+        exs)
+    exs
+
+let incomparable_pairs f =
+  let exs = Formula.existentials f in
+  let rec loop acc = function
+    | [] -> List.rev acc
+    | (y, dy) :: rest ->
+        let acc =
+          List.fold_left
+            (fun acc (y', dy') ->
+              if (not (Bitset.subset dy dy')) && not (Bitset.subset dy' dy) then (y, y') :: acc
+              else acc)
+            acc rest
+        in
+        loop acc rest
+  in
+  loop [] exs
+
+let is_acyclic f = incomparable_pairs f = []
+
+let qbf_prefix f =
+  (* group existentials by dependency set, order by cardinality, check the
+     chain property, then interleave universal blocks *)
+  let groups : (Bitset.t * int list ref) list ref = ref [] in
+  List.iter
+    (fun (y, d) ->
+      match List.find_opt (fun (d', _) -> Bitset.equal d d') !groups with
+      | Some (_, l) -> l := y :: !l
+      | None -> groups := (d, ref [ y ]) :: !groups)
+    (Formula.existentials f);
+  let groups =
+    List.sort (fun (d1, _) (d2, _) -> compare (Bitset.cardinal d1) (Bitset.cardinal d2)) !groups
+  in
+  let rec chain_ok = function
+    | (d1, _) :: ((d2, _) :: _ as rest) -> Bitset.subset d1 d2 && chain_ok rest
+    | [ _ ] | [] -> true
+  in
+  if not (chain_ok groups) then None
+  else begin
+    let blocks = ref [] in
+    let placed = ref Bitset.empty in
+    List.iter
+      (fun (d, ys) ->
+        let fresh_univs = Bitset.diff d !placed in
+        placed := Bitset.union !placed fresh_univs;
+        blocks := (Qbf.Prefix.Exists, List.rev !ys) :: (Qbf.Prefix.Forall, Bitset.to_list fresh_univs) :: !blocks)
+      groups;
+    let rest = Bitset.diff (Formula.universals f) !placed in
+    blocks := (Qbf.Prefix.Forall, Bitset.to_list rest) :: !blocks;
+    Some (Qbf.Prefix.normalize (List.rev !blocks))
+  end

@@ -1,0 +1,111 @@
+open Hqs_util
+module M = Aig.Man
+module UP = Aig.Unitpure
+
+let universal ?trail f x =
+  if not (Formula.is_universal f x) then invalid_arg "Dqbf.Elim.universal";
+  let man = Formula.man f in
+  let matrix = Formula.matrix f in
+  let e_x = List.filter (fun (_, d) -> Bitset.mem x d) (Formula.existentials f) in
+  let phi0 = M.cofactor man matrix ~var:x ~value:false in
+  let phi1 = M.cofactor man matrix ~var:x ~value:true in
+  (* fresh primed copy of every existential that depends on x *)
+  let copies = List.map (fun (y, _) -> (y, Formula.fresh_var f)) e_x in
+  let subst = Hashtbl.create 16 in
+  List.iter (fun (y, y') -> Hashtbl.replace subst y (M.input man y')) copies;
+  let phi1' = M.compose man phi1 (Hashtbl.find_opt subst) in
+  Formula.set_matrix f (M.mk_and man phi0 phi1');
+  Formula.remove_universal f x;
+  (* dependency sets already lost x; register the copies with the same sets *)
+  List.iter (fun (y, y') -> Formula.add_existential f y' ~deps:(Formula.deps f y)) copies;
+  (* the original s_y is s_y(x=0) when x=0 and s_y'(x=1) when x=1 *)
+  Option.iter
+    (fun trail -> List.iter (fun (y, y') -> Model_trail.record_ite trail ~y ~x ~y1:y') copies)
+    trail
+
+let existential ?trail f y =
+  let deps = try Formula.deps f y with Not_found -> invalid_arg "Dqbf.Elim.existential" in
+  if not (Bitset.equal deps (Formula.universals f)) then
+    invalid_arg "Dqbf.Elim.existential: dependency set is not the full universal set";
+  let man = Formula.man f in
+  let matrix = Formula.matrix f in
+  let phi0 = M.cofactor man matrix ~var:y ~value:false in
+  let phi1 = M.cofactor man matrix ~var:y ~value:true in
+  (* choice function: pick 1 exactly when phi[1/y] holds *)
+  Option.iter (fun trail -> Model_trail.record_def trail man y phi1) trail;
+  Formula.set_matrix f (M.mk_or man phi0 phi1);
+  Formula.remove_existential f y
+
+let eliminate_full_existentials ?trail f =
+  let count = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    let support = M.support (Formula.man f) (Formula.matrix f) in
+    let eligible =
+      List.filter
+        (fun (y, d) -> Bitset.mem y support && Bitset.equal d (Formula.universals f))
+        (Formula.existentials f)
+    in
+    match eligible with
+    | [] -> continue_ := false
+    | l ->
+        List.iter
+          (fun (y, _) ->
+            existential ?trail f y;
+            incr count)
+          l
+  done;
+  !count
+
+let unit_pure_round ?trail f =
+  let man = Formula.man f in
+  let scans = UP.scan man (Formula.matrix f) in
+  let subst : (int, M.lit) Hashtbl.t = Hashtbl.create 8 in
+  let unsat = ref false in
+  let assign_exists v value =
+    Hashtbl.replace subst v (if value then M.true_ else M.false_);
+    Option.iter (fun trail -> Model_trail.record_const trail v value) trail
+  in
+  List.iter
+    (fun (v, st) ->
+      if not !unsat then begin
+        if Formula.is_universal f v then begin
+          if st.UP.pos_unit || st.UP.neg_unit then unsat := true
+          else if st.UP.pos_pure then Hashtbl.replace subst v M.false_
+          else if st.UP.neg_pure then Hashtbl.replace subst v M.true_
+        end
+        else if Formula.is_existential f v then begin
+          if st.UP.pos_unit && st.UP.neg_unit then unsat := true
+          else if st.UP.pos_unit || st.UP.pos_pure then assign_exists v true
+          else if st.UP.neg_unit || st.UP.neg_pure then assign_exists v false
+        end
+      end)
+    scans;
+  if !unsat then begin
+    Formula.set_matrix f M.false_;
+    `Unsat
+  end
+  else if Hashtbl.length subst = 0 then `None
+  else begin
+    Formula.set_matrix f (M.compose man (Formula.matrix f) (Hashtbl.find_opt subst));
+    (* the substituted variables left the support; prune them from the prefix *)
+    Hashtbl.iter
+      (fun v _ ->
+        if Formula.is_universal f v then Formula.remove_universal f v
+        else Formula.remove_existential f v)
+      subst;
+    `Eliminated (Hashtbl.length subst)
+  end
+
+let prune_prefix ?trail f =
+  let support = M.support (Formula.man f) (Formula.matrix f) in
+  Bitset.iter
+    (fun x -> if not (Bitset.mem x support) then Formula.remove_universal f x)
+    (Formula.universals f);
+  List.iter
+    (fun (y, _) ->
+      if not (Bitset.mem y support) then begin
+        Option.iter (fun trail -> Model_trail.record_const trail y false) trail;
+        Formula.remove_existential f y
+      end)
+    (Formula.existentials f)

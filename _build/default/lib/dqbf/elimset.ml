@@ -1,0 +1,68 @@
+open Hqs_util
+module L = Sat.Lit
+
+(* deduplicated (D_y \ D_y', D_y' \ D_y) pairs over incomparable pairs *)
+let incomparable_diffs f =
+  let seen = Hashtbl.create 64 in
+  List.filter_map
+    (fun (y, y') ->
+      let dy = Formula.deps f y and dy' = Formula.deps f y' in
+      let d1 = Bitset.diff dy dy' and d2 = Bitset.diff dy' dy in
+      let d1, d2 = if Bitset.compare d1 d2 <= 0 then (d1, d2) else (d2, d1) in
+      let key = (d1, d2) in
+      if Hashtbl.mem seen key then None
+      else begin
+        Hashtbl.add seen key ();
+        Some (d1, d2)
+      end)
+    (Depgraph.incomparable_pairs f)
+
+let minimum_set ?budget f =
+  let pairs = incomparable_diffs f in
+  if pairs = [] then []
+  else begin
+    (* MaxSAT variables: one per universal (the "hat" variables), then
+       selectors allocated after them *)
+    let univs = Bitset.to_list (Formula.universals f) in
+    let index = Hashtbl.create 16 in
+    List.iteri (fun i x -> Hashtbl.replace index x i) univs;
+    let n_univ = List.length univs in
+    let next = ref n_univ in
+    let fresh () =
+      let v = !next in
+      incr next;
+      v
+    in
+    let hard = ref [] in
+    List.iter
+      (fun (d1, d2) ->
+        let s1 = fresh () and s2 = fresh () in
+        hard := [ L.of_var s1; L.of_var s2 ] :: !hard;
+        Bitset.iter
+          (fun x -> hard := [ L.neg (L.of_var s1); L.of_var (Hashtbl.find index x) ] :: !hard)
+          d1;
+        Bitset.iter
+          (fun x -> hard := [ L.neg (L.of_var s2); L.of_var (Hashtbl.find index x) ] :: !hard)
+          d2)
+      pairs;
+    let soft = List.map (fun x -> [ L.neg (L.of_var (Hashtbl.find index x)) ]) univs in
+    match Maxsat.Msolver.solve ?budget ~num_vars:!next ~hard:!hard ~soft () with
+    | None -> assert false (* the hard clauses are satisfiable: eliminate everything *)
+    | Some { model; _ } -> List.filter (fun x -> model.(Hashtbl.find index x)) univs
+  end
+
+let elimination_count f x =
+  List.fold_left
+    (fun acc (_, d) -> if Bitset.mem x d then acc + 1 else acc)
+    0 (Formula.existentials f)
+
+let ordered_queue f set =
+  let cost = List.map (fun x -> (elimination_count f x, x)) set in
+  List.map snd (List.sort compare cost)
+
+let greedy_all f =
+  let acc = ref Bitset.empty in
+  List.iter
+    (fun (d1, d2) -> acc := Bitset.union !acc (Bitset.union d1 d2))
+    (incomparable_diffs f);
+  Bitset.to_list !acc

@@ -1,0 +1,25 @@
+(** Minimum universal-elimination set via partial MaxSAT (Section III-A,
+    Equations 1-2 of the paper).
+
+    For every pair of existentials with incomparable dependency sets, a
+    hard constraint demands that one of the two set differences be
+    entirely eliminated; a soft unit clause per universal variable asks it
+    to be kept. The MaxSAT optimum is a minimum set of universal variables
+    whose elimination makes the dependency graph acyclic. *)
+
+val minimum_set : ?budget:Hqs_util.Budget.t -> Formula.t -> int list
+(** Universal variables to eliminate (unordered). Empty when the formula
+    is already QBF-expressible. *)
+
+val elimination_count : Formula.t -> int -> int
+(** |E_x|: the number of existentials depending on [x] — the number of
+    variable copies Theorem 1 would introduce. *)
+
+val ordered_queue : Formula.t -> int list -> int list
+(** Order an elimination set by ascending |E_x| (cheapest first), as the
+    paper does. *)
+
+val greedy_all : Formula.t -> int list
+(** Baseline strategy of Gitina et al. 2013 ([10]): every universal
+    variable that occurs in some incomparable pair's difference — no
+    MaxSAT minimization. Used for the ablation benchmark. *)

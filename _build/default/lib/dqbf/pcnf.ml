@@ -1,0 +1,138 @@
+type t = {
+  num_vars : int;
+  univs : int list;
+  exists : (int * int list) list;
+  clauses : int list list;
+}
+
+let tokenize s =
+  String.split_on_char '\n' s
+  |> List.filter (fun line ->
+         let line = String.trim line in
+         not (String.length line = 0 || line.[0] = 'c'))
+  |> List.map (fun line ->
+         String.split_on_char ' ' line
+         |> List.concat_map (String.split_on_char '\t')
+         |> List.filter (fun tok -> tok <> ""))
+
+let parse_string s =
+  let num_vars = ref 0 in
+  let univs = ref [] in
+  let exists = ref [] in
+  let clauses = ref [] in
+  let int_of tok = try int_of_string tok with _ -> failwith ("Dqdimacs: bad token " ^ tok) in
+  let var_of tok =
+    let i = int_of tok in
+    if i <= 0 then failwith "Dqdimacs: non-positive variable in prefix";
+    num_vars := max !num_vars i;
+    i - 1
+  in
+  let vars_of toks = List.filter_map (fun tok -> if int_of tok = 0 then None else Some (var_of tok)) toks in
+  List.iter
+    (fun line ->
+      match line with
+      | [] -> ()
+      | "p" :: "cnf" :: nv :: _ -> num_vars := max !num_vars (int_of nv)
+      | "a" :: rest -> univs := !univs @ vars_of rest
+      | "e" :: rest ->
+          let deps = !univs in
+          List.iter (fun v -> exists := !exists @ [ (v, deps) ]) (vars_of rest)
+      | "d" :: rest -> (
+          match vars_of rest with
+          | y :: deps -> exists := !exists @ [ (y, deps) ]
+          | [] -> failwith "Dqdimacs: empty d-line")
+      | toks ->
+          let current = ref [] in
+          List.iter
+            (fun tok ->
+              let i = int_of tok in
+              if i = 0 then begin
+                clauses := List.rev !current :: !clauses;
+                current := []
+              end
+              else begin
+                num_vars := max !num_vars (abs i);
+                current := i :: !current
+              end)
+            toks;
+          if !current <> [] then failwith "Dqdimacs: clause not terminated by 0")
+    (tokenize s);
+  { num_vars = !num_vars; univs = !univs; exists = !exists; clauses = List.rev !clauses }
+
+let parse_file path =
+  let ic = open_in path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  parse_string s
+
+let to_string { num_vars; univs; exists; clauses } =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "p cnf %d %d\n" num_vars (List.length clauses));
+  if univs <> [] then begin
+    Buffer.add_string buf "a";
+    List.iter (fun v -> Buffer.add_string buf (Printf.sprintf " %d" (v + 1))) univs;
+    Buffer.add_string buf " 0\n"
+  end;
+  List.iter
+    (fun (y, deps) ->
+      Buffer.add_string buf (Printf.sprintf "d %d" (y + 1));
+      List.iter (fun v -> Buffer.add_string buf (Printf.sprintf " %d" (v + 1))) deps;
+      Buffer.add_string buf " 0\n")
+    exists;
+  List.iter
+    (fun clause ->
+      List.iter (fun l -> Buffer.add_string buf (Printf.sprintf "%d " l)) clause;
+      Buffer.add_string buf "0\n")
+    clauses;
+  Buffer.contents buf
+
+let validate { num_vars; univs; exists; clauses } =
+  let seen = Hashtbl.create 64 in
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let check_var v = v >= 0 && v < num_vars in
+  let rec check_decls = function
+    | [] -> Ok ()
+    | v :: rest ->
+        if not (check_var v) then err "variable %d out of range" (v + 1)
+        else if Hashtbl.mem seen v then err "variable %d declared twice" (v + 1)
+        else begin
+          Hashtbl.add seen v ();
+          check_decls rest
+        end
+  in
+  match check_decls (univs @ List.map fst exists) with
+  | Error _ as e -> e
+  | Ok () ->
+      let univ_set = Hqs_util.Bitset.of_list univs in
+      let bad_dep =
+        List.find_opt
+          (fun (_, deps) -> List.exists (fun d -> not (Hqs_util.Bitset.mem d univ_set)) deps)
+          exists
+      in
+      (match bad_dep with
+      | Some (y, _) -> err "existential %d depends on a non-universal" (y + 1)
+      | None ->
+          if
+            List.exists
+              (fun clause -> List.exists (fun l -> l = 0 || not (check_var (abs l - 1))) clause)
+              clauses
+          then err "clause literal out of range"
+          else Ok ())
+
+let to_formula ?node_limit pcnf =
+  let f = Formula.create ?node_limit () in
+  List.iter (Formula.add_universal f) pcnf.univs;
+  List.iter
+    (fun (y, deps) -> Formula.add_existential f y ~deps:(Hqs_util.Bitset.of_list deps))
+    pcnf.exists;
+  (* undeclared variables: existential with empty dependencies *)
+  let declared = Hqs_util.Bitset.of_list (pcnf.univs @ List.map fst pcnf.exists) in
+  for v = 0 to pcnf.num_vars - 1 do
+    if not (Hqs_util.Bitset.mem v declared) then
+      Formula.add_existential f v ~deps:Hqs_util.Bitset.empty
+  done;
+  let man = Formula.man f in
+  let lit l = Aig.Man.apply_sign (Aig.Man.input man (abs l - 1)) ~neg:(l < 0) in
+  let clause_lit c = Aig.Man.mk_or_list man (List.map lit c) in
+  Formula.set_matrix f (Aig.Man.mk_and_list man (List.map clause_lit pcnf.clauses));
+  f

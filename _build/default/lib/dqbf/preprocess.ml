@@ -1,0 +1,569 @@
+open Hqs_util
+module L = Sat.Lit
+module M = Aig.Man
+
+type stats = { units : int; reduced_lits : int; equivs : int; gates : int; blocked : int }
+
+type config = {
+  unit_propagation : bool;
+  universal_reduction : bool;
+  equivalences : bool;
+  gate_detection : bool;
+  blocked_clauses : bool;
+}
+
+let default_config =
+  {
+    unit_propagation = true;
+    universal_reduction = true;
+    equivalences = true;
+    gate_detection = true;
+    blocked_clauses = false;
+  }
+
+let off =
+  {
+    unit_propagation = false;
+    universal_reduction = false;
+    equivalences = false;
+    gate_detection = false;
+    blocked_clauses = false;
+  }
+
+type outcome = Unsat | Formula of Formula.t * stats
+
+exception Refuted
+
+(* working state; literals use the MiniSat encoding of {!Sat.Lit} *)
+type state = {
+  trail : Model_trail.t option;
+  mutable univs : Bitset.t;
+  deps : (int, Bitset.t) Hashtbl.t; (* existential -> dependency set *)
+  mutable clauses : int list list;
+  mutable units : int;
+  mutable reduced_lits : int;
+  mutable equivs : int;
+  mutable gates : int;
+  mutable blocked : int;
+}
+
+let is_univ st v = Bitset.mem v st.univs
+let is_exist st v = Hashtbl.mem st.deps v
+
+(* --------------------------------------------------------- normalization *)
+
+(* sort, dedupe, detect tautologies (returns None) and empty clauses *)
+let normalize_clause clause =
+  let sorted = List.sort_uniq compare clause in
+  let rec taut = function
+    | a :: (b :: _ as rest) -> (L.var a = L.var b && a <> b) || taut rest
+    | [ _ ] | [] -> false
+  in
+  if taut sorted then None else Some sorted
+
+(* ------------------------------------------------------------ unit facts *)
+
+let apply_assignment st v value =
+  if is_exist st v then
+    Option.iter (fun trail -> Model_trail.record_const trail v value) st.trail;
+  let true_lit = L.mk v ~neg:(not value) in
+  let false_lit = L.neg true_lit in
+  st.clauses <-
+    List.filter_map
+      (fun clause ->
+        if List.mem true_lit clause then None
+        else Some (List.filter (fun l -> l <> false_lit) clause))
+      st.clauses;
+  if is_exist st v then Hashtbl.remove st.deps v
+  else st.univs <- Bitset.remove v st.univs
+
+(* -------------------------------------------------------------- one pass *)
+
+let universal_reduction st clause =
+  let needed u =
+    List.exists
+      (fun l ->
+        let y = L.var l in
+        is_exist st y && Bitset.mem u (Hashtbl.find st.deps y))
+      clause
+  in
+  let kept, dropped =
+    List.partition (fun l -> (not (is_univ st (L.var l))) || needed (L.var l)) clause
+  in
+  st.reduced_lits <- st.reduced_lits + List.length dropped;
+  (kept, dropped <> [])
+
+(* union-find over variables with parity: var ~ rep xor parity *)
+type uf = { parent : (int, int) Hashtbl.t; parity : (int, bool) Hashtbl.t }
+
+let uf_create () = { parent = Hashtbl.create 64; parity = Hashtbl.create 64 }
+
+let rec uf_find uf v =
+  match Hashtbl.find_opt uf.parent v with
+  | None -> (v, false)
+  | Some p ->
+      let root, par_p = uf_find uf p in
+      let par_v = Hashtbl.find uf.parity v <> par_p in
+      Hashtbl.replace uf.parent v root;
+      Hashtbl.replace uf.parity v par_v;
+      (root, par_v)
+
+(* declare v ~ w with the given relative parity; false = contradiction *)
+let uf_union uf v w ~opposite =
+  let rv, pv = uf_find uf v and rw, pw = uf_find uf w in
+  if rv = rw then pv <> pw = opposite
+  else begin
+    (* attach rv under rw *)
+    Hashtbl.replace uf.parent rv rw;
+    Hashtbl.replace uf.parity rv (pv <> pw <> opposite);
+    true
+  end
+
+let find_equivalences st =
+  (* binary clauses (a|b) and (!a|!b) together force a = !b *)
+  let binaries = Hashtbl.create 64 in
+  List.iter
+    (fun clause ->
+      match clause with
+      | [ a; b ] -> Hashtbl.replace binaries (min a b, max a b) ()
+      | _ -> ())
+    st.clauses;
+  let uf = uf_create () in
+  let contradictory = ref false in
+  Hashtbl.iter
+    (fun (a, b) () ->
+      let na = L.neg a and nb = L.neg b in
+      if Hashtbl.mem binaries (min na nb, max na nb) then begin
+        (* a = !b, i.e. var a ~ var b with parity (sign a = sign b) *)
+        let opposite = L.is_neg a = L.is_neg b in
+        if not (uf_union uf (L.var a) (L.var b) ~opposite) then contradictory := true
+      end)
+    binaries;
+  if !contradictory then raise Refuted;
+  uf
+
+let apply_equivalences st uf =
+  (* group variables by root *)
+  let classes : (int, (int * bool) list ref) Hashtbl.t = Hashtbl.create 64 in
+  let vars = Hashtbl.create 64 in
+  Hashtbl.iter (fun v _ -> Hashtbl.replace vars v ()) uf.parent;
+  Hashtbl.iter
+    (fun v () ->
+      let root, par = uf_find uf v in
+      if root <> v || Hashtbl.mem uf.parent v then begin
+        let cell =
+          match Hashtbl.find_opt classes root with
+          | Some c -> c
+          | None ->
+              let c = ref [] in
+              Hashtbl.add classes root c;
+              c
+        in
+        cell := (v, par) :: !cell
+      end)
+    vars;
+  (* substitution: var -> (rep, parity) *)
+  let subst : (int, int * bool) Hashtbl.t = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun root members ->
+      let members = !members in
+      let members =
+        if List.mem_assoc root members then members else (root, false) :: members
+      in
+      let members = List.filter (fun (v, _) -> is_univ st v || is_exist st v) members in
+      match members with
+      | [] | [ _ ] -> ()
+      | _ ->
+          let universals = List.filter (fun (v, _) -> is_univ st v) members in
+          (match universals with
+          | _ :: _ :: _ -> raise Refuted (* two universals forced equal *)
+          | [ (x, px) ] ->
+              List.iter
+                (fun (y, py) ->
+                  if y <> x then begin
+                    if not (Bitset.mem x (Hashtbl.find st.deps y)) then raise Refuted;
+                    Hashtbl.replace subst y (x, px <> py);
+                    Option.iter
+                      (fun trail -> Model_trail.record_literal trail y ~var:x ~neg:(px <> py))
+                      st.trail;
+                    Hashtbl.remove st.deps y;
+                    st.equivs <- st.equivs + 1
+                  end)
+                members
+          | [] ->
+              (* all existential: representative keeps the dependency
+                 intersection *)
+              let (rep, prep), rest =
+                match members with m :: rest -> (m, rest) | [] -> assert false
+              in
+              let inter =
+                List.fold_left
+                  (fun acc (y, _) -> Bitset.inter acc (Hashtbl.find st.deps y))
+                  (Hashtbl.find st.deps rep) rest
+              in
+              Hashtbl.replace st.deps rep inter;
+              List.iter
+                (fun (y, py) ->
+                  Hashtbl.replace subst y (rep, prep <> py);
+                  Option.iter
+                    (fun trail -> Model_trail.record_literal trail y ~var:rep ~neg:(prep <> py))
+                    st.trail;
+                  Hashtbl.remove st.deps y;
+                  st.equivs <- st.equivs + 1)
+                rest))
+    classes;
+  if Hashtbl.length subst = 0 then false
+  else begin
+    let map_lit l =
+      match Hashtbl.find_opt subst (L.var l) with
+      | None -> l
+      | Some (rep, opposite) -> L.apply_sign (L.of_var rep) ~neg:(L.is_neg l <> opposite)
+    in
+    st.clauses <- List.map (List.map map_lit) st.clauses;
+    true
+  end
+
+(* Blocked clause elimination, lifted to DQBF (Wimmer et al., SAT 2015):
+   a clause C is blocked by an existential literal l over y when every
+   clause C' containing the complement of l resolves tautologically on a
+   variable v whose dependencies are contained in D_y (universal v: v in
+   D_y; existential v: D_v subset of D_y). Removing C preserves
+   satisfiability: the Skolem function of y can be flipped on the region
+   where C would be falsified, and that region is observable from D_y.
+   Certification is not supported through this rule, so it is skipped
+   when a model trail is attached. *)
+let blocked_clause_elimination st =
+  let dep_below v y =
+    if is_univ st v then Bitset.mem v (Hashtbl.find st.deps y)
+    else if is_exist st v then Bitset.subset (Hashtbl.find st.deps v) (Hashtbl.find st.deps y)
+    else false
+  in
+  let changed = ref false in
+  let continue_ = ref true in
+  while !continue_ do
+    continue_ := false;
+    (* occurrence index for the current clause set *)
+    let occ : (int, int list list ref) Hashtbl.t = Hashtbl.create 256 in
+    List.iter
+      (fun clause ->
+        List.iter
+          (fun l ->
+            match Hashtbl.find_opt occ l with
+            | Some cell -> cell := clause :: !cell
+            | None -> Hashtbl.add occ l (ref [ clause ]))
+          clause)
+      st.clauses;
+    let resolves_taut y c c' =
+      List.exists
+        (fun k -> List.mem (L.neg k) c' && dep_below (L.var k) y)
+        c
+    in
+    let blocked clause =
+      List.exists
+        (fun l ->
+          let y = L.var l in
+          is_exist st y
+          && begin
+               let others = List.filter (fun k -> k <> l) clause in
+               let opposed =
+                 match Hashtbl.find_opt occ (L.neg l) with Some cell -> !cell | None -> []
+               in
+               List.for_all (fun c' -> resolves_taut y others c') opposed
+             end)
+        clause
+    in
+    let keep, drop = List.partition (fun c -> not (blocked c)) st.clauses in
+    if drop <> [] then begin
+      st.clauses <- keep;
+      st.blocked <- st.blocked + List.length drop;
+      changed := true;
+      continue_ := true
+    end
+  done;
+  !changed
+
+let pass config st =
+  let changed = ref false in
+  (* normalize + universal reduction *)
+  st.clauses <-
+    List.filter_map
+      (fun clause ->
+        match normalize_clause clause with
+        | None ->
+            changed := true;
+            None
+        | Some c ->
+            let c, reduced =
+              if config.universal_reduction then universal_reduction st c else (c, false)
+            in
+            if reduced then changed := true;
+            if c = [] then raise Refuted;
+            Some c)
+      st.clauses;
+  (* unit propagation *)
+  if config.unit_propagation then begin
+    let continue_ = ref true in
+    while !continue_ do
+      match List.find_opt (fun c -> match c with [ _ ] -> true | _ -> false) st.clauses with
+      | Some [ l ] ->
+          let v = L.var l in
+          if is_univ st v then raise Refuted;
+          apply_assignment st v (L.is_pos l);
+          st.units <- st.units + 1;
+          changed := true;
+          if List.exists (fun c -> c = []) st.clauses then raise Refuted
+      | _ -> continue_ := false
+    done
+  end;
+  (* equivalent variables *)
+  if config.equivalences then begin
+    let uf = find_equivalences st in
+    if apply_equivalences st uf then changed := true
+  end;
+  (* blocked clauses: sound for satisfiability but not certifying, so
+     only without a model trail *)
+  if config.blocked_clauses && st.trail = None then
+    if blocked_clause_elimination st then changed := true;
+  !changed
+
+(* -------------------------------------------------------- gate detection *)
+
+type gate_fn = G_and of int * int (* lits *) | G_xor of int * int
+
+type gate = { out_var : int; out_neg : bool; fn : gate_fn; def_clauses : int list list }
+
+let detect_gates st =
+  let clause_set = Hashtbl.create 256 in
+  List.iter (fun c -> Hashtbl.replace clause_set c ()) st.clauses;
+  let present c = Hashtbl.mem clause_set (List.sort_uniq compare c) in
+  let defined : (int, unit) Hashtbl.t = Hashtbl.create 32 in
+  let gates = ref [] in
+  (* dependency legality: substituting [out] by a function of [ins] *)
+  let legal out ins =
+    is_exist st out
+    && begin
+         let d_out = Hashtbl.find st.deps out in
+         List.for_all
+           (fun w ->
+             if w = out then false
+             else if is_univ st w then Bitset.mem w d_out
+             else if is_exist st w then Bitset.subset (Hashtbl.find st.deps w) d_out
+             else false)
+           ins
+       end
+  in
+  let consume gate =
+    if (not (Hashtbl.mem defined gate.out_var)) && List.for_all present gate.def_clauses
+    then begin
+      Hashtbl.add defined gate.out_var ();
+      gates := gate :: !gates
+    end
+  in
+  (* AND gates: ternary (p|q|r) + binaries (!p|!q) (!p|!r) gives p = !q & !r *)
+  List.iter
+    (fun clause ->
+      match clause with
+      | [ _; _; _ ] ->
+          List.iter
+            (fun p ->
+              let others = List.filter (fun l -> l <> p) clause in
+              match others with
+              | [ q; r ] ->
+                  if
+                    present [ L.neg p; L.neg q ]
+                    && present [ L.neg p; L.neg r ]
+                    && legal (L.var p) [ L.var q; L.var r ]
+                  then
+                    consume
+                      {
+                        out_var = L.var p;
+                        out_neg = L.is_neg p;
+                        fn = G_and (L.neg q, L.neg r);
+                        def_clauses = [ clause; [ L.neg p; L.neg q ]; [ L.neg p; L.neg r ] ];
+                      }
+              | _ -> ())
+            clause
+      | _ -> ())
+    st.clauses;
+  (* XOR gates: the four all-odd-negation clauses over a variable triple
+     encode v0 ^ v1 ^ v2 = 0 *)
+  let triples = Hashtbl.create 64 in
+  List.iter
+    (fun clause ->
+      match List.sort_uniq compare (List.map L.var clause) with
+      | [ a; b; c ] when List.length clause = 3 ->
+          let key = (a, b, c) in
+          let cur = try Hashtbl.find triples key with Not_found -> [] in
+          Hashtbl.replace triples key (clause :: cur)
+      | _ -> ())
+    st.clauses;
+  Hashtbl.iter
+    (fun (a, b, c) clauses ->
+      let sign_pattern clause =
+        List.map (fun v -> List.exists (fun l -> L.var v = L.var l && L.is_neg l) clause)
+          (List.map L.of_var [ a; b; c ])
+      in
+      let odd p = List.length (List.filter Fun.id p) mod 2 = 1 in
+      let odd_patterns =
+        List.sort_uniq compare (List.filter_map (fun cl ->
+            let p = sign_pattern cl in
+            if odd p then Some (p, cl) else None) clauses)
+      in
+      if List.length (List.sort_uniq compare (List.map fst odd_patterns)) = 4 then begin
+        (* pick one defining clause per pattern *)
+        let defs =
+          List.map
+            (fun pat -> List.assoc pat odd_patterns)
+            (List.sort_uniq compare (List.map fst odd_patterns))
+        in
+        (* choose an output among the triple *)
+        let try_out out =
+          let ins = List.filter (fun v -> v <> out) [ a; b; c ] in
+          if (not (Hashtbl.mem defined out)) && legal out ins then begin
+            match ins with
+            | [ i1; i2 ] ->
+                (* out = i1 ^ i2 since out^i1^i2 = 0 *)
+                consume
+                  {
+                    out_var = out;
+                    out_neg = false;
+                    fn = G_xor (L.of_var i1, L.of_var i2);
+                    def_clauses = defs;
+                  };
+                true
+            | _ -> false
+          end
+          else false
+        in
+        ignore (try_out a || try_out b || try_out c)
+      end)
+    triples;
+  (* keep only an acyclic subset of the candidate definitions: a gate is
+     accepted once every input that is itself a candidate output has been
+     accepted (a cycle leaves all its members rejected, keeping their
+     clauses — conservative but sound) *)
+  let candidates = List.rev !gates in
+  let cand_out = Hashtbl.create 16 in
+  List.iter (fun g -> Hashtbl.replace cand_out g.out_var g) candidates;
+  let gate_inputs g =
+    match g.fn with G_and (a, b) | G_xor (a, b) -> [ L.var a; L.var b ]
+  in
+  let accepted = Hashtbl.create 16 in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    List.iter
+      (fun g ->
+        if
+          (not (Hashtbl.mem accepted g.out_var))
+          && List.for_all
+               (fun v -> (not (Hashtbl.mem cand_out v)) || Hashtbl.mem accepted v)
+               (gate_inputs g)
+        then begin
+          Hashtbl.add accepted g.out_var ();
+          progress := true
+        end)
+      candidates
+  done;
+  let selected = List.filter (fun g -> Hashtbl.mem accepted g.out_var) candidates in
+  List.iter
+    (fun g ->
+      List.iter (fun c -> Hashtbl.remove clause_set (List.sort_uniq compare c)) g.def_clauses)
+    selected;
+  st.clauses <- Hashtbl.fold (fun c () acc -> c :: acc) clause_set [];
+  selected
+
+(* ---------------------------------------------------------------- build *)
+
+let build_formula ?node_limit st gates =
+  let f = Formula.create ?node_limit () in
+  Bitset.iter (Formula.add_universal f) st.univs;
+  (* gate outputs stay declared until substitution, then are removed *)
+  List.iter (fun (y, d) -> Formula.add_existential f y ~deps:d)
+    (Hashtbl.fold (fun y d acc -> (y, d) :: acc) st.deps [] |> List.sort compare);
+  let man = Formula.man f in
+  let aig_lit l = M.apply_sign (M.input man (L.var l)) ~neg:(L.is_neg l) in
+  let matrix = M.mk_and_list man (List.map (fun c -> M.mk_or_list man (List.map aig_lit c)) st.clauses) in
+  (* resolve gate functions in topological order *)
+  let gate_tbl = Hashtbl.create 16 in
+  List.iter (fun g -> Hashtbl.replace gate_tbl g.out_var g) gates;
+  let final : (int, M.lit) Hashtbl.t = Hashtbl.create 16 in
+  let rec resolve_var ?(seen = []) v : M.lit =
+    if List.mem v seen then M.input man v (* defensive: cycle, keep as input *)
+    else begin
+      match Hashtbl.find_opt final v with
+      | Some l -> l
+      | None ->
+          let l =
+            match Hashtbl.find_opt gate_tbl v with
+            | None -> M.input man v
+            | Some g ->
+                let seen = v :: seen in
+                let of_lit l =
+                  M.apply_sign (resolve_var ~seen (L.var l)) ~neg:(L.is_neg l)
+                in
+                let body =
+                  match g.fn with
+                  | G_and (a, b) -> M.mk_and man (of_lit a) (of_lit b)
+                  | G_xor (a, b) -> M.mk_xor man (of_lit a) (of_lit b)
+                in
+                M.apply_sign body ~neg:g.out_neg
+          in
+          Hashtbl.replace final v l;
+          l
+    end
+  in
+  let subst v =
+    match Hashtbl.find_opt gate_tbl v with
+    | None -> None
+    | Some _ -> Some (resolve_var v)
+  in
+  let matrix = M.compose man matrix subst in
+  List.iter
+    (fun g ->
+      st.gates <- st.gates + 1;
+      Option.iter
+        (fun trail -> Model_trail.record_def trail man g.out_var (resolve_var g.out_var))
+        st.trail;
+      Formula.remove_existential f g.out_var)
+    gates;
+  Formula.set_matrix f matrix;
+  f
+
+let run ?(config = default_config) ?node_limit ?trail (pcnf : Pcnf.t) =
+  let st =
+    {
+      trail;
+      univs = Bitset.of_list pcnf.Pcnf.univs;
+      deps = Hashtbl.create 64;
+      clauses = List.map (List.map L.of_dimacs) pcnf.Pcnf.clauses;
+      units = 0;
+      reduced_lits = 0;
+      equivs = 0;
+      gates = 0;
+      blocked = 0;
+    }
+  in
+  List.iter (fun (y, d) -> Hashtbl.replace st.deps y (Bitset.of_list d)) pcnf.Pcnf.exists;
+  (* undeclared variables: existential, no dependencies *)
+  let declared = Bitset.of_list (pcnf.Pcnf.univs @ List.map fst pcnf.Pcnf.exists) in
+  for v = 0 to pcnf.Pcnf.num_vars - 1 do
+    if not (Bitset.mem v declared) then Hashtbl.replace st.deps v Bitset.empty
+  done;
+  try
+    let rounds = ref 0 in
+    while pass config st && !rounds < 100 do
+      incr rounds
+    done;
+    let gates = if config.gate_detection then detect_gates st else [] in
+    let f = build_formula ?node_limit st gates in
+    Formula
+      ( f,
+        {
+          units = st.units;
+          reduced_lits = st.reduced_lits;
+          equivs = st.equivs;
+          gates = st.gates;
+          blocked = st.blocked;
+        } )
+  with Refuted -> Unsat

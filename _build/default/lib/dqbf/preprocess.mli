@@ -1,0 +1,48 @@
+(** CNF-level preprocessing (Section III-C of the paper), applied before
+    the AIG is built:
+
+    - unit literal propagation (universal unit literals refute the formula);
+    - generalized universal reduction: a universal literal is dropped from
+      a clause when no existential literal of the clause depends on it;
+    - equivalent-variable detection from binary clauses, adapted to DQBF:
+      merging two existentials narrows the representative's dependency set
+      to the intersection; an existential forced equal to a universal
+      outside its dependency set — or two universals forced equal — make
+      the formula unsatisfiable;
+    - Tseitin gate detection for AND/OR/XOR gates with arbitrarily negated
+      inputs; detected definitions are removed from the clause set and
+      substituted structurally into the AIG (dependency-legal gates only).
+
+    The first three run in alternation to a fixpoint, then gates are
+    harvested and the {!Formula.t} is assembled. *)
+
+type stats = {
+  units : int;  (** unit literals propagated *)
+  reduced_lits : int;  (** universal literals removed by reduction *)
+  equivs : int;  (** variables merged away *)
+  gates : int;  (** gate definitions substituted *)
+  blocked : int;  (** clauses removed by blocked-clause elimination *)
+}
+
+type config = {
+  unit_propagation : bool;
+  universal_reduction : bool;
+  equivalences : bool;
+  gate_detection : bool;
+  blocked_clauses : bool;
+      (** DQBF blocked-clause elimination (Wimmer et al., SAT 2015) — the
+          "more sophisticated preprocessing" the paper's conclusion points
+          to. Off by default (not part of the DATE'15 pipeline); skipped
+          automatically when a model trail is attached, because the rule
+          does not preserve Skolem certificates. *)
+}
+
+val default_config : config
+val off : config
+
+type outcome =
+  | Unsat  (** refuted during preprocessing *)
+  | Formula of Formula.t * stats
+
+val run :
+  ?config:config -> ?node_limit:int -> ?trail:Model_trail.t -> Pcnf.t -> outcome

@@ -1,0 +1,17 @@
+(** Reference DQBF decision procedures, used to validate HQS.
+
+    [by_expansion] implements the semantics directly: it grounds the
+    formula over every universal assignment, introducing one copy of each
+    existential per assignment of its dependency set, and hands the
+    conjunction to the SAT solver. This is an independent code path from
+    the elimination machinery of {!Elim} (no Theorem 1/2 involved).
+
+    [by_skolem_enum] enumerates Skolem function tables outright
+    (Definition 2) and is only feasible for the tiniest instances; it
+    serves as a cross-check of the cross-check. *)
+
+val by_expansion : ?budget:Hqs_util.Budget.t -> Formula.t -> bool
+(** @raise Invalid_argument if there are more than 20 universals. *)
+
+val by_skolem_enum : Formula.t -> bool
+(** @raise Invalid_argument when the table space exceeds 2^22. *)

@@ -1,0 +1,45 @@
+(** Skolem models for satisfiable DQBFs and their certification.
+
+    Definition 2 of the paper: a DQBF is satisfied iff there are Skolem
+    functions [s_y : A(D_y) -> bool] whose substitution into the matrix
+    yields a tautology. A {!t} carries one AIG function per existential
+    variable, over universal inputs only.
+
+    [verify] checks both obligations independently of how the model was
+    produced: every [s_y] must syntactically depend only on D_y, and the
+    substituted matrix must be a tautology (checked with the SAT solver).
+    It is used by the test suite as an end-to-end soundness oracle for the
+    solvers' SAT answers. *)
+
+type t
+
+val create : unit -> t
+
+val man : t -> Aig.Man.t
+(** The manager holding the Skolem functions (universal variables appear
+    as inputs). *)
+
+val define : t -> int -> Aig.Man.lit -> unit
+(** [define m y fn] sets the Skolem function of [y] (replacing any
+    previous definition). [fn] must live in [man m]. *)
+
+val find : t -> int -> Aig.Man.lit option
+val bindings : t -> (int * Aig.Man.lit) list
+
+val eval : t -> int -> (int -> bool) -> bool
+(** Evaluate [s_y] under an assignment of the universal variables.
+    @raise Not_found if [y] has no definition. *)
+
+val restrict : t -> keep:(int -> bool) -> t
+(** Keep only the definitions of selected variables. *)
+
+type failure =
+  | Missing of int  (** an existential variable has no definition *)
+  | Bad_support of int * int  (** (y, x): s_y depends on x outside D_y *)
+  | Not_tautology  (** the substituted matrix is falsifiable *)
+
+val verify :
+  ?budget:Hqs_util.Budget.t -> Formula.t -> t -> (unit, failure) result
+(** Check the model against a formula (Definition 2). *)
+
+val pp_failure : Format.formatter -> failure -> unit

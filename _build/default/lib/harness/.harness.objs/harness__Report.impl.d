@@ -1,0 +1,1 @@
+lib/harness/report.ml: Array Buffer List Printf Runner String

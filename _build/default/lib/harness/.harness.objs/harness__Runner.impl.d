@@ -1,0 +1,1 @@
+lib/harness/runner.ml: Budget Circuit Hqs Hqs_util Idq Printf

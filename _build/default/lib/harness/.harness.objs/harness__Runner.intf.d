@@ -1,0 +1,1 @@
+lib/harness/runner.mli: Circuit Dqbf Hqs

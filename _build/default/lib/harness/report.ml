@@ -1,0 +1,154 @@
+open Runner
+
+type summary = {
+  solved : int;
+  sat : int;
+  unsat : int;
+  to_ : int;
+  mo : int;
+  common_time : float;
+}
+
+let summarize pick other results =
+  List.fold_left
+    (fun acc r ->
+      let mine = pick r and theirs = other r in
+      match mine with
+      | Solved (v, t) ->
+          {
+            acc with
+            solved = acc.solved + 1;
+            sat = (acc.sat + if v then 1 else 0);
+            unsat = (acc.unsat + if v then 0 else 1);
+            common_time = (acc.common_time +. if is_solved theirs then t else 0.0);
+          }
+      | Timeout _ -> { acc with to_ = acc.to_ + 1 }
+      | Memout _ -> { acc with mo = acc.mo + 1 })
+    { solved = 0; sat = 0; unsat = 0; to_ = 0; mo = 0; common_time = 0.0 }
+    results
+
+let families results =
+  List.fold_left (fun acc r -> if List.mem r.family acc then acc else acc @ [ r.family ]) [] results
+
+let table1 results =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "%-10s %5s | %6s %11s %8s %9s %10s | %6s %11s %8s %9s %10s" "family" "#inst" "HQS" "(SAT/UNS)"
+    "unsolv" "(TO/MO)" "time" "iDQ" "(SAT/UNS)" "unsolv" "(TO/MO)" "time";
+  line "%s" (String.make 118 '-');
+  let row name rs =
+    let h = summarize (fun r -> r.hqs) (fun r -> r.idq) rs in
+    let i = summarize (fun r -> r.idq) (fun r -> r.hqs) rs in
+    line "%-10s %5d | %6d %11s %8d %9s %10.2f | %6d %11s %8d %9s %10.2f" name (List.length rs)
+      h.solved
+      (Printf.sprintf "(%d/%d)" h.sat h.unsat)
+      (h.to_ + h.mo)
+      (Printf.sprintf "(%d/%d)" h.to_ h.mo)
+      h.common_time i.solved
+      (Printf.sprintf "(%d/%d)" i.sat i.unsat)
+      (i.to_ + i.mo)
+      (Printf.sprintf "(%d/%d)" i.to_ i.mo)
+      i.common_time
+  in
+  List.iter (fun fam -> row fam (List.filter (fun r -> r.family = fam) results)) (families results);
+  line "%s" (String.make 118 '-');
+  row "total" results;
+  Buffer.contents buf
+
+let fig4 ?(timeout = 5.0) results =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "# Fig. 4 data: one point per instance (x = iDQ, y = HQS); TO/MO on the rails";
+  line "%-28s %-10s %10s %10s" "instance" "family" "idq_s" "hqs_s";
+  let show = function
+    | Solved (_, t) -> Printf.sprintf "%10.3f" t
+    | Timeout _ -> "        TO"
+    | Memout _ -> "        MO"
+  in
+  List.iter (fun r -> line "%-28s %-10s %s %s" r.id r.family (show r.idq) (show r.hqs)) results;
+  (* ASCII log-log scatter *)
+  let w = 56 and h = 24 in
+  let lo = 1e-4 in
+  let rail_factor = 3.0 in
+  let hi = timeout *. rail_factor in
+  let coord t axis_len =
+    let t = max t lo in
+    let frac = log (t /. lo) /. log (hi /. lo) in
+    let c = int_of_float (frac *. float_of_int (axis_len - 1)) in
+    max 0 (min (axis_len - 1) c)
+  in
+  let value_of = function
+    | Solved (_, t) -> max t lo
+    | Timeout _ | Memout _ -> hi (* rail *)
+  in
+  let grid = Array.make_matrix h w ' ' in
+  (* diagonal *)
+  for i = 0 to min w h - 1 do
+    grid.(h - 1 - (i * h / w)).(i) <- '.'
+  done;
+  List.iter
+    (fun r ->
+      let xc = coord (value_of r.idq) w in
+      let yc = coord (value_of r.hqs) h in
+      let cell = grid.(h - 1 - yc).(xc) in
+      grid.(h - 1 - yc).(xc) <- (if cell = '*' || cell = '#' then '#' else '*'))
+    results;
+  line "";
+  line "  HQS time ^  (log scale %.0e .. TO/MO rail)" lo;
+  Array.iter (fun row -> line "  |%s" (String.init w (Array.get row))) grid;
+  line "  +%s> iDQ time" (String.make w '-');
+  line "  points below the diagonal: HQS faster; '#': several instances";
+  Buffer.contents buf
+
+let headline results =
+  let buf = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  let hqs_solved = List.filter (fun r -> is_solved r.hqs) results in
+  let idq_solved = List.filter (fun r -> is_solved r.idq) results in
+  let idq_not_hqs = List.filter (fun r -> not (is_solved r.hqs)) idq_solved in
+  line "instances: %d" (List.length results);
+  line "solved by HQS: %d, by iDQ: %d" (List.length hqs_solved) (List.length idq_solved);
+  line "solved by iDQ but not HQS: %d (paper: 0)" (List.length idq_not_hqs);
+  if idq_solved <> [] then
+    line "HQS solves %.0f%% more instances than iDQ (paper: ~50%% more)"
+      (100.0
+      *. (float_of_int (List.length hqs_solved) /. float_of_int (List.length idq_solved) -. 1.0));
+  let sub_second l pick =
+    List.length (List.filter (fun r -> match pick r with Solved (_, t) -> t < 1.0 | _ -> false) l)
+  in
+  if hqs_solved <> [] then
+    line "HQS solved in < 1 s: %d of %d (paper: ~90%%); iDQ: %d of %d (paper: ~49%%)"
+      (sub_second hqs_solved (fun r -> r.hqs))
+      (List.length hqs_solved)
+      (sub_second idq_solved (fun r -> r.idq))
+      (List.length idq_solved);
+  let speedups =
+    List.filter_map
+      (fun r ->
+        match (r.hqs, r.idq) with
+        | Solved (_, th), Solved (_, ti) when th > 0.0 -> Some (ti /. max th 1e-4)
+        | _ -> None)
+      results
+  in
+  (match speedups with
+  | [] -> ()
+  | l ->
+      let max_s = List.fold_left max neg_infinity l in
+      line "max speedup of HQS over iDQ on commonly solved: %.0fx (paper: up to 10^4)" max_s);
+  Buffer.contents buf
+
+let csv results =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "id,family,hqs_outcome,hqs_time,idq_outcome,idq_time\n";
+  let cells = function
+    | Solved (true, t) -> ("SAT", t)
+    | Solved (false, t) -> ("UNSAT", t)
+    | Timeout t -> ("TO", t)
+    | Memout t -> ("MO", t)
+  in
+  List.iter
+    (fun r ->
+      let ho, ht = cells r.hqs and io, it = cells r.idq in
+      Buffer.add_string buf (Printf.sprintf "%s,%s,%s,%.3f,%s,%.3f\n" r.id r.family ho ht io it))
+    results;
+  Buffer.contents buf

@@ -1,0 +1,11 @@
+(** Formatting of the paper's evaluation artifacts from a list of per-
+    instance results: Table I (per-family solved/unsolved breakdown with
+    total time on commonly solved instances), Fig. 4 (the iDQ-vs-HQS
+    runtime scatter, as a data series plus an ASCII log-log plot), and the
+    headline claims of Section IV. *)
+
+val table1 : Runner.result list -> string
+val fig4 : ?timeout:float -> Runner.result list -> string
+val headline : Runner.result list -> string
+val csv : Runner.result list -> string
+(** One line per instance: id, family, solver outcomes and times. *)

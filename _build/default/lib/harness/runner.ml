@@ -1,0 +1,47 @@
+open Hqs_util
+
+type outcome = Solved of bool * float | Timeout of float | Memout of float
+
+type result = {
+  id : string;
+  family : string;
+  sat_expected : bool option;
+  hqs : outcome;
+  idq : outcome;
+}
+
+let is_solved = function Solved _ -> true | Timeout _ | Memout _ -> false
+let time_of = function Solved (_, t) | Timeout t | Memout t -> t
+
+let timed ~timeout f =
+  let t0 = Budget.now () in
+  let budget = Budget.of_seconds timeout in
+  match f budget with
+  | verdict -> Solved (verdict, Budget.now () -. t0)
+  | exception Budget.Timeout -> Timeout (Budget.now () -. t0)
+  | exception Budget.Out_of_memory_budget -> Memout (Budget.now () -. t0)
+
+let run_hqs ?(config = Hqs.default_config) ~timeout ~node_limit pcnf =
+  let config = { config with Hqs.node_limit = Some node_limit } in
+  timed ~timeout (fun budget ->
+      let v, _ = Hqs.solve_pcnf ~config ~budget pcnf in
+      v = Hqs.Sat)
+
+let run_idq ~timeout ~node_limit pcnf =
+  timed ~timeout (fun budget -> fst (Idq.solve_pcnf ~budget ~node_limit pcnf))
+
+let run_instance ?hqs_config ~timeout ~node_limit (inst : Circuit.Families.instance) =
+  let hqs = run_hqs ?config:hqs_config ~timeout ~node_limit inst.Circuit.Families.pcnf in
+  let idq = run_idq ~timeout ~node_limit inst.Circuit.Families.pcnf in
+  (match (hqs, idq) with
+  | Solved (a, _), Solved (b, _) when a <> b ->
+      failwith
+        (Printf.sprintf "solver disagreement on %s: hqs=%b idq=%b" inst.Circuit.Families.id a b)
+  | _ -> ());
+  {
+    id = inst.Circuit.Families.id;
+    family = inst.Circuit.Families.family;
+    sat_expected = None;
+    hqs;
+    idq;
+  }

@@ -1,0 +1,34 @@
+(** Timed solver runs with the paper's abort criteria (Section IV): a
+    wall-clock timeout and a memory cap, the latter emulated by an AIG node
+    budget. *)
+
+type outcome =
+  | Solved of bool * float  (** verdict, seconds *)
+  | Timeout of float  (** seconds burned before the deadline fired *)
+  | Memout of float
+
+type result = {
+  id : string;
+  family : string;
+  sat_expected : bool option;  (** ground truth when known *)
+  hqs : outcome;
+  idq : outcome;
+}
+
+val is_solved : outcome -> bool
+val time_of : outcome -> float
+
+val run_hqs :
+  ?config:Hqs.config -> timeout:float -> node_limit:int -> Dqbf.Pcnf.t -> outcome
+
+val run_idq : timeout:float -> node_limit:int -> Dqbf.Pcnf.t -> outcome
+
+val run_instance :
+  ?hqs_config:Hqs.config ->
+  timeout:float ->
+  node_limit:int ->
+  Circuit.Families.instance ->
+  result
+(** Run both solvers on a PEC instance. If both solve it, their verdicts
+    are checked for agreement ([Failure] on mismatch — a soundness alarm,
+    not a reportable outcome). *)

@@ -1,0 +1,1 @@
+lib/maxsat/msolver.ml: Array Budget Hqs_util List Sat Totalizer

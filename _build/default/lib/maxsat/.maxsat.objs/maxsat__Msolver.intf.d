@@ -1,0 +1,1 @@
+lib/maxsat/msolver.mli: Hqs_util Sat

@@ -1,0 +1,1 @@
+lib/maxsat/totalizer.mli: Sat

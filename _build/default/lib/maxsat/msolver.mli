@@ -1,0 +1,21 @@
+(** Unweighted partial MaxSAT by linear search on the violation count.
+
+    This reproduces the role of antom in the paper (Section III-A): it finds
+    an assignment satisfying all hard clauses while violating as few soft
+    clauses as possible. Each soft clause gets a fresh relaxation literal; a
+    totalizer over the relaxation literals is tightened until UNSAT. *)
+
+type answer = {
+  cost : int;  (** number of violated soft clauses in the optimum *)
+  model : bool array;  (** indexed by variable id, [0 .. num_vars-1] *)
+}
+
+val solve :
+  ?budget:Hqs_util.Budget.t ->
+  num_vars:int ->
+  hard:Sat.Lit.t list list ->
+  soft:Sat.Lit.t list list ->
+  unit ->
+  answer option
+(** [None] when the hard clauses alone are unsatisfiable.
+    @raise Hqs_util.Budget.Timeout if the budget expires. *)

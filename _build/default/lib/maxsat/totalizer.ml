@@ -1,0 +1,34 @@
+module S = Sat.Solver
+module L = Sat.Lit
+
+(* Merge two children count vectors [a] and [b] into a fresh output vector:
+   for all i, j with i + j >= 1: (a_i and b_j) -> r_{i+j}, where a_0 = b_0 =
+   true. Only this direction is needed to enforce upper bounds. *)
+let merge solver a b =
+  let p = Array.length a and q = Array.length b in
+  let r = Array.init (p + q) (fun _ -> L.of_var (S.new_var solver)) in
+  for i = 0 to p do
+    for j = 0 to q do
+      if i + j >= 1 then begin
+        let clause = ref [ r.(i + j - 1) ] in
+        if i >= 1 then clause := L.neg a.(i - 1) :: !clause;
+        if j >= 1 then clause := L.neg b.(j - 1) :: !clause;
+        S.add_clause solver !clause
+      end
+    done
+  done;
+  (* ordering: r_{m+1} -> r_m, keeps models canonical *)
+  for m = 0 to p + q - 2 do
+    S.add_clause solver [ L.neg r.(m + 1); r.(m) ]
+  done;
+  r
+
+let rec build solver inputs =
+  match Array.length inputs with
+  | 0 -> [||]
+  | 1 -> inputs
+  | n ->
+      let mid = n / 2 in
+      let left = build solver (Array.sub inputs 0 mid) in
+      let right = build solver (Array.sub inputs mid (n - mid)) in
+      merge solver left right

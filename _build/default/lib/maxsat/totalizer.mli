@@ -1,0 +1,8 @@
+(** Totalizer cardinality encoding (Bailleux-Boufkhad).
+
+    [build solver inputs] allocates fresh variables and clauses in [solver]
+    and returns an array [o] of output literals, where [o.(i)] is forced true
+    whenever at least [i+1] of [inputs] are true. Asserting [not o.(k)]
+    therefore enforces "at most [k] of [inputs]". *)
+
+val build : Sat.Solver.t -> Sat.Lit.t array -> Sat.Lit.t array

@@ -1,0 +1,1 @@
+lib/qbf/brute.ml: Aig Bitset Hqs_util Prefix

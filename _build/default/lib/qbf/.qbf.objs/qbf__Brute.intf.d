@@ -1,0 +1,1 @@
+lib/qbf/brute.mli: Aig Prefix

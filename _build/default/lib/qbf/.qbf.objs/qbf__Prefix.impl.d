@@ -1,0 +1,1 @@
+lib/qbf/prefix.ml: Format List

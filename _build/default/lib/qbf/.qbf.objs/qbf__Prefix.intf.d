@@ -1,0 +1,1 @@
+lib/qbf/prefix.mli: Format

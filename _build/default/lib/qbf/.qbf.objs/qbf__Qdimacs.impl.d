@@ -1,0 +1,1 @@
+lib/qbf/qdimacs.ml: Aig Buffer List Prefix Printf String

@@ -1,0 +1,1 @@
+lib/qbf/qdimacs.mli: Aig Prefix

@@ -1,0 +1,1 @@
+lib/qbf/qdpll.ml: Aig Array Bitset Budget Fun Hashtbl Hqs_util List Option Prefix Sat

@@ -1,0 +1,1 @@
+lib/qbf/qdpll.mli: Aig Hqs_util Prefix Sat

@@ -1,0 +1,1 @@
+lib/qbf/solver.ml: Aig Array Bitset Budget Hashtbl Hqs_util List Prefix Sat

@@ -1,0 +1,1 @@
+lib/qbf/solver.mli: Aig Hqs_util Prefix

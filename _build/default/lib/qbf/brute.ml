@@ -1,0 +1,28 @@
+open Hqs_util
+module M = Aig.Man
+
+let solve man root prefix =
+  (* free matrix variables become outermost existentials *)
+  let bound = Bitset.of_list (Prefix.variables prefix) in
+  let free = Bitset.to_list (Bitset.diff (M.support man root) bound) in
+  let prefix = Prefix.normalize ((Prefix.Exists, free) :: prefix) in
+  let rec go prefix root =
+    if M.is_true root then true
+    else if M.is_false root then false
+    else begin
+      match prefix with
+      | [] ->
+          (* non-constant AIG with an empty prefix cannot happen: support
+             must be empty, and a supportless cone is constant *)
+          assert false
+      | (_, []) :: rest -> go rest root
+      | (q, v :: vs) :: rest ->
+          let f0 = M.cofactor man root ~var:v ~value:false in
+          let f1 = M.cofactor man root ~var:v ~value:true in
+          let rest = (q, vs) :: rest in
+          (match q with
+          | Prefix.Exists -> go rest f0 || go rest f1
+          | Prefix.Forall -> go rest f0 && go rest f1)
+    end
+  in
+  go prefix root

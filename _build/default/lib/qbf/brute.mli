@@ -1,0 +1,6 @@
+(** Reference QBF decision by exhaustive cofactor expansion. Exponential;
+    used to validate the elimination solver on small instances. *)
+
+val solve : Aig.Man.t -> Aig.Man.lit -> Prefix.t -> bool
+(** Variables of the matrix not bound by the prefix are treated as
+    outermost existentials (the QDIMACS free-variable convention). *)

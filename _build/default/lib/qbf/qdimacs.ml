@@ -1,0 +1,86 @@
+type t = { num_vars : int; prefix : Prefix.t; clauses : int list list }
+
+let tokenize s =
+  String.split_on_char '\n' s
+  |> List.filter (fun line ->
+         let line = String.trim line in
+         not (String.length line = 0 || line.[0] = 'c'))
+  |> List.map (fun line ->
+         String.split_on_char ' ' line
+         |> List.concat_map (String.split_on_char '\t')
+         |> List.filter (fun tok -> tok <> ""))
+
+let parse_string s =
+  let num_vars = ref 0 in
+  let prefix = ref [] in
+  let clauses = ref [] in
+  let int_of tok = try int_of_string tok with _ -> failwith ("Qdimacs: bad token " ^ tok) in
+  let parse_block q toks =
+    let vars =
+      List.filter_map
+        (fun tok ->
+          let i = int_of tok in
+          if i = 0 then None
+          else if i < 0 then failwith "Qdimacs: negative variable in prefix"
+          else begin
+            num_vars := max !num_vars i;
+            Some (i - 1)
+          end)
+        toks
+    in
+    prefix := (q, vars) :: !prefix
+  in
+  List.iter
+    (fun line ->
+      match line with
+      | [] -> ()
+      | "p" :: "cnf" :: nv :: _ -> num_vars := max !num_vars (int_of nv)
+      | "a" :: rest -> parse_block Prefix.Forall rest
+      | "e" :: rest -> parse_block Prefix.Exists rest
+      | toks ->
+          (* one or more clauses on the line, each 0-terminated *)
+          let current = ref [] in
+          List.iter
+            (fun tok ->
+              let i = int_of tok in
+              if i = 0 then begin
+                clauses := List.rev !current :: !clauses;
+                current := []
+              end
+              else begin
+                num_vars := max !num_vars (abs i);
+                current := i :: !current
+              end)
+            toks;
+          if !current <> [] then failwith "Qdimacs: clause not terminated by 0")
+    (tokenize s);
+  { num_vars = !num_vars; prefix = Prefix.normalize (List.rev !prefix); clauses = List.rev !clauses }
+
+let parse_file path =
+  let ic = open_in path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  parse_string s
+
+let to_string { num_vars; prefix; clauses } =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "p cnf %d %d\n" num_vars (List.length clauses));
+  List.iter
+    (fun (q, vs) ->
+      Buffer.add_string buf (match q with Prefix.Forall -> "a" | Prefix.Exists -> "e");
+      List.iter (fun v -> Buffer.add_string buf (Printf.sprintf " %d" (v + 1))) vs;
+      Buffer.add_string buf " 0\n")
+    prefix;
+  List.iter
+    (fun clause ->
+      List.iter (fun l -> Buffer.add_string buf (Printf.sprintf "%d " l)) clause;
+      Buffer.add_string buf "0\n")
+    clauses;
+  Buffer.contents buf
+
+let to_aig { clauses; _ } =
+  let man = Aig.Man.create () in
+  let lit i = Aig.Man.apply_sign (Aig.Man.input man (abs i - 1)) ~neg:(i < 0) in
+  let clause_lit c = Aig.Man.mk_or_list man (List.map lit c) in
+  let matrix = Aig.Man.mk_and_list man (List.map clause_lit clauses) in
+  (man, matrix)

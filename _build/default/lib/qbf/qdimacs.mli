@@ -1,0 +1,16 @@
+(** QDIMACS reading/writing: a CNF with an `a`/`e` block prefix. Literals
+    are signed 1-based DIMACS ints. *)
+
+type t = {
+  num_vars : int;
+  prefix : Prefix.t;
+  clauses : int list list;
+}
+
+val parse_string : string -> t
+val parse_file : string -> t
+val to_string : t -> string
+
+val to_aig : t -> Aig.Man.t * Aig.Man.lit
+(** Build the matrix as an AIG (variable ids are 0-based: DIMACS var k maps
+    to AIG input k-1). *)

@@ -1,0 +1,211 @@
+open Hqs_util
+module M = Aig.Man
+module L = Sat.Lit
+
+type var_info = { quant : Prefix.quant; block : int }
+
+(* defs: existential variable -> choice function (in [mman]) *)
+type defs = (int, M.lit) Hashtbl.t
+
+let solve_cnf ?(budget = Budget.unlimited) ?on_model ~prefix ~num_vars clauses =
+  (* prefix with free variables as outermost existentials *)
+  let bound = Bitset.of_list (Prefix.variables prefix) in
+  let free = List.filter (fun v -> not (Bitset.mem v bound)) (List.init num_vars Fun.id) in
+  let prefix = Prefix.normalize ((Prefix.Exists, free) :: prefix) in
+  let info = Array.make num_vars { quant = Prefix.Exists; block = 0 } in
+  let order = ref [] in
+  List.iteri
+    (fun i (q, vs) ->
+      List.iter
+        (fun v ->
+          info.(v) <- { quant = q; block = i };
+          order := v :: !order)
+        vs)
+    prefix;
+  let order = Array.of_list (List.rev !order) in
+  let clauses = Array.of_list (List.map Array.of_list clauses) in
+  let assign = Array.make num_vars 0 in
+  let lit_val l =
+    let a = assign.(L.var l) in
+    if a = 0 then 0 else if L.is_neg l then -a else a
+  in
+  let assign_lit l =
+    assign.(L.var l) <- (if L.is_neg l then -1 else 1)
+  in
+  let mman = M.create () in
+  let recording = on_model <> None in
+  let exception Conflict in
+  (* one propagation pass: units with universal reduction, pure literals;
+     returns the list of variables assigned (for undo) *)
+  let propagate_once assigned =
+    let changed = ref false in
+    let pos = Array.make num_vars false and neg = Array.make num_vars false in
+    Array.iter
+      (fun clause ->
+        let satisfied = Array.exists (fun l -> lit_val l = 1) clause in
+        if not satisfied then begin
+          (* remaining literals *)
+          let remaining = Array.to_list clause |> List.filter (fun l -> lit_val l = 0) in
+          (* universal reduction: a universal literal whose block is inner
+             to every remaining existential literal is dropped *)
+          let max_exist_block =
+            List.fold_left
+              (fun acc l ->
+                if info.(L.var l).quant = Prefix.Exists then max acc info.(L.var l).block
+                else acc)
+              (-1) remaining
+          in
+          let reduced =
+            List.filter
+              (fun l ->
+                info.(L.var l).quant = Prefix.Exists || info.(L.var l).block < max_exist_block)
+              remaining
+          in
+          (match reduced with
+          | [] -> raise Conflict
+          | [ l ] ->
+              (* all-universal residues were caught above, so l is
+                 existential *)
+              assign_lit l;
+              assigned := L.var l :: !assigned;
+              changed := true
+          | _ ->
+              List.iter
+                (fun l -> if L.is_neg l then neg.(L.var l) <- true else pos.(L.var l) <- true)
+                reduced)
+        end)
+      clauses;
+    (* pure / irrelevant variables *)
+    if not !changed then
+      Array.iter
+        (fun v ->
+          if assign.(v) = 0 && not (pos.(v) && neg.(v)) then begin
+            let make_true =
+              if info.(v).quant = Prefix.Exists then not neg.(v) (* satisfy, default true *)
+              else neg.(v) (* universal: falsify its occurrences *)
+            in
+            assign.(v) <- (if make_true then 1 else -1);
+            assigned := v :: !assigned;
+            changed := true
+          end)
+        order;
+    !changed
+  in
+  let undo vars = List.iter (fun v -> assign.(v) <- 0) vars in
+  (* propagate to fixpoint; on conflict the partial assignments are undone *)
+  let propagate () =
+    let assigned = ref [] in
+    match
+      let rec loop () = if propagate_once assigned then loop () in
+      loop ()
+    with
+    | () -> Ok !assigned
+    | exception Conflict ->
+        undo !assigned;
+        Error ()
+  in
+  let leaf_defs () =
+    let d : defs = Hashtbl.create 16 in
+    if recording then
+      Array.iter
+        (fun v ->
+          if info.(v).quant = Prefix.Exists then
+            Hashtbl.replace d v (if assign.(v) = 1 then M.true_ else M.false_))
+        order;
+    d
+  in
+  let merge_universal x d0 d1 =
+    let d : defs = Hashtbl.create 16 in
+    if recording then begin
+      let xin = M.input mman x in
+      let keys = Hashtbl.create 16 in
+      Hashtbl.iter (fun k _ -> Hashtbl.replace keys k ()) d0;
+      Hashtbl.iter (fun k _ -> Hashtbl.replace keys k ()) d1;
+      Hashtbl.iter
+        (fun y () ->
+          let f0 = Option.value (Hashtbl.find_opt d0 y) ~default:M.false_ in
+          let f1 = Option.value (Hashtbl.find_opt d1 y) ~default:M.false_ in
+          Hashtbl.replace d y (if f0 = f1 then f0 else M.mk_ite mman xin f1 f0))
+        keys
+    end;
+    d
+  in
+  let rec pick_from i =
+    if i >= Array.length order then None
+    else if assign.(order.(i)) = 0 then Some order.(i)
+    else pick_from (i + 1)
+  in
+  (* returns the subtree's choice functions on success *)
+  let rec search () : defs option =
+    Budget.check budget;
+    match propagate () with
+    | Error () -> None
+    | Ok propagated -> (
+        let result =
+          match pick_from 0 with
+          | None -> Some (leaf_defs ())
+          | Some v -> (
+              let try_value b =
+                assign.(v) <- (if b then 1 else -1);
+                let r = search () in
+                assign.(v) <- 0;
+                r
+              in
+              match info.(v).quant with
+              | Prefix.Exists -> (
+                  match try_value true with Some d -> Some d | None -> try_value false)
+              | Prefix.Forall -> (
+                  match try_value false with
+                  | None -> None
+                  | Some d0 -> (
+                      match try_value true with
+                      | None -> None
+                      | Some d1 -> Some (merge_universal v d0 d1))))
+        in
+        undo propagated;
+        result)
+  in
+  match search () with
+  | None -> false
+  | Some defs ->
+      (match on_model with
+      | Some cb -> cb mman (Hashtbl.fold (fun y fn acc -> (y, fn) :: acc) defs [])
+      | None -> ());
+      true
+
+let solve ?budget ?on_model man root prefix =
+  (* Tseitin: auxiliary variables form an innermost existential block *)
+  let max_var = Bitset.fold (fun v acc -> max acc (v + 1)) (M.support man root) 0 in
+  let max_var = List.fold_left (fun acc v -> max acc (v + 1)) max_var (Prefix.variables prefix) in
+  let next = ref max_var in
+  let clauses = ref [] in
+  let aux = ref [] in
+  let node_var = Hashtbl.create 256 in
+  let lit_of e = L.apply_sign (L.of_var (Hashtbl.find node_var (M.node_of e))) ~neg:(M.is_compl e) in
+  M.iter_cone man [ root ] (fun n ->
+      if n = 0 then begin
+        let v = !next in
+        incr next;
+        aux := v :: !aux;
+        Hashtbl.replace node_var n v;
+        clauses := [ L.mk v ~neg:true ] :: !clauses
+      end
+      else if M.is_input man (n * 2) then Hashtbl.replace node_var n (M.var_of_input man (n * 2))
+      else begin
+        let v = !next in
+        incr next;
+        aux := v :: !aux;
+        Hashtbl.replace node_var n v;
+        let e0, e1 = M.fanins man (n * 2) in
+        let x = L.of_var v and l0 = lit_of e0 and l1 = lit_of e1 in
+        clauses := [ L.neg x; l0 ] :: [ L.neg x; l1 ] :: [ x; L.neg l0; L.neg l1 ] :: !clauses
+      end);
+  clauses := [ lit_of root ] :: !clauses;
+  let prefix = Prefix.normalize (prefix @ [ (Prefix.Exists, List.rev !aux) ]) in
+  let on_model =
+    Option.map
+      (fun cb mman defs ->
+        cb mman (List.filter (fun (y, _) -> y < max_var) defs))
+      on_model
+  in
+  solve_cnf ?budget ?on_model ~prefix ~num_vars:!next !clauses

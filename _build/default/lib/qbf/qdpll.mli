@@ -1,0 +1,42 @@
+(** Search-based QBF solving (QDPLL), the other solver family the paper
+    names in Section III-A (DepQBF et al.).
+
+    A clause-level DPLL procedure with the QBF-specific rules:
+    - branching follows the prefix outermost-first; existential branches
+      disjoin, universal branches conjoin;
+    - unit propagation applies *universal reduction* first: a universal
+      literal is dropped from a clause when every existential literal of
+      the clause is quantified outside it, so an all-universal residue is
+      a conflict;
+    - pure literals are assigned (existential: satisfying polarity;
+      universal: falsifying polarity).
+
+    This back end exists as an independently-implemented cross-check for
+    the elimination solver ({!Solver}) and as an alternative HQS back end
+    (the paper's HQS uses AIGSOLVE, but any QBF solver fits). On a true
+    answer it can reconstruct Skolem functions from the search tree by
+    merging the per-branch choices with if-then-elses over the universal
+    decisions. *)
+
+val solve_cnf :
+  ?budget:Hqs_util.Budget.t ->
+  ?on_model:(Aig.Man.t -> (int * Aig.Man.lit) list -> unit) ->
+  prefix:Prefix.t ->
+  num_vars:int ->
+  Sat.Lit.t list list ->
+  bool
+(** Decide a prenex CNF. Unbound variables are outermost existentials.
+    [on_model] fires once on a true answer with choice functions for the
+    existential variables (over universal inputs).
+    @raise Hqs_util.Budget.Timeout on deadline. *)
+
+val solve :
+  ?budget:Hqs_util.Budget.t ->
+  ?on_model:(Aig.Man.t -> (int * Aig.Man.lit) list -> unit) ->
+  Aig.Man.t ->
+  Aig.Man.lit ->
+  Prefix.t ->
+  bool
+(** AIG front end: the matrix is Tseitin-encoded, with the auxiliary
+    variables appended as an innermost existential block. [on_model]
+    reports only the original prefix variables. *)

@@ -1,0 +1,197 @@
+open Hqs_util
+module M = Aig.Man
+module UP = Aig.Unitpure
+
+type config = {
+  use_unitpure : bool;
+  use_fraig : bool;
+  fraig_node_threshold : int;
+  sat_shortcut : bool;
+}
+
+let default_config =
+  { use_unitpure = true; use_fraig = true; fraig_node_threshold = 50000; sat_shortcut = true }
+
+(* For each variable in [vars], the number of cone nodes whose support
+   contains it: a cheap proxy for elimination cost. *)
+let var_costs man root vars =
+  let index = Hashtbl.create 16 in
+  List.iteri (fun i v -> Hashtbl.replace index v i) vars;
+  let counts = Array.make (List.length vars) 0 in
+  let masks : (int, Bitset.t) Hashtbl.t = Hashtbl.create 256 in
+  M.iter_cone man [ root ] (fun n ->
+      let mask =
+        if n = 0 then Bitset.empty
+        else if M.is_input man (n * 2) then begin
+          match Hashtbl.find_opt index (M.var_of_input man (n * 2)) with
+          | Some i -> Bitset.singleton i
+          | None -> Bitset.empty
+        end
+        else begin
+          let e0, e1 = M.fanins man (n * 2) in
+          Bitset.union
+            (Hashtbl.find masks (M.node_of e0))
+            (Hashtbl.find masks (M.node_of e1))
+        end
+      in
+      Bitset.iter (fun i -> counts.(i) <- counts.(i) + 1) mask;
+      Hashtbl.replace masks n mask);
+  fun v -> match Hashtbl.find_opt index v with Some i -> counts.(i) | None -> 0
+
+exception Decided of bool
+
+type state = {
+  mutable man : M.t;
+  mutable root : M.lit;
+  mutable last_size : int;
+  mutable fraig_floor : int; (* cone size right after the last sweep *)
+}
+
+let compact_if_grown st =
+  if M.num_nodes st.man > (2 * st.last_size) + 1024 then begin
+    let man, roots = M.compact st.man [ st.root ] in
+    st.man <- man;
+    st.root <- (match roots with [ r ] -> r | _ -> assert false);
+    st.last_size <- M.num_nodes man
+  end
+
+(* sweep only when the cone is big AND has doubled since the last sweep,
+   otherwise every elimination would pay for a full SAT sweep; each sweep
+   is also time-boxed — when it cannot finish quickly we keep the
+   unreduced cone instead of burning the whole budget *)
+let fraig_if_large config budget st =
+  if config.use_fraig then begin
+    let cone = M.cone_size st.man st.root in
+    if cone > config.fraig_node_threshold && cone > 2 * st.fraig_floor then begin
+      let sweep_budget = Budget.of_seconds (min 2.0 (0.2 *. Budget.remaining budget)) in
+      match Aig.Fraig.reduce ~budget:sweep_budget st.man [ st.root ] with
+      | man, roots ->
+          st.man <- man;
+          st.root <- (match roots with [ r ] -> r | _ -> assert false);
+          st.last_size <- M.num_nodes man;
+          st.fraig_floor <- M.cone_size man st.root
+      | exception Budget.Timeout when not (Budget.expired budget) ->
+          (* give up on sweeping this cone until it doubles again *)
+          st.fraig_floor <- cone
+    end
+  end
+
+(* one unit/pure sweep; returns true if anything was eliminated *)
+let unitpure_step ~notify st prefix_quant =
+  let scans = UP.scan st.man st.root in
+  let subst : (int, M.lit) Hashtbl.t = Hashtbl.create 8 in
+  let assign_exists v value =
+    Hashtbl.replace subst v (if value then M.true_ else M.false_);
+    notify v value
+  in
+  List.iter
+    (fun (v, st_v) ->
+      match prefix_quant v with
+      | None -> () (* defensive: unbound variable, leave it alone *)
+      | Some Prefix.Exists ->
+          if st_v.UP.pos_unit && st_v.UP.neg_unit then raise (Decided false)
+          else if st_v.UP.pos_unit || st_v.UP.pos_pure then assign_exists v true
+          else if st_v.UP.neg_unit || st_v.UP.neg_pure then assign_exists v false
+      | Some Prefix.Forall ->
+          if st_v.UP.pos_unit || st_v.UP.neg_unit then raise (Decided false)
+          else if st_v.UP.pos_pure then Hashtbl.replace subst v M.false_
+          else if st_v.UP.neg_pure then Hashtbl.replace subst v M.true_)
+    scans;
+  if Hashtbl.length subst = 0 then false
+  else begin
+    st.root <- M.compose st.man st.root (Hashtbl.find_opt subst);
+    true
+  end
+
+(* Quantify one variable, exploiting structure as AIGSOLVE does: forall
+   distributes over the root conjunction and exists over the root
+   disjunction, so only the parts that actually contain [v] are
+   cofactored and duplicated. *)
+let quantify_structured man root q v =
+  let parts, recombine, quantify1 =
+    match q with
+    | Prefix.Forall -> (M.and_conjuncts man root, M.mk_and_list man, fun p -> M.forall man p ~var:v)
+    | Prefix.Exists -> (M.or_disjuncts man root, M.mk_or_list man, fun p -> M.exists man p ~var:v)
+  in
+  recombine
+    (List.map
+       (fun part -> if Bitset.mem v (M.support man part) then quantify1 part else part)
+       parts)
+
+(* returns the answer plus a variable valuation (meaningful on SAT) *)
+let sat_check ~budget man root ~negate =
+  let solver = Sat.Solver.create () in
+  let enc = Aig.Cnf_enc.create solver in
+  let out = Aig.Cnf_enc.sat_lit man enc root in
+  let out = if negate then Sat.Lit.neg out else out in
+  Sat.Solver.add_clause solver [ out ];
+  match Sat.Solver.solve ~budget solver with
+  | Sat.Solver.Sat ->
+      (true, fun v -> Sat.Solver.lit_value solver (Aig.Cnf_enc.sat_var_of_aig_var man enc v))
+  | Sat.Solver.Unsat -> (false, fun _ -> false)
+  | Sat.Solver.Unknown -> assert false
+
+let solve ?(config = default_config) ?(budget = Budget.unlimited) ?on_define man0 root0 prefix =
+  let man, roots = M.compact man0 [ root0 ] in
+  let root = match roots with [ r ] -> r | _ -> assert false in
+  let bound = Bitset.of_list (Prefix.variables prefix) in
+  let free = Bitset.to_list (Bitset.diff (M.support man root) bound) in
+  let prefix = ref (Prefix.normalize ((Prefix.Exists, free) :: prefix)) in
+  let st = { man; root; last_size = M.num_nodes man; fraig_floor = 0 } in
+  let recording = on_define <> None in
+  let define v fn = match on_define with Some cb -> cb v st.man fn | None -> () in
+  let define_const v b = define v (if b then M.true_ else M.false_) in
+  try
+    while true do
+      Budget.check budget;
+      if M.is_true st.root then raise (Decided true);
+      if M.is_false st.root then raise (Decided false);
+      let support = M.support st.man st.root in
+      if recording then
+        (* existentials leaving the support are don't-cares *)
+        List.iter
+          (fun (q, vs) ->
+            if q = Prefix.Exists then
+              List.iter (fun v -> if not (Bitset.mem v support) then define_const v false) vs)
+          !prefix;
+      prefix := Prefix.restrict !prefix ~keep:(fun v -> Bitset.mem v support);
+      let quant_of v = Prefix.quant_of !prefix v in
+      if config.use_unitpure && unitpure_step ~notify:define_const st quant_of then
+        compact_if_grown st
+      else begin
+        match !prefix with
+        | [] ->
+            (* support is non-empty (root not const) but nothing is bound:
+               cannot happen, every support var was added as existential *)
+            assert false
+        | [ (Prefix.Exists, vs) ] when config.sat_shortcut ->
+            let answer, value = sat_check ~budget st.man st.root ~negate:false in
+            if answer && recording then List.iter (fun v -> define_const v (value v)) vs;
+            raise (Decided answer)
+        | [ (Prefix.Forall, _) ] when config.sat_shortcut ->
+            let counterexample, _ = sat_check ~budget st.man st.root ~negate:true in
+            raise (Decided (not counterexample))
+        | blocks ->
+            (* eliminate one variable from the innermost block *)
+            let rec split_last acc = function
+              | [] -> assert false
+              | [ last ] -> (List.rev acc, last)
+              | b :: rest -> split_last (b :: acc) rest
+            in
+            let outer, (q, vs) = split_last [] blocks in
+            let cost = var_costs st.man st.root vs in
+            let v =
+              List.fold_left (fun best v -> if cost v < cost best then v else best)
+                (List.hd vs) vs
+            in
+            if recording && q = Prefix.Exists then
+              (* the standard choice function: pick 1 iff phi[1/v] holds *)
+              define v (M.cofactor st.man st.root ~var:v ~value:true);
+            st.root <- quantify_structured st.man st.root q v;
+            prefix := outer @ [ (q, List.filter (fun w -> w <> v) vs) ];
+            compact_if_grown st;
+            fraig_if_large config budget st
+      end
+    done;
+    assert false
+  with Decided answer -> answer

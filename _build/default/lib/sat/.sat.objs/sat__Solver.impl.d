@@ -1,0 +1,1 @@
+lib/sat/solver.ml: Array Budget Heap Hqs_util Lit Vec

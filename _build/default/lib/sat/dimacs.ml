@@ -1,0 +1,71 @@
+type cnf = { num_vars : int; clauses : Lit.t list list }
+
+let parse_tokens tokens =
+  let num_vars = ref 0 in
+  let clauses = ref [] in
+  let current = ref [] in
+  let header_seen = ref false in
+  let rec loop = function
+    | [] ->
+        if !current <> [] then failwith "Dimacs: clause not terminated by 0";
+        { num_vars = !num_vars; clauses = List.rev !clauses }
+    | "p" :: "cnf" :: nv :: _nc :: rest ->
+        header_seen := true;
+        num_vars := int_of_string nv;
+        loop rest
+    | tok :: rest ->
+        if not !header_seen then failwith "Dimacs: missing p cnf header"
+        else begin
+          let i = try int_of_string tok with _ -> failwith ("Dimacs: bad token " ^ tok) in
+          if i = 0 then begin
+            clauses := List.rev !current :: !clauses;
+            current := []
+          end
+          else begin
+            num_vars := max !num_vars (abs i);
+            current := Lit.of_dimacs i :: !current
+          end;
+          loop rest
+        end
+  in
+  loop tokens
+
+let tokenize s =
+  let lines = String.split_on_char '\n' s in
+  let keep line =
+    let line = String.trim line in
+    not (String.length line = 0 || line.[0] = 'c')
+  in
+  lines |> List.filter keep
+  |> List.concat_map (fun line ->
+         String.split_on_char ' ' line
+         |> List.concat_map (String.split_on_char '\t')
+         |> List.filter (fun tok -> tok <> ""))
+
+let parse_string s = parse_tokens (tokenize s)
+
+let parse_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  parse_string s
+
+let to_string { num_vars; clauses } =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "p cnf %d %d\n" num_vars (List.length clauses));
+  List.iter
+    (fun clause ->
+      List.iter (fun l -> Buffer.add_string buf (Printf.sprintf "%d " (Lit.to_dimacs l))) clause;
+      Buffer.add_string buf "0\n")
+    clauses;
+  Buffer.contents buf
+
+let write_file path cnf =
+  let oc = open_out path in
+  output_string oc (to_string cnf);
+  close_out oc
+
+let load_into solver { num_vars; clauses } =
+  if num_vars > 0 then Solver.ensure_var solver (num_vars - 1);
+  List.iter (Solver.add_clause solver) clauses

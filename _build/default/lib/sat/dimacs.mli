@@ -1,0 +1,14 @@
+(** DIMACS CNF reading/writing (for tests and interoperability). Clauses are
+    lists of {!Lit.t}. *)
+
+type cnf = { num_vars : int; clauses : Lit.t list list }
+
+val parse_string : string -> cnf
+(** @raise Failure on malformed input. *)
+
+val parse_file : string -> cnf
+val to_string : cnf -> string
+val write_file : string -> cnf -> unit
+
+val load_into : Solver.t -> cnf -> unit
+(** Allocate variables and add all clauses to a solver. *)

@@ -1,0 +1,20 @@
+type t = int
+
+let of_var v = v * 2
+let mk v ~neg = (v * 2) + if neg then 1 else 0
+let var l = l lsr 1
+let neg l = l lxor 1
+let is_neg l = l land 1 = 1
+let is_pos l = l land 1 = 0
+let apply_sign l ~neg:n = if n then neg l else l
+
+let to_dimacs l =
+  let v = var l + 1 in
+  if is_neg l then -v else v
+
+let of_dimacs i =
+  if i = 0 then invalid_arg "Lit.of_dimacs: 0";
+  let v = abs i - 1 in
+  mk v ~neg:(i < 0)
+
+let pp fmt l = Format.fprintf fmt "%d" (to_dimacs l)

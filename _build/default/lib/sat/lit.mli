@@ -1,0 +1,24 @@
+(** MiniSat-style literal encoding: literal [2*v] is variable [v] positive,
+    [2*v+1] is [v] negated. Variables are 0-based ints. *)
+
+type t = int
+
+val of_var : int -> t
+(** Positive literal of a variable. *)
+
+val mk : int -> neg:bool -> t
+val var : t -> int
+val neg : t -> t
+val is_neg : t -> bool
+val is_pos : t -> bool
+
+val apply_sign : t -> neg:bool -> t
+(** [apply_sign l ~neg] negates [l] iff [neg]. *)
+
+val to_dimacs : t -> int
+(** Signed 1-based DIMACS integer. *)
+
+val of_dimacs : int -> t
+(** @raise Invalid_argument on 0. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,37 @@
+(** Immutable-style dense bitsets over non-negative ints.
+
+    Used for DQBF dependency sets, where subset tests and set differences
+    dominate (Theorems 3-4 of the paper reduce dependency-graph cyclicity to
+    pairwise subset checks). Operations never mutate their arguments. *)
+
+type t
+
+val empty : t
+val singleton : int -> t
+val of_list : int list -> t
+val to_list : t -> int list
+
+val mem : int -> t -> bool
+val add : int -> t -> t
+val remove : int -> t -> t
+
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+
+val subset : t -> t -> bool
+(** [subset a b] is true iff every element of [a] is in [b]. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val cardinal : t -> int
+val is_empty : t -> bool
+val choose : t -> int option
+val iter : (int -> unit) -> t -> unit
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+val for_all : (int -> bool) -> t -> bool
+val exists : (int -> bool) -> t -> bool
+val filter : (int -> bool) -> t -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,11 @@
+exception Timeout
+exception Out_of_memory_budget
+
+type t = { deadline : float } (* infinity = unlimited *)
+
+let unlimited = { deadline = infinity }
+let now () = Unix.gettimeofday ()
+let of_seconds s = { deadline = now () +. s }
+let expired t = t.deadline < infinity && now () > t.deadline
+let check t = if expired t then raise Timeout
+let remaining t = if t.deadline = infinity then infinity else t.deadline -. now ()

@@ -1,0 +1,25 @@
+(** Wall-clock and resource budgets.
+
+    The paper aborts runs at 2 h / 8 GB; we mirror that with a per-run
+    deadline and an AIG node budget. Solvers poll [check] at coarse
+    intervals and raise on exhaustion, so runs terminate promptly without
+    signals. *)
+
+exception Timeout
+exception Out_of_memory_budget
+
+type t
+
+val unlimited : t
+
+val of_seconds : float -> t
+(** Deadline [now + s]. *)
+
+val check : t -> unit
+(** @raise Timeout if the deadline has passed. *)
+
+val expired : t -> bool
+val remaining : t -> float
+(** Seconds until the deadline; [infinity] if unlimited. *)
+
+val now : unit -> float

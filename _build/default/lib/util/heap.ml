@@ -1,0 +1,75 @@
+type t = {
+  cmp : int -> int -> bool;
+  heap : int Vec.t; (* heap.(i) = element *)
+  index : int Vec.t; (* index.(elt) = position in heap, or -1 *)
+}
+
+let create ~cmp () = { cmp; heap = Vec.create ~dummy:(-1) (); index = Vec.create ~dummy:(-1) () }
+let size h = Vec.size h.heap
+let is_empty h = size h = 0
+
+let pos h x = if x < Vec.size h.index then Vec.get h.index x else -1
+let mem h x = pos h x >= 0
+
+let set_pos h x p =
+  Vec.grow_to h.index (x + 1) (-1);
+  Vec.set h.index x p
+
+let swap h i j =
+  let xi = Vec.get h.heap i and xj = Vec.get h.heap j in
+  Vec.set h.heap i xj;
+  Vec.set h.heap j xi;
+  set_pos h xi j;
+  set_pos h xj i
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if h.cmp (Vec.get h.heap i) (Vec.get h.heap parent) then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let n = size h in
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let best = ref i in
+  if l < n && h.cmp (Vec.get h.heap l) (Vec.get h.heap !best) then best := l;
+  if r < n && h.cmp (Vec.get h.heap r) (Vec.get h.heap !best) then best := r;
+  if !best <> i then begin
+    swap h i !best;
+    sift_down h !best
+  end
+
+let insert h x =
+  if not (mem h x) then begin
+    let i = size h in
+    Vec.push h.heap x;
+    set_pos h x i;
+    sift_up h i
+  end
+
+let pop h =
+  if is_empty h then raise Not_found;
+  let top = Vec.get h.heap 0 in
+  let last = Vec.pop h.heap in
+  set_pos h top (-1);
+  if size h > 0 then begin
+    Vec.set h.heap 0 last;
+    set_pos h last 0;
+    sift_down h 0
+  end;
+  top
+
+let update h x =
+  let i = pos h x in
+  if i >= 0 then begin
+    sift_up h i;
+    sift_down h (pos h x)
+  end
+
+let rebuild h elts =
+  Vec.iter (fun x -> set_pos h x (-1)) h.heap;
+  Vec.clear h.heap;
+  List.iter (insert h) elts

@@ -1,0 +1,28 @@
+(** Indexed binary max-heap over the elements [0 .. n-1], ordered by a
+    mutable external score (VSIDS activities in the CDCL solver).
+
+    [decrease]/[increase] must be called after the score of an in-heap
+    element changes so the heap property is restored. *)
+
+type t
+
+val create : cmp:(int -> int -> bool) -> unit -> t
+(** [cmp a b] must return true iff [a] has strictly higher priority. The
+    comparison may read mutable state (activities). *)
+
+val size : t -> int
+val is_empty : t -> bool
+val mem : t -> int -> bool
+
+val insert : t -> int -> unit
+(** No-op if already present. *)
+
+val pop : t -> int
+(** Remove and return the maximum. @raise Not_found if empty. *)
+
+val update : t -> int -> unit
+(** Re-establish the heap property around [x] after its score changed.
+    No-op when [x] is not in the heap. *)
+
+val rebuild : t -> int list -> unit
+(** Replace the contents by the given elements and heapify. *)

@@ -1,0 +1,22 @@
+(* splitmix64: tiny, fast, and good enough for simulation vectors. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let next64 t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let bits t = Int64.to_int (Int64.shift_right_logical (next64 t) 2)
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int";
+  bits t mod n
+
+let bool t = Int64.logand (next64 t) 1L = 1L
+let float t bound = Int64.to_float (Int64.shift_right_logical (next64 t) 11) /. 9007199254740992.0 *. bound
+let split t = { state = next64 t }

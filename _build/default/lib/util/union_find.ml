@@ -1,0 +1,40 @@
+type t = { parent : int Vec.t; rank : int Vec.t }
+
+let create n =
+  let parent = Vec.create ~capacity:(max n 1) ~dummy:(-1) () in
+  let rank = Vec.create ~capacity:(max n 1) ~dummy:0 () in
+  for i = 0 to n - 1 do
+    Vec.push parent i;
+    Vec.push rank 0
+  done;
+  { parent; rank }
+
+let ensure t i =
+  while Vec.size t.parent <= i do
+    Vec.push t.parent (Vec.size t.parent);
+    Vec.push t.rank 0
+  done
+
+let rec find t i =
+  ensure t i;
+  let p = Vec.get t.parent i in
+  if p = i then i
+  else begin
+    let root = find t p in
+    Vec.set t.parent i root;
+    root
+  end
+
+let union t i j =
+  let ri = find t i and rj = find t j in
+  if ri <> rj then begin
+    let ki = Vec.get t.rank ri and kj = Vec.get t.rank rj in
+    if ki < kj then Vec.set t.parent ri rj
+    else if ki > kj then Vec.set t.parent rj ri
+    else begin
+      Vec.set t.parent rj ri;
+      Vec.set t.rank ri (ki + 1)
+    end
+  end
+
+let same t i j = find t i = find t j

@@ -1,0 +1,11 @@
+(** Union-find over ints with path compression and union by rank; used for
+    equivalent-literal classes during DQBF preprocessing. *)
+
+type t
+
+val create : int -> t
+val find : t -> int -> int
+val union : t -> int -> int -> unit
+val same : t -> int -> int -> bool
+val ensure : t -> int -> unit
+(** Make sure element [i] exists (elements are [0..n-1], auto-growable). *)

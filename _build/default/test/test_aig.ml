@@ -1,0 +1,438 @@
+open Hqs_util
+module M = Aig.Man
+module UP = Aig.Unitpure
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------ formula AST as a model *)
+
+type form =
+  | Cst of bool
+  | V of int
+  | Not of form
+  | And of form * form
+  | Or of form * form
+  | Xor of form * form
+
+let rec eval_form env = function
+  | Cst b -> b
+  | V i -> env i
+  | Not f -> not (eval_form env f)
+  | And (f, g) -> eval_form env f && eval_form env g
+  | Or (f, g) -> eval_form env f || eval_form env g
+  | Xor (f, g) -> eval_form env f <> eval_form env g
+
+let rec build man = function
+  | Cst b -> if b then M.true_ else M.false_
+  | V i -> M.input man i
+  | Not f -> M.compl_ (build man f)
+  | And (f, g) -> M.mk_and man (build man f) (build man g)
+  | Or (f, g) -> M.mk_or man (build man f) (build man g)
+  | Xor (f, g) -> M.mk_xor man (build man f) (build man g)
+
+let max_vars = 5
+
+let form_gen =
+  QCheck.Gen.(
+    sized_size (int_bound 7) (fix (fun self n ->
+        if n = 0 then oneof [ map (fun b -> Cst b) bool; map (fun i -> V i) (int_bound (max_vars - 1)) ]
+        else
+          oneof
+            [
+              map (fun i -> V i) (int_bound (max_vars - 1));
+              map (fun f -> Not f) (self (n - 1));
+              map2 (fun f g -> And (f, g)) (self (n / 2)) (self (n / 2));
+              map2 (fun f g -> Or (f, g)) (self (n / 2)) (self (n / 2));
+              map2 (fun f g -> Xor (f, g)) (self (n / 2)) (self (n / 2));
+            ])))
+
+let rec form_print = function
+  | Cst b -> string_of_bool b
+  | V i -> Printf.sprintf "v%d" i
+  | Not f -> Printf.sprintf "!(%s)" (form_print f)
+  | And (f, g) -> Printf.sprintf "(%s & %s)" (form_print f) (form_print g)
+  | Or (f, g) -> Printf.sprintf "(%s | %s)" (form_print f) (form_print g)
+  | Xor (f, g) -> Printf.sprintf "(%s ^ %s)" (form_print f) (form_print g)
+
+let form_arb = QCheck.make ~print:form_print form_gen
+
+let env_of_bits bits i = bits land (1 lsl i) <> 0
+
+let forall_envs f =
+  let ok = ref true in
+  for bits = 0 to (1 lsl max_vars) - 1 do
+    if not (f (env_of_bits bits)) then ok := false
+  done;
+  !ok
+
+(* ----------------------------------------------------------- basic rules *)
+
+let test_constants () =
+  let m = M.create () in
+  let a = M.input m 0 in
+  check_int "false and x" M.false_ (M.mk_and m M.false_ a);
+  check_int "true and x" a (M.mk_and m M.true_ a);
+  check_int "x and x" a (M.mk_and m a a);
+  check_int "x and !x" M.false_ (M.mk_and m a (M.compl_ a));
+  check_int "or of complements" M.true_ (M.mk_or m a (M.compl_ a))
+
+let test_strash_sharing () =
+  let m = M.create () in
+  let a = M.input m 0 and b = M.input m 1 in
+  let x = M.mk_and m a b in
+  let y = M.mk_and m b a in
+  check_int "commutative sharing" x y;
+  check_int "num ands" 1 (M.num_ands m)
+
+let test_input_idempotent () =
+  let m = M.create () in
+  let a = M.input m 3 in
+  let a' = M.input m 3 in
+  check_int "same input node" a a';
+  check_int "var id" 3 (M.var_of_input m a)
+
+let test_node_limit () =
+  let m = M.create ~node_limit:4 () in
+  let a = M.input m 0 and b = M.input m 1 in
+  (* nodes: const, a, b = 3; one AND allowed, the next must blow *)
+  let _ab = M.mk_and m a b in
+  Alcotest.check_raises "limit" Budget.Out_of_memory_budget (fun () ->
+      ignore (M.mk_and m (M.compl_ a) b))
+
+(* ------------------------------------------------------------- semantics *)
+
+let prop_eval_matches_model =
+  QCheck.Test.make ~name:"aig eval matches formula" ~count:500 form_arb (fun f ->
+      let m = M.create () in
+      let root = build m f in
+      forall_envs (fun env -> M.eval m root env = eval_form env f))
+
+let prop_cofactor =
+  QCheck.Test.make ~name:"cofactor semantics" ~count:300
+    (QCheck.triple form_arb (QCheck.int_bound (max_vars - 1)) QCheck.bool)
+    (fun (f, v, b) ->
+      let m = M.create () in
+      let root = build m f in
+      let cof = M.cofactor m root ~var:v ~value:b in
+      forall_envs (fun env ->
+          let env' i = if i = v then b else env i in
+          M.eval m cof env = eval_form env' f))
+
+let prop_cofactor_removes_var =
+  QCheck.Test.make ~name:"cofactor removes the variable" ~count:300
+    (QCheck.pair form_arb (QCheck.int_bound (max_vars - 1))) (fun (f, v) ->
+      let m = M.create () in
+      let root = build m f in
+      let cof = M.cofactor m root ~var:v ~value:true in
+      not (Bitset.mem v (M.support m cof)))
+
+let prop_quantify =
+  QCheck.Test.make ~name:"exists/forall semantics" ~count:300
+    (QCheck.pair form_arb (QCheck.int_bound (max_vars - 1))) (fun (f, v) ->
+      let m = M.create () in
+      let root = build m f in
+      let ex = M.exists m root ~var:v and fa = M.forall m root ~var:v in
+      forall_envs (fun env ->
+          let ef b i = if i = v then b else env i in
+          M.eval m ex env = (eval_form (ef false) f || eval_form (ef true) f)
+          && M.eval m fa env = (eval_form (ef false) f && eval_form (ef true) f)))
+
+let prop_compose =
+  QCheck.Test.make ~name:"compose semantics" ~count:300
+    (QCheck.triple form_arb form_arb (QCheck.int_bound (max_vars - 1)))
+    (fun (f, g, v) ->
+      let m = M.create () in
+      let root = build m f in
+      let sub = build m g in
+      let comp = M.compose m root (fun i -> if i = v then Some sub else None) in
+      forall_envs (fun env ->
+          let env' i = if i = v then eval_form env g else env i in
+          M.eval m comp env = eval_form env' f))
+
+let prop_support_sound =
+  QCheck.Test.make ~name:"semantic dependence implies support" ~count:300 form_arb
+    (fun f ->
+      let m = M.create () in
+      let root = build m f in
+      let sup = M.support m root in
+      (* if flipping v changes the value somewhere, v must be in support *)
+      let ok = ref true in
+      for v = 0 to max_vars - 1 do
+        if not (Bitset.mem v sup) then begin
+          let depends =
+            not
+              (forall_envs (fun env ->
+                   let env' i = if i = v then not (env i) else env i in
+                   eval_form env f = eval_form env' f))
+          in
+          if depends then ok := false
+        end
+      done;
+      !ok)
+
+let prop_sim_words =
+  QCheck.Test.make ~name:"sim_words consistent with eval" ~count:300 form_arb (fun f ->
+      let m = M.create () in
+      let root = build m f in
+      (* word: bit p of var i's word = env_p(i); here pattern p = bits of p *)
+      let var_word i =
+        let w = ref 0 in
+        for p = 0 to (1 lsl max_vars) - 1 do
+          if env_of_bits p i then w := !w lor (1 lsl p)
+        done;
+        !w
+      in
+      let word = M.sim_words m root var_word in
+      let ok = ref true in
+      for p = 0 to (1 lsl max_vars) - 1 do
+        if word land (1 lsl p) <> 0 <> M.eval m root (env_of_bits p) then ok := false
+      done;
+      !ok)
+
+let prop_compact =
+  QCheck.Test.make ~name:"compact preserves semantics" ~count:300 form_arb (fun f ->
+      let m = M.create () in
+      let root = build m f in
+      (* create garbage *)
+      let _garbage = build m (Xor (V 0, V 1)) in
+      let m', roots' = M.compact m [ root ] in
+      let root' = List.hd roots' in
+      M.num_nodes m' <= M.num_nodes m
+      && forall_envs (fun env -> M.eval m' root' env = eval_form env f))
+
+(* -------------------------------------------------------- decompositions *)
+
+let prop_and_conjuncts =
+  QCheck.Test.make ~name:"and_conjuncts recombine to the root" ~count:300 form_arb (fun f ->
+      let m = M.create () in
+      let root = build m f in
+      let parts = M.and_conjuncts m root in
+      let again = M.mk_and_list m parts in
+      (* recombination is semantically the root (structurally it may differ
+         because of rebalancing) *)
+      forall_envs (fun env -> M.eval m again env = M.eval m root env)
+      && List.for_all
+           (fun part -> forall_envs (fun env -> (not (M.eval m root env)) || M.eval m part env))
+           parts)
+
+let prop_or_disjuncts =
+  QCheck.Test.make ~name:"or_disjuncts recombine to the root" ~count:300 form_arb (fun f ->
+      let m = M.create () in
+      let root = build m f in
+      let parts = M.or_disjuncts m root in
+      let again = M.mk_or_list m parts in
+      forall_envs (fun env -> M.eval m again env = M.eval m root env))
+
+let prop_fraig_idempotent =
+  QCheck.Test.make ~name:"fraig is idempotent on node counts" ~count:100 form_arb (fun f ->
+      let m = M.create () in
+      let root = build m f in
+      let m1, r1 = Aig.Fraig.reduce m [ root ] in
+      let m2, _ = Aig.Fraig.reduce m1 r1 in
+      M.num_nodes m2 <= M.num_nodes m1)
+
+(* ------------------------------------------------------------- unit/pure *)
+
+let scan_of f =
+  let m = M.create () in
+  let root = build m f in
+  (m, root, UP.scan m root)
+
+let status_of scans v = try List.assoc v scans with Not_found -> UP.no_status
+
+let test_unitpure_literal () =
+  let _, _, s = scan_of (V 0) in
+  let st = status_of s 0 in
+  check "v: pos unit" true st.UP.pos_unit;
+  check "v: pos pure" true st.UP.pos_pure;
+  check "v: not neg unit" false st.UP.neg_unit;
+  let _, _, s = scan_of (Not (V 0)) in
+  let st = status_of s 0 in
+  check "!v: neg unit" true st.UP.neg_unit;
+  check "!v: neg pure" true st.UP.neg_pure
+
+let test_unitpure_conj () =
+  let _, _, s = scan_of (And (V 0, Not (V 1))) in
+  let s0 = status_of s 0 and s1 = status_of s 1 in
+  check "v0 pos unit" true s0.UP.pos_unit;
+  check "v0 pos pure" true s0.UP.pos_pure;
+  check "v1 neg unit" true s1.UP.neg_unit;
+  check "v1 neg pure" true s1.UP.neg_pure
+
+let test_unitpure_disj () =
+  let _, _, s = scan_of (Or (V 0, V 1)) in
+  let s0 = status_of s 0 in
+  check "no unit through or" false s0.UP.pos_unit;
+  check "pos pure through or" true s0.UP.pos_pure
+
+let test_unitpure_xor () =
+  let _, _, s = scan_of (Xor (V 0, V 1)) in
+  let s0 = status_of s 0 in
+  check "xor not pure" false (s0.UP.pos_pure || s0.UP.neg_pure);
+  check "xor not unit" false (s0.UP.pos_unit || s0.UP.neg_unit)
+
+let test_unitpure_cnf_structure () =
+  (* the function of Fig. 1 built as a plain CNF AIG:
+     (y1 | x1) & (y1 | x2) & (y2 | !x1) & (y2 | !x2); y1 and y2 are
+     positive pure here, x1 and x2 are mixed *)
+  let y1 = V 0 and y2 = V 1 and x1 = V 2 and x2 = V 3 in
+  let f = And (And (Or (y1, x1), Or (y1, x2)), And (Or (y2, Not x1), Or (y2, Not x2))) in
+  let _, _, s = scan_of f in
+  check "y1 pos pure" true (status_of s 0).UP.pos_pure;
+  check "y2 pos pure" true (status_of s 1).UP.pos_pure;
+  check "x1 mixed" false ((status_of s 2).UP.pos_pure || (status_of s 2).UP.neg_pure);
+  check "x2 mixed" false ((status_of s 3).UP.pos_pure || (status_of s 3).UP.neg_pure)
+
+(* semantic validation of the syntactic claims, per Definition 5 *)
+let prop_unitpure_sound =
+  QCheck.Test.make ~name:"syntactic unit/pure implies semantic" ~count:500 form_arb
+    (fun f ->
+      let _, _, scans = scan_of f in
+      List.for_all
+        (fun (v, st) ->
+          let sat value =
+            (* is f[value/v] satisfiable? *)
+            let found = ref false in
+            for bits = 0 to (1 lsl max_vars) - 1 do
+              let env i = if i = v then value else env_of_bits bits i in
+              if eval_form env f then found := true
+            done;
+            !found
+          in
+          let implies_01 =
+            (* f[0/v] -> f[1/v] valid? *)
+            forall_envs (fun env ->
+                let e b i = if i = v then b else env i in
+                (not (eval_form (e false) f)) || eval_form (e true) f)
+          in
+          let implies_10 =
+            forall_envs (fun env ->
+                let e b i = if i = v then b else env i in
+                (not (eval_form (e true) f)) || eval_form (e false) f)
+          in
+          ((not st.UP.pos_unit) || not (sat false))
+          && ((not st.UP.neg_unit) || not (sat true))
+          && ((not st.UP.pos_pure) || implies_01)
+          && ((not st.UP.neg_pure) || implies_10))
+        scans)
+
+(* ----------------------------------------------------------------- fraig *)
+
+let prop_fraig_preserves =
+  QCheck.Test.make ~name:"fraig preserves semantics" ~count:200 form_arb (fun f ->
+      let m = M.create () in
+      let root = build m f in
+      let m', roots' = Aig.Fraig.reduce m [ root ] in
+      let root' = List.hd roots' in
+      forall_envs (fun env -> M.eval m' root' env = eval_form env f))
+
+let prop_fraig_merges_equivalents =
+  QCheck.Test.make ~name:"fraig merges equivalent roots" ~count:100
+    (QCheck.pair form_arb form_arb) (fun (f, g) ->
+      (* two structurally different builds of f XOR the same g *)
+      let m = M.create () in
+      let r1 = build m (Xor (f, g)) in
+      let r2 =
+        (* xor via (f|g) & !(f&g) *)
+        let a = build m (Or (f, g)) and b = build m (And (f, g)) in
+        M.mk_and m a (M.compl_ b)
+      in
+      let m', roots' = Aig.Fraig.reduce m [ r1; r2 ] in
+      match roots' with
+      | [ a; b ] ->
+          a = b
+          && forall_envs (fun env -> M.eval m' a env = eval_form env (Xor (f, g)))
+      | _ -> false)
+
+let test_fraig_assoc () =
+  let m = M.create () in
+  let a = M.input m 0 and b = M.input m 1 and c = M.input m 2 in
+  let f = M.mk_and m (M.mk_and m a b) c in
+  let g = M.mk_and m a (M.mk_and m b c) in
+  let _, roots = Aig.Fraig.reduce m [ f; g ] in
+  match roots with
+  | [ x; y ] -> check "assoc merged" true (x = y)
+  | _ -> Alcotest.fail "bad arity"
+
+let test_fraig_constant_collapse () =
+  (* (a & !a) | (b & !b) reduces to constant false structurally, but a
+     disguised tautology needs the SAT proof: (a|!b)&(!a|b)&(a|b)&(!a|!b) *)
+  let m = M.create () in
+  let a = M.input m 0 and b = M.input m 1 in
+  let c1 = M.mk_or m a (M.compl_ b) in
+  let c2 = M.mk_or m (M.compl_ a) b in
+  let c3 = M.mk_or m a b in
+  let c4 = M.mk_or m (M.compl_ a) (M.compl_ b) in
+  let f = M.mk_and_list m [ c1; c2; c3; c4 ] in
+  let zero = M.false_ in
+  let m', roots = Aig.Fraig.reduce m [ f; zero ] in
+  match roots with
+  | [ x; y ] ->
+      check "unsat cone equals constant" true (x = y);
+      ignore m'
+  | _ -> Alcotest.fail "bad arity"
+
+(* --------------------------------------------------------------- cnf enc *)
+
+let prop_cnf_enc =
+  QCheck.Test.make ~name:"cnf encoding agrees with eval" ~count:200 form_arb (fun f ->
+      let m = M.create () in
+      let root = build m f in
+      let solver = Sat.Solver.create () in
+      let enc = Aig.Cnf_enc.create solver in
+      let out = Aig.Cnf_enc.sat_lit m enc root in
+      forall_envs (fun env ->
+          (* fix inputs with assumptions; out must be forced to eval value *)
+          let assumptions =
+            List.init max_vars (fun v ->
+                Sat.Lit.apply_sign (Aig.Cnf_enc.sat_var_of_aig_var m enc v) ~neg:(not (env v)))
+          in
+          let expect = eval_form env f in
+          let r = Sat.Solver.solve ~assumptions:(assumptions @ [ Sat.Lit.apply_sign out ~neg:(not expect) ]) solver in
+          r = Sat.Solver.Sat))
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "aig"
+    [
+      ( "construction",
+        [
+          Alcotest.test_case "constant rules" `Quick test_constants;
+          Alcotest.test_case "strash sharing" `Quick test_strash_sharing;
+          Alcotest.test_case "input idempotent" `Quick test_input_idempotent;
+          Alcotest.test_case "node limit" `Quick test_node_limit;
+        ] );
+      ( "semantics",
+        qsuite
+          [
+            prop_eval_matches_model;
+            prop_cofactor;
+            prop_cofactor_removes_var;
+            prop_quantify;
+            prop_compose;
+            prop_support_sound;
+            prop_sim_words;
+            prop_compact;
+            prop_and_conjuncts;
+            prop_or_disjuncts;
+            prop_fraig_idempotent;
+          ] );
+      ( "unitpure",
+        [
+          Alcotest.test_case "literals" `Quick test_unitpure_literal;
+          Alcotest.test_case "conjunction" `Quick test_unitpure_conj;
+          Alcotest.test_case "disjunction" `Quick test_unitpure_disj;
+          Alcotest.test_case "xor" `Quick test_unitpure_xor;
+          Alcotest.test_case "paper CNF example" `Quick test_unitpure_cnf_structure;
+        ]
+        @ qsuite [ prop_unitpure_sound ] );
+      ( "fraig",
+        [
+          Alcotest.test_case "associativity merge" `Quick test_fraig_assoc;
+          Alcotest.test_case "disguised constant" `Quick test_fraig_constant_collapse;
+        ]
+        @ qsuite [ prop_fraig_preserves; prop_fraig_merges_equivalents ] );
+      ("cnf_enc", qsuite [ prop_cnf_enc ]);
+    ]

@@ -1,0 +1,295 @@
+module N = Circuit.Netlist
+module Fam = Circuit.Families
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let bits_of_int n width = Array.init width (fun i -> n land (1 lsl i) <> 0)
+let int_of_bits a = Array.to_list a |> List.mapi (fun i b -> if b then 1 lsl i else 0) |> List.fold_left ( + ) 0
+
+(* --------------------------------------------------------- netlist eval *)
+
+let test_adder_spec_correct () =
+  let { Fam.spec; _ } = Fam.adder ~bits:4 ~boxes:0 ~fault:false in
+  for a = 0 to 15 do
+    for b = 0 to 15 do
+      List.iter
+        (fun cin ->
+          let input = Array.concat [ bits_of_int a 4; bits_of_int b 4; [| cin |] ] in
+          let out = N.eval spec input in
+          let expected = a + b + if cin then 1 else 0 in
+          check_int (Printf.sprintf "%d+%d" a b) expected (int_of_bits out))
+        [ false; true ]
+    done
+  done
+
+let test_comp_spec_correct () =
+  let { Fam.spec; _ } = Fam.comp ~bits:3 ~boxes:0 ~fault:false in
+  for a = 0 to 7 do
+    for b = 0 to 7 do
+      let input = Array.append (bits_of_int a 3) (bits_of_int b 3) in
+      match Array.to_list (N.eval spec input) with
+      | [ gt; eq; lt ] ->
+          check (Printf.sprintf "%d vs %d" a b) true
+            (gt = (a > b) && eq = (a = b) && lt = (a < b))
+      | _ -> Alcotest.fail "bad output arity"
+    done
+  done
+
+let test_bitcell_spec_one_hot () =
+  let { Fam.spec; _ } = Fam.bitcell ~cells:5 ~boxes:0 ~fault:false in
+  for r = 0 to 31 do
+    let input = bits_of_int r 5 in
+    let out = N.eval spec input in
+    let grants = Array.sub out 0 5 in
+    let granted = Array.to_list grants |> List.filter Fun.id |> List.length in
+    (* exactly one grant iff any request; winner is the lowest index *)
+    if r = 0 then check_int "no grant" 0 granted
+    else begin
+      check_int "one grant" 1 granted;
+      let winner = ref 0 in
+      Array.iteri (fun i g -> if g then winner := i) grants;
+      let lowest = ref 0 in
+      (try
+         for i = 0 to 4 do
+           if input.(i) then begin
+             lowest := i;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      check_int "lowest requester wins" !lowest !winner
+    end
+  done
+
+let test_lookahead_matches_bitcell_grants () =
+  let { Fam.spec = la; _ } = Fam.lookahead ~cells:5 ~boxes:0 ~fault:false in
+  let { Fam.spec = bc; _ } = Fam.bitcell ~cells:5 ~boxes:0 ~fault:false in
+  for r = 0 to 31 do
+    let input = bits_of_int r 5 in
+    let g1 = Array.sub (N.eval la input) 0 5 in
+    let g2 = Array.sub (N.eval bc input) 0 5 in
+    check (Printf.sprintf "r=%d" r) true (g1 = g2)
+  done
+
+let test_pec_xor_parity () =
+  let { Fam.spec; _ } = Fam.pec_xor ~length:6 ~boxes:0 ~fault:false in
+  for r = 0 to 63 do
+    let input = bits_of_int r 6 in
+    let parity = Array.fold_left (fun acc b -> acc <> b) false input in
+    check (Printf.sprintf "r=%d" r) parity (N.eval spec input).(0)
+  done
+
+let test_z4_multiply_add () =
+  let { Fam.spec; _ } = Fam.z4 ~add_bits:2 ~boxes:0 ~fault:false in
+  for a = 0 to 3 do
+    for b = 0 to 3 do
+      for c = 0 to 3 do
+        let input = Array.concat [ bits_of_int a 2; bits_of_int b 2; bits_of_int c 2 ] in
+        let out = N.eval spec input in
+        check_int (Printf.sprintf "%d*%d+%d" a b c) ((a * b) + c) (int_of_bits out)
+      done
+    done
+  done
+
+let test_c432_priority () =
+  let { Fam.spec; _ } = Fam.c432 ~groups:2 ~lines:2 ~boxes:0 ~fault:false in
+  (* inputs: req00 req01 req10 req11 en0 en1; outputs: line0 line1 any *)
+  let eval req00 req01 req10 req11 en0 en1 =
+    N.eval spec [| req00; req01; req10; req11; en0; en1 |]
+  in
+  (* group 0 active wins over group 1 *)
+  let out = eval true false false true true true in
+  check "line0 from group0" true out.(0);
+  check "line1 blocked" false out.(1);
+  check "any" true out.(2);
+  (* group 0 disabled: group 1 wins *)
+  let out = eval true false false true false true in
+  check "line0 off" false out.(0);
+  check "line1 from group1" true out.(1);
+  (* nothing enabled *)
+  let out = eval true true true true false false in
+  check "quiet" false out.(2)
+
+(* ------------------------------------------- golden boxes = specification *)
+
+let exhaustive_inputs n f =
+  if n > 14 then invalid_arg "too many inputs";
+  let ok = ref true in
+  for r = 0 to (1 lsl n) - 1 do
+    if not (f (bits_of_int r n)) then ok := false
+  done;
+  !ok
+
+let golden_matches_spec inst =
+  let { Fam.spec; impl; golden; _ } = inst in
+  exhaustive_inputs spec.N.num_inputs (fun input ->
+      N.eval spec input = N.eval_with_boxes impl ~box_fn:golden input)
+
+let test_golden_boxes () =
+  let cases =
+    [
+      ("adder", Fam.adder ~bits:3 ~boxes:2 ~fault:false);
+      ("bitcell", Fam.bitcell ~cells:4 ~boxes:2 ~fault:false);
+      ("lookahead", Fam.lookahead ~cells:4 ~boxes:2 ~fault:false);
+      ("pec_xor", Fam.pec_xor ~length:5 ~boxes:2 ~fault:false);
+      ("z4", Fam.z4 ~add_bits:2 ~boxes:2 ~fault:false);
+      ("comp", Fam.comp ~bits:3 ~boxes:2 ~fault:false);
+      ("c432", Fam.c432 ~groups:3 ~lines:2 ~boxes:2 ~fault:false);
+    ]
+  in
+  List.iter (fun (name, inst) -> check name true (golden_matches_spec inst)) cases
+
+let test_fault_breaks_golden () =
+  (* with a fault outside the boxes, even the golden boxes cannot match *)
+  let cases =
+    [
+      ("adder", Fam.adder ~bits:3 ~boxes:1 ~fault:true);
+      ("bitcell", Fam.bitcell ~cells:4 ~boxes:1 ~fault:true);
+      ("lookahead", Fam.lookahead ~cells:4 ~boxes:1 ~fault:true);
+      ("pec_xor", Fam.pec_xor ~length:5 ~boxes:1 ~fault:true);
+      ("z4", Fam.z4 ~add_bits:2 ~boxes:1 ~fault:true);
+      ("comp", Fam.comp ~bits:3 ~boxes:1 ~fault:true);
+      ("c432", Fam.c432 ~groups:3 ~lines:2 ~boxes:1 ~fault:true);
+    ]
+  in
+  List.iter (fun (name, inst) -> check name false (golden_matches_spec inst)) cases
+
+(* --------------------------------------------------------- PEC encoding *)
+
+let hqs_verdict inst =
+  let v, _ = Hqs.solve_pcnf inst.Fam.pcnf in
+  v = Hqs.Sat
+
+let test_pec_sat_instances () =
+  let cases =
+    [
+      ("adder", Fam.adder ~bits:2 ~boxes:2 ~fault:false);
+      ("bitcell", Fam.bitcell ~cells:3 ~boxes:2 ~fault:false);
+      ("lookahead", Fam.lookahead ~cells:3 ~boxes:2 ~fault:false);
+      ("pec_xor", Fam.pec_xor ~length:4 ~boxes:2 ~fault:false);
+      ("z4", Fam.z4 ~add_bits:2 ~boxes:1 ~fault:false);
+      ("comp", Fam.comp ~bits:2 ~boxes:2 ~fault:false);
+      ("c432", Fam.c432 ~groups:2 ~lines:2 ~boxes:1 ~fault:false);
+    ]
+  in
+  List.iter (fun (name, inst) -> check (name ^ " realizable") true (hqs_verdict inst)) cases
+
+let test_pec_unsat_instances () =
+  let cases =
+    [
+      ("adder", Fam.adder ~bits:2 ~boxes:1 ~fault:true);
+      ("bitcell", Fam.bitcell ~cells:3 ~boxes:1 ~fault:true);
+      ("lookahead", Fam.lookahead ~cells:3 ~boxes:1 ~fault:true);
+      ("pec_xor", Fam.pec_xor ~length:4 ~boxes:1 ~fault:true);
+      ("z4", Fam.z4 ~add_bits:2 ~boxes:1 ~fault:true);
+      ("comp", Fam.comp ~bits:2 ~boxes:1 ~fault:true);
+      ("c432", Fam.c432 ~groups:2 ~lines:2 ~boxes:1 ~fault:true);
+    ]
+  in
+  List.iter (fun (name, inst) -> check (name ^ " unrealizable") false (hqs_verdict inst)) cases
+
+let test_pec_idq_agrees () =
+  (* iDQ blows up quickly on SAT instances (as in the paper), so this
+     cross-check sticks to instances it can solve within seconds *)
+  let cases =
+    [
+      Fam.adder ~bits:2 ~boxes:1 ~fault:true;
+      Fam.pec_xor ~length:3 ~boxes:1 ~fault:false;
+      Fam.pec_xor ~length:4 ~boxes:1 ~fault:true;
+      Fam.bitcell ~cells:3 ~boxes:2 ~fault:false;
+      Fam.bitcell ~cells:5 ~boxes:2 ~fault:true;
+      Fam.comp ~bits:2 ~boxes:1 ~fault:true;
+      Fam.c432 ~groups:2 ~lines:2 ~boxes:1 ~fault:true;
+    ]
+  in
+  List.iter
+    (fun inst ->
+      let h = hqs_verdict inst in
+      let i, _ = Idq.solve_pcnf inst.Fam.pcnf in
+      check (inst.Fam.id ^ " idq agrees") h i)
+    cases
+
+let test_pec_expansion_agrees () =
+  (* small enough for the expansion reference *)
+  let cases =
+    [
+      Fam.adder ~bits:2 ~boxes:1 ~fault:false;
+      Fam.adder ~bits:2 ~boxes:1 ~fault:true;
+      Fam.pec_xor ~length:3 ~boxes:1 ~fault:false;
+      Fam.bitcell ~cells:2 ~boxes:1 ~fault:true;
+    ]
+  in
+  List.iter
+    (fun inst ->
+      let f = Dqbf.Pcnf.to_formula inst.Fam.pcnf in
+      check (inst.Fam.id ^ " expansion agrees") (Dqbf.Reference.by_expansion f)
+        (hqs_verdict inst))
+    cases
+
+let test_pec_non_qbf () =
+  (* two boxes observing different signals: genuinely non-QBF *)
+  let inst = Fam.adder ~bits:3 ~boxes:2 ~fault:false in
+  let f = Dqbf.Pcnf.to_formula inst.Fam.pcnf in
+  check "cyclic dependency graph" false (Dqbf.Depgraph.is_acyclic f);
+  (* one box: QBF-expressible *)
+  let inst1 = Fam.adder ~bits:3 ~boxes:1 ~fault:false in
+  let f1 = Dqbf.Pcnf.to_formula inst1.Fam.pcnf in
+  check "acyclic with one box" true (Dqbf.Depgraph.is_acyclic f1)
+
+let test_pec_validates () =
+  let insts =
+    [
+      Fam.adder ~bits:4 ~boxes:3 ~fault:true;
+      Fam.bitcell ~cells:6 ~boxes:2 ~fault:false;
+      Fam.lookahead ~cells:5 ~boxes:3 ~fault:true;
+      Fam.pec_xor ~length:8 ~boxes:3 ~fault:false;
+      Fam.z4 ~add_bits:3 ~boxes:2 ~fault:true;
+      Fam.comp ~bits:5 ~boxes:2 ~fault:false;
+      Fam.c432 ~groups:3 ~lines:3 ~boxes:2 ~fault:true;
+    ]
+  in
+  List.iter
+    (fun inst ->
+      match Dqbf.Pcnf.validate inst.Fam.pcnf with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s: %s" inst.Fam.id e)
+    insts
+
+let test_gate_detection_fires_on_pec () =
+  (* the PEC encoder emits Tseitin gates; preprocessing must find many *)
+  let inst = Fam.adder ~bits:3 ~boxes:2 ~fault:false in
+  match Dqbf.Preprocess.run inst.Fam.pcnf with
+  | Dqbf.Preprocess.Unsat -> Alcotest.fail "preprocessing refuted a SAT instance"
+  | Dqbf.Preprocess.Formula (_, stats) ->
+      check "gates found" true (stats.Dqbf.Preprocess.gates > 5)
+
+let () =
+  Alcotest.run "circuit"
+    [
+      ( "netlists",
+        [
+          Alcotest.test_case "adder adds" `Quick test_adder_spec_correct;
+          Alcotest.test_case "comparator compares" `Quick test_comp_spec_correct;
+          Alcotest.test_case "bitcell arbiter one-hot" `Quick test_bitcell_spec_one_hot;
+          Alcotest.test_case "lookahead = bitcell grants" `Quick test_lookahead_matches_bitcell_grants;
+          Alcotest.test_case "pec_xor parity" `Quick test_pec_xor_parity;
+          Alcotest.test_case "z4 multiply-add" `Quick test_z4_multiply_add;
+          Alcotest.test_case "c432 priority" `Quick test_c432_priority;
+        ] );
+      ( "boxes",
+        [
+          Alcotest.test_case "golden boxes recover the spec" `Quick test_golden_boxes;
+          Alcotest.test_case "faults defeat golden boxes" `Quick test_fault_breaks_golden;
+        ] );
+      ( "pec",
+        [
+          Alcotest.test_case "fault-free instances are SAT" `Slow test_pec_sat_instances;
+          Alcotest.test_case "faulty instances are UNSAT" `Slow test_pec_unsat_instances;
+          Alcotest.test_case "idq agrees with hqs" `Slow test_pec_idq_agrees;
+          Alcotest.test_case "expansion agrees with hqs" `Slow test_pec_expansion_agrees;
+          Alcotest.test_case "multi-box instances are non-QBF" `Quick test_pec_non_qbf;
+          Alcotest.test_case "encodings validate" `Quick test_pec_validates;
+          Alcotest.test_case "gate detection fires" `Quick test_gate_detection_fires_on_pec;
+        ] );
+    ]

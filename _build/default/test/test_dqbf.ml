@@ -1,0 +1,488 @@
+open Hqs_util
+module M = Aig.Man
+module F = Dqbf.Formula
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------ generators *)
+
+(* a random DQBF: universals 0..nu-1, existentials nu..nu+ne-1 with random
+   dependency sets, and a random CNF matrix *)
+type instance = {
+  nu : int;
+  ne : int;
+  dep_masks : int list; (* per existential, bitmask over universals *)
+  clauses : (int * bool) list list; (* (var, negated) *)
+}
+
+let instance_gen =
+  QCheck.Gen.(
+    int_range 1 3 >>= fun nu ->
+    int_range 1 3 >>= fun ne ->
+    list_repeat ne (int_bound ((1 lsl nu) - 1)) >>= fun dep_masks ->
+    let n = nu + ne in
+    list_size (int_range 1 12) (list_size (int_range 1 3) (pair (int_bound (n - 1)) bool))
+    >>= fun clauses -> return { nu; ne; dep_masks; clauses })
+
+let instance_print { nu; ne; dep_masks; clauses } =
+  Printf.sprintf "nu=%d ne=%d deps=[%s] clauses=%s" nu ne
+    (String.concat ";" (List.map string_of_int dep_masks))
+    (String.concat " "
+       (List.map
+          (fun c ->
+            String.concat ","
+              (List.map (fun (v, s) -> string_of_int (if s then -(v + 1) else v + 1)) c))
+          clauses))
+
+let instance_arb = QCheck.make ~print:instance_print instance_gen
+
+let build { nu; ne; dep_masks; clauses } =
+  let f = F.create () in
+  for x = 0 to nu - 1 do
+    F.add_universal f x
+  done;
+  List.iteri
+    (fun i mask ->
+      let deps = Bitset.of_list (List.filter (fun x -> mask land (1 lsl x) <> 0) (List.init nu Fun.id)) in
+      F.add_existential f (nu + i) ~deps)
+    dep_masks;
+  ignore ne;
+  let man = F.man f in
+  let lit (v, s) = M.apply_sign (M.input man v) ~neg:s in
+  F.set_matrix f
+    (M.mk_and_list man (List.map (fun c -> M.mk_or_list man (List.map lit c)) clauses));
+  f
+
+(* ------------------------------------------------------------ known cases *)
+
+(* Example 1 of the paper: forall x1 x2 exists y1(x1) y2(x2) *)
+let example1 ~crossed =
+  let f = F.create () in
+  F.add_universal f 0;
+  F.add_universal f 1;
+  F.add_existential f 2 ~deps:(Bitset.singleton 0);
+  F.add_existential f 3 ~deps:(Bitset.singleton 1);
+  let man = F.man f in
+  let x1 = M.input man 0 and x2 = M.input man 1 in
+  let y1 = M.input man 2 and y2 = M.input man 3 in
+  let matrix =
+    if crossed then M.mk_and man (M.mk_iff man y1 x2) (M.mk_iff man y2 x1)
+    else M.mk_and man (M.mk_iff man y1 x1) (M.mk_iff man y2 x2)
+  in
+  F.set_matrix f matrix;
+  f
+
+let test_example1_sat () =
+  check "aligned deps satisfiable" true (Dqbf.Reference.by_expansion (example1 ~crossed:false));
+  check "skolem agrees" true (Dqbf.Reference.by_skolem_enum (example1 ~crossed:false))
+
+let test_example1_unsat () =
+  check "crossed deps unsatisfiable" false (Dqbf.Reference.by_expansion (example1 ~crossed:true));
+  check "skolem agrees" false (Dqbf.Reference.by_skolem_enum (example1 ~crossed:true))
+
+let test_example1_depgraph () =
+  let f = example1 ~crossed:false in
+  check "cyclic" false (Dqbf.Depgraph.is_acyclic f);
+  check_int "one incomparable pair" 1 (List.length (Dqbf.Depgraph.incomparable_pairs f));
+  check "no qbf prefix" true (Dqbf.Depgraph.qbf_prefix f = None);
+  (* edges both ways between y1 and y2 *)
+  let es = Dqbf.Depgraph.edges f in
+  check "y1->y2" true (List.mem (2, 3) es);
+  check "y2->y1" true (List.mem (3, 2) es)
+
+let test_acyclic_prefix () =
+  (* chain deps: y1(), y2(x1), y3(x1 x2) -> QBF-expressible *)
+  let f = F.create () in
+  F.add_universal f 0;
+  F.add_universal f 1;
+  F.add_existential f 2 ~deps:Bitset.empty;
+  F.add_existential f 3 ~deps:(Bitset.singleton 0);
+  F.add_existential f 4 ~deps:(Bitset.of_list [ 0; 1 ]);
+  let man = F.man f in
+  F.set_matrix f (M.mk_or_list man (List.map (M.input man) [ 2; 3; 4 ]));
+  check "acyclic" true (Dqbf.Depgraph.is_acyclic f);
+  match Dqbf.Depgraph.qbf_prefix f with
+  | None -> Alcotest.fail "expected a prefix"
+  | Some p ->
+      check "prefix shape" true
+        (p
+        = [
+            (Qbf.Prefix.Exists, [ 2 ]);
+            (Qbf.Prefix.Forall, [ 0 ]);
+            (Qbf.Prefix.Exists, [ 3 ]);
+            (Qbf.Prefix.Forall, [ 1 ]);
+            (Qbf.Prefix.Exists, [ 4 ]);
+          ])
+
+(* ------------------------------------------------ reference cross-checks *)
+
+let small_enough inst =
+  List.fold_left (fun acc m -> acc + (1 lsl Bitset.cardinal (Bitset.of_list (List.filter (fun x -> m land (1 lsl x) <> 0) (List.init inst.nu Fun.id))))) 0 inst.dep_masks <= 12
+
+let prop_expansion_vs_skolem =
+  QCheck.Test.make ~name:"expansion agrees with skolem enumeration" ~count:150 instance_arb
+    (fun inst ->
+      QCheck.assume (small_enough inst);
+      let f = build inst in
+      Dqbf.Reference.by_expansion f = Dqbf.Reference.by_skolem_enum (build inst))
+
+(* ----------------------------------------------- elimination correctness *)
+
+let prop_thm1_preserves =
+  QCheck.Test.make ~name:"Theorem 1 (universal elimination) preserves truth" ~count:250
+    (QCheck.pair instance_arb (QCheck.int_bound 2)) (fun (inst, xi) ->
+      let x = xi mod inst.nu in
+      let f = build inst in
+      let before = Dqbf.Reference.by_expansion f in
+      Dqbf.Elim.universal f x;
+      (not (F.is_universal f x))
+      && Dqbf.Reference.by_expansion f = before)
+
+let prop_thm1_repeated =
+  QCheck.Test.make ~name:"eliminating every universal yields SAT problem" ~count:150
+    instance_arb (fun inst ->
+      let f = build inst in
+      let before = Dqbf.Reference.by_expansion f in
+      List.iter (Dqbf.Elim.universal f) (List.init inst.nu Fun.id);
+      Bitset.is_empty (F.universals f) && Dqbf.Reference.by_expansion f = before)
+
+let prop_thm2_preserves =
+  QCheck.Test.make ~name:"Theorem 2 (existential elimination) preserves truth" ~count:250
+    instance_arb (fun inst ->
+      (* force one existential to depend on everything *)
+      let inst =
+        { inst with dep_masks = ((1 lsl inst.nu) - 1) :: List.tl inst.dep_masks }
+      in
+      let f = build inst in
+      let before = Dqbf.Reference.by_expansion f in
+      Dqbf.Elim.existential f inst.nu;
+      Dqbf.Reference.by_expansion f = before)
+
+let prop_thm2_requires_full_deps =
+  QCheck.Test.make ~name:"Theorem 2 rejects partial dependency sets" ~count:50 instance_arb
+    (fun inst ->
+      QCheck.assume (inst.nu >= 1);
+      let inst = { inst with dep_masks = 0 :: List.tl inst.dep_masks } in
+      let f = build inst in
+      try
+        Dqbf.Elim.existential f inst.nu;
+        false
+      with Invalid_argument _ -> true)
+
+let prop_unitpure_preserves =
+  QCheck.Test.make ~name:"Theorem 5 (unit/pure elimination) preserves truth" ~count:300
+    instance_arb (fun inst ->
+      let f = build inst in
+      let before = Dqbf.Reference.by_expansion f in
+      match Dqbf.Elim.unit_pure_round f with
+      | `Unsat -> before = false
+      | `Eliminated _ | `None -> Dqbf.Reference.by_expansion f = before)
+
+let prop_prune_preserves =
+  QCheck.Test.make ~name:"prefix pruning preserves truth" ~count:200 instance_arb (fun inst ->
+      let f = build inst in
+      let before = Dqbf.Reference.by_expansion f in
+      Dqbf.Elim.prune_prefix f;
+      Dqbf.Reference.by_expansion f = before)
+
+(* ------------------------------------------------------- elimination set *)
+
+(* does eliminating [set] (uniform removal from every dep set) make all
+   pairs comparable? *)
+let set_linearizes f set =
+  let removed = Bitset.of_list set in
+  let ds = List.map (fun (_, d) -> Bitset.diff d removed) (F.existentials f) in
+  let rec ok = function
+    | [] -> true
+    | d :: rest ->
+        List.for_all (fun d' -> Bitset.subset d d' || Bitset.subset d' d) rest && ok rest
+  in
+  ok ds
+
+let prop_elimset_linearizes =
+  QCheck.Test.make ~name:"MaxSAT elimination set linearizes the prefix" ~count:200
+    instance_arb (fun inst ->
+      let f = build inst in
+      set_linearizes f (Dqbf.Elimset.minimum_set f))
+
+let prop_elimset_minimum =
+  QCheck.Test.make ~name:"MaxSAT elimination set is minimum" ~count:200 instance_arb
+    (fun inst ->
+      let f = build inst in
+      let set = Dqbf.Elimset.minimum_set f in
+      let k = List.length set in
+      (* no strictly smaller subset of universals linearizes *)
+      let univs = Bitset.to_list (F.universals f) in
+      let rec subsets acc = function
+        | [] -> [ acc ]
+        | x :: rest -> subsets acc rest @ subsets (x :: acc) rest
+      in
+      List.for_all
+        (fun s -> List.length s >= k || not (set_linearizes f s))
+        (subsets [] univs))
+
+let prop_greedy_linearizes =
+  QCheck.Test.make ~name:"greedy elimination set linearizes too" ~count:200 instance_arb
+    (fun inst ->
+      let f = build inst in
+      let greedy = Dqbf.Elimset.greedy_all f in
+      set_linearizes f greedy
+      && List.length greedy >= List.length (Dqbf.Elimset.minimum_set f))
+
+let test_ordered_queue () =
+  let f = example1 ~crossed:false in
+  (* |E_x1| = |{y1}| = 1, |E_x2| = 1; both orders fine, check it's a perm *)
+  let q = Dqbf.Elimset.ordered_queue f [ 0; 1 ] in
+  check "queue is permutation" true (List.sort compare q = [ 0; 1 ]);
+  check_int "E_x count" 1 (Dqbf.Elimset.elimination_count f 0)
+
+(* --------------------------------------------------------------- pcnf *)
+
+let test_pcnf_roundtrip () =
+  let text = "c t\np cnf 4 2\na 1 2 0\nd 3 1 0\nd 4 2 0\n-3 1 0\n4 -2 0\n" in
+  let p = Dqbf.Pcnf.parse_string text in
+  check_int "vars" 4 p.Dqbf.Pcnf.num_vars;
+  check "univs" true (p.Dqbf.Pcnf.univs = [ 0; 1 ]);
+  check "exists" true (p.Dqbf.Pcnf.exists = [ (2, [ 0 ]); (3, [ 1 ]) ]);
+  let p2 = Dqbf.Pcnf.parse_string (Dqbf.Pcnf.to_string p) in
+  check "roundtrip" true (p = p2);
+  check "valid" true (Dqbf.Pcnf.validate p = Ok ())
+
+let test_pcnf_e_line_deps () =
+  let text = "p cnf 3 1\na 1 0\ne 2 0\na 3 0\n1 2 3 0\n" in
+  let p = Dqbf.Pcnf.parse_string text in
+  (* e-declared var depends on universals declared so far: just x1 *)
+  check "e deps" true (p.Dqbf.Pcnf.exists = [ (1, [ 0 ]) ]);
+  check "univs" true (p.Dqbf.Pcnf.univs = [ 0; 2 ])
+
+let test_pcnf_validate_errors () =
+  let bad = { Dqbf.Pcnf.num_vars = 2; univs = [ 0; 0 ]; exists = []; clauses = [] } in
+  check "dup decl" true (Result.is_error (Dqbf.Pcnf.validate bad));
+  let bad2 = { Dqbf.Pcnf.num_vars = 2; univs = [ 0 ]; exists = [ (1, [ 1 ]) ]; clauses = [] } in
+  check "dep not universal" true (Result.is_error (Dqbf.Pcnf.validate bad2))
+
+let pcnf_of_instance inst =
+  {
+    Dqbf.Pcnf.num_vars = inst.nu + inst.ne;
+    univs = List.init inst.nu Fun.id;
+    exists =
+      List.mapi
+        (fun i mask ->
+          (inst.nu + i, List.filter (fun x -> mask land (1 lsl x) <> 0) (List.init inst.nu Fun.id)))
+        inst.dep_masks;
+    clauses =
+      List.map (List.map (fun (v, s) -> if s then -(v + 1) else v + 1)) inst.clauses;
+  }
+
+let prop_pcnf_to_formula_matches =
+  QCheck.Test.make ~name:"pcnf to_formula matches direct construction" ~count:200 instance_arb
+    (fun inst ->
+      let f1 = build inst in
+      let f2 = Dqbf.Pcnf.to_formula (pcnf_of_instance inst) in
+      Dqbf.Reference.by_expansion f1 = Dqbf.Reference.by_expansion f2)
+
+(* ---------------------------------------------------------- preprocessing *)
+
+let prop_preprocess_preserves =
+  QCheck.Test.make ~name:"CNF preprocessing preserves truth" ~count:400 instance_arb
+    (fun inst ->
+      let pcnf = pcnf_of_instance inst in
+      let reference = Dqbf.Reference.by_expansion (Dqbf.Pcnf.to_formula pcnf) in
+      match Dqbf.Preprocess.run pcnf with
+      | Dqbf.Preprocess.Unsat -> reference = false
+      | Dqbf.Preprocess.Formula (f, _) -> Dqbf.Reference.by_expansion f = reference)
+
+let test_preprocess_universal_unit () =
+  (* a universal unit clause refutes the formula *)
+  let pcnf =
+    { Dqbf.Pcnf.num_vars = 2; univs = [ 0 ]; exists = [ (1, [ 0 ]) ]; clauses = [ [ 1 ]; [ 2; -1 ] ] }
+  in
+  check "unsat" true (Dqbf.Preprocess.run pcnf = Dqbf.Preprocess.Unsat)
+
+let test_preprocess_universal_reduction () =
+  (* clause (x1 | y) where y does not depend on x1: x1 is reduced away,
+     leaving unit y *)
+  let pcnf =
+    { Dqbf.Pcnf.num_vars = 2; univs = [ 0 ]; exists = [ (1, []) ]; clauses = [ [ 1; 2 ] ] }
+  in
+  match Dqbf.Preprocess.run pcnf with
+  | Dqbf.Preprocess.Unsat -> Alcotest.fail "not unsat"
+  | Dqbf.Preprocess.Formula (f, stats) ->
+      check_int "one reduction" 1 stats.Dqbf.Preprocess.reduced_lits;
+      check_int "one unit" 1 stats.Dqbf.Preprocess.units;
+      check "matrix true" true (M.is_true (F.matrix f))
+
+let test_preprocess_equiv_universal_unsat () =
+  (* y = x forced but x not in D_y: unsatisfiable *)
+  let pcnf =
+    {
+      Dqbf.Pcnf.num_vars = 2;
+      univs = [ 0 ];
+      exists = [ (1, []) ];
+      clauses = [ [ 1; -2 ]; [ -1; 2 ] ];
+    }
+  in
+  check "unsat" true (Dqbf.Preprocess.run pcnf = Dqbf.Preprocess.Unsat)
+
+let test_preprocess_equiv_merge_deps () =
+  (* y2(x1) = y3(x2) forced: representative keeps the intersection (empty) *)
+  let pcnf =
+    {
+      Dqbf.Pcnf.num_vars = 4;
+      univs = [ 0; 1 ];
+      exists = [ (2, [ 0 ]); (3, [ 1 ]) ];
+      clauses = [ [ 3; -4 ]; [ -3; 4 ]; [ 3; 1; 2 ] ];
+    }
+  in
+  match Dqbf.Preprocess.run pcnf with
+  | Dqbf.Preprocess.Unsat -> Alcotest.fail "not unsat"
+  | Dqbf.Preprocess.Formula (f, stats) ->
+      check_int "one merge" 1 stats.Dqbf.Preprocess.equivs;
+      (* the merged variable's dependency set becomes empty, so universal
+         reduction strips the remaining clause down to a unit, which is then
+         propagated: the whole formula collapses to true *)
+      check_int "unit propagated" 1 stats.Dqbf.Preprocess.units;
+      check "matrix true" true (M.is_true (F.matrix f))
+
+let test_preprocess_gate_detection () =
+  (* Tseitin AND gate g = a & b (vars a=1, b=2, g=3), plus a ternary use
+     clause (g | a | b) that matches no gate pattern itself *)
+  let pcnf =
+    {
+      Dqbf.Pcnf.num_vars = 4;
+      univs = [ 0 ];
+      exists = [ (1, [ 0 ]); (2, [ 0 ]); (3, [ 0 ]) ];
+      clauses = [ [ -4; 2 ]; [ -4; 3 ]; [ 4; -2; -3 ]; [ 4; 2; 3 ] ];
+    }
+  in
+  match Dqbf.Preprocess.run pcnf with
+  | Dqbf.Preprocess.Unsat -> Alcotest.fail "not unsat"
+  | Dqbf.Preprocess.Formula (f, stats) ->
+      check_int "one gate" 1 stats.Dqbf.Preprocess.gates;
+      check "g gone from prefix" false (F.is_existential f 3);
+      (* semantics: exists a b: (a&b) | a | b  -- satisfiable *)
+      check "still satisfiable" true (Dqbf.Reference.by_expansion f)
+
+let test_preprocess_xor_gate () =
+  (* Tseitin XOR gate g = a ^ b: four all-odd clauses, plus a use (g | a) *)
+  let pcnf =
+    {
+      Dqbf.Pcnf.num_vars = 4;
+      univs = [ 0 ];
+      exists = [ (1, [ 0 ]); (2, [ 0 ]); (3, [ 0 ]) ];
+      clauses =
+        [ [ -4; 2; 3 ]; [ -4; -2; -3 ]; [ 4; -2; 3 ]; [ 4; 2; -3 ]; [ 4; 2 ] ];
+    }
+  in
+  let reference = Dqbf.Reference.by_expansion (Dqbf.Pcnf.to_formula pcnf) in
+  match Dqbf.Preprocess.run pcnf with
+  | Dqbf.Preprocess.Unsat -> Alcotest.fail "not unsat"
+  | Dqbf.Preprocess.Formula (f, stats) ->
+      check "xor gate found" true (stats.Dqbf.Preprocess.gates >= 1);
+      check "semantics preserved" reference (Dqbf.Reference.by_expansion f)
+
+let bce_config = { Dqbf.Preprocess.default_config with Dqbf.Preprocess.blocked_clauses = true }
+
+let prop_preprocess_bce_preserves =
+  QCheck.Test.make ~name:"blocked clause elimination preserves truth" ~count:400 instance_arb
+    (fun inst ->
+      let pcnf = pcnf_of_instance inst in
+      let reference = Dqbf.Reference.by_expansion (Dqbf.Pcnf.to_formula pcnf) in
+      match Dqbf.Preprocess.run ~config:bce_config pcnf with
+      | Dqbf.Preprocess.Unsat -> reference = false
+      | Dqbf.Preprocess.Formula (f, _) -> Dqbf.Reference.by_expansion f = reference)
+
+let test_bce_removes_blocked () =
+  (* y occurs only positively except in (y | x) vs (!y | !x): the clause
+     (y | x) is blocked by y (the resolvent with (!y | !x) is a tautology
+     on x, and x is in D_y) *)
+  let pcnf =
+    {
+      Dqbf.Pcnf.num_vars = 3;
+      univs = [ 0 ];
+      exists = [ (1, [ 0 ]); (2, [ 0 ]) ];
+      clauses = [ [ 2; 1 ]; [ -2; -1 ]; [ 2; 3 ]; [ -2; 3 ] ];
+    }
+  in
+  let config =
+    {
+      Dqbf.Preprocess.off with
+      Dqbf.Preprocess.blocked_clauses = true;
+    }
+  in
+  match Dqbf.Preprocess.run ~config pcnf with
+  | Dqbf.Preprocess.Unsat -> Alcotest.fail "not unsat"
+  | Dqbf.Preprocess.Formula (_, stats) ->
+      check "clauses removed" true (stats.Dqbf.Preprocess.blocked > 0)
+
+let prop_preprocess_ablations_preserve =
+  QCheck.Test.make ~name:"each preprocessing stage alone preserves truth" ~count:150
+    instance_arb (fun inst ->
+      let pcnf = pcnf_of_instance inst in
+      let reference = Dqbf.Reference.by_expansion (Dqbf.Pcnf.to_formula pcnf) in
+      let configs =
+        [
+          { Dqbf.Preprocess.off with Dqbf.Preprocess.unit_propagation = true };
+          { Dqbf.Preprocess.off with Dqbf.Preprocess.universal_reduction = true };
+          { Dqbf.Preprocess.off with Dqbf.Preprocess.equivalences = true };
+          { Dqbf.Preprocess.off with Dqbf.Preprocess.gate_detection = true };
+        ]
+      in
+      List.for_all
+        (fun config ->
+          match Dqbf.Preprocess.run ~config pcnf with
+          | Dqbf.Preprocess.Unsat -> reference = false
+          | Dqbf.Preprocess.Formula (f, _) -> Dqbf.Reference.by_expansion f = reference)
+        configs)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "dqbf"
+    [
+      ( "known",
+        [
+          Alcotest.test_case "example 1 sat" `Quick test_example1_sat;
+          Alcotest.test_case "example 1 unsat" `Quick test_example1_unsat;
+          Alcotest.test_case "example 1 dependency graph" `Quick test_example1_depgraph;
+          Alcotest.test_case "acyclic prefix construction" `Quick test_acyclic_prefix;
+          Alcotest.test_case "ordered queue" `Quick test_ordered_queue;
+        ] );
+      ("references", qsuite [ prop_expansion_vs_skolem ]);
+      ( "eliminations",
+        qsuite
+          [
+            prop_thm1_preserves;
+            prop_thm1_repeated;
+            prop_thm2_preserves;
+            prop_thm2_requires_full_deps;
+            prop_unitpure_preserves;
+            prop_prune_preserves;
+          ] );
+      ( "elimset",
+        qsuite [ prop_elimset_linearizes; prop_elimset_minimum; prop_greedy_linearizes ] );
+      ( "pcnf",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_pcnf_roundtrip;
+          Alcotest.test_case "e-line dependencies" `Quick test_pcnf_e_line_deps;
+          Alcotest.test_case "validation errors" `Quick test_pcnf_validate_errors;
+        ]
+        @ qsuite [ prop_pcnf_to_formula_matches ] );
+      ( "preprocess",
+        [
+          Alcotest.test_case "universal unit refutes" `Quick test_preprocess_universal_unit;
+          Alcotest.test_case "universal reduction" `Quick test_preprocess_universal_reduction;
+          Alcotest.test_case "equivalence with universal" `Quick test_preprocess_equiv_universal_unsat;
+          Alcotest.test_case "equivalence merges deps" `Quick test_preprocess_equiv_merge_deps;
+          Alcotest.test_case "gate detection" `Quick test_preprocess_gate_detection;
+          Alcotest.test_case "xor gate detection" `Quick test_preprocess_xor_gate;
+        ]
+        @ [ Alcotest.test_case "bce removes blocked clauses" `Quick test_bce_removes_blocked ]
+        @ qsuite
+            [
+              prop_preprocess_preserves;
+              prop_preprocess_bce_preserves;
+              prop_preprocess_ablations_preserve;
+            ] );
+    ]

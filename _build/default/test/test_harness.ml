@@ -1,0 +1,147 @@
+module R = Harness.Runner
+module Fam = Circuit.Families
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let small_sat = Fam.pec_xor ~length:3 ~boxes:1 ~fault:false
+let small_unsat = Fam.pec_xor ~length:3 ~boxes:1 ~fault:true
+
+(* ---------------------------------------------------------------- runner *)
+
+let test_run_hqs_solves () =
+  (match R.run_hqs ~timeout:30.0 ~node_limit:400_000 small_sat.Fam.pcnf with
+  | R.Solved (true, t) -> check "positive time" true (t >= 0.0)
+  | _ -> Alcotest.fail "expected SAT");
+  match R.run_hqs ~timeout:30.0 ~node_limit:400_000 small_unsat.Fam.pcnf with
+  | R.Solved (false, _) -> ()
+  | _ -> Alcotest.fail "expected UNSAT"
+
+let test_run_hqs_timeout () =
+  let hard = Fam.adder ~bits:6 ~boxes:3 ~fault:false in
+  match R.run_hqs ~timeout:0.02 ~node_limit:50_000_000 hard.Fam.pcnf with
+  | R.Timeout _ -> ()
+  | R.Memout _ -> () (* also acceptable on a tiny machine *)
+  | R.Solved _ -> Alcotest.fail "expected an abort"
+
+let test_run_hqs_memout () =
+  let inst = Fam.adder ~bits:4 ~boxes:2 ~fault:false in
+  match R.run_hqs ~timeout:60.0 ~node_limit:64 inst.Fam.pcnf with
+  | R.Memout _ -> ()
+  | R.Timeout _ -> Alcotest.fail "expected memout, got timeout"
+  | R.Solved _ -> Alcotest.fail "expected memout, got solved"
+
+let test_run_instance_agreement () =
+  let r = R.run_instance ~timeout:20.0 ~node_limit:400_000 small_unsat in
+  check "both solved" true (R.is_solved r.R.hqs && R.is_solved r.R.idq);
+  check "family" true (r.R.family = "pec_xor");
+  check "times readable" true (R.time_of r.R.hqs >= 0.0 && R.time_of r.R.idq >= 0.0)
+
+(* ---------------------------------------------------------------- report *)
+
+let fake_results =
+  [
+    {
+      R.id = "a1";
+      family = "adder";
+      sat_expected = None;
+      hqs = R.Solved (true, 0.1);
+      idq = R.Solved (true, 2.0);
+    };
+    {
+      R.id = "a2";
+      family = "adder";
+      sat_expected = None;
+      hqs = R.Solved (false, 0.2);
+      idq = R.Timeout 5.0;
+    };
+    {
+      R.id = "b1";
+      family = "bitcell";
+      sat_expected = None;
+      hqs = R.Memout 3.0;
+      idq = R.Solved (false, 0.5);
+    };
+  ]
+
+let test_table1_shape () =
+  let t = Harness.Report.table1 fake_results in
+  let lines = String.split_on_char '\n' t in
+  (* header + separator + 2 family rows + separator + total row + trailing *)
+  check "adder row" true (List.exists (fun l -> String.length l > 5 && String.sub l 0 5 = "adder") lines);
+  check "bitcell row" true
+    (List.exists (fun l -> String.length l > 7 && String.sub l 0 7 = "bitcell") lines);
+  check "total row" true (List.exists (fun l -> String.length l > 5 && String.sub l 0 5 = "total") lines);
+  (* common time: only a1 is solved by both -> hqs 0.1, idq 2.0 *)
+  check "hqs common time" true
+    (let re = Str.regexp_string "0.10" in
+     try
+       ignore (Str.search_forward re t 0);
+       true
+     with Not_found -> false)
+
+let test_fig4_contains_points () =
+  let s = Harness.Report.fig4 ~timeout:5.0 fake_results in
+  check "series row" true
+    (let re = Str.regexp_string "a1" in
+     try
+       ignore (Str.search_forward re s 0);
+       true
+     with Not_found -> false);
+  check "TO marker" true
+    (let re = Str.regexp_string "TO" in
+     try
+       ignore (Str.search_forward re s 0);
+       true
+     with Not_found -> false);
+  check "plot axis" true
+    (let re = Str.regexp_string "iDQ time" in
+     try
+       ignore (Str.search_forward re s 0);
+       true
+     with Not_found -> false)
+
+let test_headline_counts () =
+  let s = Harness.Report.headline fake_results in
+  check "solved counts" true
+    (let re = Str.regexp_string "solved by HQS: 2, by iDQ: 2" in
+     try
+       ignore (Str.search_forward re s 0);
+       true
+     with Not_found -> false);
+  check "idq-not-hqs" true
+    (let re = Str.regexp_string "solved by iDQ but not HQS: 1" in
+     try
+       ignore (Str.search_forward re s 0);
+       true
+     with Not_found -> false)
+
+let test_csv_lines () =
+  let s = Harness.Report.csv fake_results in
+  let lines = List.filter (fun l -> l <> "") (String.split_on_char '\n' s) in
+  check_int "header + one line per result" 4 (List.length lines);
+  check "memout cell" true
+    (let re = Str.regexp_string "MO" in
+     try
+       ignore (Str.search_forward re s 0);
+       true
+     with Not_found -> false)
+
+let () =
+  Alcotest.run "harness"
+    [
+      ( "runner",
+        [
+          Alcotest.test_case "solves" `Slow test_run_hqs_solves;
+          Alcotest.test_case "timeout" `Quick test_run_hqs_timeout;
+          Alcotest.test_case "memout" `Quick test_run_hqs_memout;
+          Alcotest.test_case "instance agreement" `Slow test_run_instance_agreement;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "table1 shape" `Quick test_table1_shape;
+          Alcotest.test_case "fig4 content" `Quick test_fig4_contains_points;
+          Alcotest.test_case "headline counts" `Quick test_headline_counts;
+          Alcotest.test_case "csv lines" `Quick test_csv_lines;
+        ] );
+    ]

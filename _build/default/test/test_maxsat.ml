@@ -1,0 +1,130 @@
+module L = Sat.Lit
+module M = Maxsat.Msolver
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let l = L.of_dimacs
+let cl ints = List.map l ints
+
+(* brute-force partial MaxSAT over n <= 12 vars *)
+let brute n hard soft =
+  let eval a clause =
+    List.exists (fun i -> if i > 0 then a.(i - 1) else not a.(-i - 1)) clause
+  in
+  let best = ref None in
+  for bits = 0 to (1 lsl n) - 1 do
+    let a = Array.init n (fun i -> bits land (1 lsl i) <> 0) in
+    if List.for_all (eval a) hard then begin
+      let cost = List.length (List.filter (fun c -> not (eval a c)) soft) in
+      match !best with Some b when b <= cost -> () | _ -> best := Some cost
+    end
+  done;
+  !best
+
+let solve_ints n hard soft =
+  M.solve ~num_vars:n ~hard:(List.map cl hard) ~soft:(List.map cl soft) ()
+
+let test_all_soft_satisfiable () =
+  match solve_ints 2 [] [ [ 1 ]; [ 2 ] ] with
+  | Some { cost; model } ->
+      check_int "cost" 0 cost;
+      check "x1" true model.(0);
+      check "x2" true model.(1)
+  | None -> Alcotest.fail "expected an answer"
+
+let test_conflicting_soft () =
+  (* x and not x: exactly one must be violated *)
+  match solve_ints 1 [] [ [ 1 ]; [ -1 ]; [ 1 ] ] with
+  | Some { cost; _ } -> check_int "cost" 1 cost
+  | None -> Alcotest.fail "expected an answer"
+
+let test_hard_unsat () =
+  check "hard unsat gives None" true (solve_ints 1 [ [ 1 ]; [ -1 ] ] [ [ 1 ] ] = None)
+
+let test_hard_constrains_soft () =
+  (* hard: x1; soft: not x1, x2 -> cost 1 with x2 picked *)
+  match solve_ints 2 [ [ 1 ] ] [ [ -1 ]; [ 2 ] ] with
+  | Some { cost; model } ->
+      check_int "cost" 1 cost;
+      check "hard satisfied" true model.(0);
+      check "free soft satisfied" true model.(1)
+  | None -> Alcotest.fail "expected an answer"
+
+let test_vertex_cover_shape () =
+  (* min vertex cover of a triangle: hard edge-cover clauses, soft "not in
+     cover" units; optimum violates exactly 2 *)
+  let hard = [ [ 1; 2 ]; [ 2; 3 ]; [ 1; 3 ] ] in
+  let soft = [ [ -1 ]; [ -2 ]; [ -3 ] ] in
+  match solve_ints 3 hard soft with
+  | Some { cost; _ } -> check_int "triangle cover" 2 cost
+  | None -> Alcotest.fail "expected an answer"
+
+let gen_instance =
+  QCheck.Gen.(
+    let lit_g n = map2 (fun v s -> if s then v + 1 else -(v + 1)) (int_bound (n - 1)) bool in
+    int_range 1 6 >>= fun n ->
+    list_size (int_bound 8) (list_size (int_range 1 3) (lit_g n)) >>= fun hard ->
+    list_size (int_bound 8) (list_size (int_range 1 3) (lit_g n)) >>= fun soft ->
+    return (n, hard, soft))
+
+let arb_instance =
+  QCheck.make
+    ~print:(fun (n, h, s) ->
+      let pp cls =
+        String.concat ";" (List.map (fun c -> String.concat "," (List.map string_of_int c)) cls)
+      in
+      Printf.sprintf "n=%d hard=[%s] soft=[%s]" n (pp h) (pp s))
+    gen_instance
+
+let prop_optimal =
+  QCheck.Test.make ~name:"maxsat matches brute-force optimum" ~count:300 arb_instance
+    (fun (n, hard, soft) ->
+      let expected = brute n hard soft in
+      match solve_ints n hard soft with
+      | None -> expected = None
+      | Some { cost; model } ->
+          let eval a clause =
+            List.exists (fun i -> if i > 0 then a.(i - 1) else not a.(-i - 1)) clause
+          in
+          expected = Some cost
+          && List.for_all (eval model) hard
+          && List.length (List.filter (fun c -> not (eval model c)) soft) = cost)
+
+let test_totalizer_bound () =
+  (* at most k of n: totalizer output k asserted false *)
+  let module S = Sat.Solver in
+  let n = 5 in
+  List.iter
+    (fun k ->
+      let s = S.create () in
+      let inputs = Array.init n (fun _ -> L.of_var (S.new_var s)) in
+      let outputs = Maxsat.Totalizer.build s inputs in
+      check_int "output count" n (Array.length outputs);
+      if k < n then S.add_clause s [ L.neg outputs.(k) ];
+      (* forcing k+1 inputs true must now be UNSAT; k inputs true is SAT *)
+      let assume m = Array.to_list (Array.sub inputs 0 m) in
+      check
+        (Printf.sprintf "k=%d: %d true ok" k k)
+        true
+        (S.solve ~assumptions:(assume k) s = S.Sat);
+      if k < n then
+        check
+          (Printf.sprintf "k=%d: %d true blocked" k (k + 1))
+          true
+          (S.solve ~assumptions:(assume (k + 1)) s = S.Unsat))
+    [ 0; 1; 2; 3; 4 ]
+
+let () =
+  Alcotest.run "maxsat"
+    [
+      ( "basic",
+        [
+          Alcotest.test_case "all soft satisfiable" `Quick test_all_soft_satisfiable;
+          Alcotest.test_case "conflicting soft" `Quick test_conflicting_soft;
+          Alcotest.test_case "hard unsat" `Quick test_hard_unsat;
+          Alcotest.test_case "hard constrains soft" `Quick test_hard_constrains_soft;
+          Alcotest.test_case "triangle vertex cover" `Quick test_vertex_cover_shape;
+          Alcotest.test_case "totalizer bound" `Quick test_totalizer_bound;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_optimal ]);
+    ]
