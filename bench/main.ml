@@ -188,7 +188,7 @@ let ablations () =
       List.iter
         (fun (_, config) ->
           let cell =
-            match R.run_hqs ~config ~timeout ~node_limit inst.Fam.pcnf with
+            match fst (R.run_hqs ~config ~timeout ~node_limit inst.Fam.pcnf) with
             | R.Solved (_, t) -> Printf.sprintf "%.3fs" t
             | R.Timeout _ -> "TO"
             | R.Memout _ -> "MO"

@@ -1,10 +1,36 @@
-(* hqs: solve a DQDIMACS file with the elimination-based solver. Exit code
-   10 = SAT, 20 = UNSAT (the SAT-competition convention), 1 = aborted. *)
+(* hqs: solve a DQDIMACS file with the elimination-based solver.
+
+   Exit codes (SAT-competition convention for verdicts, split abort
+   codes so a harness can tell the failure modes apart):
+     10        SAT
+     20        UNSAT
+     2         usage error / invalid input (incl. command-line errors)
+     1         internal error (uncaught exception)
+     124       wall-clock timeout            ("s cnf TIMEOUT")
+     125       memory budget exhausted       ("s cnf MEMOUT"; AIG node
+               limit or --mem-limit heap governor)
+     128+sig   aborted by SIGINT (130) / SIGTERM (143), after printing
+               "c aborted (signal ...)" *)
 
 open Cmdliner
 
-let solve file timeout node_limit no_preprocess no_unitpure no_maxsat no_thm2 bce expand_all
-    sat_probe no_fraig search_backend show_model show_stats =
+let install_signal_handlers () =
+  let handle name code signo =
+    try
+      Sys.set_signal signo
+        (Sys.Signal_handle
+           (fun _ ->
+             Printf.printf "c aborted (signal %s)\n%!" name;
+             exit code))
+    with Invalid_argument _ | Sys_error _ -> ()
+  in
+  handle "SIGINT" 130 Sys.sigint;
+  handle "SIGTERM" 143 Sys.sigterm
+
+let solve file timeout mem_limit node_limit no_preprocess no_unitpure no_maxsat no_thm2 bce
+    expand_all sat_probe no_fraig search_backend no_restart chaos_seed chaos_points show_model
+    show_stats =
+  install_signal_handlers ();
   let pcnf =
     try Dqbf.Pcnf.parse_file file
     with Failure msg | Sys_error msg ->
@@ -16,6 +42,15 @@ let solve file timeout node_limit no_preprocess no_unitpure no_maxsat no_thm2 bc
   | Error msg ->
       Printf.eprintf "invalid input: %s\n" msg;
       exit 2);
+  let chaos =
+    match chaos_seed with
+    | None -> Hqs_util.Chaos.off
+    | Some seed ->
+        let points =
+          match chaos_points with None -> [] | Some s -> Hqs_util.Chaos.parse_points s
+        in
+        Hqs_util.Chaos.create ~seed ~points ()
+  in
   let config =
     {
       Hqs.default_config with
@@ -30,12 +65,19 @@ let solve file timeout node_limit no_preprocess no_unitpure no_maxsat no_thm2 bc
       use_sat_probe = sat_probe;
       qbf_backend = (if search_backend then Hqs.Search_backend else Hqs.Elim_backend);
       node_limit;
+      chaos;
+      restart_on_memout = not no_restart;
     }
   in
   let budget =
     match timeout with
     | None -> Hqs_util.Budget.unlimited
     | Some s -> Hqs_util.Budget.of_seconds s
+  in
+  let budget =
+    match mem_limit with
+    | None -> budget
+    | Some mb -> Hqs_util.Budget.with_mem_limit_mb budget mb
   in
   let run () =
     if show_model then begin
@@ -81,21 +123,42 @@ let solve file timeout node_limit no_preprocess no_unitpure no_maxsat no_thm2 bc
           exit 20)
   | exception Hqs_util.Budget.Timeout ->
       print_endline "s cnf TIMEOUT";
-      exit 1
+      exit 124
   | exception Hqs_util.Budget.Out_of_memory_budget ->
       print_endline "s cnf MEMOUT";
-      exit 1
+      exit 125
 
 let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"DQDIMACS input")
 
 let timeout =
   Arg.(value & opt (some float) None & info [ "timeout"; "t" ] ~docv:"SECONDS" ~doc:"wall-clock limit")
 
+let mem_limit =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "mem-limit" ] ~docv:"MB"
+        ~doc:"heap ceiling in megabytes (sampled from the OCaml GC; exceeding it is a memout)")
+
 let node_limit =
   Arg.(
     value
     & opt (some int) None
     & info [ "node-limit" ] ~docv:"N" ~doc:"AIG node budget (memout emulation)")
+
+let chaos_seed =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "chaos-seed" ] ~docv:"SEED"
+        ~doc:"arm deterministic fault injection with this seed (testing the degradation ladder)")
+
+let chaos_points =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "chaos-points" ] ~docv:"P1,P2,..."
+        ~doc:"restrict injection to these points (default: all points)")
 
 let flag names doc = Arg.(value & flag & info names ~doc)
 
@@ -104,7 +167,7 @@ let cmd =
   Cmd.v
     (Cmd.info "hqs" ~doc)
     Term.(
-      const solve $ file $ timeout $ node_limit
+      const solve $ file $ timeout $ mem_limit $ node_limit
       $ flag [ "no-preprocess" ] "disable CNF preprocessing"
       $ flag [ "no-unitpure" ] "disable unit/pure detection on the AIG"
       $ flag [ "no-maxsat" ] "use the greedy elimination set instead of MaxSAT"
@@ -114,7 +177,15 @@ let cmd =
       $ flag [ "sat-probe" ] "start with a plain SAT call on the matrix"
       $ flag [ "no-fraig" ] "disable FRAIG sweeping"
       $ flag [ "search-backend" ] "use the QDPLL search back end instead of AIG elimination"
+      $ flag [ "no-restart" ] "disable the degraded restart after a node-limit memout"
+      $ chaos_seed $ chaos_points
       $ flag [ "model" ] "on SAT, print and verify Skolem functions"
       $ flag [ "stats" ] "print statistics to stderr")
 
-let () = exit (Cmd.eval' cmd)
+(* cmdliner's own exit codes (124/125) collide with the timeout/memout
+   convention above, so map evaluation outcomes explicitly *)
+let () =
+  match Cmd.eval_value cmd with
+  | Ok (`Ok () | `Help | `Version) -> exit 0
+  | Error (`Parse | `Term) -> exit 2
+  | Error `Exn -> exit 1

@@ -1,0 +1,41 @@
+#!/bin/sh
+# CI entry point: run from the repo root.
+#
+#   ./ci.sh
+#
+# Steps:
+#   1. full build
+#   2. format check (skipped with a notice if ocamlformat is absent)
+#   3. unit + property test suites
+#   4. chaos-enabled smoke solve: generate a small PEC instance and
+#      solve it with fault injection armed, proving the degradation
+#      ladder end-to-end through the real CLI
+set -eu
+cd "$(dirname "$0")"
+
+echo "== build =="
+dune build
+
+if command -v ocamlformat >/dev/null 2>&1; then
+  echo "== format =="
+  dune build @fmt
+else
+  echo "== format: skipped (ocamlformat not installed) =="
+fi
+
+echo "== tests =="
+dune runtest
+
+echo "== chaos smoke solve =="
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+f=$(dune exec bin/genpec.exe -- one pec_xor --size 3 --boxes 1 --out "$tmp")
+status=0
+dune exec bin/hqs_cli.exe -- "$f" --chaos-seed 42 --timeout 60 --stats || status=$?
+case "$status" in
+10 | 20) echo "== ci OK (smoke verdict exit $status) ==" ;;
+*)
+    echo "== ci FAILED: smoke solve exited $status =="
+    exit 1
+    ;;
+esac

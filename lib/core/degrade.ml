@@ -1,0 +1,32 @@
+open Hqs_util
+
+type reason = Stage_timeout | Node_limit | Injected
+type event = { point : string; action : string; reason : reason }
+type t = { mutable rev_events : event list }
+
+let create () = { rev_events = [] }
+let record t ~point ~action ~reason = t.rev_events <- { point; action; reason } :: t.rev_events
+let events t = List.rev t.rev_events
+
+let reason_label = function
+  | Stage_timeout -> "timeout"
+  | Node_limit -> "node-limit"
+  | Injected -> "injected"
+
+let event_label e = Printf.sprintf "%s->%s[%s]" e.point e.action (reason_label e.reason)
+
+let attempt t ~chaos ~budget ~point ~action ?sub_seconds ?sub_frac ~primary ~fallback () =
+  if Chaos.fire chaos point then begin
+    record t ~point ~action ~reason:Injected;
+    fallback ()
+  end
+  else
+    let stage_budget = Budget.sub ?seconds:sub_seconds ?frac:sub_frac budget in
+    match primary stage_budget with
+    | v -> v
+    | exception Budget.Timeout when not (Budget.expired budget) ->
+        record t ~point ~action ~reason:Stage_timeout;
+        fallback ()
+    | exception Budget.Out_of_memory_budget when not (Budget.mem_exceeded budget) ->
+        record t ~point ~action ~reason:Node_limit;
+        fallback ()

@@ -18,6 +18,8 @@ type config = {
   node_limit : int option;
   qbf : Qbf.Solver.config;
   qbf_backend : qbf_backend;
+  chaos : Chaos.t;
+  restart_on_memout : bool;
 }
 
 let default_config =
@@ -33,6 +35,19 @@ let default_config =
     node_limit = None;
     qbf = Qbf.Solver.default_config;
     qbf_backend = Elim_backend;
+    chaos = Chaos.off;
+    restart_on_memout = true;
+  }
+
+(* the bounded-restart config: keep the same resource limits but trade
+   speed for compactness — sweep aggressively and use the search back
+   end, which does not grow the AIG *)
+let degraded_config config =
+  {
+    config with
+    use_fraig = true;
+    fraig_threshold = min config.fraig_threshold 1000;
+    qbf_backend = Search_backend;
   }
 
 type stats = {
@@ -47,6 +62,8 @@ type stats = {
   mutable qbf_time : float;
   mutable peak_nodes : int;
   mutable total_time : float;
+  mutable restarts : int;
+  mutable degraded : string list;
 }
 
 let fresh_stats () =
@@ -62,6 +79,8 @@ let fresh_stats () =
     qbf_time = 0.0;
     peak_nodes = 0;
     total_time = 0.0;
+    restarts = 0;
+    degraded = [];
   }
 
 exception Done of verdict
@@ -76,11 +95,27 @@ let sat_probe ~budget f =
   | Sat.Solver.Unsat -> raise (Done Unsat)
   | Sat.Solver.Sat | Sat.Solver.Unknown -> ()
 
-let solve_impl ~config ~budget ~trail f0 =
+let rollback_opt trail mark =
+  match (trail, mark) with
+  | Some trail, Some m -> Dqbf.Model_trail.rollback trail m
+  | _ -> ()
+
+let solve_impl ~config ~budget ~trail ~ledger ~restarts f0 =
   let t_start = Budget.now () in
   let stats = fresh_stats () in
+  stats.restarts <- restarts;
   let f = F.copy f0 in
   M.set_node_limit (F.man f) config.node_limit;
+  (* on a degraded restart, squeeze the matrix before eliminating: the
+     blowup that caused the memout is often pure functional redundancy *)
+  if restarts > 0 && config.use_fraig && M.cone_size (F.man f) (F.matrix f) > 64 then
+    Degrade.attempt ledger ~chaos:config.chaos ~budget ~point:"fraig.initial" ~action:"skip"
+      ~sub_seconds:5.0 ~sub_frac:0.25
+      ~primary:(fun b ->
+        let man, roots = Aig.Fraig.reduce ~budget:b (F.man f) [ F.matrix f ] in
+        F.replace_man f man (List.hd roots))
+      ~fallback:(fun () -> ())
+      ();
   let queue = ref [] in
   let last_size = ref (M.num_nodes (F.man f)) in
   let fraig_floor = ref 0 in
@@ -88,16 +123,23 @@ let solve_impl ~config ~budget ~trail f0 =
   let compact_or_fraig () =
     note_size ();
     let cone = M.cone_size (F.man f) (F.matrix f) in
-    if config.use_fraig && cone > config.fraig_threshold && cone > 2 * !fraig_floor then begin
-      (* time-boxed sweep: on a local timeout keep the unreduced matrix *)
-      let sweep_budget = Budget.of_seconds (min 2.0 (0.2 *. Budget.remaining budget)) in
-      match Aig.Fraig.reduce ~budget:sweep_budget (F.man f) [ F.matrix f ] with
-      | man, roots ->
+    if config.use_fraig && cone > config.fraig_threshold && cone > 2 * !fraig_floor then
+      (* time-boxed sweep: a local timeout or node blowup degrades to a
+         plain compaction instead of aborting the solve *)
+      Degrade.attempt ledger ~chaos:config.chaos ~budget ~point:"fraig.sweep" ~action:"compact"
+        ~sub_seconds:2.0 ~sub_frac:0.2
+        ~primary:(fun b ->
+          let man, roots = Aig.Fraig.reduce ~budget:b (F.man f) [ F.matrix f ] in
           F.replace_man f man (List.hd roots);
           last_size := M.num_nodes man;
-          fraig_floor := M.cone_size man (F.matrix f)
-      | exception Budget.Timeout when not (Budget.expired budget) -> fraig_floor := cone
-    end
+          fraig_floor := M.cone_size man (F.matrix f))
+        ~fallback:(fun () ->
+          (* give up on sweeping this cone until it doubles again *)
+          fraig_floor := cone;
+          let man, roots = M.compact (F.man f) [ F.matrix f ] in
+          F.replace_man f man (List.hd roots);
+          last_size := M.num_nodes man)
+        ()
     else if M.num_nodes (F.man f) > (2 * !last_size) + 1024 then begin
       let man, roots = M.compact (F.man f) [ F.matrix f ] in
       F.replace_man f man (List.hd roots);
@@ -110,7 +152,12 @@ let solve_impl ~config ~budget ~trail f0 =
       match config.mode with
       | Expand_all -> Bitset.to_list (F.universals f)
       | Elimination ->
-          if config.use_maxsat then Dqbf.Elimset.minimum_set ~budget f
+          if config.use_maxsat then
+            Degrade.attempt ledger ~chaos:config.chaos ~budget ~point:"maxsat.minset"
+              ~action:"greedy" ~sub_seconds:5.0 ~sub_frac:0.25
+              ~primary:(fun b -> Dqbf.Elimset.minimum_set ~budget:b f)
+              ~fallback:(fun () -> Dqbf.Elimset.greedy_all f)
+              ()
           else Dqbf.Elimset.greedy_all f
     in
     stats.maxsat_time <- stats.maxsat_time +. (Budget.now () -. t0);
@@ -173,6 +220,11 @@ let solve_impl ~config ~budget ~trail f0 =
               in
               match x with
               | Some x ->
+                  if Chaos.fire config.chaos "elim.universal" then begin
+                    Degrade.record ledger ~point:"elim.universal" ~action:"memout"
+                      ~reason:Degrade.Injected;
+                    raise Budget.Out_of_memory_budget
+                  end;
                   Dqbf.Elim.universal ?trail f x;
                   stats.univ_elims <- stats.univ_elims + 1;
                   compact_or_fraig ()
@@ -188,26 +240,39 @@ let solve_impl ~config ~budget ~trail f0 =
             | None -> assert false
             | Some prefix ->
                 let t0 = Budget.now () in
+                let run_elim stage_budget =
+                  let on_define =
+                    Option.map
+                      (fun trail y man fn -> Dqbf.Model_trail.record_def trail man y fn)
+                      trail
+                  in
+                  Qbf.Solver.solve ~config:config.qbf ~budget:stage_budget ?on_define (F.man f)
+                    (F.matrix f) prefix
+                in
+                let run_search stage_budget =
+                  let on_model =
+                    Option.map
+                      (fun trail mman defs ->
+                        List.iter
+                          (fun (y, fn) -> Dqbf.Model_trail.record_def trail mman y fn)
+                          defs)
+                      trail
+                  in
+                  Qbf.Qdpll.solve ~budget:stage_budget ?on_model (F.man f) (F.matrix f) prefix
+                in
                 let answer =
                   match config.qbf_backend with
+                  | Search_backend -> run_search budget
                   | Elim_backend ->
-                      let on_define =
-                        Option.map
-                          (fun trail y man fn -> Dqbf.Model_trail.record_def trail man y fn)
-                          trail
-                      in
-                      Qbf.Solver.solve ~config:config.qbf ~budget ?on_define (F.man f)
-                        (F.matrix f) prefix
-                  | Search_backend ->
-                      let on_model =
-                        Option.map
-                          (fun trail mman defs ->
-                            List.iter
-                              (fun (y, fn) -> Dqbf.Model_trail.record_def trail mman y fn)
-                              defs)
-                          trail
-                      in
-                      Qbf.Qdpll.solve ~budget ?on_model (F.man f) (F.matrix f) prefix
+                      (* elimination can blow the node limit where search
+                         cannot: fall back rather than report a memout *)
+                      let mark = Option.map Dqbf.Model_trail.mark trail in
+                      Degrade.attempt ledger ~chaos:config.chaos ~budget ~point:"qbf.elim"
+                        ~action:"search" ~primary:run_elim
+                        ~fallback:(fun () ->
+                          rollback_opt trail mark;
+                          run_search budget)
+                        ()
                 in
                 stats.qbf_time <- stats.qbf_time +. (Budget.now () -. t0);
                 raise (Done (if answer then Sat else Unsat))
@@ -222,15 +287,35 @@ let solve_impl ~config ~budget ~trail f0 =
   | Sat, Some trail ->
       List.iter (fun (y, _) -> Dqbf.Model_trail.record_const trail y false) (F.existentials f)
   | _ -> ());
+  stats.degraded <- List.map Degrade.event_label (Degrade.events ledger);
+  stats.total_time <- Budget.now () -. t_start;
+  (verdict, stats)
+
+(* one bounded restart: a mid-elimination memout (node limit, not the
+   heap governor) retries the whole solve once with the degraded config
+   before the memout is allowed to escape *)
+let solve_recoverable ~config ~budget ~trail f0 =
+  let t_start = Budget.now () in
+  let ledger = Degrade.create () in
+  let mark = Option.map Dqbf.Model_trail.mark trail in
+  let verdict, stats =
+    try solve_impl ~config ~budget ~trail ~ledger ~restarts:0 f0
+    with Budget.Out_of_memory_budget
+    when config.restart_on_memout && not (Budget.expired budget)
+         && not (Budget.mem_exceeded budget) ->
+      rollback_opt trail mark;
+      Degrade.record ledger ~point:"solve" ~action:"restart-degraded" ~reason:Degrade.Node_limit;
+      solve_impl ~config:(degraded_config config) ~budget ~trail ~ledger ~restarts:1 f0
+  in
   stats.total_time <- Budget.now () -. t_start;
   (verdict, stats)
 
 let solve_formula ?(config = default_config) ?(budget = Budget.unlimited) f0 =
-  solve_impl ~config ~budget ~trail:None f0
+  solve_recoverable ~config ~budget ~trail:None f0
 
 let solve_formula_model ?(config = default_config) ?(budget = Budget.unlimited) f0 =
   let trail = Dqbf.Model_trail.create () in
-  let verdict, stats = solve_impl ~config ~budget ~trail:(Some trail) f0 in
+  let verdict, stats = solve_recoverable ~config ~budget ~trail:(Some trail) f0 in
   let model =
     match verdict with
     | Unsat -> None
@@ -240,13 +325,13 @@ let solve_formula_model ?(config = default_config) ?(budget = Budget.unlimited) 
   in
   (verdict, model, stats)
 
-let solve_pcnf ?(config = default_config) ?budget pcnf =
+let solve_pcnf ?(config = default_config) ?(budget = Budget.unlimited) pcnf =
   match Dqbf.Preprocess.run ~config:config.preprocess ?node_limit:config.node_limit pcnf with
   | Dqbf.Preprocess.Unsat ->
       let stats = fresh_stats () in
       (Unsat, stats)
   | Dqbf.Preprocess.Formula (f, pre) ->
-      let verdict, stats = solve_formula ~config ?budget f in
+      let verdict, stats = solve_recoverable ~config ~budget ~trail:None f in
       stats.pre_stats <- Some pre;
       (verdict, stats)
 
@@ -257,7 +342,7 @@ let solve_pcnf_model ?(config = default_config) ?(budget = Budget.unlimited) pcn
   with
   | Dqbf.Preprocess.Unsat -> (Unsat, None, fresh_stats ())
   | Dqbf.Preprocess.Formula (f, pre) ->
-      let verdict, stats = solve_impl ~config ~budget ~trail:(Some trail) f in
+      let verdict, stats = solve_recoverable ~config ~budget ~trail:(Some trail) f in
       stats.pre_stats <- Some pre;
       let model =
         match verdict with
@@ -272,6 +357,7 @@ let solve_pcnf_model ?(config = default_config) ?(budget = Budget.unlimited) pcn
 let pp_stats fmt s =
   Format.fprintf fmt
     "univ-elims=%d exist-elims=%d unit/pure=%d maxsat-set=%d maxsat-time=%.3fs \
-     unitpure-time=%.3fs qbf-time=%.3fs peak-nodes=%d total=%.3fs"
+     unitpure-time=%.3fs qbf-time=%.3fs peak-nodes=%d total=%.3fs restarts=%d degraded=%s"
     s.univ_elims s.exist_elims s.unitpure_elims s.maxsat_set_size s.maxsat_time s.unitpure_time
-    s.qbf_time s.peak_nodes s.total_time
+    s.qbf_time s.peak_nodes s.total_time s.restarts
+    (match s.degraded with [] -> "-" | l -> String.concat "," l)

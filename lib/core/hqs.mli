@@ -8,7 +8,19 @@
     - elimination of existentials depending on all universals (Theorem 2),
     - elimination of the next queued universal variable (Theorem 1),
       cheapest first (fewest existential copies),
-    - FRAIG compaction when the graph grows. *)
+    - FRAIG compaction when the graph grows.
+
+    The expensive accelerators degrade gracefully instead of aborting the
+    solve: each fallible stage runs under a child {!Hqs_util.Budget} with
+    a declared fallback (MaxSAT minimum set -> greedy set, FRAIG sweep ->
+    plain compaction, elimination QBF back end -> QDPLL search on a
+    node-limit blowup), and a mid-elimination node-limit memout triggers
+    one bounded restart with a degraded config (aggressive sweeping,
+    search back end) before [Out_of_memory_budget] is allowed to escape.
+    Which degradations fired is recorded in {!stats}. Every fallback path
+    can be exercised deterministically through the {!Hqs_util.Chaos}
+    injection points ["maxsat.minset"], ["fraig.sweep"], ["fraig.initial"],
+    ["qbf.elim"] and ["elim.universal"]. *)
 
 type verdict = Sat | Unsat
 
@@ -37,9 +49,21 @@ type config = {
   node_limit : int option;  (** memout emulation *)
   qbf : Qbf.Solver.config;
   qbf_backend : qbf_backend;
+  chaos : Hqs_util.Chaos.t;
+      (** deterministic fault injection into the degradation ladder;
+          {!Hqs_util.Chaos.off} (the default) never fires *)
+  restart_on_memout : bool;
+      (** retry the solve once with {!degraded_config} when the AIG node
+          limit is hit mid-elimination (heap-governor memouts and second
+          failures still escape) *)
 }
 
 val default_config : config
+
+val degraded_config : config -> config
+(** The bounded-restart config: same limits, aggressive FRAIG sweeping
+    ([fraig_threshold <= 1000]) and the QDPLL search back end, which does
+    not grow the AIG. *)
 
 type stats = {
   mutable pre_stats : Dqbf.Preprocess.stats option;
@@ -53,6 +77,11 @@ type stats = {
   mutable qbf_time : float;
   mutable peak_nodes : int;
   mutable total_time : float;
+  mutable restarts : int;  (** degraded restarts taken (0 or 1) *)
+  mutable degraded : string list;
+      (** chronological degradation labels, e.g.
+          ["maxsat.minset->greedy[timeout]"; "solve->restart-degraded[node-limit]"];
+          empty when every stage ran at full strength *)
 }
 
 val solve_formula :

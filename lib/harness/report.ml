@@ -30,29 +30,37 @@ let summarize pick other results =
 let families results =
   List.fold_left (fun acc r -> if List.mem r.family acc then acc else acc @ [ r.family ]) [] results
 
+let degraded_count rs = List.length (List.filter (fun r -> r.hqs_degraded <> []) rs)
+let disagreements rs = List.filter (fun r -> r.soundness <> Consistent) rs
+
 let table1 results =
   let buf = Buffer.create 1024 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
-  line "%-10s %5s | %6s %11s %8s %9s %10s | %6s %11s %8s %9s %10s" "family" "#inst" "HQS" "(SAT/UNS)"
-    "unsolv" "(TO/MO)" "time" "iDQ" "(SAT/UNS)" "unsolv" "(TO/MO)" "time";
-  line "%s" (String.make 118 '-');
+  line "%-10s %5s | %6s %11s %8s %9s %10s %5s | %6s %11s %8s %9s %10s" "family" "#inst" "HQS"
+    "(SAT/UNS)" "unsolv" "(TO/MO)" "time" "degr" "iDQ" "(SAT/UNS)" "unsolv" "(TO/MO)" "time";
+  line "%s" (String.make 124 '-');
   let row name rs =
     let h = summarize (fun r -> r.hqs) (fun r -> r.idq) rs in
     let i = summarize (fun r -> r.idq) (fun r -> r.hqs) rs in
-    line "%-10s %5d | %6d %11s %8d %9s %10.2f | %6d %11s %8d %9s %10.2f" name (List.length rs)
+    line "%-10s %5d | %6d %11s %8d %9s %10.2f %5d | %6d %11s %8d %9s %10.2f" name (List.length rs)
       h.solved
       (Printf.sprintf "(%d/%d)" h.sat h.unsat)
       (h.to_ + h.mo)
       (Printf.sprintf "(%d/%d)" h.to_ h.mo)
-      h.common_time i.solved
+      h.common_time (degraded_count rs) i.solved
       (Printf.sprintf "(%d/%d)" i.sat i.unsat)
       (i.to_ + i.mo)
       (Printf.sprintf "(%d/%d)" i.to_ i.mo)
       i.common_time
   in
   List.iter (fun fam -> row fam (List.filter (fun r -> r.family = fam) results)) (families results);
-  line "%s" (String.make 118 '-');
+  line "%s" (String.make 124 '-');
   row "total" results;
+  (match disagreements results with
+  | [] -> ()
+  | bad ->
+      line "SOUNDNESS ALARM: %d verdict disagreement(s): %s" (List.length bad)
+        (String.concat ", " (List.map (fun r -> r.id) bad)));
   Buffer.contents buf
 
 let fig4 ?(timeout = 5.0) results =
@@ -135,11 +143,16 @@ let headline results =
   | l ->
       let max_s = List.fold_left max neg_infinity l in
       line "max speedup of HQS over iDQ on commonly solved: %.0fx (paper: up to 10^4)" max_s);
+  (let d = degraded_count results in
+   if d > 0 then line "HQS runs that degraded an accelerator (still solved/counted): %d" d);
+  (match disagreements results with
+  | [] -> ()
+  | bad -> line "SOUNDNESS ALARM: verdict disagreements: %d" (List.length bad));
   Buffer.contents buf
 
 let csv results =
   let buf = Buffer.create 1024 in
-  Buffer.add_string buf "id,family,hqs_outcome,hqs_time,idq_outcome,idq_time\n";
+  Buffer.add_string buf "id,family,hqs_outcome,hqs_time,idq_outcome,idq_time,hqs_degraded,check\n";
   let cells = function
     | Solved (true, t) -> ("SAT", t)
     | Solved (false, t) -> ("UNSAT", t)
@@ -149,6 +162,9 @@ let csv results =
   List.iter
     (fun r ->
       let ho, ht = cells r.hqs and io, it = cells r.idq in
-      Buffer.add_string buf (Printf.sprintf "%s,%s,%s,%.3f,%s,%.3f\n" r.id r.family ho ht io it))
+      let degr = match r.hqs_degraded with [] -> "-" | l -> String.concat ";" l in
+      let chk = match r.soundness with Consistent -> "ok" | Disagreement _ -> "DISAGREE" in
+      Buffer.add_string buf
+        (Printf.sprintf "%s,%s,%s,%.3f,%s,%.3f,%s,%s\n" r.id r.family ho ht io it degr chk))
     results;
   Buffer.contents buf

@@ -1,8 +1,10 @@
 (** Formatting of the paper's evaluation artifacts from a list of per-
     instance results: Table I (per-family solved/unsolved breakdown with
-    total time on commonly solved instances), Fig. 4 (the iDQ-vs-HQS
+    total time on commonly solved instances, plus a [degr] column counting
+    HQS runs that degraded an accelerator), Fig. 4 (the iDQ-vs-HQS
     runtime scatter, as a data series plus an ASCII log-log plot), and the
-    headline claims of Section IV. *)
+    headline claims of Section IV. Verdict disagreements recorded by the
+    runner are surfaced as SOUNDNESS ALARM lines. *)
 
 val table1 : Runner.result list -> string
 val fig4 : ?timeout:float -> Runner.result list -> string

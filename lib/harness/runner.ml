@@ -1,6 +1,7 @@
 open Hqs_util
 
 type outcome = Solved of bool * float | Timeout of float | Memout of float
+type soundness = Consistent | Disagreement of { hqs_sat : bool; idq_sat : bool }
 
 type result = {
   id : string;
@@ -8,6 +9,8 @@ type result = {
   sat_expected : bool option;
   hqs : outcome;
   idq : outcome;
+  hqs_degraded : string list;
+  soundness : soundness;
 }
 
 let is_solved = function Solved _ -> true | Timeout _ | Memout _ -> false
@@ -23,25 +26,34 @@ let timed ~timeout f =
 
 let run_hqs ?(config = Hqs.default_config) ~timeout ~node_limit pcnf =
   let config = { config with Hqs.node_limit = Some node_limit } in
-  timed ~timeout (fun budget ->
-      let v, _ = Hqs.solve_pcnf ~config ~budget pcnf in
-      v = Hqs.Sat)
+  let degraded = ref [] in
+  let outcome =
+    timed ~timeout (fun budget ->
+        let v, stats = Hqs.solve_pcnf ~config ~budget pcnf in
+        degraded := stats.Hqs.degraded;
+        v = Hqs.Sat)
+  in
+  (outcome, !degraded)
 
 let run_idq ~timeout ~node_limit pcnf =
   timed ~timeout (fun budget -> fst (Idq.solve_pcnf ~budget ~node_limit pcnf))
 
 let run_instance ?hqs_config ~timeout ~node_limit (inst : Circuit.Families.instance) =
-  let hqs = run_hqs ?config:hqs_config ~timeout ~node_limit inst.Circuit.Families.pcnf in
+  let hqs, hqs_degraded =
+    run_hqs ?config:hqs_config ~timeout ~node_limit inst.Circuit.Families.pcnf
+  in
   let idq = run_idq ~timeout ~node_limit inst.Circuit.Families.pcnf in
-  (match (hqs, idq) with
-  | Solved (a, _), Solved (b, _) when a <> b ->
-      failwith
-        (Printf.sprintf "solver disagreement on %s: hqs=%b idq=%b" inst.Circuit.Families.id a b)
-  | _ -> ());
+  let soundness =
+    match (hqs, idq) with
+    | Solved (a, _), Solved (b, _) when a <> b -> Disagreement { hqs_sat = a; idq_sat = b }
+    | _ -> Consistent
+  in
   {
     id = inst.Circuit.Families.id;
     family = inst.Circuit.Families.family;
     sat_expected = None;
     hqs;
     idq;
+    hqs_degraded;
+    soundness;
   }

@@ -7,19 +7,32 @@ type outcome =
   | Timeout of float  (** seconds burned before the deadline fired *)
   | Memout of float
 
+type soundness =
+  | Consistent
+  | Disagreement of { hqs_sat : bool; idq_sat : bool }
+      (** both solvers finished with opposite verdicts — a soundness
+          alarm, recorded instead of crashing the sweep so one bad
+          instance cannot take down a whole benchmark run *)
+
 type result = {
   id : string;
   family : string;
   sat_expected : bool option;  (** ground truth when known *)
   hqs : outcome;
   idq : outcome;
+  hqs_degraded : string list;
+      (** degradation labels from {!Hqs.stats} (empty when every stage ran
+          at full strength, or when the run did not finish) *)
+  soundness : soundness;
 }
 
 val is_solved : outcome -> bool
 val time_of : outcome -> float
 
 val run_hqs :
-  ?config:Hqs.config -> timeout:float -> node_limit:int -> Dqbf.Pcnf.t -> outcome
+  ?config:Hqs.config -> timeout:float -> node_limit:int -> Dqbf.Pcnf.t -> outcome * string list
+(** Outcome plus the degradation labels of the solve (see
+    {!Hqs.stats.degraded}). *)
 
 val run_idq : timeout:float -> node_limit:int -> Dqbf.Pcnf.t -> outcome
 
@@ -30,5 +43,5 @@ val run_instance :
   Circuit.Families.instance ->
   result
 (** Run both solvers on a PEC instance. If both solve it, their verdicts
-    are checked for agreement ([Failure] on mismatch — a soundness alarm,
-    not a reportable outcome). *)
+    are compared; a mismatch is recorded as {!Disagreement} in
+    [soundness]. *)

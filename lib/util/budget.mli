@@ -1,9 +1,17 @@
-(** Wall-clock and resource budgets.
+(** Wall-clock and resource budgets, hierarchically.
 
     The paper aborts runs at 2 h / 8 GB; we mirror that with a per-run
-    deadline and an AIG node budget. Solvers poll [check] at coarse
+    deadline, a heap-word governor sampled from [Gc.quick_stat], and the
+    AIG node budget of {!Aig.Man}. Solvers poll [check] at coarse
     intervals and raise on exhaustion, so runs terminate promptly without
-    signals. *)
+    signals.
+
+    Budgets form a hierarchy: {!sub} derives a child budget for one stage
+    of a solve. The child carries its own (soft) deadline but remembers
+    the root (hard) deadline and inherits the memory ceiling, so a stage
+    can time out locally — the enclosing solve catches [Timeout], asks
+    {!expired} about the {e parent} budget, and on [false] falls back to a
+    cheaper strategy instead of aborting the whole run. *)
 
 exception Timeout
 exception Out_of_memory_budget
@@ -13,13 +21,39 @@ type t
 val unlimited : t
 
 val of_seconds : float -> t
-(** Deadline [now + s]. *)
+(** A root budget with deadline [now + s] (both soft and hard). *)
+
+val sub : ?seconds:float -> ?frac:float -> t -> t
+(** [sub ?seconds ?frac t] is a child budget for a single stage: its
+    deadline is [t]'s clipped to [now + seconds] and/or
+    [now + frac * remaining t] (the smaller wins when both are given);
+    the hard deadline and memory ceiling are inherited unchanged. *)
+
+val with_mem_limit_mb : t -> int -> t
+(** Impose a heap ceiling of [mb] megabytes (major + minor heap words as
+    reported by [Gc.quick_stat]). Inherited by {!sub}-budgets. *)
 
 val check : t -> unit
-(** @raise Timeout if the deadline has passed. *)
+(** @raise Timeout if the deadline has passed.
+    @raise Out_of_memory_budget if the heap ceiling is exceeded. *)
 
 val expired : t -> bool
+(** This budget's own deadline has passed. For a stage budget built with
+    {!sub} this is the {e soft} question; ask the parent to distinguish a
+    local stage timeout from the end of the whole run. *)
+
+val hard_expired : t -> bool
+(** The root deadline has passed: nothing can be salvaged. *)
+
 val remaining : t -> float
-(** Seconds until the deadline; [infinity] if unlimited. *)
+(** Seconds until this budget's deadline; [infinity] if unlimited. *)
+
+val mem_exceeded : t -> bool
+(** The heap ceiling (if any) is currently exceeded. *)
+
+val mem_limit_words : t -> int option
+val heap_words : unit -> int
+(** Current heap size in words: the major heap per [Gc.quick_stat]
+    (cheap: no heap walk) plus the mapped minor arena. *)
 
 val now : unit -> float

@@ -1,0 +1,52 @@
+type point_state = { rng : Rng.t; mutable queried : int; mutable fired : int }
+
+type armed = {
+  seed : int;
+  prob : float;
+  limit : int;
+  all_points : bool;
+  allowed : (string, unit) Hashtbl.t;
+  states : (string, point_state) Hashtbl.t;
+}
+
+type t = Off | Armed of armed
+
+let off = Off
+
+let create ?(prob = 1.0) ?(limit = 1) ~seed ~points () =
+  let allowed = Hashtbl.create 8 in
+  List.iter (fun p -> Hashtbl.replace allowed p ()) points;
+  Armed { seed; prob; limit; all_points = points = []; allowed; states = Hashtbl.create 8 }
+
+let enabled = function Off -> false | Armed _ -> true
+
+let state a name =
+  match Hashtbl.find_opt a.states name with
+  | Some s -> s
+  | None ->
+      (* independent stream per point: the name only picks the stream *)
+      let s = { rng = Rng.create (a.seed lxor Hashtbl.hash name); queried = 0; fired = 0 } in
+      Hashtbl.replace a.states name s;
+      s
+
+let fire t name =
+  match t with
+  | Off -> false
+  | Armed a ->
+      if not (a.all_points || Hashtbl.mem a.allowed name) then false
+      else begin
+        let s = state a name in
+        s.queried <- s.queried + 1;
+        let hit = s.fired < a.limit && Rng.float s.rng 1.0 < a.prob in
+        if hit then s.fired <- s.fired + 1;
+        hit
+      end
+
+let fired = function
+  | Off -> []
+  | Armed a ->
+      Hashtbl.fold (fun k s acc -> if s.fired > 0 then (k, s.fired) :: acc else acc) a.states []
+      |> List.sort compare
+
+let parse_points s =
+  String.split_on_char ',' s |> List.map String.trim |> List.filter (fun p -> p <> "")

@@ -10,23 +10,23 @@ let small_unsat = Fam.pec_xor ~length:3 ~boxes:1 ~fault:true
 (* ---------------------------------------------------------------- runner *)
 
 let test_run_hqs_solves () =
-  (match R.run_hqs ~timeout:30.0 ~node_limit:400_000 small_sat.Fam.pcnf with
+  (match fst (R.run_hqs ~timeout:30.0 ~node_limit:400_000 small_sat.Fam.pcnf) with
   | R.Solved (true, t) -> check "positive time" true (t >= 0.0)
   | _ -> Alcotest.fail "expected SAT");
-  match R.run_hqs ~timeout:30.0 ~node_limit:400_000 small_unsat.Fam.pcnf with
+  match fst (R.run_hqs ~timeout:30.0 ~node_limit:400_000 small_unsat.Fam.pcnf) with
   | R.Solved (false, _) -> ()
   | _ -> Alcotest.fail "expected UNSAT"
 
 let test_run_hqs_timeout () =
   let hard = Fam.adder ~bits:6 ~boxes:3 ~fault:false in
-  match R.run_hqs ~timeout:0.02 ~node_limit:50_000_000 hard.Fam.pcnf with
+  match fst (R.run_hqs ~timeout:0.02 ~node_limit:50_000_000 hard.Fam.pcnf) with
   | R.Timeout _ -> ()
   | R.Memout _ -> () (* also acceptable on a tiny machine *)
   | R.Solved _ -> Alcotest.fail "expected an abort"
 
 let test_run_hqs_memout () =
   let inst = Fam.adder ~bits:4 ~boxes:2 ~fault:false in
-  match R.run_hqs ~timeout:60.0 ~node_limit:64 inst.Fam.pcnf with
+  match fst (R.run_hqs ~timeout:60.0 ~node_limit:64 inst.Fam.pcnf) with
   | R.Memout _ -> ()
   | R.Timeout _ -> Alcotest.fail "expected memout, got timeout"
   | R.Solved _ -> Alcotest.fail "expected memout, got solved"
@@ -35,6 +35,7 @@ let test_run_instance_agreement () =
   let r = R.run_instance ~timeout:20.0 ~node_limit:400_000 small_unsat in
   check "both solved" true (R.is_solved r.R.hqs && R.is_solved r.R.idq);
   check "family" true (r.R.family = "pec_xor");
+  check "consistent" true (r.R.soundness = R.Consistent);
   check "times readable" true (R.time_of r.R.hqs >= 0.0 && R.time_of r.R.idq >= 0.0)
 
 (* ---------------------------------------------------------------- report *)
@@ -47,6 +48,8 @@ let fake_results =
       sat_expected = None;
       hqs = R.Solved (true, 0.1);
       idq = R.Solved (true, 2.0);
+      hqs_degraded = [];
+      soundness = R.Consistent;
     };
     {
       R.id = "a2";
@@ -54,6 +57,8 @@ let fake_results =
       sat_expected = None;
       hqs = R.Solved (false, 0.2);
       idq = R.Timeout 5.0;
+      hqs_degraded = [ "maxsat.minset->greedy[timeout]" ];
+      soundness = R.Consistent;
     };
     {
       R.id = "b1";
@@ -61,6 +66,8 @@ let fake_results =
       sat_expected = None;
       hqs = R.Memout 3.0;
       idq = R.Solved (false, 0.5);
+      hqs_degraded = [];
+      soundness = R.Consistent;
     };
   ]
 
@@ -127,6 +134,44 @@ let test_csv_lines () =
        true
      with Not_found -> false)
 
+let contains s needle =
+  let re = Str.regexp_string needle in
+  try
+    ignore (Str.search_forward re s 0);
+    true
+  with Not_found -> false
+
+let test_degradation_column () =
+  let t = Harness.Report.table1 fake_results in
+  check "degr header" true (contains t "degr");
+  let s = Harness.Report.csv fake_results in
+  check "csv degradation label" true (contains s "maxsat.minset->greedy[timeout]")
+
+let disagreeing_results =
+  fake_results
+  @ [
+      {
+        R.id = "x1";
+        family = "adder";
+        sat_expected = None;
+        hqs = R.Solved (true, 0.1);
+        idq = R.Solved (false, 0.1);
+        hqs_degraded = [];
+        soundness = R.Disagreement { hqs_sat = true; idq_sat = false };
+      };
+    ]
+
+let test_disagreement_reported () =
+  check "table flags alarm" true
+    (contains (Harness.Report.table1 disagreeing_results) "SOUNDNESS ALARM");
+  check "table names instance" true (contains (Harness.Report.table1 disagreeing_results) "x1");
+  check "csv flags disagree" true (contains (Harness.Report.csv disagreeing_results) "DISAGREE");
+  check "headline flags alarm" true
+    (contains (Harness.Report.headline disagreeing_results) "disagreements: 1");
+  (* clean results stay quiet *)
+  check "no alarm when consistent" false
+    (contains (Harness.Report.table1 fake_results) "SOUNDNESS ALARM")
+
 let () =
   Alcotest.run "harness"
     [
@@ -143,5 +188,7 @@ let () =
           Alcotest.test_case "fig4 content" `Quick test_fig4_contains_points;
           Alcotest.test_case "headline counts" `Quick test_headline_counts;
           Alcotest.test_case "csv lines" `Quick test_csv_lines;
+          Alcotest.test_case "degradation column" `Quick test_degradation_column;
+          Alcotest.test_case "disagreement reported" `Quick test_disagreement_reported;
         ] );
     ]

@@ -179,6 +179,69 @@ let test_budget () =
   Alcotest.check_raises "raises" Budget.Timeout (fun () -> Budget.check e);
   check "unlimited remaining" true (Budget.remaining Budget.unlimited = infinity)
 
+let test_budget_sub () =
+  let parent = Budget.of_seconds 3600.0 in
+  (* a stage budget is clipped locally but remembers the root deadline *)
+  let stage = Budget.sub ~seconds:(-1.0) parent in
+  check "stage expired" true (Budget.expired stage);
+  check "parent alive" false (Budget.expired parent);
+  check "root deadline inherited" false (Budget.hard_expired stage);
+  let wide = Budget.sub ~seconds:7200.0 parent in
+  check "child never outlives parent" true (Budget.remaining wide <= 3600.1);
+  (* frac of an unlimited parent: only the absolute cap applies *)
+  let capped = Budget.sub ~seconds:5.0 ~frac:0.2 Budget.unlimited in
+  check "capped remaining" true (Budget.remaining capped <= 5.1 && Budget.remaining capped > 1.0);
+  check "unlimited sub stays unlimited" true
+    (Budget.remaining (Budget.sub Budget.unlimited) = infinity)
+
+let test_budget_mem_governor () =
+  check "heap words positive" true (Budget.heap_words () > 0);
+  let roomy = Budget.with_mem_limit_mb Budget.unlimited 1_000_000 in
+  Budget.check roomy;
+  check "not exceeded" false (Budget.mem_exceeded roomy);
+  (* the live heap of a running test is far beyond a 0 MB ceiling *)
+  let tiny = Budget.with_mem_limit_mb Budget.unlimited 0 in
+  check "tiny ceiling exceeded" true (Budget.mem_exceeded tiny);
+  Alcotest.check_raises "raises memout" Budget.Out_of_memory_budget (fun () -> Budget.check tiny);
+  (* inherited through sub *)
+  check "sub inherits ceiling" true (Budget.mem_exceeded (Budget.sub ~seconds:10.0 tiny));
+  check "limit readable" true (Budget.mem_limit_words tiny = Some 0);
+  check "no limit by default" true (Budget.mem_limit_words Budget.unlimited = None)
+
+(* ---------------------------------------------------------------- Chaos *)
+
+let test_chaos_off () =
+  check "off disabled" false (Chaos.enabled Chaos.off);
+  check "off never fires" false (Chaos.fire Chaos.off "maxsat.minset");
+  check "off fired empty" true (Chaos.fired Chaos.off = [])
+
+let test_chaos_deterministic () =
+  let seq plan = List.init 6 (fun _ -> Chaos.fire plan "fraig.sweep") in
+  let a = seq (Chaos.create ~seed:42 ~points:[ "fraig.sweep" ] ()) in
+  let b = seq (Chaos.create ~seed:42 ~points:[ "fraig.sweep" ] ()) in
+  check "same seed same firing" true (a = b);
+  check "fires at most limit times" true (List.length (List.filter Fun.id a) = 1)
+
+let test_chaos_points_and_limit () =
+  let plan = Chaos.create ~limit:2 ~seed:7 ~points:[ "a"; "b" ] () in
+  check "unarmed point never fires" false (Chaos.fire plan "c");
+  let fires_a = List.init 5 (fun _ -> Chaos.fire plan "a") in
+  check "limit respected" true (List.length (List.filter Fun.id fires_a) = 2);
+  ignore (Chaos.fire plan "b");
+  check "fired counts" true (Chaos.fired plan = [ ("a", 2); ("b", 1) ]);
+  (* prob 0 never fires even when armed *)
+  let never = Chaos.create ~prob:0.0 ~seed:1 ~points:[] () in
+  check "prob 0" false (Chaos.fire never "a");
+  (* empty points = every point armed *)
+  let all = Chaos.create ~seed:1 ~points:[] () in
+  check "arm-all fires" true (Chaos.fire all "anything")
+
+let test_chaos_parse_points () =
+  check "parse" true
+    (Chaos.parse_points " maxsat.minset, fraig.sweep ,,qbf.elim"
+    = [ "maxsat.minset"; "fraig.sweep"; "qbf.elim" ]);
+  check "parse empty" true (Chaos.parse_points "" = [])
+
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
 let () =
@@ -212,5 +275,17 @@ let () =
           Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
           Alcotest.test_case "int range" `Quick test_rng_int_range;
         ] );
-      ("budget", [ Alcotest.test_case "deadline" `Quick test_budget ]);
+      ( "budget",
+        [
+          Alcotest.test_case "deadline" `Quick test_budget;
+          Alcotest.test_case "sub-budgets" `Quick test_budget_sub;
+          Alcotest.test_case "memory governor" `Quick test_budget_mem_governor;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "off" `Quick test_chaos_off;
+          Alcotest.test_case "deterministic" `Quick test_chaos_deterministic;
+          Alcotest.test_case "points and limit" `Quick test_chaos_points_and_limit;
+          Alcotest.test_case "parse points" `Quick test_chaos_parse_points;
+        ] );
     ]
