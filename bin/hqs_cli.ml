@@ -6,6 +6,8 @@
      20        UNSAT
      2         usage error / invalid input (incl. command-line errors)
      1         internal error (uncaught exception)
+     3         soundness-check violation     ("s cnf ERROR"; an invariant
+               audit armed with --check / HQS_CHECK tripped)
      124       wall-clock timeout            ("s cnf TIMEOUT")
      125       memory budget exhausted       ("s cnf MEMOUT"; AIG node
                limit or --mem-limit heap governor)
@@ -28,9 +30,25 @@ let install_signal_handlers () =
   handle "SIGTERM" 143 Sys.sigterm
 
 let solve file timeout mem_limit node_limit no_preprocess no_unitpure no_maxsat no_thm2 bce
-    expand_all sat_probe no_fraig search_backend no_restart chaos_seed chaos_points show_model
-    show_stats =
+    expand_all sat_probe no_fraig search_backend no_restart chaos_seed chaos_points check
+    show_model show_stats =
   install_signal_handlers ();
+  let check_level =
+    match check with
+    | Some s -> (
+        (* the flag overrides the environment *)
+        match Check.level_of_string s with
+        | Some l -> l
+        | None ->
+            Printf.eprintf "error: --check %s: expected off, cheap or full\n" s;
+            exit 2)
+    | None -> (
+        match Check.level_of_env () with
+        | Ok l -> l
+        | Error msg ->
+            Printf.eprintf "error: %s\n" msg;
+            exit 2)
+  in
   let pcnf =
     try Dqbf.Pcnf.parse_file file
     with Failure msg | Sys_error msg ->
@@ -67,6 +85,7 @@ let solve file timeout mem_limit node_limit no_preprocess no_unitpure no_maxsat 
       node_limit;
       chaos;
       restart_on_memout = not no_restart;
+      check_level;
     }
   in
   let budget =
@@ -127,6 +146,10 @@ let solve file timeout mem_limit node_limit no_preprocess no_unitpure no_maxsat 
   | exception Hqs_util.Budget.Out_of_memory_budget ->
       print_endline "s cnf MEMOUT";
       exit 125
+  | exception Check.Violation v ->
+      Format.printf "c check violation: %a@." Check.pp_violation v;
+      print_endline "s cnf ERROR";
+      exit 3
 
 let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"DQDIMACS input")
 
@@ -160,6 +183,15 @@ let chaos_points =
     & info [ "chaos-points" ] ~docv:"P1,P2,..."
         ~doc:"restrict injection to these points (default: all points)")
 
+let check =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "check" ] ~docv:"LEVEL"
+        ~doc:
+          "soundness-auditor depth at every stage boundary: off, cheap (prefix invariants) or \
+           full (deep AIG audit + Skolem certification); overrides \\$(b,HQS_CHECK)")
+
 let flag names doc = Arg.(value & flag & info names ~doc)
 
 let cmd =
@@ -178,7 +210,7 @@ let cmd =
       $ flag [ "no-fraig" ] "disable FRAIG sweeping"
       $ flag [ "search-backend" ] "use the QDPLL search back end instead of AIG elimination"
       $ flag [ "no-restart" ] "disable the degraded restart after a node-limit memout"
-      $ chaos_seed $ chaos_points
+      $ chaos_seed $ chaos_points $ check
       $ flag [ "model" ] "on SAT, print and verify Skolem functions"
       $ flag [ "stats" ] "print statistics to stderr")
 

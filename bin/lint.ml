@@ -1,0 +1,11 @@
+(* lint: the repo's static-analysis gate (see lib/lint/linter.mli).
+
+     dune exec bin/lint.exe -- lib bin bench test
+
+   Exit codes: 0 clean, 1 findings, 2 usage error. *)
+
+let () =
+  let paths =
+    match Array.to_list Sys.argv with [] | [ _ ] -> [ "lib"; "bin"; "bench"; "test" ] | _ :: rest -> rest
+  in
+  exit (Linter.run paths)

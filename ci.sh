@@ -6,10 +6,13 @@
 # Steps:
 #   1. full build
 #   2. format check (skipped with a notice if ocamlformat is absent)
-#   3. unit + property test suites
-#   4. chaos-enabled smoke solve: generate a small PEC instance and
-#      solve it with fault injection armed, proving the degradation
-#      ladder end-to-end through the real CLI
+#   3. static analysis (bin/lint: catch-alls, polymorphic compare,
+#      Obj.magic, failwith in lib/, missing .mli)
+#   4. unit + property test suites
+#   5. chaos-enabled smoke solve: generate a small PEC instance and
+#      solve it with fault injection armed AND the soundness auditor at
+#      full depth (HQS_CHECK=full), proving the degradation ladder and
+#      the stage audits end-to-end through the real CLI
 set -eu
 cd "$(dirname "$0")"
 
@@ -23,6 +26,9 @@ else
   echo "== format: skipped (ocamlformat not installed) =="
 fi
 
+echo "== lint =="
+dune exec bin/lint.exe -- lib bin bench test
+
 echo "== tests =="
 dune runtest
 
@@ -31,7 +37,7 @@ tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 f=$(dune exec bin/genpec.exe -- one pec_xor --size 3 --boxes 1 --out "$tmp")
 status=0
-dune exec bin/hqs_cli.exe -- "$f" --chaos-seed 42 --timeout 60 --stats || status=$?
+HQS_CHECK=full dune exec bin/hqs_cli.exe -- "$f" --chaos-seed 42 --timeout 60 --stats || status=$?
 case "$status" in
 10 | 20) echo "== ci OK (smoke verdict exit $status) ==" ;;
 *)

@@ -5,8 +5,17 @@ module L = Sat.Lit
 module Sig_key = struct
   type t = int array
 
-  let equal = ( = )
-  let hash = Hashtbl.hash
+  let equal (a : t) (b : t) =
+    let n = Array.length a in
+    n = Array.length b
+    &&
+    let rec loop i = i >= n || (a.(i) = b.(i) && loop (i + 1)) in
+    loop 0
+
+  (* explicit word mix: this is the class-candidate hot path, and unlike
+     Hashtbl.hash it never truncates to a meaningful-word prefix *)
+  let hash (s : t) =
+    Array.fold_left (fun h w -> ((h * 486187739) + (w lxor (w lsr 31))) land max_int) 17 s
 end
 
 module Sig_tbl = Hashtbl.Make (Sig_key)

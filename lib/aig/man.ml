@@ -35,6 +35,7 @@ let set_node_limit m limit =
 
 let num_nodes m = Vec.size m.fanin0
 let num_ands m = num_nodes m - m.num_inputs - 1
+let num_inputs m = m.num_inputs
 
 let compl_ l = l lxor 1
 let apply_sign l ~neg = if neg then compl_ l else l
@@ -226,6 +227,27 @@ let compact m roots =
   (fresh, List.map get roots)
 
 let node_limit m = if m.node_limit = max_int then None else Some m.node_limit
+
+(* ----------------------------------------------------------- introspection *)
+
+module Internal = struct
+  let raw_fanin0 m n = Vec.get m.fanin0 n
+  let raw_fanin1 m n = Vec.get m.fanin1 n
+  let strash_find m a b = Hashtbl.find_opt m.strash (a, b)
+  let strash_iter m f = Hashtbl.iter (fun (a, b) n -> f a b n) m.strash
+  let strash_size m = Hashtbl.length m.strash
+  let input_vars_size m = Vec.size m.input_of_var
+
+  let input_node_of_var m v =
+    if v >= 0 && v < Vec.size m.input_of_var then Vec.get m.input_of_var v else -1
+
+  let set_fanin m ~node ~f0 ~f1 =
+    Vec.set m.fanin0 node f0;
+    Vec.set m.fanin1 node f1
+
+  let strash_add m a b n = Hashtbl.add m.strash (a, b) n
+  let strash_remove m a b = Hashtbl.remove m.strash (a, b)
+end
 
 let and_conjuncts m root =
   let seen = Hashtbl.create 16 in

@@ -22,6 +22,7 @@ val num_nodes : t -> int
 (** Total nodes allocated (including constant and inputs). *)
 
 val num_ands : t -> int
+val num_inputs : t -> int
 
 (* ------------------------------------------------------------ literals *)
 
@@ -113,3 +114,41 @@ val and_conjuncts : t -> lit -> lit list
 
 val or_disjuncts : t -> lit -> lit list
 (** Dual decomposition as a disjunction. *)
+
+(* --------------------------------------------------------- introspection *)
+
+(** Raw access to the manager's representation, for the soundness auditor
+    ([Check.audit_man]) and for its tests, which seed deliberate corruption.
+    Solver code must not use this: the mutators can break every invariant
+    the rest of the module relies on. *)
+module Internal : sig
+  val raw_fanin0 : t -> int -> int
+  (** Raw fanin-0 slot of a node: an edge for AND nodes, [-1] for inputs,
+      [-2] for the constant node. *)
+
+  val raw_fanin1 : t -> int -> int
+  (** Raw fanin-1 slot: an edge for AND nodes, the variable label for
+      inputs, [-2] for the constant node. *)
+
+  val strash_find : t -> int -> int -> int option
+  (** Structural-hash lookup of an ordered fanin pair. *)
+
+  val strash_iter : t -> (int -> int -> int -> unit) -> unit
+  (** Iterate every structural-hash binding as [f fanin0 fanin1 node],
+      including shadowed duplicate bindings. *)
+
+  val strash_size : t -> int
+  val input_vars_size : t -> int
+
+  val input_node_of_var : t -> int -> int
+  (** Node index registered for a variable, [-1] if absent. *)
+
+  val set_fanin : t -> node:int -> f0:int -> f1:int -> unit
+  (** Corruption hook: overwrite both fanin slots of a node. *)
+
+  val strash_add : t -> int -> int -> int -> unit
+  (** Corruption hook: add a (possibly bogus) structural-hash binding. *)
+
+  val strash_remove : t -> int -> int -> unit
+  (** Corruption hook: drop the newest binding for a fanin pair. *)
+end

@@ -1,0 +1,237 @@
+open Hqs_util
+module M = Aig.Man
+module I = Aig.Man.Internal
+module F = Dqbf.Formula
+
+type level = Off | Cheap | Full
+
+type stage =
+  | Post_preprocess
+  | Post_unitpure
+  | Post_elimination
+  | Post_fraig
+  | Pre_backend
+  | Post_solve
+
+let stage_name = function
+  | Post_preprocess -> "post-preprocess"
+  | Post_unitpure -> "post-unitpure"
+  | Post_elimination -> "post-elimination"
+  | Post_fraig -> "post-fraig"
+  | Pre_backend -> "pre-backend"
+  | Post_solve -> "post-solve"
+
+let level_name = function Off -> "off" | Cheap -> "cheap" | Full -> "full"
+
+let level_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "off" | "none" | "0" -> Some Off
+  | "cheap" | "1" -> Some Cheap
+  | "full" | "2" -> Some Full
+  | _ -> None
+
+let level_of_env () =
+  match Sys.getenv_opt "HQS_CHECK" with
+  | None | Some "" -> Ok Off
+  | Some s -> (
+      match level_of_string s with
+      | Some l -> Ok l
+      | None -> Error (Printf.sprintf "HQS_CHECK=%s: expected off, cheap or full" s))
+
+type violation = { stage : stage; structure : string; detail : string }
+
+exception Violation of violation
+
+let pp_violation fmt v =
+  Format.fprintf fmt "[%s] %s: %s" (stage_name v.stage) v.structure v.detail
+
+let violation stage structure fmt =
+  Format.kasprintf (fun detail -> raise (Violation { stage; structure; detail })) fmt
+
+(* ------------------------------------------------------------ AIG manager *)
+
+(* Deep audit of the manager representation. All of these are "impossible"
+   states for the public construction API; each one has produced a wrong
+   verdict in some AIG package at some point, which is why they are checked
+   rather than assumed:
+   - node 0 is the constant; every other node is an input or an AND;
+   - AND fanins reference strictly earlier, non-constant nodes (topological
+     acyclicity and no dangling references past [num_nodes]) and are stored
+     in normalized order;
+   - the structural-hash table is a bijection between fanin pairs and AND
+     nodes (every AND reachable through its own key, no poisoned entries),
+     so hash-consing cannot silently alias two different functions;
+   - the input registry and input nodes label each other consistently. *)
+let audit_man ~stage man =
+  let fail fmt = violation stage "aig-manager" fmt in
+  let n = M.num_nodes man in
+  if n < 1 then fail "manager lost its constant node";
+  if I.raw_fanin0 man 0 <> -2 || I.raw_fanin1 man 0 <> -2 then
+    fail "node 0 is not marked as the constant node (fanins %d,%d)" (I.raw_fanin0 man 0)
+      (I.raw_fanin1 man 0);
+  let inputs = ref 0 in
+  let ands = ref 0 in
+  for i = 1 to n - 1 do
+    let f0 = I.raw_fanin0 man i and f1 = I.raw_fanin1 man i in
+    if f0 = -1 then begin
+      (* input node *)
+      incr inputs;
+      if f1 < 0 then fail "input node %d carries negative variable label %d" i f1;
+      let registered = I.input_node_of_var man f1 in
+      if registered <> i then
+        fail "input-label bijectivity broken: node %d is labelled %d but the registry maps %d to node %d"
+          i f1 f1 registered
+    end
+    else if f0 >= 0 then begin
+      (* AND node *)
+      incr ands;
+      if f1 < 0 then fail "AND node %d has negative fanin1 %d" i f1;
+      let n0 = M.node_of f0 and n1 = M.node_of f1 in
+      if n0 >= i || n1 >= i then
+        fail "AND node %d has forward or dangling fanin (%d,%d): topological order broken" i f0 f1;
+      if n0 = 0 || n1 = 0 then fail "AND node %d has a constant fanin (%d,%d)" i f0 f1;
+      if f0 >= f1 then fail "AND node %d has unnormalized fanin order (%d,%d)" i f0 f1;
+      (match I.strash_find man f0 f1 with
+      | Some node when node = i -> ()
+      | Some node ->
+          fail "structural hash maps fanins (%d,%d) of AND node %d to node %d" f0 f1 i node
+      | None -> fail "AND node %d is unreachable through its own structural-hash key (%d,%d)" i f0 f1)
+    end
+    else if f0 = -2 then fail "node %d is marked constant but only node 0 may be" i
+    else fail "node %d has invalid fanin0 slot %d" i f0
+  done;
+  if !inputs <> M.num_inputs man then
+    fail "input count drifted: registry says %d, %d input nodes found" (M.num_inputs man) !inputs;
+  if I.strash_size man < !ands then
+    fail "structural hash holds %d entries for %d AND nodes" (I.strash_size man) !ands;
+  (* reverse direction: every hash binding (including shadowed duplicates)
+     must describe the AND node it points to *)
+  I.strash_iter man (fun a b node ->
+      if node <= 0 || node >= n then
+        fail "structural-hash entry (%d,%d) -> %d points outside the node table" a b node;
+      let f0 = I.raw_fanin0 man node and f1 = I.raw_fanin1 man node in
+      if f0 <> a || f1 <> b then
+        fail "poisoned structural-hash entry: (%d,%d) -> node %d whose fanins are (%d,%d)" a b node
+          f0 f1);
+  (* registry -> node direction of the input bijection *)
+  for v = 0 to I.input_vars_size man - 1 do
+    let node = I.input_node_of_var man v in
+    if node >= 0 then begin
+      if node >= n then fail "input registry maps variable %d to out-of-range node %d" v node;
+      if I.raw_fanin0 man node <> -1 || I.raw_fanin1 man node <> v then
+        fail "input registry maps variable %d to node %d, which is not its input node" v node
+    end
+  done
+
+let audit_lit ~stage ~structure man lit =
+  if lit < 0 || M.node_of lit >= M.num_nodes man then
+    violation stage structure "literal %d is dangling (manager has %d nodes)" lit (M.num_nodes man)
+
+(* ------------------------------------------------------------ DQBF formula *)
+
+let quantified_set f =
+  List.fold_left (fun acc (y, _) -> Bitset.add y acc) (F.universals f) (F.existentials f)
+
+(* Dependency semantics: the prefix is the part of the state with no
+   redundancy to cross-check against, so corruption here (a widened
+   dependency set, a variable quantified twice) flips verdicts silently.
+   [Cheap] scans the prefix; [Full] additionally audits the manager deep
+   and checks the matrix support against the quantified variables. *)
+let audit_formula ~stage ~level f =
+  let fail fmt = violation stage "dqbf-formula" fmt in
+  let man = F.man f in
+  let univs = F.universals f in
+  audit_lit ~stage ~structure:"dqbf-formula" man (F.matrix f);
+  let bound = F.next_var f in
+  Bitset.iter (fun x -> if x >= bound then fail "universal %d above next_var=%d" x bound) univs;
+  List.iter
+    (fun (y, d) ->
+      if y >= bound then fail "existential %d above next_var=%d" y bound;
+      if Bitset.mem y univs then fail "variable %d is quantified both ways" y;
+      match Bitset.choose (Bitset.diff d univs) with
+      | Some x ->
+          fail "dependency set of existential %d contains %d, which is not a universal (dependency widening)"
+            y x
+      | None -> ())
+    (F.existentials f);
+  if level = Full then begin
+    audit_man ~stage man;
+    let quantified = quantified_set f in
+    Bitset.iter
+      (fun v ->
+        if not (Bitset.mem v quantified) then
+          fail "matrix depends on variable %d, which is not quantified" v)
+      (M.support man (F.matrix f))
+  end
+
+let audit_queue ~stage f queue =
+  let fail fmt = violation stage "elimination-queue" fmt in
+  let bound = F.next_var f in
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun x ->
+      if x < 0 || x >= bound then fail "queued variable %d out of range [0,%d)" x bound;
+      if F.is_universal f x then begin
+        if Hashtbl.mem seen x then fail "universal %d queued twice" x;
+        Hashtbl.add seen x ()
+      end)
+    queue
+
+(* ------------------------------------------------------------- QBF prefix *)
+
+let audit_prefix ~stage f prefix =
+  let fail fmt = violation stage "qbf-prefix" fmt in
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun (q, vs) ->
+      if vs = [] then fail "prefix contains an empty quantifier block";
+      List.iter
+        (fun v ->
+          if Hashtbl.mem seen v then fail "variable %d appears twice in the prefix" v;
+          Hashtbl.add seen v ();
+          match q with
+          | Qbf.Prefix.Forall ->
+              if not (F.is_universal f v) then
+                fail "prefix declares %d universal but the formula does not" v
+          | Qbf.Prefix.Exists ->
+              if not (F.is_existential f v) then
+                fail "prefix declares %d existential but the formula does not" v)
+        vs)
+    prefix;
+  let rec alternates = function
+    | (q1, _) :: ((q2, _) :: _ as rest) ->
+        (match (q1, q2) with
+        | Qbf.Prefix.Forall, Qbf.Prefix.Forall | Qbf.Prefix.Exists, Qbf.Prefix.Exists ->
+            fail "prefix is not normalized: adjacent blocks share a quantifier"
+        | _ -> ());
+        alternates rest
+    | [ _ ] | [] -> ()
+  in
+  alternates prefix;
+  Bitset.iter
+    (fun x -> if not (Hashtbl.mem seen x) then fail "universal %d is missing from the prefix" x)
+    (F.universals f);
+  List.iter
+    (fun (y, _) ->
+      if not (Hashtbl.mem seen y) then fail "existential %d is missing from the prefix" y)
+    (F.existentials f)
+
+(* ----------------------------------------------------------- Skolem model *)
+
+(* Certify a SAT verdict: the reconstructed Skolem functions (the replay of
+   every Model_trail substitution) must respect the declared dependency
+   sets and turn the original matrix into a tautology, established by an
+   independent SAT call ([Dqbf.Skolem.verify]). *)
+let audit_model ?budget ~stage f model =
+  match Dqbf.Skolem.verify ?budget f model with
+  | Ok () -> ()
+  | Error e -> violation stage "skolem-model" "%a" Dqbf.Skolem.pp_failure e
+
+(* ---------------------------------------------------------------- driver *)
+
+let audit_stage ~level ?queue stage f =
+  match level with
+  | Off -> ()
+  | Cheap | Full ->
+      audit_formula ~stage ~level f;
+      (match queue with Some q -> audit_queue ~stage f q | None -> ())

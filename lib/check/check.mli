@@ -1,0 +1,81 @@
+(** Soundness auditor: invariant validators gating every pipeline stage.
+
+    HQS's verdict is trustworthy only while each transformation (Theorem 1/2
+    eliminations, unit/pure rewrites, FRAIG merges, compaction) preserves the
+    AIG's structural invariants and the Henkin dependency semantics. This
+    module makes those invariants executable: {!audit_stage} is wired into
+    the solver at every stage boundary and raises a structured {!Violation}
+    at the first transformation that corrupted the state — instead of the
+    corruption surfacing many stages later as a wrong SAT/UNSAT answer.
+
+    Cost model: [Cheap] validators are linear in the prefix (dependency
+    sets, quantifier disjointness, queue sanity) and constant in the matrix;
+    [Full] additionally audits the whole AIG manager (O(nodes + hash
+    entries) per stage boundary) and certifies Skolem models with an
+    independent SAT call on a SAT verdict. [Full] typically multiplies
+    solve time by a small constant; use it in CI and when hunting a
+    suspected soundness bug, [Cheap] when a cheap tripwire is enough. *)
+
+type level = Off | Cheap | Full
+
+type stage =
+  | Post_preprocess  (** after CNF preprocessing built the formula *)
+  | Post_unitpure  (** after a unit/pure round substituted variables *)
+  | Post_elimination  (** after a Theorem 1/2 elimination *)
+  | Post_fraig  (** after FRAIG sweeping or cone compaction replaced the manager *)
+  | Pre_backend  (** after linearization, before the QBF back end runs *)
+  | Post_solve  (** after a verdict, when certifying a Skolem model *)
+
+val stage_name : stage -> string
+val level_name : level -> string
+
+val level_of_string : string -> level option
+(** Accepts ["off"]/["none"]/["0"], ["cheap"]/["1"], ["full"]/["2"]. *)
+
+val level_of_env : unit -> (level, string) result
+(** Parse the [HQS_CHECK] environment variable; unset or empty is [Off],
+    an unknown value is [Error] with a usable message. *)
+
+type violation = { stage : stage; structure : string; detail : string }
+(** Where the audit tripped ([stage]), which validator ([structure]:
+    ["aig-manager"], ["dqbf-formula"], ["elimination-queue"],
+    ["qbf-prefix"], ["skolem-model"]), and a minimized description of the
+    broken invariant with the offending indices. *)
+
+exception Violation of violation
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val audit_stage :
+  level:level -> ?queue:int list -> stage -> Dqbf.Formula.t -> unit
+(** The stage gate: audit the formula (and, when given, the elimination
+    queue) at the [level] of depth described above. [Off] is free.
+    @raise Violation on the first broken invariant. *)
+
+val audit_man : stage:stage -> Aig.Man.t -> unit
+(** Deep AIG-manager audit: node-0 constant marker, input/AND tagging,
+    topological acyclicity, no dangling fanins past [num_nodes], normalized
+    fanin order, structural-hash bijectivity (every AND reachable through
+    its own key, no poisoned entries), input-label bijectivity. *)
+
+val audit_formula : stage:stage -> level:level -> Dqbf.Formula.t -> unit
+(** Formula validator: matrix literal validity, universal/existential
+    disjointness, dependency sets included in the declared universals,
+    variable ids below [next_var]; [Full] adds {!audit_man} and checks the
+    matrix support against the quantified variables. *)
+
+val audit_queue : stage:stage -> Dqbf.Formula.t -> int list -> unit
+(** Elimination-queue consistency: ids in range, no still-universal
+    variable queued twice (stale eliminated entries are legal — the solver
+    skips them). *)
+
+val audit_prefix : stage:stage -> Dqbf.Formula.t -> Qbf.Prefix.t -> unit
+(** Linearized-prefix well-formedness: normalized non-empty alternating
+    blocks, no duplicate variables, quantifier kinds agreeing with the
+    formula, and both-direction coverage of the remaining variables. *)
+
+val audit_model :
+  ?budget:Hqs_util.Budget.t -> stage:stage -> Dqbf.Formula.t -> Dqbf.Skolem.t -> unit
+(** Skolem-model certifier: replayed witness respects the dependency sets
+    and satisfies the original matrix, checked by an independent SAT call
+    ({!Dqbf.Skolem.verify}). *)

@@ -20,6 +20,7 @@ type config = {
   qbf_backend : qbf_backend;
   chaos : Chaos.t;
   restart_on_memout : bool;
+  check_level : Check.level;
 }
 
 let default_config =
@@ -37,6 +38,9 @@ let default_config =
     qbf_backend = Elim_backend;
     chaos = Chaos.off;
     restart_on_memout = true;
+    (* a malformed HQS_CHECK is reported by the CLI; library users who
+       bypass it get the safe default *)
+    check_level = (match Check.level_of_env () with Ok l -> l | Error _ -> Check.Off);
   }
 
 (* the bounded-restart config: keep the same resource limits but trade
@@ -120,10 +124,12 @@ let solve_impl ~config ~budget ~trail ~ledger ~restarts f0 =
   let last_size = ref (M.num_nodes (F.man f)) in
   let fraig_floor = ref 0 in
   let note_size () = stats.peak_nodes <- max stats.peak_nodes (M.num_nodes (F.man f)) in
+  (* the soundness gate at each stage boundary (free when check_level=Off) *)
+  let audit ?queue stage = Check.audit_stage ~level:config.check_level ?queue stage f in
   let compact_or_fraig () =
     note_size ();
     let cone = M.cone_size (F.man f) (F.matrix f) in
-    if config.use_fraig && cone > config.fraig_threshold && cone > 2 * !fraig_floor then
+    if config.use_fraig && cone > config.fraig_threshold && cone > 2 * !fraig_floor then begin
       (* time-boxed sweep: a local timeout or node blowup degrades to a
          plain compaction instead of aborting the solve *)
       Degrade.attempt ledger ~chaos:config.chaos ~budget ~point:"fraig.sweep" ~action:"compact"
@@ -139,11 +145,14 @@ let solve_impl ~config ~budget ~trail ~ledger ~restarts f0 =
           let man, roots = M.compact (F.man f) [ F.matrix f ] in
           F.replace_man f man (List.hd roots);
           last_size := M.num_nodes man)
-        ()
+        ();
+      audit Check.Post_fraig
+    end
     else if M.num_nodes (F.man f) > (2 * !last_size) + 1024 then begin
       let man, roots = M.compact (F.man f) [ F.matrix f ] in
       F.replace_man f man (List.hd roots);
-      last_size := M.num_nodes man
+      last_size := M.num_nodes man;
+      audit Check.Post_fraig
     end
   in
   let refill_queue () =
@@ -190,7 +199,8 @@ let solve_impl ~config ~budget ~trail ~ledger ~restarts f0 =
             | `None -> false
           end
         in
-        if not eliminated_up then begin
+        if eliminated_up then audit Check.Post_unitpure
+        else begin
           let must_linearize =
             match config.mode with
             | Elimination -> not (Dqbf.Depgraph.is_acyclic f)
@@ -201,7 +211,8 @@ let solve_impl ~config ~budget ~trail ~ledger ~restarts f0 =
                universal elimination (Theorem 1) *)
             if config.use_thm2 then begin
               let k = Dqbf.Elim.eliminate_full_existentials ?trail f in
-              stats.exist_elims <- stats.exist_elims + k
+              stats.exist_elims <- stats.exist_elims + k;
+              if k > 0 then audit Check.Post_elimination
             end;
             if not (M.is_const (F.matrix f)) then begin
               let rec next_univ () =
@@ -227,6 +238,7 @@ let solve_impl ~config ~budget ~trail ~ledger ~restarts f0 =
                   end;
                   Dqbf.Elim.universal ?trail f x;
                   stats.univ_elims <- stats.univ_elims + 1;
+                  audit ~queue:!queue Check.Post_elimination;
                   compact_or_fraig ()
               | None ->
                   (* no universal left to eliminate; the dependency graph
@@ -239,6 +251,9 @@ let solve_impl ~config ~budget ~trail ~ledger ~restarts f0 =
             match Dqbf.Depgraph.qbf_prefix f with
             | None -> assert false
             | Some prefix ->
+                if config.check_level <> Check.Off then
+                  Check.audit_prefix ~stage:Check.Pre_backend f prefix;
+                audit Check.Pre_backend;
                 let t0 = Budget.now () in
                 let run_elim stage_budget =
                   let on_define =
@@ -321,6 +336,10 @@ let solve_formula_model ?(config = default_config) ?(budget = Budget.unlimited) 
     | Unsat -> None
     | Sat ->
         let skolem = Dqbf.Model_trail.reconstruct trail in
+        (* certify the witness against the original matrix before handing
+           it out: a wrong Skolem function here means some stage lied *)
+        if config.check_level = Check.Full then
+          Check.audit_model ~budget ~stage:Check.Post_solve f0 skolem;
         Some (Dqbf.Skolem.restrict skolem ~keep:(Dqbf.Formula.is_existential f0))
   in
   (verdict, model, stats)
@@ -331,6 +350,7 @@ let solve_pcnf ?(config = default_config) ?(budget = Budget.unlimited) pcnf =
       let stats = fresh_stats () in
       (Unsat, stats)
   | Dqbf.Preprocess.Formula (f, pre) ->
+      Check.audit_stage ~level:config.check_level Check.Post_preprocess f;
       let verdict, stats = solve_recoverable ~config ~budget ~trail:None f in
       stats.pre_stats <- Some pre;
       (verdict, stats)
@@ -342,6 +362,7 @@ let solve_pcnf_model ?(config = default_config) ?(budget = Budget.unlimited) pcn
   with
   | Dqbf.Preprocess.Unsat -> (Unsat, None, fresh_stats ())
   | Dqbf.Preprocess.Formula (f, pre) ->
+      Check.audit_stage ~level:config.check_level Check.Post_preprocess f;
       let verdict, stats = solve_recoverable ~config ~budget ~trail:(Some trail) f in
       stats.pre_stats <- Some pre;
       let model =
@@ -349,6 +370,12 @@ let solve_pcnf_model ?(config = default_config) ?(budget = Budget.unlimited) pcn
         | Unsat -> None
         | Sat ->
             let skolem = Dqbf.Model_trail.reconstruct trail in
+            (* the unrestricted witness also covers variables the
+               preprocessor folded away, so it certifies against the
+               original (unpreprocessed) formula *)
+            if config.check_level = Check.Full then
+              Check.audit_model ~budget ~stage:Check.Post_solve (Dqbf.Pcnf.to_formula pcnf)
+                skolem;
             let declared = Hqs_util.Bitset.of_list (List.map fst pcnf.Dqbf.Pcnf.exists) in
             Some (Dqbf.Skolem.restrict skolem ~keep:(fun y -> Hqs_util.Bitset.mem y declared))
       in

@@ -56,6 +56,13 @@ type config = {
       (** retry the solve once with {!degraded_config} when the AIG node
           limit is hit mid-elimination (heap-governor memouts and second
           failures still escape) *)
+  check_level : Check.level;
+      (** soundness-auditor depth at every stage boundary (see {!Check}):
+          [Off] is free, [Cheap] scans the prefix, [Full] deep-audits the
+          AIG manager and certifies Skolem models with an independent SAT
+          call. Defaults to the [HQS_CHECK] environment variable ([Off]
+          when unset or malformed — the CLI reports malformed values).
+          Violations escape the solve as {!Check.Violation}. *)
 }
 
 val default_config : config

@@ -39,7 +39,7 @@ let qbf_prefix f =
       | None -> groups := (d, ref [ y ]) :: !groups)
     (Formula.existentials f);
   let groups =
-    List.sort (fun (d1, _) (d2, _) -> compare (Bitset.cardinal d1) (Bitset.cardinal d2)) !groups
+    List.sort (fun (d1, _) (d2, _) -> Int.compare (Bitset.cardinal d1) (Bitset.cardinal d2)) !groups
   in
   let rec chain_ok = function
     | (d1, _) :: ((d2, _) :: _ as rest) -> Bitset.subset d1 d2 && chain_ok rest

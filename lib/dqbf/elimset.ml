@@ -58,7 +58,8 @@ let elimination_count f x =
 
 let ordered_queue f set =
   let cost = List.map (fun x -> (elimination_count f x, x)) set in
-  List.map snd (List.sort compare cost)
+  let cmp (c1, x1) (c2, x2) = if c1 <> c2 then Int.compare c1 c2 else Int.compare x1 x2 in
+  List.map snd (List.sort cmp cost)
 
 let greedy_all f =
   let acc = ref Bitset.empty in

@@ -50,6 +50,8 @@ let fresh_var t =
   t.next_var <- v + 1;
   v
 
+let next_var t = t.next_var
+
 let universals t = t.univs
 let num_universals t = Bitset.cardinal t.univs
 
@@ -64,7 +66,7 @@ let set_deps t v d =
 
 let existentials t =
   Hashtbl.fold (fun v d acc -> (v, d) :: acc) t.dep_tbl []
-  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
 
 let num_existentials t = Hashtbl.length t.dep_tbl
 

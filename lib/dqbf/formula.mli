@@ -24,6 +24,10 @@ val add_existential : t -> int -> deps:Hqs_util.Bitset.t -> unit
 val fresh_var : t -> int
 (** An unused variable id (also bumps the internal counter). *)
 
+val next_var : t -> int
+(** Exclusive upper bound on every variable id seen so far (quantified or
+    fresh); dominates the ids a well-formed elimination queue may hold. *)
+
 val universals : t -> Hqs_util.Bitset.t
 val num_universals : t -> int
 val is_universal : t -> int -> bool

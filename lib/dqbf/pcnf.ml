@@ -20,7 +20,7 @@ let parse_string s =
   let univs = ref [] in
   let exists = ref [] in
   let clauses = ref [] in
-  let int_of tok = try int_of_string tok with _ -> failwith ("Dqdimacs: bad token " ^ tok) in
+  let int_of tok = try int_of_string tok with Failure _ -> failwith ("Dqdimacs: bad token " ^ tok) in
   let var_of tok =
     let i = int_of tok in
     if i <= 0 then failwith "Dqdimacs: non-positive variable in prefix";

@@ -54,7 +54,7 @@ let is_exist st v = Hashtbl.mem st.deps v
 
 (* sort, dedupe, detect tautologies (returns None) and empty clauses *)
 let normalize_clause clause =
-  let sorted = List.sort_uniq compare clause in
+  let sorted = List.sort_uniq Int.compare clause in
   let rec taut = function
     | a :: (b :: _ as rest) -> (L.var a = L.var b && a <> b) || taut rest
     | [ _ ] | [] -> false
@@ -335,7 +335,7 @@ type gate = { out_var : int; out_neg : bool; fn : gate_fn; def_clauses : int lis
 let detect_gates st =
   let clause_set = Hashtbl.create 256 in
   List.iter (fun c -> Hashtbl.replace clause_set c ()) st.clauses;
-  let present c = Hashtbl.mem clause_set (List.sort_uniq compare c) in
+  let present c = Hashtbl.mem clause_set (List.sort_uniq Int.compare c) in
   let defined : (int, unit) Hashtbl.t = Hashtbl.create 32 in
   let gates = ref [] in
   (* dependency legality: substituting [out] by a function of [ins] *)
@@ -390,7 +390,7 @@ let detect_gates st =
   let triples = Hashtbl.create 64 in
   List.iter
     (fun clause ->
-      match List.sort_uniq compare (List.map L.var clause) with
+      match List.sort_uniq Int.compare (List.map L.var clause) with
       | [ a; b; c ] when List.length clause = 3 ->
           let key = (a, b, c) in
           let cur = try Hashtbl.find triples key with Not_found -> [] in
@@ -404,17 +404,22 @@ let detect_gates st =
           (List.map L.of_var [ a; b; c ])
       in
       let odd p = List.length (List.filter Fun.id p) mod 2 = 1 in
+      let cmp_pattern = List.compare Bool.compare in
       let odd_patterns =
-        List.sort_uniq compare (List.filter_map (fun cl ->
+        List.sort_uniq
+          (fun (p1, c1) (p2, c2) ->
+            let c = cmp_pattern p1 p2 in
+            if c <> 0 then c else List.compare Int.compare c1 c2)
+          (List.filter_map (fun cl ->
             let p = sign_pattern cl in
             if odd p then Some (p, cl) else None) clauses)
       in
-      if List.length (List.sort_uniq compare (List.map fst odd_patterns)) = 4 then begin
+      if List.length (List.sort_uniq cmp_pattern (List.map fst odd_patterns)) = 4 then begin
         (* pick one defining clause per pattern *)
         let defs =
           List.map
             (fun pat -> List.assoc pat odd_patterns)
-            (List.sort_uniq compare (List.map fst odd_patterns))
+            (List.sort_uniq cmp_pattern (List.map fst odd_patterns))
         in
         (* choose an output among the triple *)
         let try_out out =
@@ -468,7 +473,7 @@ let detect_gates st =
   let selected = List.filter (fun g -> Hashtbl.mem accepted g.out_var) candidates in
   List.iter
     (fun g ->
-      List.iter (fun c -> Hashtbl.remove clause_set (List.sort_uniq compare c)) g.def_clauses)
+      List.iter (fun c -> Hashtbl.remove clause_set (List.sort_uniq Int.compare c)) g.def_clauses)
     selected;
   st.clauses <- Hashtbl.fold (fun c () acc -> c :: acc) clause_set [];
   selected
@@ -480,7 +485,7 @@ let build_formula ?node_limit st gates =
   Bitset.iter (Formula.add_universal f) st.univs;
   (* gate outputs stay declared until substitution, then are removed *)
   List.iter (fun (y, d) -> Formula.add_existential f y ~deps:d)
-    (Hashtbl.fold (fun y d acc -> (y, d) :: acc) st.deps [] |> List.sort compare);
+    (Hashtbl.fold (fun y d acc -> (y, d) :: acc) st.deps [] |> List.sort (fun (a, _) (b, _) -> Int.compare a b));
   let man = Formula.man f in
   let aig_lit l = M.apply_sign (M.input man (L.var l)) ~neg:(L.is_neg l) in
   let matrix = M.mk_and_list man (List.map (fun c -> M.mk_or_list man (List.map aig_lit c)) st.clauses) in

@@ -9,7 +9,7 @@ let define t y fn = Hashtbl.replace t.defs y fn
 let find t y = Hashtbl.find_opt t.defs y
 
 let bindings t =
-  Hashtbl.fold (fun y fn acc -> (y, fn) :: acc) t.defs [] |> List.sort compare
+  Hashtbl.fold (fun y fn acc -> (y, fn) :: acc) t.defs [] |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
 
 let eval t y env =
   match find t y with

@@ -1,0 +1,224 @@
+(* Repo-specific static analysis over the parsetree (compiler-libs).
+
+   The rules encode this codebase's conventions, each of which guards a
+   soundness property the auditor in [lib/check] can only catch at run
+   time:
+   - a catch-all exception handler can swallow [Budget.Timeout] or a
+     [Check.Violation] and convert an abort into a wrong verdict;
+   - polymorphic [compare]/[Hashtbl.hash] passed as first-class values
+     silently fall back to structural comparison when a type gains a
+     non-canonical field (the Bitset/Fraig incident class);
+   - [failwith] inside [lib/] escapes as an untyped [Failure] that callers
+     cannot distinguish from a parser error (only the DIMACS-family
+     parsers use it as their documented parse-error channel);
+   - a missing [.mli] leaks mutable internals that the auditor assumes
+     only the public API can touch.
+
+   Diagnostics can be suppressed by a comment containing
+   "lint: allow <rule-name>" on the offending line or the line above. *)
+
+type rule = Catch_all | Poly_compare | Obj_magic | Failwith_lib | Missing_mli | Syntax
+
+let rule_name = function
+  | Catch_all -> "catch-all"
+  | Poly_compare -> "poly-compare"
+  | Obj_magic -> "obj-magic"
+  | Failwith_lib -> "failwith-lib"
+  | Missing_mli -> "missing-mli"
+  | Syntax -> "syntax"
+
+type diag = { file : string; line : int; col : int; rule : rule; msg : string }
+
+let pp_diag fmt d =
+  Format.fprintf fmt "%s:%d:%d: [%s] %s" d.file d.line d.col (rule_name d.rule) d.msg
+
+(* The documented allowlist: [failwith] is the parse-error channel of the
+   DIMACS-family parsers, caught as [Failure] at the CLI boundary. *)
+let allowlist = [ ("lib/sat/dimacs.ml", Failwith_lib); ("lib/qbf/qdimacs.ml", Failwith_lib); ("lib/dqbf/pcnf.ml", Failwith_lib) ]
+
+let allowlisted path rule =
+  List.exists (fun (suffix, r) -> r = rule && String.ends_with ~suffix path) allowlist
+
+(* [Longident.flatten] raises on [Lapply]; spell out the walk instead *)
+let rec flat = function
+  | Longident.Lident s -> [ s ]
+  | Longident.Ldot (l, s) -> flat l @ [ s ]
+  | Longident.Lapply _ -> []
+
+let ident_path li = String.concat "." (flat li)
+
+(* in a path like "lib/sat/dimacs.ml", is some directory segment "lib"? *)
+let in_lib path =
+  let rec segments p acc =
+    let d = Filename.dirname p in
+    if d = p then acc else segments d (Filename.basename p :: acc)
+  in
+  List.mem "lib" (segments (Filename.dirname path) [])
+
+let rec catch_all_pattern p =
+  match p.Parsetree.ppat_desc with
+  | Parsetree.Ppat_any | Parsetree.Ppat_var _ -> true
+  | Parsetree.Ppat_alias (q, _) -> catch_all_pattern q
+  | Parsetree.Ppat_or (a, b) -> catch_all_pattern a || catch_all_pattern b
+  | _ -> false
+
+let diag_of_loc ~path ~rule ~msg (loc : Location.t) =
+  {
+    file = path;
+    line = loc.loc_start.pos_lnum;
+    col = loc.loc_start.pos_cnum - loc.loc_start.pos_bol;
+    rule;
+    msg;
+  }
+
+let collect_structure ~path structure =
+  let diags = ref [] in
+  let add rule msg loc = diags := diag_of_loc ~path ~rule ~msg loc :: !diags in
+  (* identifiers fully applied as binary operators are "blessed": [a = b]
+     is ordinary OCaml, but a first-class or partially applied [( = )]
+     handed to a container or search function is where polymorphic
+     comparison hides *)
+  let blessed : (Location.t, unit) Hashtbl.t = Hashtbl.create 64 in
+  let iter = Ast_iterator.default_iterator in
+  let expr it (e : Parsetree.expression) =
+    (match e.pexp_desc with
+    | Parsetree.Pexp_apply ({ pexp_desc = Parsetree.Pexp_ident _; pexp_loc; _ }, args)
+      when List.length args >= 2 ->
+        Hashtbl.replace blessed pexp_loc ()
+    | Parsetree.Pexp_try (_, cases) ->
+        List.iter
+          (fun (c : Parsetree.case) ->
+            if catch_all_pattern c.pc_lhs then
+              add Catch_all
+                "catch-all exception handler: match the exceptions you expect (a bare handler \
+                 swallows Timeout/Violation aborts)"
+                c.pc_lhs.ppat_loc)
+          cases
+    | Parsetree.Pexp_ident { txt; loc } -> (
+        match ident_path txt with
+        | "Obj.magic" -> add Obj_magic "Obj.magic defeats the type system" loc
+        | "compare" | "Stdlib.compare" | "Pervasives.compare" ->
+            add Poly_compare
+              "polymorphic compare: use a monomorphic compare (Int.compare, String.compare, ...)"
+              loc
+        | "Hashtbl.hash" | "Stdlib.Hashtbl.hash" ->
+            add Poly_compare "polymorphic Hashtbl.hash: hash the representation explicitly" loc
+        | "failwith" | "Stdlib.failwith" ->
+            if in_lib path then
+              add Failwith_lib
+                "failwith in library code: raise a typed exception the caller can match"
+                loc
+        | ("=" | "<>") when not (Hashtbl.mem blessed loc) ->
+            add Poly_compare
+              "first-class polymorphic equality: pass an explicit equality function"
+              loc
+        | _ -> ())
+    | _ -> ());
+    iter.expr it e
+  in
+  let it = { iter with expr } in
+  it.structure it structure;
+  List.rev !diags
+
+let syntax_error ~path loc = [ diag_of_loc ~path ~rule:Syntax ~msg:"syntax error" loc ]
+
+let lint_source ~path content =
+  let lexbuf = Lexing.from_string content in
+  Lexing.set_filename lexbuf path;
+  if Filename.check_suffix path ".mli" then
+    (* interfaces carry no expressions; parse only to catch syntax errors *)
+    match Parse.interface lexbuf with
+    | _ -> []
+    | exception Syntaxerr.Error err -> syntax_error ~path (Syntaxerr.location_of_error err)
+    | exception Lexer.Error (_, loc) -> syntax_error ~path loc
+  else
+    match Parse.implementation lexbuf with
+    | structure -> collect_structure ~path structure
+    | exception Syntaxerr.Error err -> syntax_error ~path (Syntaxerr.location_of_error err)
+    | exception Lexer.Error (_, loc) -> syntax_error ~path loc
+
+(* -------------------------------------------------- suppression comments *)
+
+let suppressed ~lines d =
+  let marker = "lint: allow " ^ rule_name d.rule in
+  let has i =
+    i >= 1 && i <= Array.length lines
+    &&
+    let line = lines.(i - 1) in
+    let rec find j =
+      j + String.length marker <= String.length line
+      && (String.sub line j (String.length marker) = marker || find (j + 1))
+    in
+    find 0
+  in
+  has d.line || has (d.line - 1)
+
+let lint_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | content ->
+      let lines = Array.of_list (String.split_on_char '\n' content) in
+      lint_source ~path content
+      |> List.filter (fun d -> not (allowlisted path d.rule) && not (suppressed ~lines d))
+  | exception Sys_error msg ->
+      [ { file = path; line = 1; col = 0; rule = Syntax; msg = "cannot read: " ^ msg } ]
+
+(* ------------------------------------------------------------ missing mli *)
+
+(* Pure over a file list so it is testable without touching the disk:
+   every [lib/] implementation must publish an interface. *)
+let check_missing_mli files =
+  let have_mli =
+    List.filter_map
+      (fun p -> if Filename.check_suffix p ".mli" then Some (Filename.chop_suffix p ".mli") else None)
+      files
+  in
+  List.filter_map
+    (fun p ->
+      if
+        Filename.check_suffix p ".ml" && in_lib p
+        && not (List.mem (Filename.chop_suffix p ".ml") have_mli)
+      then
+        Some
+          {
+            file = p;
+            line = 1;
+            col = 0;
+            rule = Missing_mli;
+            msg = "library module without an interface file";
+          }
+      else None)
+    files
+
+(* ------------------------------------------------------------------ walk *)
+
+let rec walk path acc =
+  if Sys.is_directory path then
+    Array.fold_left
+      (fun acc entry ->
+        if entry = "_build" || entry = ".git" || (entry <> "" && entry.[0] = '.') then acc
+        else walk (Filename.concat path entry) acc)
+      acc (Sys.readdir path)
+  else if Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli" then path :: acc
+  else acc
+
+let lint_paths paths =
+  let files = List.sort String.compare (List.fold_left (fun acc p -> walk p acc) [] paths) in
+  List.concat_map lint_file files @ check_missing_mli files
+
+let run paths =
+  match List.filter (fun p -> not (Sys.file_exists p)) paths with
+  | missing :: _ ->
+      Printf.eprintf "lint: no such file or directory: %s\n" missing;
+      2
+  | [] -> (
+      if paths = [] then begin
+        Printf.eprintf "lint: no paths given\n";
+        2
+      end
+      else
+        match lint_paths paths with
+        | [] -> 0
+        | diags ->
+            List.iter (fun d -> Format.printf "%a@." pp_diag d) diags;
+            Format.printf "lint: %d finding(s)@." (List.length diags);
+            1)

@@ -1,0 +1,48 @@
+(** Repo-specific static analysis: a compiler-libs [Ast_iterator] pass
+    enforcing the conventions that keep the run-time auditor ({!Check})
+    honest.
+
+    Rules:
+    - [Catch_all] — [try ... with _ ->] or [with e ->]: a bare handler
+      swallows [Budget.Timeout]/[Check.Violation] aborts;
+    - [Poly_compare] — first-class [( = )]/[( <> )], any use of
+      polymorphic [compare] or [Hashtbl.hash] (applied [a = b] is fine);
+    - [Obj_magic] — any [Obj.magic];
+    - [Failwith_lib] — [failwith] under a [lib/] path segment, except the
+      allowlisted DIMACS-family parsers where [Failure] is the documented
+      parse-error channel;
+    - [Missing_mli] — a [lib/] implementation without a sibling [.mli];
+    - [Syntax] — the file does not parse (also covers unreadable files).
+
+    Suppression: a comment containing [lint: allow <rule-name>] on the
+    diagnostic's line or the line directly above silences it, e.g.
+    [(* lint: allow poly-compare *)]. *)
+
+type rule = Catch_all | Poly_compare | Obj_magic | Failwith_lib | Missing_mli | Syntax
+
+val rule_name : rule -> string
+(** ["catch-all"], ["poly-compare"], ["obj-magic"], ["failwith-lib"],
+    ["missing-mli"], ["syntax"] — the names used by suppression comments. *)
+
+type diag = { file : string; line : int; col : int; rule : rule; msg : string }
+
+val pp_diag : Format.formatter -> diag -> unit
+(** [file:line:col: [rule] message]. *)
+
+val lint_source : path:string -> string -> diag list
+(** Lint one source text ([path] selects [.mli] handling and the
+    [Failwith_lib] scope; it is not read). Allowlist and suppression
+    comments are NOT applied — callers get the raw findings. *)
+
+val check_missing_mli : string list -> diag list
+(** Pure [Missing_mli] pass over a file list: flags every [lib/] [.ml]
+    with no corresponding [.mli] in the same list. *)
+
+val lint_paths : string list -> diag list
+(** Walk files and directories (skipping [_build], [.git] and dotfiles),
+    lint every [.ml]/[.mli], apply the allowlist and suppression
+    comments, and append the {!check_missing_mli} pass. *)
+
+val run : string list -> int
+(** CLI driver: print diagnostics, return the exit code — 0 clean,
+    1 findings, 2 usage error (no paths, or a path does not exist). *)

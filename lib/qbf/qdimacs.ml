@@ -14,7 +14,7 @@ let parse_string s =
   let num_vars = ref 0 in
   let prefix = ref [] in
   let clauses = ref [] in
-  let int_of tok = try int_of_string tok with _ -> failwith ("Qdimacs: bad token " ^ tok) in
+  let int_of tok = try int_of_string tok with Failure _ -> failwith ("Qdimacs: bad token " ^ tok) in
   let parse_block q toks =
     let vars =
       List.filter_map

@@ -16,7 +16,7 @@ let parse_tokens tokens =
     | tok :: rest ->
         if not !header_seen then failwith "Dimacs: missing p cnf header"
         else begin
-          let i = try int_of_string tok with _ -> failwith ("Dimacs: bad token " ^ tok) in
+          let i = try int_of_string tok with Failure _ -> failwith ("Dimacs: bad token " ^ tok) in
           if i = 0 then begin
             clauses := List.rev !current :: !clauses;
             current := []

@@ -259,7 +259,7 @@ let locked t c =
   && lit_val t c.lits.(0) = 1
 
 let reduce_db t =
-  let cmp (a : clause) (b : clause) = compare a.activity b.activity in
+  let cmp (a : clause) (b : clause) = Float.compare a.activity b.activity in
   Vec.sort cmp t.learnts;
   let n = Vec.size t.learnts in
   let keep = Vec.create ~dummy:dummy_clause () in
@@ -277,7 +277,7 @@ let add_clause_a t lits =
     Array.iter (fun l -> ensure_var t (Lit.var l)) lits;
     (* simplify: sort, dedup, drop false lits, detect tautology / satisfied *)
     let lits = Array.copy lits in
-    Array.sort compare lits;
+    Array.sort Int.compare lits;
     let out = ref [] in
     let taut = ref false in
     let sat = ref false in

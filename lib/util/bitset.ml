@@ -80,9 +80,31 @@ let subset (x : t) (y : t) =
     loop 0
   end
 
-let equal (x : t) (y : t) = x = y
-let compare (x : t) (y : t) = Stdlib.compare x y
-let hash (s : t) = Hashtbl.hash s
+let equal (x : t) (y : t) =
+  let lx = Array.length x in
+  lx = Array.length y
+  &&
+  let rec loop i = i >= lx || (x.(i) = y.(i) && loop (i + 1)) in
+  loop 0
+
+(* shortest-first, then word-wise — the order Stdlib.compare gave on the
+   canonical representation, now independent of it *)
+let compare (x : t) (y : t) =
+  let lx = Array.length x and ly = Array.length y in
+  if lx <> ly then Int.compare lx ly
+  else begin
+    let rec loop i =
+      if i >= lx then 0
+      else
+        let c = Int.compare x.(i) y.(i) in
+        if c <> 0 then c else loop (i + 1)
+    in
+    loop 0
+  end
+
+(* FNV-1a over the words; words are already canonical (no trailing zeros) *)
+let hash (s : t) =
+  Array.fold_left (fun h w -> (h lxor (w lxor (w lsr 31))) * 0x01000193 land max_int) 0x811c9dc5 s
 
 let popcount w =
   let rec loop w acc = if w = 0 then acc else loop (w land (w - 1)) (acc + 1) in

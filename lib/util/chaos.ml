@@ -13,6 +13,13 @@ type t = Off | Armed of armed
 
 let off = Off
 
+(* FNV-1a: point names must hash identically across runs and OCaml
+   versions, since they seed the per-point fault streams *)
+let hash_name s =
+  let h = ref 0x811c9dc5 in
+  String.iter (fun c -> h := (!h lxor Char.code c) * 0x01000193 land max_int) s;
+  !h
+
 let create ?(prob = 1.0) ?(limit = 1) ~seed ~points () =
   let allowed = Hashtbl.create 8 in
   List.iter (fun p -> Hashtbl.replace allowed p ()) points;
@@ -25,7 +32,7 @@ let state a name =
   | Some s -> s
   | None ->
       (* independent stream per point: the name only picks the stream *)
-      let s = { rng = Rng.create (a.seed lxor Hashtbl.hash name); queried = 0; fired = 0 } in
+      let s = { rng = Rng.create (a.seed lxor hash_name name); queried = 0; fired = 0 } in
       Hashtbl.replace a.states name s;
       s
 
@@ -46,7 +53,7 @@ let fired = function
   | Off -> []
   | Armed a ->
       Hashtbl.fold (fun k s acc -> if s.fired > 0 then (k, s.fired) :: acc else acc) a.states []
-      |> List.sort compare
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let parse_points s =
   String.split_on_char ',' s |> List.map String.trim |> List.filter (fun p -> p <> "")

@@ -13,7 +13,8 @@ let check_int = Alcotest.(check int)
 let verdict_t =
   Alcotest.testable
     (fun fmt v -> Format.pp_print_string fmt (match v with Hqs.Sat -> "SAT" | Hqs.Unsat -> "UNSAT"))
-    ( = )
+    (fun a b ->
+      match (a, b) with Hqs.Sat, Hqs.Sat | Hqs.Unsat, Hqs.Unsat -> true | _ -> false)
 
 let degraded_mem label stats = List.mem label stats.Hqs.degraded
 
@@ -161,7 +162,7 @@ let rec permutations = function
   | [] -> [ [] ]
   | l ->
       List.concat_map
-        (fun x -> List.map (fun p -> x :: p) (permutations (List.filter (( <> ) x) l)))
+        (fun x -> List.map (fun p -> x :: p) (permutations (List.filter (fun y -> y <> x) l)))
         l
 
 (* y0 may see only x0 and y1 only x1, so the incomparable deps force a

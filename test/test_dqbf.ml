@@ -234,7 +234,7 @@ let test_ordered_queue () =
   let f = example1 ~crossed:false in
   (* |E_x1| = |{y1}| = 1, |E_x2| = 1; both orders fine, check it's a perm *)
   let q = Dqbf.Elimset.ordered_queue f [ 0; 1 ] in
-  check "queue is permutation" true (List.sort compare q = [ 0; 1 ]);
+  check "queue is permutation" true (List.sort Int.compare q = [ 0; 1 ]);
   check_int "E_x count" 1 (Dqbf.Elimset.elimination_count f 0)
 
 (* --------------------------------------------------------------- pcnf *)

@@ -7,7 +7,8 @@ let check = Alcotest.(check bool)
 let verdict_t =
   Alcotest.testable
     (fun fmt v -> Format.pp_print_string fmt (match v with Hqs.Sat -> "SAT" | Hqs.Unsat -> "UNSAT"))
-    ( = )
+    (fun a b ->
+      match (a, b) with Hqs.Sat, Hqs.Sat | Hqs.Unsat, Hqs.Unsat -> true | _ -> false)
 
 (* same random-instance machinery as the dqbf tests *)
 type instance = {

@@ -1,0 +1,151 @@
+(* Lint self-test: string fixtures per rule, each paired with a clean
+   variant, plus the suppression and allowlist machinery. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let rules_of ~path src = List.map (fun d -> d.Linter.rule) (Linter.lint_source ~path src)
+let lib_path = "lib/fake/mod.ml"
+
+let has rule ~path src = List.mem rule (rules_of ~path src)
+
+let test_catch_all () =
+  check "wildcard handler flagged" true
+    (has Linter.Catch_all ~path:lib_path "let f x = try g x with _ -> 0\n");
+  check "bare variable handler flagged" true
+    (has Linter.Catch_all ~path:lib_path "let f x = try g x with e -> ignore e; 0\n");
+  check "or-pattern hiding a wildcard flagged" true
+    (has Linter.Catch_all ~path:lib_path "let f x = try g x with Not_found | _ -> 0\n");
+  check "specific exception passes" false
+    (has Linter.Catch_all ~path:lib_path "let f x = try g x with Not_found -> 0\n");
+  check "multiple specific cases pass" false
+    (has Linter.Catch_all ~path:lib_path
+       "let f x = try g x with Not_found -> 0 | Failure _ -> 1\n")
+
+let test_poly_compare () =
+  check "bare compare flagged" true
+    (has Linter.Poly_compare ~path:lib_path "let f a b = compare a b\n");
+  check "Stdlib.compare flagged" true
+    (has Linter.Poly_compare ~path:lib_path "let f = List.sort Stdlib.compare\n");
+  check "Hashtbl.hash flagged" true
+    (has Linter.Poly_compare ~path:lib_path "let h = Hashtbl.hash\n");
+  check "first-class equality flagged" true
+    (has Linter.Poly_compare ~path:lib_path "let mem x l = List.exists (( = ) x) l\n");
+  check "applied equality passes" false
+    (has Linter.Poly_compare ~path:lib_path "let f a b = a = b && a <> 0\n");
+  check "monomorphic compare passes" false
+    (has Linter.Poly_compare ~path:lib_path "let f = List.sort Int.compare\n");
+  check "module-qualified compare passes" false
+    (has Linter.Poly_compare ~path:lib_path "let f = List.sort Bitset.compare\n")
+
+let test_obj_magic () =
+  check "Obj.magic flagged" true (has Linter.Obj_magic ~path:lib_path "let f x = Obj.magic x\n");
+  check "Obj.repr alone passes" false
+    (has Linter.Obj_magic ~path:lib_path "let f x = Obj.repr x\n")
+
+let test_failwith_scope () =
+  let src = "let f () = failwith \"boom\"\n" in
+  check "failwith flagged under lib/" true (has Linter.Failwith_lib ~path:lib_path src);
+  check "failwith passes in bin/" false (has Linter.Failwith_lib ~path:"bin/tool.ml" src);
+  check "failwith passes in test/" false (has Linter.Failwith_lib ~path:"test/t.ml" src)
+
+let test_syntax () =
+  check "unparsable source reported" true (has Linter.Syntax ~path:lib_path "let let let\n");
+  check "unparsable mli reported" true (has Linter.Syntax ~path:"lib/fake/mod.mli" "val val\n");
+  check "clean mli passes" false (has Linter.Syntax ~path:"lib/fake/mod.mli" "val f : int -> int\n")
+
+let test_missing_mli () =
+  let diags =
+    Linter.check_missing_mli
+      [ "lib/a/x.ml"; "lib/a/y.ml"; "lib/a/y.mli"; "bin/z.ml"; "test/t.ml" ]
+  in
+  check_int "exactly the uncovered lib module" 1 (List.length diags);
+  check "names the right file" true
+    (match diags with [ d ] -> d.Linter.file = "lib/a/x.ml" | _ -> false)
+
+let test_positions () =
+  match Linter.lint_source ~path:lib_path "let a = 1\nlet f x = try g x with _ -> 0\n" with
+  | [ d ] ->
+      check_int "line" 2 d.Linter.line;
+      check "rule" true (d.Linter.rule = Linter.Catch_all)
+  | ds -> Alcotest.failf "expected one diagnostic, got %d" (List.length ds)
+
+(* suppression and the allowlist act in [lint_paths]; drive it through
+   real files in a temp tree *)
+let with_tree files k =
+  let dir = Filename.temp_file "lintt" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let cleanup = ref [ dir ] in
+  List.iter
+    (fun (rel, content) ->
+      let path = Filename.concat dir rel in
+      let parent = Filename.dirname path in
+      let rec mk p =
+        if not (Sys.file_exists p) then begin
+          mk (Filename.dirname p);
+          Unix.mkdir p 0o755;
+          cleanup := p :: !cleanup
+        end
+      in
+      mk parent;
+      Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc content);
+      cleanup := path :: !cleanup)
+    files;
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun p -> if Sys.is_directory p then Sys.rmdir p else Sys.remove p)
+        !cleanup)
+    (fun () -> k dir)
+
+let test_suppression () =
+  with_tree
+    [
+      ("lib/a/x.ml", "(* lint: allow poly-compare *)\nlet h = Hashtbl.hash\n");
+      ("lib/a/x.mli", "val h : 'a -> int\n");
+      (* the marker covers its own line and the next; line 3 stays out of reach *)
+      ("lib/a/y.ml", "let h = Hashtbl.hash (* lint: allow poly-compare *)\n\nlet c = compare\n");
+      ("lib/a/y.mli", "val h : 'a -> int\nval c : 'a -> 'a -> int\n");
+    ]
+    (fun dir ->
+      let diags = Linter.lint_paths [ dir ] in
+      (* x.ml fully suppressed (line above); y.ml line 1 suppressed (same
+         line), line 3 still reported *)
+      check_int "only the unsuppressed finding remains" 1 (List.length diags);
+      check "it is y.ml line 3" true
+        (match diags with
+        | [ d ] -> Filename.basename d.Linter.file = "y.ml" && d.Linter.line = 3
+        | _ -> false))
+
+let test_allowlist_and_walk () =
+  with_tree
+    [
+      (* same suffix as the documented allowlist entry: failwith tolerated *)
+      ("lib/sat/dimacs.ml", "let f () = failwith \"bad token\"\n");
+      ("lib/sat/dimacs.mli", "val f : unit -> 'a\n");
+      ("_build/lib/junk.ml", "let let let\n");
+      (".hidden/junk.ml", "let let let\n");
+    ]
+    (fun dir ->
+      check_int "allowlisted failwith and skipped dirs yield no findings" 0
+        (List.length (Linter.lint_paths [ dir ])))
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "catch-all" `Quick test_catch_all;
+          Alcotest.test_case "poly-compare" `Quick test_poly_compare;
+          Alcotest.test_case "obj-magic" `Quick test_obj_magic;
+          Alcotest.test_case "failwith scope" `Quick test_failwith_scope;
+          Alcotest.test_case "syntax" `Quick test_syntax;
+          Alcotest.test_case "missing mli" `Quick test_missing_mli;
+          Alcotest.test_case "positions" `Quick test_positions;
+        ] );
+      ( "driver",
+        [
+          Alcotest.test_case "suppression" `Quick test_suppression;
+          Alcotest.test_case "allowlist and walk" `Quick test_allowlist_and_walk;
+        ] );
+    ]

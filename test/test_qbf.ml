@@ -66,7 +66,9 @@ let qbf_gen =
     (* permutation of vars via sorting by random keys *)
     list_repeat n (int_bound 1000) >>= fun keys ->
     let order =
-      List.mapi (fun i k -> (k, i)) keys |> List.sort compare |> List.map snd
+      List.mapi (fun i k -> (k, i)) keys
+      |> List.sort (fun (k1, i1) (k2, i2) -> if k1 <> k2 then Int.compare k1 k2 else Int.compare i1 i2)
+      |> List.map snd
     in
     return (n, clauses, quants, order))
 

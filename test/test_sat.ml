@@ -9,7 +9,10 @@ let result_t =
     (fun fmt r ->
       Format.pp_print_string fmt
         (match r with S.Sat -> "SAT" | S.Unsat -> "UNSAT" | S.Unknown -> "UNKNOWN"))
-    ( = )
+    (fun a b ->
+      match (a, b) with
+      | S.Sat, S.Sat | S.Unsat, S.Unsat | S.Unknown, S.Unknown -> true
+      | _ -> false)
 
 (* literals from DIMACS-style ints *)
 let l = L.of_dimacs

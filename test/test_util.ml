@@ -42,7 +42,7 @@ let test_vec_bounds () =
 
 let test_vec_sort () =
   let v = Vec.of_list ~dummy:0 [ 3; 1; 2 ] in
-  Vec.sort compare v;
+  Vec.sort Int.compare v;
   check "sorted" true (Vec.to_list v = [ 1; 2; 3 ])
 
 (* --------------------------------------------------------------- Bitset *)
@@ -132,7 +132,7 @@ let prop_heap_pop_order =
       let rec drain acc = if Heap.is_empty h then List.rev acc else drain (Heap.pop h :: acc) in
       let popped = drain [] in
       let sorted_scores = List.map (fun i -> scores.(i)) popped in
-      List.sort (fun a b -> compare b a) sorted_scores = sorted_scores
+      List.sort (fun a b -> Float.compare b a) sorted_scores = sorted_scores
       && List.length popped = Array.length scores)
 
 (* ----------------------------------------------------------- Union-find *)
