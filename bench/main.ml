@@ -10,7 +10,9 @@
      BENCH_TIMEOUT  per-instance wall-clock seconds   (default 5)
      BENCH_NODES    AIG node budget = memout emulation (default 400000)
      BENCH_QUICK=1  small suite for smoke runs
-     BENCH_MICRO=0  skip the Bechamel section *)
+     BENCH_MICRO=0  skip the Bechamel section
+     BENCH_OBS_ONLY=1  only write the observability baseline, then exit
+     BENCH_OBS_OUT  path of the baseline file (default BENCH_obs.json) *)
 
 module Fam = Circuit.Families
 module R = Harness.Runner
@@ -199,6 +201,127 @@ let ablations () =
     cases;
   Buffer.contents buf
 
+(* ------------------------------------------------- observability baseline *)
+
+(* One small instance per family, solved under tracing: per-phase wall
+   times (span totals), the per-solve metric registry delta and the
+   verdict land in BENCH_obs.json, so a perf regression in any one phase
+   shows up as a diff against the committed baseline rather than only as
+   a total-time drift. BENCH_OBS_ONLY=1 runs just this section. *)
+
+let obs_cases () =
+  [
+    Fam.adder ~bits:2 ~boxes:2 ~fault:true;
+    Fam.bitcell ~cells:4 ~boxes:2 ~fault:true;
+    Fam.lookahead ~cells:4 ~boxes:2 ~fault:false;
+    Fam.pec_xor ~length:4 ~boxes:2 ~fault:true;
+    Fam.z4 ~add_bits:1 ~boxes:2 ~fault:true;
+    Fam.comp ~bits:4 ~boxes:2 ~fault:true;
+    Fam.c432 ~groups:3 ~lines:3 ~boxes:2 ~fault:false;
+  ]
+
+let time_ns_per_call f iters =
+  let t0 = Hqs_util.Budget.now () in
+  for _ = 1 to iters do
+    f ()
+  done;
+  (Hqs_util.Budget.now () -. t0) *. 1e9 /. float_of_int iters
+
+(* cost of a Span.with_ call while tracing is off, net of the thunk — the
+   number behind the "disabled tracing is one branch" claim *)
+let disabled_span_overhead_ns () =
+  assert (not (Obs.Trace.enabled ()));
+  let sink = ref 0 in
+  let bare () = incr sink in
+  let wrapped () = Obs.Span.with_ "bench.overhead" bare in
+  let iters = 2_000_000 in
+  ignore (time_ns_per_call wrapped (iters / 10));
+  ignore (time_ns_per_call bare (iters / 10));
+  let w = time_ns_per_call wrapped iters in
+  let b = time_ns_per_call bare iters in
+  Float.max 0.0 (w -. b)
+
+let json_str s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let obs_baseline () =
+  let out = match Sys.getenv_opt "BENCH_OBS_OUT" with Some p -> p | None -> "BENCH_obs.json" in
+  let overhead = disabled_span_overhead_ns () in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf (Printf.sprintf "  \"timeout_s\": %g,\n" timeout);
+  Buffer.add_string buf (Printf.sprintf "  \"node_limit\": %d,\n" node_limit);
+  Buffer.add_string buf (Printf.sprintf "  \"disabled_span_ns_per_call\": %.2f,\n" overhead);
+  Buffer.add_string buf "  \"instances\": [\n";
+  let cases = obs_cases () in
+  let n = List.length cases in
+  List.iteri
+    (fun i inst ->
+      Obs.Sampler.reset ();
+      Obs.Trace.reset ();
+      Obs.Trace.start ();
+      let before = Obs.Metrics.snapshot () in
+      let budget = Hqs_util.Budget.of_seconds timeout in
+      let config = { Hqs.default_config with node_limit = Some node_limit } in
+      let t0 = Hqs_util.Budget.now () in
+      let verdict =
+        match Hqs.solve_pcnf ~config ~budget inst.Fam.pcnf with
+        | Hqs.Sat, _ -> "SAT"
+        | Hqs.Unsat, _ -> "UNSAT"
+        | exception Hqs_util.Budget.Timeout -> "TO"
+        | exception Hqs_util.Budget.Out_of_memory_budget -> "MO"
+      in
+      let elapsed = Hqs_util.Budget.now () -. t0 in
+      Obs.Trace.stop ();
+      let phases = Obs.Trace.totals () in
+      let delta = Obs.Metrics.delta ~before ~after:(Obs.Metrics.snapshot ()) in
+      Buffer.add_string buf "    {\n";
+      Buffer.add_string buf
+        (Printf.sprintf "      \"id\": %s, \"family\": %s, \"verdict\": %s, \"time_s\": %.4f,\n"
+           (json_str inst.Fam.id) (json_str inst.Fam.family) (json_str verdict) elapsed);
+      Buffer.add_string buf "      \"phases\": {\n";
+      List.iteri
+        (fun j t ->
+          Buffer.add_string buf
+            (Printf.sprintf "        %s: { \"calls\": %d, \"total_s\": %.4f, \"self_s\": %.4f }%s\n"
+               (json_str t.Obs.Trace.span) t.Obs.Trace.calls t.Obs.Trace.total_s t.Obs.Trace.self_s
+               (if j < List.length phases - 1 then "," else "")))
+        phases;
+      Buffer.add_string buf "      },\n";
+      Buffer.add_string buf "      \"metrics\": {\n";
+      let assoc = Obs.Metrics.to_assoc delta in
+      List.iteri
+        (fun j (name, v) ->
+          Buffer.add_string buf
+            (Printf.sprintf "        %s: %g%s\n" (json_str name) v
+               (if j < List.length assoc - 1 then "," else "")))
+        assoc;
+      Buffer.add_string buf "      }\n";
+      Buffer.add_string buf (Printf.sprintf "    }%s\n" (if i < n - 1 then "," else ""));
+      Printf.eprintf "[obs %d/%d] %-28s %s %.3fs\n%!" (i + 1) n inst.Fam.id verdict elapsed)
+    cases;
+  Buffer.add_string buf "  ]\n}\n";
+  let body = Buffer.contents buf in
+  (match Obs.Json.parse body with
+  | Ok _ -> ()
+  | Error msg -> Printf.eprintf "obs baseline: generated invalid JSON (%s)\n%!" msg);
+  let oc = open_out out in
+  output_string oc body;
+  close_out oc;
+  Printf.printf "observability baseline written to %s (disabled span: %.1f ns/call)\n" out overhead
+
 (* ---------------------------------------------------- Bechamel micro part *)
 
 let micro () =
@@ -280,6 +403,10 @@ let micro () =
 (* ------------------------------------------------------------------ main *)
 
 let () =
+  if env_bool "BENCH_OBS_ONLY" false then begin
+    obs_baseline ();
+    exit 0
+  end;
   Printf.printf "HQS reproduction benchmark (timeout %.1fs, node limit %d%s)\n\n" timeout
     node_limit
     (if quick then ", QUICK suite" else "");
@@ -298,6 +425,9 @@ let () =
   print_endline "";
   print_endline "================ Ablations (DESIGN.md A1) ====================";
   print_string (ablations ());
+  print_endline "";
+  print_endline "================ Observability baseline ======================";
+  obs_baseline ();
   print_endline "";
   if env_bool "BENCH_MICRO" true then begin
     print_endline "================ Bechamel micro-benchmarks ===================";

@@ -31,8 +31,13 @@ let install_signal_handlers () =
 
 let solve file timeout mem_limit node_limit no_preprocess no_unitpure no_maxsat no_thm2 bce
     expand_all sat_probe no_fraig search_backend no_restart chaos_seed chaos_points check
-    show_model show_stats =
+    show_model show_stats trace show_metrics =
   install_signal_handlers ();
+  let trace_file =
+    match trace with
+    | Some f -> Some f
+    | None -> ( match Sys.getenv_opt "HQS_TRACE" with None | Some "" -> None | Some f -> Some f)
+  in
   let check_level =
     match check with
     | Some s -> (
@@ -98,6 +103,27 @@ let solve file timeout mem_limit node_limit no_preprocess no_unitpure no_maxsat 
     | None -> budget
     | Some mb -> Hqs_util.Budget.with_mem_limit_mb budget mb
   in
+  if Option.is_some trace_file then Obs.Trace.start ();
+  (* emit the observability artifacts on every exit path — a timeout or
+     memout trace is exactly the one worth looking at *)
+  let finish_obs () =
+    (match trace_file with
+    | None -> ()
+    | Some path -> (
+        Obs.Trace.stop ();
+        (match Obs.Trace.write_chrome_json path with
+        | () ->
+            Printf.eprintf "c trace: %d events -> %s%s\n%!" (List.length (Obs.Trace.events ()))
+              path
+              (let d = Obs.Trace.dropped () in
+               if d > 0 then Printf.sprintf " (%d dropped)" d else "")
+        | exception Sys_error msg -> Printf.eprintf "c trace write failed: %s\n%!" msg);
+        if show_stats then prerr_string (Obs.Trace.flame_summary ())));
+    if show_metrics then
+      List.iter
+        (fun (name, v) -> Printf.eprintf "c metric %s %g\n" name v)
+        (Obs.Metrics.to_assoc (Obs.Metrics.snapshot ()))
+  in
   let run () =
     if show_model then begin
       let verdict, model, stats = Hqs.solve_pcnf_model ~config ~budget pcnf in
@@ -133,6 +159,7 @@ let solve file timeout mem_limit node_limit no_preprocess no_unitpure no_maxsat 
   match run () with
   | verdict, stats ->
       if show_stats then Format.eprintf "c %a@." Hqs.pp_stats stats;
+      finish_obs ();
       (match verdict with
       | Hqs.Sat ->
           print_endline "s cnf SAT";
@@ -141,12 +168,15 @@ let solve file timeout mem_limit node_limit no_preprocess no_unitpure no_maxsat 
           print_endline "s cnf UNSAT";
           exit 20)
   | exception Hqs_util.Budget.Timeout ->
+      finish_obs ();
       print_endline "s cnf TIMEOUT";
       exit 124
   | exception Hqs_util.Budget.Out_of_memory_budget ->
+      finish_obs ();
       print_endline "s cnf MEMOUT";
       exit 125
   | exception Check.Violation v ->
+      finish_obs ();
       Format.printf "c check violation: %a@." Check.pp_violation v;
       print_endline "s cnf ERROR";
       exit 3
@@ -192,6 +222,17 @@ let check =
           "soundness-auditor depth at every stage boundary: off, cheap (prefix invariants) or \
            full (deep AIG audit + Skolem certification); overrides \\$(b,HQS_CHECK)")
 
+let trace =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "record hierarchical spans of the solve pipeline and write them as Chrome trace_event \
+           JSON (open in chrome://tracing or Perfetto); the \\$(b,HQS_TRACE) environment variable \
+           names a file with the same effect. Tracing is off by default and costs one branch per \
+           span when disabled")
+
 let flag names doc = Arg.(value & flag & info names ~doc)
 
 let cmd =
@@ -212,7 +253,9 @@ let cmd =
       $ flag [ "no-restart" ] "disable the degraded restart after a node-limit memout"
       $ chaos_seed $ chaos_points $ check
       $ flag [ "model" ] "on SAT, print and verify Skolem functions"
-      $ flag [ "stats" ] "print statistics to stderr")
+      $ flag [ "stats" ] "print statistics to stderr (with --trace, also a flame summary)"
+      $ trace
+      $ flag [ "metrics" ] "print the metric registry (counters, gauges, histograms) to stderr")
 
 (* cmdliner's own exit codes (124/125) collide with the timeout/memout
    convention above, so map evaluation outcomes explicitly *)

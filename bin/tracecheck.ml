@@ -1,0 +1,98 @@
+(* tracecheck: validate a Chrome trace_event JSON file produced by
+   hqs --trace. Checks that the file parses as JSON, that it carries a
+   traceEvents array, that Begin/End events are properly nested, and
+   (optionally) that at least N distinct span names appear — the CI
+   smoke test uses this to assert the trace actually covers the
+   pipeline. Exit 0 on success, 1 on a malformed trace, 2 on usage
+   errors. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let fail fmt = Printf.ksprintf (fun msg -> Printf.eprintf "tracecheck: %s\n" msg; exit 1) fmt
+
+let check file min_spans verbose =
+  let body =
+    match read_file file with
+    | s -> s
+    | exception Sys_error msg -> fail "%s" msg
+  in
+  let json = match Obs.Json.parse body with Ok j -> j | Error msg -> fail "invalid JSON: %s" msg in
+  let events =
+    match Obs.Json.member "traceEvents" json with
+    | None -> fail "no traceEvents member"
+    | Some ev -> ( match Obs.Json.to_list ev with None -> fail "traceEvents is not an array" | Some l -> l)
+  in
+  let str_field name ev =
+    match Obs.Json.member name ev with None -> None | Some v -> Obs.Json.to_string v
+  in
+  let stack = ref [] in
+  let names = Hashtbl.create 32 in
+  let last_ts = ref neg_infinity in
+  List.iteri
+    (fun i ev ->
+      let name = match str_field "name" ev with Some n -> n | None -> fail "event %d: no name" i in
+      let ph = match str_field "ph" ev with Some p -> p | None -> fail "event %d: no ph" i in
+      (match Obs.Json.member "ts" ev with
+      | Some ts -> (
+          match Obs.Json.to_number ts with
+          | Some t ->
+              if t < !last_ts then fail "event %d (%s): timestamps not monotone" i name;
+              last_ts := t
+          | None -> fail "event %d (%s): ts is not a number" i name)
+      | None -> fail "event %d (%s): no ts" i name);
+      match ph with
+      | "B" ->
+          Hashtbl.replace names name ();
+          stack := name :: !stack
+      | "E" -> (
+          match !stack with
+          | top :: rest ->
+              if not (String.equal top name) then
+                fail "event %d: E %S closes open span %S" i name top;
+              stack := rest
+          | [] -> fail "event %d: E %S with no open span" i name)
+      | "i" -> ()
+      | other -> fail "event %d (%s): unexpected phase %S" i name other)
+    events;
+  (match !stack with
+  | [] -> ()
+  | open_ -> fail "%d span(s) left open: %s" (List.length open_) (String.concat ", " open_));
+  let distinct = Hashtbl.length names in
+  if distinct < min_spans then
+    fail "only %d distinct span name(s), expected at least %d" distinct min_spans;
+  if verbose then begin
+    let sorted = List.sort String.compare (Hashtbl.fold (fun k () acc -> k :: acc) names []) in
+    Printf.printf "ok: %d events, %d distinct spans: %s\n" (List.length events) distinct
+      (String.concat ", " sorted)
+  end
+  else Printf.printf "ok: %d events, %d distinct spans\n" (List.length events) distinct
+
+let cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE" ~doc:"Chrome trace JSON file")
+  in
+  let min_spans =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "min-spans" ] ~docv:"N" ~doc:"require at least N distinct span names")
+  in
+  let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"list the span names") in
+  Cmd.v
+    (Cmd.info "tracecheck" ~doc:"validate a Chrome trace produced by hqs --trace")
+    Term.(const check $ file $ min_spans $ verbose)
+
+(* cmdliner's default cli-error code (124) collides with the repo's
+   timeout exit convention; map evaluation outcomes explicitly *)
+let () =
+  match Cmd.eval_value cmd with
+  | Ok (`Ok () | `Help | `Version) -> exit 0
+  | Error (`Parse | `Term) -> exit 2
+  | Error `Exn -> exit 1

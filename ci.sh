@@ -13,6 +13,9 @@
 #      solve it with fault injection armed AND the soundness auditor at
 #      full depth (HQS_CHECK=full), proving the degradation ladder and
 #      the stage audits end-to-end through the real CLI
+#   6. traced smoke solve: solve an instance with incomparable dependency
+#      sets under --trace and validate the trace with bin/tracecheck
+#      (well-formed Chrome JSON, balanced spans, >= 6 pipeline phases)
 set -eu
 cd "$(dirname "$0")"
 
@@ -39,9 +42,31 @@ f=$(dune exec bin/genpec.exe -- one pec_xor --size 3 --boxes 1 --out "$tmp")
 status=0
 HQS_CHECK=full dune exec bin/hqs_cli.exe -- "$f" --chaos-seed 42 --timeout 60 --stats || status=$?
 case "$status" in
-10 | 20) echo "== ci OK (smoke verdict exit $status) ==" ;;
+10 | 20) : ;;
 *)
     echo "== ci FAILED: smoke solve exited $status =="
     exit 1
     ;;
 esac
+
+echo "== traced smoke solve =="
+# boxes=2 makes the dependency sets incomparable, so the solve actually
+# runs elimination-set selection and universal expansion before the
+# back end — the trace must cover the whole pipeline
+f2=$(dune exec bin/genpec.exe -- one pec_xor --size 3 --boxes 2 --out "$tmp")
+trace_status=0
+dune exec bin/hqs_cli.exe -- "$f2" --trace "$tmp/trace.json" --metrics --timeout 60 2>"$tmp/trace.err" || trace_status=$?
+case "$trace_status" in
+10 | 20) : ;;
+*)
+    echo "== ci FAILED: traced solve exited $trace_status =="
+    cat "$tmp/trace.err"
+    exit 1
+    ;;
+esac
+dune exec bin/tracecheck.exe -- "$tmp/trace.json" --min-spans 6 --verbose
+grep -q '^c metric ' "$tmp/trace.err" || {
+  echo "== ci FAILED: --metrics printed no metric lines =="
+  exit 1
+}
+echo "== ci OK (smoke verdict exit $status, traced exit $trace_status) =="

@@ -26,8 +26,16 @@ module Sig_tbl = Hashtbl.Make (Sig_key)
 let normalize s =
   if s.(0) land 1 = 1 then (Array.map lnot s, true) else (s, false)
 
+let c_sim_rounds = Obs.Metrics.counter "fraig.sim_rounds"
+let c_merges = Obs.Metrics.counter "fraig.merges"
+let c_sat_checks = Obs.Metrics.counter "fraig.sat_checks"
+let c_cex = Obs.Metrics.counter "fraig.cex"
+
 let reduce ?(seed = 0x51) ?(base_words = 6) ?(conflict_limit = 150) ?(max_candidates = 3)
     ?(max_sat_checks = 1500) ?(budget = Budget.unlimited) man roots =
+  Obs.Span.with_ "fraig.reduce" ~attrs:[ ("nodes", Obs.Int (Man.num_nodes man)) ]
+  @@ fun () ->
+  Obs.Metrics.incr c_sim_rounds (* the initial bit-parallel simulation *);
   let sat_checks = ref 0 in
   let words = base_words + 1 in
   let rng = Rng.create seed in
@@ -86,6 +94,7 @@ let reduce ?(seed = 0x51) ?(base_words = 6) ?(conflict_limit = 150) ?(max_candid
   (* counterexample refinement *)
   let pending_cex : (int * bool) list list ref = ref [] in
   let flush_cex () =
+    Obs.Metrics.incr c_sim_rounds;
     let patterns = Array.of_list (List.rev !pending_cex) in
     pending_cex := [];
     Hashtbl.iter
@@ -118,6 +127,7 @@ let reduce ?(seed = 0x51) ?(base_words = 6) ?(conflict_limit = 150) ?(max_candid
           (v, S.lit_value solver (Cnf_enc.sat_lit out enc ain)) :: acc)
         var_words []
     in
+    Obs.Metrics.incr c_cex;
     pending_cex := pattern :: !pending_cex;
     if List.length !pending_cex >= Sys.int_size - 2 then flush_cex ()
   in
@@ -125,6 +135,7 @@ let reduce ?(seed = 0x51) ?(base_words = 6) ?(conflict_limit = 150) ?(max_candid
   let prove_equal a b ~compl_ =
     Budget.check budget;
     incr sat_checks;
+    Obs.Metrics.incr c_sat_checks;
     let la = Cnf_enc.sat_lit out enc a in
     let lb = Cnf_enc.sat_lit out enc b in
     let lb = if compl_ then L.neg lb else lb in
@@ -172,6 +183,7 @@ let reduce ?(seed = 0x51) ?(base_words = 6) ?(conflict_limit = 150) ?(max_candid
             if Array.for_all (fun w -> w = 0) s && !sat_checks < max_sat_checks then begin
               Budget.check budget;
               incr sat_checks;
+              Obs.Metrics.incr c_sat_checks;
               let lc = Cnf_enc.sat_lit out enc cand_n in
               match S.solve ~assumptions:[ lc ] ~budget ~conflict_limit solver with
               | S.Unsat -> merged := Some Man.false_
@@ -196,6 +208,7 @@ let reduce ?(seed = 0x51) ?(base_words = 6) ?(conflict_limit = 150) ?(max_candid
                   !lst);
             match !merged with
             | Some rep ->
+                Obs.Metrics.incr c_merges;
                 (* cand == rep up to the normalization flip *)
                 let res = Man.apply_sign rep ~neg:flipped in
                 Hashtbl.replace merged_to cnode (Man.apply_sign res ~neg:(Man.is_compl cand));
@@ -208,4 +221,9 @@ let reduce ?(seed = 0x51) ?(base_words = 6) ?(conflict_limit = 150) ?(max_candid
       in
       Hashtbl.replace table n mapped);
   let mapped_roots = List.map get roots in
-  Man.compact out mapped_roots
+  let reduced_man, reduced_roots = Man.compact out mapped_roots in
+  Obs.Span.event "fraig.done"
+    ~attrs:
+      [ ("sat_checks", Obs.Int !sat_checks); ("nodes_after", Obs.Int (Man.num_nodes reduced_man)) ]
+    ();
+  (reduced_man, reduced_roots)

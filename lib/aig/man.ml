@@ -14,6 +14,12 @@ type t = {
 let false_ = 0
 let true_ = 1
 
+(* process-wide series across all managers (compaction and FRAIG replace
+   the manager; the counters keep accumulating) *)
+let c_strash_hits = Obs.Metrics.counter "aig.strash_hits"
+let c_strash_misses = Obs.Metrics.counter "aig.strash_misses"
+let c_nodes_alloc = Obs.Metrics.counter "aig.nodes_alloc"
+
 let create ?node_limit () =
   let m =
     {
@@ -65,6 +71,7 @@ let alloc_node m f0 f1 =
   let n = num_nodes m in
   Vec.push m.fanin0 f0;
   Vec.push m.fanin1 f1;
+  Obs.Metrics.incr c_nodes_alloc;
   n
 
 let input m v =
@@ -88,8 +95,11 @@ let mk_and m a b =
   else begin
     let a, b = if a <= b then (a, b) else (b, a) in
     match Hashtbl.find_opt m.strash (a, b) with
-    | Some n -> n * 2
+    | Some n ->
+        Obs.Metrics.incr c_strash_hits;
+        n * 2
     | None ->
+        Obs.Metrics.incr c_strash_misses;
         let n = alloc_node m a b in
         Hashtbl.add m.strash (a, b) n;
         n * 2

@@ -229,9 +229,15 @@ let audit_model ?budget ~stage f model =
 
 (* ---------------------------------------------------------------- driver *)
 
+let c_audits = Obs.Metrics.counter "check.audits"
+
 let audit_stage ~level ?queue stage f =
   match level with
   | Off -> ()
   | Cheap | Full ->
+      Obs.Metrics.incr c_audits;
+      Obs.Span.with_ "check.audit"
+        ~attrs:[ ("stage", Obs.Str (stage_name stage)); ("level", Obs.Str (level_name level)) ]
+      @@ fun () ->
       audit_formula ~stage ~level f;
       (match queue with Some q -> audit_queue ~stage f q | None -> ())

@@ -5,13 +5,27 @@ type event = { point : string; action : string; reason : reason }
 type t = { mutable rev_events : event list }
 
 let create () = { rev_events = [] }
-let record t ~point ~action ~reason = t.rev_events <- { point; action; reason } :: t.rev_events
-let events t = List.rev t.rev_events
 
 let reason_label = function
   | Stage_timeout -> "timeout"
   | Node_limit -> "node-limit"
   | Injected -> "injected"
+
+let c_degrade_events = Obs.Metrics.counter "degrade.events"
+
+let record t ~point ~action ~reason =
+  t.rev_events <- { point; action; reason } :: t.rev_events;
+  Obs.Metrics.incr c_degrade_events;
+  (* surfaces on the enclosing span in the trace, so chaos injections and
+     real stage failures are visible exactly where they fired *)
+  Obs.Span.event "degrade"
+    ~attrs:
+      [
+        ("point", Obs.Str point); ("action", Obs.Str action); ("reason", Obs.Str (reason_label reason));
+      ]
+    ()
+
+let events t = List.rev t.rev_events
 
 let event_label e = Printf.sprintf "%s->%s[%s]" e.point e.action (reason_label e.reason)
 

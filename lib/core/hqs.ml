@@ -68,6 +68,12 @@ type stats = {
   mutable total_time : float;
   mutable restarts : int;
   mutable degraded : string list;
+  mutable check_level : string;
+  mutable checks_run : int;
+  mutable sat_conflicts : int;
+  mutable sat_propagations : int;
+  mutable fraig_merges : int;
+  mutable metrics : (string * float) list;
 }
 
 let fresh_stats () =
@@ -85,6 +91,12 @@ let fresh_stats () =
     total_time = 0.0;
     restarts = 0;
     degraded = [];
+    check_level = "off";
+    checks_run = 0;
+    sat_conflicts = 0;
+    sat_propagations = 0;
+    fraig_merges = 0;
+    metrics = [];
   }
 
 exception Done of verdict
@@ -104,10 +116,20 @@ let rollback_opt trail mark =
   | Some trail, Some m -> Dqbf.Model_trail.rollback trail m
   | _ -> ()
 
+let g_heap = Obs.Metrics.gauge "gc.heap_words.peak"
+
+let metric_int m name =
+  match Obs.Metrics.find m name with Some v -> int_of_float v | None -> 0
+
 let solve_impl ~config ~budget ~trail ~ledger ~restarts f0 =
   let t_start = Budget.now () in
+  let m_before = Obs.Metrics.snapshot () in
   let stats = fresh_stats () in
   stats.restarts <- restarts;
+  stats.check_level <- Check.level_name (config : config).check_level;
+  Obs.Span.with_ "hqs.solve"
+    ~attrs:[ ("restarts", Obs.Int restarts); ("vars", Obs.Int (F.next_var f0)) ]
+  @@ fun () ->
   let f = F.copy f0 in
   M.set_node_limit (F.man f) config.node_limit;
   (* on a degraded restart, squeeze the matrix before eliminating: the
@@ -123,7 +145,10 @@ let solve_impl ~config ~budget ~trail ~ledger ~restarts f0 =
   let queue = ref [] in
   let last_size = ref (M.num_nodes (F.man f)) in
   let fraig_floor = ref 0 in
-  let note_size () = stats.peak_nodes <- max stats.peak_nodes (M.num_nodes (F.man f)) in
+  let note_size () =
+    stats.peak_nodes <- max stats.peak_nodes (M.num_nodes (F.man f));
+    Obs.Metrics.set_max g_heap (float_of_int (Budget.heap_words ()))
+  in
   (* the soundness gate at each stage boundary (free when check_level=Off) *)
   let audit ?queue stage = Check.audit_stage ~level:config.check_level ?queue stage f in
   let compact_or_fraig () =
@@ -142,6 +167,8 @@ let solve_impl ~config ~budget ~trail ~ledger ~restarts f0 =
         ~fallback:(fun () ->
           (* give up on sweeping this cone until it doubles again *)
           fraig_floor := cone;
+          Obs.Span.with_ "aig.compact" ~attrs:[ ("nodes", Obs.Int (M.num_nodes (F.man f))) ]
+          @@ fun () ->
           let man, roots = M.compact (F.man f) [ F.matrix f ] in
           F.replace_man f man (List.hd roots);
           last_size := M.num_nodes man)
@@ -149,14 +176,19 @@ let solve_impl ~config ~budget ~trail ~ledger ~restarts f0 =
       audit Check.Post_fraig
     end
     else if M.num_nodes (F.man f) > (2 * !last_size) + 1024 then begin
+      (Obs.Span.with_ "aig.compact" ~attrs:[ ("nodes", Obs.Int (M.num_nodes (F.man f))) ]
+      @@ fun () ->
       let man, roots = M.compact (F.man f) [ F.matrix f ] in
       F.replace_man f man (List.hd roots);
-      last_size := M.num_nodes man;
+      last_size := M.num_nodes man);
       audit Check.Post_fraig
     end
   in
   let refill_queue () =
     let t0 = Budget.now () in
+    Obs.Span.with_ "elim.select"
+      ~attrs:[ ("universals", Obs.Int (F.num_universals f)); ("maxsat", Obs.Bool config.use_maxsat) ]
+    @@ fun () ->
     let set =
       match config.mode with
       | Expand_all -> Bitset.to_list (F.universals f)
@@ -180,6 +212,7 @@ let solve_impl ~config ~budget ~trail ~ledger ~restarts f0 =
       let continue_ = ref true in
       while !continue_ do
         Budget.check budget;
+        Obs.Sampler.tick ();
         note_size ();
         if M.is_true (F.matrix f) then raise (Done Sat);
         if M.is_false (F.matrix f) then raise (Done Unsat);
@@ -189,7 +222,7 @@ let solve_impl ~config ~budget ~trail ~ledger ~restarts f0 =
           if not config.use_unitpure then false
           else begin
             let t0 = Budget.now () in
-            let r = Dqbf.Elim.unit_pure_round ?trail f in
+            let r = Obs.Span.with_ "elim.unitpure" (fun () -> Dqbf.Elim.unit_pure_round ?trail f) in
             stats.unitpure_time <- stats.unitpure_time +. (Budget.now () -. t0);
             match r with
             | `Unsat -> raise (Done Unsat)
@@ -210,7 +243,9 @@ let solve_impl ~config ~budget ~trail ~ledger ~restarts f0 =
             (* Theorem 2 on fully-dependent existentials, then one
                universal elimination (Theorem 1) *)
             if config.use_thm2 then begin
-              let k = Dqbf.Elim.eliminate_full_existentials ?trail f in
+              let k =
+                Obs.Span.with_ "elim.thm2" (fun () -> Dqbf.Elim.eliminate_full_existentials ?trail f)
+              in
               stats.exist_elims <- stats.exist_elims + k;
               if k > 0 then audit Check.Post_elimination
             end;
@@ -275,7 +310,19 @@ let solve_impl ~config ~budget ~trail ~ledger ~restarts f0 =
                   in
                   Qbf.Qdpll.solve ~budget:stage_budget ?on_model (F.man f) (F.matrix f) prefix
                 in
+                let backend_name =
+                  match config.qbf_backend with
+                  | Search_backend -> "search"
+                  | Elim_backend -> "elim"
+                in
                 let answer =
+                  Obs.Span.with_ "qbf.backend"
+                    ~attrs:
+                      [
+                        ("backend", Obs.Str backend_name);
+                        ("nodes", Obs.Int (M.num_nodes (F.man f)));
+                      ]
+                  @@ fun () ->
                   match config.qbf_backend with
                   | Search_backend -> run_search budget
                   | Elim_backend ->
@@ -303,6 +350,13 @@ let solve_impl ~config ~budget ~trail ~ledger ~restarts f0 =
       List.iter (fun (y, _) -> Dqbf.Model_trail.record_const trail y false) (F.existentials f)
   | _ -> ());
   stats.degraded <- List.map Degrade.event_label (Degrade.events ledger);
+  (* per-solve view of the process-wide metric registry *)
+  let m_delta = Obs.Metrics.delta ~before:m_before ~after:(Obs.Metrics.snapshot ()) in
+  stats.checks_run <- metric_int m_delta "check.audits";
+  stats.sat_conflicts <- metric_int m_delta "sat.conflicts";
+  stats.sat_propagations <- metric_int m_delta "sat.propagations";
+  stats.fraig_merges <- metric_int m_delta "fraig.merges";
+  stats.metrics <- Obs.Metrics.to_assoc m_delta;
   stats.total_time <- Budget.now () -. t_start;
   (verdict, stats)
 
@@ -383,8 +437,10 @@ let solve_pcnf_model ?(config = default_config) ?(budget = Budget.unlimited) pcn
 
 let pp_stats fmt s =
   Format.fprintf fmt
-    "univ-elims=%d exist-elims=%d unit/pure=%d maxsat-set=%d maxsat-time=%.3fs \
-     unitpure-time=%.3fs qbf-time=%.3fs peak-nodes=%d total=%.3fs restarts=%d degraded=%s"
-    s.univ_elims s.exist_elims s.unitpure_elims s.maxsat_set_size s.maxsat_time s.unitpure_time
-    s.qbf_time s.peak_nodes s.total_time s.restarts
+    "univ-elims=%d exist-elims=%d unit/pure=%d maxsat-runs=%d maxsat-set=%d maxsat-time=%.3fs \
+     unitpure-time=%.3fs qbf-time=%.3fs peak-nodes=%d sat-conflicts=%d sat-propagations=%d \
+     fraig-merges=%d checks=%d check-level=%s total=%.3fs restarts=%d degraded=%s"
+    s.univ_elims s.exist_elims s.unitpure_elims s.maxsat_runs s.maxsat_set_size s.maxsat_time
+    s.unitpure_time s.qbf_time s.peak_nodes s.sat_conflicts s.sat_propagations s.fraig_merges
+    s.checks_run s.check_level s.total_time s.restarts
     (match s.degraded with [] -> "-" | l -> String.concat "," l)

@@ -89,6 +89,15 @@ type stats = {
       (** chronological degradation labels, e.g.
           ["maxsat.minset->greedy[timeout]"; "solve->restart-degraded[node-limit]"];
           empty when every stage ran at full strength *)
+  mutable check_level : string;  (** the auditor depth this solve ran under *)
+  mutable checks_run : int;  (** stage audits executed (see {!Check}) *)
+  mutable sat_conflicts : int;  (** CDCL conflicts across every embedded SAT call *)
+  mutable sat_propagations : int;
+  mutable fraig_merges : int;  (** equivalence classes collapsed by FRAIG sweeping *)
+  mutable metrics : (string * float) list;
+      (** full per-solve snapshot of the {!Obs.Metrics} registry (counters
+          and histogram series as deltas over the solve, gauges as final
+          values), sorted by name — the source for the harness CSV columns *)
 }
 
 val solve_formula :

@@ -2,8 +2,15 @@ open Hqs_util
 module M = Aig.Man
 module UP = Aig.Unitpure
 
+let c_univ_elims = Obs.Metrics.counter "elim.universal"
+let c_exist_elims = Obs.Metrics.counter "elim.existential"
+let h_node_growth = Obs.Metrics.histogram "elim.node_growth"
+
 let universal ?trail f x =
   if not (Formula.is_universal f x) then invalid_arg "Dqbf.Elim.universal";
+  let nodes_before = M.num_nodes (Formula.man f) in
+  Obs.Span.with_ "elim.expand" ~attrs:[ ("var", Obs.Int x); ("nodes", Obs.Int nodes_before) ]
+  @@ fun () ->
   let man = Formula.man f in
   let matrix = Formula.matrix f in
   let e_x = List.filter (fun (_, d) -> Bitset.mem x d) (Formula.existentials f) in
@@ -21,7 +28,20 @@ let universal ?trail f x =
   (* the original s_y is s_y(x=0) when x=0 and s_y'(x=1) when x=1 *)
   Option.iter
     (fun trail -> List.iter (fun (y, y') -> Model_trail.record_ite trail ~y ~x ~y1:y') copies)
-    trail
+    trail;
+  (* per-step event log: which universal was expanded and at what cost *)
+  let growth = M.num_nodes man - nodes_before in
+  Obs.Metrics.incr c_univ_elims;
+  Obs.Metrics.observe h_node_growth (float_of_int growth);
+  Obs.Span.event "elim.step"
+    ~attrs:
+      [
+        ("var", Obs.Int x);
+        ("copies", Obs.Int (List.length copies));
+        ("node_growth", Obs.Int growth);
+        ("nodes_after", Obs.Int (M.num_nodes man));
+      ]
+    ()
 
 let existential ?trail f y =
   let deps = try Formula.deps f y with Not_found -> invalid_arg "Dqbf.Elim.existential" in
@@ -34,7 +54,8 @@ let existential ?trail f y =
   (* choice function: pick 1 exactly when phi[1/y] holds *)
   Option.iter (fun trail -> Model_trail.record_def trail man y phi1) trail;
   Formula.set_matrix f (M.mk_or man phi0 phi1);
-  Formula.remove_existential f y
+  Formula.remove_existential f y;
+  Obs.Metrics.incr c_exist_elims
 
 let eliminate_full_existentials ?trail f =
   let count = ref 0 in

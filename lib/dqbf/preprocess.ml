@@ -536,6 +536,13 @@ let build_formula ?node_limit st gates =
   f
 
 let run ?(config = default_config) ?node_limit ?trail (pcnf : Pcnf.t) =
+  Obs.Span.with_ "preprocess"
+    ~attrs:
+      [
+        ("clauses", Obs.Int (List.length pcnf.Pcnf.clauses));
+        ("vars", Obs.Int pcnf.Pcnf.num_vars);
+      ]
+  @@ fun () ->
   let st =
     {
       trail;
@@ -562,6 +569,16 @@ let run ?(config = default_config) ?node_limit ?trail (pcnf : Pcnf.t) =
     done;
     let gates = if config.gate_detection then detect_gates st else [] in
     let f = build_formula ?node_limit st gates in
+    Obs.Span.event "preprocess.done"
+      ~attrs:
+        [
+          ("units", Obs.Int st.units);
+          ("reduced_lits", Obs.Int st.reduced_lits);
+          ("equivs", Obs.Int st.equivs);
+          ("gates", Obs.Int st.gates);
+          ("blocked", Obs.Int st.blocked);
+        ]
+      ();
     Formula
       ( f,
         {

@@ -150,9 +150,31 @@ let headline results =
   | bad -> line "SOUNDNESS ALARM: verdict disagreements: %d" (List.length bad));
   Buffer.contents buf
 
+(* stable CSV schema: base columns first, then the per-solve metric
+   columns in this fixed order. Rows whose solve did not finish (TO/MO
+   before a verdict) leave the metric cells empty rather than shifting
+   the layout. *)
+let csv_metric_columns =
+  [
+    ("hqs_restarts", fun (s : Hqs.stats) -> string_of_int s.Hqs.restarts);
+    ("hqs_peak_nodes", fun s -> string_of_int s.Hqs.peak_nodes);
+    ("hqs_univ_elims", fun s -> string_of_int s.Hqs.univ_elims);
+    ("hqs_exist_elims", fun s -> string_of_int s.Hqs.exist_elims);
+    ("hqs_unitpure_elims", fun s -> string_of_int s.Hqs.unitpure_elims);
+    ("hqs_maxsat_set", fun s -> string_of_int s.Hqs.maxsat_set_size);
+    ("hqs_maxsat_time", fun s -> Printf.sprintf "%.3f" s.Hqs.maxsat_time);
+    ("hqs_qbf_time", fun s -> Printf.sprintf "%.3f" s.Hqs.qbf_time);
+    ("hqs_sat_conflicts", fun s -> string_of_int s.Hqs.sat_conflicts);
+    ("hqs_sat_propagations", fun s -> string_of_int s.Hqs.sat_propagations);
+    ("hqs_fraig_merges", fun s -> string_of_int s.Hqs.fraig_merges);
+    ("hqs_checks", fun s -> string_of_int s.Hqs.checks_run);
+  ]
+
 let csv results =
   let buf = Buffer.create 1024 in
-  Buffer.add_string buf "id,family,hqs_outcome,hqs_time,idq_outcome,idq_time,hqs_degraded,check\n";
+  Buffer.add_string buf "id,family,hqs_outcome,hqs_time,idq_outcome,idq_time,hqs_degraded,check";
+  List.iter (fun (name, _) -> Buffer.add_string buf ("," ^ name)) csv_metric_columns;
+  Buffer.add_char buf '\n';
   let cells = function
     | Solved (true, t) -> ("SAT", t)
     | Solved (false, t) -> ("UNSAT", t)
@@ -165,6 +187,12 @@ let csv results =
       let degr = match r.hqs_degraded with [] -> "-" | l -> String.concat ";" l in
       let chk = match r.soundness with Consistent -> "ok" | Disagreement _ -> "DISAGREE" in
       Buffer.add_string buf
-        (Printf.sprintf "%s,%s,%s,%.3f,%s,%.3f,%s,%s\n" r.id r.family ho ht io it degr chk))
+        (Printf.sprintf "%s,%s,%s,%.3f,%s,%.3f,%s,%s" r.id r.family ho ht io it degr chk);
+      List.iter
+        (fun (_, cell) ->
+          Buffer.add_char buf ',';
+          match r.hqs_stats with Some s -> Buffer.add_string buf (cell s) | None -> ())
+        csv_metric_columns;
+      Buffer.add_char buf '\n')
     results;
   Buffer.contents buf

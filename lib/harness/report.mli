@@ -10,4 +10,9 @@ val table1 : Runner.result list -> string
 val fig4 : ?timeout:float -> Runner.result list -> string
 val headline : Runner.result list -> string
 val csv : Runner.result list -> string
-(** One line per instance: id, family, solver outcomes and times. *)
+(** One line per instance: id, family, solver outcomes and times, the
+    degradation/soundness columns, then a fixed set of per-solve metric
+    columns ([hqs_restarts], [hqs_peak_nodes], elimination counts, stage
+    times, SAT conflict/propagation counts, FRAIG merges, audits run).
+    The header is stable; metric cells are empty for runs that timed or
+    memed out before a verdict. *)

@@ -10,6 +10,7 @@ type result = {
   hqs : outcome;
   idq : outcome;
   hqs_degraded : string list;
+  hqs_stats : Hqs.stats option;
   soundness : soundness;
 }
 
@@ -26,22 +27,23 @@ let timed ~timeout f =
 
 let run_hqs ?(config = Hqs.default_config) ~timeout ~node_limit pcnf =
   let config = { config with Hqs.node_limit = Some node_limit } in
-  let degraded = ref [] in
+  let captured = ref None in
   let outcome =
     timed ~timeout (fun budget ->
         let v, stats = Hqs.solve_pcnf ~config ~budget pcnf in
-        degraded := stats.Hqs.degraded;
+        captured := Some stats;
         v = Hqs.Sat)
   in
-  (outcome, !degraded)
+  (outcome, !captured)
 
 let run_idq ~timeout ~node_limit pcnf =
   timed ~timeout (fun budget -> fst (Idq.solve_pcnf ~budget ~node_limit pcnf))
 
 let run_instance ?hqs_config ~timeout ~node_limit (inst : Circuit.Families.instance) =
-  let hqs, hqs_degraded =
+  let hqs, hqs_stats =
     run_hqs ?config:hqs_config ~timeout ~node_limit inst.Circuit.Families.pcnf
   in
+  let hqs_degraded = match hqs_stats with Some s -> s.Hqs.degraded | None -> [] in
   let idq = run_idq ~timeout ~node_limit inst.Circuit.Families.pcnf in
   let soundness =
     match (hqs, idq) with
@@ -55,5 +57,6 @@ let run_instance ?hqs_config ~timeout ~node_limit (inst : Circuit.Families.insta
     hqs;
     idq;
     hqs_degraded;
+    hqs_stats;
     soundness;
   }

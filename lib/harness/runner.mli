@@ -23,6 +23,10 @@ type result = {
   hqs_degraded : string list;
       (** degradation labels from {!Hqs.stats} (empty when every stage ran
           at full strength, or when the run did not finish) *)
+  hqs_stats : Hqs.stats option;
+      (** full solve statistics, [None] when the run timed or memed out
+          before producing a verdict — the source of the metric columns in
+          {!Report.csv} *)
   soundness : soundness;
 }
 
@@ -30,9 +34,13 @@ val is_solved : outcome -> bool
 val time_of : outcome -> float
 
 val run_hqs :
-  ?config:Hqs.config -> timeout:float -> node_limit:int -> Dqbf.Pcnf.t -> outcome * string list
-(** Outcome plus the degradation labels of the solve (see
-    {!Hqs.stats.degraded}). *)
+  ?config:Hqs.config ->
+  timeout:float ->
+  node_limit:int ->
+  Dqbf.Pcnf.t ->
+  outcome * Hqs.stats option
+(** Outcome plus the solve statistics (including degradation labels, see
+    {!Hqs.stats.degraded}); [None] when the run did not finish. *)
 
 val run_idq : timeout:float -> node_limit:int -> Dqbf.Pcnf.t -> outcome
 

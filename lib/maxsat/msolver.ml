@@ -10,7 +10,12 @@ let violated_count model soft =
   in
   List.fold_left (fun acc cl -> if clause_violated cl then acc + 1 else acc) 0 soft
 
+let c_iterations = Obs.Metrics.counter "maxsat.iterations"
+
 let solve ?(budget = Budget.unlimited) ~num_vars ~hard ~soft () =
+  Obs.Span.with_ "maxsat.solve"
+    ~attrs:[ ("hard", Obs.Int (List.length hard)); ("soft", Obs.Int (List.length soft)) ]
+  @@ fun () ->
   let solver = S.create () in
   if num_vars > 0 then S.ensure_var solver (num_vars - 1);
   List.iter (S.add_clause solver) hard;
@@ -38,6 +43,7 @@ let solve ?(budget = Budget.unlimited) ~num_vars ~hard ~soft () =
         (* tighten: require fewer than [best_cost] violations and re-solve *)
         let continue = ref true in
         while !continue && !best_cost > 0 do
+          Obs.Metrics.incr c_iterations;
           S.add_clause solver [ L.neg outputs.(!best_cost - 1) ];
           match S.solve ~budget solver with
           | S.Sat ->

@@ -1,0 +1,569 @@
+(* Zero-dependency observability: hierarchical tracing spans, a metrics
+   registry, and a sampling phase profiler.
+
+   Tracing is off by default and gated by one mutable flag: a disabled
+   [Span.with_] is a single branch plus the call to the thunk. Metrics
+   are always-on plain field updates (an [int]/[float] store each), cheap
+   enough for hot paths like the AIG structural-hash lookup. *)
+
+let now_s () = Unix.gettimeofday ()
+
+(* ------------------------------------------------------------ attributes *)
+
+type value = Int of int | Float of float | Str of string | Bool of bool
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_of_float f =
+  (* JSON has no nan/inf literals; quote them instead of emitting garbage *)
+  if Float.is_finite f then
+    let s = Printf.sprintf "%.17g" f in
+    let short = Printf.sprintf "%.6g" f in
+    if float_of_string short = f then short else s
+  else Printf.sprintf "\"%s\"" (if Float.is_nan f then "nan" else if f > 0.0 then "inf" else "-inf")
+
+let json_of_value = function
+  | Int i -> string_of_int i
+  | Float f -> json_of_float f
+  | Str s -> Printf.sprintf "\"%s\"" (json_escape s)
+  | Bool b -> if b then "true" else "false"
+
+(* --------------------------------------------------------------- metrics *)
+
+module Metrics = struct
+  type kind = Counter | Gauge | Histogram
+  type counter = { mutable c : int }
+  type gauge = { mutable g : float; mutable g_set : bool }
+
+  type histogram = {
+    mutable n : int;
+    mutable sum : float;
+    mutable mn : float;
+    mutable mx : float;
+  }
+
+  type entry = C of counter | G of gauge | H of histogram
+
+  let registry : (string, entry) Hashtbl.t = Hashtbl.create 64
+
+  let register name mk unpack =
+    match Hashtbl.find_opt registry name with
+    | Some e -> (
+        match unpack e with
+        | Some x -> x
+        | None -> invalid_arg ("Obs.Metrics: " ^ name ^ " already registered as another kind"))
+    | None ->
+        let x, e = mk () in
+        Hashtbl.replace registry name e;
+        x
+
+  let counter name =
+    register name
+      (fun () ->
+        let c = { c = 0 } in
+        (c, C c))
+      (function C c -> Some c | G _ | H _ -> None)
+
+  let gauge name =
+    register name
+      (fun () ->
+        let g = { g = 0.0; g_set = false } in
+        (g, G g))
+      (function G g -> Some g | C _ | H _ -> None)
+
+  let histogram name =
+    register name
+      (fun () ->
+        let h = { n = 0; sum = 0.0; mn = 0.0; mx = 0.0 } in
+        (h, H h))
+      (function H h -> Some h | C _ | G _ -> None)
+
+  let incr ?(by = 1) c = c.c <- c.c + by
+  let counter_value c = c.c
+
+  let set g v =
+    g.g <- v;
+    g.g_set <- true
+
+  let set_max g v = if (not g.g_set) || v > g.g then set g v
+  let gauge_value g = g.g
+
+  let observe h v =
+    if h.n = 0 then begin
+      h.mn <- v;
+      h.mx <- v
+    end
+    else begin
+      if v < h.mn then h.mn <- v;
+      if v > h.mx then h.mx <- v
+    end;
+    h.n <- h.n + 1;
+    h.sum <- h.sum +. v
+
+  type hist_stats = { count : int; sum : float; min_ : float; max_ : float }
+
+  let histogram_stats h = { count = h.n; sum = h.sum; min_ = h.mn; max_ = h.mx }
+
+  type sample = { name : string; kind : kind; v : float }
+
+  let snapshot () =
+    let acc = ref [] in
+    Hashtbl.iter
+      (fun name entry ->
+        match entry with
+        | C c -> acc := { name; kind = Counter; v = float_of_int c.c } :: !acc
+        | G g -> acc := { name; kind = Gauge; v = g.g } :: !acc
+        | H h ->
+            acc :=
+              { name = name ^ ".count"; kind = Histogram; v = float_of_int h.n }
+              :: { name = name ^ ".sum"; kind = Histogram; v = h.sum }
+              :: { name = name ^ ".min"; kind = Histogram; v = h.mn }
+              :: { name = name ^ ".max"; kind = Histogram; v = h.mx }
+              :: !acc)
+      registry;
+    List.sort (fun a b -> String.compare a.name b.name) !acc
+
+  let delta ~before ~after =
+    let base = Hashtbl.create 64 in
+    List.iter (fun s -> Hashtbl.replace base s.name s.v) before;
+    List.map
+      (fun s ->
+        match s.kind with
+        | Gauge -> s (* a gauge is a level, not a flow: report it as-is *)
+        | Counter | Histogram -> (
+            match Hashtbl.find_opt base s.name with
+            | Some v0 ->
+                (* histogram min/max are not monotonic; keep the absolute *)
+                if
+                  String.ends_with ~suffix:".min" s.name
+                  || String.ends_with ~suffix:".max" s.name
+                then s
+                else { s with v = s.v -. v0 }
+            | None -> s))
+      after
+
+  let to_assoc samples = List.map (fun s -> (s.name, s.v)) samples
+
+  let find samples name =
+    List.find_map (fun s -> if String.equal s.name name then Some s.v else None) samples
+
+  let reset_all () =
+    Hashtbl.iter
+      (fun _ entry ->
+        match entry with
+        | C c -> c.c <- 0
+        | G g ->
+            g.g <- 0.0;
+            g.g_set <- false
+        | H h ->
+            h.n <- 0;
+            h.sum <- 0.0;
+            h.mn <- 0.0;
+            h.mx <- 0.0)
+      registry
+end
+
+(* ---------------------------------------------------------------- tracing *)
+
+type ph = Begin | End | Instant
+
+type event = { name : string; ph : ph; ts_us : float; attrs : (string * value) list }
+
+(* one global trace state: [on] is the single branch every disabled
+   instrumentation point pays *)
+type trace_state = {
+  mutable on : bool;
+  mutable rev_events : event list;
+  mutable count : int;
+  mutable dropped : int;
+  mutable t0 : float;
+  mutable stack : (string * float) list; (* open spans, innermost first, with begin ts *)
+}
+
+let st = { on = false; rev_events = []; count = 0; dropped = 0; t0 = 0.0; stack = [] }
+
+(* a runaway trace must not OOM the solve it is observing *)
+let max_events = 2_000_000
+
+let push ev =
+  if st.count >= max_events then st.dropped <- st.dropped + 1
+  else begin
+    st.rev_events <- ev :: st.rev_events;
+    st.count <- st.count + 1
+  end
+
+(* ------------------------------------------------------ sampling profiler *)
+
+module Sampler = struct
+  type t = { mutable last : float; phases : (string, float * int) Hashtbl.t }
+
+  let state = { last = 0.0; phases = Hashtbl.create 16 }
+
+  let reset () =
+    state.last <- now_s ();
+    Hashtbl.reset state.phases
+
+  let tick () =
+    if st.on then begin
+      let now = now_s () in
+      let dt = now -. state.last in
+      state.last <- now;
+      if dt >= 0.0 then begin
+        let phase = match st.stack with (name, _) :: _ -> name | [] -> "(idle)" in
+        let s, n = Option.value ~default:(0.0, 0) (Hashtbl.find_opt state.phases phase) in
+        Hashtbl.replace state.phases phase (s +. dt, n + 1)
+      end
+    end
+
+  let phase_seconds () =
+    let acc = Hashtbl.fold (fun name (s, n) acc -> (name, s, n) :: acc) state.phases [] in
+    List.sort (fun (a, _, _) (b, _, _) -> String.compare a b) acc
+end
+
+module Trace = struct
+  type nonrec ph = ph = Begin | End | Instant
+
+  type nonrec event = event = {
+    name : string;
+    ph : ph;
+    ts_us : float;
+    attrs : (string * value) list;
+  }
+
+  let enabled () = st.on
+
+  let reset () =
+    st.on <- false;
+    st.rev_events <- [];
+    st.count <- 0;
+    st.dropped <- 0;
+    st.stack <- []
+
+  let start () =
+    reset ();
+    st.t0 <- now_s ();
+    st.on <- true;
+    Sampler.reset ()
+
+  let stop () = st.on <- false
+  let events () = List.rev st.rev_events
+  let dropped () = st.dropped
+  let depth () = List.length st.stack
+
+  let event_json ev =
+    let buf = Buffer.create 128 in
+    Buffer.add_string buf
+      (Printf.sprintf "{\"name\":\"%s\",\"cat\":\"hqs\",\"ph\":\"%s\",\"ts\":%s,\"pid\":1,\"tid\":1"
+         (json_escape ev.name)
+         (match ev.ph with Begin -> "B" | End -> "E" | Instant -> "i")
+         (json_of_float ev.ts_us));
+    (match ev.ph with Instant -> Buffer.add_string buf ",\"s\":\"t\"" | Begin | End -> ());
+    if ev.attrs <> [] then begin
+      Buffer.add_string buf ",\"args\":{";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf (Printf.sprintf "\"%s\":%s" (json_escape k) (json_of_value v)))
+        ev.attrs;
+      Buffer.add_char buf '}'
+    end;
+    Buffer.add_char buf '}';
+    Buffer.contents buf
+
+  let to_chrome_json () =
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf "{\"traceEvents\":[";
+    List.iteri
+      (fun i ev ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf (event_json ev))
+      (events ());
+    Buffer.add_string buf "],\"displayTimeUnit\":\"ms\"";
+    if st.dropped > 0 then
+      Buffer.add_string buf (Printf.sprintf ",\"otherData\":{\"dropped_events\":%d}" st.dropped);
+    Buffer.add_string buf "}";
+    Buffer.contents buf
+
+  let write_chrome_json path =
+    Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc (to_chrome_json ()))
+
+  type total = { span : string; calls : int; total_s : float; self_s : float }
+
+  let totals () =
+    let agg : (string, total) Hashtbl.t = Hashtbl.create 16 in
+    let add span dur_s self_s =
+      let t =
+        Option.value
+          ~default:{ span; calls = 0; total_s = 0.0; self_s = 0.0 }
+          (Hashtbl.find_opt agg span)
+      in
+      Hashtbl.replace agg span
+        { t with calls = t.calls + 1; total_s = t.total_s +. dur_s; self_s = t.self_s +. self_s }
+    in
+    (* replay the B/E stream with a stack, accumulating child time so self
+       time can be computed; unmatched events are ignored *)
+    let stack = ref [] in
+    List.iter
+      (fun ev ->
+        match ev.ph with
+        | Instant -> ()
+        | Begin -> stack := (ev.name, ev.ts_us, ref 0.0) :: !stack
+        | End -> (
+            match !stack with
+            | (name, ts0, children) :: rest when String.equal name ev.name ->
+                stack := rest;
+                let dur = (ev.ts_us -. ts0) /. 1e6 in
+                add name dur (dur -. !children);
+                (match rest with (_, _, pc) :: _ -> pc := !pc +. dur | [] -> ())
+            | _ -> ()))
+      (events ());
+    List.sort
+      (fun a b ->
+        let c = Float.compare b.total_s a.total_s in
+        if c <> 0 then c else String.compare a.span b.span)
+      (Hashtbl.fold (fun _ t acc -> t :: acc) agg [])
+
+  let flame_summary () =
+    let buf = Buffer.create 512 in
+    let tot = totals () in
+    let root = List.fold_left (fun acc t -> max acc t.total_s) 0.0 tot in
+    Buffer.add_string buf
+      (Printf.sprintf "%-24s %8s %12s %12s %7s\n" "span" "calls" "total(ms)" "self(ms)" "%");
+    List.iter
+      (fun t ->
+        Buffer.add_string buf
+          (Printf.sprintf "%-24s %8d %12.3f %12.3f %6.1f%%\n" t.span t.calls (t.total_s *. 1e3)
+             (t.self_s *. 1e3)
+             (if root > 0.0 then 100.0 *. t.total_s /. root else 0.0)))
+      tot;
+    if st.dropped > 0 then
+      Buffer.add_string buf (Printf.sprintf "(%d events dropped past the %d cap)\n" st.dropped max_events);
+    (match Sampler.phase_seconds () with
+    | [] -> ()
+    | phases ->
+        Buffer.add_string buf "sampler (wall time attributed at tick granularity):\n";
+        List.iter
+          (fun (name, s, n) ->
+            Buffer.add_string buf (Printf.sprintf "  %-22s %12.3fms %8d ticks\n" name (s *. 1e3) n))
+          phases);
+    Buffer.contents buf
+end
+
+(* ----------------------------------------------------------------- spans *)
+
+module Span = struct
+  let heap_peak = Metrics.gauge "gc.heap_words.peak"
+
+  let close name attrs =
+    let now = now_s () in
+    (match st.stack with (n, _) :: rest when String.equal n name -> st.stack <- rest | _ -> ());
+    (* span boundaries double as heap sampling points (Gc.quick_stat is
+       O(1): no heap walk) *)
+    Metrics.set_max heap_peak (float_of_int (Gc.quick_stat ()).Gc.heap_words);
+    push { name; ph = End; ts_us = (now -. st.t0) *. 1e6; attrs }
+
+  let with_ name ?(attrs = []) f =
+    if not st.on then f ()
+    else begin
+      let ts = (now_s () -. st.t0) *. 1e6 in
+      push { name; ph = Begin; ts_us = ts; attrs };
+      st.stack <- (name, ts) :: st.stack;
+      match f () with
+      | v ->
+          close name [];
+          v
+      | exception e ->
+          close name [ ("raised", Str (Printexc.to_string e)) ];
+          raise e
+    end
+
+  let event name ?(attrs = []) () =
+    if st.on then push { name; ph = Instant; ts_us = (now_s () -. st.t0) *. 1e6; attrs }
+
+  let current () = match st.stack with (name, _) :: _ -> Some name | [] -> None
+end
+
+(* ------------------------------------------------------------------- json *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  exception Bad of string
+
+  let parse (s : string) : (t, string) result =
+    let n = String.length s in
+    let pos = ref 0 in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let fail msg = raise (Bad (Printf.sprintf "%s at offset %d" msg !pos)) in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+          advance ();
+          skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      match peek () with
+      | Some d when Char.equal c d -> advance ()
+      | _ -> fail (Printf.sprintf "expected '%c'" c)
+    in
+    let literal word v =
+      if !pos + String.length word <= n && String.equal (String.sub s !pos (String.length word)) word
+      then begin
+        pos := !pos + String.length word;
+        v
+      end
+      else fail ("expected " ^ word)
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec loop () =
+        match peek () with
+        | None -> fail "unterminated string"
+        | Some '"' -> advance ()
+        | Some '\\' -> (
+            advance ();
+            match peek () with
+            | None -> fail "unterminated escape"
+            | Some c ->
+                advance ();
+                (match c with
+                | '"' -> Buffer.add_char buf '"'
+                | '\\' -> Buffer.add_char buf '\\'
+                | '/' -> Buffer.add_char buf '/'
+                | 'b' -> Buffer.add_char buf '\b'
+                | 'f' -> Buffer.add_char buf '\012'
+                | 'n' -> Buffer.add_char buf '\n'
+                | 'r' -> Buffer.add_char buf '\r'
+                | 't' -> Buffer.add_char buf '\t'
+                | 'u' ->
+                    if !pos + 4 > n then fail "truncated \\u escape";
+                    let hex = String.sub s !pos 4 in
+                    String.iter
+                      (fun h ->
+                        match h with
+                        | '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> ()
+                        | _ -> fail "bad \\u escape")
+                      hex;
+                    pos := !pos + 4;
+                    (* validation-grade decoding: a replacement char keeps
+                       the value printable without a full UTF-8 encoder *)
+                    Buffer.add_char buf '?'
+                | _ -> fail "bad escape");
+                loop ())
+        | Some c when Char.code c < 0x20 -> fail "raw control character in string"
+        | Some c ->
+            advance ();
+            Buffer.add_char buf c;
+            loop ()
+      in
+      loop ();
+      Buffer.contents buf
+    in
+    let parse_number () =
+      let start = !pos in
+      let is_num_char c =
+        match c with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
+      in
+      while (match peek () with Some c -> is_num_char c | None -> false) do
+        advance ()
+      done;
+      let text = String.sub s start (!pos - start) in
+      match float_of_string_opt text with Some f -> f | None -> fail ("bad number " ^ text)
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some '{' ->
+          advance ();
+          skip_ws ();
+          if (match peek () with Some '}' -> true | _ -> false) then begin
+            advance ();
+            Obj []
+          end
+          else begin
+            let rec members acc =
+              skip_ws ();
+              let key = parse_string () in
+              skip_ws ();
+              expect ':';
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  members ((key, v) :: acc)
+              | Some '}' ->
+                  advance ();
+                  List.rev ((key, v) :: acc)
+              | _ -> fail "expected ',' or '}'"
+            in
+            Obj (members [])
+          end
+      | Some '[' ->
+          advance ();
+          skip_ws ();
+          if (match peek () with Some ']' -> true | _ -> false) then begin
+            advance ();
+            Arr []
+          end
+          else begin
+            let rec elements acc =
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  elements (v :: acc)
+              | Some ']' ->
+                  advance ();
+                  List.rev (v :: acc)
+              | _ -> fail "expected ',' or ']'"
+            in
+            Arr (elements [])
+          end
+      | Some '"' -> Str (parse_string ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some _ -> Num (parse_number ())
+    in
+    match
+      let v = parse_value () in
+      skip_ws ();
+      if !pos <> n then fail "trailing garbage";
+      v
+    with
+    | v -> Ok v
+    | exception Bad msg -> Error msg
+
+  let member key = function
+    | Obj fields -> List.find_map (fun (k, v) -> if String.equal k key then Some v else None) fields
+    | Null | Bool _ | Num _ | Str _ | Arr _ -> None
+
+  let to_list = function Arr l -> Some l | Null | Bool _ | Num _ | Str _ | Obj _ -> None
+  let to_string = function Str s -> Some s | Null | Bool _ | Num _ | Arr _ | Obj _ -> None
+  let to_number = function Num f -> Some f | Null | Bool _ | Str _ | Arr _ | Obj _ -> None
+end

@@ -1,0 +1,163 @@
+(** Observability substrate for the HQS pipeline: hierarchical tracing
+    spans, a metrics registry, and a sampling phase profiler — all
+    zero-dependency (Unix clock + [Gc.quick_stat] only), so every solver
+    layer can be instrumented without new libraries.
+
+    Cost model, by design:
+    - a {e disabled} {!Span.with_} is one branch plus the thunk call, so
+      span sites can sit at stage boundaries of the hot solve loop;
+    - {!Metrics} updates are unconditional plain field stores (an [int]
+      or [float] each) and are always on — cheap enough for per-node hot
+      paths like the AIG structural-hash lookup;
+    - tracing allocates one event record per span boundary while enabled
+      and is bounded by an internal event cap (overflow is counted in
+      {!Trace.dropped}, never silent).
+
+    Tracing state is global and single-threaded, matching the solver. *)
+
+(** Attribute values attached to spans and events. *)
+type value = Int of int | Float of float | Str of string | Bool of bool
+
+(** Named counters, gauges and histograms, registered once in a global
+    registry (re-registering a name returns the same instrument;
+    registering it as a different kind raises [Invalid_argument]). *)
+module Metrics : sig
+  type kind = Counter | Gauge | Histogram
+  type counter
+  type gauge
+  type histogram
+
+  val counter : string -> counter
+  val gauge : string -> gauge
+  val histogram : string -> histogram
+
+  val incr : ?by:int -> counter -> unit
+  val counter_value : counter -> int
+
+  val set : gauge -> float -> unit
+
+  val set_max : gauge -> float -> unit
+  (** Keep the maximum of all values set so far (peak tracking). *)
+
+  val gauge_value : gauge -> float
+
+  val observe : histogram -> float -> unit
+
+  type hist_stats = { count : int; sum : float; min_ : float; max_ : float }
+
+  val histogram_stats : histogram -> hist_stats
+
+  type sample = { name : string; kind : kind; v : float }
+
+  val snapshot : unit -> sample list
+  (** Every registered instrument flattened to named numbers, sorted by
+      name. A histogram [h] contributes [h.count], [h.sum], [h.min] and
+      [h.max]. *)
+
+  val delta : before:sample list -> after:sample list -> sample list
+  (** Per-interval view: counters and histogram count/sum series are
+      subtracted ([after - before]); gauges and histogram min/max are
+      levels, not flows, and pass through unchanged. *)
+
+  val to_assoc : sample list -> (string * float) list
+  val find : sample list -> string -> float option
+
+  val reset_all : unit -> unit
+  (** Zero every instrument in place; handles stay valid. *)
+end
+
+(** The raw trace: a chronological stream of begin/end/instant events. *)
+module Trace : sig
+  type ph = Begin | End | Instant
+
+  type event = { name : string; ph : ph; ts_us : float; attrs : (string * value) list }
+  (** [ts_us] is microseconds since {!start}. *)
+
+  val enabled : unit -> bool
+
+  val start : unit -> unit
+  (** Clear the buffer, reset the clock origin and enable recording. *)
+
+  val stop : unit -> unit
+  (** Disable recording; the buffer stays readable. *)
+
+  val reset : unit -> unit
+  (** Disable and clear. *)
+
+  val events : unit -> event list
+
+  val dropped : unit -> int
+  (** Events discarded past the internal cap (0 in any sane run). *)
+
+  val depth : unit -> int
+  (** Number of currently open spans. *)
+
+  val to_chrome_json : unit -> string
+  (** Serialize as Chrome [trace_event] JSON (load in [chrome://tracing]
+      or Perfetto): [{"traceEvents": [...], ...}] with ["B"]/["E"]/["i"]
+      phase records, microsecond timestamps, attrs under ["args"]. *)
+
+  val write_chrome_json : string -> unit
+
+  type total = { span : string; calls : int; total_s : float; self_s : float }
+
+  val totals : unit -> total list
+  (** Flame aggregation of the B/E stream per span name: call count,
+      inclusive wall time, and self time (inclusive minus nested spans);
+      sorted by inclusive time, descending. *)
+
+  val flame_summary : unit -> string
+  (** Human-readable table of {!totals} plus the sampler profile. *)
+end
+
+(** Hierarchical spans over {!Trace}. *)
+module Span : sig
+  val with_ : string -> ?attrs:(string * value) list -> (unit -> 'a) -> 'a
+  (** [with_ name f] runs [f], bracketing it with begin/end events while
+      tracing is enabled (one branch otherwise). The end event is emitted
+      on both normal return and exception (tagged [raised]); exceptions
+      propagate. Span ends also sample the heap into the
+      ["gc.heap_words.peak"] gauge. *)
+
+  val event : string -> ?attrs:(string * value) list -> unit -> unit
+  (** Instant event inside the currently open span (no-op when tracing is
+      disabled). This is the per-step event-log channel: elimination
+      steps, degradations and check firings are recorded this way. *)
+
+  val current : unit -> string option
+  (** Name of the innermost open span. *)
+end
+
+(** Statistical cross-check of the exact span timings: {!tick} is called
+    from coarse poll points of the solve loop and attributes the wall
+    time since the previous tick to the innermost open span. Active only
+    while tracing is enabled. *)
+module Sampler : sig
+  val tick : unit -> unit
+
+  val phase_seconds : unit -> (string * float * int) list
+  (** [(phase, seconds, ticks)] sorted by phase name. *)
+
+  val reset : unit -> unit
+end
+
+(** Minimal recursive-descent JSON reader — enough to validate and
+    inspect the traces this module writes (CI and tests). *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  val parse : string -> (t, string) result
+  (** Whole-input parse; [Error] carries a message with an offset.
+      Unicode escapes are validated but decoded to a placeholder. *)
+
+  val member : string -> t -> t option
+  val to_list : t -> t list option
+  val to_string : t -> string option
+  val to_number : t -> float option
+end

@@ -7,7 +7,12 @@ type var_info = { quant : Prefix.quant; block : int }
 (* defs: existential variable -> choice function (in [mman]) *)
 type defs = (int, M.lit) Hashtbl.t
 
+let c_decisions = Obs.Metrics.counter "qbf.search.decisions"
+
 let solve_cnf ?(budget = Budget.unlimited) ?on_model ~prefix ~num_vars clauses =
+  Obs.Span.with_ "qbf.search"
+    ~attrs:[ ("vars", Obs.Int num_vars); ("clauses", Obs.Int (List.length clauses)) ]
+  @@ fun () ->
   (* prefix with free variables as outermost existentials *)
   let bound = Bitset.of_list (Prefix.variables prefix) in
   let free = List.filter (fun v -> not (Bitset.mem v bound)) (List.init num_vars Fun.id) in
@@ -146,6 +151,7 @@ let solve_cnf ?(budget = Budget.unlimited) ?on_model ~prefix ~num_vars clauses =
           | None -> Some (leaf_defs ())
           | Some v -> (
               let try_value b =
+                Obs.Metrics.incr c_decisions;
                 assign.(v) <- (if b then 1 else -1);
                 let r = search () in
                 assign.(v) <- 0;

@@ -131,7 +131,11 @@ let sat_check ~budget man root ~negate =
   | Sat.Solver.Unsat -> (false, fun _ -> false)
   | Sat.Solver.Unknown -> assert false
 
+let c_eliminations = Obs.Metrics.counter "qbf.elim.quantifications"
+
 let solve ?(config = default_config) ?(budget = Budget.unlimited) ?on_define man0 root0 prefix =
+  Obs.Span.with_ "qbf.elim" ~attrs:[ ("nodes", Obs.Int (M.num_nodes man0)) ]
+  @@ fun () ->
   let man, roots = M.compact man0 [ root0 ] in
   let root = match roots with [ r ] -> r | _ -> assert false in
   let bound = Bitset.of_list (Prefix.variables prefix) in
@@ -187,6 +191,7 @@ let solve ?(config = default_config) ?(budget = Budget.unlimited) ?on_define man
             if recording && q = Prefix.Exists then
               (* the standard choice function: pick 1 iff phi[1/v] holds *)
               define v (M.cofactor st.man st.root ~var:v ~value:true);
+            Obs.Metrics.incr c_eliminations;
             st.root <- quantify_structured st.man st.root q v;
             prefix := outer @ [ (q, List.filter (fun w -> w <> v) vs) ];
             compact_if_grown st;

@@ -29,8 +29,15 @@ type t = {
   mutable var_inc : float;
   mutable cla_inc : float;
   mutable conflicts : int;
+  mutable propagations : int;
   mutable max_learnts : float;
 }
+
+(* per-process counters; every solver instance (FRAIG proofs, MaxSAT,
+   QBF back ends, iDQ) feeds the same series *)
+let c_solves = Obs.Metrics.counter "sat.solves"
+let c_conflicts = Obs.Metrics.counter "sat.conflicts"
+let c_propagations = Obs.Metrics.counter "sat.propagations"
 
 let create () =
   let activity = Vec.create ~dummy:0.0 () in
@@ -53,11 +60,13 @@ let create () =
     var_inc = 1.0;
     cla_inc = 1.0;
     conflicts = 0;
+    propagations = 0;
     max_learnts = 4000.0;
   }
 
 let num_vars t = Vec.size t.assigns
 let num_conflicts t = t.conflicts
+let num_propagations t = t.propagations
 let num_clauses t = Vec.size t.clauses
 let is_ok t = t.ok
 
@@ -127,6 +136,8 @@ let propagate t =
   while !confl == dummy_clause && t.qhead < Vec.size t.trail do
     let p = Vec.get t.trail t.qhead in
     t.qhead <- t.qhead + 1;
+    t.propagations <- t.propagations + 1;
+    Obs.Metrics.incr c_propagations;
     let ws = watch t p in
     let n = Vec.size ws in
     let i = ref 0 and j = ref 0 in
@@ -339,6 +350,7 @@ let pick_branch_var t =
 let solve ?(assumptions = []) ?(budget = Budget.unlimited) ?conflict_limit t =
   if not t.ok then Unsat
   else begin
+    Obs.Metrics.incr c_solves;
     cancel_until t 0;
     let assumptions = Array.of_list assumptions in
     let conflict_stop =
@@ -362,6 +374,7 @@ let solve ?(assumptions = []) ?(budget = Budget.unlimited) ?conflict_limit t =
          match propagate t with
          | Some confl ->
              t.conflicts <- t.conflicts + 1;
+             Obs.Metrics.incr c_conflicts;
              incr conflicts_this_restart;
              if t.conflicts land 511 = 0 then Budget.check budget;
              if decision_level t = 0 then begin

@@ -48,4 +48,11 @@ val lit_value : t -> Lit.t -> bool
 val model : t -> bool array
 
 val num_conflicts : t -> int
+
+val num_propagations : t -> int
+(** Literals propagated over the solver's lifetime. Conflicts,
+    propagations and solve calls are also fed to the process-wide
+    [Obs.Metrics] series ["sat.conflicts"], ["sat.propagations"] and
+    ["sat.solves"]. *)
+
 val num_clauses : t -> int

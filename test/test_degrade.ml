@@ -198,6 +198,42 @@ let test_real_degraded_restart () =
   check_int "one restart" 1 stats.Hqs.restarts;
   check "restart recorded" true (degraded_mem "solve->restart-degraded[node-limit]" stats)
 
+(* ------------------------------------------------- degradations on spans *)
+
+let test_chaos_surfaces_in_trace () =
+  (* with tracing armed, an injected mid-elimination fault must show up
+     as an annotated "degrade" instant event inside the span that was
+     open when it fired — here the elimination-set selection *)
+  let config = { Hqs.default_config with chaos = chaos [ "maxsat.minset" ] } in
+  Obs.Trace.reset ();
+  Obs.Trace.start ();
+  let v, stats = Hqs.solve_formula ~config (example1 ~crossed:false) in
+  Obs.Trace.stop ();
+  Alcotest.check verdict_t "still sat" Hqs.Sat v;
+  check "degradation recorded" true (degraded_mem "maxsat.minset->greedy[injected]" stats);
+  let evs = Obs.Trace.events () in
+  let attr name e =
+    match List.assoc_opt name e.Obs.Trace.attrs with Some (Obs.Str s) -> Some s | _ -> None
+  in
+  let rec scan open_spans = function
+    | [] -> Alcotest.fail "no degrade event in the trace"
+    | e :: rest -> (
+        match e.Obs.Trace.ph with
+        | Obs.Trace.Begin -> scan (e.Obs.Trace.name :: open_spans) rest
+        | Obs.Trace.End -> scan (List.tl open_spans) rest
+        | Obs.Trace.Instant ->
+            if String.equal e.Obs.Trace.name "degrade" then begin
+              Alcotest.(check (option string))
+                "annotated with the injection point" (Some "maxsat.minset") (attr "point" e);
+              Alcotest.(check (option string)) "annotated as injected" (Some "injected")
+                (attr "reason" e);
+              check "fired inside the selection span" true
+                (List.mem "elim.select" open_spans)
+            end
+            else scan open_spans rest)
+  in
+  scan [] evs
+
 (* --------------------------------------------------- verdict invariance *)
 
 let test_chaos_off_clean () =
@@ -240,6 +276,8 @@ let () =
           Alcotest.test_case "qbf elim node limit" `Quick test_real_qbf_elim_fallback;
           Alcotest.test_case "degraded restart" `Quick test_real_degraded_restart;
         ] );
+      ( "tracing",
+        [ Alcotest.test_case "chaos surfaces on the open span" `Quick test_chaos_surfaces_in_trace ] );
       ( "invariance",
         [
           Alcotest.test_case "chaos off is clean" `Quick test_chaos_off_clean;

@@ -49,6 +49,7 @@ let fake_results =
       hqs = R.Solved (true, 0.1);
       idq = R.Solved (true, 2.0);
       hqs_degraded = [];
+      hqs_stats = None;
       soundness = R.Consistent;
     };
     {
@@ -58,6 +59,7 @@ let fake_results =
       hqs = R.Solved (false, 0.2);
       idq = R.Timeout 5.0;
       hqs_degraded = [ "maxsat.minset->greedy[timeout]" ];
+      hqs_stats = None;
       soundness = R.Consistent;
     };
     {
@@ -67,6 +69,7 @@ let fake_results =
       hqs = R.Memout 3.0;
       idq = R.Solved (false, 0.5);
       hqs_degraded = [];
+      hqs_stats = None;
       soundness = R.Consistent;
     };
   ]
@@ -157,6 +160,7 @@ let disagreeing_results =
         hqs = R.Solved (true, 0.1);
         idq = R.Solved (false, 0.1);
         hqs_degraded = [];
+        hqs_stats = None;
         soundness = R.Disagreement { hqs_sat = true; idq_sat = false };
       };
     ]

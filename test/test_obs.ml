@@ -1,0 +1,276 @@
+(* The observability layer: metric arithmetic, span nesting, Chrome
+   trace well-formedness (checked with the built-in JSON parser), the
+   disabled no-op guarantee, and an end-to-end solve whose trace must
+   show the pipeline stages in order. *)
+
+module Fam = Circuit.Families
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+(* fresh per-test trace state; metrics are process-global by design, so
+   tests only assert on deltas or on uniquely-named series *)
+let with_tracing f =
+  Obs.Trace.reset ();
+  Obs.Trace.start ();
+  match f () with
+  | v ->
+      Obs.Trace.stop ();
+      v
+  | exception e ->
+      Obs.Trace.stop ();
+      raise e
+
+(* ---------------------------------------------------------------- metrics *)
+
+let test_counter () =
+  let c = Obs.Metrics.counter "t.counter" in
+  let v0 = Obs.Metrics.counter_value c in
+  Obs.Metrics.incr c;
+  Obs.Metrics.incr ~by:41 c;
+  check_int "counter adds" (v0 + 42) (Obs.Metrics.counter_value c);
+  (* registration is idempotent: same name, same cell *)
+  let c' = Obs.Metrics.counter "t.counter" in
+  Obs.Metrics.incr c';
+  check_int "same cell" (v0 + 43) (Obs.Metrics.counter_value c)
+
+let test_gauge () =
+  let g = Obs.Metrics.gauge "t.gauge" in
+  Obs.Metrics.set g 2.5;
+  Alcotest.(check (float 0.0)) "set" 2.5 (Obs.Metrics.gauge_value g);
+  Obs.Metrics.set_max g 1.0;
+  Alcotest.(check (float 0.0)) "set_max keeps larger" 2.5 (Obs.Metrics.gauge_value g);
+  Obs.Metrics.set_max g 9.0;
+  Alcotest.(check (float 0.0)) "set_max takes larger" 9.0 (Obs.Metrics.gauge_value g)
+
+let test_histogram () =
+  let h = Obs.Metrics.histogram "t.hist" in
+  List.iter (fun v -> Obs.Metrics.observe h v) [ 3.0; 1.0; 2.0 ];
+  let s = Obs.Metrics.histogram_stats h in
+  check_int "count" 3 s.Obs.Metrics.count;
+  Alcotest.(check (float 1e-9)) "sum" 6.0 s.Obs.Metrics.sum;
+  Alcotest.(check (float 0.0)) "min" 1.0 s.Obs.Metrics.min_;
+  Alcotest.(check (float 0.0)) "max" 3.0 s.Obs.Metrics.max_
+
+let test_kind_clash () =
+  let _ = Obs.Metrics.counter "t.clash" in
+  Alcotest.check_raises "gauge over counter"
+    (Invalid_argument "Obs.Metrics: t.clash already registered as another kind") (fun () ->
+      ignore (Obs.Metrics.gauge "t.clash"))
+
+let test_snapshot_delta () =
+  let c = Obs.Metrics.counter "t.delta.c" in
+  let g = Obs.Metrics.gauge "t.delta.g" in
+  let h = Obs.Metrics.histogram "t.delta.h" in
+  Obs.Metrics.incr c;
+  Obs.Metrics.observe h 10.0;
+  let before = Obs.Metrics.snapshot () in
+  (* snapshot is sorted by name *)
+  let names = List.map (fun s -> s.Obs.Metrics.name) before in
+  check "snapshot sorted" true (List.sort String.compare names = names);
+  Obs.Metrics.incr ~by:7 c;
+  Obs.Metrics.set g 5.0;
+  Obs.Metrics.observe h 2.0;
+  let delta = Obs.Metrics.delta ~before ~after:(Obs.Metrics.snapshot ()) in
+  let get n = match Obs.Metrics.find delta n with Some v -> v | None -> nan in
+  Alcotest.(check (float 0.0)) "counter delta" 7.0 (get "t.delta.c");
+  Alcotest.(check (float 0.0)) "gauge passes through" 5.0 (get "t.delta.g");
+  Alcotest.(check (float 0.0)) "hist count delta" 1.0 (get "t.delta.h.count");
+  Alcotest.(check (float 0.0)) "hist sum delta" 2.0 (get "t.delta.h.sum")
+
+(* ------------------------------------------------------------------ spans *)
+
+let test_span_nesting () =
+  with_tracing (fun () ->
+      Obs.Span.with_ "outer" (fun () ->
+          check_str "current" "outer" (Option.value ~default:"?" (Obs.Span.current ()));
+          check_int "depth" 1 (Obs.Trace.depth ());
+          Obs.Span.with_ "inner" (fun () -> check_int "depth" 2 (Obs.Trace.depth ()));
+          Obs.Span.event "mark" ()));
+  let evs = Obs.Trace.events () in
+  let shape =
+    List.map
+      (fun e ->
+        ( e.Obs.Trace.name,
+          match e.Obs.Trace.ph with
+          | Obs.Trace.Begin -> "B"
+          | Obs.Trace.End -> "E"
+          | Obs.Trace.Instant -> "i" ))
+      evs
+  in
+  Alcotest.(check (list (pair string string)))
+    "event order"
+    [ ("outer", "B"); ("inner", "B"); ("inner", "E"); ("mark", "i"); ("outer", "E") ]
+    shape;
+  (* timestamps are monotone *)
+  let ts = List.map (fun e -> e.Obs.Trace.ts_us) evs in
+  check "monotone ts" true (List.sort Float.compare ts = ts);
+  check_int "nothing dropped" 0 (Obs.Trace.dropped ())
+
+let test_span_exception () =
+  let seen = ref false in
+  (try
+     with_tracing (fun () ->
+         Obs.Span.with_ "boom" (fun () -> raise Exit))
+   with Exit -> seen := true);
+  check "exception propagates" true !seen;
+  match List.rev (Obs.Trace.events ()) with
+  | last :: _ ->
+      check_str "span still closed" "boom" last.Obs.Trace.name;
+      check "flagged as raised" true
+        (List.exists (fun (k, _) -> String.equal k "raised") last.Obs.Trace.attrs)
+  | [] -> Alcotest.fail "no events recorded"
+
+let test_disabled_noop () =
+  Obs.Trace.reset ();
+  check "tracing off" false (Obs.Trace.enabled ());
+  let v = Obs.Span.with_ "ghost" (fun () -> 17) in
+  check_int "value passes through" 17 v;
+  Obs.Span.event "ghost-event" ();
+  check_int "no events recorded" 0 (List.length (Obs.Trace.events ()));
+  Alcotest.check_raises "exception still propagates" Exit (fun () ->
+      Obs.Span.with_ "ghost" (fun () -> raise Exit))
+
+(* ------------------------------------------------------------ Chrome JSON *)
+
+let test_chrome_json () =
+  with_tracing (fun () ->
+      Obs.Span.with_ "alpha" ~attrs:[ ("n", Obs.Int 3); ("s", Obs.Str "a\"b\n") ] (fun () ->
+          Obs.Span.with_ "beta" (fun () -> ());
+          Obs.Span.event "tick" ~attrs:[ ("f", Obs.Float 0.5); ("b", Obs.Bool true) ] ()));
+  let body = Obs.Trace.to_chrome_json () in
+  match Obs.Json.parse body with
+  | Error msg -> Alcotest.failf "trace JSON does not parse: %s" msg
+  | Ok json -> (
+      match Option.bind (Obs.Json.member "traceEvents" json) Obs.Json.to_list with
+      | None -> Alcotest.fail "no traceEvents array"
+      | Some evs ->
+          check_int "five events" 5 (List.length evs);
+          let phases =
+            List.filter_map
+              (fun ev -> Option.bind (Obs.Json.member "ph" ev) Obs.Json.to_string)
+              evs
+          in
+          Alcotest.(check (list string)) "phases" [ "B"; "B"; "E"; "i"; "E" ] phases;
+          (* the escaped attribute round-trips *)
+          let first = List.hd evs in
+          let attr =
+            Option.bind (Obs.Json.member "args" first) (fun args ->
+                Option.bind (Obs.Json.member "s" args) Obs.Json.to_string)
+          in
+          check_str "escaped attr" "a\"b\n" (Option.value ~default:"?" attr))
+
+let test_json_parser () =
+  (match Obs.Json.parse "{\"a\": [1, 2.5, {\"b\": \"x\\n\"}], \"t\": true, \"n\": null}" with
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+  | Ok j ->
+      let a = Option.bind (Obs.Json.member "a" j) Obs.Json.to_list in
+      (match a with
+      | Some [ one; _; obj ] ->
+          Alcotest.(check (option (float 0.0))) "number" (Some 1.0) (Obs.Json.to_number one);
+          check_str "nested string" "x\n"
+            (Option.value ~default:"?"
+               (Option.bind (Obs.Json.member "b" obj) Obs.Json.to_string))
+      | _ -> Alcotest.fail "array shape"));
+  (match Obs.Json.parse "{\"a\":}" with
+  | Ok _ -> Alcotest.fail "accepted malformed JSON"
+  | Error _ -> ());
+  match Obs.Json.parse "[1,2] trailing" with
+  | Ok _ -> Alcotest.fail "accepted trailing garbage"
+  | Error _ -> ()
+
+(* ------------------------------------------------------------ end-to-end *)
+
+let index_of name shape =
+  let rec go i = function
+    | [] -> None
+    | (n, ph) :: rest ->
+        if String.equal n name && String.equal ph "B" then Some i else go (i + 1) rest
+  in
+  go 0 shape
+
+let test_end_to_end_solve () =
+  let inst = Fam.pec_xor ~length:3 ~boxes:2 ~fault:false in
+  let verdict =
+    with_tracing (fun () -> fst (Hqs.solve_pcnf inst.Fam.pcnf))
+  in
+  check "solved sat" true (match verdict with Hqs.Sat -> true | Hqs.Unsat -> false);
+  let evs = Obs.Trace.events () in
+  let shape =
+    List.map
+      (fun e ->
+        ( e.Obs.Trace.name,
+          match e.Obs.Trace.ph with
+          | Obs.Trace.Begin -> "B"
+          | Obs.Trace.End -> "E"
+          | Obs.Trace.Instant -> "i" ))
+      evs
+  in
+  (* B/E events balance like parentheses *)
+  let depth =
+    List.fold_left
+      (fun d (_, ph) ->
+        check "never negative" true (d >= 0);
+        if String.equal ph "B" then d + 1 else if String.equal ph "E" then d - 1 else d)
+      0 (List.map (fun (n, p) -> (n, p)) shape)
+  in
+  check_int "all spans closed" 0 depth;
+  (* the pipeline stages appear, in pipeline order *)
+  let at name = match index_of name shape with
+    | Some i -> i
+    | None -> Alcotest.failf "span %s missing from trace" name
+  in
+  check "preprocess first" true (at "preprocess" < at "hqs.solve");
+  check "selection before expansion" true (at "elim.select" < at "elim.expand");
+  check "expansion before backend" true (at "elim.expand" < at "qbf.backend");
+  check "backend inside solve" true (at "hqs.solve" < at "qbf.backend");
+  (* the flame summary mentions the hot spans *)
+  let summary = Obs.Trace.flame_summary () in
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.equal (String.sub s i m) sub || go (i + 1)) in
+    m = 0 || go 0
+  in
+  check "summary lists hqs.solve" true (contains summary "hqs.solve");
+  check "summary lists qbf.backend" true (contains summary "qbf.backend")
+
+let test_solve_metrics_flow () =
+  (* the same counters surface in Hqs.stats via the registry delta *)
+  let inst = Fam.pec_xor ~length:3 ~boxes:2 ~fault:true in
+  let _, stats = Hqs.solve_pcnf inst.Fam.pcnf in
+  check "univ elims counted" true
+    (match List.assoc_opt "elim.universal" stats.Hqs.metrics with
+    | Some v -> int_of_float v = stats.Hqs.univ_elims
+    | None -> false);
+  check "propagations flow into stats" true (stats.Hqs.sat_propagations >= 0);
+  check_str "check level recorded" "off" stats.Hqs.check_level
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "counter" `Quick test_counter;
+          Alcotest.test_case "gauge" `Quick test_gauge;
+          Alcotest.test_case "histogram" `Quick test_histogram;
+          Alcotest.test_case "kind clash" `Quick test_kind_clash;
+          Alcotest.test_case "snapshot and delta" `Quick test_snapshot_delta;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "nesting and order" `Quick test_span_nesting;
+          Alcotest.test_case "exception closes span" `Quick test_span_exception;
+          Alcotest.test_case "disabled is a no-op" `Quick test_disabled_noop;
+        ] );
+      ( "chrome-json",
+        [
+          Alcotest.test_case "well-formed trace" `Quick test_chrome_json;
+          Alcotest.test_case "json parser" `Quick test_json_parser;
+        ] );
+      ( "end-to-end",
+        [
+          Alcotest.test_case "pipeline span order" `Quick test_end_to_end_solve;
+          Alcotest.test_case "metrics flow into stats" `Quick test_solve_metrics_flow;
+        ] );
+    ]
