@@ -12,7 +12,11 @@
      BENCH_QUICK=1  small suite for smoke runs
      BENCH_MICRO=0  skip the Bechamel section
      BENCH_OBS_ONLY=1  only write the observability baseline, then exit
-     BENCH_OBS_OUT  path of the baseline file (default BENCH_obs.json) *)
+     BENCH_OBS_OUT  path of the baseline file (default BENCH_obs.json)
+     BENCH_JOBS     supervised sweep workers           (default 1)
+     BENCH_JOURNAL  append completed tasks to this crash-safe JSONL file
+     BENCH_RESUME   skip tasks already journaled in this file
+     BENCH_INPROC=1 legacy in-process sweep (no fork isolation) *)
 
 module Fam = Circuit.Families
 module R = Harness.Runner
@@ -129,21 +133,63 @@ let suite () =
 
 (* ------------------------------------------------------------ experiment *)
 
-let run_suite instances =
+let short = function
+  | R.Solved (true, t) -> Printf.sprintf "SAT %.2fs" t
+  | R.Solved (false, t) -> Printf.sprintf "UNSAT %.2fs" t
+  | R.Timeout _ -> "TO"
+  | R.Memout _ -> "MO"
+  | R.Crash _ -> "CRASH"
+
+let run_suite_inproc instances =
   let n = List.length instances in
   List.mapi
     (fun i inst ->
       Printf.eprintf "[%3d/%d] %-28s%!" (i + 1) n inst.Fam.id;
       let r = R.run_instance ~timeout ~node_limit inst in
-      let short = function
-        | R.Solved (true, t) -> Printf.sprintf "SAT %.2fs" t
-        | R.Solved (false, t) -> Printf.sprintf "UNSAT %.2fs" t
-        | R.Timeout _ -> "TO"
-        | R.Memout _ -> "MO"
-      in
       Printf.eprintf " hqs: %-12s idq: %-12s\n%!" (short r.R.hqs) (short r.R.idq);
       r)
     instances
+
+(* default path: every (instance, solver) task in its own forked worker
+   under the supervisor, so one wedged or crashing solve cannot take the
+   whole benchmark down; the kernel wall limit is a backstop over the
+   in-process timeout *)
+let run_suite_supervised instances =
+  let jobs = env_int "BENCH_JOBS" 1 in
+  let journal = Sys.getenv_opt "BENCH_JOURNAL" in
+  let resume = Sys.getenv_opt "BENCH_RESUME" in
+  let config =
+    {
+      (Harness.Sweep.default_config ~timeout ~node_limit) with
+      Harness.Sweep.exec =
+        {
+          Exec.Supervisor.default_config with
+          Exec.Supervisor.jobs;
+          limits = { Exec.Limits.none with Exec.Limits.wall_s = Some ((2.0 *. timeout) +. 10.0) };
+        };
+    }
+  in
+  let n = 2 * List.length instances in
+  let count = ref 0 in
+  let on_progress (p : Harness.Sweep.progress) =
+    incr count;
+    Printf.eprintf "[%3d/%d] %-32s %-12s%s\n%!" !count n p.Harness.Sweep.task
+      (short p.Harness.Sweep.outcome)
+      (if p.Harness.Sweep.from_journal then " (journal)"
+       else if p.Harness.Sweep.attempts > 1 then Printf.sprintf " (%d attempts)" p.Harness.Sweep.attempts
+       else "")
+  in
+  let rep = Harness.Sweep.run_instances ~config ?journal ?resume ~on_progress instances in
+  Printf.eprintf "sweep: %d tasks executed, %d from journal%s\n%!" rep.Harness.Sweep.executed
+    rep.Harness.Sweep.journaled
+    (if rep.Harness.Sweep.journal_dropped > 0 then
+       Printf.sprintf ", %d torn journal lines dropped" rep.Harness.Sweep.journal_dropped
+     else "");
+  rep.Harness.Sweep.results
+
+let run_suite instances =
+  if env_bool "BENCH_INPROC" false then run_suite_inproc instances
+  else run_suite_supervised instances
 
 (* ------------------------------------------------------------- ablations *)
 
@@ -194,6 +240,7 @@ let ablations () =
             | R.Solved (_, t) -> Printf.sprintf "%.3fs" t
             | R.Timeout _ -> "TO"
             | R.Memout _ -> "MO"
+            | R.Crash _ -> "CRASH"
           in
           Buffer.add_string buf (Printf.sprintf " %12s" cell))
         configs;

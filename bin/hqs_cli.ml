@@ -235,32 +235,258 @@ let trace =
 
 let flag names doc = Arg.(value & flag & info names ~doc)
 
-let cmd =
-  let doc = "solve a DQBF by quantifier elimination (HQS, DATE 2015)" in
-  Cmd.v
-    (Cmd.info "hqs" ~doc)
-    Term.(
-      const solve $ file $ timeout $ mem_limit $ node_limit
-      $ flag [ "no-preprocess" ] "disable CNF preprocessing"
-      $ flag [ "no-unitpure" ] "disable unit/pure detection on the AIG"
-      $ flag [ "no-maxsat" ] "use the greedy elimination set instead of MaxSAT"
-      $ flag [ "no-thm2" ] "disable elimination of fully-dependent existentials"
-      $ flag [ "bce" ] "enable blocked-clause elimination (SAT'15 extension)"
-      $ flag [ "expand-all" ] "eliminate every universal (ICCD'13 baseline)"
-      $ flag [ "sat-probe" ] "start with a plain SAT call on the matrix"
-      $ flag [ "no-fraig" ] "disable FRAIG sweeping"
-      $ flag [ "search-backend" ] "use the QDPLL search back end instead of AIG elimination"
-      $ flag [ "no-restart" ] "disable the degraded restart after a node-limit memout"
-      $ chaos_seed $ chaos_points $ check
-      $ flag [ "model" ] "on SAT, print and verify Skolem functions"
-      $ flag [ "stats" ] "print statistics to stderr (with --trace, also a flame summary)"
-      $ trace
-      $ flag [ "metrics" ] "print the metric registry (counters, gauges, histograms) to stderr")
+(* -------------------------------------------------------- sweep command *)
 
-(* cmdliner's own exit codes (124/125) collide with the timeout/memout
-   convention above, so map evaluation outcomes explicitly *)
+(* hqs sweep: supervised benchmark sweep over DQDIMACS files. Each
+   (file, solver) task runs in a forked worker under kernel limits; see
+   Exec.Supervisor for the crash taxonomy. Exit codes:
+     0  sweep completed; every task solved, timed out or memed out
+     1  internal error (uncaught exception)
+     2  usage error / unreadable or invalid input file
+     3  sweep completed, but with quarantined crashes or a soundness
+        disagreement between HQS and iDQ — the report names them *)
+
+let family_of_path file =
+  match Filename.basename (Filename.dirname file) with
+  | "." | ".." | "/" | "" -> "files"
+  | d -> d
+
+let sweep files jobs timeout node_limit retries journal resume mem_limit cpu_limit chaos_seed
+    chaos_points chaos_kill =
+  install_signal_handlers ();
+  if files = [] then begin
+    Printf.eprintf "error: no input files\n";
+    exit 2
+  end;
+  let items =
+    List.map
+      (fun file ->
+        let pcnf =
+          try Dqbf.Pcnf.parse_file file
+          with Failure msg | Sys_error msg ->
+            Printf.eprintf "error: %s\n" msg;
+            exit 2
+        in
+        (match Dqbf.Pcnf.validate pcnf with
+        | Ok () -> ()
+        | Error msg ->
+            Printf.eprintf "invalid input %s: %s\n" file msg;
+            exit 2);
+        {
+          Harness.Sweep.id = Filename.remove_extension (Filename.basename file);
+          family = family_of_path file;
+          pcnf;
+        })
+      files
+  in
+  (let seen = Hashtbl.create 16 in
+   List.iter
+     (fun (it : Harness.Sweep.item) ->
+       if Hashtbl.mem seen it.Harness.Sweep.id then begin
+         Printf.eprintf "error: duplicate instance id %s (same base name twice?)\n"
+           it.Harness.Sweep.id;
+         exit 2
+       end;
+       Hashtbl.replace seen it.Harness.Sweep.id ())
+     items);
+  let chaos =
+    let points =
+      (match chaos_points with None -> [] | Some s -> Hqs_util.Chaos.parse_points s)
+      @
+      (* convenience: arm the worker-kill point for every attempt of one
+         task, so a quarantine is reproducible from the command line *)
+      (match chaos_kill with
+      | None -> []
+      | Some task ->
+          List.init retries (fun i -> Hqs_util.Chaos.worker_kill_point ~task ~attempt:(i + 1)))
+    in
+    match (chaos_seed, points) with
+    | None, [] -> Hqs_util.Chaos.off
+    | seed, points -> Hqs_util.Chaos.create ~seed:(Option.value seed ~default:0) ~points ()
+  in
+  let config =
+    {
+      (Harness.Sweep.default_config ~timeout ~node_limit) with
+      Harness.Sweep.exec =
+        {
+          Exec.Supervisor.jobs;
+          max_attempts = retries;
+          backoff = Exec.Backoff.default;
+          chaos;
+          limits =
+            {
+              (* the kernel wall limit is a backstop over the in-process
+                 budget: generous enough to never fire first *)
+              Exec.Limits.wall_s = Some ((2.0 *. timeout) +. 10.0);
+              cpu_s = cpu_limit;
+              mem_bytes = Option.map (fun mb -> mb * 1024 * 1024) mem_limit;
+            };
+        };
+    }
+  in
+  let n = 2 * List.length items in
+  let count = ref 0 in
+  let on_progress (p : Harness.Sweep.progress) =
+    incr count;
+    let show = function
+      | Harness.Runner.Solved (true, t) -> Printf.sprintf "SAT %.2fs" t
+      | Harness.Runner.Solved (false, t) -> Printf.sprintf "UNSAT %.2fs" t
+      | Harness.Runner.Timeout _ -> "TO"
+      | Harness.Runner.Memout _ -> "MO"
+      | Harness.Runner.Crash _ -> "CRASH"
+    in
+    Printf.eprintf "c [%3d/%d] %-32s %-12s%s\n%!" !count n p.Harness.Sweep.task
+      (show p.Harness.Sweep.outcome)
+      (if p.Harness.Sweep.from_journal then " (journal)"
+       else if p.Harness.Sweep.attempts > 1 then
+         Printf.sprintf " (%d attempts)" p.Harness.Sweep.attempts
+       else "")
+  in
+  let rep = Harness.Sweep.run ~config ?journal ?resume ~on_progress items in
+  Printf.eprintf "c sweep: %d tasks executed, %d from journal%s\n%!"
+    rep.Harness.Sweep.executed rep.Harness.Sweep.journaled
+    (if rep.Harness.Sweep.journal_dropped > 0 then
+       Printf.sprintf ", %d torn journal lines dropped" rep.Harness.Sweep.journal_dropped
+     else "");
+  let results = rep.Harness.Sweep.results in
+  prerr_string (Harness.Report.table1 results);
+  prerr_string (Harness.Report.headline results);
+  print_string (Harness.Report.csv results);
+  let bad r =
+    (match r.Harness.Runner.soundness with
+    | Harness.Runner.Consistent -> false
+    | Harness.Runner.Disagreement _ -> true)
+    ||
+    match (r.Harness.Runner.hqs, r.Harness.Runner.idq) with
+    | Harness.Runner.Crash _, _ | _, Harness.Runner.Crash _ -> true
+    | _ -> false
+  in
+  exit (if List.exists bad results then 3 else 0)
+
+let sweep_files =
+  Arg.(value & pos_all file [] & info [] ~docv:"FILE" ~doc:"DQDIMACS inputs")
+
+let jobs =
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc:"concurrent worker processes")
+
+let sweep_timeout =
+  Arg.(value & opt float 5.0 & info [ "timeout"; "t" ] ~docv:"SECONDS" ~doc:"per-solve wall budget")
+
+let sweep_node_limit =
+  Arg.(
+    value
+    & opt int 400_000
+    & info [ "node-limit" ] ~docv:"N" ~doc:"AIG node budget (memout emulation)")
+
+let retries =
+  Arg.(
+    value
+    & opt int 3
+    & info [ "retries" ] ~docv:"K"
+        ~doc:"worker spawns per task before it is quarantined as CRASH")
+
+let journal =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "journal" ] ~docv:"FILE"
+        ~doc:"append every completed task to this crash-safe JSONL journal (fsync per line)")
+
+let resume =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "resume" ] ~docv:"FILE"
+        ~doc:
+          "skip tasks that already have a checksum-valid line in this journal; torn trailing \
+           lines from a killed run are detected and re-executed. May name the same file as \
+           $(b,--journal)")
+
+let sweep_mem_limit =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "mem-limit" ] ~docv:"MB"
+        ~doc:"kernel address-space limit (RLIMIT_AS) per worker; exceeding it is a memout")
+
+let cpu_limit =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "cpu-limit" ] ~docv:"SECONDS"
+        ~doc:"kernel CPU limit (RLIMIT_CPU) per worker; exceeding it is a timeout")
+
+let chaos_kill =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "chaos-kill" ] ~docv:"TASK"
+        ~doc:
+          "arm a deterministic SIGKILL of every attempt of this task (e.g. \
+           $(i,instance/hqs)) — fault-injection for the crash/quarantine path")
+
+let sweep_cmd =
+  let doc = "supervised process-isolated benchmark sweep over DQDIMACS files" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Runs HQS and iDQ on every $(i,FILE), each (file, solver) task in its own forked \
+         worker process under kernel resource limits. Worker deaths the result protocol \
+         cannot explain are retried with exponential backoff and eventually quarantined as \
+         CRASH rows instead of aborting the sweep. The per-instance CSV goes to stdout; \
+         progress, Table I and the headline summary go to stderr.";
+      `S "EXIT STATUS";
+      `P "0 on a clean sweep; 2 on usage or input errors; 3 when the sweep finished but \
+          contains CRASH rows or an HQS/iDQ verdict disagreement; 1 on internal errors.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc ~man)
+    Term.(
+      const sweep $ sweep_files $ jobs $ sweep_timeout $ sweep_node_limit $ retries $ journal
+      $ resume $ sweep_mem_limit $ cpu_limit $ chaos_seed $ chaos_points $ chaos_kill)
+
+let solve_term =
+  Term.(
+    const solve $ file $ timeout $ mem_limit $ node_limit
+    $ flag [ "no-preprocess" ] "disable CNF preprocessing"
+    $ flag [ "no-unitpure" ] "disable unit/pure detection on the AIG"
+    $ flag [ "no-maxsat" ] "use the greedy elimination set instead of MaxSAT"
+    $ flag [ "no-thm2" ] "disable elimination of fully-dependent existentials"
+    $ flag [ "bce" ] "enable blocked-clause elimination (SAT'15 extension)"
+    $ flag [ "expand-all" ] "eliminate every universal (ICCD'13 baseline)"
+    $ flag [ "sat-probe" ] "start with a plain SAT call on the matrix"
+    $ flag [ "no-fraig" ] "disable FRAIG sweeping"
+    $ flag [ "search-backend" ] "use the QDPLL search back end instead of AIG elimination"
+    $ flag [ "no-restart" ] "disable the degraded restart after a node-limit memout"
+    $ chaos_seed $ chaos_points $ check
+    $ flag [ "model" ] "on SAT, print and verify Skolem functions"
+    $ flag [ "stats" ] "print statistics to stderr (with --trace, also a flame summary)"
+    $ trace
+    $ flag [ "metrics" ] "print the metric registry (counters, gauges, histograms) to stderr")
+
+let solve_cmd =
+  let doc = "solve a DQBF by quantifier elimination (HQS, DATE 2015)" in
+  Cmd.v (Cmd.info "hqs" ~doc) solve_term
+
+(* `Cmd.group ~default` would swallow the FILE positional of the plain
+   solve invocation as an unknown command name, so dispatch by hand:
+   `hqs sweep ...` evaluates the sweep command with argv shifted past
+   the subcommand token, anything else keeps the historical `hqs FILE`
+   interface intact. *)
 let () =
-  match Cmd.eval_value cmd with
+  let argv = Sys.argv in
+  let eval_result =
+    if Array.length argv > 1 && argv.(1) = "sweep" then begin
+      let shifted = Array.append [| "hqs sweep" |] (Array.sub argv 2 (Array.length argv - 2)) in
+      Cmd.eval_value ~argv:shifted sweep_cmd
+    end
+    else Cmd.eval_value ~argv solve_cmd
+  in
+  (* cmdliner's own exit codes (124/125) collide with the timeout/memout
+     convention above, so map evaluation outcomes explicitly *)
+  match eval_result with
   | Ok (`Ok () | `Help | `Version) -> exit 0
   | Error (`Parse | `Term) -> exit 2
   | Error `Exn -> exit 1

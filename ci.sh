@@ -16,6 +16,13 @@
 #   6. traced smoke solve: solve an instance with incomparable dependency
 #      sets under --trace and validate the trace with bin/tracecheck
 #      (well-formed Chrome JSON, balanced spans, >= 6 pipeline phases)
+#   7. supervised mini-sweep: run `hqs sweep` over a generated instance
+#      directory with 2 workers and a chaos-injected worker kill,
+#      asserting the victim is quarantined as a CRASH row while the rest
+#      solve; then kill a journaled sweep midway (SIGKILL, torn tail and
+#      all) and prove --resume completes exactly the remaining tasks and
+#      that a second resume executes nothing and reproduces the report
+#      byte-for-byte
 set -eu
 cd "$(dirname "$0")"
 
@@ -69,4 +76,76 @@ grep -q '^c metric ' "$tmp/trace.err" || {
   echo "== ci FAILED: --metrics printed no metric lines =="
   exit 1
 }
-echo "== ci OK (smoke verdict exit $status, traced exit $trace_status) =="
+echo "== supervised mini-sweep (crash injection) =="
+# the sweep CLI must be invoked as the built binary, not through
+# `dune exec`, so the midway SIGKILL below lands on the supervisor itself
+HQS_BIN=_build/default/bin/hqs_cli.exe
+mkdir -p "$tmp/sweep"
+dune exec bin/genpec.exe -- sweep pec_xor --sizes=3,4,5 --boxes-list=1 --out "$tmp/sweep" >/dev/null
+victim=""
+for f in "$tmp/sweep"/*.dqdimacs; do victim=$(basename "$f" .dqdimacs); break; done
+sweep_status=0
+"$HQS_BIN" sweep "$tmp/sweep"/*.dqdimacs --jobs 2 --timeout 10 --retries 2 \
+  --chaos-kill "$victim/hqs" >"$tmp/crash.csv" 2>"$tmp/crash.log" || sweep_status=$?
+if [ "$sweep_status" != 3 ]; then
+  echo "== ci FAILED: crash-injected sweep exited $sweep_status (want 3) =="
+  cat "$tmp/crash.log"
+  exit 1
+fi
+grep -q "^$victim,.*,CRASH," "$tmp/crash.csv" || {
+  echo "== ci FAILED: no CRASH row for quarantined victim $victim =="
+  cat "$tmp/crash.csv"
+  exit 1
+}
+# every other instance still produced a clean verdict
+if grep -v "^id," "$tmp/crash.csv" | grep -v "^$victim," | grep -qv ",solved,"; then
+  echo "== ci FAILED: a bystander instance did not solve =="
+  cat "$tmp/crash.csv"
+  exit 1
+fi
+
+echo "== supervised mini-sweep (kill midway + resume) =="
+journal="$tmp/sweep.jsonl"
+"$HQS_BIN" sweep "$tmp/sweep"/*.dqdimacs --jobs 2 --timeout 10 --journal "$journal" \
+  >"$tmp/part.csv" 2>/dev/null &
+sweep_pid=$!
+# wait for at least one fsynced journal line, then SIGKILL the supervisor
+i=0
+while [ "$(cat "$journal" 2>/dev/null | wc -l)" -lt 1 ]; do
+  i=$((i + 1))
+  if [ "$i" -gt 600 ]; then break; fi
+  sleep 0.1
+done
+kill -9 "$sweep_pid" 2>/dev/null || true
+wait "$sweep_pid" 2>/dev/null || true
+sleep 2 # let orphaned workers drain
+lines_before=$(cat "$journal" 2>/dev/null | wc -l)
+"$HQS_BIN" sweep "$tmp/sweep"/*.dqdimacs --jobs 2 --timeout 10 --journal "$journal" \
+  --resume "$journal" >"$tmp/r1.csv" 2>"$tmp/r1.log"
+grep -q "from journal" "$tmp/r1.log" || {
+  echo "== ci FAILED: resume log missing journal accounting =="
+  cat "$tmp/r1.log"
+  exit 1
+}
+# the resumed run must not have re-executed the journaled tasks
+total_tasks=$((2 * $(ls "$tmp/sweep"/*.dqdimacs | wc -l)))
+executed=$(sed -n 's/^c sweep: \([0-9]*\) tasks executed.*/\1/p' "$tmp/r1.log")
+if [ -z "$executed" ] || [ "$executed" -gt $((total_tasks - lines_before)) ]; then
+  echo "== ci FAILED: resume executed $executed tasks, journal already had $lines_before of $total_tasks =="
+  cat "$tmp/r1.log"
+  exit 1
+fi
+# a second resume executes nothing and reproduces the report byte-for-byte
+"$HQS_BIN" sweep "$tmp/sweep"/*.dqdimacs --jobs 2 --timeout 10 --resume "$journal" \
+  >"$tmp/r2.csv" 2>"$tmp/r2.log"
+grep -q "^c sweep: 0 tasks executed" "$tmp/r2.log" || {
+  echo "== ci FAILED: second resume still executed tasks =="
+  cat "$tmp/r2.log"
+  exit 1
+}
+cmp "$tmp/r1.csv" "$tmp/r2.csv" || {
+  echo "== ci FAILED: resumed reports are not byte-identical =="
+  exit 1
+}
+
+echo "== ci OK (smoke verdict exit $status, traced exit $trace_status, sweep crash+resume verified) =="

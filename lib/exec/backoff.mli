@@ -1,0 +1,22 @@
+(** Bounded exponential backoff with deterministic jitter for crash
+    retries.
+
+    The schedule is a pure function of [(policy, task, attempt)] — no
+    global RNG, no wall clock — so a retried sweep reproduces the exact
+    same delays (and the unit tests can assert them). *)
+
+type policy = {
+  base_s : float;  (** delay before the first retry *)
+  factor : float;  (** exponential growth per attempt *)
+  max_s : float;  (** cap on the un-jittered delay *)
+  jitter : float;  (** relative jitter amplitude in [0,1): ±jitter·delay *)
+  seed : int;  (** jitter stream seed *)
+}
+
+val default : policy
+(** 50 ms base, ×2 per attempt, capped at 2 s, ±25 % jitter. *)
+
+val delay : policy -> task:string -> attempt:int -> float
+(** Seconds to wait before re-spawning [task] after its [attempt]-th
+    failure (1-based). Always non-negative.
+    @raise Invalid_argument if [attempt < 1]. *)

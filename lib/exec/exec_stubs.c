@@ -1,0 +1,18 @@
+/* OS resource limits for forked sweep workers. The OCaml Unix library
+   does not bind setrlimit, so the executor carries its own stub: the
+   paper's per-instance CPU/memory abort criteria (Section IV) are
+   enforced by the kernel, not by cooperative polling, which is what
+   makes a worker segfault or runaway loop survivable for the sweep. */
+#include <caml/mlvalues.h>
+#include <sys/resource.h>
+#include <sys/time.h>
+
+/* which: 0 = RLIMIT_CPU (seconds), 1 = RLIMIT_AS (bytes) */
+CAMLprim value hqs_exec_setrlimit(value v_which, value v_soft, value v_hard)
+{
+  struct rlimit rl;
+  int resource = Int_val(v_which) == 0 ? RLIMIT_CPU : RLIMIT_AS;
+  rl.rlim_cur = (rlim_t)Long_val(v_soft);
+  rl.rlim_max = (rlim_t)Long_val(v_hard);
+  return Val_bool(setrlimit(resource, &rl) == 0);
+}

@@ -1,0 +1,33 @@
+module Json = Obs.Json
+
+let header_len = 11 (* ten decimal digits + '\n' *)
+
+let write_all fd bytes =
+  let n = Bytes.length bytes in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write fd bytes !off (n - !off)
+  done
+
+let write_frame fd json =
+  let payload = Json.render json in
+  let frame = Printf.sprintf "%010d\n%s" (String.length payload) payload in
+  write_all fd (Bytes.of_string frame)
+
+let parse_frame buf =
+  let n = String.length buf in
+  if n < header_len then Error (Printf.sprintf "short frame: %d bytes" n)
+  else if buf.[header_len - 1] <> '\n' then Error "malformed frame header"
+  else
+    match int_of_string_opt (String.sub buf 0 (header_len - 1)) with
+    | None -> Error "malformed frame length"
+    | Some len when len < 0 -> Error "negative frame length"
+    | Some len ->
+        if n - header_len < len then
+          Error (Printf.sprintf "truncated frame: %d of %d payload bytes" (n - header_len) len)
+        else if n - header_len > len then
+          Error (Printf.sprintf "oversized frame: %d extra bytes" (n - header_len - len))
+        else (
+          match Json.parse (String.sub buf header_len len) with
+          | Ok v -> Ok v
+          | Error msg -> Error ("bad frame JSON: " ^ msg))

@@ -1,0 +1,15 @@
+(** Worker → supervisor result channel: one length-prefixed JSON frame
+    per worker, written to a pipe just before the worker exits.
+
+    The frame is [%010d\n] (payload byte count) followed by exactly that
+    many bytes of {!Obs.Json}-rendered payload. The explicit length lets
+    the supervisor distinguish a worker that died mid-write (truncated or
+    oversized frame → classified as a crash) from one that returned a
+    complete result — EOF alone cannot tell the two apart. *)
+
+val write_frame : Unix.file_descr -> Obs.Json.t -> unit
+(** Render and write one frame, looping over partial [write]s. *)
+
+val parse_frame : string -> (Obs.Json.t, string) result
+(** Parse the complete byte stream read from a worker pipe (up to EOF).
+    [Error] describes the protocol violation for the crash log. *)

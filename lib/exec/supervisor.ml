@@ -1,0 +1,393 @@
+module Json = Obs.Json
+module Mono = Hqs_util.Mono
+
+(* ----------------------------------------------------------------- types *)
+
+type status = Value of Json.t | Timeout of float | Memout of float | Crash of float
+
+type completion = {
+  task_id : string;
+  status : status;
+  attempts : int;
+  worker_pid : int;
+  elapsed_s : float;
+  crash_log : string list;
+  from_journal : bool;
+}
+
+type config = {
+  jobs : int;
+  limits : Limits.t;
+  max_attempts : int;
+  backoff : Backoff.policy;
+  chaos : Hqs_util.Chaos.t;
+}
+
+let default_config =
+  {
+    jobs = 1;
+    limits = Limits.none;
+    max_attempts = 3;
+    backoff = Backoff.default;
+    chaos = Hqs_util.Chaos.off;
+  }
+
+type report = {
+  completions : completion list;
+  executed : int;
+  journaled : int;
+  journal_dropped : int;
+}
+
+(* -------------------------------------------------------- serialization *)
+
+let status_label = function
+  | Value _ -> "ok"
+  | Timeout _ -> "timeout"
+  | Memout _ -> "memout"
+  | Crash _ -> "crash"
+
+let samples_to_json samples =
+  Json.Arr
+    (List.map
+       (fun (s : Obs.Metrics.sample) ->
+         Json.Obj
+           [
+             ("n", Json.Str s.name);
+             ("k", Json.Str (Obs.Metrics.kind_name s.kind));
+             ("v", Json.Num s.v);
+           ])
+       samples)
+
+let samples_of_json j =
+  match Json.to_list j with
+  | None -> []
+  | Some l ->
+      List.filter_map
+        (fun item ->
+          match
+            ( Option.bind (Json.member "n" item) Json.to_string,
+              Option.bind (Json.member "k" item) Json.to_string,
+              Option.bind (Json.member "v" item) Json.to_number )
+          with
+          | Some name, Some kind, Some v ->
+              Option.map
+                (fun kind -> { Obs.Metrics.name; kind; v })
+                (Obs.Metrics.kind_of_name kind)
+          | _ -> None)
+        l
+
+let completion_to_json c =
+  Json.Obj
+    [
+      ("status", Json.Str (status_label c.status));
+      ("elapsed_s", Json.Num c.elapsed_s);
+      ("attempts", Json.Num (float_of_int c.attempts));
+      ("pid", Json.Num (float_of_int c.worker_pid));
+      ("value", (match c.status with Value v -> v | Timeout _ | Memout _ | Crash _ -> Json.Null));
+      ("log", Json.Arr (List.map (fun s -> Json.Str s) c.crash_log));
+    ]
+
+let completion_of_json ~task_id j =
+  let num key = Option.bind (Json.member key j) Json.to_number in
+  match (Option.bind (Json.member "status" j) Json.to_string, num "elapsed_s") with
+  | Some label, Some elapsed_s -> (
+      let status =
+        match label with
+        | "ok" -> Option.map (fun v -> Value v) (Json.member "value" j)
+        | "timeout" -> Some (Timeout elapsed_s)
+        | "memout" -> Some (Memout elapsed_s)
+        | "crash" -> Some (Crash elapsed_s)
+        | _ -> None
+      in
+      match status with
+      | None -> None
+      | Some status ->
+          let log =
+            match Option.bind (Json.member "log" j) Json.to_list with
+            | None -> []
+            | Some l -> List.filter_map Json.to_string l
+          in
+          Some
+            {
+              task_id;
+              status;
+              attempts = (match num "attempts" with Some a -> int_of_float a | None -> 1);
+              worker_pid = (match num "pid" with Some p -> int_of_float p | None -> 0);
+              elapsed_s;
+              crash_log = log;
+              from_journal = true;
+            })
+  | _ -> None
+
+(* ----------------------------------------------------------------- child *)
+
+let run_child config worker payload fd ~task_id ~attempt =
+  (* own session => own process group, so the supervisor's wall-clock
+     SIGKILL takes out any grandchildren too *)
+  (try ignore (Unix.setsid ()) with Unix.Unix_error (_, _, _) -> ());
+  Limits.apply_in_child config.limits;
+  if Hqs_util.Chaos.fire config.chaos (Hqs_util.Chaos.worker_kill_point ~task:task_id ~attempt)
+  then Unix.kill (Unix.getpid ()) Sys.sigkill;
+  let before = Obs.Metrics.snapshot () in
+  let frame =
+    match worker payload with
+    | v ->
+        let delta = Obs.Metrics.delta ~before ~after:(Obs.Metrics.snapshot ()) in
+        Json.Obj [ ("status", Json.Str "ok"); ("value", v); ("metrics", samples_to_json delta) ]
+    | exception Stdlib.Out_of_memory ->
+        (* the rlimit (or heap governor) said no: a clean memout *)
+        Json.Obj [ ("status", Json.Str "memout") ]
+    | exception Stack_overflow ->
+        Json.Obj [ ("status", Json.Str "error"); ("detail", Json.Str "Stack_overflow") ]
+    (* lint: allow catch-all — the fork boundary must convert arbitrary
+       worker failures into a classified frame; nothing is swallowed, the
+       supervisor re-raises the failure as a crash classification *)
+    | exception e ->
+        Json.Obj [ ("status", Json.Str "error"); ("detail", Json.Str (Printexc.to_string e)) ]
+  in
+  (match Ipc.write_frame fd frame with
+  | () -> ()
+  | exception Unix.Unix_error (_, _, _) -> ());
+  (* _exit, not exit: at_exit handlers (inherited channel flushes) must
+     not run in the forked copy *)
+  Unix._exit 0
+
+(* ---------------------------------------------------------------- parent *)
+
+let signal_name s =
+  if s = Sys.sigkill then "SIGKILL"
+  else if s = Sys.sigsegv then "SIGSEGV"
+  else if s = Sys.sigxcpu then "SIGXCPU"
+  else if s = Sys.sigabrt then "SIGABRT"
+  else if s = Sys.sigbus then "SIGBUS"
+  else if s = Sys.sigterm then "SIGTERM"
+  else if s = Sys.sigint then "SIGINT"
+  else Printf.sprintf "signal(%d)" s
+
+let kill_group pid =
+  match Unix.kill (-pid) Sys.sigkill with
+  | () -> ()
+  | exception Unix.Unix_error (_, _, _) -> (
+      match Unix.kill pid Sys.sigkill with
+      | () -> ()
+      | exception Unix.Unix_error (_, _, _) -> ())
+
+type task_state = {
+  index : int;
+  id : string;
+  mutable spawned : int;  (* attempts consumed so far *)
+  mutable log : string list;  (* failed-attempt descriptions, newest first *)
+  mutable ready_at : float;  (* backoff gate for the next spawn *)
+}
+
+type worker_proc = {
+  pid : int;
+  fd : Unix.file_descr;
+  buf : Buffer.t;
+  state : task_state;
+  started : float;
+  deadline : float;
+  mutable wall_killed : bool;
+}
+
+let run ?(config = default_config) ?journal ?resume ?on_complete ~worker tasks =
+  if config.jobs < 1 then invalid_arg "Supervisor.run: jobs must be >= 1";
+  if config.max_attempts < 1 then invalid_arg "Supervisor.run: max_attempts must be >= 1";
+  let ids = Hashtbl.create 16 in
+  List.iter
+    (fun (id, _) ->
+      if Hashtbl.mem ids id then invalid_arg ("Supervisor.run: duplicate task id " ^ id);
+      Hashtbl.replace ids id ())
+    tasks;
+  (* resume: every checksum-valid journal line for a known task id is a
+     finished task this run must not repeat *)
+  let journal_dropped = ref 0 in
+  let resumed : (string, completion) Hashtbl.t = Hashtbl.create 16 in
+  (match resume with
+  | None -> ()
+  | Some path ->
+      let { Journal.entries; dropped } = Journal.load path in
+      journal_dropped := dropped;
+      List.iter
+        (fun { Journal.task_id; data } ->
+          if Hashtbl.mem ids task_id then
+            match completion_of_json ~task_id data with
+            | Some c -> Hashtbl.replace resumed task_id c
+            | None -> incr journal_dropped)
+        entries);
+  let jnl = Option.map Journal.open_append journal in
+  let task_arr = Array.of_list tasks in
+  let n = Array.length task_arr in
+  let completions : completion option array = Array.make n None in
+  let pending = Queue.create () in
+  (* tasks whose backoff gate is in the future, kept out of the hot queue *)
+  let delayed : task_state list ref = ref [] in
+  let running : worker_proc list ref = ref [] in
+  let executed = ref 0 in
+  Array.iteri
+    (fun index (id, _) ->
+      match Hashtbl.find_opt resumed id with
+      | Some c ->
+          completions.(index) <- Some c;
+          Option.iter (fun f -> f c) on_complete
+      | None -> Queue.add { index; id; spawned = 0; log = []; ready_at = 0.0 } pending)
+    task_arr;
+  let journaled = n - Queue.length pending in
+  let finalize state status pid elapsed =
+    let c =
+      {
+        task_id = state.id;
+        status;
+        attempts = state.spawned;
+        worker_pid = pid;
+        elapsed_s = elapsed;
+        crash_log = List.rev state.log;
+        from_journal = false;
+      }
+    in
+    completions.(state.index) <- Some c;
+    Option.iter (fun j -> Journal.append j { Journal.task_id = c.task_id; data = completion_to_json c }) jnl;
+    Option.iter (fun f -> f c) on_complete
+  in
+  let spawn state =
+    state.spawned <- state.spawned + 1;
+    incr executed;
+    (* the child inherits stdio buffers; empty them so it cannot re-flush
+       parent output (it uses _exit, but a worker that prints would
+       interleave) *)
+    flush stdout;
+    flush stderr;
+    let r, w = Unix.pipe () in
+    match Unix.fork () with
+    | 0 ->
+        Unix.close r;
+        let _, payload = task_arr.(state.index) in
+        run_child config worker payload w ~task_id:state.id ~attempt:state.spawned
+    | pid ->
+        Unix.close w;
+        let now = Mono.now () in
+        let deadline =
+          match config.limits.Limits.wall_s with Some s -> now +. s | None -> infinity
+        in
+        running :=
+          { pid; fd = r; buf = Buffer.create 1024; state; started = now; deadline; wall_killed = false }
+          :: !running
+  in
+  let crash_attempt proc detail elapsed =
+    let state = proc.state in
+    state.log <- Printf.sprintf "attempt %d: %s" state.spawned detail :: state.log;
+    if state.spawned >= config.max_attempts then finalize state (Crash elapsed) proc.pid elapsed
+    else begin
+      state.ready_at <-
+        Mono.now () +. Backoff.delay config.backoff ~task:state.id ~attempt:state.spawned;
+      delayed := state :: !delayed
+    end
+  in
+  let classify proc wstatus elapsed =
+    if proc.wall_killed then finalize proc.state (Timeout elapsed) proc.pid elapsed
+    else
+      match wstatus with
+      | Unix.WEXITED 0 -> (
+          match Ipc.parse_frame (Buffer.contents proc.buf) with
+          | Error msg -> crash_attempt proc ("protocol: " ^ msg) elapsed
+          | Ok frame -> (
+              match Option.bind (Json.member "status" frame) Json.to_string with
+              | Some "ok" -> (
+                  (match Json.member "metrics" frame with
+                  | Some m -> Obs.Metrics.absorb (samples_of_json m)
+                  | None -> ());
+                  match Json.member "value" frame with
+                  | Some v -> finalize proc.state (Value v) proc.pid elapsed
+                  | None -> crash_attempt proc "protocol: ok frame without value" elapsed)
+              | Some "memout" -> finalize proc.state (Memout elapsed) proc.pid elapsed
+              | Some "error" ->
+                  let detail =
+                    match Option.bind (Json.member "detail" frame) Json.to_string with
+                    | Some d -> d
+                    | None -> "unknown"
+                  in
+                  crash_attempt proc ("worker exception: " ^ detail) elapsed
+              | Some other -> crash_attempt proc ("protocol: unknown status " ^ other) elapsed
+              | None -> crash_attempt proc "protocol: frame without status" elapsed))
+      | Unix.WEXITED code -> crash_attempt proc (Printf.sprintf "exit %d" code) elapsed
+      | Unix.WSIGNALED s when s = Sys.sigxcpu ->
+          (* the soft RLIMIT_CPU fired: a kernel-enforced timeout *)
+          finalize proc.state (Timeout elapsed) proc.pid elapsed
+      | Unix.WSIGNALED s -> crash_attempt proc (signal_name s) elapsed
+      | Unix.WSTOPPED s -> crash_attempt proc ("stopped by " ^ signal_name s) elapsed
+  in
+  let reap proc =
+    running := List.filter (fun p -> p.pid <> proc.pid) !running;
+    Unix.close proc.fd;
+    let rec wait () =
+      match Unix.waitpid [] proc.pid with
+      | _, wstatus -> wstatus
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
+    in
+    let wstatus = wait () in
+    classify proc wstatus (Mono.now () -. proc.started)
+  in
+  let chunk = Bytes.create 65536 in
+  let read_ready fds =
+    List.iter
+      (fun fd ->
+        match List.find_opt (fun p -> p.fd = fd) !running with
+        | None -> ()
+        | Some proc -> (
+            match Unix.read fd chunk 0 (Bytes.length chunk) with
+            | 0 -> reap proc
+            | len -> Buffer.add_subbytes proc.buf chunk 0 len
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()))
+      fds
+  in
+  while (not (Queue.is_empty pending)) || !delayed <> [] || !running <> [] do
+    let now = Mono.now () in
+    (* promote delayed tasks whose backoff gate has passed *)
+    let ready, still = List.partition (fun s -> s.ready_at <= now) !delayed in
+    delayed := still;
+    List.iter (fun s -> Queue.add s pending) ready;
+    while List.length !running < config.jobs && not (Queue.is_empty pending) do
+      spawn (Queue.pop pending)
+    done;
+    if !running = [] then begin
+      (* only delayed tasks remain: sleep up to the earliest gate *)
+      match !delayed with
+      | [] -> ()
+      | ds ->
+          let earliest = List.fold_left (fun acc s -> Float.min acc s.ready_at) infinity ds in
+          let pause = earliest -. Mono.now () in
+          if pause > 0.0 then Unix.sleepf (Float.min pause 0.5)
+    end
+    else begin
+      let next_deadline =
+        List.fold_left (fun acc p -> Float.min acc p.deadline) infinity !running
+      in
+      let next_gate = List.fold_left (fun acc s -> Float.min acc s.ready_at) infinity !delayed in
+      let timeout =
+        let t = Float.min next_deadline next_gate -. now in
+        if t = infinity then 0.5 else Float.max 0.0 (Float.min t 0.5)
+      in
+      (match Unix.select (List.map (fun p -> p.fd) !running) [] [] timeout with
+      | readable, _, _ -> read_ready readable
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      let now = Mono.now () in
+      List.iter
+        (fun p ->
+          if (not p.wall_killed) && now > p.deadline then begin
+            p.wall_killed <- true;
+            kill_group p.pid
+          end)
+        !running
+    end
+  done;
+  Option.iter Journal.close jnl;
+  let completions =
+    Array.to_list completions
+    |> List.map (function
+         | Some c -> c
+         | None ->
+             (* unreachable: the loop only exits once every task finalized *)
+             invalid_arg "Supervisor.run: task finished without a completion")
+  in
+  { completions; executed = !executed; journaled; journal_dropped = !journal_dropped }

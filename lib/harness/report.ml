@@ -6,6 +6,7 @@ type summary = {
   unsat : int;
   to_ : int;
   mo : int;
+  crash : int;
   common_time : float;
 }
 
@@ -23,8 +24,9 @@ let summarize pick other results =
             common_time = (acc.common_time +. if is_solved theirs then t else 0.0);
           }
       | Timeout _ -> { acc with to_ = acc.to_ + 1 }
-      | Memout _ -> { acc with mo = acc.mo + 1 })
-    { solved = 0; sat = 0; unsat = 0; to_ = 0; mo = 0; common_time = 0.0 }
+      | Memout _ -> { acc with mo = acc.mo + 1 }
+      | Crash _ -> { acc with crash = acc.crash + 1 })
+    { solved = 0; sat = 0; unsat = 0; to_ = 0; mo = 0; crash = 0; common_time = 0.0 }
     results
 
 let families results =
@@ -32,6 +34,9 @@ let families results =
 
 let degraded_count rs = List.length (List.filter (fun r -> r.hqs_degraded <> []) rs)
 let disagreements rs = List.filter (fun r -> r.soundness <> Consistent) rs
+
+let is_crash = function Crash _ -> true | Solved _ | Timeout _ | Memout _ -> false
+let crashed rs = List.filter (fun r -> is_crash r.hqs || is_crash r.idq) rs
 
 let table1 results =
   let buf = Buffer.create 1024 in
@@ -45,11 +50,11 @@ let table1 results =
     line "%-10s %5d | %6d %11s %8d %9s %10.2f %5d | %6d %11s %8d %9s %10.2f" name (List.length rs)
       h.solved
       (Printf.sprintf "(%d/%d)" h.sat h.unsat)
-      (h.to_ + h.mo)
+      (h.to_ + h.mo + h.crash)
       (Printf.sprintf "(%d/%d)" h.to_ h.mo)
       h.common_time (degraded_count rs) i.solved
       (Printf.sprintf "(%d/%d)" i.sat i.unsat)
-      (i.to_ + i.mo)
+      (i.to_ + i.mo + i.crash)
       (Printf.sprintf "(%d/%d)" i.to_ i.mo)
       i.common_time
   in
@@ -60,6 +65,11 @@ let table1 results =
   | [] -> ()
   | bad ->
       line "SOUNDNESS ALARM: %d verdict disagreement(s): %s" (List.length bad)
+        (String.concat ", " (List.map (fun r -> r.id) bad)));
+  (match crashed results with
+  | [] -> ()
+  | bad ->
+      line "CRASH: %d instance(s) quarantined after exhausting retries: %s" (List.length bad)
         (String.concat ", " (List.map (fun r -> r.id) bad)));
   Buffer.contents buf
 
@@ -72,6 +82,7 @@ let fig4 ?(timeout = 5.0) results =
     | Solved (_, t) -> Printf.sprintf "%10.3f" t
     | Timeout _ -> "        TO"
     | Memout _ -> "        MO"
+    | Crash _ -> "        CR"
   in
   List.iter (fun r -> line "%-28s %-10s %s %s" r.id r.family (show r.idq) (show r.hqs)) results;
   (* ASCII log-log scatter *)
@@ -87,7 +98,7 @@ let fig4 ?(timeout = 5.0) results =
   in
   let value_of = function
     | Solved (_, t) -> max t lo
-    | Timeout _ | Memout _ -> hi (* rail *)
+    | Timeout _ | Memout _ | Crash _ -> hi (* rail *)
   in
   let grid = Array.make_matrix h w ' ' in
   (* diagonal *)
@@ -174,12 +185,22 @@ let csv results =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "id,family,hqs_outcome,hqs_time,idq_outcome,idq_time,hqs_degraded,check";
   List.iter (fun (name, _) -> Buffer.add_string buf ("," ^ name)) csv_metric_columns;
+  (* executor columns, appended after the metric block so every
+     pre-existing column keeps its position byte-for-byte *)
+  Buffer.add_string buf ",outcome,attempts,worker_pid";
   Buffer.add_char buf '\n';
   let cells = function
     | Solved (true, t) -> ("SAT", t)
     | Solved (false, t) -> ("UNSAT", t)
     | Timeout t -> ("TO", t)
     | Memout t -> ("MO", t)
+    | Crash t -> ("CRASH", t)
+  in
+  let classify = function
+    | Solved _ -> "solved"
+    | Timeout _ -> "timeout"
+    | Memout _ -> "memout"
+    | Crash _ -> "crash"
   in
   List.iter
     (fun r ->
@@ -193,6 +214,9 @@ let csv results =
           Buffer.add_char buf ',';
           match r.hqs_stats with Some s -> Buffer.add_string buf (cell s) | None -> ())
         csv_metric_columns;
+      Buffer.add_string buf
+        (Printf.sprintf ",%s,%d,%s" (classify r.hqs) r.attempts
+           (match r.worker_pid with Some p -> string_of_int p | None -> ""));
       Buffer.add_char buf '\n')
     results;
   Buffer.contents buf

@@ -13,6 +13,9 @@ val csv : Runner.result list -> string
 (** One line per instance: id, family, solver outcomes and times, the
     degradation/soundness columns, then a fixed set of per-solve metric
     columns ([hqs_restarts], [hqs_peak_nodes], elimination counts, stage
-    times, SAT conflict/propagation counts, FRAIG merges, audits run).
-    The header is stable; metric cells are empty for runs that timed or
-    memed out before a verdict. *)
+    times, SAT conflict/propagation counts, FRAIG merges, audits run),
+    then the executor columns [outcome] (solved/timeout/memout/crash,
+    classifying the HQS run), [attempts] and [worker_pid] (empty for
+    in-process runs). The pre-existing columns keep their positions
+    byte-for-byte; metric cells are empty for runs that timed or memed
+    out before a verdict. *)

@@ -1,6 +1,6 @@
 open Hqs_util
 
-type outcome = Solved of bool * float | Timeout of float | Memout of float
+type outcome = Solved of bool * float | Timeout of float | Memout of float | Crash of float
 type soundness = Consistent | Disagreement of { hqs_sat : bool; idq_sat : bool }
 
 type result = {
@@ -12,10 +12,12 @@ type result = {
   hqs_degraded : string list;
   hqs_stats : Hqs.stats option;
   soundness : soundness;
+  attempts : int;
+  worker_pid : int option;
 }
 
-let is_solved = function Solved _ -> true | Timeout _ | Memout _ -> false
-let time_of = function Solved (_, t) | Timeout t | Memout t -> t
+let is_solved = function Solved _ -> true | Timeout _ | Memout _ | Crash _ -> false
+let time_of = function Solved (_, t) | Timeout t | Memout t | Crash t -> t
 
 let timed ~timeout f =
   let t0 = Budget.now () in
@@ -24,6 +26,10 @@ let timed ~timeout f =
   | verdict -> Solved (verdict, Budget.now () -. t0)
   | exception Budget.Timeout -> Timeout (Budget.now () -. t0)
   | exception Budget.Out_of_memory_budget -> Memout (Budget.now () -. t0)
+  (* real resource exhaustion inside the solver is recorded, not fatal:
+     one pathological instance must not take down a whole sweep *)
+  | exception Stdlib.Out_of_memory -> Memout (Budget.now () -. t0)
+  | exception Stack_overflow -> Crash (Budget.now () -. t0)
 
 let run_hqs ?(config = Hqs.default_config) ~timeout ~node_limit pcnf =
   let config = { config with Hqs.node_limit = Some node_limit } in
@@ -59,4 +65,6 @@ let run_instance ?hqs_config ~timeout ~node_limit (inst : Circuit.Families.insta
     hqs_degraded;
     hqs_stats;
     soundness;
+    attempts = 1;
+    worker_pid = None;
   }

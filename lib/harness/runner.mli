@@ -6,6 +6,11 @@ type outcome =
   | Solved of bool * float  (** verdict, seconds *)
   | Timeout of float  (** seconds burned before the deadline fired *)
   | Memout of float
+  | Crash of float
+      (** the solve died without a classified result: a [Stack_overflow]
+          in-process, or — under the supervised executor ({!Sweep}) — a
+          worker that exhausted its retry budget (segfault, chaos kill,
+          torn result frame) *)
 
 type soundness =
   | Consistent
@@ -28,6 +33,12 @@ type result = {
           before producing a verdict — the source of the metric columns in
           {!Report.csv} *)
   soundness : soundness;
+  attempts : int;
+      (** worker processes spawned for the HQS solve under the supervised
+          executor; always 1 for in-process runs *)
+  worker_pid : int option;
+      (** pid of the (final) HQS worker when process-isolated, [None] for
+          in-process runs *)
 }
 
 val is_solved : outcome -> bool

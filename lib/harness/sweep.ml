@@ -1,0 +1,253 @@
+module Json = Obs.Json
+module Sup = Exec.Supervisor
+
+(* ------------------------------------------------------------------ ids *)
+
+type item = { id : string; family : string; pcnf : Dqbf.Pcnf.t }
+
+let item_of_instance (inst : Circuit.Families.instance) =
+  {
+    id = inst.Circuit.Families.id;
+    family = inst.Circuit.Families.family;
+    pcnf = inst.Circuit.Families.pcnf;
+  }
+
+type solver = Hqs_run | Idq_run
+
+let solver_suffix = function Hqs_run -> "hqs" | Idq_run -> "idq"
+let task_id item solver = item.id ^ "/" ^ solver_suffix solver
+
+(* ---------------------------------------------------------------- config *)
+
+type config = {
+  timeout : float;
+  node_limit : int;
+  hqs_config : Hqs.config option;
+  exec : Sup.config;
+}
+
+let default_config ~timeout ~node_limit =
+  { timeout; node_limit; hqs_config = None; exec = Sup.default_config }
+
+type progress = {
+  task : string;
+  outcome : Runner.outcome;
+  attempts : int;
+  from_journal : bool;
+}
+
+type sweep_report = {
+  results : Runner.result list;
+  executed : int;
+  journaled : int;
+  journal_dropped : int;
+}
+
+(* --------------------------------------------------- outcome (de)coding *)
+
+let outcome_to_json = function
+  | Runner.Solved (v, t) ->
+      Json.Obj [ ("o", Json.Str (if v then "SAT" else "UNSAT")); ("t", Json.Num t) ]
+  | Runner.Timeout t -> Json.Obj [ ("o", Json.Str "TO"); ("t", Json.Num t) ]
+  | Runner.Memout t -> Json.Obj [ ("o", Json.Str "MO"); ("t", Json.Num t) ]
+  | Runner.Crash t -> Json.Obj [ ("o", Json.Str "CRASH"); ("t", Json.Num t) ]
+
+let outcome_of_json j =
+  match
+    ( Option.bind (Json.member "o" j) Json.to_string,
+      Option.bind (Json.member "t" j) Json.to_number )
+  with
+  | Some "SAT", Some t -> Some (Runner.Solved (true, t))
+  | Some "UNSAT", Some t -> Some (Runner.Solved (false, t))
+  | Some "TO", Some t -> Some (Runner.Timeout t)
+  | Some "MO", Some t -> Some (Runner.Memout t)
+  | Some "CRASH", Some t -> Some (Runner.Crash t)
+  | _ -> None
+
+(* ----------------------------------------------------- stats (de)coding *)
+
+let stats_to_json (s : Hqs.stats) =
+  let i k v = (k, Json.Num (float_of_int v)) in
+  let f k v = (k, Json.Num v) in
+  Json.Obj
+    [
+      i "univ_elims" s.Hqs.univ_elims;
+      i "exist_elims" s.Hqs.exist_elims;
+      i "unitpure_elims" s.Hqs.unitpure_elims;
+      i "maxsat_runs" s.Hqs.maxsat_runs;
+      i "maxsat_set_size" s.Hqs.maxsat_set_size;
+      f "maxsat_time" s.Hqs.maxsat_time;
+      f "unitpure_time" s.Hqs.unitpure_time;
+      f "qbf_time" s.Hqs.qbf_time;
+      i "peak_nodes" s.Hqs.peak_nodes;
+      f "total_time" s.Hqs.total_time;
+      i "restarts" s.Hqs.restarts;
+      ("degraded", Json.Arr (List.map (fun d -> Json.Str d) s.Hqs.degraded));
+      ("check_level", Json.Str s.Hqs.check_level);
+      i "checks_run" s.Hqs.checks_run;
+      i "sat_conflicts" s.Hqs.sat_conflicts;
+      i "sat_propagations" s.Hqs.sat_propagations;
+      i "fraig_merges" s.Hqs.fraig_merges;
+      ("metrics", Json.Obj (List.map (fun (k, v) -> (k, Json.Num v)) s.Hqs.metrics));
+    ]
+
+(* [pre_stats] does not cross the process boundary: it is a nested record
+   only the preprocessing tests look at, and the harness CSV never reads
+   it — decoded stats carry [pre_stats = None] *)
+let stats_of_json j =
+  let num key = Option.bind (Json.member key j) Json.to_number in
+  let int key = Option.map int_of_float (num key) in
+  let get0 o = Option.value o ~default:0 in
+  let get0f o = Option.value o ~default:0.0 in
+  match (int "univ_elims", num "total_time") with
+  | None, _ | _, None -> None
+  | Some univ_elims, Some total_time ->
+      Some
+        {
+          Hqs.pre_stats = None;
+          univ_elims;
+          exist_elims = get0 (int "exist_elims");
+          unitpure_elims = get0 (int "unitpure_elims");
+          maxsat_runs = get0 (int "maxsat_runs");
+          maxsat_set_size = get0 (int "maxsat_set_size");
+          maxsat_time = get0f (num "maxsat_time");
+          unitpure_time = get0f (num "unitpure_time");
+          qbf_time = get0f (num "qbf_time");
+          peak_nodes = get0 (int "peak_nodes");
+          total_time;
+          restarts = get0 (int "restarts");
+          degraded =
+            (match Option.bind (Json.member "degraded" j) Json.to_list with
+            | None -> []
+            | Some l -> List.filter_map Json.to_string l);
+          check_level =
+            Option.value ~default:"off"
+              (Option.bind (Json.member "check_level" j) Json.to_string);
+          checks_run = get0 (int "checks_run");
+          sat_conflicts = get0 (int "sat_conflicts");
+          sat_propagations = get0 (int "sat_propagations");
+          fraig_merges = get0 (int "fraig_merges");
+          metrics =
+            (match Json.member "metrics" j with
+            | Some (Json.Obj kvs) ->
+                List.filter_map (fun (k, v) -> Option.map (fun n -> (k, n)) (Json.to_number v)) kvs
+            | _ -> []);
+        }
+
+(* ---------------------------------------------------------------- worker *)
+
+(* runs in the forked child: solve, then flatten the result to the IPC
+   frame payload. The in-process timeout/node budget still governs the
+   solve (a TO/MO is a *clean* frame); the kernel limits of the executor
+   are the backstop for runs that wedge. *)
+let worker config (item, solver) =
+  match solver with
+  | Hqs_run ->
+      let outcome, stats =
+        Runner.run_hqs ?config:config.hqs_config ~timeout:config.timeout
+          ~node_limit:config.node_limit item.pcnf
+      in
+      Json.Obj
+        [
+          ("outcome", outcome_to_json outcome);
+          ("stats", match stats with Some s -> stats_to_json s | None -> Json.Null);
+        ]
+  | Idq_run ->
+      let outcome =
+        Runner.run_idq ~timeout:config.timeout ~node_limit:config.node_limit item.pcnf
+      in
+      Json.Obj [ ("outcome", outcome_to_json outcome) ]
+
+(* -------------------------------------------------------------- assembly *)
+
+(* a supervisor completion, whatever its shape, maps to exactly one
+   Runner.outcome: a clean frame carries the worker's own classification;
+   supervisor-level deaths carry their wall time *)
+let outcome_of_completion (c : Sup.completion) =
+  match c.Sup.status with
+  | Sup.Timeout t -> Runner.Timeout t
+  | Sup.Memout t -> Runner.Memout t
+  | Sup.Crash t -> Runner.Crash t
+  | Sup.Value v -> (
+      match Option.bind (Json.member "outcome" v) outcome_of_json with
+      | Some o -> o
+      | None ->
+          (* a well-formed frame with a malformed payload: treat like a
+             protocol failure rather than inventing a verdict *)
+          Runner.Crash c.Sup.elapsed_s)
+
+let stats_of_completion (c : Sup.completion) =
+  match c.Sup.status with
+  | Sup.Value v -> (
+      match Json.member "stats" v with
+      | Some (Json.Obj _ as s) -> stats_of_json s
+      | Some _ | None -> None)
+  | Sup.Timeout _ | Sup.Memout _ | Sup.Crash _ -> None
+
+let assemble completions item =
+  let find solver =
+    let id = task_id item solver in
+    match Hashtbl.find_opt completions id with
+    | Some c -> c
+    | None -> invalid_arg ("Sweep.run: missing completion for " ^ id)
+  in
+  let hc = find Hqs_run in
+  let ic = find Idq_run in
+  let hqs = outcome_of_completion hc in
+  let idq = outcome_of_completion ic in
+  let hqs_stats = stats_of_completion hc in
+  let hqs_degraded = match hqs_stats with Some s -> s.Hqs.degraded | None -> [] in
+  let soundness =
+    match (hqs, idq) with
+    | Runner.Solved (a, _), Runner.Solved (b, _) when a <> b ->
+        Runner.Disagreement { hqs_sat = a; idq_sat = b }
+    | _ -> Runner.Consistent
+  in
+  {
+    Runner.id = item.id;
+    family = item.family;
+    sat_expected = None;
+    hqs;
+    idq;
+    hqs_degraded;
+    hqs_stats;
+    soundness;
+    attempts = hc.Sup.attempts;
+    worker_pid = (if hc.Sup.worker_pid = 0 then None else Some hc.Sup.worker_pid);
+  }
+
+(* ------------------------------------------------------------------- run *)
+
+let run ?(config = default_config ~timeout:5.0 ~node_limit:200_000) ?journal ?resume
+    ?on_progress items =
+  let tasks =
+    List.concat_map
+      (fun item -> [ (task_id item Hqs_run, (item, Hqs_run)); (task_id item Idq_run, (item, Idq_run)) ])
+      items
+  in
+  let on_complete =
+    Option.map
+      (fun f (c : Sup.completion) ->
+        f
+          {
+            task = c.Sup.task_id;
+            outcome = outcome_of_completion c;
+            attempts = c.Sup.attempts;
+            from_journal = c.Sup.from_journal;
+          })
+      on_progress
+  in
+  let report =
+    Sup.run ~config:config.exec ?journal ?resume ?on_complete ~worker:(worker config) tasks
+  in
+  let by_id = Hashtbl.create 64 in
+  List.iter (fun (c : Sup.completion) -> Hashtbl.replace by_id c.Sup.task_id c) report.Sup.completions;
+  {
+    results = List.map (assemble by_id) items;
+    executed = report.Sup.executed;
+    journaled = report.Sup.journaled;
+    journal_dropped = report.Sup.journal_dropped;
+  }
+
+let run_instances ?config ?journal ?resume ?on_progress instances =
+  run ?config ?journal ?resume ?on_progress (List.map item_of_instance instances)

@@ -6,7 +6,9 @@
    are always-on plain field updates (an [int]/[float] store each), cheap
    enough for hot paths like the AIG structural-hash lookup. *)
 
-let now_s () = Unix.gettimeofday ()
+(* span timestamps share the Budget clock: monotonic, so traces from a
+   run that straddles an NTP step still have ordered timestamps *)
+let now_s () = Hqs_util.Mono.now ()
 
 (* ------------------------------------------------------------ attributes *)
 
@@ -174,6 +176,69 @@ module Metrics = struct
             h.mn <- 0.0;
             h.mx <- 0.0)
       registry
+
+  let kind_name = function Counter -> "counter" | Gauge -> "gauge" | Histogram -> "histogram"
+
+  let kind_of_name = function
+    | "counter" -> Some Counter
+    | "gauge" -> Some Gauge
+    | "histogram" -> Some Histogram
+    | _ -> None
+
+  (* child -> parent merge over a process boundary: a forked sweep worker
+     sends its per-task snapshot delta; the supervisor folds it into its
+     own registry so sweep-level metric output aggregates every worker *)
+  let absorb samples =
+    (* histogram instruments are flattened to 4 series per name in a
+       snapshot; regroup them so the merge updates one instrument *)
+    let hists : (string, histogram) Hashtbl.t = Hashtbl.create 8 in
+    let part name suffix =
+      if String.ends_with ~suffix name then
+        Some (String.sub name 0 (String.length name - String.length suffix))
+      else None
+    in
+    let hist_part base =
+      match Hashtbl.find_opt hists base with
+      | Some h -> h
+      | None ->
+          let h = { n = 0; sum = 0.0; mn = nan; mx = nan } in
+          Hashtbl.replace hists base h;
+          h
+    in
+    List.iter
+      (fun s ->
+        match s.kind with
+        | Counter -> incr ~by:(int_of_float s.v) (counter s.name)
+        | Gauge -> set_max (gauge s.name) s.v
+        | Histogram -> (
+            match
+              ( part s.name ".count",
+                part s.name ".sum",
+                part s.name ".min",
+                part s.name ".max" )
+            with
+            | Some base, _, _, _ -> (hist_part base).n <- int_of_float s.v
+            | _, Some base, _, _ -> (hist_part base).sum <- s.v
+            | _, _, Some base, _ -> (hist_part base).mn <- s.v
+            | _, _, _, Some base -> (hist_part base).mx <- s.v
+            | None, None, None, None -> ()))
+      samples;
+    Hashtbl.iter
+      (fun base part ->
+        if part.n > 0 then begin
+          let h = histogram base in
+          if h.n = 0 then begin
+            h.mn <- part.mn;
+            h.mx <- part.mx
+          end
+          else begin
+            if part.mn < h.mn then h.mn <- part.mn;
+            if part.mx > h.mx then h.mx <- part.mx
+          end;
+          h.n <- h.n + part.n;
+          h.sum <- h.sum +. part.sum
+        end)
+      hists
 end
 
 (* ---------------------------------------------------------------- tracing *)
@@ -558,6 +623,42 @@ module Json = struct
     with
     | v -> Ok v
     | exception Bad msg -> Error msg
+
+  (* the writer is the dual of [parse] and canonical (a fixed rendering
+     per value), so journal checksums computed over [to_string] survive a
+     parse/serialize round trip *)
+  let render v =
+    let buf = Buffer.create 256 in
+    let rec write = function
+      | Null -> Buffer.add_string buf "null"
+      | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+      | Num f -> Buffer.add_string buf (json_of_float f)
+      | Str s ->
+          Buffer.add_char buf '"';
+          Buffer.add_string buf (json_escape s);
+          Buffer.add_char buf '"'
+      | Arr l ->
+          Buffer.add_char buf '[';
+          List.iteri
+            (fun i x ->
+              if i > 0 then Buffer.add_char buf ',';
+              write x)
+            l;
+          Buffer.add_char buf ']'
+      | Obj fields ->
+          Buffer.add_char buf '{';
+          List.iteri
+            (fun i (k, x) ->
+              if i > 0 then Buffer.add_char buf ',';
+              Buffer.add_char buf '"';
+              Buffer.add_string buf (json_escape k);
+              Buffer.add_string buf "\":";
+              write x)
+            fields;
+          Buffer.add_char buf '}'
+    in
+    write v;
+    Buffer.contents buf
 
   let member key = function
     | Obj fields -> List.find_map (fun (k, v) -> if String.equal k key then Some v else None) fields

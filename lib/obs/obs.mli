@@ -64,6 +64,16 @@ module Metrics : sig
 
   val reset_all : unit -> unit
   (** Zero every instrument in place; handles stay valid. *)
+
+  val kind_name : kind -> string
+  val kind_of_name : string -> kind option
+
+  val absorb : sample list -> unit
+  (** Merge a snapshot taken in {e another process} (a forked sweep
+      worker) into this registry: counters are added, gauges keep the
+      maximum, and the four flattened histogram series of each histogram
+      are regrouped and merged into the instrument (counts/sums added,
+      min/max widened). Unknown names are registered on the fly. *)
 end
 
 (** The raw trace: a chronological stream of begin/end/instant events. *)
@@ -155,6 +165,13 @@ module Json : sig
   val parse : string -> (t, string) result
   (** Whole-input parse; [Error] carries a message with an offset.
       Unicode escapes are validated but decoded to a placeholder. *)
+
+  val render : t -> string
+  (** Compact one-line serialization, the dual of {!parse}. The rendering
+      is canonical (a fixed spelling per value), so checksums computed
+      over it — the executor journal's per-line integrity check — survive
+      a parse/serialize round trip. Non-finite numbers are quoted
+      (["nan"], ["inf"]), matching the trace writer. *)
 
   val member : string -> t -> t option
   val to_list : t -> t list option

@@ -8,7 +8,10 @@ type t = {
 }
 
 let unlimited = { deadline = infinity; hard_deadline = infinity; mem_limit_words = max_int }
-let now () = Unix.gettimeofday ()
+
+(* monotonic, so deadlines and elapsed times are immune to NTP steps;
+   see [Mono] *)
+let now () = Mono.now ()
 
 let of_seconds s =
   let d = now () +. s in

@@ -57,3 +57,6 @@ val heap_words : unit -> int
     (cheap: no heap walk) plus the mapped minor arena. *)
 
 val now : unit -> float
+(** The {!Mono} monotonic clock: seconds from an arbitrary origin,
+    non-decreasing even under NTP wall-clock adjustment. All deadlines
+    and elapsed times in this module are measured on it. *)

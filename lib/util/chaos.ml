@@ -57,3 +57,8 @@ let fired = function
 
 let parse_points s =
   String.split_on_char ',' s |> List.map String.trim |> List.filter (fun p -> p <> "")
+
+(* one injection point per (task, attempt): each forked worker inherits a
+   fresh copy of the chaos state, so per-process fire counts cannot
+   distinguish attempts — the attempt number must be part of the name *)
+let worker_kill_point ~task ~attempt = Printf.sprintf "exec.worker.kill:%s#%d" task attempt

@@ -36,3 +36,12 @@ val fired : t -> (string * int) list
 
 val parse_points : string -> string list
 (** Split a comma-separated CLI argument into point names. *)
+
+val worker_kill_point : task:string -> attempt:int -> string
+(** Name of the sweep executor's worker-kill fault point for one spawn:
+    ["exec.worker.kill:<task>#<attempt>"]. A forked worker queries it
+    right after applying its resource limits and, if it fires, kills its
+    own process group with SIGKILL — the supervised analogue of a solver
+    segfault. The attempt number is part of the name because every worker
+    inherits a {e fresh copy} of the parent's chaos state across [fork],
+    so per-point fire limits cannot tell attempts apart. *)

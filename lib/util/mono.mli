@@ -1,0 +1,21 @@
+(** Monotonic time source for every elapsed-time measurement in the
+    pipeline ({!Budget} deadlines, harness run times, [Obs] span
+    timestamps).
+
+    [Unix.gettimeofday] can step backwards under NTP adjustment, which
+    would make child/parent elapsed-time accounting go negative; this
+    module reads [clock_gettime(CLOCK_MONOTONIC)] through a C stub
+    instead. CLOCK_MONOTONIC counts seconds since boot, system-wide, so
+    timestamps are comparable between the sweep supervisor and its forked
+    workers. On the (unexpected) platform where the syscall fails, a
+    monotonicized wall clock — one that refuses to go backwards — is used
+    as a degraded fallback. *)
+
+val now : unit -> float
+(** Seconds from an arbitrary fixed origin (boot time on Linux).
+    Non-decreasing within and across the processes of one machine. Use
+    only for differences, never as a calendar time. *)
+
+val available : bool
+(** Whether the OS monotonic clock answered at startup; [false] means
+    {!now} is running on the monotonicized-wall-clock fallback. *)

@@ -1,0 +1,320 @@
+(* Tests for lib/exec: process-isolated supervised execution, resource
+   limits, deterministic backoff, and the crash-safe resume journal. *)
+
+module Json = Obs.Json
+module Sup = Exec.Supervisor
+module Journal = Exec.Journal
+module Backoff = Exec.Backoff
+module Limits = Exec.Limits
+module Chaos = Hqs_util.Chaos
+
+let tmp_file name =
+  let path = Filename.concat (Filename.get_temp_dir_name ()) name in
+  if Sys.file_exists path then Sys.remove path;
+  path
+
+let status_label = function
+  | Sup.Value _ -> "ok"
+  | Sup.Timeout _ -> "timeout"
+  | Sup.Memout _ -> "memout"
+  | Sup.Crash _ -> "crash"
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.equal (String.sub hay i n) needle || go (i + 1)) in
+  go 0
+
+let find_completion report id =
+  match List.find_opt (fun c -> String.equal c.Sup.task_id id) report.Sup.completions with
+  | Some c -> c
+  | None -> Alcotest.failf "no completion for %s" id
+
+(* ------------------------------------------------------------ supervisor *)
+
+(* a worker that squares its payload in the child and sends it back *)
+let square n = Json.Num (float_of_int (n * n))
+
+let test_value_roundtrip () =
+  let tasks = List.init 5 (fun i -> (Printf.sprintf "t%d" i, i)) in
+  let config = { Sup.default_config with jobs = 2 } in
+  let report = Sup.run ~config ~worker:square tasks in
+  Alcotest.(check int) "all tasks completed" 5 (List.length report.completions);
+  Alcotest.(check int) "all executed" 5 report.executed;
+  Alcotest.(check int) "none journaled" 0 report.journaled;
+  List.iteri
+    (fun i c ->
+      Alcotest.(check string) "input order" (Printf.sprintf "t%d" i) c.Sup.task_id;
+      Alcotest.(check int) "one attempt" 1 c.Sup.attempts;
+      Alcotest.(check bool) "live" false c.Sup.from_journal;
+      match c.Sup.status with
+      | Sup.Value (Json.Num v) ->
+          Alcotest.(check (float 0.0)) "squared in child" (float_of_int (i * i)) v
+      | _ -> Alcotest.failf "task %d: expected Value, got %s" i (status_label c.Sup.status))
+    report.completions
+
+let fast_backoff = { Backoff.default with base_s = 0.01; max_s = 0.02 }
+
+let test_chaos_kill_quarantine () =
+  (* arm the kill point for every attempt of t1: it must be quarantined
+     as Crash after exactly max_attempts spawns *)
+  let max_attempts = 3 in
+  let points =
+    List.init max_attempts (fun i -> Chaos.worker_kill_point ~task:"t1" ~attempt:(i + 1))
+  in
+  let chaos = Chaos.create ~seed:7 ~points () in
+  let config = { Sup.default_config with jobs = 2; max_attempts; chaos; backoff = fast_backoff } in
+  let report = Sup.run ~config ~worker:square [ ("t0", 2); ("t1", 3); ("t2", 4) ] in
+  let c1 = find_completion report "t1" in
+  (match c1.status with
+  | Sup.Crash _ -> ()
+  | s -> Alcotest.failf "expected Crash, got %s" (status_label s));
+  Alcotest.(check int) "quarantined after max_attempts" max_attempts c1.attempts;
+  Alcotest.(check int) "one log line per failed attempt" max_attempts
+    (List.length c1.crash_log);
+  List.iter
+    (fun line ->
+      Alcotest.(check bool)
+        (Printf.sprintf "log mentions SIGKILL: %s" line)
+        true
+        (contains ~needle:"SIGKILL" line))
+    c1.crash_log;
+  (* the bystanders still finish cleanly *)
+  List.iter
+    (fun id ->
+      match (find_completion report id).status with
+      | Sup.Value _ -> ()
+      | s -> Alcotest.failf "%s: expected Value, got %s" id (status_label s))
+    [ "t0"; "t2" ]
+
+let test_retry_recovers () =
+  (* kill only attempt 1: the retry must succeed with attempts = 2 *)
+  let chaos = Chaos.create ~seed:7 ~points:[ Chaos.worker_kill_point ~task:"t0" ~attempt:1 ] () in
+  let config = { Sup.default_config with max_attempts = 3; chaos; backoff = fast_backoff } in
+  let report = Sup.run ~config ~worker:square [ ("t0", 6) ] in
+  let c = find_completion report "t0" in
+  (match c.status with
+  | Sup.Value (Json.Num v) -> Alcotest.(check (float 0.0)) "recovered value" 36.0 v
+  | s -> Alcotest.failf "expected Value, got %s" (status_label s));
+  Alcotest.(check int) "second attempt succeeded" 2 c.attempts;
+  Alcotest.(check int) "both spawns counted" 2 report.executed
+
+let test_rlimit_memout () =
+  (* under a 64 MiB address-space cap the child's big allocation raises
+     Out_of_memory, which must come back as a clean Memout frame *)
+  let worker () =
+    let chunks = ref [] in
+    for _ = 1 to 1024 do
+      chunks := Bytes.create (16 * 1024 * 1024) :: !chunks
+    done;
+    Json.Num (float_of_int (List.length !chunks))
+  in
+  let limits = { Limits.none with mem_bytes = Some (64 * 1024 * 1024) } in
+  let config = { Sup.default_config with limits; max_attempts = 1 } in
+  let report = Sup.run ~config ~worker [ ("big", ()) ] in
+  match (find_completion report "big").status with
+  | Sup.Memout _ -> ()
+  | s -> Alcotest.failf "expected Memout, got %s" (status_label s)
+
+let test_wall_timeout () =
+  let worker () =
+    Unix.sleepf 30.0;
+    Json.Null
+  in
+  let limits = { Limits.none with wall_s = Some 0.2 } in
+  let config = { Sup.default_config with limits; max_attempts = 1 } in
+  let t0 = Hqs_util.Mono.now () in
+  let report = Sup.run ~config ~worker [ ("sleeper", ()) ] in
+  let wall = Hqs_util.Mono.now () -. t0 in
+  Alcotest.(check bool) "killed promptly, not after 30 s" true (wall < 10.0);
+  match (find_completion report "sleeper").status with
+  | Sup.Timeout _ -> ()
+  | s -> Alcotest.failf "expected Timeout, got %s" (status_label s)
+
+let test_crash_exit_code () =
+  (* a worker that _exits nonzero without a frame is a crash attempt *)
+  let worker () =
+    Unix._exit 3 [@warning "-20"]
+  in
+  let config = { Sup.default_config with max_attempts = 2; backoff = fast_backoff } in
+  let report = Sup.run ~config ~worker [ ("dier", ()) ] in
+  let c = find_completion report "dier" in
+  (match c.status with
+  | Sup.Crash _ -> ()
+  | s -> Alcotest.failf "expected Crash, got %s" (status_label s));
+  Alcotest.(check int) "retried then quarantined" 2 c.attempts
+
+let test_duplicate_ids_rejected () =
+  Alcotest.check_raises "duplicate ids"
+    (Invalid_argument "Supervisor.run: duplicate task id a")
+    (fun () -> ignore (Sup.run ~worker:square [ ("a", 1); ("a", 2) ]))
+
+(* --------------------------------------------------------------- backoff *)
+
+let test_backoff_deterministic () =
+  let policy = { Backoff.default with seed = 42 } in
+  let d1 = Backoff.delay policy ~task:"inst/hqs" ~attempt:2 in
+  let d2 = Backoff.delay policy ~task:"inst/hqs" ~attempt:2 in
+  Alcotest.(check (float 0.0)) "same (seed, task, attempt) => same delay" d1 d2;
+  let other = Backoff.delay policy ~task:"other/hqs" ~attempt:2 in
+  Alcotest.(check bool) "different task => different jitter" true (d1 <> other)
+
+let test_backoff_exact_without_jitter () =
+  let policy = { Backoff.default with jitter = 0.0; base_s = 0.05; factor = 2.0; max_s = 2.0 } in
+  let d attempt = Backoff.delay policy ~task:"t" ~attempt in
+  Alcotest.(check (float 1e-12)) "attempt 1" 0.05 (d 1);
+  Alcotest.(check (float 1e-12)) "attempt 2" 0.1 (d 2);
+  Alcotest.(check (float 1e-12)) "attempt 3" 0.2 (d 3);
+  Alcotest.(check (float 1e-12)) "capped" 2.0 (d 20)
+
+let test_backoff_bounds () =
+  let policy = { Backoff.default with seed = 9 } in
+  for attempt = 1 to 12 do
+    let d = Backoff.delay policy ~task:"b" ~attempt in
+    Alcotest.(check bool) "non-negative" true (d >= 0.0);
+    Alcotest.(check bool) "within jittered cap" true
+      (d <= policy.max_s *. (1.0 +. policy.jitter) +. 1e-9)
+  done;
+  Alcotest.check_raises "attempt is 1-based"
+    (Invalid_argument "Backoff.delay: attempt is 1-based") (fun () ->
+      ignore (Backoff.delay policy ~task:"b" ~attempt:0))
+
+(* --------------------------------------------------------------- journal *)
+
+let entry id v = { Journal.task_id = id; data = Json.Obj [ ("v", Json.Num v) ] }
+
+let test_journal_roundtrip () =
+  let line = Journal.encode_line (entry "a/hqs" 1.5) in
+  match Journal.decode_line line with
+  | Error e -> Alcotest.failf "decode failed: %s" e
+  | Ok { task_id; data } ->
+      Alcotest.(check string) "id survives" "a/hqs" task_id;
+      Alcotest.(check (option (float 0.0))) "payload survives" (Some 1.5)
+        (Option.bind (Json.member "v" data) Json.to_number)
+
+let test_journal_detects_corruption () =
+  let line = Journal.encode_line (entry "a" 1.0) in
+  (* flip a payload byte without touching the checksum *)
+  let target = String.index line 'a' in
+  let corrupt = Bytes.of_string line in
+  Bytes.set corrupt target 'b';
+  match Journal.decode_line (Bytes.to_string corrupt) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "corrupted line decoded successfully"
+
+let test_journal_torn_write_recovery () =
+  let path = tmp_file "hqs_test_journal.jsonl" in
+  let j = Journal.open_append path in
+  Journal.append j (entry "a" 1.0);
+  Journal.append j (entry "b" 2.0);
+  Journal.close j;
+  (* simulate a parent killed mid-append: a torn half line at the tail *)
+  let full = Journal.encode_line (entry "c" 3.0) in
+  let torn = String.sub full 0 (String.length full / 2) in
+  Out_channel.with_open_gen
+    [ Out_channel.Open_append; Out_channel.Open_binary ]
+    0o644 path
+    (fun oc -> Out_channel.output_string oc torn);
+  let { Journal.entries; dropped } = Journal.load path in
+  Alcotest.(check int) "intact lines survive" 2 (List.length entries);
+  Alcotest.(check int) "torn tail dropped" 1 dropped;
+  Alcotest.(check (list string)) "order preserved" [ "a"; "b" ]
+    (List.map (fun e -> e.Journal.task_id) entries);
+  Sys.remove path
+
+let test_journal_missing_file () =
+  let { Journal.entries; dropped } = Journal.load "/nonexistent/hqs/journal.jsonl" in
+  Alcotest.(check int) "no entries" 0 (List.length entries);
+  Alcotest.(check int) "nothing dropped" 0 dropped
+
+(* ---------------------------------------------------------------- resume *)
+
+let test_resume_skips_journaled () =
+  let path = tmp_file "hqs_test_resume.jsonl" in
+  let tasks = List.init 4 (fun i -> (Printf.sprintf "t%d" i, i)) in
+  let first = Sup.run ~journal:path ~worker:square tasks in
+  Alcotest.(check int) "first run executes all" 4 first.executed;
+  let second = Sup.run ~journal:path ~resume:path ~worker:square tasks in
+  Alcotest.(check int) "resume executes none" 0 second.executed;
+  Alcotest.(check int) "all from journal" 4 second.journaled;
+  List.iter2
+    (fun a b ->
+      Alcotest.(check string) "same task" a.Sup.task_id b.Sup.task_id;
+      Alcotest.(check string) "same status" (status_label a.Sup.status)
+        (status_label b.Sup.status);
+      Alcotest.(check bool) "marked journaled" true b.Sup.from_journal)
+    first.completions second.completions;
+  Sys.remove path
+
+let test_resume_runs_remaining () =
+  (* journal a strict subset, then resume over the full task list: only
+     the tail may execute *)
+  let path = tmp_file "hqs_test_resume_partial.jsonl" in
+  let tasks = List.init 4 (fun i -> (Printf.sprintf "t%d" i, i)) in
+  let subset = [ List.nth tasks 0; List.nth tasks 2 ] in
+  let _ = Sup.run ~journal:path ~worker:square subset in
+  let executed_ids = ref [] in
+  let on_complete c =
+    if not c.Sup.from_journal then executed_ids := c.Sup.task_id :: !executed_ids
+  in
+  let report = Sup.run ~resume:path ~on_complete ~worker:square tasks in
+  Alcotest.(check int) "exactly the missing tasks ran" 2 report.executed;
+  Alcotest.(check (list string)) "the right ones" [ "t1"; "t3" ]
+    (List.sort String.compare !executed_ids);
+  Alcotest.(check int) "rest came from the journal" 2 report.journaled;
+  Sys.remove path
+
+let test_completion_json_roundtrip () =
+  let c =
+    {
+      Sup.task_id = "x/idq";
+      status = Sup.Crash 1.25;
+      attempts = 3;
+      worker_pid = 4242;
+      elapsed_s = 1.25;
+      crash_log = [ "attempt 1: SIGKILL"; "attempt 2: exit 3" ];
+      from_journal = false;
+    }
+  in
+  match Sup.completion_of_json ~task_id:c.task_id (Sup.completion_to_json c) with
+  | None -> Alcotest.fail "roundtrip decode failed"
+  | Some c' ->
+      Alcotest.(check string) "status" (status_label c.status) (status_label c'.status);
+      Alcotest.(check int) "attempts" c.attempts c'.attempts;
+      Alcotest.(check int) "pid" c.worker_pid c'.worker_pid;
+      Alcotest.(check (list string)) "crash log" c.crash_log c'.crash_log;
+      Alcotest.(check bool) "decoded entries are journal-marked" true c'.from_journal
+
+let () =
+  Alcotest.run "exec"
+    [
+      ( "supervisor",
+        [
+          Alcotest.test_case "value roundtrip, jobs=2" `Quick test_value_roundtrip;
+          Alcotest.test_case "chaos kill quarantines after K" `Quick test_chaos_kill_quarantine;
+          Alcotest.test_case "transient kill recovers on retry" `Quick test_retry_recovers;
+          Alcotest.test_case "rlimit memout classified" `Slow test_rlimit_memout;
+          Alcotest.test_case "wall timeout kills sleeper" `Slow test_wall_timeout;
+          Alcotest.test_case "nonzero exit crashes" `Quick test_crash_exit_code;
+          Alcotest.test_case "duplicate ids rejected" `Quick test_duplicate_ids_rejected;
+        ] );
+      ( "backoff",
+        [
+          Alcotest.test_case "deterministic" `Quick test_backoff_deterministic;
+          Alcotest.test_case "exact schedule without jitter" `Quick
+            test_backoff_exact_without_jitter;
+          Alcotest.test_case "bounds and 1-based attempts" `Quick test_backoff_bounds;
+        ] );
+      ( "journal",
+        [
+          Alcotest.test_case "line roundtrip" `Quick test_journal_roundtrip;
+          Alcotest.test_case "corruption detected" `Quick test_journal_detects_corruption;
+          Alcotest.test_case "torn write recovery" `Quick test_journal_torn_write_recovery;
+          Alcotest.test_case "missing file is empty" `Quick test_journal_missing_file;
+        ] );
+      ( "resume",
+        [
+          Alcotest.test_case "full journal: zero executions" `Quick test_resume_skips_journaled;
+          Alcotest.test_case "partial journal: tail only" `Quick test_resume_runs_remaining;
+          Alcotest.test_case "completion json roundtrip" `Quick test_completion_json_roundtrip;
+        ] );
+    ]

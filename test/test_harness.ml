@@ -23,6 +23,7 @@ let test_run_hqs_timeout () =
   | R.Timeout _ -> ()
   | R.Memout _ -> () (* also acceptable on a tiny machine *)
   | R.Solved _ -> Alcotest.fail "expected an abort"
+  | R.Crash _ -> Alcotest.fail "expected an abort, got a crash"
 
 let test_run_hqs_memout () =
   let inst = Fam.adder ~bits:4 ~boxes:2 ~fault:false in
@@ -30,6 +31,7 @@ let test_run_hqs_memout () =
   | R.Memout _ -> ()
   | R.Timeout _ -> Alcotest.fail "expected memout, got timeout"
   | R.Solved _ -> Alcotest.fail "expected memout, got solved"
+  | R.Crash _ -> Alcotest.fail "expected memout, got crash"
 
 let test_run_instance_agreement () =
   let r = R.run_instance ~timeout:20.0 ~node_limit:400_000 small_unsat in
@@ -51,6 +53,8 @@ let fake_results =
       hqs_degraded = [];
       hqs_stats = None;
       soundness = R.Consistent;
+      attempts = 1;
+      worker_pid = None;
     };
     {
       R.id = "a2";
@@ -61,6 +65,8 @@ let fake_results =
       hqs_degraded = [ "maxsat.minset->greedy[timeout]" ];
       hqs_stats = None;
       soundness = R.Consistent;
+      attempts = 1;
+      worker_pid = None;
     };
     {
       R.id = "b1";
@@ -71,6 +77,8 @@ let fake_results =
       hqs_degraded = [];
       hqs_stats = None;
       soundness = R.Consistent;
+      attempts = 1;
+      worker_pid = None;
     };
   ]
 
@@ -162,6 +170,8 @@ let disagreeing_results =
         hqs_degraded = [];
         hqs_stats = None;
         soundness = R.Disagreement { hqs_sat = true; idq_sat = false };
+        attempts = 1;
+        worker_pid = None;
       };
     ]
 
@@ -175,6 +185,49 @@ let test_disagreement_reported () =
   (* clean results stay quiet *)
   check "no alarm when consistent" false
     (contains (Harness.Report.table1 fake_results) "SOUNDNESS ALARM")
+
+let crashy_results =
+  fake_results
+  @ [
+      {
+        R.id = "c1";
+        family = "bitcell";
+        sat_expected = None;
+        hqs = R.Crash 0.4;
+        idq = R.Solved (false, 0.5);
+        hqs_degraded = [];
+        hqs_stats = None;
+        soundness = R.Consistent;
+        attempts = 3;
+        worker_pid = Some 1234;
+      };
+    ]
+
+let test_crash_reported () =
+  let t = Harness.Report.table1 crashy_results in
+  check "table names quarantined instance" true (contains t "CRASH: 1 instance(s)");
+  check "table names id" true (contains t "c1");
+  let s = Harness.Report.csv crashy_results in
+  check "csv crash outcome cell" true (contains s "CRASH,0.400");
+  check "csv executor cells" true (contains s ",crash,3,1234");
+  check "fig4 crash rail" true (contains (Harness.Report.fig4 crashy_results) "CR");
+  (* a crash counts as unsolved in the headline *)
+  check "headline unchanged solved count" true
+    (contains (Harness.Report.headline crashy_results) "solved by HQS: 2")
+
+let test_csv_executor_columns () =
+  let s = Harness.Report.csv fake_results in
+  let header = List.hd (String.split_on_char '\n' s) in
+  (* pre-existing prefix is byte-stable; the executor block is appended *)
+  check "stable prefix" true
+    (let prefix = "id,family,hqs_outcome,hqs_time,idq_outcome,idq_time,hqs_degraded" in
+     let n = String.length prefix in
+     String.length header > n && String.sub header 0 n = prefix);
+  check "executor columns last" true
+    (let suffix = ",outcome,attempts,worker_pid" in
+     let n = String.length header and m = String.length suffix in
+     n > m && String.sub header (n - m) m = suffix);
+  check "in-process rows: solved, 1 attempt, empty pid" true (contains s ",solved,1,\n")
 
 let () =
   Alcotest.run "harness"
@@ -194,5 +247,7 @@ let () =
           Alcotest.test_case "csv lines" `Quick test_csv_lines;
           Alcotest.test_case "degradation column" `Quick test_degradation_column;
           Alcotest.test_case "disagreement reported" `Quick test_disagreement_reported;
+          Alcotest.test_case "crash reported" `Quick test_crash_reported;
+          Alcotest.test_case "csv executor columns" `Quick test_csv_executor_columns;
         ] );
     ]
