@@ -13,6 +13,10 @@
      BENCH_MICRO=0  skip the Bechamel section
      BENCH_OBS_ONLY=1  only write the observability baseline, then exit
      BENCH_OBS_OUT  path of the baseline file (default BENCH_obs.json)
+     BENCH_DEP_SCHEME  dependency scheme for the suite runs: trivial | rp
+                    (default: the solver default, rp)
+     BENCH_ANALYSIS_ONLY=1  only write the dependency-scheme baseline
+     BENCH_ANALYSIS_OUT  path of that file (default BENCH_analysis.json)
      BENCH_JOBS     supervised sweep workers           (default 1)
      BENCH_JOURNAL  append completed tasks to this crash-safe JSONL file
      BENCH_RESUME   skip tasks already journaled in this file
@@ -33,6 +37,18 @@ let env_bool name default =
 let timeout = env_float "BENCH_TIMEOUT" 5.0
 let node_limit = env_int "BENCH_NODES" 400_000
 let quick = env_bool "BENCH_QUICK" false
+
+let dep_scheme =
+  match Sys.getenv_opt "BENCH_DEP_SCHEME" with
+  | None | Some "" -> Analysis.Scheme.default
+  | Some s -> (
+      match Analysis.Scheme.of_string s with
+      | Some t -> t
+      | None ->
+          Printf.eprintf "BENCH_DEP_SCHEME: unknown scheme %S (trivial|rp)\n" s;
+          exit 2)
+
+let bench_hqs_config = { Hqs.default_config with Hqs.dep_scheme }
 
 (* ------------------------------------------------------------- the suite *)
 
@@ -145,7 +161,7 @@ let run_suite_inproc instances =
   List.mapi
     (fun i inst ->
       Printf.eprintf "[%3d/%d] %-28s%!" (i + 1) n inst.Fam.id;
-      let r = R.run_instance ~timeout ~node_limit inst in
+      let r = R.run_instance ~hqs_config:bench_hqs_config ~timeout ~node_limit inst in
       Printf.eprintf " hqs: %-12s idq: %-12s\n%!" (short r.R.hqs) (short r.R.idq);
       r)
     instances
@@ -161,7 +177,8 @@ let run_suite_supervised instances =
   let config =
     {
       (Harness.Sweep.default_config ~timeout ~node_limit) with
-      Harness.Sweep.exec =
+      Harness.Sweep.hqs_config = Some bench_hqs_config;
+      exec =
         {
           Exec.Supervisor.default_config with
           Exec.Supervisor.jobs;
@@ -369,6 +386,95 @@ let obs_baseline () =
   close_out oc;
   Printf.printf "observability baseline written to %s (disabled span: %.1f ns/call)\n" out overhead
 
+(* ---------------------------------------- dependency-scheme baseline *)
+
+(* One small instance per family, solved under both schemes: verdicts
+   must agree, and the per-family MaxSAT elimination-set delta (trivial
+   vs rp) lands in BENCH_analysis.json so a regression in the static
+   analyzer's pruning power shows up as a baseline diff.
+   BENCH_ANALYSIS_ONLY=1 runs just this section. *)
+
+let analysis_cases () =
+  [
+    Fam.adder ~bits:3 ~boxes:2 ~fault:true;
+    Fam.bitcell ~cells:6 ~boxes:2 ~fault:true;
+    Fam.lookahead ~cells:6 ~boxes:2 ~fault:false;
+    Fam.pec_xor ~length:6 ~boxes:2 ~fault:true;
+    Fam.z4 ~add_bits:1 ~boxes:2 ~fault:true;
+    Fam.comp ~bits:6 ~boxes:2 ~fault:true;
+    (* the family where resolution-path pruning has bite (boxes=3) *)
+    Fam.c432 ~groups:3 ~lines:3 ~boxes:3 ~fault:false;
+  ]
+
+let analysis_baseline () =
+  let out =
+    match Sys.getenv_opt "BENCH_ANALYSIS_OUT" with
+    | Some p -> p
+    | None -> "BENCH_analysis.json"
+  in
+  let solve scheme pcnf =
+    R.run_hqs
+      ~config:{ Hqs.default_config with Hqs.dep_scheme = scheme }
+      ~timeout ~node_limit pcnf
+  in
+  let verdict_str = function
+    | R.Solved (true, _) -> "SAT"
+    | R.Solved (false, _) -> "UNSAT"
+    | R.Timeout _ -> "TO"
+    | R.Memout _ -> "MO"
+    | R.Crash _ -> "CRASH"
+  in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf (Printf.sprintf "  \"timeout_s\": %g,\n" timeout);
+  Buffer.add_string buf (Printf.sprintf "  \"node_limit\": %d,\n" node_limit);
+  Buffer.add_string buf "  \"instances\": [\n";
+  let cases = analysis_cases () in
+  let n = List.length cases in
+  List.iteri
+    (fun i inst ->
+      let o_triv, s_triv = solve Analysis.Scheme.Trivial inst.Fam.pcnf in
+      let o_rp, s_rp = solve Analysis.Scheme.Rp inst.Fam.pcnf in
+      let ms = function Some (s : Hqs.stats) -> s.Hqs.maxsat_set_size | None -> -1 in
+      let ms_triv = ms s_triv and ms_rp = ms s_rp in
+      let pruned, linearized =
+        match s_rp with
+        | Some s -> (s.Hqs.analysis_edges_pruned, s.Hqs.analysis_linearized)
+        | None -> (-1, false)
+      in
+      if verdict_str o_triv <> verdict_str o_rp then
+        Printf.eprintf "analysis baseline: scheme verdicts differ on %s (%s vs %s)\n%!"
+          inst.Fam.id (verdict_str o_triv) (verdict_str o_rp);
+      Buffer.add_string buf "    {\n";
+      Buffer.add_string buf
+        (Printf.sprintf "      \"id\": %s, \"family\": %s,\n" (json_str inst.Fam.id)
+           (json_str inst.Fam.family));
+      Buffer.add_string buf
+        (Printf.sprintf "      \"verdict_trivial\": %s, \"verdict_rp\": %s,\n"
+           (json_str (verdict_str o_triv))
+           (json_str (verdict_str o_rp)));
+      Buffer.add_string buf
+        (Printf.sprintf
+           "      \"maxsat_set_trivial\": %d, \"maxsat_set_rp\": %d, \
+            \"maxsat_set_delta\": %d,\n"
+           ms_triv ms_rp
+           (if ms_triv >= 0 && ms_rp >= 0 then ms_triv - ms_rp else 0));
+      Buffer.add_string buf
+        (Printf.sprintf "      \"edges_pruned\": %d, \"linearized\": %b\n" pruned linearized);
+      Buffer.add_string buf (Printf.sprintf "    }%s\n" (if i < n - 1 then "," else ""));
+      Printf.eprintf "[analysis %d/%d] %-28s %s maxsat %d->%d pruned %d\n%!" (i + 1) n
+        inst.Fam.id (verdict_str o_rp) ms_triv ms_rp pruned)
+    cases;
+  Buffer.add_string buf "  ]\n}\n";
+  let body = Buffer.contents buf in
+  (match Obs.Json.parse body with
+  | Ok _ -> ()
+  | Error msg -> Printf.eprintf "analysis baseline: generated invalid JSON (%s)\n%!" msg);
+  let oc = open_out out in
+  output_string oc body;
+  close_out oc;
+  Printf.printf "dependency-scheme baseline written to %s\n" out
+
 (* ---------------------------------------------------- Bechamel micro part *)
 
 let micro () =
@@ -454,6 +560,10 @@ let () =
     obs_baseline ();
     exit 0
   end;
+  if env_bool "BENCH_ANALYSIS_ONLY" false then begin
+    analysis_baseline ();
+    exit 0
+  end;
   Printf.printf "HQS reproduction benchmark (timeout %.1fs, node limit %d%s)\n\n" timeout
     node_limit
     (if quick then ", QUICK suite" else "");
@@ -472,6 +582,9 @@ let () =
   print_endline "";
   print_endline "================ Ablations (DESIGN.md A1) ====================";
   print_string (ablations ());
+  print_endline "";
+  print_endline "================ Dependency-scheme baseline ==================";
+  analysis_baseline ();
   print_endline "";
   print_endline "================ Observability baseline ======================";
   obs_baseline ();

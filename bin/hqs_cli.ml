@@ -29,9 +29,24 @@ let install_signal_handlers () =
   handle "SIGINT" 130 Sys.sigint;
   handle "SIGTERM" 143 Sys.sigterm
 
+(* the flag overrides the environment, mirroring --check / HQS_CHECK *)
+let resolve_dep_scheme = function
+  | Some s -> (
+      match Analysis.Scheme.of_string s with
+      | Some scheme -> scheme
+      | None ->
+          Printf.eprintf "error: --dep-scheme %s: expected trivial or rp\n" s;
+          exit 2)
+  | None -> (
+      match Analysis.Scheme.of_env () with
+      | Ok scheme -> scheme
+      | Error msg ->
+          Printf.eprintf "error: %s\n" msg;
+          exit 2)
+
 let solve file timeout mem_limit node_limit no_preprocess no_unitpure no_maxsat no_thm2 bce
     expand_all sat_probe no_fraig search_backend no_restart chaos_seed chaos_points check
-    show_model show_stats trace show_metrics =
+    dep_scheme show_model show_stats trace show_metrics =
   install_signal_handlers ();
   let trace_file =
     match trace with
@@ -91,6 +106,7 @@ let solve file timeout mem_limit node_limit no_preprocess no_unitpure no_maxsat 
       chaos;
       restart_on_memout = not no_restart;
       check_level;
+      dep_scheme = resolve_dep_scheme dep_scheme;
     }
   in
   let budget =
@@ -233,6 +249,16 @@ let trace =
            names a file with the same effect. Tracing is off by default and costs one branch per \
            span when disabled")
 
+let dep_scheme =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "dep-scheme" ] ~docv:"SCHEME"
+        ~doc:
+          "static dependency scheme applied to the prefix before solving: trivial (keep the \
+           prefix as written) or rp (resolution-path pruning, the default); overrides \
+           \\$(b,HQS_DEP_SCHEME)")
+
 let flag names doc = Arg.(value & flag & info names ~doc)
 
 (* -------------------------------------------------------- sweep command *)
@@ -252,7 +278,7 @@ let family_of_path file =
   | d -> d
 
 let sweep files jobs timeout node_limit retries journal resume mem_limit cpu_limit chaos_seed
-    chaos_points chaos_kill =
+    chaos_points chaos_kill dep_scheme =
   install_signal_handlers ();
   if files = [] then begin
     Printf.eprintf "error: no input files\n";
@@ -307,6 +333,12 @@ let sweep files jobs timeout node_limit retries journal resume mem_limit cpu_lim
   let config =
     {
       (Harness.Sweep.default_config ~timeout ~node_limit) with
+      (* an explicit flag pins the scheme in every forked worker; without
+         it workers inherit HQS_DEP_SCHEME through the environment *)
+      Harness.Sweep.hqs_config =
+        Option.map
+          (fun s -> { Hqs.default_config with Hqs.dep_scheme = resolve_dep_scheme (Some s) })
+          dep_scheme;
       Harness.Sweep.exec =
         {
           Exec.Supervisor.jobs;
@@ -445,7 +477,72 @@ let sweep_cmd =
     (Cmd.info "sweep" ~doc ~man)
     Term.(
       const sweep $ sweep_files $ jobs $ sweep_timeout $ sweep_node_limit $ retries $ journal
-      $ resume $ sweep_mem_limit $ cpu_limit $ chaos_seed $ chaos_points $ chaos_kill)
+      $ resume $ sweep_mem_limit $ cpu_limit $ chaos_seed $ chaos_points $ chaos_kill
+      $ dep_scheme)
+
+(* ------------------------------------------------------ analyze command *)
+
+(* hqs analyze: run only the static dependency-scheme analyzer and print
+   the per-variable refinement report. Exit codes: 0 on a successful
+   analysis (regardless of what it pruned), 2 on usage/input errors, 3
+   when --check full semantically refutes a pruned edge. *)
+
+let analyze file dep_scheme check =
+  let scheme = resolve_dep_scheme dep_scheme in
+  let check_level =
+    match check with
+    | Some s -> (
+        match Check.level_of_string s with
+        | Some l -> l
+        | None ->
+            Printf.eprintf "error: --check %s: expected off, cheap or full\n" s;
+            exit 2)
+    | None -> (
+        match Check.level_of_env () with
+        | Ok l -> l
+        | Error msg ->
+            Printf.eprintf "error: %s\n" msg;
+            exit 2)
+  in
+  let pcnf =
+    try Dqbf.Pcnf.parse_file file
+    with Failure msg | Sys_error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 2
+  in
+  (match Dqbf.Pcnf.validate pcnf with
+  | Ok () -> ()
+  | Error msg ->
+      Printf.eprintf "invalid input: %s\n" msg;
+      exit 2);
+  let _refined, report = Analysis.Rp.analyze ~scheme pcnf in
+  match
+    Check.audit_dep_pruning ~level:check_level pcnf ~pruned:report.Analysis.Rp.pruned
+  with
+  | () ->
+      Format.printf "%a@?" Analysis.Rp.pp_report report;
+      exit 0
+  | exception Check.Violation v ->
+      Format.printf "%a@?" Analysis.Rp.pp_report report;
+      Format.printf "c check violation: %a@." Check.pp_violation v;
+      print_endline "s analysis ERROR";
+      exit 3
+
+let analyze_cmd =
+  let doc = "print the static dependency-scheme refinement report for a DQDIMACS file" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Runs the resolution-path dependency analyzer (lib/analysis) on $(i,FILE) without \
+         solving it: one $(b,v) line per existential shows the declared and refined \
+         dependency sets, the $(b,c analysis) header lines count pruned edges and \
+         incomparable pairs, and the final $(b,s analysis) line is machine-greppable. With \
+         $(b,--check full), a sample of pruned edges is validated semantically against the \
+         reference expansion solver (exit 3 on refutation).";
+    ]
+  in
+  Cmd.v (Cmd.info "analyze" ~doc ~man) Term.(const analyze $ file $ dep_scheme $ check)
 
 let solve_term =
   Term.(
@@ -460,7 +557,7 @@ let solve_term =
     $ flag [ "no-fraig" ] "disable FRAIG sweeping"
     $ flag [ "search-backend" ] "use the QDPLL search back end instead of AIG elimination"
     $ flag [ "no-restart" ] "disable the degraded restart after a node-limit memout"
-    $ chaos_seed $ chaos_points $ check
+    $ chaos_seed $ chaos_points $ check $ dep_scheme
     $ flag [ "model" ] "on SAT, print and verify Skolem functions"
     $ flag [ "stats" ] "print statistics to stderr (with --trace, also a flame summary)"
     $ trace
@@ -481,6 +578,12 @@ let () =
     if Array.length argv > 1 && argv.(1) = "sweep" then begin
       let shifted = Array.append [| "hqs sweep" |] (Array.sub argv 2 (Array.length argv - 2)) in
       Cmd.eval_value ~argv:shifted sweep_cmd
+    end
+    else if Array.length argv > 1 && argv.(1) = "analyze" then begin
+      let shifted =
+        Array.append [| "hqs analyze" |] (Array.sub argv 2 (Array.length argv - 2))
+      in
+      Cmd.eval_value ~argv:shifted analyze_cmd
     end
     else Cmd.eval_value ~argv solve_cmd
   in

@@ -1,11 +1,15 @@
 (* lint: the repo's static-analysis gate (see lib/lint/linter.mli).
 
-     dune exec bin/lint.exe -- lib bin bench test
+     dune exec bin/lint.exe -- lib bin bench test examples
 
-   Exit codes: 0 clean, 1 findings, 2 usage error. *)
+   Exit codes: 0 clean, 1 findings, 2 usage error (incl. nonexistent or
+   unreadable paths, and paths contributing no .ml/.mli files — a gate
+   must never silently skip what it was pointed at). *)
 
 let () =
   let paths =
-    match Array.to_list Sys.argv with [] | [ _ ] -> [ "lib"; "bin"; "bench"; "test" ] | _ :: rest -> rest
+    match Array.to_list Sys.argv with
+    | [] | [ _ ] -> [ "lib"; "bin"; "bench"; "test"; "examples" ]
+    | _ :: rest -> rest
   in
   exit (Linter.run paths)

@@ -7,16 +7,22 @@
 #   1. full build
 #   2. format check (skipped with a notice if ocamlformat is absent)
 #   3. static analysis (bin/lint: catch-alls, polymorphic compare,
-#      Obj.magic, failwith in lib/, missing .mli)
+#      Obj.magic, failwith in lib/, missing .mli, raw fds outside
+#      lib/exec, wall-clock reads outside lib/util) plus the lint
+#      driver's usage-error contract (nonexistent path => exit 2)
 #   4. unit + property test suites
-#   5. chaos-enabled smoke solve: generate a small PEC instance and
+#   5. dependency-scheme gate: solve a generated example suite twice
+#      (--dep-scheme trivial vs rp) under --check full, diff the verdict
+#      lines byte-for-byte, assert rp never grows the MaxSAT elimination
+#      set and prunes at least one edge on the c432 PEC family
+#   6. chaos-enabled smoke solve: generate a small PEC instance and
 #      solve it with fault injection armed AND the soundness auditor at
 #      full depth (HQS_CHECK=full), proving the degradation ladder and
 #      the stage audits end-to-end through the real CLI
-#   6. traced smoke solve: solve an instance with incomparable dependency
+#   7. traced smoke solve: solve an instance with incomparable dependency
 #      sets under --trace and validate the trace with bin/tracecheck
 #      (well-formed Chrome JSON, balanced spans, >= 6 pipeline phases)
-#   7. supervised mini-sweep: run `hqs sweep` over a generated instance
+#   8. supervised mini-sweep: run `hqs sweep` over a generated instance
 #      directory with 2 workers and a chaos-injected worker kill,
 #      asserting the victim is quarantined as a CRASH row while the rest
 #      solve; then kill a journaled sweep midway (SIGKILL, torn tail and
@@ -37,14 +43,67 @@ else
 fi
 
 echo "== lint =="
-dune exec bin/lint.exe -- lib bin bench test
+dune exec bin/lint.exe -- lib bin bench test examples
+# the driver must refuse paths it cannot lint, not silently pass them
+lint_status=0
+dune exec bin/lint.exe -- /nonexistent/path >/dev/null 2>&1 || lint_status=$?
+if [ "$lint_status" != 2 ]; then
+  echo "== ci FAILED: lint on a nonexistent path exited $lint_status (want 2) =="
+  exit 1
+fi
 
 echo "== tests =="
 dune runtest
 
-echo "== chaos smoke solve =="
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
+HQS_BIN=_build/default/bin/hqs_cli.exe
+
+echo "== analysis (dependency schemes) =="
+mkdir -p "$tmp/an"
+dune exec bin/genpec.exe -- sweep pec_xor --sizes=2,3 --boxes-list=1,2 --out "$tmp/an" >/dev/null
+dune exec bin/genpec.exe -- sweep c432 --sizes=2 --boxes-list=3 --out "$tmp/an" >/dev/null
+: >"$tmp/verdicts.trivial"
+: >"$tmp/verdicts.rp"
+total_pruned=0
+for f in "$tmp/an"/*.dqdimacs; do
+  id=$(basename "$f" .dqdimacs)
+  for scheme in trivial rp; do
+    an_status=0
+    "$HQS_BIN" "$f" --dep-scheme "$scheme" --check full --stats --timeout 60 \
+      >"$tmp/an.$scheme.out" 2>&1 || an_status=$?
+    case "$an_status" in
+    10 | 20) : ;;
+    *)
+      echo "== ci FAILED: $scheme-scheme solve on $id exited $an_status =="
+      cat "$tmp/an.$scheme.out"
+      exit 1
+      ;;
+    esac
+    grep '^s ' "$tmp/an.$scheme.out" | sed "s|^|$id |" >>"$tmp/verdicts.$scheme"
+    sed -n 's/.*maxsat-set=\([0-9]*\).*/\1/p' "$tmp/an.$scheme.out" >"$tmp/ms.$scheme"
+  done
+  ms_trivial=$(cat "$tmp/ms.trivial")
+  ms_rp=$(cat "$tmp/ms.rp")
+  if [ -n "$ms_trivial" ] && [ -n "$ms_rp" ] && [ "$ms_rp" -gt "$ms_trivial" ]; then
+    echo "== ci FAILED: rp grew the MaxSAT elimination set on $id ($ms_trivial -> $ms_rp) =="
+    exit 1
+  fi
+  pruned=$("$HQS_BIN" analyze "$f" | sed -n 's/^s analysis pruned=\([0-9]*\).*/\1/p')
+  total_pruned=$((total_pruned + ${pruned:-0}))
+done
+cmp "$tmp/verdicts.trivial" "$tmp/verdicts.rp" || {
+  echo "== ci FAILED: trivial and rp schemes disagree on a verdict =="
+  diff "$tmp/verdicts.trivial" "$tmp/verdicts.rp" || true
+  exit 1
+}
+if [ "$total_pruned" -lt 1 ]; then
+  echo "== ci FAILED: analyzer pruned no edges across the example suite =="
+  exit 1
+fi
+echo "c analysis gate: $total_pruned edge(s) pruned, verdicts identical"
+
+echo "== chaos smoke solve =="
 f=$(dune exec bin/genpec.exe -- one pec_xor --size 3 --boxes 1 --out "$tmp")
 status=0
 HQS_CHECK=full dune exec bin/hqs_cli.exe -- "$f" --chaos-seed 42 --timeout 60 --stats || status=$?
@@ -79,7 +138,6 @@ grep -q '^c metric ' "$tmp/trace.err" || {
 echo "== supervised mini-sweep (crash injection) =="
 # the sweep CLI must be invoked as the built binary, not through
 # `dune exec`, so the midway SIGKILL below lands on the supervisor itself
-HQS_BIN=_build/default/bin/hqs_cli.exe
 mkdir -p "$tmp/sweep"
 dune exec bin/genpec.exe -- sweep pec_xor --sizes=3,4,5 --boxes-list=1 --out "$tmp/sweep" >/dev/null
 victim=""

@@ -11,7 +11,7 @@
 module Fam = Circuit.Families
 
 let run_one (inst : Fam.instance) =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Hqs_util.Budget.now () in
   let outcome =
     try
       let v, _ = Hqs.solve_pcnf ~budget:(Hqs_util.Budget.of_seconds 10.0) inst.Fam.pcnf in
@@ -20,7 +20,7 @@ let run_one (inst : Fam.instance) =
     | Hqs_util.Budget.Timeout -> "TO"
     | Hqs_util.Budget.Out_of_memory_budget -> "MO"
   in
-  Printf.printf "  %-24s %-6s %6.3f s\n%!" inst.Fam.id outcome (Unix.gettimeofday () -. t0)
+  Printf.printf "  %-24s %-6s %6.3f s\n%!" inst.Fam.id outcome (Hqs_util.Budget.now () -. t0)
 
 let () =
   print_endline "=== bitcell arbiter: realizable instances (boxes can be filled) ===";

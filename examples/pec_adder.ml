@@ -23,9 +23,9 @@ let show_instance (inst : Fam.instance) =
     (List.length p.Dqbf.Pcnf.clauses)
 
 let solve (inst : Fam.instance) =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Hqs_util.Budget.now () in
   let verdict, stats = Hqs.solve_pcnf inst.Fam.pcnf in
-  let dt = Unix.gettimeofday () -. t0 in
+  let dt = Hqs_util.Budget.now () -. t0 in
   Printf.printf "  HQS: %s in %.3f s (%d universal eliminations, MaxSAT set of %d)\n"
     (match verdict with
     | Hqs.Sat -> "REALIZABLE (the boxes can be implemented)"

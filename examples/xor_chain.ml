@@ -9,7 +9,7 @@ module Fam = Circuit.Families
 let timeout = 8.0
 
 let run solver (inst : Fam.instance) =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Hqs_util.Budget.now () in
   let outcome =
     try
       match solver with
@@ -25,7 +25,7 @@ let run solver (inst : Fam.instance) =
     | Hqs_util.Budget.Timeout -> "TO"
     | Hqs_util.Budget.Out_of_memory_budget -> "MO"
   in
-  (outcome, Unix.gettimeofday () -. t0)
+  (outcome, Hqs_util.Budget.now () -. t0)
 
 let row inst =
   let h, th = run `Hqs inst and i, ti = run `Idq inst in

@@ -1,0 +1,227 @@
+(* Reflexive resolution-path dependency scheme over the clause/literal
+   incidence graph. See rp.mli for the definitions; the implementation
+   notes here cover only the traversal trick.
+
+   Per universal x we run two BFS passes (from x and from ¬x) over
+   literals. Visiting a clause through entry variable v may exit through
+   any literal of a different variable; exits over a connecting variable
+   (an existential that depends on x) enqueue the clauses containing the
+   complementary literal. The linear-time device (Slivovsky & Szeider) is
+   the per-clause state machine: the first visit expands every literal
+   except the entry variable's and records that variable; a later visit
+   through a *different* variable releases exactly the recorded one and
+   completes the clause. Every clause is therefore expanded at most
+   twice, and each literal occurrence is scanned O(1) times per pass. *)
+
+open Hqs_util
+module Pcnf = Dqbf.Pcnf
+
+type refinement = { var : int; before : int list; after : int list }
+
+type report = {
+  scheme : Scheme.t;
+  universals : int;
+  existentials : int;
+  clause_count : int;
+  edges_before : int;
+  edges_after : int;
+  pruned : (int * int) list;
+  refinements : refinement list;
+  incomparable_before : int;
+  incomparable_after : int;
+  linearized : bool;
+}
+
+let c_pruned = Obs.Metrics.counter "analysis.edges_pruned"
+let c_linearized = Obs.Metrics.counter "analysis.linearized"
+
+(* count existential pairs whose dependency sets are incomparable under
+   inclusion — zero iff the dependency graph is acyclic (Theorem 4), i.e.
+   the prefix is linearly orderable *)
+let incomparable_count sets =
+  let n = Array.length sets in
+  let count = ref 0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if not (Bitset.subset sets.(i) sets.(j) || Bitset.subset sets.(j) sets.(i)) then
+        incr count
+    done
+  done;
+  !count
+
+let edge_count refinements which =
+  List.fold_left (fun acc r -> acc + List.length (which r)) 0 refinements
+
+let report_of_refinements ~scheme ~(pcnf : Pcnf.t) refinements =
+  let sets which = Array.of_list (List.map (fun r -> Bitset.of_list (which r)) refinements) in
+  let incomparable_before = incomparable_count (sets (fun r -> r.before)) in
+  let incomparable_after = incomparable_count (sets (fun r -> r.after)) in
+  let pruned =
+    List.concat_map
+      (fun r ->
+        let kept = Bitset.of_list r.after in
+        List.filter_map
+          (fun x -> if Bitset.mem x kept then None else Some (x, r.var))
+          r.before)
+      refinements
+  in
+  {
+    scheme;
+    universals = List.length pcnf.Pcnf.univs;
+    existentials = List.length pcnf.Pcnf.exists;
+    clause_count = List.length pcnf.Pcnf.clauses;
+    edges_before = edge_count refinements (fun r -> r.before);
+    edges_after = edge_count refinements (fun r -> r.after);
+    pruned;
+    refinements;
+    incomparable_before;
+    incomparable_after;
+    linearized = incomparable_after = 0 && incomparable_before > 0;
+  }
+
+let trivial (pcnf : Pcnf.t) =
+  let refinements =
+    List.map (fun (y, deps) -> { var = y; before = deps; after = deps }) pcnf.Pcnf.exists
+  in
+  (pcnf, report_of_refinements ~scheme:Scheme.Trivial ~pcnf refinements)
+
+(* clause states for the two-visit traversal *)
+let st_unvisited = -1
+let st_complete = -2
+
+let resolution_path_refine (pcnf : Pcnf.t) =
+  let clauses = Array.of_list (List.map Array.of_list pcnf.Pcnf.clauses) in
+  let ncl = Array.length clauses in
+  (* be robust to out-of-range literals: size the tables to what the
+     matrix actually mentions *)
+  let n =
+    Array.fold_left
+      (fun m c -> Array.fold_left (fun m l -> max m (abs l)) m c)
+      pcnf.Pcnf.num_vars clauses
+  in
+  let idx l =
+    let v = abs l - 1 in
+    if l > 0 then 2 * v else (2 * v) + 1
+  in
+  let occ = Array.make (2 * n) [] in
+  Array.iteri
+    (fun ci c -> Array.iter (fun l -> occ.(idx l) <- ci :: occ.(idx l)) c)
+    clauses;
+  let dep = Array.make n Bitset.empty in
+  List.iter (fun (y, deps) -> if y < n then dep.(y) <- Bitset.of_list deps) pcnf.Pcnf.exists;
+  (* universals mentioned in no dependency set have nothing to prune *)
+  let mentioned =
+    List.fold_left
+      (fun acc (_, deps) -> List.fold_left (fun a x -> Bitset.add x a) acc deps)
+      Bitset.empty pcnf.Pcnf.exists
+  in
+  let pruned_edges : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let edge_key x y = (x * n) + y in
+  let analyze_universal x =
+    (* reachable literals from [start] along resolution paths whose
+       connecting variables all depend on x *)
+    let bfs start =
+      let reached = Array.make (2 * n) false in
+      let state = Array.make ncl st_unvisited in
+      let queue = Queue.create () in
+      let expand l =
+        let li = idx l in
+        if not reached.(li) then begin
+          reached.(li) <- true;
+          let v = abs l - 1 in
+          if Bitset.mem x dep.(v) then
+            List.iter (fun ci -> Queue.push (ci, v) queue) occ.(idx (-l))
+        end
+      in
+      List.iter (fun ci -> Queue.push (ci, x) queue) occ.(idx start);
+      while not (Queue.is_empty queue) do
+        let ci, via = Queue.pop queue in
+        let s = state.(ci) in
+        if s = st_unvisited then begin
+          state.(ci) <- via;
+          Array.iter (fun l -> if abs l - 1 <> via then expand l) clauses.(ci)
+        end
+        else if s <> st_complete && s <> via then begin
+          (* second entry through a different variable releases exactly
+             the literal skipped on the first visit *)
+          state.(ci) <- st_complete;
+          Array.iter (fun l -> if abs l - 1 = s then expand l) clauses.(ci)
+        end
+      done;
+      reached
+    in
+    let from_pos = bfs (x + 1) and from_neg = bfs (-(x + 1)) in
+    List.iter
+      (fun (y, deps) ->
+        if List.exists (fun d -> d = x) deps then begin
+          let yp = 2 * y and yn = (2 * y) + 1 in
+          let connected =
+            (from_pos.(yp) && from_neg.(yn)) || (from_pos.(yn) && from_neg.(yp))
+          in
+          if not connected then Hashtbl.replace pruned_edges (edge_key x y) ()
+        end)
+      pcnf.Pcnf.exists
+  in
+  List.iter (fun x -> if Bitset.mem x mentioned then analyze_universal x) pcnf.Pcnf.univs;
+  let refinements =
+    List.map
+      (fun (y, deps) ->
+        let after = List.filter (fun x -> not (Hashtbl.mem pruned_edges (edge_key x y))) deps in
+        { var = y; before = deps; after })
+      pcnf.Pcnf.exists
+  in
+  let report = report_of_refinements ~scheme:Scheme.Rp ~pcnf refinements in
+  let refined =
+    if report.pruned = [] then pcnf
+    else { pcnf with Pcnf.exists = List.map (fun r -> (r.var, r.after)) refinements }
+  in
+  (refined, report)
+
+let analyze ~scheme (pcnf : Pcnf.t) =
+  match scheme with
+  | Scheme.Trivial -> trivial pcnf
+  | Scheme.Rp ->
+      Obs.Span.with_ "analysis.rp"
+        ~attrs:
+          [
+            ("vars", Obs.Int pcnf.Pcnf.num_vars);
+            ("clauses", Obs.Int (List.length pcnf.Pcnf.clauses));
+            ("universals", Obs.Int (List.length pcnf.Pcnf.univs));
+          ]
+      @@ fun () ->
+      let refined, report = resolution_path_refine pcnf in
+      Obs.Metrics.incr c_pruned ~by:(List.length report.pruned);
+      if report.linearized then Obs.Metrics.incr c_linearized;
+      Obs.Span.event "analysis.refined"
+        ~attrs:
+          [
+            ("pruned", Obs.Int (List.length report.pruned));
+            ("linearized", Obs.Bool report.linearized);
+          ]
+        ();
+      (refined, report)
+
+let pp_report fmt r =
+  let dimacs v = v + 1 in
+  let ids l = String.concat " " (List.map (fun v -> string_of_int (dimacs v)) l) in
+  Format.fprintf fmt "c analysis scheme=%s@." (Scheme.name r.scheme);
+  Format.fprintf fmt "c analysis universals=%d existentials=%d clauses=%d@." r.universals
+    r.existentials r.clause_count;
+  Format.fprintf fmt "c analysis dependency-edges %d -> %d (%d pruned)@." r.edges_before
+    r.edges_after
+    (r.edges_before - r.edges_after);
+  Format.fprintf fmt "c analysis incomparable-pairs %d -> %d@." r.incomparable_before
+    r.incomparable_after;
+  List.iter
+    (fun { var; before; after } ->
+      if List.length after = List.length before then
+        Format.fprintf fmt "v %d  deps {%s}  (unchanged)@." (dimacs var) (ids before)
+      else
+        let kept = Bitset.of_list after in
+        let dropped = List.filter (fun x -> not (Bitset.mem x kept)) before in
+        Format.fprintf fmt "v %d  deps {%s} -> {%s}  (pruned: %s)@." (dimacs var) (ids before)
+          (ids after) (ids dropped))
+    r.refinements;
+  Format.fprintf fmt "s analysis pruned=%d linearized=%s@."
+    (r.edges_before - r.edges_after)
+    (if r.linearized then "yes" else "no")

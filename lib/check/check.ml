@@ -6,6 +6,7 @@ module F = Dqbf.Formula
 type level = Off | Cheap | Full
 
 type stage =
+  | Post_analysis
   | Post_preprocess
   | Post_unitpure
   | Post_elimination
@@ -14,6 +15,7 @@ type stage =
   | Post_solve
 
 let stage_name = function
+  | Post_analysis -> "post-analysis"
   | Post_preprocess -> "post-preprocess"
   | Post_unitpure -> "post-unitpure"
   | Post_elimination -> "post-elimination"
@@ -227,9 +229,94 @@ let audit_model ?budget ~stage f model =
   | Ok () -> ()
   | Error e -> violation stage "skolem-model" "%a" Dqbf.Skolem.pp_failure e
 
-(* ---------------------------------------------------------------- driver *)
+(* ------------------------------------------------- dependency-scheme gate *)
+
+(* Validate the static dependency-scheme refinement (lib/analysis) against
+   the *semantics*, not the analyzer's own reasoning: dropping a single
+   pruned edge from the declared prefix must leave the reference-expansion
+   verdict unchanged. The reference solver grounds every universal
+   assignment, so the semantic pass only runs on instances small enough
+   for that to be cheap; the structural pass (every reported edge really
+   was declared) always runs. *)
+
+let sem_max_universals = 8
+let sem_max_vars = 48
+let sem_max_clauses = 256
+
+(* deterministic evenly-spread sample: first, middle, last, ... *)
+let sample_edges k edges =
+  let n = List.length edges in
+  if n <= k then edges
+  else
+    List.filteri
+      (fun i _ -> i * k / n < ((i + 1) * k / n) || i = 0)
+      edges
 
 let c_audits = Obs.Metrics.counter "check.audits"
+
+let audit_dep_pruning ?budget ?(samples = 3) ~level (pcnf : Dqbf.Pcnf.t) ~pruned =
+  match level with
+  | Off -> ()
+  | (Cheap | Full) when pruned = [] -> ()
+  | Cheap | Full -> (
+      let stage = Post_analysis in
+      Obs.Metrics.incr c_audits;
+      Obs.Span.with_ "check.audit"
+        ~attrs:[ ("stage", Obs.Str (stage_name stage)); ("level", Obs.Str (level_name level)) ]
+      @@ fun () ->
+      let univs = Bitset.of_list pcnf.Dqbf.Pcnf.univs in
+      let declared = Hashtbl.create 16 in
+      List.iter (fun (y, deps) -> Hashtbl.replace declared y deps) pcnf.Dqbf.Pcnf.exists;
+      List.iter
+        (fun (x, y) ->
+          if not (Bitset.mem x univs) then
+            violation stage "dep-scheme" "pruned edge (%d,%d): %d is not universal" x y x;
+          match Hashtbl.find_opt declared y with
+          | None ->
+              violation stage "dep-scheme" "pruned edge (%d,%d): %d is not a declared existential"
+                x y y
+          | Some deps ->
+              if not (List.exists (fun d -> d = x) deps) then
+                violation stage "dep-scheme" "pruned edge (%d,%d) was never declared" x y)
+        pruned;
+      let small =
+        List.length pcnf.Dqbf.Pcnf.univs <= sem_max_universals
+        && pcnf.Dqbf.Pcnf.num_vars <= sem_max_vars
+        && List.length pcnf.Dqbf.Pcnf.clauses <= sem_max_clauses
+      in
+      if level = Full && small then
+        (* the semantic pass is advisory on its budget: a reference solver
+           timeout must not convert a healthy solve into an abort, so it
+           runs under a sub-deadline and a timeout just ends the sampling *)
+        let budget = Option.map (fun b -> Budget.sub ~frac:0.25 b) budget in
+        try
+          let baseline =
+            lazy (Dqbf.Reference.by_expansion ?budget (Dqbf.Pcnf.to_formula pcnf))
+          in
+          List.iter
+            (fun (x, y) ->
+              let dropped =
+                {
+                  pcnf with
+                  Dqbf.Pcnf.exists =
+                    List.map
+                      (fun (z, deps) ->
+                        if z = y then (z, List.filter (fun d -> d <> x) deps) else (z, deps))
+                      pcnf.Dqbf.Pcnf.exists;
+                }
+              in
+              let verdict =
+                Dqbf.Reference.by_expansion ?budget (Dqbf.Pcnf.to_formula dropped)
+              in
+              if verdict <> Lazy.force baseline then
+                violation stage "dep-scheme"
+                  "pruned edge (%d,%d) is semantically load-bearing: dropping it flips the \
+                   reference verdict from %b to %b"
+                  x y (Lazy.force baseline) verdict)
+            (sample_edges samples pruned)
+        with Budget.Timeout -> ())
+
+(* ---------------------------------------------------------------- driver *)
 
 let audit_stage ~level ?queue stage f =
   match level with

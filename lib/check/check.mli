@@ -19,6 +19,7 @@
 type level = Off | Cheap | Full
 
 type stage =
+  | Post_analysis  (** after the static dependency-scheme refinement *)
   | Post_preprocess  (** after CNF preprocessing built the formula *)
   | Post_unitpure  (** after a unit/pure round substituted variables *)
   | Post_elimination  (** after a Theorem 1/2 elimination *)
@@ -45,6 +46,24 @@ type violation = { stage : stage; structure : string; detail : string }
 exception Violation of violation
 
 val pp_violation : Format.formatter -> violation -> unit
+
+val audit_dep_pruning :
+  ?budget:Hqs_util.Budget.t ->
+  ?samples:int ->
+  level:level ->
+  Dqbf.Pcnf.t ->
+  pruned:(int * int) list ->
+  unit
+(** Gate the static dependency-scheme refinement ([lib/analysis]): given
+    the {e original} prefixed CNF and the list of pruned edges [(x, y)]
+    (universal [x] dropped from [dep(y)]), check structurally that every
+    pruned edge was declared, and — at [Full] level, on instances small
+    enough for the reference expansion solver — semantically validate a
+    deterministic sample of [samples] (default 3) pruned edges: dropping
+    the edge alone from the declared prefix must not flip the
+    {!Dqbf.Reference.by_expansion} verdict. The semantic pass runs under
+    a sub-deadline of [budget] and is abandoned (not failed) if that
+    expires. [structure] is ["dep-scheme"] on violation. *)
 
 val audit_stage :
   level:level -> ?queue:int list -> stage -> Dqbf.Formula.t -> unit

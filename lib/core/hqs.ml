@@ -21,6 +21,7 @@ type config = {
   chaos : Chaos.t;
   restart_on_memout : bool;
   check_level : Check.level;
+  dep_scheme : Analysis.Scheme.t;
 }
 
 let default_config =
@@ -41,6 +42,10 @@ let default_config =
     (* a malformed HQS_CHECK is reported by the CLI; library users who
        bypass it get the safe default *)
     check_level = (match Check.level_of_env () with Ok l -> l | Error _ -> Check.Off);
+    (* same contract as HQS_CHECK: a malformed HQS_DEP_SCHEME is reported
+       by the CLI; library users get the default scheme *)
+    dep_scheme =
+      (match Analysis.Scheme.of_env () with Ok s -> s | Error _ -> Analysis.Scheme.default);
   }
 
 (* the bounded-restart config: keep the same resource limits but trade
@@ -73,6 +78,9 @@ type stats = {
   mutable sat_conflicts : int;
   mutable sat_propagations : int;
   mutable fraig_merges : int;
+  mutable dep_scheme : string;
+  mutable analysis_edges_pruned : int;
+  mutable analysis_linearized : bool;
   mutable metrics : (string * float) list;
 }
 
@@ -96,6 +104,9 @@ let fresh_stats () =
     sat_conflicts = 0;
     sat_propagations = 0;
     fraig_merges = 0;
+    dep_scheme = Analysis.Scheme.name Analysis.Scheme.Trivial;
+    analysis_edges_pruned = 0;
+    analysis_linearized = false;
     metrics = [];
   }
 
@@ -398,27 +409,52 @@ let solve_formula_model ?(config = default_config) ?(budget = Budget.unlimited) 
   in
   (verdict, model, stats)
 
+(* Static dependency-scheme refinement (lib/analysis), the first pipeline
+   stage: prune spurious dependency edges on the prefixed CNF before any
+   AIG is built, so CNF preprocessing (universal reduction in particular),
+   the MaxSAT elimination-set selector and linearization all see the
+   smaller dependency graph. The soundness gate semantically validates a
+   sample of pruned edges at [Full] depth. *)
+let refine_pcnf ~(config : config) ~budget pcnf =
+  let refined, report = Analysis.Rp.analyze ~scheme:config.dep_scheme pcnf in
+  Check.audit_dep_pruning ~budget ~level:config.check_level pcnf
+    ~pruned:report.Analysis.Rp.pruned;
+  (refined, report)
+
+let record_analysis stats (report : Analysis.Rp.report) =
+  stats.dep_scheme <- Analysis.Scheme.name report.Analysis.Rp.scheme;
+  stats.analysis_edges_pruned <- List.length report.Analysis.Rp.pruned;
+  stats.analysis_linearized <- report.Analysis.Rp.linearized
+
 let solve_pcnf ?(config = default_config) ?(budget = Budget.unlimited) pcnf =
-  match Dqbf.Preprocess.run ~config:config.preprocess ?node_limit:config.node_limit pcnf with
+  let refined, report = refine_pcnf ~config ~budget pcnf in
+  match Dqbf.Preprocess.run ~config:config.preprocess ?node_limit:config.node_limit refined with
   | Dqbf.Preprocess.Unsat ->
       let stats = fresh_stats () in
+      record_analysis stats report;
       (Unsat, stats)
   | Dqbf.Preprocess.Formula (f, pre) ->
       Check.audit_stage ~level:config.check_level Check.Post_preprocess f;
       let verdict, stats = solve_recoverable ~config ~budget ~trail:None f in
       stats.pre_stats <- Some pre;
+      record_analysis stats report;
       (verdict, stats)
 
 let solve_pcnf_model ?(config = default_config) ?(budget = Budget.unlimited) pcnf =
   let trail = Dqbf.Model_trail.create () in
+  let refined, report = refine_pcnf ~config ~budget pcnf in
   match
-    Dqbf.Preprocess.run ~config:config.preprocess ?node_limit:config.node_limit ~trail pcnf
+    Dqbf.Preprocess.run ~config:config.preprocess ?node_limit:config.node_limit ~trail refined
   with
-  | Dqbf.Preprocess.Unsat -> (Unsat, None, fresh_stats ())
+  | Dqbf.Preprocess.Unsat ->
+      let stats = fresh_stats () in
+      record_analysis stats report;
+      (Unsat, None, stats)
   | Dqbf.Preprocess.Formula (f, pre) ->
       Check.audit_stage ~level:config.check_level Check.Post_preprocess f;
       let verdict, stats = solve_recoverable ~config ~budget ~trail:(Some trail) f in
       stats.pre_stats <- Some pre;
+      record_analysis stats report;
       let model =
         match verdict with
         | Unsat -> None
@@ -439,8 +475,10 @@ let pp_stats fmt s =
   Format.fprintf fmt
     "univ-elims=%d exist-elims=%d unit/pure=%d maxsat-runs=%d maxsat-set=%d maxsat-time=%.3fs \
      unitpure-time=%.3fs qbf-time=%.3fs peak-nodes=%d sat-conflicts=%d sat-propagations=%d \
-     fraig-merges=%d checks=%d check-level=%s total=%.3fs restarts=%d degraded=%s"
+     fraig-merges=%d checks=%d check-level=%s total=%.3fs restarts=%d degraded=%s \
+     dep-scheme=%s dep-pruned=%d linearized=%b"
     s.univ_elims s.exist_elims s.unitpure_elims s.maxsat_runs s.maxsat_set_size s.maxsat_time
     s.unitpure_time s.qbf_time s.peak_nodes s.sat_conflicts s.sat_propagations s.fraig_merges
     s.checks_run s.check_level s.total_time s.restarts
     (match s.degraded with [] -> "-" | l -> String.concat "," l)
+    s.dep_scheme s.analysis_edges_pruned s.analysis_linearized

@@ -63,6 +63,16 @@ type config = {
           call. Defaults to the [HQS_CHECK] environment variable ([Off]
           when unset or malformed — the CLI reports malformed values).
           Violations escape the solve as {!Check.Violation}. *)
+  dep_scheme : Analysis.Scheme.t;
+      (** static dependency scheme applied to the prefixed CNF before
+          preprocessing (see {!Analysis.Rp}): [Rp] (the default) prunes
+          spurious dependency edges via resolution paths, shrinking the
+          MaxSAT elimination sets and sometimes proving the prefix
+          already linearly orderable; [Trivial] keeps the prefix as
+          written. Defaults to the [HQS_DEP_SCHEME] environment variable
+          ([rp] when unset or malformed — the CLI reports malformed
+          values). Only [solve_pcnf]/[solve_pcnf_model] run the analyzer;
+          the [solve_formula] entry points take the prefix as given. *)
 }
 
 val default_config : config
@@ -94,6 +104,14 @@ type stats = {
   mutable sat_conflicts : int;  (** CDCL conflicts across every embedded SAT call *)
   mutable sat_propagations : int;
   mutable fraig_merges : int;  (** equivalence classes collapsed by FRAIG sweeping *)
+  mutable dep_scheme : string;
+      (** the dependency scheme the prefix was refined under (["trivial"]
+          for the [solve_formula] entry points, which skip the analyzer) *)
+  mutable analysis_edges_pruned : int;
+      (** dependency edges removed by the static analyzer *)
+  mutable analysis_linearized : bool;
+      (** the analyzer alone made the dependency graph linearly orderable
+          — the solve skipped universal expansion *)
   mutable metrics : (string * float) list;
       (** full per-solve snapshot of the {!Obs.Metrics} registry (counters
           and histogram series as deltas over the solve, gauges as final

@@ -21,9 +21,20 @@ let minimum_set ?budget f =
   let pairs = incomparable_diffs f in
   if pairs = [] then []
   else begin
-    (* MaxSAT variables: one per universal (the "hat" variables), then
-       selectors allocated after them *)
-    let univs = Bitset.to_list (Formula.universals f) in
+    (* MaxSAT variables: one per *relevant* universal (the "hat"
+       variables), then selectors allocated after them. A universal in no
+       difference set appears in no hard clause, so its soft unit is
+       trivially satisfiable and it can never enter an optimal solution —
+       restricting to the union of the difference sets yields the same
+       optimum with fewer soft clauses. The static dependency-scheme
+       refinement (lib/analysis) shrinks the difference sets themselves,
+       so the MaxSAT instance shrinks with it. *)
+    let relevant =
+      List.fold_left
+        (fun acc (d1, d2) -> Bitset.union acc (Bitset.union d1 d2))
+        Bitset.empty pairs
+    in
+    let univs = Bitset.to_list relevant in
     let index = Hashtbl.create 16 in
     List.iteri (fun i x -> Hashtbl.replace index x i) univs;
     let n_univ = List.length univs in

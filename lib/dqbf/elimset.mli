@@ -3,9 +3,13 @@
 
     For every pair of existentials with incomparable dependency sets, a
     hard constraint demands that one of the two set differences be
-    entirely eliminated; a soft unit clause per universal variable asks it
-    to be kept. The MaxSAT optimum is a minimum set of universal variables
-    whose elimination makes the dependency graph acyclic. *)
+    entirely eliminated; a soft unit clause per {e relevant} universal
+    variable (one occurring in some difference set — the others can never
+    enter an optimal solution) asks it to be kept. The MaxSAT optimum is
+    a minimum set of universal variables whose elimination makes the
+    dependency graph acyclic. Refining the prefix first with the static
+    dependency-scheme analyzer ([lib/analysis]) shrinks the difference
+    sets, hence both the MaxSAT instance and its optimum. *)
 
 val minimum_set : ?budget:Hqs_util.Budget.t -> Formula.t -> int list
 (** Universal variables to eliminate (unordered). Empty when the formula

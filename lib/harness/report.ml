@@ -181,6 +181,16 @@ let csv_metric_columns =
     ("hqs_checks", fun s -> string_of_int s.Hqs.checks_run);
   ]
 
+(* the static-analysis columns ride behind the executor block (again so
+   the pre-existing columns keep their byte positions); cells are empty
+   for runs without stats, like the metric block *)
+let csv_analysis_columns =
+  [
+    ("hqs_dep_scheme", fun (s : Hqs.stats) -> s.Hqs.dep_scheme);
+    ("hqs_analysis_edges_pruned", fun s -> string_of_int s.Hqs.analysis_edges_pruned);
+    ("hqs_analysis_linearized", fun s -> if s.Hqs.analysis_linearized then "1" else "0");
+  ]
+
 let csv results =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "id,family,hqs_outcome,hqs_time,idq_outcome,idq_time,hqs_degraded,check";
@@ -188,6 +198,7 @@ let csv results =
   (* executor columns, appended after the metric block so every
      pre-existing column keeps its position byte-for-byte *)
   Buffer.add_string buf ",outcome,attempts,worker_pid";
+  List.iter (fun (name, _) -> Buffer.add_string buf ("," ^ name)) csv_analysis_columns;
   Buffer.add_char buf '\n';
   let cells = function
     | Solved (true, t) -> ("SAT", t)
@@ -217,6 +228,11 @@ let csv results =
       Buffer.add_string buf
         (Printf.sprintf ",%s,%d,%s" (classify r.hqs) r.attempts
            (match r.worker_pid with Some p -> string_of_int p | None -> ""));
+      List.iter
+        (fun (_, cell) ->
+          Buffer.add_char buf ',';
+          match r.hqs_stats with Some s -> Buffer.add_string buf (cell s) | None -> ())
+        csv_analysis_columns;
       Buffer.add_char buf '\n')
     results;
   Buffer.contents buf

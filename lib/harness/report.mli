@@ -16,6 +16,8 @@ val csv : Runner.result list -> string
     times, SAT conflict/propagation counts, FRAIG merges, audits run),
     then the executor columns [outcome] (solved/timeout/memout/crash,
     classifying the HQS run), [attempts] and [worker_pid] (empty for
-    in-process runs). The pre-existing columns keep their positions
-    byte-for-byte; metric cells are empty for runs that timed or memed
-    out before a verdict. *)
+    in-process runs), then the static-analysis columns [hqs_dep_scheme],
+    [hqs_analysis_edges_pruned] and [hqs_analysis_linearized]. The
+    pre-existing columns keep their positions byte-for-byte; metric and
+    analysis cells are empty for runs that timed or memed out before a
+    verdict. *)

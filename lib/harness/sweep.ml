@@ -88,6 +88,9 @@ let stats_to_json (s : Hqs.stats) =
       i "sat_conflicts" s.Hqs.sat_conflicts;
       i "sat_propagations" s.Hqs.sat_propagations;
       i "fraig_merges" s.Hqs.fraig_merges;
+      ("dep_scheme", Json.Str s.Hqs.dep_scheme);
+      i "analysis_edges_pruned" s.Hqs.analysis_edges_pruned;
+      i "analysis_linearized" (if s.Hqs.analysis_linearized then 1 else 0);
       ("metrics", Json.Obj (List.map (fun (k, v) -> (k, Json.Num v)) s.Hqs.metrics));
     ]
 
@@ -127,6 +130,11 @@ let stats_of_json j =
           sat_conflicts = get0 (int "sat_conflicts");
           sat_propagations = get0 (int "sat_propagations");
           fraig_merges = get0 (int "fraig_merges");
+          dep_scheme =
+            Option.value ~default:"trivial"
+              (Option.bind (Json.member "dep_scheme" j) Json.to_string);
+          analysis_edges_pruned = get0 (int "analysis_edges_pruned");
+          analysis_linearized = get0 (int "analysis_linearized") <> 0;
           metrics =
             (match Json.member "metrics" j with
             | Some (Json.Obj kvs) ->

@@ -12,12 +12,27 @@
      cannot distinguish from a parser error (only the DIMACS-family
      parsers use it as their documented parse-error channel);
    - a missing [.mli] leaks mutable internals that the auditor assumes
-     only the public API can touch.
+     only the public API can touch;
+   - a raw [Unix.openfile]/[Unix.pipe]/[Unix.socket] outside [lib/exec]
+     creates file descriptors with none of the supervisor's close-on-exec
+     and cleanup discipline (the fd-leak surface that poisons forked
+     sweep workers);
+   - a wall-clock read ([Unix.gettimeofday]/[Unix.time]) outside
+     [lib/util] silently breaks budgets and trace timestamps under clock
+     steps — solver paths must use the monotonic [Budget.now].
 
    Diagnostics can be suppressed by a comment containing
    "lint: allow <rule-name>" on the offending line or the line above. *)
 
-type rule = Catch_all | Poly_compare | Obj_magic | Failwith_lib | Missing_mli | Syntax
+type rule =
+  | Catch_all
+  | Poly_compare
+  | Obj_magic
+  | Failwith_lib
+  | Missing_mli
+  | Raw_fd
+  | Wall_clock
+  | Syntax
 
 let rule_name = function
   | Catch_all -> "catch-all"
@@ -25,6 +40,8 @@ let rule_name = function
   | Obj_magic -> "obj-magic"
   | Failwith_lib -> "failwith-lib"
   | Missing_mli -> "missing-mli"
+  | Raw_fd -> "raw-fd"
+  | Wall_clock -> "wall-clock"
   | Syntax -> "syntax"
 
 type diag = { file : string; line : int; col : int; rule : rule; msg : string }
@@ -47,13 +64,25 @@ let rec flat = function
 
 let ident_path li = String.concat "." (flat li)
 
-(* in a path like "lib/sat/dimacs.ml", is some directory segment "lib"? *)
-let in_lib path =
+let dir_segments path =
   let rec segments p acc =
     let d = Filename.dirname p in
     if d = p then acc else segments d (Filename.basename p :: acc)
   in
-  List.mem "lib" (segments (Filename.dirname path) [])
+  segments (Filename.dirname path) []
+
+(* in a path like "lib/sat/dimacs.ml", is some directory segment "lib"? *)
+let in_lib path = List.mem "lib" (dir_segments path)
+
+(* is the file under the "lib/<sub>" directory (at any depth prefix)? the
+   scope carve-outs for the fd and wall-clock rules *)
+let in_lib_sub sub path =
+  let rec adjacent = function
+    | "lib" :: next :: _ when next = sub -> true
+    | _ :: rest -> adjacent rest
+    | [] -> false
+  in
+  adjacent (dir_segments path)
 
 let rec catch_all_pattern p =
   match p.Parsetree.ppat_desc with
@@ -107,6 +136,18 @@ let collect_structure ~path structure =
             if in_lib path then
               add Failwith_lib
                 "failwith in library code: raise a typed exception the caller can match"
+                loc
+        | "Unix.openfile" | "Unix.pipe" | "Unix.socket" ->
+            if not (in_lib_sub "exec" path) then
+              add Raw_fd
+                "raw file descriptor outside lib/exec: use the supervisor's wrappers (leaked \
+                 fds survive the fork into sweep workers)"
+                loc
+        | "Unix.gettimeofday" | "Unix.time" ->
+            if not (in_lib_sub "util" path) then
+              add Wall_clock
+                "wall-clock time outside lib/util: use the monotonic Budget.now (wall time \
+                 breaks budgets and traces under clock steps)"
                 loc
         | ("=" | "<>") when not (Hashtbl.mem blessed loc) ->
             add Poly_compare
@@ -191,18 +232,29 @@ let check_missing_mli files =
 
 (* ------------------------------------------------------------------ walk *)
 
-let rec walk path acc =
-  if Sys.is_directory path then
-    Array.fold_left
-      (fun acc entry ->
-        if entry = "_build" || entry = ".git" || (entry <> "" && entry.[0] = '.') then acc
-        else walk (Filename.concat path entry) acc)
-      acc (Sys.readdir path)
-  else if Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli" then path :: acc
-  else acc
+(* Collect lintable files and every path the walk could not read, instead
+   of crashing on the [Sys_error] from an unreadable directory (or — the
+   silent-skip failure mode — pretending it was clean). *)
+let rec walk path ((files, errors) as acc) =
+  match Sys.is_directory path with
+  | true -> (
+      match Sys.readdir path with
+      | entries ->
+          Array.fold_left
+            (fun acc entry ->
+              if entry = "_build" || entry = ".git" || (entry <> "" && entry.[0] = '.') then acc
+              else walk (Filename.concat path entry) acc)
+            acc entries
+      | exception Sys_error msg -> (files, msg :: errors))
+  | false ->
+      if Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli" then
+        (path :: files, errors)
+      else acc
+  | exception Sys_error msg -> (files, msg :: errors)
 
 let lint_paths paths =
-  let files = List.sort String.compare (List.fold_left (fun acc p -> walk p acc) [] paths) in
+  let files, _errors = List.fold_left (fun acc p -> walk p acc) ([], []) paths in
+  let files = List.sort String.compare files in
   List.concat_map lint_file files @ check_missing_mli files
 
 let run paths =
@@ -216,9 +268,25 @@ let run paths =
         2
       end
       else
-        match lint_paths paths with
-        | [] -> 0
-        | diags ->
-            List.iter (fun d -> Format.printf "%a@." pp_diag d) diags;
-            Format.printf "lint: %d finding(s)@." (List.length diags);
-            1)
+        let per_path = List.map (fun p -> (p, walk p ([], []))) paths in
+        let errors = List.concat_map (fun (_, (_, errors)) -> errors) per_path in
+        if errors <> [] then begin
+          List.iter (fun msg -> Printf.eprintf "lint: cannot read: %s\n" msg) errors;
+          2
+        end
+        else
+          match
+            List.find_opt (fun (_, (files, _)) -> files = []) per_path
+          with
+          | Some (p, _) ->
+              (* a path the user named but that contributes nothing would
+                 otherwise pass silently — e.g. a typo'd non-source file *)
+              Printf.eprintf "lint: no .ml/.mli files under: %s\n" p;
+              2
+          | None -> (
+              match lint_paths paths with
+              | [] -> 0
+              | diags ->
+                  List.iter (fun d -> Format.printf "%a@." pp_diag d) diags;
+                  Format.printf "lint: %d finding(s)@." (List.length diags);
+                  1))

@@ -12,17 +12,33 @@
       allowlisted DIMACS-family parsers where [Failure] is the documented
       parse-error channel;
     - [Missing_mli] — a [lib/] implementation without a sibling [.mli];
+    - [Raw_fd] — raw [Unix.openfile]/[Unix.pipe]/[Unix.socket] outside
+      [lib/exec]: descriptors opened elsewhere have none of the
+      supervisor's close-on-exec and cleanup discipline and leak into
+      forked sweep workers;
+    - [Wall_clock] — [Unix.gettimeofday]/[Unix.time] outside [lib/util]:
+      solver paths must use the monotonic [Budget.now], wall time breaks
+      budgets and trace timestamps under clock steps;
     - [Syntax] — the file does not parse (also covers unreadable files).
 
     Suppression: a comment containing [lint: allow <rule-name>] on the
     diagnostic's line or the line directly above silences it, e.g.
     [(* lint: allow poly-compare *)]. *)
 
-type rule = Catch_all | Poly_compare | Obj_magic | Failwith_lib | Missing_mli | Syntax
+type rule =
+  | Catch_all
+  | Poly_compare
+  | Obj_magic
+  | Failwith_lib
+  | Missing_mli
+  | Raw_fd
+  | Wall_clock
+  | Syntax
 
 val rule_name : rule -> string
 (** ["catch-all"], ["poly-compare"], ["obj-magic"], ["failwith-lib"],
-    ["missing-mli"], ["syntax"] — the names used by suppression comments. *)
+    ["missing-mli"], ["raw-fd"], ["wall-clock"], ["syntax"] — the names
+    used by suppression comments. *)
 
 type diag = { file : string; line : int; col : int; rule : rule; msg : string }
 
@@ -41,8 +57,12 @@ val check_missing_mli : string list -> diag list
 val lint_paths : string list -> diag list
 (** Walk files and directories (skipping [_build], [.git] and dotfiles),
     lint every [.ml]/[.mli], apply the allowlist and suppression
-    comments, and append the {!check_missing_mli} pass. *)
+    comments, and append the {!check_missing_mli} pass. Unreadable
+    directories are skipped here (the pure API stays total); {!run}
+    turns them into a usage error. *)
 
 val run : string list -> int
 (** CLI driver: print diagnostics, return the exit code — 0 clean,
-    1 findings, 2 usage error (no paths, or a path does not exist). *)
+    1 findings, 2 usage error (no paths, a path that does not exist or
+    cannot be read, or a path contributing no [.ml]/[.mli] files —
+    nothing a CI gate passes is ever silently skipped). *)

@@ -223,11 +223,14 @@ let test_csv_executor_columns () =
     (let prefix = "id,family,hqs_outcome,hqs_time,idq_outcome,idq_time,hqs_degraded" in
      let n = String.length prefix in
      String.length header > n && String.sub header 0 n = prefix);
-  check "executor columns last" true
-    (let suffix = ",outcome,attempts,worker_pid" in
+  check "executor then analysis columns last" true
+    (let suffix =
+       ",outcome,attempts,worker_pid,hqs_dep_scheme,hqs_analysis_edges_pruned,hqs_analysis_linearized"
+     in
      let n = String.length header and m = String.length suffix in
      n > m && String.sub header (n - m) m = suffix);
-  check "in-process rows: solved, 1 attempt, empty pid" true (contains s ",solved,1,\n")
+  check "in-process rows: solved, 1 attempt, empty pid, blank analysis cells" true
+    (contains s ",solved,1,,,,\n")
 
 let () =
   Alcotest.run "harness"

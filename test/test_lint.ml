@@ -49,6 +49,31 @@ let test_failwith_scope () =
   check "failwith passes in bin/" false (has Linter.Failwith_lib ~path:"bin/tool.ml" src);
   check "failwith passes in test/" false (has Linter.Failwith_lib ~path:"test/t.ml" src)
 
+let test_raw_fd () =
+  check "Unix.openfile flagged outside lib/exec" true
+    (has Linter.Raw_fd ~path:lib_path "let f p = Unix.openfile p [ Unix.O_RDONLY ] 0\n");
+  check "Unix.pipe flagged in bin/" true
+    (has Linter.Raw_fd ~path:"bin/tool.ml" "let p () = Unix.pipe ()\n");
+  check "Unix.socket flagged" true
+    (has Linter.Raw_fd ~path:lib_path
+       "let s () = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0\n");
+  check "lib/exec is the sanctioned home" false
+    (has Linter.Raw_fd ~path:"lib/exec/journal.ml" "let p () = Unix.pipe ()\n");
+  check "other Unix calls pass" false
+    (has Linter.Raw_fd ~path:lib_path "let r fd b = Unix.read fd b 0 1\n")
+
+let test_wall_clock () =
+  check "Unix.gettimeofday flagged outside lib/util" true
+    (has Linter.Wall_clock ~path:lib_path "let t () = Unix.gettimeofday ()\n");
+  check "Unix.time flagged" true
+    (has Linter.Wall_clock ~path:lib_path "let t () = Unix.time ()\n");
+  check "flagged in examples too" true
+    (has Linter.Wall_clock ~path:"examples/demo.ml" "let t = Unix.gettimeofday ()\n");
+  check "lib/util is the sanctioned home" false
+    (has Linter.Wall_clock ~path:"lib/util/mono.ml" "let t () = Unix.gettimeofday ()\n");
+  check "monotonic Budget.now passes" false
+    (has Linter.Wall_clock ~path:lib_path "let t () = Hqs_util.Budget.now ()\n")
+
 let test_syntax () =
   check "unparsable source reported" true (has Linter.Syntax ~path:lib_path "let let let\n");
   check "unparsable mli reported" true (has Linter.Syntax ~path:"lib/fake/mod.mli" "val val\n");
@@ -130,6 +155,24 @@ let test_allowlist_and_walk () =
       check_int "allowlisted failwith and skipped dirs yield no findings" 0
         (List.length (Linter.lint_paths [ dir ])))
 
+let test_run_exit_codes () =
+  check_int "nonexistent path is a usage error" 2
+    (Linter.run [ "/nonexistent/no/such/path" ]);
+  with_tree
+    [ ("README.txt", "not a source file\n"); ("lib/a/x.ml", "let x = 1\n");
+      ("lib/a/x.mli", "val x : int\n") ]
+    (fun dir ->
+      check_int "path with no lintable files is a usage error" 2
+        (Linter.run [ Filename.concat dir "README.txt" ]);
+      check_int "clean tree passes" 0 (Linter.run [ dir ]);
+      (* inject a finding and expect exit 1 *)
+      let bad = Filename.concat dir "lib/a/y.ml" in
+      Out_channel.with_open_bin bad (fun oc ->
+          Out_channel.output_string oc "let f x = try x () with _ -> 0\n");
+      Fun.protect
+        ~finally:(fun () -> Sys.remove bad)
+        (fun () -> check_int "findings exit 1" 1 (Linter.run [ dir ])))
+
 let () =
   Alcotest.run "lint"
     [
@@ -139,6 +182,8 @@ let () =
           Alcotest.test_case "poly-compare" `Quick test_poly_compare;
           Alcotest.test_case "obj-magic" `Quick test_obj_magic;
           Alcotest.test_case "failwith scope" `Quick test_failwith_scope;
+          Alcotest.test_case "raw-fd scope" `Quick test_raw_fd;
+          Alcotest.test_case "wall-clock scope" `Quick test_wall_clock;
           Alcotest.test_case "syntax" `Quick test_syntax;
           Alcotest.test_case "missing mli" `Quick test_missing_mli;
           Alcotest.test_case "positions" `Quick test_positions;
@@ -147,5 +192,6 @@ let () =
         [
           Alcotest.test_case "suppression" `Quick test_suppression;
           Alcotest.test_case "allowlist and walk" `Quick test_allowlist_and_walk;
+          Alcotest.test_case "run exit codes" `Quick test_run_exit_codes;
         ] );
     ]
