@@ -435,13 +435,13 @@ let analysis_baseline () =
     (fun i inst ->
       let o_triv, s_triv = solve Analysis.Scheme.Trivial inst.Fam.pcnf in
       let o_rp, s_rp = solve Analysis.Scheme.Rp inst.Fam.pcnf in
-      let ms = function Some (s : Hqs.stats) -> s.Hqs.maxsat_set_size | None -> -1 in
+      let ms = Option.map (fun (s : Hqs.stats) -> s.Hqs.maxsat_set_size) in
       let ms_triv = ms s_triv and ms_rp = ms s_rp in
-      let pruned, linearized =
-        match s_rp with
-        | Some s -> (s.Hqs.analysis_edges_pruned, s.Hqs.analysis_linearized)
-        | None -> (-1, false)
+      let delta =
+        match (ms_triv, ms_rp) with Some a, Some b -> Some (a - b) | _ -> None
       in
+      let pruned = Option.map (fun (s : Hqs.stats) -> s.Hqs.analysis_edges_pruned) s_rp in
+      let linearized = Option.map (fun (s : Hqs.stats) -> s.Hqs.analysis_linearized) s_rp in
       if verdict_str o_triv <> verdict_str o_rp then
         Printf.eprintf "analysis baseline: scheme verdicts differ on %s (%s vs %s)\n%!"
           inst.Fam.id (verdict_str o_triv) (verdict_str o_rp);
@@ -453,17 +453,18 @@ let analysis_baseline () =
         (Printf.sprintf "      \"verdict_trivial\": %s, \"verdict_rp\": %s,\n"
            (json_str (verdict_str o_triv))
            (json_str (verdict_str o_rp)));
+      let icell = Harness.Report.json_int_cell and bcell = Harness.Report.json_bool_cell in
       Buffer.add_string buf
         (Printf.sprintf
-           "      \"maxsat_set_trivial\": %d, \"maxsat_set_rp\": %d, \
-            \"maxsat_set_delta\": %d,\n"
-           ms_triv ms_rp
-           (if ms_triv >= 0 && ms_rp >= 0 then ms_triv - ms_rp else 0));
+           "      \"maxsat_set_trivial\": %s, \"maxsat_set_rp\": %s, \
+            \"maxsat_set_delta\": %s,\n"
+           (icell ms_triv) (icell ms_rp) (icell delta));
       Buffer.add_string buf
-        (Printf.sprintf "      \"edges_pruned\": %d, \"linearized\": %b\n" pruned linearized);
+        (Printf.sprintf "      \"edges_pruned\": %s, \"linearized\": %s\n" (icell pruned)
+           (bcell linearized));
       Buffer.add_string buf (Printf.sprintf "    }%s\n" (if i < n - 1 then "," else ""));
-      Printf.eprintf "[analysis %d/%d] %-28s %s maxsat %d->%d pruned %d\n%!" (i + 1) n
-        inst.Fam.id (verdict_str o_rp) ms_triv ms_rp pruned)
+      Printf.eprintf "[analysis %d/%d] %-28s %s maxsat %s->%s pruned %s\n%!" (i + 1) n
+        inst.Fam.id (verdict_str o_rp) (icell ms_triv) (icell ms_rp) (icell pruned))
     cases;
   Buffer.add_string buf "  ]\n}\n";
   let body = Buffer.contents buf in

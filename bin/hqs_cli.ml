@@ -544,6 +544,274 @@ let analyze_cmd =
   in
   Cmd.v (Cmd.info "analyze" ~doc ~man) Term.(const analyze $ file $ dep_scheme $ check)
 
+(* -------------------------------------------------------- serve command *)
+
+(* hqs serve: persistent solver daemon on a Unix-domain socket; see
+   Serve.Daemon for the robustness contract. Exits 0 after a SIGTERM /
+   SIGINT drain, 2 on usage errors (bad bounds, unbindable socket). *)
+
+let resolve_check_level check =
+  match check with
+  | Some s -> (
+      match Check.level_of_string s with
+      | Some l -> l
+      | None ->
+          Printf.eprintf "error: --check %s: expected off, cheap or full\n" s;
+          exit 2)
+  | None -> (
+      match Check.level_of_env () with
+      | Ok l -> l
+      | Error msg ->
+          Printf.eprintf "error: %s\n" msg;
+          exit 2)
+
+let serve socket workers queue_cap timeout max_timeout kill_grace retries mem_limit node_limit
+    cache check audit_period trace chaos_seed chaos_points chaos_kill dep_scheme =
+  (* no install_signal_handlers: SIGTERM/SIGINT mean "drain", not "abort" *)
+  let check_level = resolve_check_level check in
+  let chaos =
+    let points =
+      (match chaos_points with None -> [] | Some s -> Hqs_util.Chaos.parse_points s)
+      @
+      (* convenience: kill the first dispatch of one job id — the retry
+         then succeeds, which is the structured-reply-after-crash path *)
+      (match chaos_kill with
+      | None -> []
+      | Some jid -> [ Serve.Daemon.kill_point ~jid ~attempt:1 ])
+    in
+    match (chaos_seed, points) with
+    | None, [] -> Hqs_util.Chaos.off
+    | seed, points -> Hqs_util.Chaos.create ~seed:(Option.value seed ~default:0) ~points ()
+  in
+  let solver =
+    {
+      Hqs.default_config with
+      Hqs.node_limit;
+      check_level;
+      dep_scheme = resolve_dep_scheme dep_scheme;
+    }
+  in
+  let config =
+    {
+      (Serve.Daemon.default ~socket_path:socket) with
+      Serve.Daemon.workers;
+      queue_cap;
+      default_timeout_s = timeout;
+      max_timeout_s = max_timeout;
+      kill_grace_s = kill_grace;
+      max_attempts = retries;
+      mem_limit_mb = mem_limit;
+      chaos;
+      check_level;
+      audit_period;
+      cache_path = cache;
+      trace_path = trace;
+      solver;
+    }
+  in
+  Printf.eprintf "c serve: listening on %s (%d workers, queue cap %d)\n%!" socket workers
+    queue_cap;
+  match Serve.Daemon.run config with
+  | () ->
+      Printf.eprintf "c serve: drained, exiting\n%!";
+      exit 0
+  | exception Invalid_argument msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 2
+  | exception Unix.Unix_error (err, fn, arg) ->
+      Printf.eprintf "error: %s(%s): %s\n" fn arg (Unix.error_message err);
+      exit 2
+
+let socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path of the daemon")
+
+let serve_cmd =
+  let doc = "persistent solver daemon with a worker pool and a canonical-form verdict cache" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Listens on a Unix-domain socket and dispatches DQDIMACS solve requests to a pool of \
+         forked solver workers under per-request wall/heap budgets. Crashed workers are \
+         respawned with exponential-backoff quarantine and the affected request is retried; \
+         clients always receive a structured reply (verdict, timeout, memout, crash, \
+         overloaded, draining) — never a hung connection. Verdicts are memoized under a \
+         canonical form of the instance (variable renaming + clause reordering invariant); \
+         with $(b,--check full), every $(b,--audit-period)-th cache hit is re-solved and \
+         compared. SIGTERM drains gracefully: in-flight requests finish, new ones are \
+         refused, exit code 0.";
+      `S "EXIT STATUS";
+      `P "0 after a graceful drain; 2 on usage errors; 1 on internal errors.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc ~man)
+    Term.(
+      const serve $ socket_arg
+      $ Arg.(value & opt int 2 & info [ "workers"; "j" ] ~docv:"N" ~doc:"worker pool size")
+      $ Arg.(
+          value
+          & opt int 16
+          & info [ "queue-cap" ] ~docv:"N"
+              ~doc:"admission queue bound; beyond it requests are shed with `overloaded'")
+      $ Arg.(
+          value
+          & opt float 60.0
+          & info [ "timeout"; "t" ] ~docv:"SECONDS"
+              ~doc:"default per-request wall budget (clients may ask for less)")
+      $ Arg.(
+          value
+          & opt float 600.0
+          & info [ "max-timeout" ] ~docv:"SECONDS" ~doc:"ceiling on client-requested budgets")
+      $ Arg.(
+          value
+          & opt float 2.0
+          & info [ "kill-grace" ] ~docv:"SECONDS"
+              ~doc:"SIGKILL a worker this long past its request deadline")
+      $ Arg.(
+          value
+          & opt int 3
+          & info [ "retries" ] ~docv:"K"
+              ~doc:"dispatches per request before a structured `crash' reply")
+      $ sweep_mem_limit $ node_limit
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "cache" ] ~docv:"FILE"
+              ~doc:
+                "persist the verdict cache to this checksummed append-only journal and \
+                 preload it on start")
+      $ check
+      $ Arg.(
+          value
+          & opt int 4
+          & info [ "audit-period" ] ~docv:"N"
+              ~doc:
+                "with --check full, re-solve every Nth cache hit and compare verdicts (0 \
+                 disables auditing)")
+      $ trace $ chaos_seed $ chaos_points
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "chaos-kill" ] ~docv:"JID"
+              ~doc:
+                "arm a deterministic SIGKILL of the first dispatch of this job id (job ids \
+                 count from 1 in admission order)")
+      $ dep_scheme)
+
+(* -------------------------------------------------------- query command *)
+
+(* hqs query: one request against a running daemon. Exit codes:
+     10/20     SAT/UNSAT (cached or fresh)
+     124/125   structured timeout / memout reply
+     5         request failed after worker crashes
+     75        daemon overloaded or draining (EX_TEMPFAIL: retry later)
+     3         cache audit failure ("s cnf ERROR")
+     2         usage error, invalid instance, or daemon unreachable
+     0         --ping / --stats *)
+
+let query socket file ping stats timeout sleep =
+  install_signal_handlers ();
+  let request =
+    if ping then Serve.Proto.Ping
+    else if stats then Serve.Proto.Stats
+    else
+      match file with
+      | Some f -> (
+          match In_channel.with_open_bin f In_channel.input_all with
+          | text -> Serve.Proto.Solve { text; timeout_s = timeout; sleep_s = sleep }
+          | exception Sys_error msg ->
+              Printf.eprintf "error: %s\n" msg;
+              exit 2)
+      | None ->
+          Printf.eprintf "error: need a FILE argument, --ping or --stats\n";
+          exit 2
+  in
+  match Serve.Client.roundtrip ~socket request with
+  | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 2
+  | Ok reply -> (
+      match reply with
+      | Serve.Proto.Pong ->
+          print_endline "c pong";
+          exit 0
+      | Serve.Proto.Stats_reply { workers; queue_depth; metrics } ->
+          Printf.printf "c workers %d\nc queue_depth %d\n" workers queue_depth;
+          List.iter (fun (name, v) -> Printf.printf "c metric %s %g\n" name v) metrics;
+          exit 0
+      | Serve.Proto.Verdict { sat; elapsed_s; cached; audited } ->
+          Printf.printf "c elapsed %.3fs%s%s\n" elapsed_s
+            (if cached then " (cached)" else "")
+            (if audited then " (audited)" else "");
+          print_endline (if sat then "s cnf SAT" else "s cnf UNSAT");
+          exit (if sat then 10 else 20)
+      | Serve.Proto.Failed { failure = Serve.Proto.F_timeout; elapsed_s; detail } ->
+          Printf.eprintf "c timeout after %.3fs: %s\n" elapsed_s detail;
+          print_endline "s cnf TIMEOUT";
+          exit 124
+      | Serve.Proto.Failed { failure = Serve.Proto.F_memout; elapsed_s; detail } ->
+          Printf.eprintf "c memout after %.3fs: %s\n" elapsed_s detail;
+          print_endline "s cnf MEMOUT";
+          exit 125
+      | Serve.Proto.Failed { failure = Serve.Proto.F_crash; detail; _ } ->
+          Printf.eprintf "c crash: %s\n" detail;
+          print_endline "s cnf ERROR";
+          exit 5
+      | Serve.Proto.Overloaded { queue_depth } ->
+          Printf.eprintf "c overloaded (queue depth %d), retry later\n" queue_depth;
+          exit 75
+      | Serve.Proto.Draining ->
+          Printf.eprintf "c daemon is draining, retry elsewhere\n";
+          exit 75
+      | Serve.Proto.Invalid msg ->
+          Printf.eprintf "invalid request: %s\n" msg;
+          exit 2
+      | Serve.Proto.Audit_failed { cached_sat; fresh_sat } ->
+          Printf.eprintf "c cache audit failure: memoized %s, fresh solve %s\n"
+            (if cached_sat then "SAT" else "UNSAT")
+            (if fresh_sat then "SAT" else "UNSAT");
+          print_endline "s cnf ERROR";
+          exit 3)
+
+let query_cmd =
+  let doc = "send one request to a running hqs serve daemon" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Submits the DQDIMACS $(i,FILE) to the daemon at $(b,--socket) and prints the \
+         structured reply with the usual verdict exit codes; $(b,--ping) and $(b,--stats) \
+         probe liveness and the serve.* metric registry instead.";
+      `S "EXIT STATUS";
+      `P
+        "10 SAT; 20 UNSAT; 124 timeout; 125 memout; 5 crash; 75 overloaded or draining \
+         (retry later); 3 cache audit failure; 2 usage error or daemon unreachable; 0 for \
+         --ping/--stats.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc ~man)
+    Term.(
+      const query $ socket_arg
+      $ Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"DQDIMACS input")
+      $ Arg.(value & flag & info [ "ping" ] ~doc:"liveness probe")
+      $ Arg.(value & flag & info [ "stats" ] ~doc:"print worker/queue/metric state")
+      $ Arg.(
+          value
+          & opt (some float) None
+          & info [ "timeout"; "t" ] ~docv:"SECONDS" ~doc:"per-request wall budget")
+      $ Arg.(
+          value
+          & opt float 0.0
+          & info [ "sleep" ] ~docv:"SECONDS"
+              ~doc:
+                "test hook: make the worker sleep this long (outside the solve budget) \
+                 before solving — deterministic deadline and overload scenarios"))
+
 let solve_term =
   Term.(
     const solve $ file $ timeout $ mem_limit $ node_limit
@@ -584,6 +852,14 @@ let () =
         Array.append [| "hqs analyze" |] (Array.sub argv 2 (Array.length argv - 2))
       in
       Cmd.eval_value ~argv:shifted analyze_cmd
+    end
+    else if Array.length argv > 1 && argv.(1) = "serve" then begin
+      let shifted = Array.append [| "hqs serve" |] (Array.sub argv 2 (Array.length argv - 2)) in
+      Cmd.eval_value ~argv:shifted serve_cmd
+    end
+    else if Array.length argv > 1 && argv.(1) = "query" then begin
+      let shifted = Array.append [| "hqs query" |] (Array.sub argv 2 (Array.length argv - 2)) in
+      Cmd.eval_value ~argv:shifted query_cmd
     end
     else Cmd.eval_value ~argv solve_cmd
   in

@@ -29,6 +29,12 @@
 #      all) and prove --resume completes exactly the remaining tasks and
 #      that a second resume executes nothing and reproduces the report
 #      byte-for-byte
+#   9. serve gate: start the persistent daemon with a cache, a trace and
+#      a chaos-armed worker kill; fire 8 concurrent queries (with
+#      duplicates), assert every client gets a structured verdict, a
+#      sequential duplicate is served from the cache, the serve.*
+#      metrics counted the crash/respawn/hits, SIGTERM drains to exit 0,
+#      and the emitted trace tracecheck-validates with serve.* events
 set -eu
 cd "$(dirname "$0")"
 
@@ -206,4 +212,116 @@ cmp "$tmp/r1.csv" "$tmp/r2.csv" || {
   exit 1
 }
 
-echo "== ci OK (smoke verdict exit $status, traced exit $trace_status, sweep crash+resume verified) =="
+echo "== serve (daemon: concurrency, cache, chaos, drain) =="
+sock="$tmp/hqs.sock"
+mkdir -p "$tmp/srv"
+dune exec bin/genpec.exe -- sweep pec_xor --sizes=2,3 --boxes-list=1,2 --out "$tmp/srv" >/dev/null
+# --chaos-kill 2 arms the second solve's first dispatch: that worker is
+# SIGKILLed mid-request and the client must still get a verdict via the
+# retry
+"$HQS_BIN" serve --socket "$sock" --workers 2 --cache "$tmp/serve_cache.jsonl" \
+  --trace "$tmp/serve_trace.json" --chaos-kill 2 --chaos-seed 7 \
+  >"$tmp/serve.log" 2>&1 &
+serve_pid=$!
+i=0
+until "$HQS_BIN" query --socket "$sock" --ping >/dev/null 2>&1; do
+  i=$((i + 1))
+  if [ "$i" -gt 100 ]; then
+    echo "== ci FAILED: serve daemon never answered a ping =="
+    cat "$tmp/serve.log"
+    exit 1
+  fi
+  sleep 0.1
+done
+# 8 concurrent requests: each instance twice, so the batch contains
+# duplicates; every client must come back with a structured verdict
+# (exit 10/20) even though one dispatch is chaos-killed
+qpids=""
+n=0
+for f in "$tmp/srv"/*.dqdimacs "$tmp/srv"/*.dqdimacs; do
+  n=$((n + 1))
+  "$HQS_BIN" query --socket "$sock" "$f" --timeout 60 >"$tmp/q$n.out" 2>&1 &
+  qpids="$qpids $!"
+done
+if [ "$n" -lt 8 ]; then
+  echo "== ci FAILED: serve gate only issued $n concurrent requests (want >= 8) =="
+  exit 1
+fi
+k=0
+for qp in $qpids; do
+  k=$((k + 1))
+  q_status=0
+  wait "$qp" || q_status=$?
+  case "$q_status" in
+  10 | 20) : ;;
+  *)
+    echo "== ci FAILED: concurrent query $k exited $q_status (want a verdict) =="
+    cat "$tmp/q$k.out"
+    cat "$tmp/serve.log"
+    exit 1
+    ;;
+  esac
+done
+# a sequential duplicate of an already-solved instance must hit the cache
+dup=$(ls "$tmp/srv"/*.dqdimacs | head -1)
+dup_status=0
+"$HQS_BIN" query --socket "$sock" "$dup" >"$tmp/dup.out" 2>&1 || dup_status=$?
+case "$dup_status" in
+10 | 20) : ;;
+*)
+  echo "== ci FAILED: duplicate query exited $dup_status =="
+  cat "$tmp/dup.out"
+  exit 1
+  ;;
+esac
+grep -q '(cached)' "$tmp/dup.out" || {
+  echo "== ci FAILED: duplicate query was not served from the cache =="
+  cat "$tmp/dup.out"
+  exit 1
+}
+# serve.respawns lags serve.worker_crashes by the backoff quarantine
+# delay, so poll the stats until every floor is met
+stats_missing=""
+for _ in $(seq 1 25); do
+  "$HQS_BIN" query --socket "$sock" --stats >"$tmp/serve_stats.out"
+  stats_missing=""
+  for m in serve.requests serve.cache_hits serve.worker_crashes serve.respawns; do
+    v=$(sed -n "s/^c metric $m \([0-9][0-9.]*\).*/\1/p" "$tmp/serve_stats.out")
+    if [ -z "$v" ] || [ "${v%%.*}" -lt 1 ]; then
+      stats_missing="$m is '${v:-missing}'"
+      break
+    fi
+  done
+  [ -z "$stats_missing" ] && break
+  sleep 0.2
+done
+if [ -n "$stats_missing" ]; then
+  echo "== ci FAILED: daemon metric $stats_missing (want >= 1) =="
+  cat "$tmp/serve_stats.out"
+  exit 1
+fi
+# graceful drain: SIGTERM, daemon exits 0 and removes its socket
+kill -TERM "$serve_pid"
+drain_status=0
+wait "$serve_pid" || drain_status=$?
+if [ "$drain_status" != 0 ]; then
+  echo "== ci FAILED: drained daemon exited $drain_status (want 0) =="
+  cat "$tmp/serve.log"
+  exit 1
+fi
+if [ -e "$sock" ]; then
+  echo "== ci FAILED: daemon left its socket behind =="
+  exit 1
+fi
+# the daemon's trace must be well-formed and carry the serve.* telemetry
+# (the daemon side has two span names, serve.request and serve.complete;
+# the per-job solver spans live in the worker processes)
+dune exec bin/tracecheck.exe -- "$tmp/serve_trace.json" --min-spans 2 --verbose
+for ev in serve.request serve.complete serve.worker.crash serve.metric; do
+  grep -q "$ev" "$tmp/serve_trace.json" || {
+    echo "== ci FAILED: serve trace is missing $ev events =="
+    exit 1
+  }
+done
+
+echo "== ci OK (smoke verdict exit $status, traced exit $trace_status, sweep crash+resume verified, serve gate passed) =="

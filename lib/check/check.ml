@@ -328,3 +328,16 @@ let audit_stage ~level ?queue stage f =
       @@ fun () ->
       audit_formula ~stage ~level f;
       (match queue with Some q -> audit_queue ~stage f q | None -> ())
+
+(* ----------------------------------------------------------- verdict cache *)
+
+let audit_cache_hit ~level ~key ~cached_sat ~fresh_sat =
+  match level with
+  | Off -> ()
+  | Cheap | Full ->
+      Obs.Metrics.incr c_audits;
+      if cached_sat <> fresh_sat then
+        violation Post_solve "verdict-cache"
+          "memoized verdict for canonical key %s is %s but a fresh solve says %s" key
+          (if cached_sat then "SAT" else "UNSAT")
+          (if fresh_sat then "SAT" else "UNSAT")

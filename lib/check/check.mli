@@ -98,3 +98,11 @@ val audit_model :
 (** Skolem-model certifier: replayed witness respects the dependency sets
     and satisfies the original matrix, checked by an independent SAT call
     ({!Dqbf.Skolem.verify}). *)
+
+val audit_cache_hit : level:level -> key:string -> cached_sat:bool -> fresh_sat:bool -> unit
+(** Gate for the serve daemon's verdict cache: a sampled cache hit was
+    re-solved from scratch and both verdicts are presented. At [Off]
+    this is free; otherwise a disagreement raises {!Violation} with
+    [structure = "verdict-cache"] — memoization returning a different
+    answer than the solver is exactly the class of wrongness this
+    module exists to trip on. *)

@@ -1,0 +1,278 @@
+(* Canonical form of a prefixed CNF, for result caching.
+
+   The serve daemon memoizes verdicts keyed by a canonical rendering of
+   the instance: two DQBFs that differ only by a dependency-respecting
+   variable renaming and/or clause reordering must map to the same key.
+   The PEC workload this targets (thousands of near-identical fault
+   variants of one circuit) is exactly the shape such a cache exploits.
+
+   Construction: Weisfeiler–Leman color refinement over the variable /
+   clause incidence structure, then bounded individualization-refinement
+   branching to break symmetric ties, taking the lexicographically
+   minimal rendering over all explored branches. Soundness is
+   unconditional — the rendering is generated from a total injective
+   variable→rank map, so equal canonical text implies the instances are
+   identical up to renaming, hence equisatisfiable. Completeness is
+   bounded: if the branching budget runs out, remaining ties fall back
+   to original variable ids ([exact = false]) — such keys are still
+   sound, they just may miss cache hits between genuinely symmetric
+   instances. *)
+
+type key = { h1 : string; h2 : string; num_vars : int; num_clauses : int }
+type t = { key : key; canonical : string; exact : bool }
+
+let fnv_prime = 0x100000001b3
+let basis1 = 0x4bf29ce484222325
+let basis2 = 0x7ee3623a21b7cd15 (* an independent stream for the second hash *)
+
+let fnv_string basis s =
+  let h = ref basis in
+  String.iter (fun c -> h := (!h lxor Char.code c) * fnv_prime land max_int) s;
+  Printf.sprintf "%015x" !h
+
+(* fold one int into a running color hash, byte by byte so nearby ints
+   diverge quickly *)
+let mix h x =
+  let h = ref h and x = ref x in
+  for _ = 0 to 7 do
+    h := (!h lxor (!x land 0xff)) * fnv_prime land max_int;
+    x := !x asr 8
+  done;
+  !h
+
+let mix_sorted h xs =
+  let xs = List.sort Int.compare xs in
+  List.fold_left mix h xs
+
+let rec compare_int_list a b =
+  match (a, b) with
+  | [], [] -> 0
+  | [], _ -> -1
+  | _, [] -> 1
+  | x :: a', y :: b' ->
+      let c = Int.compare x y in
+      if c <> 0 then c else compare_int_list a' b'
+
+type kind = Univ | Exist of int list
+
+let max_rounds = 64
+let class_cap = 12
+let leaf_budget = 2048
+
+let canonicalize (p : Pcnf.t) =
+  let n = p.Pcnf.num_vars in
+  (* variable kinds; vars never declared are existential with no deps *)
+  let kind = Array.make n (Exist []) in
+  List.iter (fun v -> if v >= 0 && v < n then kind.(v) <- Univ) p.Pcnf.univs;
+  List.iter
+    (fun (v, deps) -> if v >= 0 && v < n then kind.(v) <- Exist (List.sort Int.compare deps))
+    p.Pcnf.exists;
+  (* reverse dependency map: universal -> existentials depending on it *)
+  let rdeps = Array.make n [] in
+  Array.iteri
+    (fun v k ->
+      match k with
+      | Univ -> ()
+      | Exist deps -> List.iter (fun u -> if u >= 0 && u < n then rdeps.(u) <- v :: rdeps.(u)) deps)
+    kind;
+  (* normalize the matrix up front: clauses as literal sets (dedup within
+     a clause), duplicate clauses removed — clause order and repetition
+     carry no meaning *)
+  let norm_clause c =
+    List.sort_uniq Int.compare (List.filter (fun l -> l <> 0) c)
+  in
+  let clauses =
+    Array.of_list
+      (List.sort_uniq compare_int_list (List.map norm_clause p.Pcnf.clauses))
+  in
+  let m = Array.length clauses in
+  (* occurrence lists: variable -> (clause index, sign) *)
+  let occ = Array.make n [] in
+  Array.iteri
+    (fun ci c ->
+      List.iter
+        (fun l ->
+          let v = abs l - 1 in
+          if v >= 0 && v < n then occ.(v) <- (ci, l > 0) :: occ.(v))
+        c)
+    clauses;
+  let initial_color v =
+    let pos = List.length (List.filter snd occ.(v)) in
+    let neg = List.length occ.(v) - pos in
+    let k, d = match kind.(v) with Univ -> (0, -1) | Exist deps -> (1, List.length deps) in
+    mix (mix (mix (mix basis1 k) d) pos) neg
+  in
+  let distinct colors =
+    let tbl = Hashtbl.create (Array.length colors) in
+    Array.iter (fun c -> Hashtbl.replace tbl c ()) colors;
+    Hashtbl.length tbl
+  in
+  (* one WL pass: clause signatures from literal colors, then variable
+     colors from incident clause signatures plus dependency structure *)
+  let refine colors =
+    let rounds = ref 0 and stable = ref false in
+    let card = ref (distinct colors) in
+    while (not !stable) && !rounds < max_rounds && !card < n do
+      incr rounds;
+      let csig = Array.make m 0 in
+      for ci = 0 to m - 1 do
+        csig.(ci) <-
+          mix_sorted (mix basis1 2)
+            (List.map
+               (fun l ->
+                 let v = abs l - 1 in
+                 let c = if v >= 0 && v < n then colors.(v) else 0 in
+                 mix (mix basis1 (if l > 0 then 1 else 0)) c)
+               clauses.(ci))
+      done;
+      let next = Array.make n 0 in
+      for v = 0 to n - 1 do
+        let h = mix basis1 colors.(v) in
+        let h =
+          mix_sorted h
+            (List.map (fun (ci, sign) -> mix (mix basis1 (if sign then 1 else 0)) csig.(ci)) occ.(v))
+        in
+        let h =
+          match kind.(v) with
+          | Univ -> mix_sorted (mix h 0) (List.map (fun e -> colors.(e)) rdeps.(v))
+          | Exist deps -> mix_sorted (mix h 1) (List.map (fun u -> colors.(u)) deps)
+        in
+        next.(v) <- h
+      done;
+      let card' = distinct next in
+      if card' <= !card then stable := true else card := card';
+      Array.blit next 0 colors 0 n
+    done
+  in
+  (* rank variables by color; [strict] additionally breaks residual ties
+     by original id (the inexact fallback) *)
+  let ranks colors =
+    let order = Array.init n (fun v -> v) in
+    Array.sort
+      (fun a b ->
+        let c = Int.compare colors.(a) colors.(b) in
+        if c <> 0 then c else Int.compare a b)
+      order;
+    let rank = Array.make n 0 in
+    Array.iteri (fun i v -> rank.(v) <- i) order;
+    rank
+  in
+  let render rank =
+    let buf = Buffer.create 256 in
+    let univ_ranks =
+      List.sort Int.compare
+        (List.concat_map
+           (fun v -> match kind.(v) with Univ -> [ rank.(v) ] | Exist _ -> [])
+           (List.init n (fun v -> v)))
+    in
+    Buffer.add_string buf (Printf.sprintf "p %d %d\n" n m);
+    Buffer.add_string buf "a";
+    List.iter (fun r -> Buffer.add_string buf (Printf.sprintf " %d" r)) univ_ranks;
+    Buffer.add_char buf '\n';
+    let exist_lines =
+      List.sort compare_int_list
+        (List.concat_map
+           (fun v ->
+             match kind.(v) with
+             | Univ -> []
+             | Exist deps ->
+                 [ rank.(v) :: List.sort Int.compare (List.map (fun u -> rank.(u)) deps) ])
+           (List.init n (fun v -> v)))
+    in
+    List.iter
+      (fun line ->
+        Buffer.add_char buf 'd';
+        List.iter (fun r -> Buffer.add_string buf (Printf.sprintf " %d" r)) line;
+        Buffer.add_char buf '\n')
+      exist_lines;
+    let mapped =
+      List.sort compare_int_list
+        (Array.to_list
+           (Array.map
+              (fun c ->
+                List.sort Int.compare
+                  (List.map
+                     (fun l ->
+                       let v = abs l - 1 in
+                       let r = if v >= 0 && v < n then rank.(v) + 1 else abs l in
+                       if l > 0 then r else -r)
+                     c))
+              clauses))
+    in
+    List.iter
+      (fun c ->
+        List.iter (fun l -> Buffer.add_string buf (Printf.sprintf "%d " l)) c;
+        Buffer.add_string buf "0\n")
+      mapped;
+    Buffer.contents buf
+  in
+  (* individualization-refinement search for the lexicographically
+     minimal rendering; bounded by [class_cap] × [leaf_budget] *)
+  let leaves = ref leaf_budget in
+  let exact = ref true in
+  let best = ref None in
+  let consider text =
+    match !best with
+    | Some b when String.compare b text <= 0 -> ()
+    | _ -> best := Some text
+  in
+  let rec search colors =
+    refine colors;
+    if !leaves <= 0 then begin
+      exact := false;
+      consider (render (ranks colors))
+    end
+    else if distinct colors = n then begin
+      decr leaves;
+      consider (render (ranks colors))
+    end
+    else begin
+      (* smallest non-singleton color class, members in id order *)
+      let by_color = Hashtbl.create n in
+      Array.iteri
+        (fun v c ->
+          Hashtbl.replace by_color c (v :: (try Hashtbl.find by_color c with Not_found -> [])))
+        colors;
+      let target = ref None in
+      Hashtbl.iter
+        (fun c members ->
+          if List.length members > 1 then
+            match !target with
+            | Some (c', _) when c' <= c -> ()
+            | _ -> target := Some (c, List.sort Int.compare members))
+        by_color;
+      match !target with
+      | None -> consider (render (ranks colors))
+      | Some (_, members) ->
+          let members =
+            if List.length members > class_cap then begin
+              exact := false;
+              List.filteri (fun i _ -> i < class_cap) members
+            end
+            else members
+          in
+          List.iter
+            (fun v ->
+              if !leaves > 0 then begin
+                let colors' = Array.copy colors in
+                colors'.(v) <- mix colors'.(v) 0x1d;
+                search colors'
+              end
+              else exact := false)
+            members
+    end
+  in
+  let colors = Array.init n initial_color in
+  search colors;
+  let canonical = match !best with Some b -> b | None -> render (ranks colors) in
+  {
+    key =
+      {
+        h1 = fnv_string basis1 canonical;
+        h2 = fnv_string basis2 canonical;
+        num_vars = n;
+        num_clauses = m;
+      };
+    canonical;
+    exact = !exact;
+  }

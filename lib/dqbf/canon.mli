@@ -1,0 +1,35 @@
+(** Canonical form of a {!Pcnf.t}, for result caching.
+
+    Two instances that differ only by a dependency-respecting variable
+    renaming (universals to universals, existentials to existentials,
+    dependency sets mapped along) and/or clause reordering render to the
+    same canonical text. The serve daemon's verdict cache keys on the
+    two FNV-1a fingerprints of that text.
+
+    Soundness is unconditional: the rendering is generated from a total
+    injective variable→rank map, so equal canonical text implies the
+    instances are identical up to renaming — hence equisatisfiable.
+    Completeness is bounded: highly symmetric instances can exhaust the
+    individualization budget, in which case residual ties fall back to
+    original variable ids and [exact] is [false] — keys remain sound but
+    may differ between instances that a full canonizer would merge. *)
+
+type key = {
+  h1 : string;  (** primary fingerprint, 15 hex digits (cache index) *)
+  h2 : string;  (** independent second fingerprint (collision check) *)
+  num_vars : int;
+  num_clauses : int;  (** after intra-clause and duplicate-clause dedup *)
+}
+
+type t = {
+  key : key;
+  canonical : string;  (** the canonical rendering the key fingerprints *)
+  exact : bool;  (** canonical label search completed within budget *)
+}
+
+val canonicalize : Pcnf.t -> t
+(** Weisfeiler–Leman color refinement plus bounded
+    individualization-refinement branching, taking the lexicographically
+    minimal rendering over explored branches. Cost is polynomial for
+    instances whose symmetries WL resolves (the common case) and cut off
+    by an internal leaf budget otherwise. *)

@@ -1,15 +1,70 @@
-(** Worker → supervisor result channel: one length-prefixed JSON frame
-    per worker, written to a pipe just before the worker exits.
+(** Length-prefixed JSON framing over pipes and sockets.
 
-    The frame is [%010d\n] (payload byte count) followed by exactly that
+    A frame is [%010d\n] (payload byte count) followed by exactly that
     many bytes of {!Obs.Json}-rendered payload. The explicit length lets
-    the supervisor distinguish a worker that died mid-write (truncated or
-    oversized frame → classified as a crash) from one that returned a
-    complete result — EOF alone cannot tell the two apart. *)
+    a reader distinguish a peer that died mid-write (truncated frame →
+    classified as a crash) from one that sent a complete message — EOF
+    alone cannot tell the two apart.
+
+    Two consumption styles:
+    - the sweep supervisor reads a worker pipe to EOF and hands the whole
+      buffer to {!parse_frame} (one frame per worker lifetime);
+    - the serve daemon keeps persistent connections with many frames in
+      flight and decodes incrementally through a {!reader}.
+
+    All reads and writes in this module retry on [EINTR], so signal
+    delivery (SIGCHLD, SIGTERM during drain) can never tear a frame. *)
+
+val ignore_sigpipe : unit -> unit
+(** Set [SIGPIPE] to ignore, process-wide: a peer that disconnects
+    mid-write then surfaces as an [EPIPE] error from [write] instead of
+    killing the process. Call once at the top of any long-lived loop
+    that writes to pipes or sockets. *)
+
+val retry_read : Unix.file_descr -> Bytes.t -> int -> int -> int
+(** [Unix.read], retried on [EINTR]. *)
+
+val retry_write : Unix.file_descr -> Bytes.t -> int -> int -> int
+(** [Unix.write], retried on [EINTR]. *)
+
+val write_all : Unix.file_descr -> Bytes.t -> unit
+(** Write the whole buffer, looping over partial and interrupted
+    writes. Raises the underlying [Unix.Unix_error] on real I/O failure
+    (e.g. [EPIPE] once {!ignore_sigpipe} is in effect). *)
+
+val frame_string : Obs.Json.t -> string
+(** The on-wire bytes of one frame, for callers that batch writes. *)
 
 val write_frame : Unix.file_descr -> Obs.Json.t -> unit
-(** Render and write one frame, looping over partial [write]s. *)
+(** Render and write one frame via {!write_all}. *)
 
 val parse_frame : string -> (Obs.Json.t, string) result
-(** Parse the complete byte stream read from a worker pipe (up to EOF).
-    [Error] describes the protocol violation for the crash log. *)
+(** Parse a complete byte stream holding exactly one frame (the
+    read-to-EOF style). [Error] describes the protocol violation. *)
+
+(** {1 Incremental decoding} *)
+
+type reader
+(** Buffers a byte stream and peels complete frames off the front. *)
+
+val reader : unit -> reader
+
+val feed : reader -> Bytes.t -> int -> unit
+(** [feed r bytes len] appends the first [len] bytes just read from the
+    peer. *)
+
+val next_frame : reader -> (Obs.Json.t, string) result option
+(** The next complete frame, if the buffer holds one. [None] means more
+    bytes are needed; [Some (Error _)] means the stream is torn and the
+    connection should be dropped (decoding cannot resync). *)
+
+type read_result = Frame of Obs.Json.t | Eof | Malformed of string
+
+val read_next : reader -> Unix.file_descr -> read_result
+(** Blocking read of the next frame: drains [next_frame], else reads
+    more bytes and retries. [Eof] only on a clean frame boundary; EOF
+    mid-frame is [Malformed]. *)
+
+val read_frame : Unix.file_descr -> read_result
+(** [read_next] with a fresh throwaway reader — for one-shot
+    request/reply clients. *)

@@ -45,11 +45,7 @@ let open_append path =
    checksum rejects on load *)
 let append t entry =
   let line = Bytes.of_string (encode_line entry ^ "\n") in
-  let n = Bytes.length line in
-  let off = ref 0 in
-  while !off < n do
-    off := !off + Unix.write t.fd line !off (n - !off)
-  done;
+  Ipc.write_all t.fd line;
   Unix.fsync t.fd
 
 let close t = Unix.close t.fd

@@ -192,6 +192,7 @@ type worker_proc = {
 }
 
 let run ?(config = default_config) ?journal ?resume ?on_complete ~worker tasks =
+  Ipc.ignore_sigpipe ();
   if config.jobs < 1 then invalid_arg "Supervisor.run: jobs must be >= 1";
   if config.max_attempts < 1 then invalid_arg "Supervisor.run: max_attempts must be >= 1";
   let ids = Hashtbl.create 16 in

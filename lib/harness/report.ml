@@ -161,6 +161,13 @@ let headline results =
   | bad -> line "SOUNDNESS ALARM: verdict disagreements: %d" (List.length bad));
   Buffer.contents buf
 
+(* JSON cells for counters that only exist when the solve reached a
+   verdict. Baseline writers must not leak an in-band sentinel (-1)
+   into the artifact: a missing counter is [null], never a number a
+   downstream aggregate could sum. *)
+let json_int_cell = function Some n -> string_of_int n | None -> "null"
+let json_bool_cell = function Some b -> string_of_bool b | None -> "null"
+
 (* stable CSV schema: base columns first, then the per-solve metric
    columns in this fixed order. Rows whose solve did not finish (TO/MO
    before a verdict) leave the metric cells empty rather than shifting

@@ -137,11 +137,11 @@ let collect_structure ~path structure =
               add Failwith_lib
                 "failwith in library code: raise a typed exception the caller can match"
                 loc
-        | "Unix.openfile" | "Unix.pipe" | "Unix.socket" ->
-            if not (in_lib_sub "exec" path) then
+        | "Unix.openfile" | "Unix.pipe" | "Unix.socket" | "Unix.socketpair" | "Unix.accept" ->
+            if not (in_lib_sub "exec" path || in_lib_sub "serve" path) then
               add Raw_fd
-                "raw file descriptor outside lib/exec: use the supervisor's wrappers (leaked \
-                 fds survive the fork into sweep workers)"
+                "raw file descriptor outside lib/exec or lib/serve: use the supervisor's \
+                 wrappers (leaked fds survive the fork into sweep workers)"
                 loc
         | "Unix.gettimeofday" | "Unix.time" ->
             if not (in_lib_sub "util" path) then

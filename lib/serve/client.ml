@@ -1,0 +1,29 @@
+module Ipc = Exec.Ipc
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX path) with
+  | () -> fd
+  | exception e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise e
+
+let roundtrip ~socket request =
+  Ipc.ignore_sigpipe ();
+  match connect socket with
+  | exception Unix.Unix_error (err, _, _) ->
+      Error (Printf.sprintf "cannot connect to %s: %s" socket (Unix.error_message err))
+  | fd ->
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          match Ipc.write_frame fd (Proto.request_to_json request) with
+          | exception Unix.Unix_error (err, _, _) ->
+              Error ("send failed: " ^ Unix.error_message err)
+          | () -> (
+              match Ipc.read_frame fd with
+              | Ipc.Eof -> Error "daemon closed the connection without a reply"
+              | Ipc.Malformed msg -> Error ("torn reply: " ^ msg)
+              | Ipc.Frame j -> Proto.reply_of_json j
+              | exception Unix.Unix_error (err, _, _) ->
+                  Error ("receive failed: " ^ Unix.error_message err)))

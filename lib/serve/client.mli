@@ -1,0 +1,11 @@
+(** Blocking request/reply client for the serve daemon ([hqs query] and
+    the tests). One connection per request. *)
+
+val connect : string -> Unix.file_descr
+(** Connect to the daemon's Unix-domain socket.
+    @raise Unix.Unix_error when the daemon is not there. *)
+
+val roundtrip : socket:string -> Proto.request -> (Proto.reply, string) result
+(** Connect, send one request, read one reply, close. All transport
+    failures (daemon absent, torn reply, disconnect) come back as
+    [Error] — this function never raises on I/O. *)

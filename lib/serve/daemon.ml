@@ -1,0 +1,754 @@
+module Json = Obs.Json
+module Metrics = Obs.Metrics
+module Span = Obs.Span
+module Budget = Hqs_util.Budget
+module Chaos = Hqs_util.Chaos
+module Ipc = Exec.Ipc
+
+(* ---------------------------------------------------------------- config *)
+
+type config = {
+  socket_path : string;
+  workers : int;
+  queue_cap : int;
+  default_timeout_s : float;
+  max_timeout_s : float;
+  kill_grace_s : float;
+  max_attempts : int;
+  mem_limit_mb : int option;
+  backoff : Exec.Backoff.policy;
+  chaos : Chaos.t;
+  check_level : Check.level;
+  audit_period : int;
+  cache_path : string option;
+  trace_path : string option;
+  solver : Hqs.config;
+}
+
+let default ~socket_path =
+  {
+    socket_path;
+    workers = 2;
+    queue_cap = 16;
+    default_timeout_s = 60.;
+    max_timeout_s = 600.;
+    kill_grace_s = 2.;
+    max_attempts = 3;
+    mem_limit_mb = None;
+    backoff = Exec.Backoff.default;
+    chaos = Chaos.off;
+    check_level = Check.Off;
+    audit_period = 4;
+    cache_path = None;
+    trace_path = None;
+    solver = Hqs.default_config;
+  }
+
+let kill_point ~jid ~attempt = Printf.sprintf "serve.worker.kill:%d#%d" jid attempt
+
+(* --------------------------------------------------------------- metrics *)
+
+let m_requests = Metrics.counter "serve.requests"
+let m_queue_depth = Metrics.gauge "serve.queue_depth"
+let m_shed = Metrics.counter "serve.shed"
+let m_respawns = Metrics.counter "serve.respawns"
+let m_crashes = Metrics.counter "serve.worker_crashes"
+let m_cache_hits = Metrics.counter "serve.cache_hits"
+let m_cache_misses = Metrics.counter "serve.cache_misses"
+let m_audits = Metrics.counter "serve.cache_audits"
+let m_audit_failures = Metrics.counter "serve.cache_audit_failures"
+let m_timeouts = Metrics.counter "serve.timeouts"
+let m_latency = Metrics.histogram "serve.request_latency_s"
+
+(* ---------------------------------------------------------------- worker *)
+
+(* The pool worker: a forked child in its own session, looping over
+   requests on its socketpair end until the daemon closes it (clean
+   shutdown) or a request tells it to chaos-kill itself. All failure
+   modes of a solve come back as structured results over the same frame
+   channel; the worker only dies on chaos kills, rlimit SIGKILLs, or
+   genuine solver bugs — exactly the cases the daemon's crash taxonomy
+   and respawn path are built for. *)
+let worker_main (config : config) fd =
+  Ipc.ignore_sigpipe ();
+  (* hard address-space backstop at 2x the soft heap budget: the Budget
+     governor raises a clean, recoverable memout first in the common
+     case; the rlimit catches runaway native allocations *)
+  (match config.mem_limit_mb with
+  | Some mb ->
+      Exec.Limits.apply_in_child
+        { Exec.Limits.none with Exec.Limits.mem_bytes = Some (2 * mb * 1024 * 1024) }
+  | None -> ());
+  let rd = Ipc.reader () in
+  let rec loop () =
+    match Ipc.read_next rd fd with
+    | Ipc.Eof -> Unix._exit 0
+    | Ipc.Malformed _ -> Unix._exit 3
+    | Ipc.Frame j -> (
+        match Proto.wreq_of_json j with
+        | Error _ -> Unix._exit 3
+        | Ok { Proto.jid; text; timeout_s; kill; sleep_s } ->
+            if kill then Unix.kill (Unix.getpid ()) Sys.sigkill;
+            let t0 = Budget.now () in
+            let budget = Budget.of_seconds timeout_s in
+            let budget =
+              match config.mem_limit_mb with
+              | Some mb -> Budget.with_mem_limit_mb budget mb
+              | None -> budget
+            in
+            if sleep_s > 0. then Unix.sleepf sleep_s;
+            let before = Metrics.snapshot () in
+            let result, retiring =
+              match
+                let pcnf = Dqbf.Pcnf.parse_string text in
+                Hqs.solve_pcnf ~config:config.solver ~budget pcnf
+              with
+              | Hqs.Sat, _ -> (Proto.W_sat true, false)
+              | Hqs.Unsat, _ -> (Proto.W_sat false, false)
+              | exception Budget.Timeout -> (Proto.W_timeout, false)
+              | exception Budget.Out_of_memory_budget -> (Proto.W_memout, false)
+              | exception Out_of_memory ->
+                  (* the rlimit backstop fired: the reply still goes out,
+                     but the heap is pinned near the ceiling — retire and
+                     let the daemon respawn a fresh worker *)
+                  (Proto.W_memout, true)
+              | exception Failure msg -> (Proto.W_error msg, false)
+              | exception Check.Violation v ->
+                  (Proto.W_error (Format.asprintf "check violation: %a" Check.pp_violation v), false)
+            in
+            let samples = Metrics.delta ~before ~after:(Metrics.snapshot ()) in
+            (match
+               Ipc.write_frame fd
+                 (Proto.wreply_to_json
+                    {
+                      Proto.w_jid = jid;
+                      result;
+                      w_elapsed_s = Budget.now () -. t0;
+                      retiring;
+                      samples;
+                    })
+             with
+            | () -> ()
+            | exception Unix.Unix_error (Unix.EPIPE, _, _) -> Unix._exit 0);
+            if retiring then Unix._exit 0 else loop ())
+  in
+  loop ()
+
+(* ------------------------------------------------------- daemon state *)
+
+type job = {
+  jid : int;
+  cid : int;
+  key : Dqbf.Canon.key;
+  text : string;
+  timeout_s : float;
+  sleep_s : float;
+  mutable attempts : int;  (** dispatches so far *)
+  enqueued_at : float;
+  audit_of : Cache.entry option;  (** [Some e]: sampled re-solve of a cache hit *)
+}
+
+type wstate =
+  | Idle
+  | Busy of job * float  (** job and its absolute wall-kill deadline *)
+  | Respawning of float  (** absolute time the replacement may be forked *)
+
+type wslot = {
+  widx : int;
+  mutable pid : int;
+  mutable wfd : Unix.file_descr;
+  mutable wrd : Ipc.reader;
+  mutable state : wstate;
+  mutable failures : int;  (** consecutive crashes, drives quarantine backoff *)
+}
+
+type client = {
+  cid : int;
+  cfd : Unix.file_descr;
+  crd : Ipc.reader;
+  mutable outq : string list;  (** FIFO of rendered frames; head partially sent *)
+  mutable off : int;  (** bytes of the head frame already written *)
+}
+
+(* Read whatever is available on a nonblocking fd into [rd]. [`Closed
+   got] reports EOF *and* whether bytes were buffered first: a peer that
+   writes its last frame and immediately closes (a fire-and-forget
+   client, a retiring worker) delivers data and EOF in one batch, and
+   the buffered frames must be processed before the fd is dropped. *)
+let read_avail fd rd =
+  let chunk = Bytes.create 8192 in
+  let rec go got =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> `Closed got
+    | n ->
+        Ipc.feed rd chunk n;
+        go true
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go got
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        if got then `Data else `Nothing
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> `Closed got
+  in
+  go false
+
+(* Write a whole frame to a (possibly nonblocking) worker fd, waiting on
+   writability for the large-instance case. The worker is either blocked
+   reading or solving, and drains its socketpair eventually; a worker
+   that died instead surfaces as EPIPE, which the caller maps to the
+   crash path. *)
+let write_frame_waiting fd bytes =
+  let n = Bytes.length bytes in
+  let off = ref 0 in
+  while !off < n do
+    match Unix.write fd bytes !off (n - !off) with
+    | written -> off := !off + written
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> (
+        match Unix.select [] [ fd ] [] 1.0 with
+        | _ -> ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+  done
+
+let rec waitpid_retry pid =
+  match Unix.waitpid [] pid with
+  | r -> r
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> waitpid_retry pid
+
+let kill_group pid signal = try Unix.kill (-pid) signal with Unix.Unix_error _ -> ()
+
+(* ------------------------------------------------------------------ run *)
+
+let run (config : config) =
+  if config.workers < 1 then invalid_arg "Daemon.run: workers must be >= 1";
+  if config.queue_cap < 1 then invalid_arg "Daemon.run: queue_cap must be >= 1";
+  if config.max_attempts < 1 then invalid_arg "Daemon.run: max_attempts must be >= 1";
+  Ipc.ignore_sigpipe ();
+  (match config.trace_path with Some _ -> Obs.Trace.start () | None -> ());
+  let cache = Cache.open_ ?path:config.cache_path () in
+  if Sys.file_exists config.socket_path then Sys.remove config.socket_path;
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen_fd (Unix.ADDR_UNIX config.socket_path);
+  Unix.listen listen_fd 64;
+  Unix.set_nonblock listen_fd;
+  let draining = ref false in
+  let prev_term = Sys.signal Sys.sigterm (Sys.Signal_handle (fun _ -> draining := true)) in
+  let prev_int = Sys.signal Sys.sigint (Sys.Signal_handle (fun _ -> draining := true)) in
+
+  let slots =
+    Array.init config.workers (fun widx ->
+        {
+          widx;
+          pid = -1;
+          wfd = Unix.stdin;
+          wrd = Ipc.reader ();
+          state = Respawning 0.;
+          failures = 0;
+        })
+  in
+  let clients : (int, client) Hashtbl.t = Hashtbl.create 16 in
+  let pending : job Queue.t = Queue.create () in
+  let requeued : job list ref = ref [] in
+  let next_jid = ref 0 in
+  let next_cid = ref 0 in
+  let hit_count = ref 0 in
+
+  let queue_depth () = Queue.length pending + List.length !requeued in
+  let update_depth () = Metrics.set m_queue_depth (float_of_int (queue_depth ())) in
+
+  let spawn slot =
+    let parent_fd, child_fd = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.fork () with
+    | 0 ->
+        (* worker: drop every parent-side descriptor so EOF tracking on
+           sockets stays precise — an inherited duplicate of another
+           worker's channel or a client connection would defeat it *)
+        ignore (Unix.setsid ());
+        (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+        (try Unix.close parent_fd with Unix.Unix_error _ -> ());
+        Hashtbl.iter (fun _ c -> try Unix.close c.cfd with Unix.Unix_error _ -> ()) clients;
+        Array.iter
+          (fun s ->
+            if s.widx <> slot.widx && s.pid >= 0 then
+              try Unix.close s.wfd with Unix.Unix_error _ -> ())
+          slots;
+        worker_main config child_fd
+    | pid ->
+        Unix.close child_fd;
+        Unix.set_nonblock parent_fd;
+        slot.pid <- pid;
+        slot.wfd <- parent_fd;
+        slot.wrd <- Ipc.reader ();
+        slot.state <- Idle
+  in
+
+  let send_reply cid reply =
+    match Hashtbl.find_opt clients cid with
+    | None -> () (* client disconnected mid-solve; the verdict is still cached *)
+    | Some c -> c.outq <- c.outq @ [ Ipc.frame_string (Proto.reply_to_json reply) ]
+  in
+
+  let drop_client c =
+    Hashtbl.remove clients c.cid;
+    try Unix.close c.cfd with Unix.Unix_error _ -> ()
+  in
+
+  let flush_client c =
+    let rec go () =
+      match c.outq with
+      | [] -> ()
+      | frame :: rest -> (
+          let len = String.length frame in
+          match Unix.write_substring c.cfd frame c.off (len - c.off) with
+          | n ->
+              c.off <- c.off + n;
+              if c.off >= len then begin
+                c.outq <- rest;
+                c.off <- 0;
+                go ()
+              end
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+          | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+          | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _) ->
+              drop_client c)
+    in
+    go ()
+  in
+
+  let complete job (wr : Proto.wreply) =
+    Metrics.absorb wr.Proto.samples;
+    Metrics.observe m_latency (Budget.now () -. job.enqueued_at);
+    Span.with_ "serve.complete" ~attrs:[ ("jid", Obs.Int job.jid) ] @@ fun () ->
+    match wr.Proto.result with
+    | Proto.W_sat sat -> (
+        match job.audit_of with
+        | Some cached ->
+            Metrics.incr m_audits;
+            let verdict_matches =
+              match
+                Check.audit_cache_hit ~level:config.check_level ~key:job.key.Dqbf.Canon.h1
+                  ~cached_sat:cached.Cache.sat ~fresh_sat:sat
+              with
+              | () -> true
+              | exception Check.Violation _ -> false
+            in
+            if verdict_matches then
+              send_reply job.cid
+                (Proto.Verdict
+                   { sat; elapsed_s = cached.Cache.elapsed_s; cached = true; audited = true })
+            else begin
+              Metrics.incr m_audit_failures;
+              Cache.remove cache job.key;
+              Span.event "serve.cache.audit_failed"
+                ~attrs:[ ("key", Obs.Str job.key.Dqbf.Canon.h1) ]
+                ();
+              send_reply job.cid
+                (Proto.Audit_failed { cached_sat = cached.Cache.sat; fresh_sat = sat })
+            end
+        | None ->
+            Cache.store cache job.key ~sat ~elapsed_s:wr.Proto.w_elapsed_s;
+            send_reply job.cid
+              (Proto.Verdict
+                 { sat; elapsed_s = wr.Proto.w_elapsed_s; cached = false; audited = false }))
+    | Proto.W_timeout ->
+        Metrics.incr m_timeouts;
+        send_reply job.cid
+          (Proto.Failed
+             {
+               failure = Proto.F_timeout;
+               elapsed_s = wr.Proto.w_elapsed_s;
+               detail = "solve budget expired";
+             })
+    | Proto.W_memout ->
+        send_reply job.cid
+          (Proto.Failed
+             {
+               failure = Proto.F_memout;
+               elapsed_s = wr.Proto.w_elapsed_s;
+               detail = "memory budget exceeded";
+             })
+    | Proto.W_error msg ->
+        send_reply job.cid
+          (Proto.Failed
+             { failure = Proto.F_crash; elapsed_s = wr.Proto.w_elapsed_s; detail = msg })
+  in
+
+  let respawn_after_failure slot =
+    slot.failures <- slot.failures + 1;
+    let delay =
+      Exec.Backoff.delay config.backoff
+        ~task:(Printf.sprintf "serve.worker%d" slot.widx)
+        ~attempt:slot.failures
+    in
+    slot.pid <- -1;
+    slot.state <- Respawning (Budget.now () +. delay)
+  in
+
+  (* EOF or torn frame from a worker: classify, settle its job, schedule
+     the respawn under quarantine backoff. *)
+  let worker_died slot =
+    (try Unix.close slot.wfd with Unix.Unix_error _ -> ());
+    if slot.pid >= 0 then ignore (waitpid_retry slot.pid);
+    (match slot.state with
+    | Busy (job, _) ->
+        Metrics.incr m_crashes;
+        Span.event "serve.worker.crash"
+          ~attrs:[ ("worker", Obs.Int slot.widx); ("jid", Obs.Int job.jid) ]
+          ();
+        if job.attempts >= config.max_attempts then
+          send_reply job.cid
+            (Proto.Failed
+               {
+                 failure = Proto.F_crash;
+                 elapsed_s = Budget.now () -. job.enqueued_at;
+                 detail = Printf.sprintf "worker crashed (%d attempts)" job.attempts;
+               })
+        else begin
+          (* retry ahead of newly admitted work *)
+          requeued := !requeued @ [ job ];
+          update_depth ()
+        end
+    | Idle | Respawning _ -> ());
+    respawn_after_failure slot
+  in
+
+  (* A worker finished its job and retired on purpose (post-memout): not
+     a crash, no quarantine, fresh replacement as soon as possible. *)
+  let worker_retired slot =
+    (try Unix.close slot.wfd with Unix.Unix_error _ -> ());
+    if slot.pid >= 0 then ignore (waitpid_retry slot.pid);
+    slot.failures <- 0;
+    slot.pid <- -1;
+    slot.state <- Respawning (Budget.now ())
+  in
+
+  let dispatch () =
+    Array.iter
+      (fun slot ->
+        match slot.state with
+        | Idle when queue_depth () > 0 ->
+            let job =
+              match !requeued with
+              | j :: rest ->
+                  requeued := rest;
+                  j
+              | [] -> Queue.pop pending
+            in
+            update_depth ();
+            job.attempts <- job.attempts + 1;
+            let kill =
+              Chaos.fire config.chaos (kill_point ~jid:job.jid ~attempt:job.attempts)
+            in
+            let frame =
+              Ipc.frame_string
+                (Proto.wreq_to_json
+                   {
+                     Proto.jid = job.jid;
+                     text = job.text;
+                     timeout_s = job.timeout_s;
+                     kill;
+                     sleep_s = job.sleep_s;
+                   })
+            in
+            (match write_frame_waiting slot.wfd (Bytes.of_string frame) with
+            | () ->
+                (* the budget clock starts at dispatch (the worker's sleep
+                   hook runs inside it), so a worker still silent at
+                   deadline + grace is stuck, not slow *)
+                slot.state <-
+                  Busy (job, Budget.now () +. job.timeout_s +. config.kill_grace_s)
+            | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _) ->
+                (* worker died between jobs; settle as a crash attempt *)
+                slot.state <- Busy (job, Budget.now ());
+                worker_died slot)
+        | Idle | Busy _ | Respawning _ -> ())
+      slots
+  in
+
+  let admit cid (req : Proto.request) =
+    Span.with_ "serve.request" @@ fun () ->
+    match req with
+    | Proto.Ping -> send_reply cid Proto.Pong
+    | Proto.Stats ->
+        let workers =
+          Array.fold_left
+            (fun acc s -> match s.state with Respawning _ -> acc | Idle | Busy _ -> acc + 1)
+            0 slots
+        in
+        send_reply cid
+          (Proto.Stats_reply
+             {
+               workers;
+               queue_depth = queue_depth ();
+               metrics = Metrics.to_assoc (Metrics.snapshot ());
+             })
+    | Proto.Solve { text; timeout_s; sleep_s } -> (
+        Metrics.incr m_requests;
+        if !draining then send_reply cid Proto.Draining
+        else
+          let timeout_s =
+            Float.min config.max_timeout_s
+              (match timeout_s with
+              | Some s when s > 0. -> s
+              | Some _ | None -> config.default_timeout_s)
+          in
+          match Dqbf.Pcnf.parse_string text with
+          | exception Failure msg -> send_reply cid (Proto.Invalid msg)
+          | pcnf -> (
+              match Dqbf.Pcnf.validate pcnf with
+              | Error msg -> send_reply cid (Proto.Invalid msg)
+              | Ok () -> (
+                  let canon = Dqbf.Canon.canonicalize pcnf in
+                  let enqueue audit_of =
+                    incr next_jid;
+                    Queue.push
+                      {
+                        jid = !next_jid;
+                        cid;
+                        key = canon.Dqbf.Canon.key;
+                        text;
+                        timeout_s;
+                        sleep_s;
+                        attempts = 0;
+                        enqueued_at = Budget.now ();
+                        audit_of;
+                      }
+                      pending;
+                    update_depth ()
+                  in
+                  match Cache.find cache canon.Dqbf.Canon.key with
+                  | Some entry ->
+                      incr hit_count;
+                      Metrics.incr m_cache_hits;
+                      let audit =
+                        config.check_level = Check.Full
+                        && config.audit_period > 0
+                        && !hit_count mod config.audit_period = 0
+                        && queue_depth () < config.queue_cap
+                      in
+                      if audit then enqueue (Some entry)
+                      else
+                        send_reply cid
+                          (Proto.Verdict
+                             {
+                               sat = entry.Cache.sat;
+                               elapsed_s = entry.Cache.elapsed_s;
+                               cached = true;
+                               audited = false;
+                             })
+                  | None ->
+                      Metrics.incr m_cache_misses;
+                      if queue_depth () >= config.queue_cap then begin
+                        Metrics.incr m_shed;
+                        Span.event "serve.shed" ();
+                        send_reply cid (Proto.Overloaded { queue_depth = queue_depth () })
+                      end
+                      else enqueue None)))
+  in
+
+  let handle_client_input c =
+    let rec frames () =
+      match Ipc.next_frame c.crd with
+      | None -> ()
+      | Some (Error msg) ->
+          send_reply c.cid (Proto.Invalid ("torn frame: " ^ msg));
+          flush_client c;
+          drop_client c
+      | Some (Ok j) ->
+          (match Proto.request_of_json j with
+          | Ok req -> admit c.cid req
+          | Error msg -> send_reply c.cid (Proto.Invalid msg));
+          if Hashtbl.mem clients c.cid then frames ()
+    in
+    match read_avail c.cfd c.crd with
+    | `Nothing -> ()
+    | `Data -> frames ()
+    | `Closed got ->
+        (* a client that sent its request and hung up: admit the buffered
+           frames first (the verdict is still computed and cached), then
+           drop the connection *)
+        if got then frames ();
+        if Hashtbl.mem clients c.cid then drop_client c
+  in
+
+  let handle_worker_input slot =
+    let rec frames () =
+      match Ipc.next_frame slot.wrd with
+      | None -> `Alive
+      | Some (Error _) ->
+          worker_died slot;
+          `Settled
+      | Some (Ok j) -> (
+          match (Proto.wreply_of_json j, slot.state) with
+          | Ok wr, Busy (job, _) when wr.Proto.w_jid = job.jid ->
+              complete job wr;
+              slot.failures <- 0;
+              if wr.Proto.retiring then begin
+                worker_retired slot;
+                `Settled
+              end
+              else begin
+                slot.state <- Idle;
+                frames ()
+              end
+          | Ok _, _ -> frames () (* stale frame from a superseded job *)
+          | Error _, _ ->
+              worker_died slot;
+              `Settled)
+    in
+    match read_avail slot.wfd slot.wrd with
+    | `Nothing -> ()
+    | `Data -> ignore (frames ())
+    | `Closed got ->
+        (* a retiring worker's last reply can arrive in the same batch as
+           its EOF: settle the frames first so a planned retirement is
+           not misread as a crash *)
+        let settled = if got then frames () else `Alive in
+        if settled = `Alive then worker_died slot
+  in
+
+  (* late-worker wall kill: the request's deadline plus grace has passed
+     without a reply — SIGKILL the worker's session and settle the job
+     as a structured timeout (no retry: the instance earned its kill) *)
+  let enforce_deadlines now =
+    Array.iter
+      (fun slot ->
+        match slot.state with
+        | Busy (job, kill_at) when now >= kill_at ->
+            kill_group slot.pid Sys.sigkill;
+            (try Unix.close slot.wfd with Unix.Unix_error _ -> ());
+            ignore (waitpid_retry slot.pid);
+            Metrics.incr m_timeouts;
+            Span.event "serve.worker.wall_kill"
+              ~attrs:[ ("worker", Obs.Int slot.widx); ("jid", Obs.Int job.jid) ]
+              ();
+            send_reply job.cid
+              (Proto.Failed
+                 {
+                   failure = Proto.F_timeout;
+                   elapsed_s = now -. job.enqueued_at;
+                   detail = "deadline expired; worker killed";
+                 });
+            slot.failures <- 0;
+            slot.pid <- -1;
+            slot.state <- Respawning now
+        | Idle | Busy _ | Respawning _ -> ())
+      slots
+  in
+
+  let respawn_due now =
+    Array.iter
+      (fun slot ->
+        match slot.state with
+        | Respawning at when now >= at ->
+            if slot.pid >= 0 then () (* unreachable; pid cleared on death *)
+            else begin
+              Metrics.incr m_respawns;
+              spawn slot
+            end
+        | Idle | Busy _ | Respawning _ -> ())
+      slots
+  in
+
+  (* initial pool, not counted as respawns *)
+  Array.iter spawn slots;
+
+  let accept_clients () =
+    let rec go () =
+      match Unix.accept listen_fd with
+      | fd, _ ->
+          Unix.set_nonblock fd;
+          incr next_cid;
+          Hashtbl.replace clients !next_cid
+            { cid = !next_cid; cfd = fd; crd = Ipc.reader (); outq = []; off = 0 };
+          go ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+      | exception Unix.Unix_error (Unix.ECONNABORTED, _, _) -> go ()
+    in
+    go ()
+  in
+
+  let all_flushed () = Hashtbl.fold (fun _ c acc -> acc && c.outq = []) clients true in
+  let all_idle () =
+    Array.for_all (fun s -> match s.state with Busy _ -> false | Idle | Respawning _ -> true) slots
+  in
+
+  let finished () =
+    !draining && queue_depth () = 0 && all_idle () && all_flushed ()
+  in
+
+  while not (finished ()) do
+    let now = Budget.now () in
+    enforce_deadlines now;
+    respawn_due now;
+    dispatch ();
+    (* the OCaml-level SIGTERM handler only runs at a safe point after
+       select returns, so the idle timeout bounds drain responsiveness —
+       keep it short *)
+    let wait =
+      Array.fold_left
+        (fun acc s ->
+          match s.state with
+          | Busy (_, kill_at) -> Float.min acc (kill_at -. now)
+          | Respawning at -> Float.min acc (at -. now)
+          | Idle -> acc)
+        0.1 slots
+    in
+    let wait = Float.max 0.01 (if !draining then Float.min wait 0.05 else wait) in
+    let worker_fds =
+      Array.fold_left
+        (fun acc s -> match s.state with Respawning _ -> acc | Idle | Busy _ -> s.wfd :: acc)
+        [] slots
+    in
+    let rfds = (listen_fd :: Hashtbl.fold (fun _ c acc -> c.cfd :: acc) clients []) @ worker_fds in
+    let wfds = Hashtbl.fold (fun _ c acc -> if c.outq = [] then acc else c.cfd :: acc) clients [] in
+    let readable, writable, _ =
+      match Unix.select rfds wfds [] wait with
+      | r -> r
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+      | exception Unix.Unix_error (Unix.EBADF, _, _) -> ([], [], [])
+    in
+    if List.memq listen_fd readable then accept_clients ();
+    Array.iter
+      (fun slot ->
+        match slot.state with
+        | Respawning _ -> ()
+        | Idle | Busy _ -> if List.memq slot.wfd readable then handle_worker_input slot)
+      slots;
+    let snapshot = Hashtbl.fold (fun _ c acc -> c :: acc) clients [] in
+    List.iter
+      (fun c -> if Hashtbl.mem clients c.cid && List.memq c.cfd readable then handle_client_input c)
+      snapshot;
+    List.iter
+      (fun c ->
+        if Hashtbl.mem clients c.cid && (List.memq c.cfd writable || c.outq <> []) then
+          flush_client c)
+      snapshot;
+    dispatch ()
+  done;
+
+  (* graceful shutdown: workers get EOF on their request channel and
+     exit 0; everything else is closed and the socket path removed *)
+  Array.iter
+    (fun slot ->
+      match slot.state with
+      | Respawning _ -> ()
+      | Idle | Busy _ ->
+          (try Unix.close slot.wfd with Unix.Unix_error _ -> ());
+          if slot.pid >= 0 then ignore (waitpid_retry slot.pid))
+    slots;
+  Hashtbl.iter (fun _ c -> try Unix.close c.cfd with Unix.Unix_error _ -> ()) clients;
+  (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+  (try Sys.remove config.socket_path with Sys_error _ -> ());
+  Cache.close cache;
+  (match config.trace_path with
+  | Some path ->
+      List.iter
+        (fun { Metrics.name; kind = _; v } ->
+          if String.length name >= 6 && String.sub name 0 6 = "serve." then
+            Span.event "serve.metric" ~attrs:[ ("name", Obs.Str name); ("value", Obs.Float v) ] ())
+        (Metrics.snapshot ());
+      Obs.Trace.write_chrome_json path;
+      Obs.Trace.reset ()
+  | None -> ());
+  Sys.set_signal Sys.sigterm prev_term;
+  Sys.set_signal Sys.sigint prev_int

@@ -1,0 +1,59 @@
+(** The persistent solver daemon behind [hqs serve].
+
+    A single-threaded select loop owns a Unix-domain listen socket, the
+    client connections, and a pool of forked solver workers (one
+    socketpair each, {!Exec.Ipc} frames both ways). Robustness
+    properties, in order of importance:
+
+    - a client always receives a structured reply — worker crashes map
+      to retries and then a [crash] reply, budget exhaustion to
+      [timeout]/[memout], a stuck worker is SIGKILLed at deadline + grace
+      and reported as [timeout]; never a hung or torn connection;
+    - crashed workers are respawned under the seeded exponential
+      {!Exec.Backoff} quarantine, so a poisoned instance cannot turn the
+      pool into a fork bomb;
+    - admission is bounded: past [queue_cap] queued jobs, new solves are
+      shed with an explicit [overloaded] reply and counted;
+    - SIGTERM/SIGINT drain gracefully: in-flight jobs finish, new solves
+      get [draining], then the daemon exits cleanly; SIGPIPE is ignored
+      throughout, so a disconnecting client cannot kill the daemon (its
+      verdict is still computed and cached);
+    - verdicts are memoized by {!Dqbf.Canon} canonical key in a
+      {!Cache}; at [Check.Full] every [audit_period]-th cache hit is
+      re-solved from scratch and compared ({!Check.audit_cache_hit}) —
+      a mismatch evicts the entry and tells the client.
+
+    Everything observable is metered under [serve.*] in {!Obs.Metrics}
+    and, when [trace_path] is set, traced to Chrome JSON. *)
+
+type config = {
+  socket_path : string;
+  workers : int;  (** pool size, >= 1 *)
+  queue_cap : int;  (** queued (not yet dispatched) job bound, >= 1 *)
+  default_timeout_s : float;  (** per-request budget when the client sends none *)
+  max_timeout_s : float;  (** ceiling on client-requested budgets *)
+  kill_grace_s : float;  (** SIGKILL a worker this long past its request deadline *)
+  max_attempts : int;  (** dispatches per job before a [crash] reply *)
+  mem_limit_mb : int option;  (** per-request heap budget; rlimit backstop at 2x *)
+  backoff : Exec.Backoff.policy;  (** respawn quarantine schedule *)
+  chaos : Hqs_util.Chaos.t;
+      (** arms ["serve.worker.kill:<jid>#<attempt>"] points — a fired
+          point makes the dispatched worker SIGKILL itself mid-request *)
+  check_level : Check.level;  (** [Full] enables sampled cache-hit audits *)
+  audit_period : int;  (** re-solve every Nth cache hit (0 disables) *)
+  cache_path : string option;  (** persistent cache journal *)
+  trace_path : string option;  (** write a Chrome trace on exit *)
+  solver : Hqs.config;
+}
+
+val default : socket_path:string -> config
+
+val kill_point : jid:int -> attempt:int -> string
+(** Chaos point name for one dispatch, mirroring
+    {!Hqs_util.Chaos.worker_kill_point}. *)
+
+val run : config -> unit
+(** Serve until drained by SIGTERM/SIGINT. Binds (replacing any stale
+    file at) [socket_path], removes it on exit, restores the previous
+    signal dispositions. @raise Invalid_argument on nonsensical pool or
+    queue bounds. *)

@@ -1,0 +1,242 @@
+module Json = Obs.Json
+module Metrics = Obs.Metrics
+
+(* ------------------------------------------------------- client protocol *)
+
+type request =
+  | Solve of { text : string; timeout_s : float option; sleep_s : float }
+  | Ping
+  | Stats
+
+type failure = F_timeout | F_memout | F_crash
+
+type reply =
+  | Verdict of { sat : bool; elapsed_s : float; cached : bool; audited : bool }
+  | Failed of { failure : failure; elapsed_s : float; detail : string }
+  | Overloaded of { queue_depth : int }
+  | Draining
+  | Invalid of string
+  | Pong
+  | Stats_reply of { workers : int; queue_depth : int; metrics : (string * float) list }
+  | Audit_failed of { cached_sat : bool; fresh_sat : bool }
+
+let failure_name = function F_timeout -> "timeout" | F_memout -> "memout" | F_crash -> "crash"
+
+let failure_of_name = function
+  | "timeout" -> Some F_timeout
+  | "memout" -> Some F_memout
+  | "crash" -> Some F_crash
+  | _ -> None
+
+let request_to_json = function
+  | Solve { text; timeout_s; sleep_s } ->
+      Json.Obj
+        ([ ("op", Json.Str "solve"); ("dqdimacs", Json.Str text) ]
+        @ (match timeout_s with None -> [] | Some s -> [ ("timeout_s", Json.Num s) ])
+        @ if sleep_s > 0. then [ ("sleep_s", Json.Num sleep_s) ] else [])
+  | Ping -> Json.Obj [ ("op", Json.Str "ping") ]
+  | Stats -> Json.Obj [ ("op", Json.Str "stats") ]
+
+let request_of_json j =
+  match Json.member "op" j with
+  | Some (Json.Str "ping") -> Ok Ping
+  | Some (Json.Str "stats") -> Ok Stats
+  | Some (Json.Str "solve") -> (
+      match Json.member "dqdimacs" j with
+      | Some (Json.Str text) ->
+          let num name =
+            match Json.member name j with Some v -> Json.to_number v | None -> None
+          in
+          Ok
+            (Solve
+               {
+                 text;
+                 timeout_s = num "timeout_s";
+                 sleep_s = (match num "sleep_s" with Some s -> s | None -> 0.);
+               })
+      | _ -> Error "solve request lacks a dqdimacs string")
+  | Some (Json.Str op) -> Error ("unknown op: " ^ op)
+  | _ -> Error "request lacks an op field"
+
+let metrics_to_json samples =
+  Json.Arr
+    (List.map
+       (fun { Metrics.name; kind; v } ->
+         Json.Arr [ Json.Str name; Json.Str (Metrics.kind_name kind); Json.Num v ])
+       samples)
+
+let metrics_of_json j =
+  match Json.to_list j with
+  | None -> Error "metrics: expected an array"
+  | Some items ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | Json.Arr [ Json.Str name; Json.Str kind; Json.Num v ] :: rest -> (
+            match Metrics.kind_of_name kind with
+            | Some kind -> go ({ Metrics.name; kind; v } :: acc) rest
+            | None -> Error ("metrics: unknown kind " ^ kind))
+        | _ -> Error "metrics: malformed sample"
+      in
+      go [] items
+
+let reply_to_json = function
+  | Verdict { sat; elapsed_s; cached; audited } ->
+      Json.Obj
+        [
+          ("r", Json.Str "verdict");
+          ("sat", Json.Bool sat);
+          ("elapsed_s", Json.Num elapsed_s);
+          ("cached", Json.Bool cached);
+          ("audited", Json.Bool audited);
+        ]
+  | Failed { failure; elapsed_s; detail } ->
+      Json.Obj
+        [
+          ("r", Json.Str "failed");
+          ("failure", Json.Str (failure_name failure));
+          ("elapsed_s", Json.Num elapsed_s);
+          ("detail", Json.Str detail);
+        ]
+  | Overloaded { queue_depth } ->
+      Json.Obj [ ("r", Json.Str "overloaded"); ("queue_depth", Json.Num (float_of_int queue_depth)) ]
+  | Draining -> Json.Obj [ ("r", Json.Str "draining") ]
+  | Invalid msg -> Json.Obj [ ("r", Json.Str "invalid"); ("msg", Json.Str msg) ]
+  | Pong -> Json.Obj [ ("r", Json.Str "pong") ]
+  | Stats_reply { workers; queue_depth; metrics } ->
+      Json.Obj
+        [
+          ("r", Json.Str "stats");
+          ("workers", Json.Num (float_of_int workers));
+          ("queue_depth", Json.Num (float_of_int queue_depth));
+          ( "metrics",
+            Json.Obj (List.map (fun (name, v) -> (name, Json.Num v)) metrics) );
+        ]
+  | Audit_failed { cached_sat; fresh_sat } ->
+      Json.Obj
+        [
+          ("r", Json.Str "audit_failed");
+          ("cached_sat", Json.Bool cached_sat);
+          ("fresh_sat", Json.Bool fresh_sat);
+        ]
+
+let reply_of_json j =
+  let bool name = match Json.member name j with Some (Json.Bool b) -> Some b | _ -> None in
+  let num name = match Json.member name j with Some v -> Json.to_number v | None -> None in
+  let str name = match Json.member name j with Some (Json.Str s) -> Some s | _ -> None in
+  match str "r" with
+  | Some "verdict" -> (
+      match (bool "sat", num "elapsed_s", bool "cached", bool "audited") with
+      | Some sat, Some elapsed_s, Some cached, Some audited ->
+          Ok (Verdict { sat; elapsed_s; cached; audited })
+      | _ -> Error "malformed verdict reply")
+  | Some "failed" -> (
+      match (Option.bind (str "failure") failure_of_name, num "elapsed_s", str "detail") with
+      | Some failure, Some elapsed_s, Some detail -> Ok (Failed { failure; elapsed_s; detail })
+      | _ -> Error "malformed failed reply")
+  | Some "overloaded" -> (
+      match num "queue_depth" with
+      | Some d -> Ok (Overloaded { queue_depth = int_of_float d })
+      | None -> Error "malformed overloaded reply")
+  | Some "draining" -> Ok Draining
+  | Some "invalid" -> (
+      match str "msg" with Some msg -> Ok (Invalid msg) | None -> Error "malformed invalid reply")
+  | Some "pong" -> Ok Pong
+  | Some "stats" -> (
+      match (num "workers", num "queue_depth", Json.member "metrics" j) with
+      | Some w, Some d, Some (Json.Obj fields) ->
+          let metrics =
+            List.filter_map
+              (fun (name, v) -> Option.map (fun v -> (name, v)) (Json.to_number v))
+              fields
+          in
+          Ok
+            (Stats_reply
+               { workers = int_of_float w; queue_depth = int_of_float d; metrics })
+      | _ -> Error "malformed stats reply")
+  | Some "audit_failed" -> (
+      match (bool "cached_sat", bool "fresh_sat") with
+      | Some cached_sat, Some fresh_sat -> Ok (Audit_failed { cached_sat; fresh_sat })
+      | _ -> Error "malformed audit_failed reply")
+  | Some r -> Error ("unknown reply kind: " ^ r)
+  | None -> Error "reply lacks an r field"
+
+(* ------------------------------------------------------- worker protocol *)
+
+type wreq = { jid : int; text : string; timeout_s : float; kill : bool; sleep_s : float }
+
+type wresult = W_sat of bool | W_timeout | W_memout | W_error of string
+
+type wreply = {
+  w_jid : int;
+  result : wresult;
+  w_elapsed_s : float;
+  retiring : bool;  (** the worker exits after this reply (planned, not a crash) *)
+  samples : Metrics.sample list;
+}
+
+let wreq_to_json { jid; text; timeout_s; kill; sleep_s } =
+  Json.Obj
+    [
+      ("jid", Json.Num (float_of_int jid));
+      ("text", Json.Str text);
+      ("timeout_s", Json.Num timeout_s);
+      ("kill", Json.Bool kill);
+      ("sleep_s", Json.Num sleep_s);
+    ]
+
+let wreq_of_json j =
+  match
+    ( Json.member "jid" j,
+      Json.member "text" j,
+      Json.member "timeout_s" j,
+      Json.member "kill" j,
+      Json.member "sleep_s" j )
+  with
+  | Some jid, Some (Json.Str text), Some t, Some (Json.Bool kill), Some s -> (
+      match (Json.to_number jid, Json.to_number t, Json.to_number s) with
+      | Some jid, Some timeout_s, Some sleep_s ->
+          Ok { jid = int_of_float jid; text; timeout_s; kill; sleep_s }
+      | _ -> Error "malformed worker request numbers")
+  | _ -> Error "malformed worker request"
+
+let wresult_to_json = function
+  | W_sat b -> Json.Str (if b then "sat" else "unsat")
+  | W_timeout -> Json.Str "timeout"
+  | W_memout -> Json.Str "memout"
+  | W_error msg -> Json.Obj [ ("error", Json.Str msg) ]
+
+let wresult_of_json = function
+  | Json.Str "sat" -> Ok (W_sat true)
+  | Json.Str "unsat" -> Ok (W_sat false)
+  | Json.Str "timeout" -> Ok W_timeout
+  | Json.Str "memout" -> Ok W_memout
+  | Json.Obj _ as o -> (
+      match Json.member "error" o with
+      | Some (Json.Str msg) -> Ok (W_error msg)
+      | _ -> Error "malformed worker result")
+  | _ -> Error "malformed worker result"
+
+let wreply_to_json { w_jid; result; w_elapsed_s; retiring; samples } =
+  Json.Obj
+    [
+      ("jid", Json.Num (float_of_int w_jid));
+      ("result", wresult_to_json result);
+      ("elapsed_s", Json.Num w_elapsed_s);
+      ("retiring", Json.Bool retiring);
+      ("samples", metrics_to_json samples);
+    ]
+
+let wreply_of_json j =
+  match
+    ( Json.member "jid" j,
+      Json.member "result" j,
+      Json.member "elapsed_s" j,
+      Json.member "retiring" j,
+      Json.member "samples" j )
+  with
+  | Some jid, Some r, Some e, Some (Json.Bool retiring), Some s -> (
+      match (Json.to_number jid, wresult_of_json r, Json.to_number e, metrics_of_json s) with
+      | Some jid, Ok result, Some w_elapsed_s, Ok samples ->
+          Ok { w_jid = int_of_float jid; result; w_elapsed_s; retiring; samples }
+      | _ -> Error "malformed worker reply fields")
+  | _ -> Error "malformed worker reply"

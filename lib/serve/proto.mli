@@ -1,0 +1,76 @@
+(** Wire protocol of the serve daemon, both sides.
+
+    Everything travels as length-prefixed {!Obs.Json} frames
+    ({!Exec.Ipc}). The client protocol is request/reply over a Unix
+    domain socket: one [Solve] per connection is the supported shape
+    ([hqs query]); a connection that pipelines several solves receives
+    the replies in completion order, not submission order. The worker
+    protocol runs over a private socketpair between the daemon and each
+    pool worker and is not a public interface — it is exposed here so
+    the daemon and its tests share one codec. *)
+
+type request =
+  | Solve of {
+      text : string;  (** the DQDIMACS instance, verbatim *)
+      timeout_s : float option;  (** per-request deadline; daemon default if absent *)
+      sleep_s : float;
+          (** test hook: the worker sleeps this long {e inside} the solve
+              budget before solving, so a sleep past [timeout_s] expires
+              the budget deterministically — makes deadline-expiry, queue
+              and drain tests repeatable. 0 in production. *)
+    }
+  | Ping
+  | Stats
+
+type failure = F_timeout | F_memout | F_crash
+
+type reply =
+  | Verdict of { sat : bool; elapsed_s : float; cached : bool; audited : bool }
+  | Failed of { failure : failure; elapsed_s : float; detail : string }
+      (** structured failure — the client never sees a torn connection *)
+  | Overloaded of { queue_depth : int }  (** admission queue full; retry later *)
+  | Draining  (** daemon is shutting down; new work refused *)
+  | Invalid of string  (** unparsable request or instance *)
+  | Pong
+  | Stats_reply of { workers : int; queue_depth : int; metrics : (string * float) list }
+  | Audit_failed of { cached_sat : bool; fresh_sat : bool }
+      (** a sampled cache-hit re-solve disagreed with the memoized verdict *)
+
+val failure_name : failure -> string
+val failure_of_name : string -> failure option
+
+val request_to_json : request -> Obs.Json.t
+val request_of_json : Obs.Json.t -> (request, string) result
+val reply_to_json : reply -> Obs.Json.t
+val reply_of_json : Obs.Json.t -> (reply, string) result
+
+val metrics_to_json : Obs.Metrics.sample list -> Obs.Json.t
+val metrics_of_json : Obs.Json.t -> (Obs.Metrics.sample list, string) result
+
+(** {1 Worker protocol (daemon-internal)} *)
+
+type wreq = {
+  jid : int;
+  text : string;
+  timeout_s : float;
+  kill : bool;  (** chaos: the worker SIGKILLs itself mid-request *)
+  sleep_s : float;
+}
+
+type wresult = W_sat of bool | W_timeout | W_memout | W_error of string
+
+type wreply = {
+  w_jid : int;
+  result : wresult;
+  w_elapsed_s : float;
+  retiring : bool;
+      (** the worker exits right after this reply (e.g. after a hard
+          memout left its heap near the rlimit) — a planned retirement
+          the daemon must not count as a crash *)
+  samples : Obs.Metrics.sample list;  (** per-job metrics delta to absorb *)
+}
+
+val wreq_to_json : wreq -> Obs.Json.t
+val wreq_of_json : Obs.Json.t -> (wreq, string) result
+val wreply_to_json : wreply -> Obs.Json.t
+val wreply_of_json : Obs.Json.t -> (wreply, string) result

@@ -1,0 +1,213 @@
+(* Canonicalizer tests: the serve daemon's cache key must be invariant
+   under dependency-respecting renaming and clause shuffling, and must
+   separate instances whose Henkin dependency structure differs (a
+   collision there would let the cache hand out a wrong verdict). *)
+
+module P = Dqbf.Pcnf
+module Canon = Dqbf.Canon
+
+let check = Alcotest.(check bool)
+
+(* ------------------------------------------------------------ generators *)
+
+(* same instance shape as test_dqbf: universals 0..nu-1, existentials
+   nu..nu+ne-1 with random dependency masks, random CNF matrix *)
+type instance = {
+  nu : int;
+  ne : int;
+  dep_masks : int list;
+  clauses : (int * bool) list list;
+}
+
+let instance_gen =
+  QCheck.Gen.(
+    int_range 1 3 >>= fun nu ->
+    int_range 1 3 >>= fun ne ->
+    list_repeat ne (int_bound ((1 lsl nu) - 1)) >>= fun dep_masks ->
+    let n = nu + ne in
+    list_size (int_range 1 12) (list_size (int_range 1 3) (pair (int_bound (n - 1)) bool))
+    >>= fun clauses ->
+    int_bound 1_000_000 >>= fun seed -> return ({ nu; ne; dep_masks; clauses }, seed))
+
+let instance_print ({ nu; ne; dep_masks; clauses }, seed) =
+  Printf.sprintf "nu=%d ne=%d deps=[%s] seed=%d clauses=%s" nu ne
+    (String.concat ";" (List.map string_of_int dep_masks))
+    seed
+    (String.concat " "
+       (List.map
+          (fun c ->
+            String.concat ","
+              (List.map (fun (v, s) -> string_of_int (if s then -(v + 1) else v + 1)) c))
+          clauses))
+
+let instance_arb = QCheck.make ~print:instance_print instance_gen
+
+let to_pcnf { nu; ne; dep_masks; clauses } =
+  let exists =
+    List.mapi
+      (fun i mask ->
+        (nu + i, List.filter (fun x -> mask land (1 lsl x) <> 0) (List.init nu Fun.id)))
+      dep_masks
+  in
+  {
+    P.num_vars = nu + ne;
+    P.univs = List.init nu Fun.id;
+    P.exists;
+    P.clauses =
+      List.map (List.map (fun (v, s) -> if s then -(v + 1) else v + 1)) clauses;
+  }
+
+(* ---------------------------------------------- renaming and shuffling *)
+
+let shuffle st l =
+  let a = Array.of_list l in
+  for i = Array.length a - 1 downto 1 do
+    let j = Random.State.int st (i + 1) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done;
+  Array.to_list a
+
+(* a dependency-respecting renaming: universals permute among
+   themselves, existentials among themselves, dependency sets are mapped
+   along; clause order, literal order, and declaration order are all
+   shuffled on top *)
+let rename_shuffle ~seed (p : P.t) =
+  let st = Random.State.make [| seed |] in
+  let perm = Array.init p.P.num_vars Fun.id in
+  let apply_cycle ids =
+    let shuffled = shuffle st ids in
+    List.iter2 (fun v v' -> perm.(v) <- v') ids shuffled
+  in
+  apply_cycle p.P.univs;
+  apply_cycle (List.map fst p.P.exists);
+  let map_lit l =
+    let v = abs l - 1 in
+    let v' = perm.(v) in
+    if l < 0 then -(v' + 1) else v' + 1
+  in
+  {
+    P.num_vars = p.P.num_vars;
+    P.univs = shuffle st (List.map (fun v -> perm.(v)) p.P.univs);
+    P.exists =
+      shuffle st
+        (List.map
+           (fun (y, deps) -> (perm.(y), shuffle st (List.map (fun x -> perm.(x)) deps)))
+           p.P.exists);
+    P.clauses = shuffle st (List.map (fun c -> shuffle st (List.map map_lit c)) p.P.clauses);
+  }
+
+(* ------------------------------------------------------------ properties *)
+
+let prop_invariance =
+  QCheck.Test.make ~name:"renaming+shuffle preserves the canonical key" ~count:300
+    instance_arb (fun (inst, seed) ->
+      let p = to_pcnf inst in
+      let c1 = Canon.canonicalize p in
+      let c2 = Canon.canonicalize (rename_shuffle ~seed p) in
+      c1.Canon.key.Canon.h1 = c2.Canon.key.Canon.h1
+      && c1.Canon.key.Canon.h2 = c2.Canon.key.Canon.h2
+      && String.equal c1.Canon.canonical c2.Canon.canonical)
+
+let prop_exact_small =
+  QCheck.Test.make ~name:"small instances canonicalize exactly" ~count:300 instance_arb
+    (fun (inst, _) -> (Canon.canonicalize (to_pcnf inst)).Canon.exact)
+
+(* the cache contract: a hit (same canonical key) must return the verdict
+   a fresh solve would. Renamed instances are exactly the hits the
+   canonicalizer creates, so their verdicts must agree with the original. *)
+let prop_cached_verdict =
+  QCheck.Test.make ~name:"renamed instance solves to the cached verdict" ~count:60
+    instance_arb (fun (inst, seed) ->
+      let p = to_pcnf inst in
+      let renamed = rename_shuffle ~seed p in
+      let v1, _ = Hqs.solve_pcnf p and v2, _ = Hqs.solve_pcnf renamed in
+      v1 = v2)
+
+(* ------------------------------------------------------- negative tests *)
+
+(* y <-> x1 under four different Henkin dependency sets for y. The
+   matrix pins x1 (it appears in clauses), so no renaming maps one
+   dependency set onto another: all four keys must be pairwise distinct.
+   Verdicts differ across them (dep {x1} is SAT, dep {x2} is UNSAT), so
+   a collision here would poison the cache with a wrong verdict. *)
+let test_dep_sets_never_collide () =
+  let mk deps =
+    {
+      P.num_vars = 3;
+      P.univs = [ 0; 1 ];
+      P.exists = [ (2, deps) ];
+      P.clauses = [ [ -1; 3 ]; [ 1; -3 ] ];
+    }
+  in
+  let variants = [ []; [ 0 ]; [ 1 ]; [ 0; 1 ] ] in
+  let keys = List.map (fun d -> (Canon.canonicalize (mk d)).Canon.key) variants in
+  List.iteri
+    (fun i ki ->
+      List.iteri
+        (fun j kj ->
+          if i < j then begin
+            check
+              (Printf.sprintf "dep variants %d and %d get distinct h1" i j)
+              false
+              (String.equal ki.Canon.h1 kj.Canon.h1);
+            check
+              (Printf.sprintf "dep variants %d and %d get distinct h2" i j)
+              false
+              (String.equal ki.Canon.h2 kj.Canon.h2)
+          end)
+        keys)
+    keys;
+  (* sanity: the verdicts really do differ across these keys *)
+  let v deps = fst (Hqs.solve_pcnf (mk deps)) in
+  check "dep {x1} is SAT" true (v [ 0 ] = Hqs.Sat);
+  check "dep {x2} is UNSAT" true (v [ 1 ] = Hqs.Unsat)
+
+(* symmetric-in-universals matrix: deps {x1} and {x2} are the same
+   instance up to renaming and SHOULD share a key, while dep-set sizes
+   0/1/2 must stay separated *)
+let test_symmetric_deps_merge () =
+  let mk deps =
+    {
+      P.num_vars = 3;
+      P.univs = [ 0; 1 ];
+      P.exists = [ (2, deps) ];
+      P.clauses = [ [ 1; 2; 3 ]; [ -1; -2; -3 ] ];
+    }
+  in
+  let key d = (Canon.canonicalize (mk d)).Canon.key in
+  check "dep {x1} and {x2} merge" true (String.equal (key [ 0 ]).Canon.h1 (key [ 1 ]).Canon.h1);
+  check "sizes 0 and 1 separate" false
+    (String.equal (key []).Canon.h1 (key [ 0 ]).Canon.h1);
+  check "sizes 1 and 2 separate" false
+    (String.equal (key [ 0 ]).Canon.h1 (key [ 0; 1 ]).Canon.h1)
+
+let test_key_shape () =
+  let c =
+    Canon.canonicalize
+      (P.parse_string "p cnf 2 2\na 1 0\nd 2 1 0\n1 -2 0\n-1 2 0\n")
+  in
+  check "h1 is lowercase hex, >= 15 digits" true
+    (String.length c.Canon.key.Canon.h1 >= 15
+    && String.for_all
+         (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false)
+         c.Canon.key.Canon.h1);
+  check "h2 independent of h1" false (String.equal c.Canon.key.Canon.h1 c.Canon.key.Canon.h2);
+  Alcotest.(check int) "num_vars" 2 c.Canon.key.Canon.num_vars;
+  Alcotest.(check int) "num_clauses" 2 c.Canon.key.Canon.num_clauses
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "canon"
+    [
+      ( "properties",
+        qsuite [ prop_invariance; prop_exact_small; prop_cached_verdict ] );
+      ( "structure",
+        [
+          Alcotest.test_case "dep sets never collide" `Quick test_dep_sets_never_collide;
+          Alcotest.test_case "symmetric deps merge" `Quick test_symmetric_deps_merge;
+          Alcotest.test_case "key shape" `Quick test_key_shape;
+        ] );
+    ]

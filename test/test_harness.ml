@@ -232,6 +232,27 @@ let test_csv_executor_columns () =
   check "in-process rows: solved, 1 attempt, empty pid, blank analysis cells" true
     (contains s ",solved,1,,,,\n")
 
+(* regression for the BENCH_analysis.json sentinel leak: a run without
+   stats must render as JSON [null], never as [-1] (which downstream
+   sums and CSV imports would treat as real data) *)
+let test_json_null_cells () =
+  Alcotest.(check string) "present int" "7" (Harness.Report.json_int_cell (Some 7));
+  Alcotest.(check string) "absent int is null" "null" (Harness.Report.json_int_cell None);
+  Alcotest.(check string) "present bool" "true" (Harness.Report.json_bool_cell (Some true));
+  Alcotest.(check string) "absent bool is null" "null" (Harness.Report.json_bool_cell None);
+  (* the cell must parse as JSON null, not as a number *)
+  (match Obs.Json.parse (Harness.Report.json_int_cell None) with
+  | Ok Obs.Json.Null -> ()
+  | Ok _ -> Alcotest.fail "null cell parsed as a value"
+  | Error e -> Alcotest.failf "null cell unparsable: %s" e);
+  (* and a baseline row built from it must never contain a -1 sentinel *)
+  let row =
+    Printf.sprintf "{ \"maxsat_set_rp\": %s, \"edges_pruned\": %s }"
+      (Harness.Report.json_int_cell None)
+      (Harness.Report.json_int_cell None)
+  in
+  check "no sentinel in rendered row" false (contains row "-1")
+
 let () =
   Alcotest.run "harness"
     [
@@ -252,5 +273,6 @@ let () =
           Alcotest.test_case "disagreement reported" `Quick test_disagreement_reported;
           Alcotest.test_case "crash reported" `Quick test_crash_reported;
           Alcotest.test_case "csv executor columns" `Quick test_csv_executor_columns;
+          Alcotest.test_case "json null cells" `Quick test_json_null_cells;
         ] );
     ]

@@ -57,8 +57,16 @@ let test_raw_fd () =
   check "Unix.socket flagged" true
     (has Linter.Raw_fd ~path:lib_path
        "let s () = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0\n");
-  check "lib/exec is the sanctioned home" false
+  check "Unix.socketpair flagged" true
+    (has Linter.Raw_fd ~path:lib_path
+       "let s () = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0\n");
+  check "Unix.accept flagged" true
+    (has Linter.Raw_fd ~path:lib_path "let a fd = Unix.accept fd\n");
+  check "lib/exec is a sanctioned home" false
     (has Linter.Raw_fd ~path:"lib/exec/journal.ml" "let p () = Unix.pipe ()\n");
+  check "lib/serve is a sanctioned home" false
+    (has Linter.Raw_fd ~path:"lib/serve/daemon.ml"
+       "let s () = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0\n");
   check "other Unix calls pass" false
     (has Linter.Raw_fd ~path:lib_path "let r fd b = Unix.read fd b 0 1\n")
 
