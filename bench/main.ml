@@ -17,6 +17,8 @@
                     (default: the solver default, rp)
      BENCH_ANALYSIS_ONLY=1  only write the dependency-scheme baseline
      BENCH_ANALYSIS_OUT  path of that file (default BENCH_analysis.json)
+     BENCH_INPROC_ONLY=1  only write the inprocessing-engine baseline
+     BENCH_INPROC_OUT  path of that file (default BENCH_inproc.json)
      BENCH_JOBS     supervised sweep workers           (default 1)
      BENCH_JOURNAL  append completed tasks to this crash-safe JSONL file
      BENCH_RESUME   skip tasks already journaled in this file
@@ -476,6 +478,117 @@ let analysis_baseline () =
   close_out oc;
   Printf.printf "dependency-scheme baseline written to %s\n" out
 
+(* ---------------------------------------- inprocessing-engine baseline *)
+
+(* One small instance per family: the engine's clause/literal/variable
+   deltas plus the solve-time movement with the engine on vs off land in
+   BENCH_inproc.json, so a regression in the engine's reduction power
+   (or a slowdown it causes) shows up as a baseline diff.
+   BENCH_INPROC_ONLY=1 runs just this section. *)
+
+let inproc_baseline () =
+  let out =
+    match Sys.getenv_opt "BENCH_INPROC_OUT" with
+    | Some p -> p
+    | None -> "BENCH_inproc.json"
+  in
+  let solve mode pcnf =
+    R.run_hqs
+      ~config:
+        {
+          Hqs.default_config with
+          Hqs.preprocess =
+            { Dqbf.Preprocess.default_config with Dqbf.Preprocess.inproc = mode };
+        }
+      ~timeout ~node_limit pcnf
+  in
+  let verdict_str = function
+    | R.Solved (true, _) -> "SAT"
+    | R.Solved (false, _) -> "UNSAT"
+    | R.Timeout _ -> "TO"
+    | R.Memout _ -> "MO"
+    | R.Crash _ -> "CRASH"
+  in
+  let time_of = function
+    | R.Solved (_, t) -> t
+    | R.Timeout t | R.Memout t | R.Crash t -> t
+  in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf (Printf.sprintf "  \"timeout_s\": %g,\n" timeout);
+  Buffer.add_string buf (Printf.sprintf "  \"node_limit\": %d,\n" node_limit);
+  Buffer.add_string buf "  \"instances\": [\n";
+  let cases = analysis_cases () in
+  let n = List.length cases in
+  List.iteri
+    (fun i inst ->
+      (* the engine alone at Full strength (probing + BVE), for the pure
+         CNF deltas; the solve-time comparison below uses the default
+         mode, matching what a plain solve runs *)
+      let refuted, stats =
+        match Dqbf.Preprocess.run_inproc ~mode:Inproc.Full inst.Fam.pcnf with
+        | `Unsat -> (true, None)
+        | `Done (_, res) -> (false, Some res.Inproc.stats)
+      in
+      let o_off, _ = solve Inproc.Off inst.Fam.pcnf in
+      let o_on, _ = solve Inproc.On inst.Fam.pcnf in
+      (match (o_off, o_on) with
+      | R.Solved (a, _), R.Solved (b, _) when a <> b ->
+          Printf.eprintf "inproc baseline: engine verdicts differ on %s\n%!" inst.Fam.id
+      | _ -> ());
+      let icell = Harness.Report.json_int_cell in
+      let g f = Option.map f stats in
+      Buffer.add_string buf "    {\n";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "      \"id\": %s, \"family\": %s, \"engine_mode\": \"full\", \
+            \"engine_refuted\": %s,\n"
+           (json_str inst.Fam.id) (json_str inst.Fam.family)
+           (if refuted then "true" else "false"));
+      Buffer.add_string buf
+        (Printf.sprintf
+           "      \"clauses_before\": %s, \"clauses_after\": %s, \"lits_before\": %s, \
+            \"lits_after\": %s, \"vars_before\": %s, \"vars_after\": %s,\n"
+           (icell (g (fun s -> s.Inproc.clauses_before)))
+           (icell (g (fun s -> s.Inproc.clauses_after)))
+           (icell (g (fun s -> s.Inproc.lits_before)))
+           (icell (g (fun s -> s.Inproc.lits_after)))
+           (icell (g (fun s -> s.Inproc.vars_before)))
+           (icell (g (fun s -> s.Inproc.vars_after))));
+      Buffer.add_string buf
+        (Printf.sprintf
+           "      \"units\": %s, \"scc_merges\": %s, \"subsumed\": %s, \
+            \"strengthened\": %s, \"bve\": %s,\n"
+           (icell (g (fun s -> s.Inproc.units)))
+           (icell (g (fun s -> s.Inproc.scc_merges)))
+           (icell (g (fun s -> s.Inproc.subsumed)))
+           (icell (g (fun s -> s.Inproc.strengthened)))
+           (icell (g (fun s -> s.Inproc.bve_eliminated))));
+      Buffer.add_string buf
+        (Printf.sprintf
+           "      \"verdict_off\": %s, \"verdict_on\": %s, \"time_off_s\": %.3f, \
+            \"time_on_s\": %.3f\n"
+           (json_str (verdict_str o_off))
+           (json_str (verdict_str o_on))
+           (time_of o_off) (time_of o_on));
+      Buffer.add_string buf (Printf.sprintf "    }%s\n" (if i < n - 1 then "," else ""));
+      Printf.eprintf "[inproc %d/%d] %-28s %s clauses %s->%s lits %s->%s\n%!" (i + 1) n
+        inst.Fam.id (verdict_str o_on)
+        (icell (g (fun s -> s.Inproc.clauses_before)))
+        (icell (g (fun s -> s.Inproc.clauses_after)))
+        (icell (g (fun s -> s.Inproc.lits_before)))
+        (icell (g (fun s -> s.Inproc.lits_after))))
+    cases;
+  Buffer.add_string buf "  ]\n}\n";
+  let body = Buffer.contents buf in
+  (match Obs.Json.parse body with
+  | Ok _ -> ()
+  | Error msg -> Printf.eprintf "inproc baseline: generated invalid JSON (%s)\n%!" msg);
+  let oc = open_out out in
+  output_string oc body;
+  close_out oc;
+  Printf.printf "inprocessing baseline written to %s\n" out
+
 (* ---------------------------------------------------- Bechamel micro part *)
 
 let micro () =
@@ -565,6 +678,10 @@ let () =
     analysis_baseline ();
     exit 0
   end;
+  if env_bool "BENCH_INPROC_ONLY" false then begin
+    inproc_baseline ();
+    exit 0
+  end;
   Printf.printf "HQS reproduction benchmark (timeout %.1fs, node limit %d%s)\n\n" timeout
     node_limit
     (if quick then ", QUICK suite" else "");
@@ -586,6 +703,9 @@ let () =
   print_endline "";
   print_endline "================ Dependency-scheme baseline ==================";
   analysis_baseline ();
+  print_endline "";
+  print_endline "================ Inprocessing-engine baseline ================";
+  inproc_baseline ();
   print_endline "";
   print_endline "================ Observability baseline ======================";
   obs_baseline ();

@@ -44,9 +44,24 @@ let resolve_dep_scheme = function
           Printf.eprintf "error: %s\n" msg;
           exit 2)
 
+(* same pattern for the inprocessing engine: --inproc beats HQS_INPROC *)
+let resolve_inproc = function
+  | Some s -> (
+      match Inproc.mode_of_string s with
+      | Some m -> m
+      | None ->
+          Printf.eprintf "error: --inproc %s: expected off, on or full\n" s;
+          exit 2)
+  | None -> (
+      match Inproc.mode_of_env () with
+      | Ok m -> m
+      | Error msg ->
+          Printf.eprintf "error: %s\n" msg;
+          exit 2)
+
 let solve file timeout mem_limit node_limit no_preprocess no_unitpure no_maxsat no_thm2 bce
     expand_all sat_probe no_fraig search_backend no_restart chaos_seed chaos_points check
-    dep_scheme show_model show_stats trace show_metrics =
+    dep_scheme inproc show_model show_stats trace show_metrics =
   install_signal_handlers ();
   let trace_file =
     match trace with
@@ -94,7 +109,12 @@ let solve file timeout mem_limit node_limit no_preprocess no_unitpure no_maxsat 
       Hqs.default_config with
       preprocess =
         (if no_preprocess then Dqbf.Preprocess.off
-         else { Dqbf.Preprocess.default_config with blocked_clauses = bce });
+         else
+           {
+             Dqbf.Preprocess.default_config with
+             blocked_clauses = bce;
+             inproc = resolve_inproc inproc;
+           });
       use_unitpure = not no_unitpure;
       use_maxsat = not no_maxsat;
       use_thm2 = not no_thm2;
@@ -259,6 +279,17 @@ let dep_scheme =
            prefix as written) or rp (resolution-path pruning, the default); overrides \
            \\$(b,HQS_DEP_SCHEME)")
 
+let inproc =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "inproc" ] ~docv:"MODE"
+        ~doc:
+          "CNF inprocessing engine run between parsing and AIG construction: off, on (unit \
+           propagation, universal reduction, BIG/SCC equivalence substitution, subsumption \
+           and self-subsumption; the default) or full (additionally failed-literal probing \
+           and dependency-aware bounded variable elimination); overrides \\$(b,HQS_INPROC)")
+
 let flag names doc = Arg.(value & flag & info names ~doc)
 
 (* -------------------------------------------------------- sweep command *)
@@ -278,7 +309,7 @@ let family_of_path file =
   | d -> d
 
 let sweep files jobs timeout node_limit retries journal resume mem_limit cpu_limit chaos_seed
-    chaos_points chaos_kill dep_scheme =
+    chaos_points chaos_kill dep_scheme inproc =
   install_signal_handlers ();
   if files = [] then begin
     Printf.eprintf "error: no input files\n";
@@ -333,12 +364,33 @@ let sweep files jobs timeout node_limit retries journal resume mem_limit cpu_lim
   let config =
     {
       (Harness.Sweep.default_config ~timeout ~node_limit) with
-      (* an explicit flag pins the scheme in every forked worker; without
-         it workers inherit HQS_DEP_SCHEME through the environment *)
+      (* an explicit flag pins the scheme/engine in every forked worker;
+         without it workers inherit HQS_DEP_SCHEME / HQS_INPROC through
+         the environment *)
       Harness.Sweep.hqs_config =
-        Option.map
-          (fun s -> { Hqs.default_config with Hqs.dep_scheme = resolve_dep_scheme (Some s) })
-          dep_scheme;
+        (match (dep_scheme, inproc) with
+        | None, None -> None
+        | ds, ip ->
+            let cfg = Hqs.default_config in
+            let cfg =
+              match ds with
+              | None -> cfg
+              | Some s -> { cfg with Hqs.dep_scheme = resolve_dep_scheme (Some s) }
+            in
+            let cfg =
+              match ip with
+              | None -> cfg
+              | Some s ->
+                  {
+                    cfg with
+                    Hqs.preprocess =
+                      {
+                        cfg.Hqs.preprocess with
+                        Dqbf.Preprocess.inproc = resolve_inproc (Some s);
+                      };
+                  }
+            in
+            Some cfg);
       Harness.Sweep.exec =
         {
           Exec.Supervisor.jobs;
@@ -478,16 +530,44 @@ let sweep_cmd =
     Term.(
       const sweep $ sweep_files $ jobs $ sweep_timeout $ sweep_node_limit $ retries $ journal
       $ resume $ sweep_mem_limit $ cpu_limit $ chaos_seed $ chaos_points $ chaos_kill
-      $ dep_scheme)
+      $ dep_scheme $ inproc)
 
 (* ------------------------------------------------------ analyze command *)
 
-(* hqs analyze: run only the static dependency-scheme analyzer and print
-   the per-variable refinement report. Exit codes: 0 on a successful
-   analysis (regardless of what it pruned), 2 on usage/input errors, 3
-   when --check full semantically refutes a pruned edge. *)
+(* hqs analyze: run the static dependency-scheme analyzer and the CNF
+   inprocessing engine and print both reports, without solving. Exit
+   codes: 0 on a successful analysis (regardless of what it pruned or
+   simplified), 2 on usage/input errors, 3 when --check full refutes a
+   pruned edge or an inprocessing witness fails its audit. *)
 
-let analyze file dep_scheme check =
+(* "c inproc ..." detail lines plus one machine-greppable "s inproc ..."
+   summary, mirroring the "s analysis" convention *)
+let print_inproc_report mode (outcome : Inproc.outcome) =
+  let mname = Inproc.mode_name mode in
+  match outcome with
+  | Inproc.Unsat ->
+      Printf.printf "c inproc mode=%s: refuted during simplification\n" mname;
+      Printf.printf "s inproc mode=%s UNSAT\n" mname
+  | Inproc.Simplified res ->
+      let s = res.Inproc.stats in
+      Printf.printf "c inproc mode=%s rounds=%d\n" mname s.Inproc.rounds;
+      Printf.printf
+        "c inproc units=%d reduced-lits=%d merges=%d subsumed=%d strengthened=%d \
+         failed-lits=%d bve=%d\n"
+        s.Inproc.units s.Inproc.reduced_lits s.Inproc.scc_merges s.Inproc.subsumed
+        s.Inproc.strengthened s.Inproc.failed_lits s.Inproc.bve_eliminated;
+      Printf.printf "c inproc clauses %d -> %d, literals %d -> %d, variables %d -> %d\n"
+        s.Inproc.clauses_before s.Inproc.clauses_after s.Inproc.lits_before
+        s.Inproc.lits_after s.Inproc.vars_before s.Inproc.vars_after;
+      Printf.printf
+        "s inproc mode=%s rounds=%d units=%d merges=%d subsumed=%d strengthened=%d \
+         failed-lits=%d bve=%d clauses=%d->%d lits=%d->%d\n"
+        mname s.Inproc.rounds s.Inproc.units s.Inproc.scc_merges s.Inproc.subsumed
+        s.Inproc.strengthened s.Inproc.failed_lits s.Inproc.bve_eliminated
+        s.Inproc.clauses_before s.Inproc.clauses_after s.Inproc.lits_before
+        s.Inproc.lits_after
+
+let analyze file dep_scheme check inproc =
   let scheme = resolve_dep_scheme dep_scheme in
   let check_level =
     match check with
@@ -515,18 +595,32 @@ let analyze file dep_scheme check =
   | Error msg ->
       Printf.eprintf "invalid input: %s\n" msg;
       exit 2);
+  let mode = resolve_inproc inproc in
   let _refined, report = Analysis.Rp.analyze ~scheme pcnf in
-  match
-    Check.audit_dep_pruning ~level:check_level pcnf ~pruned:report.Analysis.Rp.pruned
-  with
-  | () ->
-      Format.printf "%a@?" Analysis.Rp.pp_report report;
-      exit 0
+  (match
+     Check.audit_dep_pruning ~level:check_level pcnf ~pruned:report.Analysis.Rp.pruned
+   with
+  | () -> Format.printf "%a@?" Analysis.Rp.pp_report report
   | exception Check.Violation v ->
       Format.printf "%a@?" Analysis.Rp.pp_report report;
       Format.printf "c check violation: %a@." Check.pp_violation v;
       print_endline "s analysis ERROR";
-      exit 3
+      exit 3);
+  if mode <> Inproc.Off then begin
+    let outcome =
+      match Dqbf.Preprocess.run_inproc ~mode pcnf with
+      | `Unsat -> Inproc.Unsat
+      | `Done (_, res) -> Inproc.Simplified res
+    in
+    match Check.audit_inproc ~level:check_level pcnf outcome with
+    | () -> print_inproc_report mode outcome
+    | exception Check.Violation v ->
+        print_inproc_report mode outcome;
+        Format.printf "c check violation: %a@." Check.pp_violation v;
+        print_endline "s inproc ERROR";
+        exit 3
+  end;
+  exit 0
 
 let analyze_cmd =
   let doc = "print the static dependency-scheme refinement report for a DQDIMACS file" in
@@ -537,12 +631,18 @@ let analyze_cmd =
         "Runs the resolution-path dependency analyzer (lib/analysis) on $(i,FILE) without \
          solving it: one $(b,v) line per existential shows the declared and refined \
          dependency sets, the $(b,c analysis) header lines count pruned edges and \
-         incomparable pairs, and the final $(b,s analysis) line is machine-greppable. With \
+         incomparable pairs, and the final $(b,s analysis) line is machine-greppable. Unless \
+         $(b,--inproc off), the CNF inprocessing engine (lib/inproc) is then run on the \
+         instance and its rule counters and clause/literal/variable deltas are reported as \
+         $(b,c inproc) lines with a machine-greppable $(b,s inproc) summary. With \
          $(b,--check full), a sample of pruned edges is validated semantically against the \
-         reference expansion solver (exit 3 on refutation).";
+         reference expansion solver and every inprocessing witness is audited (exit 3 on \
+         refutation).";
     ]
   in
-  Cmd.v (Cmd.info "analyze" ~doc ~man) Term.(const analyze $ file $ dep_scheme $ check)
+  Cmd.v
+    (Cmd.info "analyze" ~doc ~man)
+    Term.(const analyze $ file $ dep_scheme $ check $ inproc)
 
 (* -------------------------------------------------------- serve command *)
 
@@ -566,7 +666,7 @@ let resolve_check_level check =
           exit 2)
 
 let serve socket workers queue_cap timeout max_timeout kill_grace retries mem_limit node_limit
-    cache check audit_period trace chaos_seed chaos_points chaos_kill dep_scheme =
+    cache check audit_period trace chaos_seed chaos_points chaos_kill dep_scheme inproc =
   (* no install_signal_handlers: SIGTERM/SIGINT mean "drain", not "abort" *)
   let check_level = resolve_check_level check in
   let chaos =
@@ -589,6 +689,11 @@ let serve socket workers queue_cap timeout max_timeout kill_grace retries mem_li
       Hqs.node_limit;
       check_level;
       dep_scheme = resolve_dep_scheme dep_scheme;
+      preprocess =
+        {
+          Hqs.default_config.Hqs.preprocess with
+          Dqbf.Preprocess.inproc = resolve_inproc inproc;
+        };
     }
   in
   let config =
@@ -700,7 +805,7 @@ let serve_cmd =
               ~doc:
                 "arm a deterministic SIGKILL of the first dispatch of this job id (job ids \
                  count from 1 in admission order)")
-      $ dep_scheme)
+      $ dep_scheme $ inproc)
 
 (* -------------------------------------------------------- query command *)
 
@@ -825,7 +930,7 @@ let solve_term =
     $ flag [ "no-fraig" ] "disable FRAIG sweeping"
     $ flag [ "search-backend" ] "use the QDPLL search back end instead of AIG elimination"
     $ flag [ "no-restart" ] "disable the degraded restart after a node-limit memout"
-    $ chaos_seed $ chaos_points $ check $ dep_scheme
+    $ chaos_seed $ chaos_points $ check $ dep_scheme $ inproc
     $ flag [ "model" ] "on SAT, print and verify Skolem functions"
     $ flag [ "stats" ] "print statistics to stderr (with --trace, also a flame summary)"
     $ trace

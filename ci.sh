@@ -15,21 +15,27 @@
 #      (--dep-scheme trivial vs rp) under --check full, diff the verdict
 #      lines byte-for-byte, assert rp never grows the MaxSAT elimination
 #      set and prunes at least one edge on the c432 PEC family
-#   6. chaos-enabled smoke solve: generate a small PEC instance and
+#   6. inprocessing gate: re-solve the example suite with the CNF
+#      inprocessing engine on vs off under --check full and diff the
+#      verdict lines byte-for-byte; run `hqs analyze` on the committed
+#      fixture and assert at least one SCC merge and one subsumption
+#      were found and audited; prove the no-stdout lint rule fires on a
+#      seeded stdout write under lib/
+#   7. chaos-enabled smoke solve: generate a small PEC instance and
 #      solve it with fault injection armed AND the soundness auditor at
 #      full depth (HQS_CHECK=full), proving the degradation ladder and
 #      the stage audits end-to-end through the real CLI
-#   7. traced smoke solve: solve an instance with incomparable dependency
+#   8. traced smoke solve: solve an instance with incomparable dependency
 #      sets under --trace and validate the trace with bin/tracecheck
 #      (well-formed Chrome JSON, balanced spans, >= 6 pipeline phases)
-#   8. supervised mini-sweep: run `hqs sweep` over a generated instance
+#   9. supervised mini-sweep: run `hqs sweep` over a generated instance
 #      directory with 2 workers and a chaos-injected worker kill,
 #      asserting the victim is quarantined as a CRASH row while the rest
 #      solve; then kill a journaled sweep midway (SIGKILL, torn tail and
 #      all) and prove --resume completes exactly the remaining tasks and
 #      that a second resume executes nothing and reproduces the report
 #      byte-for-byte
-#   9. serve gate: start the persistent daemon with a cache, a trace and
+#  10. serve gate: start the persistent daemon with a cache, a trace and
 #      a chaos-armed worker kill; fire 8 concurrent queries (with
 #      duplicates), assert every client gets a structured verdict, a
 #      sequential duplicate is served from the cache, the serve.*
@@ -108,6 +114,64 @@ if [ "$total_pruned" -lt 1 ]; then
   exit 1
 fi
 echo "c analysis gate: $total_pruned edge(s) pruned, verdicts identical"
+
+echo "== inproc =="
+# 1) engine on vs off must not move a single verdict byte under the full
+#    auditor, across the same example suite the analysis gate used
+: >"$tmp/verdicts.inproc-on"
+: >"$tmp/verdicts.inproc-off"
+for f in "$tmp/an"/*.dqdimacs; do
+  id=$(basename "$f" .dqdimacs)
+  for ip in on off; do
+    ip_status=0
+    "$HQS_BIN" "$f" --inproc "$ip" --check full --timeout 60 \
+      >"$tmp/ip.$ip.out" 2>&1 || ip_status=$?
+    case "$ip_status" in
+    10 | 20) : ;;
+    *)
+      echo "== ci FAILED: --inproc $ip solve on $id exited $ip_status =="
+      cat "$tmp/ip.$ip.out"
+      exit 1
+      ;;
+    esac
+    grep '^s ' "$tmp/ip.$ip.out" | sed "s|^|$id |" >>"$tmp/verdicts.inproc-$ip"
+  done
+done
+cmp "$tmp/verdicts.inproc-on" "$tmp/verdicts.inproc-off" || {
+  echo "== ci FAILED: inproc on and off disagree on a verdict =="
+  diff "$tmp/verdicts.inproc-on" "$tmp/verdicts.inproc-off" || true
+  exit 1
+}
+# 2) the committed fixture must exhibit (and pass the audit for) at least
+#    one SCC merge and one subsumption
+ip_line=$("$HQS_BIN" analyze test/fixtures/inproc_basic.dqdimacs --check full \
+  | sed -n 's/^s inproc //p')
+case "$ip_line" in
+*"merges="[1-9]*) : ;;
+*)
+  echo "== ci FAILED: no SCC merge on the inproc fixture ($ip_line) =="
+  exit 1
+  ;;
+esac
+case "$ip_line" in
+*"subsumed="[1-9]*) : ;;
+*)
+  echo "== ci FAILED: no subsumption on the inproc fixture ($ip_line) =="
+  exit 1
+  ;;
+esac
+# 3) the no-stdout lint rule fires on a seeded stdout write under lib/
+mkdir -p "$tmp/lintbad/lib/fake"
+printf 'let f x = Printf.printf "%%d\\n" x\n' >"$tmp/lintbad/lib/fake/mod.ml"
+printf 'val f : int -> unit\n' >"$tmp/lintbad/lib/fake/mod.mli"
+nostdout_status=0
+dune exec bin/lint.exe -- "$tmp/lintbad" >"$tmp/lintbad.out" 2>&1 || nostdout_status=$?
+if [ "$nostdout_status" != 1 ] || ! grep -q 'no-stdout' "$tmp/lintbad.out"; then
+  echo "== ci FAILED: seeded stdout write not flagged (exit $nostdout_status) =="
+  cat "$tmp/lintbad.out"
+  exit 1
+fi
+echo "c inproc gate: verdicts identical, fixture merged+subsumed, no-stdout armed"
 
 echo "== chaos smoke solve =="
 f=$(dune exec bin/genpec.exe -- one pec_xor --size 3 --boxes 1 --out "$tmp")

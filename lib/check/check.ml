@@ -7,6 +7,7 @@ type level = Off | Cheap | Full
 
 type stage =
   | Post_analysis
+  | Post_inproc
   | Post_preprocess
   | Post_unitpure
   | Post_elimination
@@ -16,6 +17,7 @@ type stage =
 
 let stage_name = function
   | Post_analysis -> "post-analysis"
+  | Post_inproc -> "post-inproc"
   | Post_preprocess -> "post-preprocess"
   | Post_unitpure -> "post-unitpure"
   | Post_elimination -> "post-elimination"
@@ -314,6 +316,170 @@ let audit_dep_pruning ?budget ?(samples = 3) ~level (pcnf : Dqbf.Pcnf.t) ~pruned
                    reference verdict from %b to %b"
                   x y (Lazy.force baseline) verdict)
             (sample_edges samples pruned)
+        with Budget.Timeout -> ())
+
+(* ---------------------------------------------------- inprocessing gate *)
+
+(* Validate an inprocessing run from its step witnesses. The structural
+   pass replays each witness against the *declared* prefix, exploiting
+   that dependency sets only ever shrink during the run (intersection on
+   merges), so any runtime membership fact implies the declared one:
+   - propagated units and merged variables must be declared existential;
+   - a merge against a universal requires that universal in the declared
+     dependency set of the merged existential;
+   - universal reduction only drops declared universals;
+   - subsumption witnesses must really be sub-clauses, strengthening
+     witnesses must really be self-subsuming resolution partners;
+   - an elimination's recorded dependency set [dep_y] must be contained
+     in the declared one, every pos/neg clause must contain the pivot
+     with the right sign, and every universal in those clauses must be
+     in [dep_y] (the universal half of Henkin-legality; the existential
+     half depends on runtime dependency sets and is left to the semantic
+     pass).
+   At [Full] on reference-sized instances the whole run is certified
+   semantically: the expansion verdict of the simplified formula (or
+   falsity, for a refutation) must match the original. *)
+
+module L = Sat.Lit
+
+let audit_inproc ?budget ~level (pcnf : Dqbf.Pcnf.t) (outcome : Inproc.outcome) =
+  match level with
+  | Off -> ()
+  | Cheap | Full -> (
+      let stage = Post_inproc in
+      Obs.Metrics.incr c_audits;
+      Obs.Span.with_ "check.audit"
+        ~attrs:[ ("stage", Obs.Str (stage_name stage)); ("level", Obs.Str (level_name level)) ]
+      @@ fun () ->
+      let fail fmt = violation stage "inproc" fmt in
+      let univs = Bitset.of_list pcnf.Dqbf.Pcnf.univs in
+      let declared = Hashtbl.create 16 in
+      List.iter
+        (fun (y, deps) -> Hashtbl.replace declared y (Bitset.of_list deps))
+        pcnf.Dqbf.Pcnf.exists;
+      (* variables never declared are existential with no dependencies *)
+      let is_exist v = Hashtbl.mem declared v || not (Bitset.mem v univs) in
+      let declared_deps v =
+        match Hashtbl.find_opt declared v with Some d -> d | None -> Bitset.empty
+      in
+      let subset_clause a b = List.for_all (fun l -> List.mem l b) a in
+      (match outcome with
+      | Inproc.Unsat -> ()
+      | Inproc.Simplified res ->
+          List.iter
+            (fun step ->
+              match step with
+              | Inproc.Unit l ->
+                  if Bitset.mem (L.var l) univs then
+                    fail "unit %d propagated over universal variable %d (should refute)"
+                      (L.to_dimacs l) (L.var l)
+              | Inproc.Reduced { clause; dropped } ->
+                  List.iter
+                    (fun l ->
+                      if not (Bitset.mem (L.var l) univs) then
+                        fail "universal reduction dropped %d from a clause, but %d is not universal"
+                          (L.to_dimacs l) (L.var l))
+                    dropped;
+                  if dropped = [] then fail "empty universal-reduction witness on a %d-literal clause"
+                      (List.length clause)
+              | Inproc.Merged { y; rep } ->
+                  if not (is_exist y) then fail "merged variable %d is not existential" y;
+                  if Bitset.mem y univs then fail "merged variable %d is universal" y;
+                  let rv = L.var rep in
+                  if rv = y then fail "variable %d merged into itself" y;
+                  if Bitset.mem rv univs && not (Bitset.mem rv (declared_deps y)) then
+                    fail
+                      "existential %d merged with universal %d outside its declared dependency \
+                       set (should refute)"
+                      y rv
+              | Inproc.Subsumed { clause; by } ->
+                  if not (subset_clause by clause) then
+                    fail "subsumption witness is not a sub-clause (|by|=%d, |clause|=%d)"
+                      (List.length by) (List.length clause)
+              | Inproc.Strengthened { clause; removed; by } ->
+                  if not (List.mem removed clause) then
+                    fail "strengthening removed literal %d that is not in the clause"
+                      (L.to_dimacs removed);
+                  if not (List.mem (L.neg removed) by) then
+                    fail "strengthening witness does not contain the complement of %d"
+                      (L.to_dimacs removed);
+                  let by_rest = List.filter (fun l -> l <> L.neg removed) by in
+                  let clause_rest = List.filter (fun l -> l <> removed) clause in
+                  if not (subset_clause by_rest clause_rest) then
+                    fail "strengthening witness is not a self-subsuming resolution partner on %d"
+                      (L.to_dimacs removed)
+              | Inproc.Eliminated { y; dep_y; pos; neg } ->
+                  if (not (is_exist y)) || Bitset.mem y univs then
+                    fail "eliminated variable %d is not existential" y;
+                  let dep_y_set = Bitset.of_list dep_y in
+                  (match Bitset.choose (Bitset.diff dep_y_set (declared_deps y)) with
+                  | Some x ->
+                      fail
+                        "elimination of %d recorded dependency %d outside its declared set \
+                         (dependency widening)"
+                        y x
+                  | None -> ());
+                  let py = L.of_var y and ny = L.neg (L.of_var y) in
+                  let side name want cs =
+                    List.iter
+                      (fun c ->
+                        if not (List.mem want c) then
+                          fail "%s-side clause of eliminated %d lacks the pivot" name y;
+                        List.iter
+                          (fun l ->
+                            let v = L.var l in
+                            if v <> y && Bitset.mem v univs && not (Bitset.mem v dep_y_set)
+                            then
+                              fail
+                                "elimination of %d is not Henkin-legal: universal %d in a \
+                                 resolvent is outside dep(%d)"
+                                y v y)
+                          c)
+                      cs
+                  in
+                  side "pos" py pos;
+                  side "neg" ny neg;
+                  if pos = [] || neg = [] then
+                    fail "elimination of %d has an empty side (pure literals are units)" y)
+            res.Inproc.steps;
+          (* surviving prefix sanity: no widening, no new variables *)
+          List.iter
+            (fun (y, d) ->
+              if Bitset.mem y univs then fail "surviving existential %d is declared universal" y;
+              match Bitset.choose (Bitset.diff d (declared_deps y)) with
+              | Some x -> fail "surviving existential %d gained dependency %d" y x
+              | None -> ())
+            res.Inproc.deps);
+      let small =
+        List.length pcnf.Dqbf.Pcnf.univs <= sem_max_universals
+        && pcnf.Dqbf.Pcnf.num_vars <= sem_max_vars
+        && List.length pcnf.Dqbf.Pcnf.clauses <= sem_max_clauses
+      in
+      if level = Full && small then
+        (* advisory on its budget, like the dep-pruning gate *)
+        let budget = Option.map (fun b -> Budget.sub ~frac:0.25 b) budget in
+        try
+          let baseline = Dqbf.Reference.by_expansion ?budget (Dqbf.Pcnf.to_formula pcnf) in
+          match outcome with
+          | Inproc.Unsat ->
+              if baseline then
+                fail "inprocessing refuted a formula whose reference verdict is SAT"
+          | Inproc.Simplified res ->
+              let simplified =
+                {
+                  pcnf with
+                  Dqbf.Pcnf.univs = Bitset.to_list res.Inproc.univs;
+                  exists = List.map (fun (y, d) -> (y, Bitset.to_list d)) res.Inproc.deps;
+                  clauses = List.map (List.map L.to_dimacs) res.Inproc.clauses;
+                }
+              in
+              let verdict =
+                Dqbf.Reference.by_expansion ?budget (Dqbf.Pcnf.to_formula simplified)
+              in
+              if verdict <> baseline then
+                fail
+                  "inprocessing is not verdict-preserving: reference says %b before, %b after"
+                  baseline verdict
         with Budget.Timeout -> ())
 
 (* ---------------------------------------------------------------- driver *)

@@ -20,6 +20,7 @@ type level = Off | Cheap | Full
 
 type stage =
   | Post_analysis  (** after the static dependency-scheme refinement *)
+  | Post_inproc  (** after the occurrence-indexed inprocessing engine ran *)
   | Post_preprocess  (** after CNF preprocessing built the formula *)
   | Post_unitpure  (** after a unit/pure round substituted variables *)
   | Post_elimination  (** after a Theorem 1/2 elimination *)
@@ -64,6 +65,23 @@ val audit_dep_pruning :
     {!Dqbf.Reference.by_expansion} verdict. The semantic pass runs under
     a sub-deadline of [budget] and is abandoned (not failed) if that
     expires. [structure] is ["dep-scheme"] on violation. *)
+
+val audit_inproc :
+  ?budget:Hqs_util.Budget.t -> level:level -> Dqbf.Pcnf.t -> Inproc.outcome -> unit
+(** Gate the CNF inprocessing engine: given the prefixed CNF as fed to
+    the engine and the engine outcome, validate every step witness
+    structurally against the declared prefix — units and merges are
+    existential, merges against universals are dependency-legal,
+    subsumption/strengthening witnesses really justify the deletion, an
+    elimination's recorded dependency set is not widened and its
+    resolvent universals respect it — plus the surviving prefix (no
+    dependency widening). At [Full] level, on instances small enough for
+    the reference expansion solver, the whole run is certified
+    semantically: the {!Dqbf.Reference.by_expansion} verdict of the
+    simplified formula (falsity, for an [Unsat] outcome) must match the
+    original formula's. The semantic pass runs under a sub-deadline of
+    [budget] and is abandoned (not failed) if that expires. [structure]
+    is ["inproc"] on violation. *)
 
 val audit_stage :
   level:level -> ?queue:int list -> stage -> Dqbf.Formula.t -> unit

@@ -26,7 +26,14 @@ type config = {
 
 let default_config =
   {
-    preprocess = Dqbf.Preprocess.default_config;
+    (* HQS_INPROC follows the HQS_CHECK contract: the CLI reports a
+       malformed value; library users get the engine default *)
+    preprocess =
+      {
+        Dqbf.Preprocess.default_config with
+        Dqbf.Preprocess.inproc =
+          (match Inproc.mode_of_env () with Ok m -> m | Error _ -> Inproc.default_mode);
+      };
     mode = Elimination;
     use_unitpure = true;
     use_thm2 = true;
@@ -81,6 +88,16 @@ type stats = {
   mutable dep_scheme : string;
   mutable analysis_edges_pruned : int;
   mutable analysis_linearized : bool;
+  mutable inproc_mode : string;
+  mutable inproc_rounds : int;
+  mutable inproc_units : int;
+  mutable inproc_scc_merges : int;
+  mutable inproc_subsumed : int;
+  mutable inproc_strengthened : int;
+  mutable inproc_failed_lits : int;
+  mutable inproc_bve : int;
+  mutable inproc_clauses_removed : int;
+  mutable inproc_lits_removed : int;
   mutable metrics : (string * float) list;
 }
 
@@ -107,6 +124,16 @@ let fresh_stats () =
     dep_scheme = Analysis.Scheme.name Analysis.Scheme.Trivial;
     analysis_edges_pruned = 0;
     analysis_linearized = false;
+    inproc_mode = Inproc.mode_name Inproc.Off;
+    inproc_rounds = 0;
+    inproc_units = 0;
+    inproc_scc_merges = 0;
+    inproc_subsumed = 0;
+    inproc_strengthened = 0;
+    inproc_failed_lits = 0;
+    inproc_bve = 0;
+    inproc_clauses_removed = 0;
+    inproc_lits_removed = 0;
     metrics = [];
   }
 
@@ -426,35 +453,72 @@ let record_analysis stats (report : Analysis.Rp.report) =
   stats.analysis_edges_pruned <- List.length report.Analysis.Rp.pruned;
   stats.analysis_linearized <- report.Analysis.Rp.linearized
 
+(* the inprocessing hook handed to [Dqbf.Preprocess.run]: audit the
+   engine run against the refined CNF it consumed, and capture the
+   result so its counters can be lifted into [stats] once those exist *)
+let inproc_hook ~(config : config) ~budget refined captured outcome =
+  Check.audit_inproc ~budget ~level:config.check_level refined outcome;
+  match outcome with
+  | Inproc.Simplified res -> captured := Some res
+  | Inproc.Unsat -> ()
+
+let record_inproc ~(config : config) stats captured =
+  stats.inproc_mode <- Inproc.mode_name config.preprocess.Dqbf.Preprocess.inproc;
+  match captured with
+  | None -> ()
+  | Some (res : Inproc.result) ->
+      let s = res.Inproc.stats in
+      stats.inproc_rounds <- s.Inproc.rounds;
+      stats.inproc_units <- s.Inproc.units;
+      stats.inproc_scc_merges <- s.Inproc.scc_merges;
+      stats.inproc_subsumed <- s.Inproc.subsumed;
+      stats.inproc_strengthened <- s.Inproc.strengthened;
+      stats.inproc_failed_lits <- s.Inproc.failed_lits;
+      stats.inproc_bve <- s.Inproc.bve_eliminated;
+      stats.inproc_clauses_removed <- max 0 (s.Inproc.clauses_before - s.Inproc.clauses_after);
+      stats.inproc_lits_removed <- max 0 (s.Inproc.lits_before - s.Inproc.lits_after)
+
 let solve_pcnf ?(config = default_config) ?(budget = Budget.unlimited) pcnf =
   let refined, report = refine_pcnf ~config ~budget pcnf in
-  match Dqbf.Preprocess.run ~config:config.preprocess ?node_limit:config.node_limit refined with
+  let captured = ref None in
+  let on_inproc = inproc_hook ~config ~budget refined captured in
+  match
+    Dqbf.Preprocess.run ~config:config.preprocess ?node_limit:config.node_limit ~on_inproc
+      refined
+  with
   | Dqbf.Preprocess.Unsat ->
       let stats = fresh_stats () in
       record_analysis stats report;
+      record_inproc ~config stats !captured;
       (Unsat, stats)
   | Dqbf.Preprocess.Formula (f, pre) ->
       Check.audit_stage ~level:config.check_level Check.Post_preprocess f;
       let verdict, stats = solve_recoverable ~config ~budget ~trail:None f in
       stats.pre_stats <- Some pre;
       record_analysis stats report;
+      record_inproc ~config stats !captured;
       (verdict, stats)
 
 let solve_pcnf_model ?(config = default_config) ?(budget = Budget.unlimited) pcnf =
   let trail = Dqbf.Model_trail.create () in
   let refined, report = refine_pcnf ~config ~budget pcnf in
+  let captured = ref None in
+  let on_inproc = inproc_hook ~config ~budget refined captured in
   match
-    Dqbf.Preprocess.run ~config:config.preprocess ?node_limit:config.node_limit ~trail refined
+    Dqbf.Preprocess.run ~config:config.preprocess ?node_limit:config.node_limit ~trail
+      ~on_inproc refined
   with
   | Dqbf.Preprocess.Unsat ->
       let stats = fresh_stats () in
       record_analysis stats report;
+      record_inproc ~config stats !captured;
       (Unsat, None, stats)
   | Dqbf.Preprocess.Formula (f, pre) ->
       Check.audit_stage ~level:config.check_level Check.Post_preprocess f;
       let verdict, stats = solve_recoverable ~config ~budget ~trail:(Some trail) f in
       stats.pre_stats <- Some pre;
       record_analysis stats report;
+      record_inproc ~config stats !captured;
       let model =
         match verdict with
         | Unsat -> None
@@ -476,9 +540,13 @@ let pp_stats fmt s =
     "univ-elims=%d exist-elims=%d unit/pure=%d maxsat-runs=%d maxsat-set=%d maxsat-time=%.3fs \
      unitpure-time=%.3fs qbf-time=%.3fs peak-nodes=%d sat-conflicts=%d sat-propagations=%d \
      fraig-merges=%d checks=%d check-level=%s total=%.3fs restarts=%d degraded=%s \
-     dep-scheme=%s dep-pruned=%d linearized=%b"
+     dep-scheme=%s dep-pruned=%d linearized=%b inproc=%s inproc-rounds=%d inproc-units=%d \
+     inproc-merges=%d inproc-subsumed=%d inproc-strengthened=%d inproc-failed-lits=%d \
+     inproc-bve=%d inproc-clauses-removed=%d inproc-lits-removed=%d"
     s.univ_elims s.exist_elims s.unitpure_elims s.maxsat_runs s.maxsat_set_size s.maxsat_time
     s.unitpure_time s.qbf_time s.peak_nodes s.sat_conflicts s.sat_propagations s.fraig_merges
     s.checks_run s.check_level s.total_time s.restarts
     (match s.degraded with [] -> "-" | l -> String.concat "," l)
-    s.dep_scheme s.analysis_edges_pruned s.analysis_linearized
+    s.dep_scheme s.analysis_edges_pruned s.analysis_linearized s.inproc_mode s.inproc_rounds
+    s.inproc_units s.inproc_scc_merges s.inproc_subsumed s.inproc_strengthened
+    s.inproc_failed_lits s.inproc_bve s.inproc_clauses_removed s.inproc_lits_removed

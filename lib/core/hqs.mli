@@ -112,6 +112,18 @@ type stats = {
   mutable analysis_linearized : bool;
       (** the analyzer alone made the dependency graph linearly orderable
           — the solve skipped universal expansion *)
+  mutable inproc_mode : string;
+      (** the {!Inproc} engine mode the solve ran under (["off"] when the
+          legacy preprocessing fixpoint was used) *)
+  mutable inproc_rounds : int;  (** engine fixpoint rounds *)
+  mutable inproc_units : int;  (** units propagated by the engine *)
+  mutable inproc_scc_merges : int;  (** BIG/SCC equivalence substitutions *)
+  mutable inproc_subsumed : int;  (** clauses removed by subsumption *)
+  mutable inproc_strengthened : int;  (** literals struck by self-subsumption *)
+  mutable inproc_failed_lits : int;  (** failed literals found by BIG probing *)
+  mutable inproc_bve : int;  (** existentials removed by Henkin-legal BVE *)
+  mutable inproc_clauses_removed : int;  (** net clause reduction by the engine *)
+  mutable inproc_lits_removed : int;  (** net literal reduction by the engine *)
   mutable metrics : (string * float) list;
       (** full per-solve snapshot of the {!Obs.Metrics} registry (counters
           and histogram series as deltas over the solve, gauges as final

@@ -10,6 +10,7 @@ type config = {
   equivalences : bool;
   gate_detection : bool;
   blocked_clauses : bool;
+  inproc : Inproc.mode;
 }
 
 let default_config =
@@ -19,6 +20,7 @@ let default_config =
     equivalences = true;
     gate_detection = true;
     blocked_clauses = false;
+    inproc = Inproc.default_mode;
   }
 
 let off =
@@ -28,11 +30,20 @@ let off =
     equivalences = false;
     gate_detection = false;
     blocked_clauses = false;
+    inproc = Inproc.Off;
   }
 
 type outcome = Unsat | Formula of Formula.t * stats
 
 exception Refuted
+
+(* the stats record predates the metrics registry; publish the counters
+   so --metrics and the CSV metric columns see preprocessing activity *)
+let c_units = Obs.Metrics.counter "preprocess.units"
+let c_reduced_lits = Obs.Metrics.counter "preprocess.reduced_lits"
+let c_equivs = Obs.Metrics.counter "preprocess.equivs"
+let c_gates = Obs.Metrics.counter "preprocess.gates"
+let c_blocked = Obs.Metrics.counter "preprocess.blocked"
 
 (* working state; literals use the MiniSat encoding of {!Sat.Lit} *)
 type state = {
@@ -535,7 +546,98 @@ let build_formula ?node_limit st gates =
   Formula.set_matrix f matrix;
   f
 
-let run ?(config = default_config) ?node_limit ?trail (pcnf : Pcnf.t) =
+(* -------------------------------------------------- inproc delegation *)
+
+(* the engine's per-rule switches, masked by this module's config so
+   callers that disable a rule here see it disabled in the engine too *)
+let engine_config (c : config) mode =
+  let base = Inproc.config_of_mode mode in
+  {
+    base with
+    Inproc.unit_propagation = base.Inproc.unit_propagation && c.unit_propagation;
+    universal_reduction = base.Inproc.universal_reduction && c.universal_reduction;
+    equivalences = base.Inproc.equivalences && c.equivalences;
+  }
+
+let problem_of_pcnf (pcnf : Pcnf.t) =
+  let deps = List.map (fun (y, d) -> (y, Bitset.of_list d)) pcnf.Pcnf.exists in
+  (* undeclared variables: existential, no dependencies *)
+  let declared = Bitset.of_list (pcnf.Pcnf.univs @ List.map fst pcnf.Pcnf.exists) in
+  let undeclared = ref [] in
+  for v = pcnf.Pcnf.num_vars - 1 downto 0 do
+    if not (Bitset.mem v declared) then undeclared := (v, Bitset.empty) :: !undeclared
+  done;
+  {
+    Inproc.num_vars = pcnf.Pcnf.num_vars;
+    univs = Bitset.of_list pcnf.Pcnf.univs;
+    deps = deps @ !undeclared;
+    clauses = List.map (List.map L.of_dimacs) pcnf.Pcnf.clauses;
+  }
+
+(* Replay the engine's step witnesses into the model trail, in
+   chronological order (reconstruction walks newest-first, so the Skolem
+   function of a variable merged or eliminated early correctly picks up
+   the later definitions of whatever it was rewritten to). Units and
+   merges map directly onto trail primitives; a bounded variable
+   elimination of [y] records the canonical reconstruction function
+   y := OR over positive clauses C of AND_{l in C, l <> y} !l — when
+   some positive clause is otherwise falsified [y] must be true, and the
+   resolvents guarantee the negative clauses then hold; otherwise
+   [y := false] satisfies the negative side. *)
+let replay_steps trail steps =
+  let scratch = lazy (M.create ()) in
+  List.iter
+    (fun step ->
+      match step with
+      | Inproc.Unit l -> Model_trail.record_const trail (L.var l) (L.is_pos l)
+      | Inproc.Merged { y; rep } ->
+          Model_trail.record_literal trail y ~var:(L.var rep) ~neg:(L.is_neg rep)
+      | Inproc.Eliminated { y; pos; _ } ->
+          let man = Lazy.force scratch in
+          let aig_lit l = M.apply_sign (M.input man (L.var l)) ~neg:(L.is_neg l) in
+          let falsified c =
+            M.mk_and_list man
+              (List.filter_map
+                 (fun l -> if L.var l = y then None else Some (M.compl_ (aig_lit l)))
+                 c)
+          in
+          let fn = M.mk_or_list man (List.map falsified pos) in
+          Model_trail.record_def trail man y fn
+      | Inproc.Reduced _ | Inproc.Subsumed _ | Inproc.Strengthened _ -> ())
+    steps
+
+(* load an engine result back into the working state *)
+let absorb_result st (res : Inproc.result) =
+  st.clauses <- res.Inproc.clauses;
+  st.univs <- res.Inproc.univs;
+  Hashtbl.reset st.deps;
+  List.iter (fun (y, d) -> Hashtbl.replace st.deps y d) res.Inproc.deps;
+  st.units <- st.units + res.Inproc.stats.Inproc.units;
+  st.reduced_lits <- st.reduced_lits + res.Inproc.stats.Inproc.reduced_lits;
+  st.equivs <- st.equivs + res.Inproc.stats.Inproc.scc_merges
+
+let run_inproc ?(mode = Inproc.default_mode) (pcnf : Pcnf.t) =
+  match Inproc.run ~config:(Inproc.config_of_mode mode) (problem_of_pcnf pcnf) with
+  | Inproc.Unsat -> `Unsat
+  | Inproc.Simplified res ->
+      let simplified =
+        {
+          Pcnf.num_vars = pcnf.Pcnf.num_vars;
+          univs = Bitset.to_list res.Inproc.univs;
+          exists = List.map (fun (y, d) -> (y, Bitset.to_list d)) res.Inproc.deps;
+          clauses = List.map (List.map L.to_dimacs) res.Inproc.clauses;
+        }
+      in
+      `Done (simplified, res)
+
+let record_metrics st =
+  Obs.Metrics.incr ~by:st.units c_units;
+  Obs.Metrics.incr ~by:st.reduced_lits c_reduced_lits;
+  Obs.Metrics.incr ~by:st.equivs c_equivs;
+  Obs.Metrics.incr ~by:st.gates c_gates;
+  Obs.Metrics.incr ~by:st.blocked c_blocked
+
+let run ?(config = default_config) ?node_limit ?trail ?on_inproc (pcnf : Pcnf.t) =
   Obs.Span.with_ "preprocess"
     ~attrs:
       [
@@ -563,12 +665,38 @@ let run ?(config = default_config) ?node_limit ?trail (pcnf : Pcnf.t) =
     if not (Bitset.mem v declared) then Hashtbl.replace st.deps v Bitset.empty
   done;
   try
-    let rounds = ref 0 in
-    while pass config st && !rounds < 100 do
-      incr rounds
-    done;
+    (match config.inproc with
+    | Inproc.Off ->
+        (* legacy single-module fixpoint: kept verbatim as the engine-off
+           baseline so --inproc off really measures the old pipeline *)
+        let rounds = ref 0 in
+        while pass config st && !rounds < 100 do
+          incr rounds
+        done
+    | mode -> (
+        let prob =
+          {
+            Inproc.num_vars = pcnf.Pcnf.num_vars;
+            univs = st.univs;
+            deps = Hashtbl.fold (fun y d acc -> (y, d) :: acc) st.deps [];
+            clauses = st.clauses;
+          }
+        in
+        match Inproc.run ~config:(engine_config config mode) prob with
+        | Inproc.Unsat ->
+            Option.iter (fun k -> k Inproc.Unsat) on_inproc;
+            raise Refuted
+        | Inproc.Simplified res as outcome ->
+            Option.iter (fun k -> replay_steps k res.Inproc.steps) trail;
+            absorb_result st res;
+            Option.iter (fun k -> k outcome) on_inproc;
+            (* blocked-clause elimination stays outside the engine: it is
+               not certifying, so it only runs without a model trail *)
+            if config.blocked_clauses && st.trail = None then
+              ignore (blocked_clause_elimination st)));
     let gates = if config.gate_detection then detect_gates st else [] in
     let f = build_formula ?node_limit st gates in
+    record_metrics st;
     Obs.Span.event "preprocess.done"
       ~attrs:
         [
@@ -588,4 +716,6 @@ let run ?(config = default_config) ?node_limit ?trail (pcnf : Pcnf.t) =
           gates = st.gates;
           blocked = st.blocked;
         } )
-  with Refuted -> Unsat
+  with Refuted ->
+    record_metrics st;
+    Unsat

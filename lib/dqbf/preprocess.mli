@@ -35,9 +35,19 @@ type config = {
           to. Off by default (not part of the DATE'15 pipeline); skipped
           automatically when a model trail is attached, because the rule
           does not preserve Skolem certificates. *)
+  inproc : Inproc.mode;
+      (** Delegate the CNF fixpoint to the occurrence-indexed {!Inproc}
+          engine. [Off] keeps the legacy single-module pass (the
+          engine-off baseline); [On]/[Full] run the engine with the rule
+          switches above masked in, then replay its step witnesses into
+          the model trail. Gate detection and blocked-clause elimination
+          remain on this side either way. *)
 }
 
 val default_config : config
+(** [inproc] defaults to {!Inproc.default_mode} ([On]); callers that
+    resolve [HQS_INPROC] / [--inproc] override the field. *)
+
 val off : config
 
 type outcome =
@@ -45,4 +55,21 @@ type outcome =
   | Formula of Formula.t * stats
 
 val run :
-  ?config:config -> ?node_limit:int -> ?trail:Model_trail.t -> Pcnf.t -> outcome
+  ?config:config ->
+  ?node_limit:int ->
+  ?trail:Model_trail.t ->
+  ?on_inproc:(Inproc.outcome -> unit) ->
+  Pcnf.t ->
+  outcome
+(** [on_inproc] fires once when the engine ran (config [inproc] not
+    [Off]), after trail replay, with the raw engine outcome — the hook
+    the solver uses to audit the run ({!Check.audit_inproc} lives above
+    this library) and to lift the engine counters into [Hqs.stats].
+    Exceptions raised by the callback propagate. *)
+
+val run_inproc :
+  ?mode:Inproc.mode -> Pcnf.t -> [ `Unsat | `Done of Pcnf.t * Inproc.result ]
+(** Run only the inprocessing engine on a prefixed CNF and convert the
+    result back to a {!Pcnf.t} (same [num_vars]; simplified clauses,
+    possibly narrowed prefix). Used by [hqs analyze] reports, the bench
+    reduction tables and tests; no model trail is threaded. *)

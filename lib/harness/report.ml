@@ -198,6 +198,22 @@ let csv_analysis_columns =
     ("hqs_analysis_linearized", fun s -> if s.Hqs.analysis_linearized then "1" else "0");
   ]
 
+(* the inprocessing-engine columns append after the analysis block, same
+   stable-schema rule: new columns only ever ride at the end *)
+let csv_inproc_columns =
+  [
+    ("hqs_inproc_mode", fun (s : Hqs.stats) -> s.Hqs.inproc_mode);
+    ("hqs_inproc_rounds", fun s -> string_of_int s.Hqs.inproc_rounds);
+    ("hqs_inproc_units", fun s -> string_of_int s.Hqs.inproc_units);
+    ("hqs_inproc_scc_merges", fun s -> string_of_int s.Hqs.inproc_scc_merges);
+    ("hqs_inproc_subsumed", fun s -> string_of_int s.Hqs.inproc_subsumed);
+    ("hqs_inproc_strengthened", fun s -> string_of_int s.Hqs.inproc_strengthened);
+    ("hqs_inproc_failed_lits", fun s -> string_of_int s.Hqs.inproc_failed_lits);
+    ("hqs_inproc_bve", fun s -> string_of_int s.Hqs.inproc_bve);
+    ("hqs_inproc_clauses_removed", fun s -> string_of_int s.Hqs.inproc_clauses_removed);
+    ("hqs_inproc_lits_removed", fun s -> string_of_int s.Hqs.inproc_lits_removed);
+  ]
+
 let csv results =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "id,family,hqs_outcome,hqs_time,idq_outcome,idq_time,hqs_degraded,check";
@@ -206,6 +222,7 @@ let csv results =
      pre-existing column keeps its position byte-for-byte *)
   Buffer.add_string buf ",outcome,attempts,worker_pid";
   List.iter (fun (name, _) -> Buffer.add_string buf ("," ^ name)) csv_analysis_columns;
+  List.iter (fun (name, _) -> Buffer.add_string buf ("," ^ name)) csv_inproc_columns;
   Buffer.add_char buf '\n';
   let cells = function
     | Solved (true, t) -> ("SAT", t)
@@ -240,6 +257,11 @@ let csv results =
           Buffer.add_char buf ',';
           match r.hqs_stats with Some s -> Buffer.add_string buf (cell s) | None -> ())
         csv_analysis_columns;
+      List.iter
+        (fun (_, cell) ->
+          Buffer.add_char buf ',';
+          match r.hqs_stats with Some s -> Buffer.add_string buf (cell s) | None -> ())
+        csv_inproc_columns;
       Buffer.add_char buf '\n')
     results;
   Buffer.contents buf

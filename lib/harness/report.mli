@@ -24,7 +24,11 @@ val csv : Runner.result list -> string
     then the executor columns [outcome] (solved/timeout/memout/crash,
     classifying the HQS run), [attempts] and [worker_pid] (empty for
     in-process runs), then the static-analysis columns [hqs_dep_scheme],
-    [hqs_analysis_edges_pruned] and [hqs_analysis_linearized]. The
-    pre-existing columns keep their positions byte-for-byte; metric and
-    analysis cells are empty for runs that timed or memed out before a
-    verdict. *)
+    [hqs_analysis_edges_pruned] and [hqs_analysis_linearized], then the
+    inprocessing-engine columns [hqs_inproc_mode], [hqs_inproc_rounds],
+    [hqs_inproc_units], [hqs_inproc_scc_merges], [hqs_inproc_subsumed],
+    [hqs_inproc_strengthened], [hqs_inproc_failed_lits],
+    [hqs_inproc_bve], [hqs_inproc_clauses_removed] and
+    [hqs_inproc_lits_removed]. The pre-existing columns keep their
+    positions byte-for-byte; metric, analysis and inproc cells are empty
+    for runs that timed or memed out before a verdict. *)

@@ -91,6 +91,16 @@ let stats_to_json (s : Hqs.stats) =
       ("dep_scheme", Json.Str s.Hqs.dep_scheme);
       i "analysis_edges_pruned" s.Hqs.analysis_edges_pruned;
       i "analysis_linearized" (if s.Hqs.analysis_linearized then 1 else 0);
+      ("inproc_mode", Json.Str s.Hqs.inproc_mode);
+      i "inproc_rounds" s.Hqs.inproc_rounds;
+      i "inproc_units" s.Hqs.inproc_units;
+      i "inproc_scc_merges" s.Hqs.inproc_scc_merges;
+      i "inproc_subsumed" s.Hqs.inproc_subsumed;
+      i "inproc_strengthened" s.Hqs.inproc_strengthened;
+      i "inproc_failed_lits" s.Hqs.inproc_failed_lits;
+      i "inproc_bve" s.Hqs.inproc_bve;
+      i "inproc_clauses_removed" s.Hqs.inproc_clauses_removed;
+      i "inproc_lits_removed" s.Hqs.inproc_lits_removed;
       ("metrics", Json.Obj (List.map (fun (k, v) -> (k, Json.Num v)) s.Hqs.metrics));
     ]
 
@@ -135,6 +145,18 @@ let stats_of_json j =
               (Option.bind (Json.member "dep_scheme" j) Json.to_string);
           analysis_edges_pruned = get0 (int "analysis_edges_pruned");
           analysis_linearized = get0 (int "analysis_linearized") <> 0;
+          inproc_mode =
+            Option.value ~default:"off"
+              (Option.bind (Json.member "inproc_mode" j) Json.to_string);
+          inproc_rounds = get0 (int "inproc_rounds");
+          inproc_units = get0 (int "inproc_units");
+          inproc_scc_merges = get0 (int "inproc_scc_merges");
+          inproc_subsumed = get0 (int "inproc_subsumed");
+          inproc_strengthened = get0 (int "inproc_strengthened");
+          inproc_failed_lits = get0 (int "inproc_failed_lits");
+          inproc_bve = get0 (int "inproc_bve");
+          inproc_clauses_removed = get0 (int "inproc_clauses_removed");
+          inproc_lits_removed = get0 (int "inproc_lits_removed");
           metrics =
             (match Json.member "metrics" j with
             | Some (Json.Obj kvs) ->

@@ -1,0 +1,845 @@
+open Hqs_util
+module L = Sat.Lit
+
+type mode = Off | On | Full
+
+let mode_name = function Off -> "off" | On -> "on" | Full -> "full"
+
+let mode_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "off" | "0" -> Some Off
+  | "on" | "1" -> Some On
+  | "full" | "2" -> Some Full
+  | _ -> None
+
+let default_mode = On
+
+let mode_of_env () =
+  match Sys.getenv_opt "HQS_INPROC" with
+  | None | Some "" -> Ok default_mode
+  | Some s -> (
+      match mode_of_string s with
+      | Some m -> Ok m
+      | None -> Error (Printf.sprintf "HQS_INPROC=%S: expected off, on or full" s))
+
+type config = {
+  unit_propagation : bool;
+  universal_reduction : bool;
+  equivalences : bool;
+  subsumption : bool;
+  self_subsumption : bool;
+  probe : bool;
+  bve : bool;
+  max_rounds : int;
+  bve_cap : int;
+}
+
+let config_of_mode = function
+  | Off ->
+      {
+        unit_propagation = false;
+        universal_reduction = false;
+        equivalences = false;
+        subsumption = false;
+        self_subsumption = false;
+        probe = false;
+        bve = false;
+        max_rounds = 0;
+        bve_cap = 0;
+      }
+  | On ->
+      {
+        unit_propagation = true;
+        universal_reduction = true;
+        equivalences = true;
+        subsumption = true;
+        self_subsumption = true;
+        probe = false;
+        bve = false;
+        max_rounds = 50;
+        bve_cap = 0;
+      }
+  | Full ->
+      {
+        unit_propagation = true;
+        universal_reduction = true;
+        equivalences = true;
+        subsumption = true;
+        self_subsumption = true;
+        probe = true;
+        bve = true;
+        max_rounds = 50;
+        bve_cap = 400;
+      }
+
+type problem = {
+  num_vars : int;
+  univs : Bitset.t;
+  deps : (int * Bitset.t) list;
+  clauses : int list list;
+}
+
+type step =
+  | Unit of int
+  | Reduced of { clause : int list; dropped : int list }
+  | Merged of { y : int; rep : int }
+  | Subsumed of { clause : int list; by : int list }
+  | Strengthened of { clause : int list; removed : int; by : int list }
+  | Eliminated of { y : int; dep_y : int list; pos : int list list; neg : int list list }
+
+type stats = {
+  rounds : int;
+  units : int;
+  reduced_lits : int;
+  scc_merges : int;
+  subsumed : int;
+  strengthened : int;
+  failed_lits : int;
+  bve_eliminated : int;
+  clauses_before : int;
+  clauses_after : int;
+  lits_before : int;
+  lits_after : int;
+  vars_before : int;
+  vars_after : int;
+}
+
+type result = {
+  clauses : int list list;
+  univs : Bitset.t;
+  deps : (int * Bitset.t) list;
+  steps : step list;
+  stats : stats;
+}
+
+type outcome = Unsat | Simplified of result
+
+exception Refuted
+
+(* ------------------------------------------------------------- metrics *)
+
+let c_runs = Obs.Metrics.counter "inproc.runs"
+let c_units = Obs.Metrics.counter "inproc.units"
+let c_merges = Obs.Metrics.counter "inproc.scc_merges"
+let c_subsumed = Obs.Metrics.counter "inproc.subsumed"
+let c_strengthened = Obs.Metrics.counter "inproc.strengthened"
+let c_failed = Obs.Metrics.counter "inproc.failed_lits"
+let c_bve = Obs.Metrics.counter "inproc.bve_eliminated"
+let c_clauses_removed = Obs.Metrics.counter "inproc.clauses_removed"
+let c_lits_removed = Obs.Metrics.counter "inproc.lits_removed"
+
+(* -------------------------------------------------------- clause arena *)
+
+(* [csig] is a 63-bit Bloom signature over the literals: a clause can
+   only be a subset of another if its signature bits are contained, so
+   the quadratic subset tests behind subsumption are gated by one land.
+   [irred] distinguishes irredundant (original / resolvent) clauses from
+   redundant learned ones; the engine currently only produces irredundant
+   clauses, but the occurrence counters track both kinds so a future
+   learnt-clause feed does not change the index invariants. *)
+type cls = { mutable lits : int list; mutable alive : bool; mutable csig : int; irred : bool }
+
+let sig_of lits = List.fold_left (fun s l -> s lor (1 lsl (l mod 63))) 0 lits
+
+type st = {
+  cfg : config;
+  nvars : int;
+  mutable univs : Bitset.t;
+  deps : (int, Bitset.t) Hashtbl.t;
+  mutable arena : cls array;
+  mutable n : int;
+  value : int array; (* per var: -1 unknown, 0 false, 1 true *)
+  sub : int array; (* var -> representative literal of its positive literal *)
+  mutable occ : int list array; (* literal -> clause ids (stale-tolerant) *)
+  occ_irred : int array; (* literal -> live irredundant occurrence count *)
+  occ_red : int array; (* literal -> live redundant occurrence count *)
+  mutable steps : step list; (* reversed chronological *)
+  mutable units : int;
+  mutable reduced_lits : int;
+  mutable scc_merges : int;
+  mutable subsumed : int;
+  mutable strengthened : int;
+  mutable failed_lits : int;
+  mutable bve_eliminated : int;
+}
+
+let is_univ st v = Bitset.mem v st.univs
+let is_exist st v = Hashtbl.mem st.deps v
+let push_step st s = st.steps <- s :: st.steps
+
+let dummy_cls = { lits = []; alive = false; csig = 0; irred = true }
+
+let grow st =
+  if st.n = Array.length st.arena then begin
+    let bigger = Array.make (max 16 (2 * st.n)) dummy_cls in
+    Array.blit st.arena 0 bigger 0 st.n;
+    st.arena <- bigger
+  end
+
+let occ_count st l = st.occ_irred.(l) + st.occ_red.(l)
+
+let bump st c by =
+  let cnt = if c.irred then st.occ_irred else st.occ_red in
+  List.iter (fun l -> cnt.(l) <- cnt.(l) + by) c.lits
+
+let kill st c =
+  if c.alive then begin
+    c.alive <- false;
+    bump st c (-1)
+  end
+
+(* append a clause and index it; the occurrence lists of dead clauses
+   are never eagerly cleaned (consumers filter), only the counters are
+   exact *)
+let add_clause st lits =
+  grow st;
+  let c = { lits; alive = true; csig = sig_of lits; irred = true } in
+  let id = st.n in
+  st.arena.(id) <- c;
+  st.n <- st.n + 1;
+  List.iter (fun l -> st.occ.(l) <- id :: st.occ.(l)) lits;
+  bump st c 1;
+  id
+
+let build_occ st =
+  let occ = Array.make (2 * st.nvars) [] in
+  Array.fill st.occ_irred 0 (2 * st.nvars) 0;
+  Array.fill st.occ_red 0 (2 * st.nvars) 0;
+  for i = st.n - 1 downto 0 do
+    let c = st.arena.(i) in
+    if c.alive then begin
+      List.iter (fun l -> occ.(l) <- i :: occ.(l)) c.lits;
+      let cnt = if c.irred then st.occ_irred else st.occ_red in
+      List.iter (fun l -> cnt.(l) <- cnt.(l) + 1) c.lits
+    end
+  done;
+  st.occ <- occ
+
+(* ------------------------------------------------------- substitution *)
+
+let rec find_pos st v =
+  let s = st.sub.(v) in
+  if s = L.of_var v then s
+  else begin
+    let r = L.apply_sign (find_pos st (L.var s)) ~neg:(L.is_neg s) in
+    st.sub.(v) <- r;
+    r
+  end
+
+let find st l = L.apply_sign (find_pos st (L.var l)) ~neg:(L.is_neg l)
+
+(* make literal [l] (already a representative) true; a universal unit
+   refutes: the matrix is falsifiable under the opposite universal value *)
+let assign st l =
+  let v = L.var l in
+  if is_univ st v then raise Refuted;
+  match st.value.(v) with
+  | -1 ->
+      st.value.(v) <- (if L.is_pos l then 1 else 0);
+      st.units <- st.units + 1;
+      push_step st (Unit l);
+      Hashtbl.remove st.deps v
+  | x -> if (x = 1) <> L.is_pos l then raise Refuted
+
+(* truth value of a representative literal, if assigned *)
+let lit_value st l =
+  match st.value.(L.var l) with -1 -> None | x -> Some ((x = 1) <> L.is_neg l)
+
+(* --------------------------------------------------- rewriting fixpoint *)
+
+let rec taut = function
+  | a :: (b :: _ as rest) -> (L.var a = L.var b && a <> b) || taut rest
+  | [ _ ] | [] -> false
+
+(* universal reduction: a universal literal stays only if some
+   existential in the clause depends on it *)
+let ureduce st lits =
+  let needed u =
+    List.exists
+      (fun l ->
+        match Hashtbl.find_opt st.deps (L.var l) with
+        | Some d -> Bitset.mem u d
+        | None -> false)
+      lits
+  in
+  List.partition (fun l -> (not (is_univ st (L.var l))) || needed (L.var l)) lits
+
+(* apply substitution + assignments to every clause, normalize, reduce,
+   propagate units; loops until no new assignment. The occurrence index
+   is stale after this pass — phases that need it rebuild it. *)
+let simplify st =
+  let changed = ref false in
+  let continue_ = ref true in
+  while !continue_ do
+    continue_ := false;
+    for i = 0 to st.n - 1 do
+      let c = st.arena.(i) in
+      if c.alive then begin
+        let mapped = List.map (find st) c.lits in
+        if List.exists (fun l -> lit_value st l = Some true) mapped then begin
+          kill st c;
+          changed := true
+        end
+        else begin
+          let lits =
+            List.filter (fun l -> lit_value st l <> Some false) mapped
+            |> List.sort_uniq Int.compare
+          in
+          if taut lits then begin
+            kill st c;
+            changed := true
+          end
+          else begin
+            let lits, dropped =
+              if st.cfg.universal_reduction then ureduce st lits else (lits, [])
+            in
+            if dropped <> [] then begin
+              st.reduced_lits <- st.reduced_lits + List.length dropped;
+              push_step st (Reduced { clause = lits @ dropped; dropped })
+            end;
+            if lits = [] then raise Refuted;
+            if lits <> c.lits then begin
+              bump st c (-1);
+              c.lits <- lits;
+              c.csig <- sig_of lits;
+              bump st c 1;
+              changed := true
+            end;
+            match lits with
+            | [ l ] when st.cfg.unit_propagation ->
+                assign st l;
+                kill st c;
+                continue_ := true;
+                changed := true
+            | _ -> ()
+          end
+        end
+      end
+    done
+  done;
+  !changed
+
+(* ------------------------------------------- BIG + SCC (equivalences) *)
+
+(* binary implication graph: clause (a | b) contributes !a -> b and
+   !b -> a *)
+let big_adjacency st =
+  let adj = Array.make (2 * st.nvars) [] in
+  for i = 0 to st.n - 1 do
+    let c = st.arena.(i) in
+    if c.alive then
+      match c.lits with
+      | [ a; b ] ->
+          adj.(L.neg a) <- b :: adj.(L.neg a);
+          adj.(L.neg b) <- a :: adj.(L.neg b)
+      | _ -> ()
+  done;
+  adj
+
+(* iterative Tarjan over the literal graph; returns the component id of
+   every literal (-1 for unvisited isolated nodes keeps them singleton) *)
+let tarjan_scc nnodes adj =
+  let index = Array.make nnodes (-1) in
+  let lowlink = Array.make nnodes 0 in
+  let on_stack = Array.make nnodes false in
+  let comp = Array.make nnodes (-1) in
+  let stack = ref [] in
+  let next_index = ref 0 in
+  let next_comp = ref 0 in
+  let visit root =
+    (* explicit call stack: (node, remaining successors) *)
+    let calls = ref [ (root, adj.(root)) ] in
+    index.(root) <- !next_index;
+    lowlink.(root) <- !next_index;
+    incr next_index;
+    stack := root :: !stack;
+    on_stack.(root) <- true;
+    while !calls <> [] do
+      match !calls with
+      | [] -> ()
+      | (v, succs) :: rest -> (
+          match succs with
+          | w :: more ->
+              calls := (v, more) :: rest;
+              if index.(w) = -1 then begin
+                index.(w) <- !next_index;
+                lowlink.(w) <- !next_index;
+                incr next_index;
+                stack := w :: !stack;
+                on_stack.(w) <- true;
+                calls := (w, adj.(w)) :: !calls
+              end
+              else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w)
+          | [] ->
+              calls := rest;
+              (match rest with
+              | (p, _) :: _ -> lowlink.(p) <- min lowlink.(p) lowlink.(v)
+              | [] -> ());
+              if lowlink.(v) = index.(v) then begin
+                let cid = !next_comp in
+                incr next_comp;
+                let rec pop () =
+                  match !stack with
+                  | w :: tl ->
+                      stack := tl;
+                      on_stack.(w) <- false;
+                      comp.(w) <- cid;
+                      if w <> v then pop ()
+                  | [] -> ()
+                in
+                pop ()
+              end)
+    done
+  in
+  for v = 0 to nnodes - 1 do
+    if index.(v) = -1 && adj.(v) <> [] then visit v
+  done;
+  comp
+
+(* Equivalence substitution driven by the SCCs of the BIG. DQBF-adapted
+   merge legality:
+   - a component holding a literal and its own negation is a
+     contradiction;
+   - two universal variables forced equal (in either polarity) refute;
+   - an existential forced equal to a universal must carry that
+     universal in its dependency set, else no Skolem function exists;
+   - merged existentials keep the intersection of their dependency sets
+     (each Skolem function must agree with the others on every universal
+     assignment, so it can only read the shared inputs). *)
+let scc_pass st =
+  let nnodes = 2 * st.nvars in
+  let adj = big_adjacency st in
+  let comp = tarjan_scc nnodes adj in
+  let classes : (int, int list ref) Hashtbl.t = Hashtbl.create 16 in
+  for l = 0 to nnodes - 1 do
+    if comp.(l) >= 0 then begin
+      if comp.(l) = comp.(L.neg l) then raise Refuted;
+      match Hashtbl.find_opt classes comp.(l) with
+      | Some cell -> cell := l :: !cell
+      | None -> Hashtbl.add classes comp.(l) (ref [ l ])
+    end
+  done;
+  let merged = ref false in
+  Hashtbl.iter
+    (fun _ cell ->
+      (* keep only literals over variables still in the prefix *)
+      let members =
+        List.filter (fun l -> is_univ st (L.var l) || is_exist st (L.var l)) !cell
+      in
+      match members with
+      | [] | [ _ ] -> ()
+      | members -> (
+          let universals = List.filter (fun l -> is_univ st (L.var l)) members in
+          let merge_into rep m =
+            let y = L.var m in
+            let rep_for_y = L.apply_sign rep ~neg:(L.is_neg m) in
+            st.sub.(y) <- rep_for_y;
+            push_step st (Merged { y; rep = rep_for_y });
+            Hashtbl.remove st.deps y;
+            st.scc_merges <- st.scc_merges + 1;
+            merged := true
+          in
+          match universals with
+          | _ :: _ :: _ -> raise Refuted
+          | [ u ] ->
+              List.iter
+                (fun m ->
+                  if L.var m <> L.var u then begin
+                    if not (Bitset.mem (L.var u) (Hashtbl.find st.deps (L.var m))) then
+                      raise Refuted;
+                    merge_into u m
+                  end)
+                members
+          | [] ->
+              let rep =
+                List.fold_left (fun a b -> if L.var b < L.var a then b else a)
+                  (List.hd members) members
+              in
+              let inter =
+                List.fold_left
+                  (fun acc m -> Bitset.inter acc (Hashtbl.find st.deps (L.var m)))
+                  (Hashtbl.find st.deps (L.var rep))
+                  members
+              in
+              Hashtbl.replace st.deps (L.var rep) inter;
+              List.iter (fun m -> if L.var m <> L.var rep then merge_into rep m) members))
+    classes;
+  !merged
+
+(* ------------------------------------- subsumption / self-subsumption *)
+
+(* sorted-list subset test *)
+let rec subset a b =
+  match (a, b) with
+  | [], _ -> true
+  | _, [] -> false
+  | x :: xs, y :: ys ->
+      if x = y then subset xs ys else if x > y then subset a ys else false
+
+let live_occ st l = List.filter (fun j -> (st.arena.(j)).alive) st.occ.(l)
+
+let min_occ_lit st lits =
+  List.fold_left
+    (fun best l -> if occ_count st l < occ_count st best then l else best)
+    (List.hd lits) lits
+
+let subsume_pass st =
+  let changed = ref false in
+  let ids = ref [] in
+  for i = st.n - 1 downto 0 do
+    if (st.arena.(i)).alive then ids := i :: !ids
+  done;
+  let by_len =
+    List.sort
+      (fun i j ->
+        Int.compare (List.length (st.arena.(i)).lits) (List.length (st.arena.(j)).lits))
+      !ids
+  in
+  List.iter
+    (fun i ->
+      let c = st.arena.(i) in
+      if c.alive then begin
+        (* forward subsumption: c removes every superset, searched through
+           the occurrence list of its rarest literal *)
+        if st.cfg.subsumption then begin
+          let pivot = min_occ_lit st c.lits in
+          List.iter
+            (fun j ->
+              if j <> i then begin
+                let d = st.arena.(j) in
+                if
+                  d.alive
+                  && List.length d.lits >= List.length c.lits
+                  && c.csig land lnot d.csig = 0
+                  && subset c.lits d.lits
+                then begin
+                  push_step st (Subsumed { clause = d.lits; by = c.lits });
+                  kill st d;
+                  st.subsumed <- st.subsumed + 1;
+                  changed := true
+                end
+              end)
+            (live_occ st pivot)
+        end;
+        (* self-subsumption: if c \ {l} subsumes d \ {!l}, the resolvent
+           on l subsumes d, so !l can be struck from d *)
+        if st.cfg.self_subsumption && c.alive then
+          List.iter
+            (fun l ->
+              let rest = List.filter (fun k -> k <> l) c.lits in
+              let rest_sig = sig_of rest in
+              List.iter
+                (fun j ->
+                  let d = st.arena.(j) in
+                  if
+                    j <> i && d.alive && c.alive
+                    && List.length d.lits >= List.length c.lits
+                    && rest_sig land lnot d.csig = 0
+                    && List.mem (L.neg l) d.lits
+                    && subset rest (List.filter (fun k -> k <> L.neg l) d.lits)
+                  then begin
+                    push_step st
+                      (Strengthened { clause = d.lits; removed = L.neg l; by = c.lits });
+                    bump st d (-1);
+                    d.lits <- List.filter (fun k -> k <> L.neg l) d.lits;
+                    d.csig <- sig_of d.lits;
+                    bump st d 1;
+                    st.strengthened <- st.strengthened + 1;
+                    changed := true;
+                    if d.lits = [] then raise Refuted
+                  end)
+                (live_occ st (L.neg l)))
+            c.lits
+      end)
+    by_len;
+  !changed
+
+(* ---------------------------------------------- failed-literal probing *)
+
+(* Probe the roots of the BIG (in-degree 0, out-degree > 0): if the
+   implication closure of [r] contains a literal and its negation, then
+   matrix /\ r is unsatisfiable, so !r is implied — a unit if the
+   variable is existential, a refutation if it is universal (the matrix
+   admits no completion on the r side of that universal). Only BIG edges
+   are followed, so the closure is sound (every edge is a matrix
+   implication) but not complete — this is the cheap probe, not a SAT
+   call. *)
+let probe_pass st =
+  let nnodes = 2 * st.nvars in
+  let adj = big_adjacency st in
+  let indeg = Array.make nnodes 0 in
+  Array.iter (fun succs -> List.iter (fun w -> indeg.(w) <- indeg.(w) + 1) succs) adj;
+  let changed = ref false in
+  let seen = Array.make nnodes (-1) in
+  let stamp = ref 0 in
+  for r = 0 to nnodes - 1 do
+    if adj.(r) <> [] && indeg.(r) = 0 then begin
+      incr stamp;
+      let conflict = ref false in
+      let work = ref [ r ] in
+      seen.(r) <- !stamp;
+      while !work <> [] && not !conflict do
+        match !work with
+        | [] -> ()
+        | v :: rest ->
+            work := rest;
+            List.iter
+              (fun w ->
+                if not !conflict then
+                  if seen.(L.neg w) = !stamp then conflict := true
+                  else if seen.(w) <> !stamp then begin
+                    seen.(w) <- !stamp;
+                    work := w :: !work
+                  end)
+              adj.(v)
+      done;
+      if !conflict then begin
+        st.failed_lits <- st.failed_lits + 1;
+        (* assign raises Refuted on a universal, which is exactly the
+           semantics of a failed universal literal *)
+        assign st (find st (L.neg r));
+        changed := true
+      end
+    end
+  done;
+  !changed
+
+(* ------------------------------- bounded variable elimination (Henkin) *)
+
+(* Resolution-based elimination of an existential [y] is Henkin-legal
+   only when every other variable in a clause containing [y] is
+   dependency-below [y]: then every resolvent constrains only variables
+   [y]'s Skolem function may read, and the reconstruction function
+   (y := OR over positive clauses C of AND_{l in C\y} !l) is a legal
+   Skolem definition over D_y. Pure existentials (one empty side) are
+   eliminated unconditionally: their reconstruction is a constant. *)
+let dep_below st v d_y =
+  if is_univ st v then Bitset.mem v d_y
+  else match Hashtbl.find_opt st.deps v with Some dv -> Bitset.subset dv d_y | None -> false
+
+let bve_pass st =
+  let changed = ref false in
+  let exists = Hashtbl.fold (fun y _ acc -> y :: acc) st.deps [] in
+  let cheap_first =
+    List.sort
+      (fun a b ->
+        Int.compare
+          (occ_count st (L.of_var a) * occ_count st (L.neg (L.of_var a)))
+          (occ_count st (L.of_var b) * occ_count st (L.neg (L.of_var b))))
+      exists
+  in
+  List.iter
+    (fun y ->
+      if is_exist st y && st.value.(y) = -1 && st.sub.(y) = L.of_var y then begin
+        let py = L.of_var y and ny = L.neg (L.of_var y) in
+        let live l = List.filter (fun j -> List.mem l (st.arena.(j)).lits) (live_occ st l) in
+        let pl = live py and nl = live ny in
+        if pl = [] && nl = [] then ()
+        else if pl = [] then begin
+          (* pure negative: the constant-false Skolem function works *)
+          assign st ny;
+          st.bve_eliminated <- st.bve_eliminated + 1;
+          changed := true
+        end
+        else if nl = [] then begin
+          assign st py;
+          st.bve_eliminated <- st.bve_eliminated + 1;
+          changed := true
+        end
+        else if List.length pl * List.length nl <= st.cfg.bve_cap then begin
+          let d_y = Hashtbl.find st.deps y in
+          let legal =
+            List.for_all
+              (fun j ->
+                List.for_all
+                  (fun l -> L.var l = y || dep_below st (L.var l) d_y)
+                  (st.arena.(j)).lits)
+              (pl @ nl)
+          in
+          if legal then begin
+            let resolvents =
+              List.concat_map
+                (fun i ->
+                  let ci = List.filter (fun l -> l <> py) (st.arena.(i)).lits in
+                  List.filter_map
+                    (fun j ->
+                      let cj = List.filter (fun l -> l <> ny) (st.arena.(j)).lits in
+                      let r = List.sort_uniq Int.compare (ci @ cj) in
+                      if taut r then None else Some r)
+                    nl)
+                pl
+            in
+            let resolvents =
+              List.sort_uniq (List.compare Int.compare) resolvents
+            in
+            (* bounded: never let elimination grow the clause set *)
+            if List.length resolvents <= List.length pl + List.length nl then begin
+              push_step st
+                (Eliminated
+                   {
+                     y;
+                     dep_y = Bitset.to_list d_y;
+                     pos = List.map (fun j -> (st.arena.(j)).lits) pl;
+                     neg = List.map (fun j -> (st.arena.(j)).lits) nl;
+                   });
+              List.iter (fun j -> kill st st.arena.(j)) (pl @ nl);
+              List.iter (fun r -> ignore (add_clause st r)) resolvents;
+              Hashtbl.remove st.deps y;
+              st.bve_eliminated <- st.bve_eliminated + 1;
+              changed := true
+            end
+          end
+        end
+      end)
+    cheap_first;
+  !changed
+
+(* ---------------------------------------------------------------- run *)
+
+let live_counts st =
+  let cl = ref 0 and li = ref 0 in
+  for i = 0 to st.n - 1 do
+    let c = st.arena.(i) in
+    if c.alive then begin
+      incr cl;
+      li := !li + List.length c.lits
+    end
+  done;
+  (!cl, !li)
+
+let run ?config (p : problem) =
+  let cfg = match config with Some c -> c | None -> config_of_mode default_mode in
+  let nvars =
+    List.fold_left
+      (fun acc c -> List.fold_left (fun acc l -> max acc (L.var l + 1)) acc c)
+      (max 1 p.num_vars) p.clauses
+  in
+  Obs.Span.with_ "inproc.run"
+    ~attrs:[ ("clauses", Obs.Int (List.length p.clauses)); ("vars", Obs.Int nvars) ]
+  @@ fun () ->
+  Obs.Metrics.incr c_runs;
+  let st =
+    {
+      cfg;
+      nvars;
+      univs = p.univs;
+      deps = Hashtbl.create 64;
+      arena = Array.make (max 16 (List.length p.clauses)) dummy_cls;
+      n = 0;
+      value = Array.make nvars (-1);
+      sub = Array.init nvars L.of_var;
+      occ = Array.make (2 * nvars) [];
+      occ_irred = Array.make (2 * nvars) 0;
+      occ_red = Array.make (2 * nvars) 0;
+      steps = [];
+      units = 0;
+      reduced_lits = 0;
+      scc_merges = 0;
+      subsumed = 0;
+      strengthened = 0;
+      failed_lits = 0;
+      bve_eliminated = 0;
+    }
+  in
+  List.iter (fun (y, d) -> Hashtbl.replace st.deps y d) p.deps;
+  (* variables appearing in clauses but declared nowhere are existential
+     with no dependencies, mirroring Pcnf.to_formula *)
+  List.iter
+    (fun c ->
+      List.iter
+        (fun l ->
+          let v = L.var l in
+          if (not (is_univ st v)) && not (is_exist st v) then
+            Hashtbl.replace st.deps v Bitset.empty)
+        c)
+    p.clauses;
+  List.iter (fun c -> ignore (add_clause st (List.sort_uniq Int.compare c))) p.clauses;
+  let clauses_before = List.length p.clauses in
+  let lits_before = List.fold_left (fun acc c -> acc + List.length c) 0 p.clauses in
+  let vars_before = Hashtbl.length st.deps + Bitset.cardinal st.univs in
+  match
+    let rounds = ref 0 in
+    let continue_ = ref (cfg.max_rounds > 0) in
+    while !continue_ && !rounds < cfg.max_rounds do
+      incr rounds;
+      let ch = ref (simplify st) in
+      if cfg.equivalences && scc_pass st then begin
+        ignore (simplify st);
+        ch := true
+      end;
+      if cfg.subsumption || cfg.self_subsumption then begin
+        build_occ st;
+        if subsume_pass st then begin
+          ignore (simplify st);
+          ch := true
+        end
+      end;
+      if cfg.probe && probe_pass st then begin
+        ignore (simplify st);
+        ch := true
+      end;
+      if cfg.bve then begin
+        build_occ st;
+        if bve_pass st then begin
+          ignore (simplify st);
+          ch := true
+        end
+      end;
+      continue_ := !ch
+    done;
+    !rounds
+  with
+  | exception Refuted ->
+      Obs.Span.event "inproc.done" ~attrs:[ ("refuted", Obs.Bool true) ] ();
+      Unsat
+  | rounds ->
+      let clauses_after, lits_after = live_counts st in
+      let clauses = ref [] in
+      for i = st.n - 1 downto 0 do
+        let c = st.arena.(i) in
+        if c.alive then clauses := c.lits :: !clauses
+      done;
+      let deps =
+        Hashtbl.fold (fun y d acc -> (y, d) :: acc) st.deps []
+        |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+      in
+      let stats =
+        {
+          rounds;
+          units = st.units;
+          reduced_lits = st.reduced_lits;
+          scc_merges = st.scc_merges;
+          subsumed = st.subsumed;
+          strengthened = st.strengthened;
+          failed_lits = st.failed_lits;
+          bve_eliminated = st.bve_eliminated;
+          clauses_before;
+          clauses_after;
+          lits_before;
+          lits_after;
+          vars_before;
+          vars_after = Hashtbl.length st.deps + Bitset.cardinal st.univs;
+        }
+      in
+      Obs.Metrics.incr ~by:st.units c_units;
+      Obs.Metrics.incr ~by:st.scc_merges c_merges;
+      Obs.Metrics.incr ~by:st.subsumed c_subsumed;
+      Obs.Metrics.incr ~by:st.strengthened c_strengthened;
+      Obs.Metrics.incr ~by:st.failed_lits c_failed;
+      Obs.Metrics.incr ~by:st.bve_eliminated c_bve;
+      Obs.Metrics.incr ~by:(max 0 (clauses_before - clauses_after)) c_clauses_removed;
+      Obs.Metrics.incr ~by:(max 0 (lits_before - lits_after)) c_lits_removed;
+      Obs.Span.event "inproc.done"
+        ~attrs:
+          [
+            ("rounds", Obs.Int rounds);
+            ("units", Obs.Int st.units);
+            ("merges", Obs.Int st.scc_merges);
+            ("subsumed", Obs.Int st.subsumed);
+            ("strengthened", Obs.Int st.strengthened);
+            ("bve", Obs.Int st.bve_eliminated);
+            ("clauses_after", Obs.Int clauses_after);
+          ]
+        ();
+      Simplified
+        { clauses = !clauses; univs = st.univs; deps; steps = List.rev st.steps; stats }

@@ -19,7 +19,11 @@
      sweep workers);
    - a wall-clock read ([Unix.gettimeofday]/[Unix.time]) outside
      [lib/util] silently breaks budgets and trace timestamps under clock
-     steps — solver paths must use the monotonic [Budget.now].
+     steps — solver paths must use the monotonic [Budget.now];
+   - a direct stdout write ([Printf.printf]/[print_endline]/...) in
+     [lib/] outside [lib/harness] corrupts the machine-readable solver
+     output (DIMACS verdict lines, CSV, JSON baselines) — reports must go
+     through the harness or the Obs sinks.
 
    Diagnostics can be suppressed by a comment containing
    "lint: allow <rule-name>" on the offending line or the line above. *)
@@ -32,6 +36,7 @@ type rule =
   | Missing_mli
   | Raw_fd
   | Wall_clock
+  | No_stdout
   | Syntax
 
 let rule_name = function
@@ -42,6 +47,7 @@ let rule_name = function
   | Missing_mli -> "missing-mli"
   | Raw_fd -> "raw-fd"
   | Wall_clock -> "wall-clock"
+  | No_stdout -> "no-stdout"
   | Syntax -> "syntax"
 
 type diag = { file : string; line : int; col : int; rule : rule; msg : string }
@@ -148,6 +154,14 @@ let collect_structure ~path structure =
               add Wall_clock
                 "wall-clock time outside lib/util: use the monotonic Budget.now (wall time \
                  breaks budgets and traces under clock steps)"
+                loc
+        | "Printf.printf" | "Stdlib.Printf.printf" | "print_endline" | "print_string"
+        | "print_newline" | "print_int" | "Stdlib.print_endline" | "Stdlib.print_string"
+        | "Stdlib.print_newline" | "Stdlib.print_int" ->
+            if in_lib path && not (in_lib_sub "harness" path) then
+              add No_stdout
+                "stdout write in library code outside lib/harness: solver stdout is a \
+                 machine-readable channel — report through the harness or Obs"
                 loc
         | ("=" | "<>") when not (Hashtbl.mem blessed loc) ->
             add Poly_compare

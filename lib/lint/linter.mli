@@ -19,6 +19,10 @@
     - [Wall_clock] — [Unix.gettimeofday]/[Unix.time] outside [lib/util]:
       solver paths must use the monotonic [Budget.now], wall time breaks
       budgets and trace timestamps under clock steps;
+    - [No_stdout] — [Printf.printf]/[print_endline]/[print_string]/...
+      under [lib/] outside [lib/harness]: solver stdout is a
+      machine-readable channel (verdict lines, CSV, JSON baselines), so
+      library code must report through the harness or the Obs sinks;
     - [Syntax] — the file does not parse (also covers unreadable files).
 
     Suppression: a comment containing [lint: allow <rule-name>] on the
@@ -33,12 +37,13 @@ type rule =
   | Missing_mli
   | Raw_fd
   | Wall_clock
+  | No_stdout
   | Syntax
 
 val rule_name : rule -> string
 (** ["catch-all"], ["poly-compare"], ["obj-magic"], ["failwith-lib"],
-    ["missing-mli"], ["raw-fd"], ["wall-clock"], ["syntax"] — the names
-    used by suppression comments. *)
+    ["missing-mli"], ["raw-fd"], ["wall-clock"], ["no-stdout"],
+    ["syntax"] — the names used by suppression comments. *)
 
 type diag = { file : string; line : int; col : int; rule : rule; msg : string }
 

@@ -356,7 +356,12 @@ let test_preprocess_gate_detection () =
       clauses = [ [ -4; 2 ]; [ -4; 3 ]; [ 4; -2; -3 ]; [ 4; 2; 3 ] ];
     }
   in
-  match Dqbf.Preprocess.run pcnf with
+  (* inproc off: this test exercises the legacy gate detector on the exact
+     Tseitin clause pattern, which the engine's self-subsumption rewrites *)
+  let config =
+    { Dqbf.Preprocess.default_config with Dqbf.Preprocess.inproc = Inproc.Off }
+  in
+  match Dqbf.Preprocess.run ~config pcnf with
   | Dqbf.Preprocess.Unsat -> Alcotest.fail "not unsat"
   | Dqbf.Preprocess.Formula (f, stats) ->
       check_int "one gate" 1 stats.Dqbf.Preprocess.gates;
@@ -376,7 +381,10 @@ let test_preprocess_xor_gate () =
     }
   in
   let reference = Dqbf.Reference.by_expansion (Dqbf.Pcnf.to_formula pcnf) in
-  match Dqbf.Preprocess.run pcnf with
+  let config =
+    { Dqbf.Preprocess.default_config with Dqbf.Preprocess.inproc = Inproc.Off }
+  in
+  match Dqbf.Preprocess.run ~config pcnf with
   | Dqbf.Preprocess.Unsat -> Alcotest.fail "not unsat"
   | Dqbf.Preprocess.Formula (f, stats) ->
       check "xor gate found" true (stats.Dqbf.Preprocess.gates >= 1);

@@ -82,6 +82,24 @@ let test_wall_clock () =
   check "monotonic Budget.now passes" false
     (has Linter.Wall_clock ~path:lib_path "let t () = Hqs_util.Budget.now ()\n")
 
+let test_no_stdout () =
+  check "Printf.printf flagged under lib/" true
+    (has Linter.No_stdout ~path:lib_path "let f x = Printf.printf \"%d\\n\" x\n");
+  check "print_endline flagged" true
+    (has Linter.No_stdout ~path:lib_path "let f s = print_endline s\n");
+  check "print_string flagged" true
+    (has Linter.No_stdout ~path:lib_path "let f s = print_string s\n");
+  check "Stdlib-qualified form flagged" true
+    (has Linter.No_stdout ~path:lib_path "let f s = Stdlib.print_endline s\n");
+  check "lib/harness is the sanctioned home" false
+    (has Linter.No_stdout ~path:"lib/harness/report.ml" "let f s = print_string s\n");
+  check "bin/ may print" false
+    (has Linter.No_stdout ~path:"bin/tool.ml" "let f s = print_endline s\n");
+  check "stderr via Printf.eprintf passes" false
+    (has Linter.No_stdout ~path:lib_path "let f s = Printf.eprintf \"%s\\n\" s\n");
+  check "Buffer/Format sinks pass" false
+    (has Linter.No_stdout ~path:lib_path "let f b s = Buffer.add_string b s\n")
+
 let test_syntax () =
   check "unparsable source reported" true (has Linter.Syntax ~path:lib_path "let let let\n");
   check "unparsable mli reported" true (has Linter.Syntax ~path:"lib/fake/mod.mli" "val val\n");
@@ -150,6 +168,23 @@ let test_suppression () =
         | [ d ] -> Filename.basename d.Linter.file = "y.ml" && d.Linter.line = 3
         | _ -> false))
 
+let test_no_stdout_suppression () =
+  with_tree
+    [
+      ("lib/a/x.ml", "(* lint: allow no-stdout *)\nlet f s = print_endline s\n");
+      ("lib/a/x.mli", "val f : string -> unit\n");
+      ("lib/a/y.ml", "let f s = print_endline s\n");
+      ("lib/a/y.mli", "val f : string -> unit\n");
+    ]
+    (fun dir ->
+      let diags = Linter.lint_paths [ dir ] in
+      check_int "only the unsuppressed write remains" 1 (List.length diags);
+      check "it is the no-stdout rule in y.ml" true
+        (match diags with
+        | [ d ] ->
+            Filename.basename d.Linter.file = "y.ml" && d.Linter.rule = Linter.No_stdout
+        | _ -> false))
+
 let test_allowlist_and_walk () =
   with_tree
     [
@@ -192,6 +227,7 @@ let () =
           Alcotest.test_case "failwith scope" `Quick test_failwith_scope;
           Alcotest.test_case "raw-fd scope" `Quick test_raw_fd;
           Alcotest.test_case "wall-clock scope" `Quick test_wall_clock;
+          Alcotest.test_case "no-stdout scope" `Quick test_no_stdout;
           Alcotest.test_case "syntax" `Quick test_syntax;
           Alcotest.test_case "missing mli" `Quick test_missing_mli;
           Alcotest.test_case "positions" `Quick test_positions;
@@ -199,6 +235,7 @@ let () =
       ( "driver",
         [
           Alcotest.test_case "suppression" `Quick test_suppression;
+          Alcotest.test_case "no-stdout suppression" `Quick test_no_stdout_suppression;
           Alcotest.test_case "allowlist and walk" `Quick test_allowlist_and_walk;
           Alcotest.test_case "run exit codes" `Quick test_run_exit_codes;
         ] );
