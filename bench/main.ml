@@ -322,9 +322,48 @@ let json_str s =
   Buffer.add_char buf '"';
   Buffer.contents buf
 
+(* Per-family wall/phase/metric series derived from the same solves as
+   BENCH_obs.json, in the shape bin/benchdiff consumes: one point per
+   run, appended over time if regenerated with history. The committed
+   copy is the regression-gate baseline. *)
+let write_trajectory traj =
+  let out =
+    match Sys.getenv_opt "BENCH_TRAJECTORY_OUT" with
+    | Some p -> p
+    | None -> "BENCH_trajectory.json"
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n  \"schema\": \"hqs-trajectory/1\",\n";
+  Buffer.add_string buf (Printf.sprintf "  \"timeout_s\": %g,\n" timeout);
+  Buffer.add_string buf (Printf.sprintf "  \"node_limit\": %d,\n" node_limit);
+  Buffer.add_string buf "  \"families\": {\n";
+  let nf = List.length traj in
+  List.iteri
+    (fun i (family, series) ->
+      Buffer.add_string buf (Printf.sprintf "    %s: {\n" (json_str family));
+      let ns = List.length series in
+      List.iteri
+        (fun j (key, v) ->
+          Buffer.add_string buf
+            (Printf.sprintf "      %s: [ %g ]%s\n" (json_str key) v
+               (if j < ns - 1 then "," else "")))
+        series;
+      Buffer.add_string buf (Printf.sprintf "    }%s\n" (if i < nf - 1 then "," else "")))
+    traj;
+  Buffer.add_string buf "  }\n}\n";
+  let body = Buffer.contents buf in
+  (match Obs.Json.parse body with
+  | Ok _ -> ()
+  | Error msg -> Printf.eprintf "trajectory baseline: generated invalid JSON (%s)\n%!" msg);
+  let oc = open_out out in
+  output_string oc body;
+  close_out oc;
+  Printf.printf "trajectory baseline written to %s\n" out
+
 let obs_baseline () =
   let out = match Sys.getenv_opt "BENCH_OBS_OUT" with Some p -> p | None -> "BENCH_obs.json" in
   let overhead = disabled_span_overhead_ns () in
+  let traj = ref [] in
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf (Printf.sprintf "  \"timeout_s\": %g,\n" timeout);
@@ -353,6 +392,17 @@ let obs_baseline () =
       Obs.Trace.stop ();
       let phases = Obs.Trace.totals () in
       let delta = Obs.Metrics.delta ~before ~after:(Obs.Metrics.snapshot ()) in
+      traj :=
+        ( inst.Fam.family,
+          (("wall_s", elapsed)
+          :: List.map
+               (fun t ->
+                 (Printf.sprintf "phase.%s.total_s" t.Obs.Trace.span, t.Obs.Trace.total_s))
+               phases)
+          @ List.map
+              (fun (name, v) -> (Printf.sprintf "metric.%s" name, v))
+              (Obs.Metrics.to_assoc delta) )
+        :: !traj;
       Buffer.add_string buf "    {\n";
       Buffer.add_string buf
         (Printf.sprintf "      \"id\": %s, \"family\": %s, \"verdict\": %s, \"time_s\": %.4f,\n"
@@ -386,7 +436,9 @@ let obs_baseline () =
   let oc = open_out out in
   output_string oc body;
   close_out oc;
-  Printf.printf "observability baseline written to %s (disabled span: %.1f ns/call)\n" out overhead
+  Printf.printf "observability baseline written to %s (disabled span: %.1f ns/call)\n" out
+    overhead;
+  write_trajectory (List.rev !traj)
 
 (* ---------------------------------------- dependency-scheme baseline *)
 

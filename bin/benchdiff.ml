@@ -1,0 +1,229 @@
+(* benchdiff: compare two benchmark baseline files and fail on
+   regressions. Understands both committed baseline shapes:
+
+   - BENCH_obs.json       ({"instances": [...]} with per-instance time_s,
+                           per-phase span totals and the metric delta)
+   - BENCH_trajectory.json ({"families": {...}} with per-family series of
+                           wall/phase/metric points; the newest point of
+                           each series is compared)
+
+   Both flatten to key -> float: <id>/time_s, <id>/phase.<span>.total_s,
+   <id>/metric.<name> (obs) or <family>/<series> (trajectory). A key
+   regresses when the candidate value exceeds the baseline by more than
+   a per-class tolerance: time-like keys (ending in _s) get a relative
+   tolerance wide enough for wall-clock noise but tight enough to catch
+   a 20% phase-time regression; everything else (counters, node/clause
+   sizes) is expected to be near-deterministic and gets a tighter bound.
+   Keys that shrink are improvements and never fail. --inflate REGEX=F
+   multiplies matching candidate keys — the CI gate uses it to prove the
+   gate trips on a seeded regression.
+
+   Exit 0 when no key regresses, 1 on any regression (each is printed),
+   2 on usage or parse errors. *)
+
+open Cmdliner
+
+module Json = Obs.Json
+
+let die fmt = Printf.ksprintf (fun msg -> Printf.eprintf "benchdiff: %s\n" msg; exit 2) fmt
+
+let read_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | s -> s
+  | exception Sys_error msg -> die "%s" msg
+
+(* keys that are pure machine-speed microbenchmarks, meaningless across
+   hosts — never compared *)
+let ignored_key k = k = "disabled_span_ns_per_call"
+
+let flatten_obs instances =
+  List.concat_map
+    (fun inst ->
+      let id =
+        match Json.member "id" inst with
+        | Some (Json.Str s) -> s
+        | _ -> die "instance without a string id"
+      in
+      let time =
+        match Option.bind (Json.member "time_s" inst) Json.to_number with
+        | Some t -> [ (id ^ "/time_s", t) ]
+        | None -> []
+      in
+      let phases =
+        match Json.member "phases" inst with
+        | Some (Json.Obj fields) ->
+            List.filter_map
+              (fun (span, v) ->
+                Option.map
+                  (fun t -> (Printf.sprintf "%s/phase.%s.total_s" id span, t))
+                  (Option.bind (Json.member "total_s" v) Json.to_number))
+              fields
+        | _ -> []
+      in
+      let metrics =
+        match Json.member "metrics" inst with
+        | Some (Json.Obj fields) ->
+            List.filter_map
+              (fun (name, v) ->
+                Option.map
+                  (fun x -> (Printf.sprintf "%s/metric.%s" id name, x))
+                  (Json.to_number v))
+              fields
+        | _ -> []
+      in
+      time @ phases @ metrics)
+    instances
+
+let flatten_trajectory families =
+  List.concat_map
+    (fun (family, series) ->
+      match series with
+      | Json.Obj fields ->
+          List.filter_map
+            (fun (key, v) ->
+              match v with
+              | Json.Arr points when points <> [] ->
+                  (* the newest point of the series is the current state *)
+                  Option.map
+                    (fun x -> (family ^ "/" ^ key, x))
+                    (Json.to_number (List.nth points (List.length points - 1)))
+              | _ -> None)
+            fields
+      | _ -> [])
+    families
+
+let load path =
+  let json =
+    match Json.parse (read_file path) with
+    | Ok j -> j
+    | Error msg -> die "%s: invalid JSON: %s" path msg
+  in
+  let flat =
+    match (Json.member "families" json, Json.member "instances" json) with
+    | Some (Json.Obj fams), _ -> flatten_trajectory fams
+    | _, Some arr -> (
+        match Json.to_list arr with
+        | Some instances -> flatten_obs instances
+        | None -> die "%s: instances is not an array" path)
+    | _ -> die "%s: neither a trajectory (families) nor an obs baseline (instances)" path
+  in
+  List.filter (fun (k, _) -> not (ignored_key k)) flat
+
+(* a key is time-like when its leaf measures seconds — these get the
+   wall-clock-noise tolerance; everything else is a near-deterministic
+   count *)
+let time_like key =
+  let n = String.length key in
+  n >= 2 && String.sub key (n - 2) 2 = "_s"
+
+let parse_inflate spec =
+  match String.index_opt spec '=' with
+  | None -> die "--inflate %s: expected REGEX=FACTOR" spec
+  | Some i -> (
+      let re = String.sub spec 0 i in
+      let f = String.sub spec (i + 1) (String.length spec - i - 1) in
+      match float_of_string_opt f with
+      | None -> die "--inflate %s: %s is not a number" spec f
+      | Some factor -> (
+          match Str.regexp re with
+          | re -> (re, factor)
+          | exception Failure msg -> die "--inflate %s: bad regex: %s" spec msg))
+
+let apply_inflations inflations kvs =
+  List.map
+    (fun (k, v) ->
+      let v =
+        List.fold_left
+          (fun v (re, factor) ->
+            if Str.string_match re k 0 && Str.match_end () = String.length k then v *. factor
+            else v)
+          v inflations
+      in
+      (k, v))
+    kvs
+
+let diff baseline candidate rel_time rel_count abs_time abs_count strict verbose inflate =
+  let inflations = List.map parse_inflate inflate in
+  let base = load baseline in
+  let cand = apply_inflations inflations (load candidate) in
+  let cand_tbl = Hashtbl.create 64 in
+  List.iter (fun (k, v) -> Hashtbl.replace cand_tbl k v) cand;
+  let base_tbl = Hashtbl.create 64 in
+  List.iter (fun (k, v) -> Hashtbl.replace base_tbl k v) base;
+  let regressions = ref 0 and compared = ref 0 and missing = ref 0 in
+  List.iter
+    (fun (key, old_v) ->
+      match Hashtbl.find_opt cand_tbl key with
+      | None ->
+          incr missing;
+          Printf.printf "%s %s: present in baseline only\n"
+            (if strict then "REGRESSION" else "note")
+            key;
+          if strict then incr regressions
+      | Some new_v ->
+          incr compared;
+          let rel, abs_floor =
+            if time_like key then (rel_time, abs_time) else (rel_count, abs_count)
+          in
+          let allowed = (Float.abs old_v *. rel) +. abs_floor in
+          if new_v -. old_v > allowed then begin
+            incr regressions;
+            Printf.printf "REGRESSION %s: %g -> %g (+%.1f%%, tolerance %g)\n" key old_v new_v
+              (if Float.abs old_v > 0. then (new_v -. old_v) /. Float.abs old_v *. 100.
+               else infinity)
+              allowed
+          end
+          else if verbose then Printf.printf "ok %s: %g -> %g\n" key old_v new_v)
+    base;
+  let added =
+    List.length (List.filter (fun (k, _) -> not (Hashtbl.mem base_tbl k)) cand)
+  in
+  Printf.printf "benchdiff: %d keys compared, %d regression(s), %d missing, %d added\n%!"
+    !compared !regressions !missing added;
+  exit (if !regressions > 0 then 1 else 0)
+
+let cmd =
+  let pos_file i docv doc = Arg.(required & pos i (some file) None & info [] ~docv ~doc) in
+  Cmd.v
+    (Cmd.info "benchdiff"
+       ~doc:"compare two benchmark baseline files and exit 1 on regressions")
+    Term.(
+      const diff
+      $ pos_file 0 "BASELINE" "committed baseline (BENCH_obs.json or BENCH_trajectory.json)"
+      $ pos_file 1 "CANDIDATE" "candidate run to gate (same schema)"
+      $ Arg.(
+          value
+          & opt float 0.15
+          & info [ "rel-tol-time" ] ~docv:"FRAC"
+              ~doc:"relative tolerance for time-like keys (suffix _s)")
+      $ Arg.(
+          value
+          & opt float 0.10
+          & info [ "rel-tol-count" ] ~docv:"FRAC" ~doc:"relative tolerance for counter keys")
+      $ Arg.(
+          value
+          & opt float 0.002
+          & info [ "abs-floor-time" ] ~docv:"SECONDS"
+              ~doc:"absolute slack added to every time comparison (noise floor)")
+      $ Arg.(
+          value
+          & opt float 8.0
+          & info [ "abs-floor-count" ] ~docv:"N"
+              ~doc:"absolute slack added to every counter comparison")
+      $ Arg.(
+          value & flag
+          & info [ "strict" ] ~doc:"keys present only in the baseline are regressions too")
+      $ Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"print every compared key")
+      $ Arg.(
+          value
+          & opt_all string []
+          & info [ "inflate" ] ~docv:"REGEX=FACTOR"
+              ~doc:
+                "multiply candidate values whose full key matches REGEX by FACTOR before \
+                 comparing — seeds a synthetic regression so CI can prove the gate trips"))
+
+let () =
+  match Cmd.eval_value cmd with
+  | Ok (`Ok () | `Help | `Version) -> exit 0
+  | Error (`Parse | `Term) -> exit 2
+  | Error `Exn -> exit 1

@@ -309,12 +309,13 @@ let family_of_path file =
   | d -> d
 
 let sweep files jobs timeout node_limit retries journal resume mem_limit cpu_limit chaos_seed
-    chaos_points chaos_kill dep_scheme inproc =
+    chaos_points chaos_kill dep_scheme inproc trace =
   install_signal_handlers ();
   if files = [] then begin
     Printf.eprintf "error: no input files\n";
     exit 2
   end;
+  if Option.is_some trace then Obs.Trace.start ();
   let items =
     List.map
       (fun file ->
@@ -436,6 +437,19 @@ let sweep files jobs timeout node_limit retries journal resume mem_limit cpu_lim
   prerr_string (Harness.Report.table1 results);
   prerr_string (Harness.Report.headline results);
   print_string (Harness.Report.csv results);
+  (match trace with
+  | None -> ()
+  | Some path -> (
+      Obs.Trace.stop ();
+      match Obs.Trace.write_chrome_json path with
+      | () ->
+          Printf.eprintf "c trace: %d events -> %s%s%s\n%!"
+            (List.length (Obs.Trace.events ()))
+            path
+            (let d = Obs.Trace.dropped () in
+             if d > 0 then Printf.sprintf " (%d dropped)" d else "")
+            (if Obs.Trace.truncated () then " (truncated worker spans repaired)" else "")
+      | exception Sys_error msg -> Printf.eprintf "c trace write failed: %s\n%!" msg));
   let bad r =
     (match r.Harness.Runner.soundness with
     | Harness.Runner.Consistent -> false
@@ -530,7 +544,16 @@ let sweep_cmd =
     Term.(
       const sweep $ sweep_files $ jobs $ sweep_timeout $ sweep_node_limit $ retries $ journal
       $ resume $ sweep_mem_limit $ cpu_limit $ chaos_seed $ chaos_points $ chaos_kill
-      $ dep_scheme $ inproc)
+      $ dep_scheme $ inproc
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "trace" ] ~docv:"FILE"
+              ~doc:
+                "write one merged multi-process Chrome trace: supervisor per-task spans on \
+                 the main pid plus every worker's span buffer (shipped back over the result \
+                 pipe) under its own pid row, linked by per-task trace ids. Workers killed \
+                 mid-span are repaired and flagged truncated"))
 
 (* ------------------------------------------------------ analyze command *)
 
@@ -666,7 +689,8 @@ let resolve_check_level check =
           exit 2)
 
 let serve socket workers queue_cap timeout max_timeout kill_grace retries mem_limit node_limit
-    cache check audit_period trace chaos_seed chaos_points chaos_kill dep_scheme inproc =
+    cache check audit_period trace event_log chaos_seed chaos_points chaos_kill dep_scheme
+    inproc =
   (* no install_signal_handlers: SIGTERM/SIGINT mean "drain", not "abort" *)
   let check_level = resolve_check_level check in
   let chaos =
@@ -711,6 +735,7 @@ let serve socket workers queue_cap timeout max_timeout kill_grace retries mem_li
       audit_period;
       cache_path = cache;
       trace_path = trace;
+      event_log;
       solver;
     }
   in
@@ -797,7 +822,17 @@ let serve_cmd =
               ~doc:
                 "with --check full, re-solve every Nth cache hit and compare verdicts (0 \
                  disables auditing)")
-      $ trace $ chaos_seed $ chaos_points
+      $ trace
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "event-log" ] ~docv:"FILE"
+              ~doc:
+                "append one checksummed JSONL line per lifecycle event (admissions, sheds, \
+                 crashes, retries, quarantines, timeouts, cache audits, respawns, drain) \
+                 with per-request trace ids; the file is size-rotated to $(i,FILE).1 at 1 \
+                 MiB")
+      $ chaos_seed $ chaos_points
       $ Arg.(
           value
           & opt (some int) None
@@ -818,11 +853,34 @@ let serve_cmd =
      2         usage error, invalid instance, or daemon unreachable
      0         --ping / --stats *)
 
-let query socket file ping stats timeout sleep =
+(* one introspection snapshot, shared by `hqs top` and `hqs query --health` *)
+let render_health (h : Serve.Proto.health) =
+  let m name =
+    match List.assoc_opt name h.Serve.Proto.h_metrics with Some v -> v | None -> 0.
+  in
+  Printf.printf "c uptime %.1fs%s\n" h.Serve.Proto.uptime_s
+    (if h.Serve.Proto.draining then "  DRAINING" else "");
+  Printf.printf "c workers %d live, %d busy  queue_depth %d\n" h.Serve.Proto.live_workers
+    h.Serve.Proto.in_flight h.Serve.Proto.h_queue_depth;
+  Printf.printf "c states %s\n" (String.concat " " h.Serve.Proto.states);
+  if h.Serve.Proto.lat_n > 0 then
+    Printf.printf "c latency n=%d p50=%.3fs p95=%.3fs p99=%.3fs\n" h.Serve.Proto.lat_n
+      h.Serve.Proto.lat_p50 h.Serve.Proto.lat_p95 h.Serve.Proto.lat_p99
+  else print_endline "c latency n=0";
+  Printf.printf "c requests %.0f  shed %.0f  timeouts %.0f\n" (m "serve.requests")
+    (m "serve.shed") (m "serve.timeouts");
+  Printf.printf "c crashes %.0f  respawns %.0f\n" (m "serve.worker_crashes")
+    (m "serve.respawns");
+  Printf.printf "c cache hits %.0f  misses %.0f  audits %.0f  audit_failures %.0f\n%!"
+    (m "serve.cache_hits") (m "serve.cache_misses") (m "serve.cache_audits")
+    (m "serve.cache_audit_failures")
+
+let query socket file ping stats health timeout sleep =
   install_signal_handlers ();
   let request =
     if ping then Serve.Proto.Ping
     else if stats then Serve.Proto.Stats
+    else if health then Serve.Proto.Health
     else
       match file with
       | Some f -> (
@@ -847,6 +905,9 @@ let query socket file ping stats timeout sleep =
       | Serve.Proto.Stats_reply { workers; queue_depth; metrics } ->
           Printf.printf "c workers %d\nc queue_depth %d\n" workers queue_depth;
           List.iter (fun (name, v) -> Printf.printf "c metric %s %g\n" name v) metrics;
+          exit 0
+      | Serve.Proto.Health_reply h ->
+          render_health h;
           exit 0
       | Serve.Proto.Verdict { sat; elapsed_s; cached; audited } ->
           Printf.printf "c elapsed %.3fs%s%s\n" elapsed_s
@@ -907,6 +968,13 @@ let query_cmd =
       $ Arg.(value & flag & info [ "stats" ] ~doc:"print worker/queue/metric state")
       $ Arg.(
           value
+          & flag
+          & info [ "health" ]
+              ~doc:
+                "print one live introspection snapshot (pool states, latency quantiles, \
+                 crash/cache counters) — the single-shot form of $(b,hqs top)")
+      $ Arg.(
+          value
           & opt (some float) None
           & info [ "timeout"; "t" ] ~docv:"SECONDS" ~doc:"per-request wall budget")
       $ Arg.(
@@ -916,6 +984,60 @@ let query_cmd =
               ~doc:
                 "test hook: make the worker sleep this long (outside the solve budget) \
                  before solving — deterministic deadline and overload scenarios"))
+
+(* ---------------------------------------------------------- top command *)
+
+(* hqs top: refreshing live view of a running daemon, built on the
+   `health` request. Exit codes: 0 (clean exit, incl. --once), 2 when
+   the daemon is unreachable or replies out of protocol. *)
+
+let top socket interval once =
+  install_signal_handlers ();
+  let rec loop first =
+    (match Serve.Client.roundtrip ~socket Serve.Proto.Health with
+    | Error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 2
+    | Ok (Serve.Proto.Health_reply h) ->
+        if not once then print_string "\027[2J\027[H";
+        Printf.printf "c hqs top — %s\n" socket;
+        render_health h
+    | Ok _ ->
+        Printf.eprintf "error: daemon sent an unexpected reply to a health request\n";
+        exit 2);
+    ignore first;
+    if once then exit 0
+    else begin
+      Unix.sleepf interval;
+      loop false
+    end
+  in
+  loop true
+
+let top_cmd =
+  let doc = "live introspection view of a running hqs serve daemon" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Polls the daemon at $(b,--socket) with `health' requests and renders a refreshing \
+         snapshot: worker pool states, queue depth, in-flight jobs, rolling request-latency \
+         quantiles (p50/p95/p99 over the last 512 requests), and the shed / crash / respawn \
+         / cache counters. $(b,--once) prints a single snapshot and exits — the scriptable \
+         form used by CI.";
+      `S "EXIT STATUS";
+      `P "0 on clean exit; 2 when the daemon is unreachable.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "top" ~doc ~man)
+    Term.(
+      const top $ socket_arg
+      $ Arg.(
+          value
+          & opt float 1.0
+          & info [ "interval"; "n" ] ~docv:"SECONDS" ~doc:"refresh period")
+      $ Arg.(value & flag & info [ "once" ] ~doc:"print one snapshot and exit"))
 
 let solve_term =
   Term.(
@@ -965,6 +1087,10 @@ let () =
     else if Array.length argv > 1 && argv.(1) = "query" then begin
       let shifted = Array.append [| "hqs query" |] (Array.sub argv 2 (Array.length argv - 2)) in
       Cmd.eval_value ~argv:shifted query_cmd
+    end
+    else if Array.length argv > 1 && argv.(1) = "top" then begin
+      let shifted = Array.append [| "hqs top" |] (Array.sub argv 2 (Array.length argv - 2)) in
+      Cmd.eval_value ~argv:shifted top_cmd
     end
     else Cmd.eval_value ~argv solve_cmd
   in

@@ -1,10 +1,13 @@
 (* tracecheck: validate a Chrome trace_event JSON file produced by
-   hqs --trace. Checks that the file parses as JSON, that it carries a
-   traceEvents array, that Begin/End events are properly nested, and
-   (optionally) that at least N distinct span names appear — the CI
-   smoke test uses this to assert the trace actually covers the
-   pipeline. Exit 0 on success, 1 on a malformed trace, 2 on usage
-   errors. *)
+   hqs --trace / hqs sweep --trace. Checks that the file parses as
+   JSON, that it carries a traceEvents array, that Begin/End events are
+   properly nested per (pid, tid) row, that timestamps are monotone
+   within each pid, and that every parent_span link names a span_id
+   that actually appears as a Begin event — the cross-process stitching
+   contract of the fork-spanning tracer. CI uses --min-pids /
+   --min-cross-links to assert a sweep trace really merged worker
+   processes, and --min-spans to assert pipeline coverage. Exit 0 on
+   success, 1 on a malformed trace, 2 on usage errors. *)
 
 open Cmdliner
 
@@ -17,62 +20,140 @@ let read_file path =
 
 let fail fmt = Printf.ksprintf (fun msg -> Printf.eprintf "tracecheck: %s\n" msg; exit 1) fmt
 
-let check file min_spans verbose =
+type ev = {
+  idx : int;
+  name : string;
+  ph : string;
+  ts : float;
+  pid : int;
+  tid : int;
+  args : Obs.Json.t option;
+}
+
+let arg_str name ev =
+  match ev.args with
+  | None -> None
+  | Some args -> (
+      match Obs.Json.member name args with Some (Obs.Json.Str s) -> Some s | _ -> None)
+
+let check file min_spans min_pids min_cross_links verbose =
   let body =
     match read_file file with
     | s -> s
     | exception Sys_error msg -> fail "%s" msg
   in
   let json = match Obs.Json.parse body with Ok j -> j | Error msg -> fail "invalid JSON: %s" msg in
-  let events =
+  let raw_events =
     match Obs.Json.member "traceEvents" json with
     | None -> fail "no traceEvents member"
     | Some ev -> ( match Obs.Json.to_list ev with None -> fail "traceEvents is not an array" | Some l -> l)
   in
-  let str_field name ev =
-    match Obs.Json.member name ev with None -> None | Some v -> Obs.Json.to_string v
+  let events =
+    List.mapi
+      (fun i ev ->
+        let str name =
+          match Obs.Json.member name ev with None -> None | Some v -> Obs.Json.to_string v
+        in
+        let num name =
+          match Obs.Json.member name ev with None -> None | Some v -> Obs.Json.to_number v
+        in
+        let name = match str "name" with Some n -> n | None -> fail "event %d: no name" i in
+        let ph = match str "ph" with Some p -> p | None -> fail "event %d: no ph" i in
+        let ts =
+          match num "ts" with
+          | Some t -> t
+          | None -> fail "event %d (%s): no numeric ts" i name
+        in
+        let int_field f d = match num f with Some v -> int_of_float v | None -> d in
+        {
+          idx = i;
+          name;
+          ph;
+          ts;
+          pid = int_field "pid" 1;
+          tid = int_field "tid" 1;
+          args = Obs.Json.member "args" ev;
+        })
+      raw_events
   in
-  let stack = ref [] in
+  (* per-pid timestamp monotonicity: each process row is one buffer
+     recorded in order (worker batches merge as contiguous runs), so a
+     backwards step inside a pid means a torn or mis-merged trace *)
+  let last_ts : (int, float) Hashtbl.t = Hashtbl.create 8 in
+  (* strict B/E nesting per (pid, tid) row *)
+  let stacks : (int * int, string list) Hashtbl.t = Hashtbl.create 16 in
   let names = Hashtbl.create 32 in
-  let last_ts = ref neg_infinity in
-  List.iteri
-    (fun i ev ->
-      let name = match str_field "name" ev with Some n -> n | None -> fail "event %d: no name" i in
-      let ph = match str_field "ph" ev with Some p -> p | None -> fail "event %d: no ph" i in
-      (match Obs.Json.member "ts" ev with
-      | Some ts -> (
-          match Obs.Json.to_number ts with
-          | Some t ->
-              if t < !last_ts then fail "event %d (%s): timestamps not monotone" i name;
-              last_ts := t
-          | None -> fail "event %d (%s): ts is not a number" i name)
-      | None -> fail "event %d (%s): no ts" i name);
-      match ph with
+  let pids = Hashtbl.create 8 in
+  (* span_id -> pid of the Begin that declared it *)
+  let span_ids : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let parent_links = ref [] in
+  List.iter
+    (fun ev ->
+      Hashtbl.replace pids ev.pid ();
+      (match Hashtbl.find_opt last_ts ev.pid with
+      | Some t when ev.ts < t ->
+          fail "event %d (%s): timestamps not monotone within pid %d" ev.idx ev.name ev.pid
+      | _ -> ());
+      Hashtbl.replace last_ts ev.pid ev.ts;
+      let key = (ev.pid, ev.tid) in
+      let stack = Option.value ~default:[] (Hashtbl.find_opt stacks key) in
+      match ev.ph with
       | "B" ->
-          Hashtbl.replace names name ();
-          stack := name :: !stack
+          Hashtbl.replace names ev.name ();
+          (match arg_str "span_id" ev with
+          | Some id -> Hashtbl.replace span_ids id ev.pid
+          | None -> ());
+          (match arg_str "parent_span" ev with
+          | Some parent -> parent_links := (ev, parent) :: !parent_links
+          | None -> ());
+          Hashtbl.replace stacks key (ev.name :: stack)
       | "E" -> (
-          match !stack with
+          match stack with
           | top :: rest ->
-              if not (String.equal top name) then
-                fail "event %d: E %S closes open span %S" i name top;
-              stack := rest
-          | [] -> fail "event %d: E %S with no open span" i name)
+              if not (String.equal top ev.name) then
+                fail "event %d: E %S closes open span %S (pid %d, tid %d)" ev.idx ev.name top
+                  ev.pid ev.tid;
+              Hashtbl.replace stacks key rest
+          | [] ->
+              fail "event %d: E %S with no open span (pid %d, tid %d)" ev.idx ev.name ev.pid
+                ev.tid)
       | "i" -> ()
-      | other -> fail "event %d (%s): unexpected phase %S" i name other)
+      | other -> fail "event %d (%s): unexpected phase %S" ev.idx ev.name other)
     events;
-  (match !stack with
-  | [] -> ()
-  | open_ -> fail "%d span(s) left open: %s" (List.length open_) (String.concat ", " open_));
+  Hashtbl.iter
+    (fun (pid, tid) stack ->
+      if stack <> [] then
+        fail "%d span(s) left open on pid %d tid %d: %s" (List.length stack) pid tid
+          (String.concat ", " stack))
+    stacks;
+  (* every parent_span must name a span_id that exists somewhere in the
+     trace; links whose ends live in different pids are the cross-process
+     stitches the sweep supervisor mints *)
+  let cross_links =
+    List.fold_left
+      (fun acc (ev, parent) ->
+        match Hashtbl.find_opt span_ids parent with
+        | None ->
+            fail "event %d (%s): parent_span %S matches no span_id in the trace" ev.idx ev.name
+              parent
+        | Some parent_pid -> if parent_pid <> ev.pid then acc + 1 else acc)
+      0 (List.rev !parent_links)
+  in
   let distinct = Hashtbl.length names in
   if distinct < min_spans then
     fail "only %d distinct span name(s), expected at least %d" distinct min_spans;
+  let npids = Hashtbl.length pids in
+  if npids < min_pids then fail "only %d distinct pid(s), expected at least %d" npids min_pids;
+  if cross_links < min_cross_links then
+    fail "only %d cross-pid parent link(s), expected at least %d" cross_links min_cross_links;
   if verbose then begin
     let sorted = List.sort String.compare (Hashtbl.fold (fun k () acc -> k :: acc) names []) in
-    Printf.printf "ok: %d events, %d distinct spans: %s\n" (List.length events) distinct
-      (String.concat ", " sorted)
+    Printf.printf "ok: %d events, %d distinct spans, %d pid(s), %d cross-pid link(s): %s\n"
+      (List.length events) distinct npids cross_links (String.concat ", " sorted)
   end
-  else Printf.printf "ok: %d events, %d distinct spans\n" (List.length events) distinct
+  else
+    Printf.printf "ok: %d events, %d distinct spans, %d pid(s), %d cross-pid link(s)\n"
+      (List.length events) distinct npids cross_links
 
 let cmd =
   let file =
@@ -84,10 +165,25 @@ let cmd =
       & opt int 1
       & info [ "min-spans" ] ~docv:"N" ~doc:"require at least N distinct span names")
   in
+  let min_pids =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "min-pids" ] ~docv:"N" ~doc:"require at least N distinct process rows")
+  in
+  let min_cross_links =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "min-cross-links" ] ~docv:"N"
+          ~doc:
+            "require at least N parent_span links whose Begin lives in a different pid than \
+             the span_id it names (cross-process trace stitches)")
+  in
   let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"list the span names") in
   Cmd.v
     (Cmd.info "tracecheck" ~doc:"validate a Chrome trace produced by hqs --trace")
-    Term.(const check $ file $ min_spans $ verbose)
+    Term.(const check $ file $ min_spans $ min_pids $ min_cross_links $ verbose)
 
 (* cmdliner's default cli-error code (124) collides with the repo's
    timeout exit convention; map evaluation outcomes explicitly *)

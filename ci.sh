@@ -41,6 +41,15 @@
 #      sequential duplicate is served from the cache, the serve.*
 #      metrics counted the crash/respawn/hits, SIGTERM drains to exit 0,
 #      and the emitted trace tracecheck-validates with serve.* events
+#  11. distobs gate: a traced chaos-kill sweep must merge worker span
+#      buffers under their own pid rows with cross-pid parent links
+#      (tracecheck --min-pids/--min-cross-links); benchdiff passes on
+#      the committed trajectory baseline and trips on a seeded 25%
+#      phase-time inflation; a chaos-killed daemon with --event-log
+#      shows nonzero crash counters and latency quantiles via hqs top
+#      and leaves a complete, trace-correlated JSONL event trail; the
+#      raw-fd/no-stdout/mono-clock-span lint rules fire on seeded
+#      fixtures
 set -eu
 cd "$(dirname "$0")"
 
@@ -388,4 +397,133 @@ for ev in serve.request serve.complete serve.worker.crash serve.metric; do
   }
 done
 
-echo "== ci OK (smoke verdict exit $status, traced exit $trace_status, sweep crash+resume verified, serve gate passed) =="
+echo "== distobs (fork-spanning traces, live introspection, bench gate) =="
+# 1) fork-spanning sweep trace: a 2-job chaos-kill sweep must still merge
+#    every worker's span buffer under its own pid row, stitched to the
+#    supervisor's sup.task spans — >= 2 pids and >= 1 cross-pid link
+distobs_status=0
+"$HQS_BIN" sweep "$tmp/sweep"/*.dqdimacs --jobs 2 --timeout 10 --retries 2 \
+  --chaos-kill "$victim/hqs" --trace "$tmp/sweep_trace.json" \
+  >"$tmp/distobs.csv" 2>"$tmp/distobs.log" || distobs_status=$?
+if [ "$distobs_status" != 3 ]; then
+  echo "== ci FAILED: traced chaos sweep exited $distobs_status (want 3) =="
+  cat "$tmp/distobs.log"
+  exit 1
+fi
+dune exec bin/tracecheck.exe -- "$tmp/sweep_trace.json" \
+  --min-spans 3 --min-pids 2 --min-cross-links 1 --verbose
+
+# 2) bench regression gate: the committed trajectory baseline passes
+#    against itself, and a seeded 25% phase-time inflation trips it —
+#    a gate that cannot fail is not a gate
+dune exec bin/benchdiff.exe -- BENCH_trajectory.json BENCH_trajectory.json \
+  >"$tmp/bd.ok.out"
+bd_status=0
+dune exec bin/benchdiff.exe -- BENCH_trajectory.json BENCH_trajectory.json \
+  --inflate '.*/phase\..*\.total_s=1.25' >"$tmp/bd.bad.out" 2>&1 || bd_status=$?
+if [ "$bd_status" != 1 ] || ! grep -q '^REGRESSION ' "$tmp/bd.bad.out"; then
+  echo "== ci FAILED: seeded regression not caught by benchdiff (exit $bd_status) =="
+  cat "$tmp/bd.bad.out"
+  exit 1
+fi
+
+# 3) live daemon introspection: a chaos-killed daemon with an event log
+#    must expose nonzero crash counters and latency quantiles to hqs top,
+#    and leave a correlatable JSONL event trail behind
+sock2="$tmp/hqs2.sock"
+elog="$tmp/serve_events.jsonl"
+"$HQS_BIN" serve --socket "$sock2" --workers 2 --chaos-kill 2 --chaos-seed 7 \
+  --event-log "$elog" >"$tmp/serve2.log" 2>&1 &
+serve2_pid=$!
+i=0
+until "$HQS_BIN" query --socket "$sock2" --ping >/dev/null 2>&1; do
+  i=$((i + 1))
+  if [ "$i" -gt 100 ]; then
+    echo "== ci FAILED: event-log daemon never answered a ping =="
+    cat "$tmp/serve2.log"
+    exit 1
+  fi
+  sleep 0.1
+done
+n=0
+for f in "$tmp/srv"/*.dqdimacs; do
+  n=$((n + 1))
+  [ "$n" -gt 3 ] && break
+  q2_status=0
+  "$HQS_BIN" query --socket "$sock2" "$f" --timeout 60 >/dev/null 2>&1 || q2_status=$?
+  case "$q2_status" in
+  10 | 20) : ;;
+  *)
+    echo "== ci FAILED: event-log daemon query $n exited $q2_status =="
+    cat "$tmp/serve2.log"
+    exit 1
+    ;;
+  esac
+done
+crashes=""
+for _ in $(seq 1 25); do
+  "$HQS_BIN" top --socket "$sock2" --once >"$tmp/top.out"
+  crashes=$(sed -n 's/^c crashes \([0-9]*\).*/\1/p' "$tmp/top.out")
+  [ -n "$crashes" ] && [ "$crashes" -ge 1 ] && break
+  sleep 0.2
+done
+if [ -z "$crashes" ] || [ "$crashes" -lt 1 ]; then
+  echo "== ci FAILED: hqs top shows no worker crashes after a chaos kill =="
+  cat "$tmp/top.out"
+  exit 1
+fi
+grep -q 'p50=' "$tmp/top.out" || {
+  echo "== ci FAILED: hqs top shows no latency quantiles after requests =="
+  cat "$tmp/top.out"
+  exit 1
+}
+kill -TERM "$serve2_pid"
+serve2_status=0
+wait "$serve2_pid" || serve2_status=$?
+if [ "$serve2_status" != 0 ]; then
+  echo "== ci FAILED: event-log daemon drain exited $serve2_status (want 0) =="
+  cat "$tmp/serve2.log"
+  exit 1
+fi
+for ev in '"ev":"start"' '"ev":"admit"' '"ev":"crash"' '"ev":"retry"' \
+  '"ev":"complete"' '"ev":"stop"' '"trace":"serve-'; do
+  grep -q "$ev" "$elog" || {
+    echo "== ci FAILED: event log is missing $ev lines =="
+    cat "$elog"
+    exit 1
+  }
+done
+
+# 4) lint fixtures: an event-log-writer-shaped module that bypasses the
+#    fd/stdout discipline, and a stray timestamp source, must both be
+#    flagged
+mkdir -p "$tmp/distlint/lib/fake"
+cat >"$tmp/distlint/lib/fake/writer.ml" <<'EOF'
+let log path msg =
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND ] 0o644 in
+  print_endline msg;
+  fd
+EOF
+printf 'val log : string -> string -> Unix.file_descr\n' >"$tmp/distlint/lib/fake/writer.mli"
+cat >"$tmp/distlint/lib/fake/stamp.ml" <<'EOF'
+let stamp () = Hqs_util.Mono.now ()
+let cpu () = Sys.time ()
+EOF
+printf 'val stamp : unit -> float\nval cpu : unit -> float\n' >"$tmp/distlint/lib/fake/stamp.mli"
+distlint_status=0
+dune exec bin/lint.exe -- "$tmp/distlint" >"$tmp/distlint.out" 2>&1 || distlint_status=$?
+if [ "$distlint_status" != 1 ]; then
+  echo "== ci FAILED: lint fixtures exited $distlint_status (want 1) =="
+  cat "$tmp/distlint.out"
+  exit 1
+fi
+for rule in raw-fd no-stdout mono-clock-span; do
+  grep -q "\[$rule\]" "$tmp/distlint.out" || {
+    echo "== ci FAILED: seeded $rule violation not flagged =="
+    cat "$tmp/distlint.out"
+    exit 1
+  }
+done
+echo "c distobs gate: trace stitched, bench gate trips, top live, event log complete"
+
+echo "== ci OK (smoke verdict exit $status, traced exit $trace_status, sweep crash+resume verified, serve gate passed, distobs gate passed) =="

@@ -156,6 +156,19 @@ let rollback_opt trail mark =
 
 let g_heap = Obs.Metrics.gauge "gc.heap_words.peak"
 
+(* mirrors of [stats] fields that otherwise live only in the in-process
+   record: shipping them through the metric registry lets the sweep
+   supervisor rebuild a partial stats row for a worker that was killed by
+   the wall-clock or memory governor before it could send its result
+   frame (the registry delta rides in every partial IPC flush) *)
+let g_restarts = Obs.Metrics.gauge "hqs.restarts"
+let g_peak_nodes = Obs.Metrics.gauge "hqs.peak_nodes"
+let m_unitpure_elims = Obs.Metrics.counter "hqs.unitpure_elims"
+let g_maxsat_set = Obs.Metrics.gauge "hqs.maxsat_set"
+let g_maxsat_time = Obs.Metrics.gauge "hqs.maxsat_time_s"
+let g_unitpure_time = Obs.Metrics.gauge "hqs.unitpure_time_s"
+let g_qbf_time = Obs.Metrics.gauge "hqs.qbf_time_s"
+
 let metric_int m name =
   match Obs.Metrics.find m name with Some v -> int_of_float v | None -> 0
 
@@ -164,6 +177,7 @@ let solve_impl ~config ~budget ~trail ~ledger ~restarts f0 =
   let m_before = Obs.Metrics.snapshot () in
   let stats = fresh_stats () in
   stats.restarts <- restarts;
+  Obs.Metrics.set_max g_restarts (float_of_int restarts);
   stats.check_level <- Check.level_name (config : config).check_level;
   Obs.Span.with_ "hqs.solve"
     ~attrs:[ ("restarts", Obs.Int restarts); ("vars", Obs.Int (F.next_var f0)) ]
@@ -185,6 +199,7 @@ let solve_impl ~config ~budget ~trail ~ledger ~restarts f0 =
   let fraig_floor = ref 0 in
   let note_size () =
     stats.peak_nodes <- max stats.peak_nodes (M.num_nodes (F.man f));
+    Obs.Metrics.set_max g_peak_nodes (float_of_int stats.peak_nodes);
     Obs.Metrics.set_max g_heap (float_of_int (Budget.heap_words ()))
   in
   (* the soundness gate at each stage boundary (free when check_level=Off) *)
@@ -240,8 +255,12 @@ let solve_impl ~config ~budget ~trail ~ledger ~restarts f0 =
           else Dqbf.Elimset.greedy_all f
     in
     stats.maxsat_time <- stats.maxsat_time +. (Budget.now () -. t0);
+    Obs.Metrics.set_max g_maxsat_time stats.maxsat_time;
     stats.maxsat_runs <- stats.maxsat_runs + 1;
-    if stats.maxsat_runs = 1 then stats.maxsat_set_size <- List.length set;
+    if stats.maxsat_runs = 1 then begin
+      stats.maxsat_set_size <- List.length set;
+      Obs.Metrics.set_max g_maxsat_set (float_of_int stats.maxsat_set_size)
+    end;
     queue := Dqbf.Elimset.ordered_queue f set
   in
   let verdict =
@@ -262,10 +281,12 @@ let solve_impl ~config ~budget ~trail ~ledger ~restarts f0 =
             let t0 = Budget.now () in
             let r = Obs.Span.with_ "elim.unitpure" (fun () -> Dqbf.Elim.unit_pure_round ?trail f) in
             stats.unitpure_time <- stats.unitpure_time +. (Budget.now () -. t0);
+            Obs.Metrics.set_max g_unitpure_time stats.unitpure_time;
             match r with
             | `Unsat -> raise (Done Unsat)
             | `Eliminated n ->
                 stats.unitpure_elims <- stats.unitpure_elims + n;
+                Obs.Metrics.incr ~by:n m_unitpure_elims;
                 true
             | `None -> false
           end
@@ -375,6 +396,7 @@ let solve_impl ~config ~budget ~trail ~ledger ~restarts f0 =
                         ()
                 in
                 stats.qbf_time <- stats.qbf_time +. (Budget.now () -. t0);
+                Obs.Metrics.set_max g_qbf_time stats.qbf_time;
                 raise (Done (if answer then Sat else Unsat))
           end
         end

@@ -1,0 +1,40 @@
+(** Size-rotated structured JSONL event log for long-running processes
+    (the serve daemon's [--event-log]).
+
+    One line per lifecycle event — admissions, sheds, worker crashes,
+    retries, quarantines, cache audits, timeouts, drains — in the same
+    checksummed envelope as the resume journal:
+    [{"c":"<fnv64-hex>","e":{"seq":N,"ts":S,"ev":"<kind>","trace":"<id>",...}}]
+    where ["ts"] is the monotonic Budget clock and ["trace"] (when
+    present) is the request's trace id, so log lines can be correlated
+    against the Chrome trace of the same run.
+
+    Crash safety matches {!Journal}: one [O_APPEND] write plus fsync per
+    line, so a writer killed mid-append leaves at most one torn trailing
+    line, which {!load} skips (and counts) via the checksum. When a line
+    would push the file past [max_bytes], the file is first renamed to
+    [path ^ ".1"] (replacing the previous rotation) and a fresh one is
+    started — disk use is bounded by roughly two generations. I/O errors
+    on append are swallowed: a full disk must not take the daemon down. *)
+
+type t
+
+val create : ?max_bytes:int -> string -> t
+(** Open (creating if missing, appending if present) a log at the path;
+    [max_bytes] defaults to 1 MiB. Raises [Invalid_argument] when
+    [max_bytes <= 0]. *)
+
+val log : t -> event:string -> ?trace_id:string -> ?fields:(string * Obs.Json.t) list -> unit -> unit
+(** Append one event line (rotating first if needed): [event] is the
+    kind tag, [fields] extra key/values spliced into the envelope. *)
+
+val close : t -> unit
+
+val rotated_path : string -> string
+(** Where rotation moves the previous generation ([path ^ ".1"]). *)
+
+type load = { events : Obs.Json.t list; dropped : int }
+
+val load : string -> load
+(** All checksum-valid event bodies in file order; [dropped] counts torn
+    or corrupt lines. A missing file is an empty load. *)

@@ -1,5 +1,8 @@
 module Json = Obs.Json
-module Mono = Hqs_util.Mono
+
+(* the Budget clock is the one trace-legal timestamp source: monotonic
+   and machine-wide, so supervisor and worker events merge in order *)
+module Clock = Hqs_util.Budget
 
 (* ----------------------------------------------------------------- types *)
 
@@ -13,6 +16,10 @@ type completion = {
   elapsed_s : float;
   crash_log : string list;
   from_journal : bool;
+  salvaged_metrics : Obs.Metrics.sample list;
+      (* the worker's last partial registry delta, recovered from the
+         pipe when the attempt ended in a kill (timeout/memout) instead
+         of a result frame; [] for clean completions and journal rows *)
 }
 
 type config = {
@@ -79,14 +86,19 @@ let samples_of_json j =
 
 let completion_to_json c =
   Json.Obj
-    [
-      ("status", Json.Str (status_label c.status));
-      ("elapsed_s", Json.Num c.elapsed_s);
-      ("attempts", Json.Num (float_of_int c.attempts));
-      ("pid", Json.Num (float_of_int c.worker_pid));
-      ("value", (match c.status with Value v -> v | Timeout _ | Memout _ | Crash _ -> Json.Null));
-      ("log", Json.Arr (List.map (fun s -> Json.Str s) c.crash_log));
-    ]
+    ([
+       ("status", Json.Str (status_label c.status));
+       ("elapsed_s", Json.Num c.elapsed_s);
+       ("attempts", Json.Num (float_of_int c.attempts));
+       ("pid", Json.Num (float_of_int c.worker_pid));
+       ("value", (match c.status with Value v -> v | Timeout _ | Memout _ | Crash _ -> Json.Null));
+       ("log", Json.Arr (List.map (fun s -> Json.Str s) c.crash_log));
+     ]
+    (* only when present, so journal lines for clean runs keep their
+       exact historical shape *)
+    @
+    if c.salvaged_metrics = [] then []
+    else [ ("salvaged", samples_to_json c.salvaged_metrics) ])
 
 let completion_of_json ~task_id j =
   let num key = Option.bind (Json.member key j) Json.to_number in
@@ -117,34 +129,76 @@ let completion_of_json ~task_id j =
               elapsed_s;
               crash_log = log;
               from_journal = true;
+              salvaged_metrics =
+                (match Json.member "salvaged" j with Some s -> samples_of_json s | None -> []);
             })
   | _ -> None
 
 (* ----------------------------------------------------------------- child *)
 
-let run_child config worker payload fd ~task_id ~attempt =
+(* the minimum spacing between partial-state flushes: dense span traffic
+   must not turn the result pipe into a firehose *)
+let flush_interval_s = 0.05
+
+let trace_fields () =
+  if not (Obs.Trace.enabled ()) then []
+  else
+    [
+      ("events", Obs.Trace.events_to_json (Obs.Trace.events ()));
+      ("dropped", Json.Num (float_of_int (Obs.Trace.dropped ())));
+    ]
+
+let run_child config worker payload fd ~task_id ~attempt ~trace_id ~parent_span =
   (* own session => own process group, so the supervisor's wall-clock
      SIGKILL takes out any grandchildren too *)
   (try ignore (Unix.setsid ()) with Unix.Unix_error (_, _, _) -> ());
   Limits.apply_in_child config.limits;
+  (* drop the parent's buffered events/open spans: they belong to the
+     supervisor's row of the merged trace, not this worker's *)
+  Obs.Trace.fork_child ();
   if Hqs_util.Chaos.fire config.chaos (Hqs_util.Chaos.worker_kill_point ~task:task_id ~attempt)
   then Unix.kill (Unix.getpid ()) Sys.sigkill;
   let before = Obs.Metrics.snapshot () in
+  (* a SIGKILL (wall/chaos) gives no chance to reply, so every span exit
+     flushes a throttled partial frame: latest metric delta plus the span
+     buffer so far. The parent keeps only the newest one, and only uses
+     it when no final frame arrives. *)
+  let last_flush = ref (Clock.now ()) in
+  Obs.Span.set_flush_hook
+    (Some
+       (fun () ->
+         let now = Clock.now () in
+         if now -. !last_flush >= flush_interval_s then begin
+           last_flush := now;
+           let delta = Obs.Metrics.delta ~before ~after:(Obs.Metrics.snapshot ()) in
+           Ipc.write_frame fd
+             (Json.Obj
+                ((("status", Json.Str "partial") :: ("metrics", samples_to_json delta) :: [])
+                @ trace_fields ()))
+         end));
+  (* the worker's root span carries the cross-process parent link: the
+     supervisor's per-task span id and the run's trace id *)
+  let root_attrs =
+    [ ("trace_id", Obs.Str trace_id); ("parent_span", Obs.Str parent_span) ]
+  in
+  let run () = Obs.Span.with_ "sup.child" ~attrs:root_attrs (fun () -> worker payload) in
+  let result = match run () with v -> Ok v | exception e -> Error e in
+  Obs.Span.set_flush_hook None;
+  let delta = Obs.Metrics.delta ~before ~after:(Obs.Metrics.snapshot ()) in
+  let with_obs fields = Json.Obj (fields @ [ ("metrics", samples_to_json delta) ] @ trace_fields ()) in
   let frame =
-    match worker payload with
-    | v ->
-        let delta = Obs.Metrics.delta ~before ~after:(Obs.Metrics.snapshot ()) in
-        Json.Obj [ ("status", Json.Str "ok"); ("value", v); ("metrics", samples_to_json delta) ]
-    | exception Stdlib.Out_of_memory ->
+    match result with
+    | Ok v -> with_obs [ ("status", Json.Str "ok"); ("value", v) ]
+    | Error Stdlib.Out_of_memory ->
         (* the rlimit (or heap governor) said no: a clean memout *)
-        Json.Obj [ ("status", Json.Str "memout") ]
-    | exception Stack_overflow ->
-        Json.Obj [ ("status", Json.Str "error"); ("detail", Json.Str "Stack_overflow") ]
-    (* lint: allow catch-all — the fork boundary must convert arbitrary
-       worker failures into a classified frame; nothing is swallowed, the
-       supervisor re-raises the failure as a crash classification *)
-    | exception e ->
-        Json.Obj [ ("status", Json.Str "error"); ("detail", Json.Str (Printexc.to_string e)) ]
+        with_obs [ ("status", Json.Str "memout") ]
+    | Error Stack_overflow ->
+        with_obs [ ("status", Json.Str "error"); ("detail", Json.Str "Stack_overflow") ]
+    (* arbitrary worker failures were converted into [Error e] above;
+       nothing is swallowed, the supervisor re-raises the failure as a
+       crash classification *)
+    | Error e ->
+        with_obs [ ("status", Json.Str "error"); ("detail", Json.Str (Printexc.to_string e)) ]
   in
   (match Ipc.write_frame fd frame with
   | () -> ()
@@ -186,10 +240,47 @@ type worker_proc = {
   fd : Unix.file_descr;
   buf : Buffer.t;
   state : task_state;
+  span_id : string; (* the supervisor-side span this attempt parents to *)
   started : float;
   deadline : float;
   mutable wall_killed : bool;
 }
+
+(* workers may send any number of throttled "partial" frames before the
+   final result frame (or before dying). Split the pipe contents into
+   (last partial if any, final frame if any); trailing torn bytes from a
+   mid-write kill are ignored. *)
+let split_frames buf =
+  let r = Ipc.reader () in
+  let bytes = Buffer.to_bytes buf in
+  Ipc.feed r bytes (Bytes.length bytes);
+  let rec go partial final =
+    match Ipc.next_frame r with
+    | None | Some (Error _) -> (partial, final)
+    | Some (Ok frame) -> (
+        match Option.bind (Json.member "status" frame) Json.to_string with
+        | Some "partial" -> go (Some frame) final
+        | _ -> go partial (Some frame))
+  in
+  go None None
+
+let frame_samples frame =
+  match Json.member "metrics" frame with Some m -> samples_of_json m | None -> []
+
+(* fold a worker frame's span buffer into the parent trace, under the
+   worker's pid row; [truncated] marks batches recovered from a killed
+   attempt so synthesized span ends are flagged in the output *)
+let inject_frame_events ~pid ~truncated frame =
+  if Obs.Trace.enabled () then
+    match Json.member "events" frame with
+    | None -> ()
+    | Some ev_json ->
+        let dropped =
+          match Option.bind (Json.member "dropped" frame) Json.to_number with
+          | Some d -> int_of_float d
+          | None -> 0
+        in
+        Obs.Trace.inject ~pid ~dropped ~truncated (Obs.Trace.events_of_json ev_json)
 
 let run ?(config = default_config) ?journal ?resume ?on_complete ~worker tasks =
   Ipc.ignore_sigpipe ();
@@ -235,7 +326,17 @@ let run ?(config = default_config) ?journal ?resume ?on_complete ~worker tasks =
       | None -> Queue.add { index; id; spawned = 0; log = []; ready_at = 0.0 } pending)
     task_arr;
   let journaled = n - Queue.length pending in
-  let finalize state status pid elapsed =
+  (* one trace context per run: worker root spans link back to the
+     supervisor's per-task spans through (trace_id, span_id) pairs *)
+  let trace_id =
+    Printf.sprintf "sweep-%d-%x" (Unix.getpid ())
+      (int_of_float (Float.rem (Clock.now () *. 1e3) 16777216.0))
+  in
+  let span_id_of state = Printf.sprintf "%s#%d" state.id (state.spawned + 1) in
+  (* each task gets its own Chrome thread row: [Span.with_]'s strict
+     nesting cannot express [jobs] overlapping attempts on one row *)
+  let task_tid state = 1000 + state.index in
+  let finalize ?(salvaged = []) state status pid elapsed =
     let c =
       {
         task_id = state.id;
@@ -245,6 +346,7 @@ let run ?(config = default_config) ?journal ?resume ?on_complete ~worker tasks =
         elapsed_s = elapsed;
         crash_log = List.rev state.log;
         from_journal = false;
+        salvaged_metrics = salvaged;
       }
     in
     completions.(state.index) <- Some c;
@@ -252,8 +354,18 @@ let run ?(config = default_config) ?journal ?resume ?on_complete ~worker tasks =
     Option.iter (fun f -> f c) on_complete
   in
   let spawn state =
+    let span_id = span_id_of state in
     state.spawned <- state.spawned + 1;
     incr executed;
+    Obs.Trace.emit ~tid:(task_tid state)
+      ~attrs:
+        [
+          ("task", Obs.Str state.id);
+          ("attempt", Obs.Int state.spawned);
+          ("trace_id", Obs.Str trace_id);
+          ("span_id", Obs.Str span_id);
+        ]
+      "sup.task" Obs.Trace.Begin;
     (* the child inherits stdio buffers; empty them so it cannot re-flush
        parent output (it uses _exit, but a worker that prints would
        interleave) *)
@@ -264,15 +376,25 @@ let run ?(config = default_config) ?journal ?resume ?on_complete ~worker tasks =
     | 0 ->
         Unix.close r;
         let _, payload = task_arr.(state.index) in
-        run_child config worker payload w ~task_id:state.id ~attempt:state.spawned
+        run_child config worker payload w ~task_id:state.id ~attempt:state.spawned ~trace_id
+          ~parent_span:span_id
     | pid ->
         Unix.close w;
-        let now = Mono.now () in
+        let now = Clock.now () in
         let deadline =
           match config.limits.Limits.wall_s with Some s -> now +. s | None -> infinity
         in
         running :=
-          { pid; fd = r; buf = Buffer.create 1024; state; started = now; deadline; wall_killed = false }
+          {
+            pid;
+            fd = r;
+            buf = Buffer.create 1024;
+            state;
+            span_id;
+            started = now;
+            deadline;
+            wall_killed = false;
+          }
           :: !running
   in
   let crash_attempt proc detail elapsed =
@@ -281,27 +403,51 @@ let run ?(config = default_config) ?journal ?resume ?on_complete ~worker tasks =
     if state.spawned >= config.max_attempts then finalize state (Crash elapsed) proc.pid elapsed
     else begin
       state.ready_at <-
-        Mono.now () +. Backoff.delay config.backoff ~task:state.id ~attempt:state.spawned;
+        Clock.now () +. Backoff.delay config.backoff ~task:state.id ~attempt:state.spawned;
       delayed := state :: !delayed
     end
   in
+  (* a killed attempt left no result frame, but usually a recent partial
+     one: salvage its metric delta (absorbed into this registry and kept
+     on the completion for TO/MO reporting) and its span buffer *)
+  let salvage_partial proc frame_opt =
+    match frame_opt with
+    | None -> []
+    | Some frame ->
+        let samples = frame_samples frame in
+        Obs.Metrics.absorb samples;
+        inject_frame_events ~pid:proc.pid ~truncated:true frame;
+        samples
+  in
   let classify proc wstatus elapsed =
-    if proc.wall_killed then finalize proc.state (Timeout elapsed) proc.pid elapsed
+    let partial, final = split_frames proc.buf in
+    if proc.wall_killed then
+      let salvaged = salvage_partial proc partial in
+      finalize ~salvaged proc.state (Timeout elapsed) proc.pid elapsed
     else
       match wstatus with
       | Unix.WEXITED 0 -> (
-          match Ipc.parse_frame (Buffer.contents proc.buf) with
-          | Error msg -> crash_attempt proc ("protocol: " ^ msg) elapsed
-          | Ok frame -> (
+          match final with
+          | None ->
+              let msg =
+                match Ipc.parse_frame (Buffer.contents proc.buf) with
+                | Error msg -> msg
+                | Ok _ -> "missing final frame"
+              in
+              crash_attempt proc ("protocol: " ^ msg) elapsed
+          | Some frame -> (
               match Option.bind (Json.member "status" frame) Json.to_string with
               | Some "ok" -> (
-                  (match Json.member "metrics" frame with
-                  | Some m -> Obs.Metrics.absorb (samples_of_json m)
-                  | None -> ());
+                  Obs.Metrics.absorb (frame_samples frame);
+                  inject_frame_events ~pid:proc.pid ~truncated:false frame;
                   match Json.member "value" frame with
                   | Some v -> finalize proc.state (Value v) proc.pid elapsed
                   | None -> crash_attempt proc "protocol: ok frame without value" elapsed)
-              | Some "memout" -> finalize proc.state (Memout elapsed) proc.pid elapsed
+              | Some "memout" ->
+                  let samples = frame_samples frame in
+                  Obs.Metrics.absorb samples;
+                  inject_frame_events ~pid:proc.pid ~truncated:false frame;
+                  finalize ~salvaged:samples proc.state (Memout elapsed) proc.pid elapsed
               | Some "error" ->
                   let detail =
                     match Option.bind (Json.member "detail" frame) Json.to_string with
@@ -314,8 +460,14 @@ let run ?(config = default_config) ?journal ?resume ?on_complete ~worker tasks =
       | Unix.WEXITED code -> crash_attempt proc (Printf.sprintf "exit %d" code) elapsed
       | Unix.WSIGNALED s when s = Sys.sigxcpu ->
           (* the soft RLIMIT_CPU fired: a kernel-enforced timeout *)
-          finalize proc.state (Timeout elapsed) proc.pid elapsed
-      | Unix.WSIGNALED s -> crash_attempt proc (signal_name s) elapsed
+          let salvaged = salvage_partial proc partial in
+          finalize ~salvaged proc.state (Timeout elapsed) proc.pid elapsed
+      | Unix.WSIGNALED s ->
+          (* a crash may be retried: keep the trace row, skip the metric
+             absorb so retries cannot double-count *)
+          inject_frame_events ~pid:proc.pid ~truncated:true
+            (Option.value ~default:(Json.Obj []) partial);
+          crash_attempt proc (signal_name s) elapsed
       | Unix.WSTOPPED s -> crash_attempt proc ("stopped by " ^ signal_name s) elapsed
   in
   let reap proc =
@@ -327,7 +479,17 @@ let run ?(config = default_config) ?journal ?resume ?on_complete ~worker tasks =
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
     in
     let wstatus = wait () in
-    classify proc wstatus (Mono.now () -. proc.started)
+    let elapsed = Clock.now () -. proc.started in
+    classify proc wstatus elapsed;
+    Obs.Trace.emit ~tid:(task_tid proc.state)
+      ~attrs:
+        [
+          ("task", Obs.Str proc.state.id);
+          ("span_id", Obs.Str proc.span_id);
+          ("worker_pid", Obs.Int proc.pid);
+          ("elapsed_s", Obs.Float elapsed);
+        ]
+      "sup.task" Obs.Trace.End
   in
   let chunk = Bytes.create 65536 in
   let read_ready fds =
@@ -343,7 +505,7 @@ let run ?(config = default_config) ?journal ?resume ?on_complete ~worker tasks =
       fds
   in
   while (not (Queue.is_empty pending)) || !delayed <> [] || !running <> [] do
-    let now = Mono.now () in
+    let now = Clock.now () in
     (* promote delayed tasks whose backoff gate has passed *)
     let ready, still = List.partition (fun s -> s.ready_at <= now) !delayed in
     delayed := still;
@@ -357,7 +519,7 @@ let run ?(config = default_config) ?journal ?resume ?on_complete ~worker tasks =
       | [] -> ()
       | ds ->
           let earliest = List.fold_left (fun acc s -> Float.min acc s.ready_at) infinity ds in
-          let pause = earliest -. Mono.now () in
+          let pause = earliest -. Clock.now () in
           if pause > 0.0 then Unix.sleepf (Float.min pause 0.5)
     end
     else begin
@@ -372,7 +534,7 @@ let run ?(config = default_config) ?journal ?resume ?on_complete ~worker tasks =
       (match Unix.select (List.map (fun p -> p.fd) !running) [] [] timeout with
       | readable, _, _ -> read_ready readable
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
-      let now = Mono.now () in
+      let now = Clock.now () in
       List.iter
         (fun p ->
           if (not p.wall_killed) && now > p.deadline then begin

@@ -1,8 +1,21 @@
 (** Process-isolated supervised task executor.
 
     Each task runs in a forked child in its own session/process group,
-    under kernel resource limits ({!Limits}); the result travels back to
-    the parent over a pipe as one length-prefixed JSON frame ({!Ipc}).
+    under kernel resource limits ({!Limits}); results travel back to the
+    parent over a pipe as length-prefixed JSON frames ({!Ipc}): any
+    number of throttled ["partial"] state flushes (latest metric delta
+    plus span buffer, written at span exits) followed by one final result
+    frame. The parent uses the newest partial only when the final frame
+    never arrives (the attempt was killed), salvaging the metrics and
+    trace of a timed-out worker.
+
+    When tracing is enabled in the parent, the run is stitched into one
+    multi-process trace: the supervisor emits a [sup.task] span per
+    attempt on a per-task thread row carrying [trace_id]/[span_id] args,
+    each worker opens a [sup.child] root span carrying the matching
+    [parent_span] link, and worker span buffers are merged under their
+    own pid rows via {!Obs.Trace.inject} (mid-span deaths are repaired
+    and flagged [truncated]).
     The parent multiplexes up to [jobs] workers with [select], classifies
     every child death, retries transient crashes on a deterministic
     backoff schedule ({!Backoff}), quarantines a task as {!Crash} after
@@ -37,6 +50,12 @@ type completion = {
   elapsed_s : float;  (** wall time of the final attempt *)
   crash_log : string list;  (** one line per failed attempt, oldest first *)
   from_journal : bool;  (** true: replayed from [?resume], not executed *)
+  salvaged_metrics : Obs.Metrics.sample list;
+      (** on {!Timeout}/{!Memout}: the worker's last registry delta,
+          recovered from its final result frame or from the newest
+          throttled partial frame it flushed before being killed —
+          exactly the data that explains where the budget went. [[]] for
+          clean completions. *)
 }
 
 type config = {

@@ -206,13 +206,62 @@ let outcome_of_completion (c : Sup.completion) =
              protocol failure rather than inventing a verdict *)
           Runner.Crash c.Sup.elapsed_s)
 
+(* a timed-out or memory-killed worker never sends its stats record, but
+   the supervisor salvages its last partial registry delta from the pipe;
+   the [hqs.*] mirror gauges plus the pipeline counters rebuild a partial
+   stats row, so TO/MO lines report exactly the data that explains the
+   blowup instead of going blank *)
+let stats_of_salvage (c : Sup.completion) =
+  match c.Sup.salvaged_metrics with
+  | [] -> None
+  | samples ->
+      let get name = Obs.Metrics.find samples name in
+      let i0 name = match get name with Some v -> int_of_float v | None -> 0 in
+      let f0 name = match get name with Some v -> v | None -> 0.0 in
+      Some
+        {
+          Hqs.pre_stats = None;
+          univ_elims = i0 "elim.universal";
+          exist_elims = i0 "elim.existential";
+          unitpure_elims = i0 "hqs.unitpure_elims";
+          maxsat_runs = 0;
+          maxsat_set_size = i0 "hqs.maxsat_set";
+          maxsat_time = f0 "hqs.maxsat_time_s";
+          unitpure_time = f0 "hqs.unitpure_time_s";
+          qbf_time = f0 "hqs.qbf_time_s";
+          peak_nodes = i0 "hqs.peak_nodes";
+          total_time = c.Sup.elapsed_s;
+          restarts = i0 "hqs.restarts";
+          degraded = [];
+          check_level = "off";
+          checks_run = i0 "check.audits";
+          sat_conflicts = i0 "sat.conflicts";
+          sat_propagations = i0 "sat.propagations";
+          fraig_merges = i0 "fraig.merges";
+          dep_scheme = "trivial";
+          analysis_edges_pruned = i0 "analysis.edges_pruned";
+          analysis_linearized = i0 "analysis.linearized" <> 0;
+          inproc_mode = "off";
+          inproc_rounds = i0 "inproc.runs";
+          inproc_units = i0 "inproc.units";
+          inproc_scc_merges = i0 "inproc.scc_merges";
+          inproc_subsumed = i0 "inproc.subsumed";
+          inproc_strengthened = i0 "inproc.strengthened";
+          inproc_failed_lits = i0 "inproc.failed_lits";
+          inproc_bve = i0 "inproc.bve_eliminated";
+          inproc_clauses_removed = i0 "inproc.clauses_removed";
+          inproc_lits_removed = i0 "inproc.lits_removed";
+          metrics = Obs.Metrics.to_assoc samples;
+        }
+
 let stats_of_completion (c : Sup.completion) =
   match c.Sup.status with
   | Sup.Value v -> (
       match Json.member "stats" v with
       | Some (Json.Obj _ as s) -> stats_of_json s
       | Some _ | None -> None)
-  | Sup.Timeout _ | Sup.Memout _ | Sup.Crash _ -> None
+  | Sup.Timeout _ | Sup.Memout _ -> stats_of_salvage c
+  | Sup.Crash _ -> None
 
 let assemble completions item =
   let find solver =

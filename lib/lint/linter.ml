@@ -20,6 +20,10 @@
    - a wall-clock read ([Unix.gettimeofday]/[Unix.time]) outside
      [lib/util] silently breaks budgets and trace timestamps under clock
      steps — solver paths must use the monotonic [Budget.now];
+   - any other timestamp source ([Sys.time], the low-level [Mono.now],
+     [Unix.clock_gettime]) inside [lib/] bypasses the one clock the Obs
+     tracer uses, so spans recorded in a forked worker would no longer
+     merge onto the supervisor's timebase;
    - a direct stdout write ([Printf.printf]/[print_endline]/...) in
      [lib/] outside [lib/harness] corrupts the machine-readable solver
      output (DIMACS verdict lines, CSV, JSON baselines) — reports must go
@@ -36,6 +40,7 @@ type rule =
   | Missing_mli
   | Raw_fd
   | Wall_clock
+  | Mono_clock_span
   | No_stdout
   | Syntax
 
@@ -47,6 +52,7 @@ let rule_name = function
   | Missing_mli -> "missing-mli"
   | Raw_fd -> "raw-fd"
   | Wall_clock -> "wall-clock"
+  | Mono_clock_span -> "mono-clock-span"
   | No_stdout -> "no-stdout"
   | Syntax -> "syntax"
 
@@ -154,6 +160,14 @@ let collect_structure ~path structure =
               add Wall_clock
                 "wall-clock time outside lib/util: use the monotonic Budget.now (wall time \
                  breaks budgets and traces under clock steps)"
+                loc
+        | "Sys.time" | "Stdlib.Sys.time" | "Mono.now" | "Hqs_util.Mono.now"
+        | "Unix.clock_gettime" ->
+            if in_lib path && not (in_lib_sub "util" path) then
+              add Mono_clock_span
+                "non-canonical timestamp source in library code: Obs span and event \
+                 timestamps must all come from Budget.now, or cross-process traces \
+                 stitched from forked workers lose a common timebase"
                 loc
         | "Printf.printf" | "Stdlib.Printf.printf" | "print_endline" | "print_string"
         | "print_newline" | "print_int" | "Stdlib.print_endline" | "Stdlib.print_string"

@@ -19,6 +19,10 @@
     - [Wall_clock] — [Unix.gettimeofday]/[Unix.time] outside [lib/util]:
       solver paths must use the monotonic [Budget.now], wall time breaks
       budgets and trace timestamps under clock steps;
+    - [Mono_clock_span] — [Sys.time], the low-level [Mono.now] or
+      [Unix.clock_gettime] under [lib/] outside [lib/util]: Obs span and
+      event timestamps must all come from [Budget.now] so that spans
+      recorded in forked workers merge onto the supervisor's timebase;
     - [No_stdout] — [Printf.printf]/[print_endline]/[print_string]/...
       under [lib/] outside [lib/harness]: solver stdout is a
       machine-readable channel (verdict lines, CSV, JSON baselines), so
@@ -37,13 +41,14 @@ type rule =
   | Missing_mli
   | Raw_fd
   | Wall_clock
+  | Mono_clock_span
   | No_stdout
   | Syntax
 
 val rule_name : rule -> string
 (** ["catch-all"], ["poly-compare"], ["obj-magic"], ["failwith-lib"],
-    ["missing-mli"], ["raw-fd"], ["wall-clock"], ["no-stdout"],
-    ["syntax"] — the names used by suppression comments. *)
+    ["missing-mli"], ["raw-fd"], ["wall-clock"], ["mono-clock-span"],
+    ["no-stdout"], ["syntax"] — the names used by suppression comments. *)
 
 type diag = { file : string; line : int; col : int; rule : rule; msg : string }
 

@@ -8,7 +8,7 @@
 
 (* span timestamps share the Budget clock: monotonic, so traces from a
    run that straddles an NTP step still have ordered timestamps *)
-let now_s () = Hqs_util.Mono.now ()
+let now_s () = Hqs_util.Budget.now ()
 
 (* ------------------------------------------------------------ attributes *)
 
@@ -119,6 +119,40 @@ module Metrics = struct
 
   let histogram_stats h = { count = h.n; sum = h.sum; min_ = h.mn; max_ = h.mx }
 
+  (* rolling windows: the last [capacity] observations in a ring buffer,
+     with nearest-rank quantiles. A deliberately separate registry:
+     windows never appear in [snapshot]/[delta], so cross-process frames
+     and BENCH files keep their exact shape *)
+  type window = { cap : int; wbuf : float array; mutable widx : int; mutable wn : int }
+
+  let windows : (string, window) Hashtbl.t = Hashtbl.create 8
+
+  let window ?(capacity = 512) name =
+    if capacity <= 0 then invalid_arg "Obs.Metrics.window: capacity must be positive";
+    match Hashtbl.find_opt windows name with
+    | Some w -> w
+    | None ->
+        let w = { cap = capacity; wbuf = Array.make capacity 0.0; widx = 0; wn = 0 } in
+        Hashtbl.replace windows name w;
+        w
+
+  let wobserve w v =
+    w.wbuf.(w.widx) <- v;
+    w.widx <- (w.widx + 1) mod w.cap;
+    if w.wn < w.cap then w.wn <- w.wn + 1
+
+  let window_count w = w.wn
+
+  let quantile w q =
+    if w.wn = 0 then nan
+    else begin
+      let q = Float.max 0.0 (Float.min 1.0 q) in
+      let a = Array.sub w.wbuf 0 w.wn in
+      Array.sort Float.compare a;
+      let rank = int_of_float (Float.ceil (q *. float_of_int w.wn)) in
+      a.(Stdlib.max 0 (Stdlib.min (w.wn - 1) (rank - 1)))
+    end
+
   type sample = { name : string; kind : kind; v : float }
 
   let snapshot () =
@@ -175,7 +209,12 @@ module Metrics = struct
             h.sum <- 0.0;
             h.mn <- 0.0;
             h.mx <- 0.0)
-      registry
+      registry;
+    Hashtbl.iter
+      (fun _ w ->
+        w.widx <- 0;
+        w.wn <- 0)
+      windows
 
   let kind_name = function Counter -> "counter" | Gauge -> "gauge" | Histogram -> "histogram"
 
@@ -239,226 +278,6 @@ module Metrics = struct
           h.sum <- h.sum +. part.sum
         end)
       hists
-end
-
-(* ---------------------------------------------------------------- tracing *)
-
-type ph = Begin | End | Instant
-
-type event = { name : string; ph : ph; ts_us : float; attrs : (string * value) list }
-
-(* one global trace state: [on] is the single branch every disabled
-   instrumentation point pays *)
-type trace_state = {
-  mutable on : bool;
-  mutable rev_events : event list;
-  mutable count : int;
-  mutable dropped : int;
-  mutable t0 : float;
-  mutable stack : (string * float) list; (* open spans, innermost first, with begin ts *)
-}
-
-let st = { on = false; rev_events = []; count = 0; dropped = 0; t0 = 0.0; stack = [] }
-
-(* a runaway trace must not OOM the solve it is observing *)
-let max_events = 2_000_000
-
-let push ev =
-  if st.count >= max_events then st.dropped <- st.dropped + 1
-  else begin
-    st.rev_events <- ev :: st.rev_events;
-    st.count <- st.count + 1
-  end
-
-(* ------------------------------------------------------ sampling profiler *)
-
-module Sampler = struct
-  type t = { mutable last : float; phases : (string, float * int) Hashtbl.t }
-
-  let state = { last = 0.0; phases = Hashtbl.create 16 }
-
-  let reset () =
-    state.last <- now_s ();
-    Hashtbl.reset state.phases
-
-  let tick () =
-    if st.on then begin
-      let now = now_s () in
-      let dt = now -. state.last in
-      state.last <- now;
-      if dt >= 0.0 then begin
-        let phase = match st.stack with (name, _) :: _ -> name | [] -> "(idle)" in
-        let s, n = Option.value ~default:(0.0, 0) (Hashtbl.find_opt state.phases phase) in
-        Hashtbl.replace state.phases phase (s +. dt, n + 1)
-      end
-    end
-
-  let phase_seconds () =
-    let acc = Hashtbl.fold (fun name (s, n) acc -> (name, s, n) :: acc) state.phases [] in
-    List.sort (fun (a, _, _) (b, _, _) -> String.compare a b) acc
-end
-
-module Trace = struct
-  type nonrec ph = ph = Begin | End | Instant
-
-  type nonrec event = event = {
-    name : string;
-    ph : ph;
-    ts_us : float;
-    attrs : (string * value) list;
-  }
-
-  let enabled () = st.on
-
-  let reset () =
-    st.on <- false;
-    st.rev_events <- [];
-    st.count <- 0;
-    st.dropped <- 0;
-    st.stack <- []
-
-  let start () =
-    reset ();
-    st.t0 <- now_s ();
-    st.on <- true;
-    Sampler.reset ()
-
-  let stop () = st.on <- false
-  let events () = List.rev st.rev_events
-  let dropped () = st.dropped
-  let depth () = List.length st.stack
-
-  let event_json ev =
-    let buf = Buffer.create 128 in
-    Buffer.add_string buf
-      (Printf.sprintf "{\"name\":\"%s\",\"cat\":\"hqs\",\"ph\":\"%s\",\"ts\":%s,\"pid\":1,\"tid\":1"
-         (json_escape ev.name)
-         (match ev.ph with Begin -> "B" | End -> "E" | Instant -> "i")
-         (json_of_float ev.ts_us));
-    (match ev.ph with Instant -> Buffer.add_string buf ",\"s\":\"t\"" | Begin | End -> ());
-    if ev.attrs <> [] then begin
-      Buffer.add_string buf ",\"args\":{";
-      List.iteri
-        (fun i (k, v) ->
-          if i > 0 then Buffer.add_char buf ',';
-          Buffer.add_string buf (Printf.sprintf "\"%s\":%s" (json_escape k) (json_of_value v)))
-        ev.attrs;
-      Buffer.add_char buf '}'
-    end;
-    Buffer.add_char buf '}';
-    Buffer.contents buf
-
-  let to_chrome_json () =
-    let buf = Buffer.create 4096 in
-    Buffer.add_string buf "{\"traceEvents\":[";
-    List.iteri
-      (fun i ev ->
-        if i > 0 then Buffer.add_char buf ',';
-        Buffer.add_string buf (event_json ev))
-      (events ());
-    Buffer.add_string buf "],\"displayTimeUnit\":\"ms\"";
-    if st.dropped > 0 then
-      Buffer.add_string buf (Printf.sprintf ",\"otherData\":{\"dropped_events\":%d}" st.dropped);
-    Buffer.add_string buf "}";
-    Buffer.contents buf
-
-  let write_chrome_json path =
-    Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc (to_chrome_json ()))
-
-  type total = { span : string; calls : int; total_s : float; self_s : float }
-
-  let totals () =
-    let agg : (string, total) Hashtbl.t = Hashtbl.create 16 in
-    let add span dur_s self_s =
-      let t =
-        Option.value
-          ~default:{ span; calls = 0; total_s = 0.0; self_s = 0.0 }
-          (Hashtbl.find_opt agg span)
-      in
-      Hashtbl.replace agg span
-        { t with calls = t.calls + 1; total_s = t.total_s +. dur_s; self_s = t.self_s +. self_s }
-    in
-    (* replay the B/E stream with a stack, accumulating child time so self
-       time can be computed; unmatched events are ignored *)
-    let stack = ref [] in
-    List.iter
-      (fun ev ->
-        match ev.ph with
-        | Instant -> ()
-        | Begin -> stack := (ev.name, ev.ts_us, ref 0.0) :: !stack
-        | End -> (
-            match !stack with
-            | (name, ts0, children) :: rest when String.equal name ev.name ->
-                stack := rest;
-                let dur = (ev.ts_us -. ts0) /. 1e6 in
-                add name dur (dur -. !children);
-                (match rest with (_, _, pc) :: _ -> pc := !pc +. dur | [] -> ())
-            | _ -> ()))
-      (events ());
-    List.sort
-      (fun a b ->
-        let c = Float.compare b.total_s a.total_s in
-        if c <> 0 then c else String.compare a.span b.span)
-      (Hashtbl.fold (fun _ t acc -> t :: acc) agg [])
-
-  let flame_summary () =
-    let buf = Buffer.create 512 in
-    let tot = totals () in
-    let root = List.fold_left (fun acc t -> max acc t.total_s) 0.0 tot in
-    Buffer.add_string buf
-      (Printf.sprintf "%-24s %8s %12s %12s %7s\n" "span" "calls" "total(ms)" "self(ms)" "%");
-    List.iter
-      (fun t ->
-        Buffer.add_string buf
-          (Printf.sprintf "%-24s %8d %12.3f %12.3f %6.1f%%\n" t.span t.calls (t.total_s *. 1e3)
-             (t.self_s *. 1e3)
-             (if root > 0.0 then 100.0 *. t.total_s /. root else 0.0)))
-      tot;
-    if st.dropped > 0 then
-      Buffer.add_string buf (Printf.sprintf "(%d events dropped past the %d cap)\n" st.dropped max_events);
-    (match Sampler.phase_seconds () with
-    | [] -> ()
-    | phases ->
-        Buffer.add_string buf "sampler (wall time attributed at tick granularity):\n";
-        List.iter
-          (fun (name, s, n) ->
-            Buffer.add_string buf (Printf.sprintf "  %-22s %12.3fms %8d ticks\n" name (s *. 1e3) n))
-          phases);
-    Buffer.contents buf
-end
-
-(* ----------------------------------------------------------------- spans *)
-
-module Span = struct
-  let heap_peak = Metrics.gauge "gc.heap_words.peak"
-
-  let close name attrs =
-    let now = now_s () in
-    (match st.stack with (n, _) :: rest when String.equal n name -> st.stack <- rest | _ -> ());
-    (* span boundaries double as heap sampling points (Gc.quick_stat is
-       O(1): no heap walk) *)
-    Metrics.set_max heap_peak (float_of_int (Gc.quick_stat ()).Gc.heap_words);
-    push { name; ph = End; ts_us = (now -. st.t0) *. 1e6; attrs }
-
-  let with_ name ?(attrs = []) f =
-    if not st.on then f ()
-    else begin
-      let ts = (now_s () -. st.t0) *. 1e6 in
-      push { name; ph = Begin; ts_us = ts; attrs };
-      st.stack <- (name, ts) :: st.stack;
-      match f () with
-      | v ->
-          close name [];
-          v
-      | exception e ->
-          close name [ ("raised", Str (Printexc.to_string e)) ];
-          raise e
-    end
-
-  let event name ?(attrs = []) () =
-    if st.on then push { name; ph = Instant; ts_us = (now_s () -. st.t0) *. 1e6; attrs }
-
-  let current () = match st.stack with (name, _) :: _ -> Some name | [] -> None
 end
 
 (* ------------------------------------------------------------------- json *)
@@ -667,4 +486,403 @@ module Json = struct
   let to_list = function Arr l -> Some l | Null | Bool _ | Num _ | Str _ | Obj _ -> None
   let to_string = function Str s -> Some s | Null | Bool _ | Num _ | Arr _ | Obj _ -> None
   let to_number = function Num f -> Some f | Null | Bool _ | Str _ | Arr _ | Obj _ -> None
+end
+
+(* ---------------------------------------------------------------- tracing *)
+
+type ph = Begin | End | Instant
+
+type event = { name : string; ph : ph; ts_us : float; tid : int; attrs : (string * value) list }
+
+(* one global trace state: [on] is the single branch every disabled
+   instrumentation point pays. [foreign] holds event batches recorded in
+   other processes (forked workers), keyed by their pid, merged into the
+   Chrome output as separate process rows. *)
+type trace_state = {
+  mutable on : bool;
+  mutable rev_events : event list;
+  mutable count : int;
+  mutable dropped : int;
+  mutable t0 : float;
+  mutable stack : (string * float) list; (* open spans, innermost first, with begin ts *)
+  mutable pid : int;
+  mutable foreign : (int * event list) list; (* newest batch first *)
+  mutable truncated : bool;
+}
+
+let st =
+  {
+    on = false;
+    rev_events = [];
+    count = 0;
+    dropped = 0;
+    t0 = 0.0;
+    stack = [];
+    pid = 0;
+    foreign = [];
+    truncated = false;
+  }
+
+(* a runaway trace must not OOM the solve it is observing *)
+let max_events = 2_000_000
+
+let push ev =
+  if st.count >= max_events then st.dropped <- st.dropped + 1
+  else begin
+    st.rev_events <- ev :: st.rev_events;
+    st.count <- st.count + 1
+  end
+
+(* ------------------------------------------------------ sampling profiler *)
+
+module Sampler = struct
+  type t = { mutable last : float; phases : (string, float * int) Hashtbl.t }
+
+  let state = { last = 0.0; phases = Hashtbl.create 16 }
+
+  let reset () =
+    state.last <- now_s ();
+    Hashtbl.reset state.phases
+
+  let tick () =
+    if st.on then begin
+      let now = now_s () in
+      let dt = now -. state.last in
+      state.last <- now;
+      if dt >= 0.0 then begin
+        let phase = match st.stack with (name, _) :: _ -> name | [] -> "(idle)" in
+        let s, n = Option.value ~default:(0.0, 0) (Hashtbl.find_opt state.phases phase) in
+        Hashtbl.replace state.phases phase (s +. dt, n + 1)
+      end
+    end
+
+  let phase_seconds () =
+    let acc = Hashtbl.fold (fun name (s, n) acc -> (name, s, n) :: acc) state.phases [] in
+    List.sort (fun (a, _, _) (b, _, _) -> String.compare a b) acc
+end
+
+module Trace = struct
+  type nonrec ph = ph = Begin | End | Instant
+
+  type nonrec event = event = {
+    name : string;
+    ph : ph;
+    ts_us : float;
+    tid : int;
+    attrs : (string * value) list;
+  }
+
+  let enabled () = st.on
+
+  let reset () =
+    st.on <- false;
+    st.rev_events <- [];
+    st.count <- 0;
+    st.dropped <- 0;
+    st.stack <- [];
+    st.foreign <- [];
+    st.truncated <- false
+
+  let start () =
+    reset ();
+    st.t0 <- now_s ();
+    st.pid <- Unix.getpid ();
+    st.on <- true;
+    Sampler.reset ()
+
+  let stop () = st.on <- false
+  let events () = List.rev st.rev_events
+  let dropped () = st.dropped
+  let depth () = List.length st.stack
+  let truncated () = st.truncated
+
+  (* called first thing in a freshly forked worker: keep [on] and the
+     clock origin (the Budget clock is CLOCK_MONOTONIC, machine-wide, so
+     child timestamps merge directly into the parent's timeline) but drop
+     the parent's buffered events and open-span stack, which belong to
+     the parent's row of the merged trace *)
+  let fork_child () =
+    st.rev_events <- [];
+    st.count <- 0;
+    st.dropped <- 0;
+    st.stack <- [];
+    st.foreign <- [];
+    st.truncated <- false;
+    st.pid <- Unix.getpid ()
+
+  (* stack-free event emission for code that multiplexes overlapping
+     logical tasks (the sweep supervisor runs [jobs] tasks at once, one
+     [tid] row each) where [Span.with_]'s strict nesting cannot apply *)
+  let emit ?(tid = 1) ?(attrs = []) name ph =
+    if st.on then push { name; ph; ts_us = (now_s () -. st.t0) *. 1e6; tid; attrs }
+
+  let ph_label = function Begin -> "B" | End -> "E" | Instant -> "i"
+  let ph_of_label = function "B" -> Some Begin | "E" -> Some End | "i" -> Some Instant | _ -> None
+
+  let value_to_json = function
+    | Int i -> Json.Num (float_of_int i)
+    | Float f -> Json.Num f
+    | Str s -> Json.Str s
+    | Bool b -> Json.Bool b
+
+  let value_of_json = function
+    | Json.Num f ->
+        if Float.is_integer f && Float.abs f < 1e15 then Int (int_of_float f) else Float f
+    | Json.Str s -> Str s
+    | Json.Bool b -> Bool b
+    | Json.Null | Json.Arr _ | Json.Obj _ -> Str "?"
+
+  let events_to_json evs =
+    Json.Arr
+      (List.map
+         (fun ev ->
+           let base =
+             [
+               ("n", Json.Str ev.name);
+               ("p", Json.Str (ph_label ev.ph));
+               ("t", Json.Num ev.ts_us);
+             ]
+           in
+           let tid = if ev.tid = 1 then [] else [ ("tid", Json.Num (float_of_int ev.tid)) ] in
+           let attrs =
+             if ev.attrs = [] then []
+             else [ ("a", Json.Obj (List.map (fun (k, v) -> (k, value_to_json v)) ev.attrs)) ]
+           in
+           Json.Obj (base @ tid @ attrs))
+         evs)
+
+  (* best-effort decode: malformed entries are skipped, not fatal — the
+     batch may come from a worker killed mid-write *)
+  let events_of_json j =
+    match Json.to_list j with
+    | None -> []
+    | Some items ->
+        List.filter_map
+          (fun it ->
+            match (Json.member "n" it, Json.member "p" it, Json.member "t" it) with
+            | Some (Json.Str name), Some (Json.Str p), Some (Json.Num ts) ->
+                Option.map
+                  (fun ph ->
+                    let tid =
+                      match Json.member "tid" it with
+                      | Some (Json.Num t) -> int_of_float t
+                      | _ -> 1
+                    in
+                    let attrs =
+                      match Json.member "a" it with
+                      | Some (Json.Obj kvs) -> List.map (fun (k, v) -> (k, value_of_json v)) kvs
+                      | _ -> []
+                    in
+                    { name; ph; ts_us = ts; tid; attrs })
+                  (ph_of_label p)
+            | _ -> None)
+          items
+
+  (* merge a batch recorded in another process under its own pid row.
+     Unbalanced Begin events — the worker died by signal mid-span — get
+     synthesized End events at the batch's horizon so the merged file is
+     well-formed, and the whole trace is flagged truncated instead of
+     being written torn. *)
+  let inject ~pid ?(dropped = 0) ?(truncated = false) evs =
+    st.dropped <- st.dropped + dropped;
+    if truncated then st.truncated <- true;
+    let max_ts = List.fold_left (fun acc ev -> Float.max acc ev.ts_us) 0.0 evs in
+    let stacks : (int, (string * event) list ref) Hashtbl.t = Hashtbl.create 4 in
+    let stack_of tid =
+      match Hashtbl.find_opt stacks tid with
+      | Some r -> r
+      | None ->
+          let r = ref [] in
+          Hashtbl.replace stacks tid r;
+          r
+    in
+    List.iter
+      (fun ev ->
+        match ev.ph with
+        | Begin ->
+            let r = stack_of ev.tid in
+            r := (ev.name, ev) :: !r
+        | End -> (
+            let r = stack_of ev.tid in
+            match !r with (n, _) :: rest when String.equal n ev.name -> r := rest | _ -> ())
+        | Instant -> ())
+      evs;
+    let repaired = ref [] in
+    Hashtbl.iter
+      (fun tid r ->
+        List.iter
+          (fun (name, _) ->
+            st.truncated <- true;
+            repaired :=
+              { name; ph = End; ts_us = max_ts; tid; attrs = [ ("truncated", Bool true) ] }
+              :: !repaired)
+          !r)
+      stacks;
+    let batch = evs @ List.rev !repaired in
+    if batch <> [] then st.foreign <- (pid, batch) :: st.foreign
+
+  let event_json ~pid ev =
+    let buf = Buffer.create 128 in
+    Buffer.add_string buf
+      (Printf.sprintf "{\"name\":\"%s\",\"cat\":\"hqs\",\"ph\":\"%s\",\"ts\":%s,\"pid\":%d,\"tid\":%d"
+         (json_escape ev.name) (ph_label ev.ph) (json_of_float ev.ts_us) pid ev.tid);
+    (match ev.ph with Instant -> Buffer.add_string buf ",\"s\":\"t\"" | Begin | End -> ());
+    if ev.attrs <> [] then begin
+      Buffer.add_string buf ",\"args\":{";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf (Printf.sprintf "\"%s\":%s" (json_escape k) (json_of_value v)))
+        ev.attrs;
+      Buffer.add_char buf '}'
+    end;
+    Buffer.add_char buf '}';
+    Buffer.contents buf
+
+  let to_chrome_json () =
+    let own_pid = if st.pid <> 0 then st.pid else 1 in
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf "{\"traceEvents\":[";
+    let first = ref true in
+    let emit1 pid ev =
+      if !first then first := false else Buffer.add_char buf ',';
+      Buffer.add_string buf (event_json ~pid ev)
+    in
+    List.iter (emit1 own_pid) (events ());
+    List.iter (fun (pid, evs) -> List.iter (emit1 pid) evs) (List.rev st.foreign);
+    Buffer.add_string buf "],\"displayTimeUnit\":\"ms\"";
+    if st.dropped > 0 || st.truncated then begin
+      Buffer.add_string buf ",\"otherData\":{";
+      let fields =
+        (if st.dropped > 0 then [ Printf.sprintf "\"dropped_events\":%d" st.dropped ] else [])
+        @ if st.truncated then [ "\"truncated\":true" ] else []
+      in
+      Buffer.add_string buf (String.concat "," fields);
+      Buffer.add_char buf '}'
+    end;
+    Buffer.add_string buf "}";
+    Buffer.contents buf
+
+  let write_chrome_json path =
+    Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc (to_chrome_json ()))
+
+  type total = { span : string; calls : int; total_s : float; self_s : float }
+
+  let totals () =
+    let agg : (string, total) Hashtbl.t = Hashtbl.create 16 in
+    let add span dur_s self_s =
+      let t =
+        Option.value
+          ~default:{ span; calls = 0; total_s = 0.0; self_s = 0.0 }
+          (Hashtbl.find_opt agg span)
+      in
+      Hashtbl.replace agg span
+        { t with calls = t.calls + 1; total_s = t.total_s +. dur_s; self_s = t.self_s +. self_s }
+    in
+    (* replay the B/E stream with a stack, accumulating child time so self
+       time can be computed; unmatched events are ignored *)
+    let stack = ref [] in
+    List.iter
+      (fun ev ->
+        match ev.ph with
+        | Instant -> ()
+        | Begin -> stack := (ev.name, ev.ts_us, ref 0.0) :: !stack
+        | End -> (
+            match !stack with
+            | (name, ts0, children) :: rest when String.equal name ev.name ->
+                stack := rest;
+                let dur = (ev.ts_us -. ts0) /. 1e6 in
+                add name dur (dur -. !children);
+                (match rest with (_, _, pc) :: _ -> pc := !pc +. dur | [] -> ())
+            | _ -> ()))
+      (events ());
+    List.sort
+      (fun a b ->
+        let c = Float.compare b.total_s a.total_s in
+        if c <> 0 then c else String.compare a.span b.span)
+      (Hashtbl.fold (fun _ t acc -> t :: acc) agg [])
+
+  let flame_summary () =
+    let buf = Buffer.create 512 in
+    let tot = totals () in
+    let root = List.fold_left (fun acc t -> max acc t.total_s) 0.0 tot in
+    Buffer.add_string buf
+      (Printf.sprintf "%-24s %8s %12s %12s %7s\n" "span" "calls" "total(ms)" "self(ms)" "%");
+    List.iter
+      (fun t ->
+        Buffer.add_string buf
+          (Printf.sprintf "%-24s %8d %12.3f %12.3f %6.1f%%\n" t.span t.calls (t.total_s *. 1e3)
+             (t.self_s *. 1e3)
+             (if root > 0.0 then 100.0 *. t.total_s /. root else 0.0)))
+      tot;
+    if st.dropped > 0 then
+      Buffer.add_string buf (Printf.sprintf "(%d events dropped past the %d cap)\n" st.dropped max_events);
+    (match Sampler.phase_seconds () with
+    | [] -> ()
+    | phases ->
+        Buffer.add_string buf "sampler (wall time attributed at tick granularity):\n";
+        List.iter
+          (fun (name, s, n) ->
+            Buffer.add_string buf (Printf.sprintf "  %-22s %12.3fms %8d ticks\n" name (s *. 1e3) n))
+          phases);
+    Buffer.contents buf
+end
+
+(* ----------------------------------------------------------------- spans *)
+
+module Span = struct
+  let heap_peak = Metrics.gauge "gc.heap_words.peak"
+
+  (* an optional hook run after every span exit (even with tracing off):
+     forked workers install a throttled partial-state flusher here so a
+     SIGKILL between spans still leaves a recent metric/trace snapshot on
+     the parent's side of the pipe. Hook failures (e.g. the parent died
+     and the pipe is gone) must never take the solve down. *)
+  let flush_hook : (unit -> unit) option ref = ref None
+  let set_flush_hook h = flush_hook := h
+
+  let run_flush_hook () =
+    match !flush_hook with
+    | None -> ()
+    | Some f -> ( try f () with _ -> () (* lint: allow catch-all — isolation barrier *))
+
+  let close name attrs =
+    let now = now_s () in
+    (match st.stack with (n, _) :: rest when String.equal n name -> st.stack <- rest | _ -> ());
+    (* span boundaries double as heap sampling points (Gc.quick_stat is
+       O(1): no heap walk) *)
+    Metrics.set_max heap_peak (float_of_int (Gc.quick_stat ()).Gc.heap_words);
+    push { name; ph = End; ts_us = (now -. st.t0) *. 1e6; tid = 1; attrs };
+    run_flush_hook ()
+
+  let with_ name ?(attrs = []) f =
+    if not st.on then begin
+      match !flush_hook with
+      | None -> f ()
+      | Some _ -> (
+          match f () with
+          | v ->
+              run_flush_hook ();
+              v
+          | exception e ->
+              run_flush_hook ();
+              raise e)
+    end
+    else begin
+      let ts = (now_s () -. st.t0) *. 1e6 in
+      push { name; ph = Begin; ts_us = ts; tid = 1; attrs };
+      st.stack <- (name, ts) :: st.stack;
+      match f () with
+      | v ->
+          close name [];
+          v
+      | exception e ->
+          close name [ ("raised", Str (Printexc.to_string e)) ];
+          raise e
+    end
+
+  let event name ?(attrs = []) () =
+    if st.on then push { name; ph = Instant; ts_us = (now_s () -. st.t0) *. 1e6; tid = 1; attrs }
+
+  let current () = match st.stack with (name, _) :: _ -> Some name | [] -> None
 end

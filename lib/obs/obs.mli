@@ -47,6 +47,27 @@ module Metrics : sig
 
   val histogram_stats : histogram -> hist_stats
 
+  type window
+  (** A rolling window over the last [capacity] observations, for live
+      latency quantiles. Windows live in their own registry and are
+      deliberately excluded from {!snapshot}/{!delta}, so cross-process
+      metric frames keep their shape. *)
+
+  val window : ?capacity:int -> string -> window
+  (** Register (or fetch) the named window; [capacity] defaults to 512
+      and is fixed by the first registration. Raises [Invalid_argument]
+      when [capacity <= 0]. *)
+
+  val wobserve : window -> float -> unit
+  (** Record an observation, evicting the oldest once full. *)
+
+  val window_count : window -> int
+  (** Observations currently held (≤ capacity). *)
+
+  val quantile : window -> float -> float
+  (** Nearest-rank quantile over the current window contents ([q] clamped
+      to [0,1]); [nan] while the window is empty. *)
+
   type sample = { name : string; kind : kind; v : float }
 
   val snapshot : unit -> sample list
@@ -76,12 +97,42 @@ module Metrics : sig
       min/max widened). Unknown names are registered on the fly. *)
 end
 
+(** Minimal recursive-descent JSON reader — enough to validate and
+    inspect the traces this module writes (CI and tests). *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  val parse : string -> (t, string) result
+  (** Whole-input parse; [Error] carries a message with an offset.
+      Unicode escapes are validated but decoded to a placeholder. *)
+
+  val render : t -> string
+  (** Compact one-line serialization, the dual of {!parse}. The rendering
+      is canonical (a fixed spelling per value), so checksums computed
+      over it — the executor journal's per-line integrity check — survive
+      a parse/serialize round trip. Non-finite numbers are quoted
+      (["nan"], ["inf"]), matching the trace writer. *)
+
+  val member : string -> t -> t option
+  val to_list : t -> t list option
+  val to_string : t -> string option
+  val to_number : t -> float option
+end
+
 (** The raw trace: a chronological stream of begin/end/instant events. *)
 module Trace : sig
   type ph = Begin | End | Instant
 
-  type event = { name : string; ph : ph; ts_us : float; attrs : (string * value) list }
-  (** [ts_us] is microseconds since {!start}. *)
+  type event = { name : string; ph : ph; ts_us : float; tid : int; attrs : (string * value) list }
+  (** [ts_us] is microseconds since {!start}. [tid] is the Chrome thread
+      row the event renders on; span events use row 1, and supervisors
+      give each concurrent logical task its own row via {!emit}. *)
 
   val enabled : unit -> bool
 
@@ -101,6 +152,37 @@ module Trace : sig
 
   val depth : unit -> int
   (** Number of currently open spans. *)
+
+  val truncated : unit -> bool
+  (** Whether any merged worker batch was cut short by a mid-span death
+      (reported as ["truncated": true] in the Chrome [otherData]). *)
+
+  val fork_child : unit -> unit
+  (** Call first thing in a freshly forked worker: drops the parent's
+      buffered events and open-span stack but keeps the enabled flag and
+      the clock origin (the Budget clock is machine-wide monotonic, so
+      child timestamps merge directly into the parent's timeline), and
+      rebinds the recorded pid to the child. *)
+
+  val emit : ?tid:int -> ?attrs:(string * value) list -> string -> ph -> unit
+  (** Stack-free event emission for code multiplexing overlapping logical
+      tasks (one [tid] row each), where {!Span.with_}'s strict nesting
+      cannot apply. No-op while tracing is disabled. *)
+
+  val events_to_json : event list -> Json.t
+  (** Compact wire form of an event batch, for shipping a worker's span
+      buffer across the IPC boundary. *)
+
+  val events_of_json : Json.t -> event list
+  (** Decode {!events_to_json}; malformed entries are skipped (the batch
+      may come from a worker killed mid-write), never fatal. *)
+
+  val inject : pid:int -> ?dropped:int -> ?truncated:bool -> event list -> unit
+  (** Merge a batch recorded in another process under its own pid row of
+      the Chrome output. Unbalanced [Begin] events (worker died by signal
+      mid-span) get synthesized [End] events at the batch horizon and the
+      trace is flagged {!truncated} instead of being written torn;
+      [dropped] adds the worker's drop counter to this trace's. *)
 
   val to_chrome_json : unit -> string
   (** Serialize as Chrome [trace_event] JSON (load in [chrome://tracing]
@@ -136,6 +218,14 @@ module Span : sig
 
   val current : unit -> string option
   (** Name of the innermost open span. *)
+
+  val set_flush_hook : (unit -> unit) option -> unit
+  (** Install (or clear) a hook run after every span exit — including
+      with tracing disabled, where {!with_} costs one extra branch. A
+      forked worker installs a throttled partial-state flusher here so a
+      SIGKILL between spans still leaves a recent metric/trace snapshot
+      on the supervisor's side of the pipe. Exceptions raised by the hook
+      are swallowed: a dead parent must not take the solve down. *)
 end
 
 (** Statistical cross-check of the exact span timings: {!tick} is called
@@ -149,32 +239,4 @@ module Sampler : sig
   (** [(phase, seconds, ticks)] sorted by phase name. *)
 
   val reset : unit -> unit
-end
-
-(** Minimal recursive-descent JSON reader — enough to validate and
-    inspect the traces this module writes (CI and tests). *)
-module Json : sig
-  type t =
-    | Null
-    | Bool of bool
-    | Num of float
-    | Str of string
-    | Arr of t list
-    | Obj of (string * t) list
-
-  val parse : string -> (t, string) result
-  (** Whole-input parse; [Error] carries a message with an offset.
-      Unicode escapes are validated but decoded to a placeholder. *)
-
-  val render : t -> string
-  (** Compact one-line serialization, the dual of {!parse}. The rendering
-      is canonical (a fixed spelling per value), so checksums computed
-      over it — the executor journal's per-line integrity check — survive
-      a parse/serialize round trip. Non-finite numbers are quoted
-      (["nan"], ["inf"]), matching the trace writer. *)
-
-  val member : string -> t -> t option
-  val to_list : t -> t list option
-  val to_string : t -> string option
-  val to_number : t -> float option
 end

@@ -22,6 +22,7 @@ type config = {
   audit_period : int;
   cache_path : string option;
   trace_path : string option;
+  event_log : string option;
   solver : Hqs.config;
 }
 
@@ -41,6 +42,7 @@ let default ~socket_path =
     audit_period = 4;
     cache_path = None;
     trace_path = None;
+    event_log = None;
     solver = Hqs.default_config;
   }
 
@@ -60,6 +62,11 @@ let m_audit_failures = Metrics.counter "serve.cache_audit_failures"
 let m_timeouts = Metrics.counter "serve.timeouts"
 let m_latency = Metrics.histogram "serve.request_latency_s"
 
+(* rolling window behind the health reply's p50/p95/p99 — same series as
+   the histogram, but windowed so a long-lived daemon reports *recent*
+   latency, not its lifetime average *)
+let w_latency = Metrics.window "serve.request_latency_s"
+
 (* ---------------------------------------------------------------- worker *)
 
 (* The pool worker: a forked child in its own session, looping over
@@ -69,8 +76,14 @@ let m_latency = Metrics.histogram "serve.request_latency_s"
    channel; the worker only dies on chaos kills, rlimit SIGKILLs, or
    genuine solver bugs — exactly the cases the daemon's crash taxonomy
    and respawn path are built for. *)
+let rec list_drop n l = if n <= 0 then l else match l with [] -> [] | _ :: t -> list_drop (n - 1) t
+
 let worker_main (config : config) fd =
   Ipc.ignore_sigpipe ();
+  (* drop the daemon's span buffer but keep its enabled flag: when the
+     daemon traces, each job's spans are recorded here and shipped back
+     in the reply for merging under this worker's pid row *)
+  Obs.Trace.fork_child ();
   (* hard address-space backstop at 2x the soft heap budget: the Budget
      governor raises a clean, recoverable memout first in the common
      case; the rlimit catches runaway native allocations *)
@@ -87,7 +100,7 @@ let worker_main (config : config) fd =
     | Ipc.Frame j -> (
         match Proto.wreq_of_json j with
         | Error _ -> Unix._exit 3
-        | Ok { Proto.jid; text; timeout_s; kill; sleep_s } ->
+        | Ok { Proto.jid; text; timeout_s; kill; sleep_s; trace } ->
             if kill then Unix.kill (Unix.getpid ()) Sys.sigkill;
             let t0 = Budget.now () in
             let budget = Budget.of_seconds timeout_s in
@@ -98,11 +111,22 @@ let worker_main (config : config) fd =
             in
             if sleep_s > 0. then Unix.sleepf sleep_s;
             let before = Metrics.snapshot () in
+            let ev_mark = List.length (Obs.Trace.events ()) in
+            let solve () =
+              let pcnf = Dqbf.Pcnf.parse_string text in
+              Hqs.solve_pcnf ~config:config.solver ~budget pcnf
+            in
+            let solve =
+              match trace with
+              | None -> solve
+              | Some id ->
+                  fun () ->
+                    Span.with_ "serve.solve"
+                      ~attrs:[ ("jid", Obs.Int jid); ("trace_id", Obs.Str id) ]
+                      solve
+            in
             let result, retiring =
-              match
-                let pcnf = Dqbf.Pcnf.parse_string text in
-                Hqs.solve_pcnf ~config:config.solver ~budget pcnf
-              with
+              match solve () with
               | Hqs.Sat, _ -> (Proto.W_sat true, false)
               | Hqs.Unsat, _ -> (Proto.W_sat false, false)
               | exception Budget.Timeout -> (Proto.W_timeout, false)
@@ -117,6 +141,9 @@ let worker_main (config : config) fd =
                   (Proto.W_error (Format.asprintf "check violation: %a" Check.pp_violation v), false)
             in
             let samples = Metrics.delta ~before ~after:(Metrics.snapshot ()) in
+            let w_events =
+              if trace = None then [] else list_drop ev_mark (Obs.Trace.events ())
+            in
             (match
                Ipc.write_frame fd
                  (Proto.wreply_to_json
@@ -126,6 +153,7 @@ let worker_main (config : config) fd =
                       w_elapsed_s = Budget.now () -. t0;
                       retiring;
                       samples;
+                      w_events;
                     })
              with
             | () -> ()
@@ -145,6 +173,7 @@ type job = {
   sleep_s : float;
   mutable attempts : int;  (** dispatches so far *)
   enqueued_at : float;
+  trace : string;  (** request trace id, minted at admission *)
   audit_of : Cache.entry option;  (** [Some e]: sampled re-solve of a cache hit *)
 }
 
@@ -223,6 +252,14 @@ let run (config : config) =
   if config.max_attempts < 1 then invalid_arg "Daemon.run: max_attempts must be >= 1";
   Ipc.ignore_sigpipe ();
   (match config.trace_path with Some _ -> Obs.Trace.start () | None -> ());
+  let t_start = Budget.now () in
+  let daemon_pid = Unix.getpid () in
+  let elog = Option.map Exec.Eventlog.create config.event_log in
+  let ev ?trace ?(fields = []) name =
+    match elog with
+    | Some t -> Exec.Eventlog.log t ~event:name ?trace_id:trace ~fields ()
+    | None -> ()
+  in
   let cache = Cache.open_ ?path:config.cache_path () in
   if Sys.file_exists config.socket_path then Sys.remove config.socket_path;
   let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
@@ -313,15 +350,35 @@ let run (config : config) =
     go ()
   in
 
-  let complete job (wr : Proto.wreply) =
+  let complete ~wpid job (wr : Proto.wreply) =
     Metrics.absorb wr.Proto.samples;
-    Metrics.observe m_latency (Budget.now () -. job.enqueued_at);
+    let latency = Budget.now () -. job.enqueued_at in
+    Metrics.observe m_latency latency;
+    Metrics.wobserve w_latency latency;
+    if wr.Proto.w_events <> [] && Obs.Trace.enabled () then
+      Obs.Trace.inject ~pid:wpid wr.Proto.w_events;
+    ev "complete" ~trace:job.trace
+      ~fields:
+        [
+          ("jid", Json.Num (float_of_int job.jid));
+          ( "result",
+            Json.Str
+              (match wr.Proto.result with
+              | Proto.W_sat true -> "sat"
+              | Proto.W_sat false -> "unsat"
+              | Proto.W_timeout -> "timeout"
+              | Proto.W_memout -> "memout"
+              | Proto.W_error _ -> "error") );
+          ("elapsed_s", Json.Num wr.Proto.w_elapsed_s);
+        ];
     Span.with_ "serve.complete" ~attrs:[ ("jid", Obs.Int job.jid) ] @@ fun () ->
     match wr.Proto.result with
     | Proto.W_sat sat -> (
         match job.audit_of with
         | Some cached ->
             Metrics.incr m_audits;
+            ev "cache_audit" ~trace:job.trace
+              ~fields:[ ("key", Json.Str job.key.Dqbf.Canon.h1) ];
             let verdict_matches =
               match
                 Check.audit_cache_hit ~level:config.check_level ~key:job.key.Dqbf.Canon.h1
@@ -336,6 +393,8 @@ let run (config : config) =
                    { sat; elapsed_s = cached.Cache.elapsed_s; cached = true; audited = true })
             else begin
               Metrics.incr m_audit_failures;
+              ev "cache_audit_failed" ~trace:job.trace
+                ~fields:[ ("key", Json.Str job.key.Dqbf.Canon.h1) ];
               Cache.remove cache job.key;
               Span.event "serve.cache.audit_failed"
                 ~attrs:[ ("key", Obs.Str job.key.Dqbf.Canon.h1) ]
@@ -393,7 +452,16 @@ let run (config : config) =
         Span.event "serve.worker.crash"
           ~attrs:[ ("worker", Obs.Int slot.widx); ("jid", Obs.Int job.jid) ]
           ();
-        if job.attempts >= config.max_attempts then
+        ev "crash" ~trace:job.trace
+          ~fields:
+            [
+              ("worker", Json.Num (float_of_int slot.widx));
+              ("jid", Json.Num (float_of_int job.jid));
+              ("attempts", Json.Num (float_of_int job.attempts));
+            ];
+        if job.attempts >= config.max_attempts then begin
+          ev "quarantine" ~trace:job.trace
+            ~fields:[ ("jid", Json.Num (float_of_int job.jid)) ];
           send_reply job.cid
             (Proto.Failed
                {
@@ -401,8 +469,10 @@ let run (config : config) =
                  elapsed_s = Budget.now () -. job.enqueued_at;
                  detail = Printf.sprintf "worker crashed (%d attempts)" job.attempts;
                })
+        end
         else begin
           (* retry ahead of newly admitted work *)
+          ev "retry" ~trace:job.trace ~fields:[ ("jid", Json.Num (float_of_int job.jid)) ];
           requeued := !requeued @ [ job ];
           update_depth ()
         end
@@ -446,6 +516,7 @@ let run (config : config) =
                      timeout_s = job.timeout_s;
                      kill;
                      sleep_s = job.sleep_s;
+                     trace = (if Obs.Trace.enabled () then Some job.trace else None);
                    })
             in
             (match write_frame_waiting slot.wfd (Bytes.of_string frame) with
@@ -480,6 +551,31 @@ let run (config : config) =
                queue_depth = queue_depth ();
                metrics = Metrics.to_assoc (Metrics.snapshot ());
              })
+    | Proto.Health ->
+        let state_name s =
+          match s.state with Idle -> "idle" | Busy _ -> "busy" | Respawning _ -> "respawning"
+        in
+        send_reply cid
+          (Proto.Health_reply
+             {
+               Proto.live_workers =
+                 Array.fold_left
+                   (fun acc s -> match s.state with Respawning _ -> acc | Idle | Busy _ -> acc + 1)
+                   0 slots;
+               h_queue_depth = queue_depth ();
+               in_flight =
+                 Array.fold_left
+                   (fun acc s -> match s.state with Busy _ -> acc + 1 | Idle | Respawning _ -> acc)
+                   0 slots;
+               draining = !draining;
+               uptime_s = Budget.now () -. t_start;
+               states = Array.to_list (Array.map state_name slots);
+               lat_n = Metrics.window_count w_latency;
+               lat_p50 = Metrics.quantile w_latency 0.5;
+               lat_p95 = Metrics.quantile w_latency 0.95;
+               lat_p99 = Metrics.quantile w_latency 0.99;
+               h_metrics = Metrics.to_assoc (Metrics.snapshot ());
+             })
     | Proto.Solve { text; timeout_s; sleep_s } -> (
         Metrics.incr m_requests;
         if !draining then send_reply cid Proto.Draining
@@ -499,6 +595,14 @@ let run (config : config) =
                   let canon = Dqbf.Canon.canonicalize pcnf in
                   let enqueue audit_of =
                     incr next_jid;
+                    let trace = Printf.sprintf "serve-%d-%d" daemon_pid !next_jid in
+                    ev "admit" ~trace
+                      ~fields:
+                        ([
+                           ("jid", Json.Num (float_of_int !next_jid));
+                           ("queue_depth", Json.Num (float_of_int (queue_depth () + 1)));
+                         ]
+                        @ if audit_of = None then [] else [ ("audit", Json.Bool true) ]);
                     Queue.push
                       {
                         jid = !next_jid;
@@ -509,6 +613,7 @@ let run (config : config) =
                         sleep_s;
                         attempts = 0;
                         enqueued_at = Budget.now ();
+                        trace;
                         audit_of;
                       }
                       pending;
@@ -539,6 +644,8 @@ let run (config : config) =
                       if queue_depth () >= config.queue_cap then begin
                         Metrics.incr m_shed;
                         Span.event "serve.shed" ();
+                        ev "shed"
+                          ~fields:[ ("queue_depth", Json.Num (float_of_int (queue_depth ()))) ];
                         send_reply cid (Proto.Overloaded { queue_depth = queue_depth () })
                       end
                       else enqueue None)))
@@ -579,7 +686,7 @@ let run (config : config) =
       | Some (Ok j) -> (
           match (Proto.wreply_of_json j, slot.state) with
           | Ok wr, Busy (job, _) when wr.Proto.w_jid = job.jid ->
-              complete job wr;
+              complete ~wpid:slot.pid job wr;
               slot.failures <- 0;
               if wr.Proto.retiring then begin
                 worker_retired slot;
@@ -620,6 +727,12 @@ let run (config : config) =
             Span.event "serve.worker.wall_kill"
               ~attrs:[ ("worker", Obs.Int slot.widx); ("jid", Obs.Int job.jid) ]
               ();
+            ev "timeout" ~trace:job.trace
+              ~fields:
+                [
+                  ("worker", Json.Num (float_of_int slot.widx));
+                  ("jid", Json.Num (float_of_int job.jid));
+                ];
             send_reply job.cid
               (Proto.Failed
                  {
@@ -642,6 +755,7 @@ let run (config : config) =
             if slot.pid >= 0 then () (* unreachable; pid cleared on death *)
             else begin
               Metrics.incr m_respawns;
+              ev "respawn" ~fields:[ ("worker", Json.Num (float_of_int slot.widx)) ];
               spawn slot
             end
         | Idle | Busy _ | Respawning _ -> ())
@@ -650,6 +764,13 @@ let run (config : config) =
 
   (* initial pool, not counted as respawns *)
   Array.iter spawn slots;
+  ev "start"
+    ~fields:
+      [
+        ("workers", Json.Num (float_of_int config.workers));
+        ("queue_cap", Json.Num (float_of_int config.queue_cap));
+      ];
+  let drain_logged = ref false in
 
   let accept_clients () =
     let rec go () =
@@ -678,6 +799,10 @@ let run (config : config) =
 
   while not (finished ()) do
     let now = Budget.now () in
+    if !draining && not !drain_logged then begin
+      drain_logged := true;
+      ev "drain" ~fields:[ ("queue_depth", Json.Num (float_of_int (queue_depth ()))) ]
+    end;
     enforce_deadlines now;
     respawn_due now;
     dispatch ();
@@ -740,6 +865,8 @@ let run (config : config) =
   (try Unix.close listen_fd with Unix.Unix_error _ -> ());
   (try Sys.remove config.socket_path with Sys_error _ -> ());
   Cache.close cache;
+  ev "stop" ~fields:[ ("uptime_s", Json.Num (Budget.now () -. t_start)) ];
+  (match elog with Some t -> Exec.Eventlog.close t | None -> ());
   (match config.trace_path with
   | Some path ->
       List.iter

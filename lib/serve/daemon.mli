@@ -42,7 +42,14 @@ type config = {
   check_level : Check.level;  (** [Full] enables sampled cache-hit audits *)
   audit_period : int;  (** re-solve every Nth cache hit (0 disables) *)
   cache_path : string option;  (** persistent cache journal *)
-  trace_path : string option;  (** write a Chrome trace on exit *)
+  trace_path : string option;
+      (** write a Chrome trace on exit: daemon spans plus each worker's
+          per-job span buffer (shipped back in its reply frame) merged
+          under the worker's own pid row, linked by per-request trace ids *)
+  event_log : string option;
+      (** size-rotated {!Exec.Eventlog} of lifecycle events (admissions,
+          sheds, crashes, retries, quarantines, timeouts, cache audits,
+          respawns, drain), each tagged with the request's trace id *)
   solver : Hqs.config;
 }
 

@@ -7,8 +7,23 @@ type request =
   | Solve of { text : string; timeout_s : float option; sleep_s : float }
   | Ping
   | Stats
+  | Health
 
 type failure = F_timeout | F_memout | F_crash
+
+type health = {
+  live_workers : int;
+  h_queue_depth : int;
+  in_flight : int;
+  draining : bool;
+  uptime_s : float;
+  states : string list;
+  lat_n : int;
+  lat_p50 : float;
+  lat_p95 : float;
+  lat_p99 : float;
+  h_metrics : (string * float) list;
+}
 
 type reply =
   | Verdict of { sat : bool; elapsed_s : float; cached : bool; audited : bool }
@@ -18,6 +33,7 @@ type reply =
   | Invalid of string
   | Pong
   | Stats_reply of { workers : int; queue_depth : int; metrics : (string * float) list }
+  | Health_reply of health
   | Audit_failed of { cached_sat : bool; fresh_sat : bool }
 
 let failure_name = function F_timeout -> "timeout" | F_memout -> "memout" | F_crash -> "crash"
@@ -36,11 +52,13 @@ let request_to_json = function
         @ if sleep_s > 0. then [ ("sleep_s", Json.Num sleep_s) ] else [])
   | Ping -> Json.Obj [ ("op", Json.Str "ping") ]
   | Stats -> Json.Obj [ ("op", Json.Str "stats") ]
+  | Health -> Json.Obj [ ("op", Json.Str "health") ]
 
 let request_of_json j =
   match Json.member "op" j with
   | Some (Json.Str "ping") -> Ok Ping
   | Some (Json.Str "stats") -> Ok Stats
+  | Some (Json.Str "health") -> Ok Health
   | Some (Json.Str "solve") -> (
       match Json.member "dqdimacs" j with
       | Some (Json.Str text) ->
@@ -111,6 +129,29 @@ let reply_to_json = function
           ( "metrics",
             Json.Obj (List.map (fun (name, v) -> (name, Json.Num v)) metrics) );
         ]
+  | Health_reply h ->
+      Json.Obj
+        ([
+           ("r", Json.Str "health");
+           ("workers", Json.Num (float_of_int h.live_workers));
+           ("queue_depth", Json.Num (float_of_int h.h_queue_depth));
+           ("in_flight", Json.Num (float_of_int h.in_flight));
+           ("draining", Json.Bool h.draining);
+           ("uptime_s", Json.Num h.uptime_s);
+           ("states", Json.Arr (List.map (fun s -> Json.Str s) h.states));
+           ("lat_n", Json.Num (float_of_int h.lat_n));
+         ]
+        @ (if h.lat_n > 0 then
+             [
+               ("p50", Json.Num h.lat_p50);
+               ("p95", Json.Num h.lat_p95);
+               ("p99", Json.Num h.lat_p99);
+             ]
+           else [])
+        @ [
+            ( "metrics",
+              Json.Obj (List.map (fun (name, v) -> (name, Json.Num v)) h.h_metrics) );
+          ])
   | Audit_failed { cached_sat; fresh_sat } ->
       Json.Obj
         [
@@ -153,6 +194,40 @@ let reply_of_json j =
             (Stats_reply
                { workers = int_of_float w; queue_depth = int_of_float d; metrics })
       | _ -> Error "malformed stats reply")
+  | Some "health" -> (
+      match (num "workers", num "queue_depth", num "in_flight", bool "draining") with
+      | Some w, Some d, Some f, Some draining ->
+          let states =
+            match Json.member "states" j with
+            | Some (Json.Arr items) ->
+                List.filter_map (function Json.Str s -> Some s | _ -> None) items
+            | _ -> []
+          in
+          let metrics =
+            match Json.member "metrics" j with
+            | Some (Json.Obj fields) ->
+                List.filter_map
+                  (fun (name, v) -> Option.map (fun v -> (name, v)) (Json.to_number v))
+                  fields
+            | _ -> []
+          in
+          let quant name = match num name with Some v -> v | None -> nan in
+          Ok
+            (Health_reply
+               {
+                 live_workers = int_of_float w;
+                 h_queue_depth = int_of_float d;
+                 in_flight = int_of_float f;
+                 draining;
+                 uptime_s = (match num "uptime_s" with Some s -> s | None -> 0.);
+                 states;
+                 lat_n = (match num "lat_n" with Some n -> int_of_float n | None -> 0);
+                 lat_p50 = quant "p50";
+                 lat_p95 = quant "p95";
+                 lat_p99 = quant "p99";
+                 h_metrics = metrics;
+               })
+      | _ -> Error "malformed health reply")
   | Some "audit_failed" -> (
       match (bool "cached_sat", bool "fresh_sat") with
       | Some cached_sat, Some fresh_sat -> Ok (Audit_failed { cached_sat; fresh_sat })
@@ -162,7 +237,14 @@ let reply_of_json j =
 
 (* ------------------------------------------------------- worker protocol *)
 
-type wreq = { jid : int; text : string; timeout_s : float; kill : bool; sleep_s : float }
+type wreq = {
+  jid : int;
+  text : string;
+  timeout_s : float;
+  kill : bool;
+  sleep_s : float;
+  trace : string option;
+}
 
 type wresult = W_sat of bool | W_timeout | W_memout | W_error of string
 
@@ -172,17 +254,19 @@ type wreply = {
   w_elapsed_s : float;
   retiring : bool;  (** the worker exits after this reply (planned, not a crash) *)
   samples : Metrics.sample list;
+  w_events : Obs.Trace.event list;
 }
 
-let wreq_to_json { jid; text; timeout_s; kill; sleep_s } =
+let wreq_to_json { jid; text; timeout_s; kill; sleep_s; trace } =
   Json.Obj
-    [
-      ("jid", Json.Num (float_of_int jid));
-      ("text", Json.Str text);
-      ("timeout_s", Json.Num timeout_s);
-      ("kill", Json.Bool kill);
-      ("sleep_s", Json.Num sleep_s);
-    ]
+    ([
+       ("jid", Json.Num (float_of_int jid));
+       ("text", Json.Str text);
+       ("timeout_s", Json.Num timeout_s);
+       ("kill", Json.Bool kill);
+       ("sleep_s", Json.Num sleep_s);
+     ]
+    @ match trace with Some id -> [ ("trace", Json.Str id) ] | None -> [])
 
 let wreq_of_json j =
   match
@@ -195,7 +279,10 @@ let wreq_of_json j =
   | Some jid, Some (Json.Str text), Some t, Some (Json.Bool kill), Some s -> (
       match (Json.to_number jid, Json.to_number t, Json.to_number s) with
       | Some jid, Some timeout_s, Some sleep_s ->
-          Ok { jid = int_of_float jid; text; timeout_s; kill; sleep_s }
+          let trace =
+            match Json.member "trace" j with Some (Json.Str id) -> Some id | _ -> None
+          in
+          Ok { jid = int_of_float jid; text; timeout_s; kill; sleep_s; trace }
       | _ -> Error "malformed worker request numbers")
   | _ -> Error "malformed worker request"
 
@@ -216,15 +303,16 @@ let wresult_of_json = function
       | _ -> Error "malformed worker result")
   | _ -> Error "malformed worker result"
 
-let wreply_to_json { w_jid; result; w_elapsed_s; retiring; samples } =
+let wreply_to_json { w_jid; result; w_elapsed_s; retiring; samples; w_events } =
   Json.Obj
-    [
-      ("jid", Json.Num (float_of_int w_jid));
-      ("result", wresult_to_json result);
-      ("elapsed_s", Json.Num w_elapsed_s);
-      ("retiring", Json.Bool retiring);
-      ("samples", metrics_to_json samples);
-    ]
+    ([
+       ("jid", Json.Num (float_of_int w_jid));
+       ("result", wresult_to_json result);
+       ("elapsed_s", Json.Num w_elapsed_s);
+       ("retiring", Json.Bool retiring);
+       ("samples", metrics_to_json samples);
+     ]
+    @ if w_events = [] then [] else [ ("events", Obs.Trace.events_to_json w_events) ])
 
 let wreply_of_json j =
   match
@@ -237,6 +325,11 @@ let wreply_of_json j =
   | Some jid, Some r, Some e, Some (Json.Bool retiring), Some s -> (
       match (Json.to_number jid, wresult_of_json r, Json.to_number e, metrics_of_json s) with
       | Some jid, Ok result, Some w_elapsed_s, Ok samples ->
-          Ok { w_jid = int_of_float jid; result; w_elapsed_s; retiring; samples }
+          let w_events =
+            match Json.member "events" j with
+            | Some ev -> Obs.Trace.events_of_json ev
+            | None -> []
+          in
+          Ok { w_jid = int_of_float jid; result; w_elapsed_s; retiring; samples; w_events }
       | _ -> Error "malformed worker reply fields")
   | _ -> Error "malformed worker reply"

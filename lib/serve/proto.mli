@@ -21,8 +21,27 @@ type request =
     }
   | Ping
   | Stats
+  | Health  (** live introspection snapshot for [hqs top] *)
 
 type failure = F_timeout | F_memout | F_crash
+
+(** Introspection snapshot returned for {!Health}: pool occupancy plus
+    rolling request-latency quantiles from the daemon's windowed
+    histogram. Quantiles are [nan] (and omitted on the wire) until at
+    least one request has completed. *)
+type health = {
+  live_workers : int;  (** slots with a live worker process *)
+  h_queue_depth : int;
+  in_flight : int;  (** slots currently solving *)
+  draining : bool;
+  uptime_s : float;
+  states : string list;  (** one of ["idle"|"busy"|"respawning"] per slot *)
+  lat_n : int;  (** observations in the latency window *)
+  lat_p50 : float;
+  lat_p95 : float;
+  lat_p99 : float;
+  h_metrics : (string * float) list;
+}
 
 type reply =
   | Verdict of { sat : bool; elapsed_s : float; cached : bool; audited : bool }
@@ -33,6 +52,7 @@ type reply =
   | Invalid of string  (** unparsable request or instance *)
   | Pong
   | Stats_reply of { workers : int; queue_depth : int; metrics : (string * float) list }
+  | Health_reply of health
   | Audit_failed of { cached_sat : bool; fresh_sat : bool }
       (** a sampled cache-hit re-solve disagreed with the memoized verdict *)
 
@@ -55,6 +75,10 @@ type wreq = {
   timeout_s : float;
   kill : bool;  (** chaos: the worker SIGKILLs itself mid-request *)
   sleep_s : float;
+  trace : string option;
+      (** request trace id, present only while the daemon is tracing —
+          the worker brackets the solve in a span carrying it, so worker
+          rows in the merged trace link back to the daemon's request *)
 }
 
 type wresult = W_sat of bool | W_timeout | W_memout | W_error of string
@@ -68,6 +92,10 @@ type wreply = {
           memout left its heap near the rlimit) — a planned retirement
           the daemon must not count as a crash *)
   samples : Obs.Metrics.sample list;  (** per-job metrics delta to absorb *)
+  w_events : Obs.Trace.event list;
+      (** the worker's span buffer for this job (empty unless the request
+          carried a trace id) — merged under the worker's pid row via
+          {!Obs.Trace.inject} *)
 }
 
 val wreq_to_json : wreq -> Obs.Json.t

@@ -148,6 +148,143 @@ let test_duplicate_ids_rejected () =
     (Invalid_argument "Supervisor.run: duplicate task id a")
     (fun () -> ignore (Sup.run ~worker:square [ ("a", 1); ("a", 2) ]))
 
+(* ------------------------------------------------------------ fork traces *)
+
+let test_trace_spans_fork () =
+  (* with tracing on, worker spans recorded inside the forked child must
+     come back through the completion frame and merge under the worker's
+     own pid row, parented to the supervisor's per-task span *)
+  Obs.Trace.reset ();
+  Obs.Trace.start ();
+  let worker n = Obs.Span.with_ "w.solve" (fun () -> square n) in
+  let config = { Sup.default_config with jobs = 2 } in
+  let report = Sup.run ~config ~worker [ ("t0", 2); ("t1", 3) ] in
+  Obs.Trace.stop ();
+  Alcotest.(check int) "both tasks completed" 2 (List.length report.completions);
+  let json =
+    match Json.parse (Obs.Trace.to_chrome_json ()) with
+    | Ok j -> j
+    | Error msg -> Alcotest.failf "merged trace does not parse: %s" msg
+  in
+  Obs.Trace.reset ();
+  let evs =
+    match Option.bind (Json.member "traceEvents" json) Json.to_list with
+    | Some l -> l
+    | None -> Alcotest.fail "no traceEvents array"
+  in
+  let str m ev = match Json.member m ev with Some (Json.Str s) -> Some s | _ -> None in
+  let num m ev = Option.bind (Json.member m ev) Json.to_number in
+  let pid_of ev = match num "pid" ev with Some p -> int_of_float p | None -> 1 in
+  let begins = List.filter (fun ev -> str "ph" ev = Some "B") evs in
+  let arg m ev = Option.bind (Json.member "args" ev) (str m) in
+  (* span_id -> declaring pid, from the supervisor's sup.task rows *)
+  let span_pids = Hashtbl.create 8 in
+  List.iter
+    (fun ev ->
+      match arg "span_id" ev with
+      | Some id -> Hashtbl.replace span_pids id (pid_of ev)
+      | None -> ())
+    begins;
+  let self = Unix.getpid () in
+  let child_roots =
+    List.filter (fun ev -> str "name" ev = Some "sup.child") begins
+  in
+  Alcotest.(check int) "one child root per task" 2 (List.length child_roots);
+  List.iter
+    (fun ev ->
+      Alcotest.(check bool) "child events render under the worker pid" true
+        (pid_of ev <> self);
+      match arg "parent_span" ev with
+      | None -> Alcotest.fail "child root without a parent_span link"
+      | Some parent -> (
+          match Hashtbl.find_opt span_pids parent with
+          | None -> Alcotest.failf "parent_span %s matches no span_id" parent
+          | Some ppid ->
+              Alcotest.(check int) "parent span lives in the supervisor" self ppid))
+    child_roots;
+  (* the span opened by user code inside the child made the merge too *)
+  Alcotest.(check bool) "worker-side span present" true
+    (List.exists (fun ev -> str "name" ev = Some "w.solve") begins)
+
+let test_timeout_salvages_partial_metrics () =
+  (* a worker killed by the wall limit mid-run: the throttled partial
+     frames it flushed on span exits must surface as salvaged_metrics on
+     the Timeout completion *)
+  let c = Obs.Metrics.counter "t.salvage.steps" in
+  let worker () =
+    for _ = 1 to 10 do
+      Obs.Metrics.incr c;
+      Obs.Span.with_ "w.step" (fun () -> Unix.sleepf 0.03)
+    done;
+    Unix.sleepf 30.0;
+    Json.Null
+  in
+  let limits = { Limits.none with wall_s = Some 1.0 } in
+  let config = { Sup.default_config with limits; max_attempts = 1 } in
+  let report = Sup.run ~config ~worker [ ("slow", ()) ] in
+  let comp = find_completion report "slow" in
+  (match comp.status with
+  | Sup.Timeout _ -> ()
+  | s -> Alcotest.failf "expected Timeout, got %s" (status_label s));
+  Alcotest.(check bool) "partial metrics salvaged" true (comp.salvaged_metrics <> []);
+  match Obs.Metrics.find comp.salvaged_metrics "t.salvage.steps" with
+  | None -> Alcotest.fail "salvaged delta misses the child-side counter"
+  | Some v -> Alcotest.(check bool) "a flushed prefix of the steps" true (v >= 1.0)
+
+(* -------------------------------------------------------------- event log *)
+
+let test_eventlog_rotation_and_torn_tail () =
+  let path = tmp_file "hqs_test_eventlog.jsonl" in
+  let rotated = Exec.Eventlog.rotated_path path in
+  if Sys.file_exists rotated then Sys.remove rotated;
+  let t = Exec.Eventlog.create ~max_bytes:512 path in
+  for i = 1 to 40 do
+    Exec.Eventlog.log t ~event:"admit"
+      ~trace_id:(Printf.sprintf "serve-1-%d" i)
+      ~fields:[ ("jid", Json.Num (float_of_int i)) ]
+      ()
+  done;
+  Exec.Eventlog.close t;
+  Alcotest.(check bool) "rotation produced a previous generation" true
+    (Sys.file_exists rotated);
+  let clean = Exec.Eventlog.load path in
+  Alcotest.(check int) "clean log has no torn lines" 0 clean.Exec.Eventlog.dropped;
+  Alcotest.(check bool) "current generation non-empty" true (clean.events <> []);
+  (* the event bodies carry the kind tag and the trace id *)
+  List.iter
+    (fun e ->
+      (match Json.member "ev" e with
+      | Some (Json.Str "admit") -> ()
+      | _ -> Alcotest.fail "event body without its kind tag");
+      match Json.member "trace" e with
+      | Some (Json.Str _) -> ()
+      | _ -> Alcotest.fail "event body without its trace id")
+    clean.events;
+  (* seq numbers span the rotation: the previous generation holds a
+     strictly earlier prefix *)
+  let seqs load =
+    List.filter_map (fun e -> Option.bind (Json.member "seq" e) Json.to_number) load.Exec.Eventlog.events
+  in
+  let prev = Exec.Eventlog.load rotated in
+  Alcotest.(check int) "no torn lines in the rotated file" 0 prev.dropped;
+  (match (seqs prev, seqs clean) with
+  | (_ :: _ as old_seqs), newest :: _ ->
+      Alcotest.(check bool) "rotation preserved ordering" true
+        (List.for_all (fun s -> s < newest) old_seqs)
+  | _ -> Alcotest.fail "expected events on both sides of the rotation");
+  (* a writer killed mid-append leaves one torn line, which load skips *)
+  Out_channel.with_open_gen
+    [ Out_channel.Open_append; Out_channel.Open_binary ]
+    0o644 path
+    (fun oc -> Out_channel.output_string oc "{\"c\":\"feedbeef\",\"e\":{\"seq\":9");
+  let reloaded = Exec.Eventlog.load path in
+  Alcotest.(check int) "torn tail dropped" 1 reloaded.Exec.Eventlog.dropped;
+  Alcotest.(check int) "intact lines survive the tear"
+    (List.length clean.events)
+    (List.length reloaded.events);
+  Sys.remove path;
+  Sys.remove rotated
+
 (* --------------------------------------------------------------- backoff *)
 
 let test_backoff_deterministic () =
@@ -273,6 +410,7 @@ let test_completion_json_roundtrip () =
       elapsed_s = 1.25;
       crash_log = [ "attempt 1: SIGKILL"; "attempt 2: exit 3" ];
       from_journal = false;
+      salvaged_metrics = [];
     }
   in
   match Sup.completion_of_json ~task_id:c.task_id (Sup.completion_to_json c) with
@@ -296,6 +434,18 @@ let () =
           Alcotest.test_case "wall timeout kills sleeper" `Slow test_wall_timeout;
           Alcotest.test_case "nonzero exit crashes" `Quick test_crash_exit_code;
           Alcotest.test_case "duplicate ids rejected" `Quick test_duplicate_ids_rejected;
+        ] );
+      ( "fork-traces",
+        [
+          Alcotest.test_case "child spans stitch under the task span" `Quick
+            test_trace_spans_fork;
+          Alcotest.test_case "timeout salvages partial metrics" `Slow
+            test_timeout_salvages_partial_metrics;
+        ] );
+      ( "event-log",
+        [
+          Alcotest.test_case "rotation and torn tail" `Quick
+            test_eventlog_rotation_and_torn_tail;
         ] );
       ( "backoff",
         [

@@ -79,6 +79,36 @@ let test_snapshot_delta () =
   Alcotest.(check (float 0.0)) "hist count delta" 1.0 (get "t.delta.h.count");
   Alcotest.(check (float 0.0)) "hist sum delta" 2.0 (get "t.delta.h.sum")
 
+let test_window_quantiles () =
+  let w = Obs.Metrics.window ~capacity:4 "t.win" in
+  check "empty window is nan" true (Float.is_nan (Obs.Metrics.quantile w 0.5));
+  check_int "empty count" 0 (Obs.Metrics.window_count w);
+  Obs.Metrics.wobserve w 10.0;
+  (* a single observation is every quantile *)
+  Alcotest.(check (float 0.0)) "p0 of one" 10.0 (Obs.Metrics.quantile w 0.0);
+  Alcotest.(check (float 0.0)) "p100 of one" 10.0 (Obs.Metrics.quantile w 1.0);
+  List.iter (Obs.Metrics.wobserve w) [ 20.0; 30.0; 40.0 ];
+  check_int "full window" 4 (Obs.Metrics.window_count w);
+  (* nearest-rank at the exact window edges *)
+  Alcotest.(check (float 0.0)) "p0 is min" 10.0 (Obs.Metrics.quantile w 0.0);
+  Alcotest.(check (float 0.0)) "p50" 20.0 (Obs.Metrics.quantile w 0.5);
+  Alcotest.(check (float 0.0)) "p100 is max" 40.0 (Obs.Metrics.quantile w 1.0);
+  (* out-of-range q clamps instead of raising *)
+  Alcotest.(check (float 0.0)) "q below 0 clamps" 10.0 (Obs.Metrics.quantile w (-3.0));
+  Alcotest.(check (float 0.0)) "q above 1 clamps" 40.0 (Obs.Metrics.quantile w 7.0);
+  (* wrap past capacity: the oldest observation falls out of the ring *)
+  Obs.Metrics.wobserve w 50.0;
+  check_int "count capped at capacity" 4 (Obs.Metrics.window_count w);
+  Alcotest.(check (float 0.0)) "evicted oldest" 20.0 (Obs.Metrics.quantile w 0.0);
+  Alcotest.(check (float 0.0)) "p50 tracks the window" 30.0 (Obs.Metrics.quantile w 0.5);
+  Alcotest.(check (float 0.0)) "newest is max" 50.0 (Obs.Metrics.quantile w 1.0);
+  (* windows live outside the snapshot registry: frame and BENCH formats
+     must not grow a key per window *)
+  check "excluded from snapshot" true
+    (List.for_all
+       (fun s -> not (String.equal s.Obs.Metrics.name "t.win"))
+       (Obs.Metrics.snapshot ()))
+
 (* ------------------------------------------------------------------ spans *)
 
 let test_span_nesting () =
@@ -131,6 +161,88 @@ let test_disabled_noop () =
   check_int "no events recorded" 0 (List.length (Obs.Trace.events ()));
   Alcotest.check_raises "exception still propagates" Exit (fun () ->
       Obs.Span.with_ "ghost" (fun () -> raise Exit))
+
+let test_events_json_roundtrip () =
+  let batch =
+    [
+      {
+        Obs.Trace.name = "w.root";
+        ph = Obs.Trace.Begin;
+        ts_us = 5.0;
+        tid = 3;
+        attrs = [ ("trace_id", Obs.Str "sweep-1-aa"); ("n", Obs.Int 2) ];
+      };
+      { Obs.Trace.name = "tick"; ph = Obs.Trace.Instant; ts_us = 6.5; tid = 3; attrs = [] };
+      { Obs.Trace.name = "w.root"; ph = Obs.Trace.End; ts_us = 9.0; tid = 3; attrs = [] };
+    ]
+  in
+  let decoded = Obs.Trace.events_of_json (Obs.Trace.events_to_json batch) in
+  check_int "batch length survives" 3 (List.length decoded);
+  List.iter2
+    (fun a b ->
+      check_str "name" a.Obs.Trace.name b.Obs.Trace.name;
+      check "phase" true (a.Obs.Trace.ph = b.Obs.Trace.ph);
+      Alcotest.(check (float 0.0)) "ts" a.Obs.Trace.ts_us b.Obs.Trace.ts_us;
+      check_int "tid" a.Obs.Trace.tid b.Obs.Trace.tid)
+    batch decoded;
+  (* a batch torn mid-serialization decodes to the valid prefix, never
+     raises: garbage entries are skipped *)
+  let torn = Obs.Json.Arr [ Obs.Json.Str "not an event"; Obs.Trace.events_to_json batch ] in
+  ignore (Obs.Trace.events_of_json torn)
+
+let test_inject_truncated_batch () =
+  with_tracing (fun () ->
+      Obs.Span.with_ "sup" (fun () -> ());
+      (* a worker batch cut short by SIGKILL: two Begins, no Ends *)
+      let batch =
+        [
+          {
+            Obs.Trace.name = "w.root";
+            ph = Obs.Trace.Begin;
+            ts_us = 5.0;
+            tid = 1;
+            attrs = [];
+          };
+          { Obs.Trace.name = "w.inner"; ph = Obs.Trace.Begin; ts_us = 6.0; tid = 1; attrs = [] };
+        ]
+      in
+      Obs.Trace.inject ~pid:4242 ~dropped:3 batch);
+  check "mid-span death flags the trace truncated" true (Obs.Trace.truncated ());
+  check_int "worker drop counter absorbed" 3 (Obs.Trace.dropped ());
+  match Obs.Json.parse (Obs.Trace.to_chrome_json ()) with
+  | Error msg -> Alcotest.failf "trace JSON does not parse: %s" msg
+  | Ok json ->
+      let evs =
+        match Option.bind (Obs.Json.member "traceEvents" json) Obs.Json.to_list with
+        | Some l -> l
+        | None -> Alcotest.fail "no traceEvents array"
+      in
+      let worker_evs =
+        List.filter
+          (fun ev ->
+            match Option.bind (Obs.Json.member "pid" ev) Obs.Json.to_number with
+            | Some p -> int_of_float p = 4242
+            | None -> false)
+          evs
+      in
+      let phase_count p =
+        List.length
+          (List.filter
+             (fun ev ->
+               match Option.bind (Obs.Json.member "ph" ev) Obs.Json.to_string with
+               | Some q -> String.equal p q
+               | None -> false)
+             worker_evs)
+      in
+      (* the unbalanced Begins got synthesized Ends: the worker row is
+         well-formed, not torn *)
+      check_int "worker row has both Begins" 2 (phase_count "B");
+      check_int "synthesized Ends balance them" 2 (phase_count "E");
+      let truncated_flag =
+        Option.bind (Obs.Json.member "otherData" json) (fun od ->
+            Obs.Json.member "truncated" od)
+      in
+      check "otherData carries truncated:true" true (truncated_flag = Some (Obs.Json.Bool true))
 
 (* ------------------------------------------------------------ Chrome JSON *)
 
@@ -256,12 +368,16 @@ let () =
           Alcotest.test_case "histogram" `Quick test_histogram;
           Alcotest.test_case "kind clash" `Quick test_kind_clash;
           Alcotest.test_case "snapshot and delta" `Quick test_snapshot_delta;
+          Alcotest.test_case "window quantiles at the edges" `Quick test_window_quantiles;
         ] );
       ( "spans",
         [
           Alcotest.test_case "nesting and order" `Quick test_span_nesting;
           Alcotest.test_case "exception closes span" `Quick test_span_exception;
           Alcotest.test_case "disabled is a no-op" `Quick test_disabled_noop;
+          Alcotest.test_case "event batch json roundtrip" `Quick test_events_json_roundtrip;
+          Alcotest.test_case "inject repairs a truncated batch" `Quick
+            test_inject_truncated_batch;
         ] );
       ( "chrome-json",
         [
