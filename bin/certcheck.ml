@@ -1,0 +1,557 @@
+(* Independent certificate checker. Deliberately shares NO code with the
+   solver libraries (machine-enforced by the lint cert-isolation rule
+   and the ci.sh dune-describe gate): its own DQDIMACS parser, its own
+   certificate parser, its own FNV-1a fingerprint, and a self-contained
+   DPLL refutation engine. Trusting a verdict therefore requires
+   trusting only the ~500 lines in this file.
+
+   Usage: certcheck INSTANCE.dqdimacs CERTIFICATE
+
+   Exit codes:
+     0  verified  — the certificate proves the verdict
+     1  refuted   — the certificate is well-formed but wrong
+     2  malformed — unreadable/ill-formed input, fingerprint or prefix
+                    mismatch (the certificate is for another instance)
+     3  uncertified — the artifact explicitly declines to certify
+                    (carries a reason, proves nothing either way)
+
+   Certificate grammar (DESIGN.md §15): header [s cert STATUS], [h fnv],
+   [a ... 0], [d y ... 0]; SAT body [n]/[i]/[g]/[o] lines describing a
+   Skolem AIG (lit = 2*node + complement, node 0 = constant false);
+   UNSAT body [x]/[u] lines listing full universal assignments whose
+   expansion must be propositionally unsatisfiable. *)
+
+let malformed fmt =
+  Printf.ksprintf
+    (fun s ->
+      Printf.eprintf "certcheck: malformed: %s\n" s;
+      exit 2)
+    fmt
+
+let refuted fmt =
+  Printf.ksprintf
+    (fun s ->
+      Printf.printf "s cert REFUTED\nc %s\n" s;
+      exit 1)
+    fmt
+
+(* ------------------------------------------------------------ helpers *)
+
+let read_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | content -> content
+  | exception Sys_error msg -> malformed "%s" msg
+
+let fnv64 s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun ch ->
+      h := Int64.logxor !h (Int64.of_int (Char.code ch));
+      h := Int64.mul !h 0x100000001b3L)
+    s;
+  Printf.sprintf "%016Lx" !h
+
+let tokens line = String.split_on_char ' ' (String.trim line) |> List.filter (fun s -> s <> "")
+
+let int_of tok =
+  match int_of_string_opt tok with Some i -> i | None -> malformed "not an integer: %s" tok
+
+let zero_terminated toks =
+  let rec split acc = function
+    | [ "0" ] -> List.rev acc
+    | [] -> malformed "missing 0 terminator"
+    | tk :: rest -> split (int_of tk :: acc) rest
+  in
+  split [] toks
+
+module IntSet = Set.Make (Int)
+
+(* --------------------------------------------------- DQDIMACS parsing *)
+
+type instance = {
+  univs : IntSet.t;  (** 1-based *)
+  deps : (int, int list) Hashtbl.t;  (** existential -> sorted deps, 1-based *)
+  clauses : int list list;
+  max_var : int;
+}
+
+let parse_instance text =
+  let univ_order = ref [] in
+  let univs = ref IntSet.empty in
+  let deps = Hashtbl.create 64 in
+  let clauses = ref [] in
+  let max_var = ref 0 in
+  let note v = if v > !max_var then max_var := v in
+  List.iter
+    (fun line ->
+      match tokens line with
+      | [] -> ()
+      | "c" :: _ -> ()
+      | "p" :: "cnf" :: nv :: _ -> note (int_of nv)
+      | "a" :: rest ->
+          List.iter
+            (fun v ->
+              if v <= 0 then malformed "non-positive universal %d" v;
+              note v;
+              if not (IntSet.mem v !univs) then univ_order := v :: !univ_order;
+              univs := IntSet.add v !univs)
+            (zero_terminated rest)
+      | "e" :: rest ->
+          let ds = List.sort Int.compare (List.rev !univ_order) in
+          List.iter
+            (fun v ->
+              if v <= 0 then malformed "non-positive existential %d" v;
+              note v;
+              Hashtbl.replace deps v ds)
+            (zero_terminated rest)
+      | "d" :: rest -> (
+          match zero_terminated rest with
+          | y :: ds ->
+              if y <= 0 then malformed "non-positive existential %d" y;
+              note y;
+              List.iter note ds;
+              Hashtbl.replace deps y (List.sort Int.compare ds)
+          | [] -> malformed "empty d-line")
+      | toks ->
+          let rec clause acc = function
+            | [] ->
+                if acc <> [] then malformed "clause not terminated by 0";
+                ()
+            | "0" :: rest ->
+                clauses := List.rev acc :: !clauses;
+                clause [] rest
+            | tk :: rest ->
+                let l = int_of tk in
+                note (abs l);
+                clause (l :: acc) rest
+          in
+          clause [] toks)
+    (String.split_on_char '\n' text);
+  (* undeclared variables are existential with empty dependencies *)
+  for v = 1 to !max_var do
+    if not (IntSet.mem v !univs || Hashtbl.mem deps v) then Hashtbl.replace deps v []
+  done;
+  { univs = !univs; deps; clauses = List.rev !clauses; max_var = !max_var }
+
+(* ------------------------------------------------ certificate parsing *)
+
+type cert = {
+  cstatus : string;
+  cfp : string;
+  cunivs : int list;  (** sorted *)
+  cdeps : (int * int list) list;  (** sorted by variable *)
+  num_nodes : int;
+  inputs : (int * int) list;
+  gates : (int * int * int) list;
+  outputs : (int * int) list;
+  ulines : int list list;
+  reason : string;
+}
+
+let parse_cert text =
+  let cstatus = ref "" in
+  let cfp = ref "" in
+  let cunivs = ref None in
+  let cdeps = ref [] in
+  let num_nodes = ref 0 in
+  let inputs = ref [] in
+  let gates = ref [] in
+  let outputs = ref [] in
+  let xcount = ref (-1) in
+  let ulines = ref [] in
+  let reason = ref "" in
+  List.iter
+    (fun line ->
+      match tokens line with
+      | [] -> ()
+      | "c" :: _ -> ()
+      | [ "s"; "cert"; st ] -> cstatus := st
+      | [ "h"; h ] -> cfp := String.lowercase_ascii h
+      | "a" :: rest -> cunivs := Some (zero_terminated rest)
+      | "d" :: y :: rest -> cdeps := (int_of y, zero_terminated rest) :: !cdeps
+      | [ "n"; k ] -> num_nodes := int_of k
+      | [ "i"; nd; u ] -> inputs := (int_of nd, int_of u) :: !inputs
+      | [ "g"; nd; a; b ] -> gates := (int_of nd, int_of a, int_of b) :: !gates
+      | [ "o"; y; l ] -> outputs := (int_of y, int_of l) :: !outputs
+      | [ "x"; k ] -> xcount := int_of k
+      | "u" :: rest -> ulines := zero_terminated rest :: !ulines
+      | "r" :: rest -> reason := String.concat " " rest
+      | tk :: _ -> malformed "unrecognized certificate line starting with %s" tk)
+    (String.split_on_char '\n' text);
+  if String.length !cfp = 0 then malformed "certificate has no h line";
+  let cunivs =
+    match !cunivs with
+    | Some u -> List.sort Int.compare u
+    | None -> malformed "certificate has no a line"
+  in
+  let cdeps =
+    List.rev_map (fun (y, ds) -> (y, List.sort Int.compare ds)) !cdeps
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  in
+  let ulines = List.rev !ulines in
+  (match !cstatus with
+  | "SAT" | "UNSAT" | "UNCERTIFIED" -> ()
+  | "" -> malformed "certificate has no s cert line"
+  | st -> malformed "unknown certificate status %s" st);
+  if String.equal !cstatus "UNSAT" && !xcount <> List.length ulines then
+    malformed "x count disagrees with the u lines";
+  {
+    cstatus = !cstatus;
+    cfp = !cfp;
+    cunivs;
+    cdeps;
+    num_nodes = !num_nodes;
+    inputs = List.rev !inputs;
+    gates = List.rev !gates;
+    outputs = List.rev !outputs;
+    ulines;
+    reason = !reason;
+  }
+
+(* --------------------------------------------------------------- DPLL *)
+
+(* Self-contained SAT refutation: counter-free DPLL with unit
+   propagation over occurrence lists. Variables are 1-based; literals
+   are signed ints; [assign.(v)] is 0 unassigned, 1 true, -1 false. *)
+let dpll nvars (clauses : int array list) =
+  let clauses = Array.of_list clauses in
+  if Array.exists (fun c -> Array.length c = 0) clauses then false
+  else begin
+    let occ = Array.make (nvars + 1) [] in
+    Array.iteri
+      (fun ci c -> Array.iter (fun l -> occ.(abs l) <- ci :: occ.(abs l)) c)
+      clauses;
+    let assign = Array.make (nvars + 1) 0 in
+    let trail = ref [] in
+    let value l = if l > 0 then assign.(l) else - assign.(-l) in
+    let set l =
+      assign.(abs l) <- (if l > 0 then 1 else -1);
+      trail := l :: !trail
+    in
+    let undo_to mark =
+      while !trail != mark do
+        match !trail with
+        | l :: rest ->
+            assign.(abs l) <- 0;
+            trail := rest
+        | [] -> ()
+      done
+    in
+    (* propagate units starting from [start]; false on conflict (which
+       includes complementary literals inside [start] itself) *)
+    let exception Conflict in
+    let propagate start =
+      let queue = Queue.create () in
+      try
+        List.iter
+          (fun l ->
+            match value l with
+            | -1 -> raise Conflict
+            | 0 ->
+                set l;
+                Queue.add l queue
+            | _ -> ())
+          start;
+        while not (Queue.is_empty queue) do
+          let l = Queue.pop queue in
+          List.iter
+            (fun ci ->
+              let c = clauses.(ci) in
+              let sat = ref false in
+              let unassigned = ref 0 in
+              let last = ref 0 in
+              Array.iter
+                (fun l' ->
+                  match value l' with
+                  | 1 -> sat := true
+                  | 0 ->
+                      incr unassigned;
+                      last := l'
+                  | _ -> ())
+                c;
+              if not !sat then
+                if !unassigned = 0 then raise Conflict
+                else if !unassigned = 1 && value !last = 0 then begin
+                  set !last;
+                  Queue.add !last queue
+                end)
+            occ.(abs l)
+        done;
+        true
+      with Conflict -> false
+    in
+    (* top-level units *)
+    let initial_units =
+      Array.to_list clauses
+      |> List.filter_map (fun c -> if Array.length c = 1 then Some c.(0) else None)
+    in
+    let rec solve () =
+      (* find an unassigned variable occurring in an unsatisfied clause *)
+      let branch = ref 0 in
+      (try
+         Array.iter
+           (fun c ->
+             let sat = ref false in
+             let free = ref 0 in
+             Array.iter
+               (fun l ->
+                 match value l with
+                 | 1 -> sat := true
+                 | 0 -> if !free = 0 then free := l
+                 | _ -> ())
+               c;
+             if (not !sat) && !free <> 0 then begin
+               branch := !free;
+               raise Exit
+             end)
+           clauses
+       with Exit -> ());
+      if !branch = 0 then true (* every clause satisfied *)
+      else
+        let mark = !trail in
+        let try_lit l =
+          if propagate [ l ] && solve () then true
+          else begin
+            undo_to mark;
+            false
+          end
+        in
+        try_lit !branch || try_lit (- !branch)
+    in
+    propagate initial_units && solve ()
+  end
+
+(* ------------------------------------------------------ header checks *)
+
+let check_header inst cert instance_bytes =
+  if not (String.equal cert.cfp (fnv64 instance_bytes)) then
+    malformed "fingerprint mismatch: certificate %s, instance %s" cert.cfp (fnv64 instance_bytes);
+  let iunivs = IntSet.elements inst.univs in
+  if not (List.equal Int.equal iunivs cert.cunivs) then malformed "universal sets differ";
+  let iexists =
+    Hashtbl.fold (fun y _ acc -> y :: acc) inst.deps [] |> List.sort Int.compare
+  in
+  if not (List.equal Int.equal iexists (List.map fst cert.cdeps)) then
+    malformed "existential sets differ";
+  List.iter
+    (fun (y, ds) ->
+      let inst_ds = match Hashtbl.find_opt inst.deps y with Some l -> l | None -> [] in
+      List.iter
+        (fun x ->
+          if not (List.mem x inst_ds) then
+            malformed "declared dependencies of %d exceed the instance's" y)
+        ds)
+    cert.cdeps
+
+(* ------------------------------------------------------ SAT checking *)
+
+(* Verify: (a) each output's structural support lies inside its declared
+   Henkin set; (b) matrix[s_y / y] is a universal tautology, by Tseitin-
+   encoding the Skolem AIG, adding one falsification selector per matrix
+   clause, and refuting the conjunction with DPLL. *)
+let check_sat inst cert =
+  let n = cert.num_nodes in
+  if n < 1 then malformed "SAT certificate without a node count";
+  if List.length cert.inputs + List.length cert.gates <> n - 1 then
+    malformed "node count disagrees with the i/g lines";
+  let defined = Array.make n false in
+  let def nd =
+    if nd < 1 || nd >= n then malformed "node id %d out of range" nd;
+    if defined.(nd) then malformed "node %d defined twice" nd;
+    defined.(nd) <- true
+  in
+  List.iter (fun (nd, u) ->
+      def nd;
+      if not (IntSet.mem u inst.univs) then refuted "input labeled with non-universal %d" u)
+    cert.inputs;
+  let lit_ok l = l >= 0 && l < 2 * n in
+  List.iter
+    (fun (nd, f0, f1) ->
+      def nd;
+      if not (lit_ok f0 && lit_ok f1) then malformed "gate %d: fanin literal out of range" nd;
+      if f0 / 2 >= nd || f1 / 2 >= nd then malformed "gate %d references a later node" nd)
+    cert.gates;
+  List.iter
+    (fun (y, l) ->
+      if not (Hashtbl.mem inst.deps y) then malformed "output for non-existential %d" y;
+      if not (lit_ok l) then malformed "output of %d: literal out of range" y)
+    cert.outputs;
+  let out_vars = List.map fst cert.outputs |> List.sort_uniq Int.compare in
+  let exist_vars = List.map fst cert.cdeps in
+  if not (List.equal Int.equal out_vars exist_vars) then
+    malformed "outputs do not cover exactly the existentials";
+  (* (a) structural support, one pass in node order *)
+  let sup = Array.make n IntSet.empty in
+  List.iter (fun (nd, u) -> sup.(nd) <- IntSet.singleton u) cert.inputs;
+  List.iter
+    (fun (nd, f0, f1) -> sup.(nd) <- IntSet.union sup.(f0 / 2) sup.(f1 / 2))
+    (List.sort (fun (a, _, _) (b, _, _) -> Int.compare a b) cert.gates);
+  List.iter
+    (fun (y, l) ->
+      let declared =
+        IntSet.of_list (match List.assoc_opt y cert.cdeps with Some d -> d | None -> [])
+      in
+      IntSet.iter
+        (fun u ->
+          if not (IntSet.mem u declared) then
+            refuted "Skolem output of %d depends on %d outside its declared set" y u)
+        sup.(l / 2))
+    cert.outputs;
+  (* (b) tautology: SAT vars 1..max_var are the instance variables
+     (universals used directly); nodes and selectors get fresh vars.
+     node_lit.(nd) is the signed SAT literal equivalent to AIG lit 2*nd,
+     or 0 when the node is constant false. *)
+  let next_var = ref inst.max_var in
+  let fresh () = incr next_var; !next_var in
+  let cnf = ref [] in
+  let emit c = cnf := Array.of_list c :: !cnf in
+  let node_lit = Array.make n 0 in
+  List.iter (fun (nd, u) -> node_lit.(nd) <- u) cert.inputs;
+  (* signed literal + constant tracking: Some lit, or None for constants;
+     [sat_of l] is (constant : bool option, lit) *)
+  let sat_of l =
+    let nd = l / 2 in
+    let s = if l land 1 = 1 then -1 else 1 in
+    if nd = 0 then `Const (s < 0) (* node 0 = false, complemented = true *)
+    else if node_lit.(nd) = 0 then `Const (s < 0) (* constant-false gate *)
+    else `Lit (s * node_lit.(nd))
+  in
+  List.iter
+    (fun (nd, f0, f1) ->
+      match (sat_of f0, sat_of f1) with
+      | `Const false, _ | _, `Const false -> node_lit.(nd) <- 0
+      | `Const true, `Const true ->
+          let v = fresh () in
+          node_lit.(nd) <- v;
+          emit [ v ]
+      | `Const true, `Lit a | `Lit a, `Const true ->
+          let v = fresh () in
+          node_lit.(nd) <- v;
+          emit [ -v; a ];
+          emit [ v; -a ]
+      | `Lit a, `Lit b ->
+          let v = fresh () in
+          node_lit.(nd) <- v;
+          emit [ -v; a ];
+          emit [ -v; b ];
+          emit [ v; -a; -b ])
+    (List.sort (fun (a, _, _) (b, _, _) -> Int.compare a b) cert.gates);
+  let out_lit = Hashtbl.create 16 in
+  List.iter (fun (y, l) -> Hashtbl.replace out_lit y (sat_of l)) cert.outputs;
+  (* substituted literal of a matrix literal *)
+  let subst l =
+    let v = abs l in
+    let s = if l < 0 then -1 else 1 in
+    if IntSet.mem v inst.univs then `Lit (s * v)
+    else
+      match Hashtbl.find_opt out_lit v with
+      | Some (`Const b) -> `Const (if s < 0 then not b else b)
+      | Some (`Lit sl) -> `Lit (s * sl)
+      | None -> malformed "matrix variable %d has no Skolem output" v
+  in
+  (* negation of the substituted matrix: selector z_c forces clause c
+     false; at least one selector must hold *)
+  let selectors = ref [] in
+  List.iter
+    (fun clause ->
+      (* a clause containing a literal substituted to constant true can
+         never be falsified: no selector *)
+      let lits = List.map subst clause in
+      if not (List.exists (fun s -> match s with `Const true -> true | _ -> false) lits) then begin
+        let z = fresh () in
+        selectors := z :: !selectors;
+        List.iter
+          (fun s -> match s with `Lit sl -> emit [ -z; -sl ] | `Const _ -> ())
+          lits
+      end)
+    inst.clauses;
+  (match !selectors with
+  | [] ->
+      (* every clause is constantly satisfied: tautology, nothing to solve *)
+      ()
+  | zs ->
+      emit zs;
+      if dpll !next_var !cnf then
+        refuted "substituted matrix is not a universal tautology");
+  print_endline "s cert VERIFIED"
+
+(* ----------------------------------------------------- UNSAT checking *)
+
+let check_unsat inst cert =
+  if cert.ulines = [] then malformed "empty expansion refutation";
+  let iunivs = IntSet.elements inst.univs in
+  List.iter
+    (fun l ->
+      let vars = List.sort Int.compare (List.map abs l) in
+      if not (List.equal Int.equal vars iunivs) then
+        malformed "an expansion line does not assign exactly the universals")
+    cert.ulines;
+  (* expansion: copies keyed by (y, assignment restricted to the
+     INSTANCE's dependency set of y) — a superset of the certificate's
+     declared set, hence sound for any subset of the full expansion *)
+  let next_var = ref 0 in
+  let copies = Hashtbl.create 64 in
+  let cnf = ref [] in
+  let empty_clause = ref false in
+  List.iter
+    (fun uline ->
+      let env = Hashtbl.create 16 in
+      List.iter (fun l -> Hashtbl.replace env (abs l) (l > 0)) uline;
+      let copy_of y =
+        let ds = match Hashtbl.find_opt inst.deps y with Some l -> l | None -> [] in
+        let key =
+          string_of_int y ^ ":"
+          ^ String.concat ""
+              (List.map
+                 (fun x ->
+                   match Hashtbl.find_opt env x with Some true -> "1" | Some false | None -> "0")
+                 ds)
+        in
+        match Hashtbl.find_opt copies key with
+        | Some v -> v
+        | None ->
+            incr next_var;
+            Hashtbl.replace copies key !next_var;
+            !next_var
+      in
+      List.iter
+        (fun clause ->
+          let out = ref [] in
+          let satisfied = ref false in
+          List.iter
+            (fun l ->
+              let v = abs l in
+              match Hashtbl.find_opt env v with
+              | Some b -> if b = (l > 0) then satisfied := true
+              | None ->
+                  let cv = copy_of v in
+                  out := (if l > 0 then cv else -cv) :: !out)
+            clause;
+          if not !satisfied then
+            match !out with
+            | [] -> empty_clause := true
+            | c -> cnf := Array.of_list c :: !cnf)
+        inst.clauses)
+    cert.ulines;
+  if (not !empty_clause) && dpll !next_var !cnf then
+    refuted "expansion is satisfiable: the refutation does not hold";
+  print_endline "s cert VERIFIED"
+
+(* --------------------------------------------------------------- main *)
+
+let () =
+  match Sys.argv with
+  | [| _; instance_path; cert_path |] -> (
+      let instance_bytes = read_file instance_path in
+      let cert = parse_cert (read_file cert_path) in
+      let inst = parse_instance instance_bytes in
+      check_header inst cert instance_bytes;
+      match cert.cstatus with
+      | "SAT" -> check_sat inst cert
+      | "UNSAT" -> check_unsat inst cert
+      | _ ->
+          Printf.printf "s cert UNCERTIFIED\nc %s\n" cert.reason;
+          exit 3)
+  | _ ->
+      prerr_endline "usage: certcheck INSTANCE.dqdimacs CERTIFICATE";
+      exit 2

@@ -61,12 +61,19 @@ let resolve_inproc = function
 
 let solve file timeout mem_limit node_limit no_preprocess no_unitpure no_maxsat no_thm2 bce
     expand_all sat_probe no_fraig search_backend no_restart chaos_seed chaos_points check
-    dep_scheme inproc show_model show_stats trace show_metrics =
+    dep_scheme inproc certify show_model show_stats trace show_metrics =
   install_signal_handlers ();
   let trace_file =
     match trace with
     | Some f -> Some f
     | None -> ( match Sys.getenv_opt "HQS_TRACE" with None | Some "" -> None | Some f -> Some f)
+  in
+  (* the flag overrides the environment, mirroring --check / HQS_CHECK *)
+  let certify_path =
+    match certify with
+    | Some p -> Some p
+    | None -> (
+        match Sys.getenv_opt "HQS_CERTIFY" with None | Some "" -> None | Some p -> Some p)
   in
   let check_level =
     match check with
@@ -160,7 +167,53 @@ let solve file timeout mem_limit node_limit no_preprocess no_unitpure no_maxsat 
         (fun (name, v) -> Printf.eprintf "c metric %s %g\n" name v)
         (Obs.Metrics.to_assoc (Obs.Metrics.snapshot ()))
   in
+  (* certifying solve with the audit-failure recovery loop: a
+     certificate that fails its own Post_certify audit is treated like a
+     crash — re-solve with checks escalated to Full and degradation and
+     fault injection off, under the seeded backoff schedule, and give up
+     with exit 3 after bounded attempts (mirroring the serve daemon) *)
+  let solve_certified path =
+    let instance_text =
+      try In_channel.with_open_bin file In_channel.input_all
+      with Sys_error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 2
+    in
+    let max_attempts = 3 in
+    let rec attempt n cfg =
+      match Hqs.solve_pcnf_certified ~config:cfg ~budget ~instance_text pcnf with
+      | verdict, cert, _model, stats ->
+          (match Cert.write_file path cert with
+          | () -> Printf.printf "c certificate: %s (%s)\n" path (Cert.status cert)
+          | exception Sys_error msg ->
+              Printf.eprintf "error: cannot write certificate: %s\n" msg;
+              exit 2);
+          (verdict, stats)
+      | exception Check.Violation ({ Check.stage = Check.Post_certify; _ } as v) ->
+          Format.eprintf "c certificate audit failed (attempt %d/%d): %a@." n max_attempts
+            Check.pp_violation v;
+          if n >= max_attempts then begin
+            finish_obs ();
+            print_endline "s cnf ERROR";
+            exit 3
+          end
+          else begin
+            Unix.sleepf (Exec.Backoff.delay Exec.Backoff.default ~task:"certify" ~attempt:n);
+            attempt (n + 1)
+              {
+                cfg with
+                Hqs.check_level = Check.Full;
+                chaos = Hqs_util.Chaos.off;
+                restart_on_memout = false;
+              }
+          end
+    in
+    attempt 1 config
+  in
   let run () =
+    match certify_path with
+    | Some path -> solve_certified path
+    | None ->
     if show_model then begin
       let verdict, model, stats = Hqs.solve_pcnf_model ~config ~budget pcnf in
       (match (verdict, model) with
@@ -290,6 +343,19 @@ let inproc =
            and self-subsumption; the default) or full (additionally failed-literal probing \
            and dependency-aware bounded variable elimination); overrides \\$(b,HQS_INPROC)")
 
+let certify_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "certify" ] ~docv:"FILE"
+        ~doc:
+          "materialize an externally checkable certificate artifact at $(i,FILE): a \
+           Skolem-AIG on SAT, a universal-expansion refutation on small UNSAT instances, an \
+           explicit UNCERTIFIED marker past the expansion cap. Verify with \
+           $(b,certcheck INSTANCE FILE), which shares no solver code. A certificate failing \
+           its own audit triggers an escalated re-solve (checks full, degradation off) and \
+           exit 3 after 3 attempts. Overrides \\$(b,HQS_CERTIFY)")
+
 let flag names doc = Arg.(value & flag & info names ~doc)
 
 (* -------------------------------------------------------- sweep command *)
@@ -309,12 +375,20 @@ let family_of_path file =
   | d -> d
 
 let sweep files jobs timeout node_limit retries journal resume mem_limit cpu_limit chaos_seed
-    chaos_points chaos_kill dep_scheme inproc trace =
+    chaos_points chaos_kill dep_scheme inproc certify_dir trace =
   install_signal_handlers ();
   if files = [] then begin
     Printf.eprintf "error: no input files\n";
     exit 2
   end;
+  (match certify_dir with
+  | None -> ()
+  | Some dir -> (
+      try Unix.mkdir dir 0o755 with
+      | Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+      | Unix.Unix_error (err, _, _) ->
+          Printf.eprintf "error: mkdir %s: %s\n" dir (Unix.error_message err);
+          exit 2));
   if Option.is_some trace then Obs.Trace.start ();
   let items =
     List.map
@@ -392,6 +466,7 @@ let sweep files jobs timeout node_limit retries journal resume mem_limit cpu_lim
                   }
             in
             Some cfg);
+      Harness.Sweep.certify_dir;
       Harness.Sweep.exec =
         {
           Exec.Supervisor.jobs;
@@ -548,6 +623,16 @@ let sweep_cmd =
       $ Arg.(
           value
           & opt (some string) None
+          & info [ "certify-dir" ] ~docv:"DIR"
+              ~doc:
+                "run every HQS task through the certifying entry point and drop a \
+                 self-contained (instance, certificate) artifact pair per task under \
+                 $(i,DIR) (created if missing); the journal and the CSV's trailing \
+                 $(b,cert) column carry the artifact paths, verifiable offline with \
+                 $(b,certcheck)")
+      $ Arg.(
+          value
+          & opt (some string) None
           & info [ "trace" ] ~docv:"FILE"
               ~doc:
                 "write one merged multi-process Chrome trace: supervisor per-task spans on \
@@ -689,8 +774,8 @@ let resolve_check_level check =
           exit 2)
 
 let serve socket workers queue_cap timeout max_timeout kill_grace retries mem_limit node_limit
-    cache check audit_period trace event_log chaos_seed chaos_points chaos_kill dep_scheme
-    inproc =
+    cache check audit_period trace event_log chaos_seed chaos_points chaos_kill certify
+    chaos_cert dep_scheme inproc =
   (* no install_signal_handlers: SIGTERM/SIGINT mean "drain", not "abort" *)
   let check_level = resolve_check_level check in
   let chaos =
@@ -702,6 +787,12 @@ let serve socket workers queue_cap timeout max_timeout kill_grace retries mem_li
       (match chaos_kill with
       | None -> []
       | Some jid -> [ Serve.Daemon.kill_point ~jid ~attempt:1 ])
+      @
+      (* same shape for the certificate recovery loop: poison the first
+         dispatch's artifact, so the escalated re-solve then verifies *)
+      (match chaos_cert with
+      | None -> []
+      | Some jid -> [ Serve.Daemon.cert_point ~jid ~attempt:1 ])
     in
     match (chaos_seed, points) with
     | None, [] -> Hqs_util.Chaos.off
@@ -737,6 +828,7 @@ let serve socket workers queue_cap timeout max_timeout kill_grace retries mem_li
       trace_path = trace;
       event_log;
       solver;
+      certify;
     }
   in
   Printf.eprintf "c serve: listening on %s (%d workers, queue cap %d)\n%!" socket workers
@@ -840,6 +932,24 @@ let serve_cmd =
               ~doc:
                 "arm a deterministic SIGKILL of the first dispatch of this job id (job ids \
                  count from 1 in admission order)")
+      $ Arg.(
+          value
+          & flag
+          & info [ "certify" ]
+              ~doc:
+                "solve through the certifying entry point and audit every certificate \
+                 artifact in the worker; an audit failure tombstones the cache entry, \
+                 retries the job with checks escalated to full, and quarantines it past \
+                 $(b,--retries) attempts. Clients asking with $(b,hqs query --certify) \
+                 receive the verified artifact inline")
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "chaos-cert" ] ~docv:"JID"
+              ~doc:
+                "arm a deterministic corruption of this job id's certificate on its first \
+                 dispatch, before the in-worker audit — the fault-injection drill for the \
+                 audit-failure recovery loop (requires $(b,--certify))")
       $ dep_scheme $ inproc)
 
 (* -------------------------------------------------------- query command *)
@@ -871,11 +981,13 @@ let render_health (h : Serve.Proto.health) =
     (m "serve.shed") (m "serve.timeouts");
   Printf.printf "c crashes %.0f  respawns %.0f\n" (m "serve.worker_crashes")
     (m "serve.respawns");
-  Printf.printf "c cache hits %.0f  misses %.0f  audits %.0f  audit_failures %.0f\n%!"
+  Printf.printf "c cache hits %.0f  misses %.0f  audits %.0f  audit_failures %.0f\n"
     (m "serve.cache_hits") (m "serve.cache_misses") (m "serve.cache_audits")
-    (m "serve.cache_audit_failures")
+    (m "serve.cache_audit_failures");
+  Printf.printf "c cert audits %.0f  audit_failures %.0f\n%!" (m "serve.cert_audits")
+    (m "serve.cert_audit_failed")
 
-let query socket file ping stats health timeout sleep =
+let query socket file ping stats health timeout sleep certify =
   install_signal_handlers ();
   let request =
     if ping then Serve.Proto.Ping
@@ -885,7 +997,9 @@ let query socket file ping stats health timeout sleep =
       match file with
       | Some f -> (
           match In_channel.with_open_bin f In_channel.input_all with
-          | text -> Serve.Proto.Solve { text; timeout_s = timeout; sleep_s = sleep }
+          | text ->
+              Serve.Proto.Solve
+                { text; timeout_s = timeout; sleep_s = sleep; want_cert = Option.is_some certify }
           | exception Sys_error msg ->
               Printf.eprintf "error: %s\n" msg;
               exit 2)
@@ -909,10 +1023,25 @@ let query socket file ping stats health timeout sleep =
       | Serve.Proto.Health_reply h ->
           render_health h;
           exit 0
-      | Serve.Proto.Verdict { sat; elapsed_s; cached; audited } ->
+      | Serve.Proto.Verdict { sat; elapsed_s; cached; audited; cert } ->
           Printf.printf "c elapsed %.3fs%s%s\n" elapsed_s
             (if cached then " (cached)" else "")
             (if audited then " (audited)" else "");
+          (match (certify, cert) with
+          | Some path, Some blob -> (
+              match
+                Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc blob)
+              with
+              | () -> Printf.printf "c certificate: %s\n" path
+              | exception Sys_error msg ->
+                  Printf.eprintf "error: cannot write certificate: %s\n" msg;
+                  exit 2)
+          | Some _, None ->
+              (* not an error: the cache stores verdicts, not artifacts,
+                 and a non-certifying daemon ignores the request flag *)
+              Printf.printf "c no certificate in reply%s\n"
+                (if cached then " (cache hit)" else " (daemon not certifying)")
+          | None, _ -> ());
           print_endline (if sat then "s cnf SAT" else "s cnf UNSAT");
           exit (if sat then 10 else 20)
       | Serve.Proto.Failed { failure = Serve.Proto.F_timeout; elapsed_s; detail } ->
@@ -983,7 +1112,15 @@ let query_cmd =
           & info [ "sleep" ] ~docv:"SECONDS"
               ~doc:
                 "test hook: make the worker sleep this long (outside the solve budget) \
-                 before solving — deterministic deadline and overload scenarios"))
+                 before solving — deterministic deadline and overload scenarios")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "certify" ] ~docv:"FILE"
+              ~doc:
+                "ask the daemon for the solve's certificate artifact and write it to \
+                 $(i,FILE); only honored by a daemon running with $(b,--certify), and only \
+                 on a fresh (non-cached) verdict — verify offline with $(b,certcheck)"))
 
 (* ---------------------------------------------------------- top command *)
 
@@ -1052,7 +1189,7 @@ let solve_term =
     $ flag [ "no-fraig" ] "disable FRAIG sweeping"
     $ flag [ "search-backend" ] "use the QDPLL search back end instead of AIG elimination"
     $ flag [ "no-restart" ] "disable the degraded restart after a node-limit memout"
-    $ chaos_seed $ chaos_points $ check $ dep_scheme $ inproc
+    $ chaos_seed $ chaos_points $ check $ dep_scheme $ inproc $ certify_arg
     $ flag [ "model" ] "on SAT, print and verify Skolem functions"
     $ flag [ "stats" ] "print statistics to stderr (with --trace, also a flame summary)"
     $ trace

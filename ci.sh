@@ -50,6 +50,17 @@
 #      and leaves a complete, trace-correlated JSONL event trail; the
 #      raw-fd/no-stdout/mono-clock-span lint rules fire on seeded
 #      fixtures
+#  12. cert gate: assert the isolated verifier links zero libraries
+#      (dune describe) and that the cert-isolation lint rule fires on a
+#      seeded solver reference; certify every example-suite instance
+#      under --check full and verify each artifact with bin/certcheck
+#      (exit 0, SAT and UNSAT both); refute a semantically corrupted
+#      certificate (flipped Skolem output literal => exit 1); run the
+#      certify example end-to-end against the external verifier; then
+#      drill the daemon recovery path: a chaos-poisoned certificate must
+#      tombstone the cache entry, re-solve under the escalated config,
+#      ship a verifiable artifact to the client, and leave the failure
+#      visible in the event log (cert_audit) and hqs top
 set -eu
 cd "$(dirname "$0")"
 
@@ -526,4 +537,166 @@ for rule in raw-fd no-stdout mono-clock-span; do
 done
 echo "c distobs gate: trace stitched, bench gate trips, top live, event log complete"
 
-echo "== ci OK (smoke verdict exit $status, traced exit $trace_status, sweep crash+resume verified, serve gate passed, distobs gate passed) =="
+echo "== cert (externally checkable certificates) =="
+CERTCHECK=_build/default/bin/certcheck.exe
+# 1) the verifier's trust story: it links not a single library. dune
+#    describe is the ground truth for what the executable requires.
+dune describe | grep -A1 '(names (certcheck))' | grep -q '(requires ())' || {
+  echo "== ci FAILED: certcheck executable links libraries =="
+  dune describe | grep -A1 '(names (certcheck))'
+  exit 1
+}
+# ... and the source-level guard: the cert-isolation lint rule must fire
+# on a seeded solver reference inside a bin/certcheck.ml
+mkdir -p "$tmp/certlint/bin"
+printf 'let f s = Cert.parse s\n' >"$tmp/certlint/bin/certcheck.ml"
+certlint_status=0
+dune exec bin/lint.exe -- "$tmp/certlint" >"$tmp/certlint.out" 2>&1 || certlint_status=$?
+if [ "$certlint_status" != 1 ] || ! grep -q 'cert-isolation' "$tmp/certlint.out"; then
+  echo "== ci FAILED: seeded cert-isolation violation not flagged (exit $certlint_status) =="
+  cat "$tmp/certlint.out"
+  exit 1
+fi
+# 2) certify the whole example suite (SAT and UNSAT families) under the
+#    full auditor; every artifact must verify externally. An UNCERTIFIED
+#    marker (certcheck exit 3) is tolerated only when the artifact says
+#    so itself — capacity gaps are declared, never silent.
+mkdir -p "$tmp/cert"
+sat_inst=""
+sat_cert=""
+unsat_verified=0
+for f in "$tmp/an"/*.dqdimacs; do
+  id=$(basename "$f" .dqdimacs)
+  cert="$tmp/cert/$id.cert"
+  cert_solve=0
+  "$HQS_BIN" "$f" --certify "$cert" --check full --timeout 60 \
+    >"$tmp/cert/$id.out" 2>&1 || cert_solve=$?
+  case "$cert_solve" in
+  10 | 20) : ;;
+  *)
+    echo "== ci FAILED: certifying solve on $id exited $cert_solve =="
+    cat "$tmp/cert/$id.out"
+    exit 1
+    ;;
+  esac
+  cc_status=0
+  "$CERTCHECK" "$f" "$cert" >/dev/null 2>&1 || cc_status=$?
+  case "$cc_status" in
+  0)
+    grep -q '^s cert UNSAT' "$cert" && unsat_verified=1
+    if [ -z "$sat_cert" ] && grep -q '^s cert SAT' "$cert"; then
+      sat_inst=$f
+      sat_cert=$cert
+    fi
+    ;;
+  3)
+    grep -q '^s cert UNCERTIFIED' "$cert" || {
+      echo "== ci FAILED: certcheck says uncertified but the artifact disagrees ($id) =="
+      exit 1
+    }
+    ;;
+  *)
+    echo "== ci FAILED: certcheck rejected $id with exit $cc_status =="
+    "$CERTCHECK" "$f" "$cert" || true
+    exit 1
+    ;;
+  esac
+done
+if [ -z "$sat_cert" ] || [ "$unsat_verified" != 1 ]; then
+  echo "== ci FAILED: suite did not yield both a verified SAT and UNSAT certificate =="
+  exit 1
+fi
+# 3) a semantically corrupted artifact must be REFUTED (exit 1): flip the
+#    parity of the first Skolem output literal. (A fingerprint edit is a
+#    different failure class — malformed, exit 2.)
+awk '{ if ($1 == "o" && !done) { done = 1; $3 = ($3 % 2 == 0) ? $3 + 1 : $3 - 1 } print }' \
+  "$sat_cert" >"$tmp/cert/corrupt.cert"
+corrupt_status=0
+"$CERTCHECK" "$sat_inst" "$tmp/cert/corrupt.cert" >/dev/null 2>&1 || corrupt_status=$?
+if [ "$corrupt_status" != 1 ]; then
+  echo "== ci FAILED: corrupted certificate exited $corrupt_status (want 1 = refuted) =="
+  "$CERTCHECK" "$sat_inst" "$tmp/cert/corrupt.cert" || true
+  exit 1
+fi
+# 4) the worked example drives the same emit/round-trip/verify loop
+#    programmatically and shells out to the external verifier
+dune exec examples/certify.exe -- "$CERTCHECK" >"$tmp/certify_example.out" 2>&1 || {
+  echo "== ci FAILED: certify example failed =="
+  cat "$tmp/certify_example.out"
+  exit 1
+}
+grep -q 'external certcheck: exit 0' "$tmp/certify_example.out" || {
+  echo "== ci FAILED: certify example did not verify externally =="
+  cat "$tmp/certify_example.out"
+  exit 1
+}
+# 5) daemon recovery drill: --chaos-cert 1 poisons the first job's
+#    certificate fingerprint after the solve; the post-certify audit must
+#    catch it, tombstone the cache entry, re-solve under the escalated
+#    config and still ship a verifiable artifact to the client
+sock3="$tmp/hqs3.sock"
+elog3="$tmp/cert_events.jsonl"
+"$HQS_BIN" serve --socket "$sock3" --workers 2 --certify --check full \
+  --chaos-cert 1 --chaos-seed 7 --event-log "$elog3" >"$tmp/serve3.log" 2>&1 &
+serve3_pid=$!
+i=0
+until "$HQS_BIN" query --socket "$sock3" --ping >/dev/null 2>&1; do
+  i=$((i + 1))
+  if [ "$i" -gt 100 ]; then
+    echo "== ci FAILED: certifying daemon never answered a ping =="
+    cat "$tmp/serve3.log"
+    exit 1
+  fi
+  sleep 0.1
+done
+drill_status=0
+"$HQS_BIN" query --socket "$sock3" "$sat_inst" --certify "$tmp/drill.cert" \
+  --timeout 60 >"$tmp/drill.out" 2>&1 || drill_status=$?
+if [ "$drill_status" != 10 ]; then
+  echo "== ci FAILED: poisoned-cert drill query exited $drill_status (want 10 after recovery) =="
+  cat "$tmp/drill.out"
+  cat "$tmp/serve3.log"
+  exit 1
+fi
+cc3_status=0
+"$CERTCHECK" "$sat_inst" "$tmp/drill.cert" >/dev/null 2>&1 || cc3_status=$?
+if [ "$cc3_status" != 0 ]; then
+  echo "== ci FAILED: recovered daemon artifact did not verify (exit $cc3_status) =="
+  "$CERTCHECK" "$sat_inst" "$tmp/drill.cert" || true
+  exit 1
+fi
+# the audit failure must be visible to live introspection
+cert_failures=""
+for _ in $(seq 1 25); do
+  "$HQS_BIN" top --socket "$sock3" --once >"$tmp/top3.out"
+  cert_failures=$(sed -n 's/^c cert audits [0-9]*  audit_failures \([0-9]*\).*/\1/p' "$tmp/top3.out")
+  [ -n "$cert_failures" ] && [ "$cert_failures" -ge 1 ] && break
+  sleep 0.2
+done
+if [ -z "$cert_failures" ] || [ "$cert_failures" -lt 1 ]; then
+  echo "== ci FAILED: hqs top shows no certificate audit failure after the poison =="
+  cat "$tmp/top3.out"
+  exit 1
+fi
+kill -TERM "$serve3_pid"
+serve3_status=0
+wait "$serve3_pid" || serve3_status=$?
+if [ "$serve3_status" != 0 ]; then
+  echo "== ci FAILED: certifying daemon drain exited $serve3_status (want 0) =="
+  cat "$tmp/serve3.log"
+  exit 1
+fi
+# ... and in the durable event trail: the tombstone and the re-solve
+grep -q '"ev":"cert_audit"' "$elog3" || {
+  echo "== ci FAILED: event log has no cert_audit record =="
+  cat "$elog3"
+  exit 1
+}
+grep -q '"ev":"retry"' "$elog3" || {
+  echo "== ci FAILED: event log shows no re-solve after the cert audit failure =="
+  cat "$elog3"
+  exit 1
+}
+echo "c cert gate: suite certified+verified, corruption refuted, isolation asserted, daemon recovery drilled"
+
+echo "== ci OK (smoke verdict exit $status, traced exit $trace_status, sweep crash+resume verified, serve gate passed, distobs gate passed, cert gate passed) =="

@@ -14,6 +14,7 @@ type stage =
   | Post_fraig
   | Pre_backend
   | Post_solve
+  | Post_certify
 
 let stage_name = function
   | Post_analysis -> "post-analysis"
@@ -24,6 +25,7 @@ let stage_name = function
   | Post_fraig -> "post-fraig"
   | Pre_backend -> "pre-backend"
   | Post_solve -> "post-solve"
+  | Post_certify -> "post-certify"
 
 let level_name = function Off -> "off" | Cheap -> "cheap" | Full -> "full"
 
@@ -507,3 +509,37 @@ let audit_cache_hit ~level ~key ~cached_sat ~fresh_sat =
           "memoized verdict for canonical key %s is %s but a fresh solve says %s" key
           (if cached_sat then "SAT" else "UNSAT")
           (if fresh_sat then "SAT" else "UNSAT")
+
+(* ------------------------------------------------------- certificate gate *)
+
+(* Gate an emitted solve certificate before it leaves the process. The
+   structural half (fingerprint, prefix agreement, declared-dependency
+   support) runs at any enabled level; [Full] re-verifies the semantic
+   claim with the library checker — substituted matrix a tautology for
+   SAT, expansion refuted for UNSAT — under the caller's budget (a
+   budget expiry abandons the semantic pass, it does not fail it). An
+   [Uncertified] artifact passes unless it marks the verdict itself as
+   inconsistent ({!Cert.is_inconsistent}): an honest capacity gap is
+   fine, a full expansion disagreeing with the verdict is not. *)
+let audit_certificate ?budget ~level ~instance_text (pcnf : Dqbf.Pcnf.t) cert =
+  match level with
+  | Off -> ()
+  | Cheap | Full -> (
+      let stage = Post_certify in
+      Obs.Metrics.incr c_audits;
+      Obs.Span.with_ "check.audit"
+        ~attrs:[ ("stage", Obs.Str (stage_name stage)); ("level", Obs.Str (level_name level)) ]
+      @@ fun () ->
+      (match Cert.check_structural ~instance_text pcnf cert with
+      | Ok () -> ()
+      | Error detail -> violation stage "certificate" "%s" detail);
+      if Cert.is_inconsistent cert then
+        violation stage "certificate" "uncertified artifact marks the verdict as inconsistent";
+      match level with
+      | Full -> (
+          try
+            match Cert.check ?budget ~instance_text pcnf cert with
+            | Ok () -> ()
+            | Error detail -> violation stage "certificate" "%s" detail
+          with Budget.Timeout -> ())
+      | Off | Cheap -> ())

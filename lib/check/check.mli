@@ -27,6 +27,7 @@ type stage =
   | Post_fraig  (** after FRAIG sweeping or cone compaction replaced the manager *)
   | Pre_backend  (** after linearization, before the QBF back end runs *)
   | Post_solve  (** after a verdict, when certifying a Skolem model *)
+  | Post_certify  (** after a certificate artifact was materialized *)
 
 val stage_name : stage -> string
 val level_name : level -> string
@@ -124,3 +125,20 @@ val audit_cache_hit : level:level -> key:string -> cached_sat:bool -> fresh_sat:
     [structure = "verdict-cache"] — memoization returning a different
     answer than the solver is exactly the class of wrongness this
     module exists to trip on. *)
+
+val audit_certificate :
+  ?budget:Hqs_util.Budget.t ->
+  level:level ->
+  instance_text:string ->
+  Dqbf.Pcnf.t ->
+  Cert.t ->
+  unit
+(** Gate an emitted certificate ([Post_certify] stage, [structure =
+    "certificate"]): the structural checks ({!Cert.check_structural})
+    run at [Cheap] and above; [Full] re-verifies the semantic claim via
+    {!Cert.check} under [budget] (expiry abandons the semantic pass
+    rather than failing it). [Uncertified] artifacts pass unless
+    {!Cert.is_inconsistent} — a full expansion that contradicts the
+    verdict is a violation, not a capacity gap. A failure here is
+    treated by callers like a crash: re-solve under escalated checks,
+    evict poisoned cache entries, quarantine after bounded attempts. *)

@@ -98,6 +98,7 @@ type stats = {
   mutable inproc_bve : int;
   mutable inproc_clauses_removed : int;
   mutable inproc_lits_removed : int;
+  mutable cert_status : string;
   mutable metrics : (string * float) list;
 }
 
@@ -134,6 +135,7 @@ let fresh_stats () =
     inproc_bve = 0;
     inproc_clauses_removed = 0;
     inproc_lits_removed = 0;
+    cert_status = "-";
     metrics = [];
   }
 
@@ -521,7 +523,11 @@ let solve_pcnf ?(config = default_config) ?(budget = Budget.unlimited) pcnf =
       record_inproc ~config stats !captured;
       (verdict, stats)
 
-let solve_pcnf_model ?(config = default_config) ?(budget = Budget.unlimited) pcnf =
+(* shared body of the model-producing entry points: the returned Skolem
+   witness is unrestricted — it also covers variables the preprocessor
+   folded away and undeclared existentials, so it certifies against the
+   original (unpreprocessed) formula *)
+let solve_pcnf_witness ~config ~budget pcnf =
   let trail = Dqbf.Model_trail.create () in
   let refined, report = refine_pcnf ~config ~budget pcnf in
   let captured = ref None in
@@ -546,16 +552,37 @@ let solve_pcnf_model ?(config = default_config) ?(budget = Budget.unlimited) pcn
         | Unsat -> None
         | Sat ->
             let skolem = Dqbf.Model_trail.reconstruct trail in
-            (* the unrestricted witness also covers variables the
-               preprocessor folded away, so it certifies against the
-               original (unpreprocessed) formula *)
             if config.check_level = Check.Full then
               Check.audit_model ~budget ~stage:Check.Post_solve (Dqbf.Pcnf.to_formula pcnf)
                 skolem;
-            let declared = Hqs_util.Bitset.of_list (List.map fst pcnf.Dqbf.Pcnf.exists) in
-            Some (Dqbf.Skolem.restrict skolem ~keep:(fun y -> Hqs_util.Bitset.mem y declared))
+            Some skolem
       in
       (verdict, model, stats)
+
+let restrict_to_declared pcnf skolem =
+  let declared = Hqs_util.Bitset.of_list (List.map fst pcnf.Dqbf.Pcnf.exists) in
+  Dqbf.Skolem.restrict skolem ~keep:(fun y -> Hqs_util.Bitset.mem y declared)
+
+let solve_pcnf_model ?(config = default_config) ?(budget = Budget.unlimited) pcnf =
+  let verdict, model, stats = solve_pcnf_witness ~config ~budget pcnf in
+  (verdict, Option.map (restrict_to_declared pcnf) model, stats)
+
+let solve_pcnf_certified ?(config = default_config) ?(budget = Budget.unlimited)
+    ~instance_text pcnf =
+  let verdict, model, stats = solve_pcnf_witness ~config ~budget pcnf in
+  let cert =
+    match (verdict, model) with
+    | Sat, Some skolem -> Cert.of_skolem ~instance_text pcnf skolem
+    | Sat, None ->
+        (* the witness entry point always reconstructs a model on Sat *)
+        assert false
+    | Unsat, _ -> Cert.of_unsat ~budget ~instance_text pcnf
+  in
+  stats.cert_status <- Cert.status cert;
+  (* audit before handing the artifact out: a failure here is the
+     recovery-loop trigger, raised as a Check.Violation *)
+  Check.audit_certificate ~budget ~level:config.check_level ~instance_text pcnf cert;
+  (verdict, cert, Option.map (restrict_to_declared pcnf) model, stats)
 
 let pp_stats fmt s =
   Format.fprintf fmt
@@ -564,7 +591,7 @@ let pp_stats fmt s =
      fraig-merges=%d checks=%d check-level=%s total=%.3fs restarts=%d degraded=%s \
      dep-scheme=%s dep-pruned=%d linearized=%b inproc=%s inproc-rounds=%d inproc-units=%d \
      inproc-merges=%d inproc-subsumed=%d inproc-strengthened=%d inproc-failed-lits=%d \
-     inproc-bve=%d inproc-clauses-removed=%d inproc-lits-removed=%d"
+     inproc-bve=%d inproc-clauses-removed=%d inproc-lits-removed=%d cert=%s"
     s.univ_elims s.exist_elims s.unitpure_elims s.maxsat_runs s.maxsat_set_size s.maxsat_time
     s.unitpure_time s.qbf_time s.peak_nodes s.sat_conflicts s.sat_propagations s.fraig_merges
     s.checks_run s.check_level s.total_time s.restarts
@@ -572,3 +599,4 @@ let pp_stats fmt s =
     s.dep_scheme s.analysis_edges_pruned s.analysis_linearized s.inproc_mode s.inproc_rounds
     s.inproc_units s.inproc_scc_merges s.inproc_subsumed s.inproc_strengthened
     s.inproc_failed_lits s.inproc_bve s.inproc_clauses_removed s.inproc_lits_removed
+    s.cert_status

@@ -124,6 +124,10 @@ type stats = {
   mutable inproc_bve : int;  (** existentials removed by Henkin-legal BVE *)
   mutable inproc_clauses_removed : int;  (** net clause reduction by the engine *)
   mutable inproc_lits_removed : int;  (** net literal reduction by the engine *)
+  mutable cert_status : string;
+      (** certificate outcome of a {!solve_pcnf_certified} run: ["SAT"],
+          ["UNSAT"], ["UNCERTIFIED"], or ["-"] when no artifact was
+          requested *)
   mutable metrics : (string * float) list;
       (** full per-solve snapshot of the {!Obs.Metrics} registry (counters
           and histogram series as deltas over the solve, gauges as final
@@ -157,5 +161,21 @@ val solve_pcnf_model :
   verdict * Dqbf.Skolem.t option * stats
 (** Like {!solve_pcnf} with Skolem reconstruction; preprocessing steps
     (units, equivalences, gate substitutions) are folded into the model. *)
+
+val solve_pcnf_certified :
+  ?config:config ->
+  ?budget:Hqs_util.Budget.t ->
+  instance_text:string ->
+  Dqbf.Pcnf.t ->
+  verdict * Cert.t * Dqbf.Skolem.t option * stats
+(** Like {!solve_pcnf_model}, additionally materializing an externally
+    checkable certificate ({!Cert}): a Skolem-AIG artifact on [Sat], a
+    universal-expansion refutation (or an explicit [Uncertified] marker
+    past the expansion cap) on [Unsat]. [instance_text] must be the
+    exact bytes [pcnf] was parsed from — the artifact embeds their
+    fingerprint. The artifact is audited in-process at the configured
+    {!Check.level} before being returned; an audit failure raises
+    {!Check.Violation} at the [Post_certify] stage, which callers treat
+    like a crash (re-solve escalated, evict caches, quarantine). *)
 
 val pp_stats : Format.formatter -> stats -> unit

@@ -223,6 +223,8 @@ let csv results =
   Buffer.add_string buf ",outcome,attempts,worker_pid";
   List.iter (fun (name, _) -> Buffer.add_string buf ("," ^ name)) csv_analysis_columns;
   List.iter (fun (name, _) -> Buffer.add_string buf ("," ^ name)) csv_inproc_columns;
+  (* certification columns, last per the stable-schema rule *)
+  Buffer.add_string buf ",hqs_cert_status,cert";
   Buffer.add_char buf '\n';
   let cells = function
     | Solved (true, t) -> ("SAT", t)
@@ -262,6 +264,10 @@ let csv results =
           Buffer.add_char buf ',';
           match r.hqs_stats with Some s -> Buffer.add_string buf (cell s) | None -> ())
         csv_inproc_columns;
+      Buffer.add_string buf
+        (Printf.sprintf ",%s,%s"
+           (match r.hqs_stats with Some s -> s.Hqs.cert_status | None -> "")
+           (match r.cert_path with Some p -> p | None -> ""));
       Buffer.add_char buf '\n')
     results;
   Buffer.contents buf

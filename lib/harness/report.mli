@@ -29,6 +29,9 @@ val csv : Runner.result list -> string
     [hqs_inproc_units], [hqs_inproc_scc_merges], [hqs_inproc_subsumed],
     [hqs_inproc_strengthened], [hqs_inproc_failed_lits],
     [hqs_inproc_bve], [hqs_inproc_clauses_removed] and
-    [hqs_inproc_lits_removed]. The pre-existing columns keep their
-    positions byte-for-byte; metric, analysis and inproc cells are empty
-    for runs that timed or memed out before a verdict. *)
+    [hqs_inproc_lits_removed], then the certification columns
+    [hqs_cert_status] (SAT/UNSAT/UNCERTIFIED, ["-"] when no artifact was
+    requested) and [cert] (the artifact path from a certifying sweep).
+    The pre-existing columns keep their positions byte-for-byte; metric,
+    analysis, inproc and certification cells are empty for runs that
+    timed or memed out before a verdict. *)

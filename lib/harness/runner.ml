@@ -14,6 +14,7 @@ type result = {
   soundness : soundness;
   attempts : int;
   worker_pid : int option;
+  cert_path : string option;
 }
 
 let is_solved = function Solved _ -> true | Timeout _ | Memout _ | Crash _ -> false
@@ -42,6 +43,33 @@ let run_hqs ?(config = Hqs.default_config) ~timeout ~node_limit pcnf =
   in
   (outcome, !captured)
 
+(* the artifact pair under [dir]: the exact instance bytes the
+   certificate fingerprints, so [certcheck INSTANCE CERT] works without
+   any other file from the sweep *)
+let cert_paths ~dir ~id =
+  let slug = String.map (fun c -> if c = '/' then '_' else c) id in
+  (Filename.concat dir (slug ^ ".dqdimacs"), Filename.concat dir (slug ^ ".cert"))
+
+let run_hqs_certified ?(config = Hqs.default_config) ~timeout ~node_limit ~dir ~id pcnf =
+  let config = { config with Hqs.node_limit = Some node_limit } in
+  let instance_text = Dqbf.Pcnf.to_string pcnf in
+  let captured = ref None in
+  let cert_path = ref None in
+  let outcome =
+    timed ~timeout (fun budget ->
+        let v, cert, _model, stats =
+          Hqs.solve_pcnf_certified ~config ~budget ~instance_text pcnf
+        in
+        captured := Some stats;
+        let inst_file, cert_file = cert_paths ~dir ~id in
+        Out_channel.with_open_bin inst_file (fun oc ->
+            Out_channel.output_string oc instance_text);
+        Cert.write_file cert_file cert;
+        cert_path := Some cert_file;
+        v = Hqs.Sat)
+  in
+  (outcome, !captured, !cert_path)
+
 let run_idq ~timeout ~node_limit pcnf =
   timed ~timeout (fun budget -> fst (Idq.solve_pcnf ~budget ~node_limit pcnf))
 
@@ -67,4 +95,5 @@ let run_instance ?hqs_config ~timeout ~node_limit (inst : Circuit.Families.insta
     soundness;
     attempts = 1;
     worker_pid = None;
+    cert_path = None;
   }

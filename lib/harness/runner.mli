@@ -39,6 +39,9 @@ type result = {
   worker_pid : int option;
       (** pid of the (final) HQS worker when process-isolated, [None] for
           in-process runs *)
+  cert_path : string option;
+      (** path of the certificate artifact when the sweep ran with a
+          certify directory and the HQS solve finished, [None] otherwise *)
 }
 
 val is_solved : outcome -> bool
@@ -52,6 +55,20 @@ val run_hqs :
   outcome * Hqs.stats option
 (** Outcome plus the solve statistics (including degradation labels, see
     {!Hqs.stats.degraded}); [None] when the run did not finish. *)
+
+val run_hqs_certified :
+  ?config:Hqs.config ->
+  timeout:float ->
+  node_limit:int ->
+  dir:string ->
+  id:string ->
+  Dqbf.Pcnf.t ->
+  outcome * Hqs.stats option * string option
+(** Like {!run_hqs} through {!Hqs.solve_pcnf_certified}: on a finished
+    solve, writes [<dir>/<id>.dqdimacs] (the exact fingerprinted instance
+    bytes) and [<dir>/<id>.cert] and returns the certificate path, so
+    [certcheck] can audit the pair with no other sweep state. A run that
+    times or bails out leaves no artifact ([None]). *)
 
 val run_idq : timeout:float -> node_limit:int -> Dqbf.Pcnf.t -> outcome
 

@@ -24,10 +24,11 @@ type config = {
   node_limit : int;
   hqs_config : Hqs.config option;
   exec : Sup.config;
+  certify_dir : string option;
 }
 
 let default_config ~timeout ~node_limit =
-  { timeout; node_limit; hqs_config = None; exec = Sup.default_config }
+  { timeout; node_limit; hqs_config = None; exec = Sup.default_config; certify_dir = None }
 
 type progress = {
   task : string;
@@ -101,6 +102,7 @@ let stats_to_json (s : Hqs.stats) =
       i "inproc_bve" s.Hqs.inproc_bve;
       i "inproc_clauses_removed" s.Hqs.inproc_clauses_removed;
       i "inproc_lits_removed" s.Hqs.inproc_lits_removed;
+      ("cert_status", Json.Str s.Hqs.cert_status);
       ("metrics", Json.Obj (List.map (fun (k, v) -> (k, Json.Num v)) s.Hqs.metrics));
     ]
 
@@ -157,6 +159,9 @@ let stats_of_json j =
           inproc_bve = get0 (int "inproc_bve");
           inproc_clauses_removed = get0 (int "inproc_clauses_removed");
           inproc_lits_removed = get0 (int "inproc_lits_removed");
+          cert_status =
+            Option.value ~default:"-"
+              (Option.bind (Json.member "cert_status" j) Json.to_string);
           metrics =
             (match Json.member "metrics" j with
             | Some (Json.Obj kvs) ->
@@ -173,15 +178,24 @@ let stats_of_json j =
 let worker config (item, solver) =
   match solver with
   | Hqs_run ->
-      let outcome, stats =
-        Runner.run_hqs ?config:config.hqs_config ~timeout:config.timeout
-          ~node_limit:config.node_limit item.pcnf
+      let outcome, stats, cert =
+        match config.certify_dir with
+        | None ->
+            let outcome, stats =
+              Runner.run_hqs ?config:config.hqs_config ~timeout:config.timeout
+                ~node_limit:config.node_limit item.pcnf
+            in
+            (outcome, stats, None)
+        | Some dir ->
+            Runner.run_hqs_certified ?config:config.hqs_config ~timeout:config.timeout
+              ~node_limit:config.node_limit ~dir ~id:item.id item.pcnf
       in
       Json.Obj
-        [
-          ("outcome", outcome_to_json outcome);
-          ("stats", match stats with Some s -> stats_to_json s | None -> Json.Null);
-        ]
+        ([
+           ("outcome", outcome_to_json outcome);
+           ("stats", match stats with Some s -> stats_to_json s | None -> Json.Null);
+         ]
+        @ match cert with Some path -> [ ("cert", Json.Str path) ] | None -> [])
   | Idq_run ->
       let outcome =
         Runner.run_idq ~timeout:config.timeout ~node_limit:config.node_limit item.pcnf
@@ -251,6 +265,7 @@ let stats_of_salvage (c : Sup.completion) =
           inproc_bve = i0 "inproc.bve_eliminated";
           inproc_clauses_removed = i0 "inproc.clauses_removed";
           inproc_lits_removed = i0 "inproc.lits_removed";
+          cert_status = "-";
           metrics = Obs.Metrics.to_assoc samples;
         }
 
@@ -275,6 +290,11 @@ let assemble completions item =
   let hqs = outcome_of_completion hc in
   let idq = outcome_of_completion ic in
   let hqs_stats = stats_of_completion hc in
+  let cert_path =
+    match hc.Sup.status with
+    | Sup.Value v -> Option.bind (Json.member "cert" v) Json.to_string
+    | Sup.Timeout _ | Sup.Memout _ | Sup.Crash _ -> None
+  in
   let hqs_degraded = match hqs_stats with Some s -> s.Hqs.degraded | None -> [] in
   let soundness =
     match (hqs, idq) with
@@ -293,6 +313,7 @@ let assemble completions item =
     soundness;
     attempts = hc.Sup.attempts;
     worker_pid = (if hc.Sup.worker_pid = 0 then None else Some hc.Sup.worker_pid);
+    cert_path;
   }
 
 (* ------------------------------------------------------------------- run *)

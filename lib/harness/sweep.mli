@@ -21,6 +21,12 @@ type config = {
   node_limit : int;  (** per-solve AIG node budget *)
   hqs_config : Hqs.config option;
   exec : Exec.Supervisor.config;  (** jobs, kernel limits, retries, chaos *)
+  certify_dir : string option;
+      (** when set, each HQS worker solves through
+          {!Hqs.solve_pcnf_certified} and drops
+          [<dir>/<id>.dqdimacs] + [<dir>/<id>.cert] there; the artifact
+          path rides the result frame into {!Runner.result.cert_path},
+          the journal and the CSV [cert] column *)
 }
 
 val default_config : timeout:float -> node_limit:int -> config

@@ -42,6 +42,7 @@ type rule =
   | Wall_clock
   | Mono_clock_span
   | No_stdout
+  | Cert_isolation
   | Syntax
 
 let rule_name = function
@@ -54,6 +55,7 @@ let rule_name = function
   | Wall_clock -> "wall-clock"
   | Mono_clock_span -> "mono-clock-span"
   | No_stdout -> "no-stdout"
+  | Cert_isolation -> "cert-isolation"
   | Syntax -> "syntax"
 
 type diag = { file : string; line : int; col : int; rule : rule; msg : string }
@@ -96,6 +98,19 @@ let in_lib_sub sub path =
   in
   adjacent (dir_segments path)
 
+(* [bin/certcheck.ml] is the independent certificate verifier: its whole
+   trust story is that it shares no code with the solver it checks, so
+   any module-qualified reference rooted in a repo library is a finding.
+   (The dune stanza enforces link-time isolation; this catches the
+   source-level references that would motivate adding the dependency.) *)
+let solver_roots =
+  [
+    "Sat"; "Maxsat"; "Aig"; "Qbf"; "Dqbf"; "Idq"; "Hqs"; "Cert"; "Check"; "Inproc";
+    "Analysis"; "Circuit"; "Harness"; "Exec"; "Serve"; "Obs"; "Hqs_util"; "Linter";
+  ]
+
+let is_certcheck path = String.ends_with ~suffix:"bin/certcheck.ml" path
+
 let rec catch_all_pattern p =
   match p.Parsetree.ppat_desc with
   | Parsetree.Ppat_any | Parsetree.Ppat_var _ -> true
@@ -121,7 +136,27 @@ let collect_structure ~path structure =
      comparison hides *)
   let blessed : (Location.t, unit) Hashtbl.t = Hashtbl.create 64 in
   let iter = Ast_iterator.default_iterator in
+  let cert_isolation lid loc =
+    match flat lid with
+    | root :: _ when List.mem root solver_roots ->
+        add Cert_isolation
+          (Printf.sprintf
+             "reference to solver module %s in the independent verifier: certcheck must \
+              share no code with the solver it checks"
+             root)
+          loc
+    | _ -> ()
+  in
   let expr it (e : Parsetree.expression) =
+    (if is_certcheck path then
+       match e.pexp_desc with
+       | Parsetree.Pexp_ident { txt; loc } | Parsetree.Pexp_construct ({ txt; loc }, _) -> (
+           (* only module-qualified references: a bare local ident is fine *)
+           match flat txt with _ :: _ :: _ -> cert_isolation txt loc | _ -> ())
+       | Parsetree.Pexp_open
+           ({ popen_expr = { pmod_desc = Parsetree.Pmod_ident { txt; loc }; _ }; _ }, _) ->
+           cert_isolation txt loc
+       | _ -> ());
     (match e.pexp_desc with
     | Parsetree.Pexp_apply ({ pexp_desc = Parsetree.Pexp_ident _; pexp_loc; _ }, args)
       when List.length args >= 2 ->
@@ -185,7 +220,18 @@ let collect_structure ~path structure =
     | _ -> ());
     iter.expr it e
   in
-  let it = { iter with expr } in
+  let structure_item it (si : Parsetree.structure_item) =
+    (if is_certcheck path then
+       match si.pstr_desc with
+       | Parsetree.Pstr_open
+           { popen_expr = { pmod_desc = Parsetree.Pmod_ident { txt; loc }; _ }; _ }
+       | Parsetree.Pstr_module
+           { pmb_expr = { pmod_desc = Parsetree.Pmod_ident { txt; loc }; _ }; _ } ->
+           cert_isolation txt loc
+       | _ -> ());
+    iter.structure_item it si
+  in
+  let it = { iter with expr; structure_item } in
   it.structure it structure;
   List.rev !diags
 

@@ -27,6 +27,12 @@
       under [lib/] outside [lib/harness]: solver stdout is a
       machine-readable channel (verdict lines, CSV, JSON baselines), so
       library code must report through the harness or the Obs sinks;
+    - [Cert_isolation] — a module-qualified reference, [open] or module
+      alias rooted in any repo library inside [bin/certcheck.ml]: the
+      independent certificate verifier's trust story is that it shares
+      no code with the solver it checks, so even a source-level
+      reference (which would motivate adding the link dependency the
+      dune stanza forbids) is a finding;
     - [Syntax] — the file does not parse (also covers unreadable files).
 
     Suppression: a comment containing [lint: allow <rule-name>] on the
@@ -43,12 +49,14 @@ type rule =
   | Wall_clock
   | Mono_clock_span
   | No_stdout
+  | Cert_isolation
   | Syntax
 
 val rule_name : rule -> string
 (** ["catch-all"], ["poly-compare"], ["obj-magic"], ["failwith-lib"],
     ["missing-mli"], ["raw-fd"], ["wall-clock"], ["mono-clock-span"],
-    ["no-stdout"], ["syntax"] — the names used by suppression comments. *)
+    ["no-stdout"], ["cert-isolation"], ["syntax"] — the names used by
+    suppression comments. *)
 
 type diag = { file : string; line : int; col : int; rule : rule; msg : string }
 

@@ -24,6 +24,7 @@ type config = {
   trace_path : string option;
   event_log : string option;
   solver : Hqs.config;
+  certify : bool;
 }
 
 let default ~socket_path =
@@ -44,9 +45,18 @@ let default ~socket_path =
     trace_path = None;
     event_log = None;
     solver = Hqs.default_config;
+    certify = false;
   }
 
 let kill_point ~jid ~attempt = Printf.sprintf "serve.worker.kill:%d#%d" jid attempt
+let cert_point ~jid ~attempt = Printf.sprintf "serve.cert.poison:%d#%d" jid attempt
+
+(* deterministic certificate corruption behind the chaos poison hook: a
+   flipped fingerprint nibble is caught by the structural audit *)
+let poison_cert (c : Cert.t) =
+  let fp = Bytes.of_string c.Cert.fingerprint in
+  if Bytes.length fp > 0 then Bytes.set fp 0 (if Bytes.get fp 0 = '0' then '1' else '0');
+  { c with Cert.fingerprint = Bytes.to_string fp }
 
 (* --------------------------------------------------------------- metrics *)
 
@@ -59,6 +69,8 @@ let m_cache_hits = Metrics.counter "serve.cache_hits"
 let m_cache_misses = Metrics.counter "serve.cache_misses"
 let m_audits = Metrics.counter "serve.cache_audits"
 let m_audit_failures = Metrics.counter "serve.cache_audit_failures"
+let m_cert_audits = Metrics.counter "serve.cert_audits"
+let m_cert_audit_failures = Metrics.counter "serve.cert_audit_failed"
 let m_timeouts = Metrics.counter "serve.timeouts"
 let m_latency = Metrics.histogram "serve.request_latency_s"
 
@@ -100,7 +112,7 @@ let worker_main (config : config) fd =
     | Ipc.Frame j -> (
         match Proto.wreq_of_json j with
         | Error _ -> Unix._exit 3
-        | Ok { Proto.jid; text; timeout_s; kill; sleep_s; trace } ->
+        | Ok { Proto.jid; text; timeout_s; kill; sleep_s; trace; cert; escalate; poison } ->
             if kill then Unix.kill (Unix.getpid ()) Sys.sigkill;
             let t0 = Budget.now () in
             let budget = Budget.of_seconds timeout_s in
@@ -112,9 +124,44 @@ let worker_main (config : config) fd =
             if sleep_s > 0. then Unix.sleepf sleep_s;
             let before = Metrics.snapshot () in
             let ev_mark = List.length (Obs.Trace.events ()) in
+            let solver =
+              (* escalated re-solve after a certificate audit failure:
+                 full checks, no chaos, no degraded restart — the answer
+                 must be earned, not salvaged *)
+              if escalate then
+                {
+                  config.solver with
+                  Hqs.check_level = Check.Full;
+                  chaos = Chaos.off;
+                  restart_on_memout = false;
+                }
+              else config.solver
+            in
             let solve () =
               let pcnf = Dqbf.Pcnf.parse_string text in
-              Hqs.solve_pcnf ~config:config.solver ~budget pcnf
+              if not cert then begin
+                let v, _stats = Hqs.solve_pcnf ~config:solver ~budget pcnf in
+                (Proto.W_sat (v = Hqs.Sat), false, None)
+              end
+              else begin
+                (* the solver's own Post_certify audit is disabled here:
+                   the audit must run in this frame, after the chaos
+                   poison hook, so fault injection exercises exactly the
+                   gate the daemon's recovery loop listens to *)
+                let v, art, _model, _stats =
+                  Hqs.solve_pcnf_certified
+                    ~config:{ solver with Hqs.check_level = Check.Off }
+                    ~budget ~instance_text:text pcnf
+                in
+                let art = if poison then poison_cert art else art in
+                let level = if escalate then Check.Full else config.check_level in
+                match Check.audit_certificate ~budget ~level ~instance_text:text pcnf art with
+                | () -> (Proto.W_sat (v = Hqs.Sat), false, Some (Cert.render art))
+                | exception Check.Violation viol ->
+                    ( Proto.W_cert_failed (Format.asprintf "%a" Check.pp_violation viol),
+                      false,
+                      None )
+              end
             in
             let solve =
               match trace with
@@ -125,20 +172,21 @@ let worker_main (config : config) fd =
                       ~attrs:[ ("jid", Obs.Int jid); ("trace_id", Obs.Str id) ]
                       solve
             in
-            let result, retiring =
+            let result, retiring, cert_blob =
               match solve () with
-              | Hqs.Sat, _ -> (Proto.W_sat true, false)
-              | Hqs.Unsat, _ -> (Proto.W_sat false, false)
-              | exception Budget.Timeout -> (Proto.W_timeout, false)
-              | exception Budget.Out_of_memory_budget -> (Proto.W_memout, false)
+              | r -> r
+              | exception Budget.Timeout -> (Proto.W_timeout, false, None)
+              | exception Budget.Out_of_memory_budget -> (Proto.W_memout, false, None)
               | exception Out_of_memory ->
                   (* the rlimit backstop fired: the reply still goes out,
                      but the heap is pinned near the ceiling — retire and
                      let the daemon respawn a fresh worker *)
-                  (Proto.W_memout, true)
-              | exception Failure msg -> (Proto.W_error msg, false)
+                  (Proto.W_memout, true, None)
+              | exception Failure msg -> (Proto.W_error msg, false, None)
               | exception Check.Violation v ->
-                  (Proto.W_error (Format.asprintf "check violation: %a" Check.pp_violation v), false)
+                  ( Proto.W_error (Format.asprintf "check violation: %a" Check.pp_violation v),
+                    false,
+                    None )
             in
             let samples = Metrics.delta ~before ~after:(Metrics.snapshot ()) in
             let w_events =
@@ -154,6 +202,7 @@ let worker_main (config : config) fd =
                       retiring;
                       samples;
                       w_events;
+                      cert_blob;
                     })
              with
             | () -> ()
@@ -175,6 +224,10 @@ type job = {
   enqueued_at : float;
   trace : string;  (** request trace id, minted at admission *)
   audit_of : Cache.entry option;  (** [Some e]: sampled re-solve of a cache hit *)
+  want_cert : bool;  (** the client asked for the artifact inline *)
+  mutable escalate : bool;
+      (** re-dispatch after a certificate audit failure: the worker runs
+          the solve under full checks with degradation disabled *)
 }
 
 type wstate =
@@ -368,12 +421,14 @@ let run (config : config) =
               | Proto.W_sat false -> "unsat"
               | Proto.W_timeout -> "timeout"
               | Proto.W_memout -> "memout"
-              | Proto.W_error _ -> "error") );
+              | Proto.W_error _ -> "error"
+              | Proto.W_cert_failed _ -> "cert_failed") );
           ("elapsed_s", Json.Num wr.Proto.w_elapsed_s);
         ];
     Span.with_ "serve.complete" ~attrs:[ ("jid", Obs.Int job.jid) ] @@ fun () ->
     match wr.Proto.result with
     | Proto.W_sat sat -> (
+        if config.certify then Metrics.incr m_cert_audits;
         match job.audit_of with
         | Some cached ->
             Metrics.incr m_audits;
@@ -390,7 +445,13 @@ let run (config : config) =
             if verdict_matches then
               send_reply job.cid
                 (Proto.Verdict
-                   { sat; elapsed_s = cached.Cache.elapsed_s; cached = true; audited = true })
+                   {
+                     sat;
+                     elapsed_s = cached.Cache.elapsed_s;
+                     cached = true;
+                     audited = true;
+                     cert = (if job.want_cert then wr.Proto.cert_blob else None);
+                   })
             else begin
               Metrics.incr m_audit_failures;
               ev "cache_audit_failed" ~trace:job.trace
@@ -406,7 +467,13 @@ let run (config : config) =
             Cache.store cache job.key ~sat ~elapsed_s:wr.Proto.w_elapsed_s;
             send_reply job.cid
               (Proto.Verdict
-                 { sat; elapsed_s = wr.Proto.w_elapsed_s; cached = false; audited = false }))
+                 {
+                   sat;
+                   elapsed_s = wr.Proto.w_elapsed_s;
+                   cached = false;
+                   audited = job.escalate;
+                   cert = (if job.want_cert then wr.Proto.cert_blob else None);
+                 }))
     | Proto.W_timeout ->
         Metrics.incr m_timeouts;
         send_reply job.cid
@@ -428,6 +495,45 @@ let run (config : config) =
         send_reply job.cid
           (Proto.Failed
              { failure = Proto.F_crash; elapsed_s = wr.Proto.w_elapsed_s; detail = msg })
+    | Proto.W_cert_failed detail ->
+        (* the worker's certificate audit tripped: treat like a crash —
+           tombstone the canonical-form cache entry (the verdict is now
+           suspect), re-dispatch escalated, quarantine past the attempt
+           budget *)
+        Metrics.incr m_cert_audits;
+        Metrics.incr m_cert_audit_failures;
+        Cache.remove cache job.key;
+        Span.event "serve.cert.audit_failed"
+          ~attrs:[ ("key", Obs.Str job.key.Dqbf.Canon.h1); ("jid", Obs.Int job.jid) ]
+          ();
+        ev "cert_audit" ~trace:job.trace
+          ~fields:
+            [
+              ("jid", Json.Num (float_of_int job.jid));
+              ("key", Json.Str job.key.Dqbf.Canon.h1);
+              ("attempts", Json.Num (float_of_int job.attempts));
+              ("detail", Json.Str detail);
+            ];
+        if job.attempts >= config.max_attempts then begin
+          ev "quarantine" ~trace:job.trace
+            ~fields:[ ("jid", Json.Num (float_of_int job.jid)) ];
+          send_reply job.cid
+            (Proto.Failed
+               {
+                 failure = Proto.F_crash;
+                 elapsed_s = Budget.now () -. job.enqueued_at;
+                 detail =
+                   Printf.sprintf "certificate audit failed (%d attempts): %s" job.attempts
+                     detail;
+               })
+        end
+        else begin
+          job.escalate <- true;
+          ev "retry" ~trace:job.trace
+            ~fields:[ ("jid", Json.Num (float_of_int job.jid)); ("escalate", Json.Bool true) ];
+          requeued := !requeued @ [ job ];
+          update_depth ()
+        end
   in
 
   let respawn_after_failure slot =
@@ -507,6 +613,10 @@ let run (config : config) =
             let kill =
               Chaos.fire config.chaos (kill_point ~jid:job.jid ~attempt:job.attempts)
             in
+            let poison =
+              config.certify
+              && Chaos.fire config.chaos (cert_point ~jid:job.jid ~attempt:job.attempts)
+            in
             let frame =
               Ipc.frame_string
                 (Proto.wreq_to_json
@@ -517,6 +627,9 @@ let run (config : config) =
                      kill;
                      sleep_s = job.sleep_s;
                      trace = (if Obs.Trace.enabled () then Some job.trace else None);
+                     cert = config.certify;
+                     escalate = job.escalate;
+                     poison;
                    })
             in
             (match write_frame_waiting slot.wfd (Bytes.of_string frame) with
@@ -576,7 +689,7 @@ let run (config : config) =
                lat_p99 = Metrics.quantile w_latency 0.99;
                h_metrics = Metrics.to_assoc (Metrics.snapshot ());
              })
-    | Proto.Solve { text; timeout_s; sleep_s } -> (
+    | Proto.Solve { text; timeout_s; sleep_s; want_cert } -> (
         Metrics.incr m_requests;
         if !draining then send_reply cid Proto.Draining
         else
@@ -615,6 +728,8 @@ let run (config : config) =
                         enqueued_at = Budget.now ();
                         trace;
                         audit_of;
+                        want_cert = want_cert && config.certify;
+                        escalate = false;
                       }
                       pending;
                     update_depth ()
@@ -638,6 +753,7 @@ let run (config : config) =
                                elapsed_s = entry.Cache.elapsed_s;
                                cached = true;
                                audited = false;
+                               cert = None;
                              })
                   | None ->
                       Metrics.incr m_cache_misses;

@@ -21,7 +21,15 @@
     - verdicts are memoized by {!Dqbf.Canon} canonical key in a
       {!Cache}; at [Check.Full] every [audit_period]-th cache hit is
       re-solved from scratch and compared ({!Check.audit_cache_hit}) —
-      a mismatch evicts the entry and tells the client.
+      a mismatch evicts the entry and tells the client;
+    - with [certify] on, every solve runs through
+      {!Hqs.solve_pcnf_certified} and the worker audits the artifact
+      in-frame ({!Check.audit_certificate}); an audit failure is treated
+      like a crash: the cache entry is tombstoned ([cert_audit] event,
+      [serve.cert_audit_failed] metric), the job re-dispatched with
+      checks escalated to [Full] and degradation off, and quarantined
+      past [max_attempts]. Clients that set the request's cert flag get
+      the verified artifact inline in their verdict reply.
 
     Everything observable is metered under [serve.*] in {!Obs.Metrics}
     and, when [trace_path] is set, traced to Chrome JSON. *)
@@ -38,7 +46,10 @@ type config = {
   backoff : Exec.Backoff.policy;  (** respawn quarantine schedule *)
   chaos : Hqs_util.Chaos.t;
       (** arms ["serve.worker.kill:<jid>#<attempt>"] points — a fired
-          point makes the dispatched worker SIGKILL itself mid-request *)
+          point makes the dispatched worker SIGKILL itself mid-request —
+          and, with [certify] on, ["serve.cert.poison:<jid>#<attempt>"]
+          points, which corrupt the worker's certificate before its audit
+          to drive the recovery loop deterministically *)
   check_level : Check.level;  (** [Full] enables sampled cache-hit audits *)
   audit_period : int;  (** re-solve every Nth cache hit (0 disables) *)
   cache_path : string option;  (** persistent cache journal *)
@@ -51,6 +62,10 @@ type config = {
           sheds, crashes, retries, quarantines, timeouts, cache audits,
           respawns, drain), each tagged with the request's trace id *)
   solver : Hqs.config;
+  certify : bool;
+      (** solve through the certifying entry point and audit every
+          artifact in the worker, at [check_level] ([Full] when the job
+          is an escalated re-solve) *)
 }
 
 val default : socket_path:string -> config
@@ -58,6 +73,10 @@ val default : socket_path:string -> config
 val kill_point : jid:int -> attempt:int -> string
 (** Chaos point name for one dispatch, mirroring
     {!Hqs_util.Chaos.worker_kill_point}. *)
+
+val cert_point : jid:int -> attempt:int -> string
+(** Chaos point name for one dispatch's certificate-poison fault:
+    ["serve.cert.poison:<jid>#<attempt>"]. *)
 
 val run : config -> unit
 (** Serve until drained by SIGTERM/SIGINT. Binds (replacing any stale

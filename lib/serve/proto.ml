@@ -4,7 +4,7 @@ module Metrics = Obs.Metrics
 (* ------------------------------------------------------- client protocol *)
 
 type request =
-  | Solve of { text : string; timeout_s : float option; sleep_s : float }
+  | Solve of { text : string; timeout_s : float option; sleep_s : float; want_cert : bool }
   | Ping
   | Stats
   | Health
@@ -26,7 +26,13 @@ type health = {
 }
 
 type reply =
-  | Verdict of { sat : bool; elapsed_s : float; cached : bool; audited : bool }
+  | Verdict of {
+      sat : bool;
+      elapsed_s : float;
+      cached : bool;
+      audited : bool;
+      cert : string option;
+    }
   | Failed of { failure : failure; elapsed_s : float; detail : string }
   | Overloaded of { queue_depth : int }
   | Draining
@@ -45,11 +51,12 @@ let failure_of_name = function
   | _ -> None
 
 let request_to_json = function
-  | Solve { text; timeout_s; sleep_s } ->
+  | Solve { text; timeout_s; sleep_s; want_cert } ->
       Json.Obj
         ([ ("op", Json.Str "solve"); ("dqdimacs", Json.Str text) ]
         @ (match timeout_s with None -> [] | Some s -> [ ("timeout_s", Json.Num s) ])
-        @ if sleep_s > 0. then [ ("sleep_s", Json.Num sleep_s) ] else [])
+        @ (if sleep_s > 0. then [ ("sleep_s", Json.Num sleep_s) ] else [])
+        @ if want_cert then [ ("cert", Json.Bool true) ] else [])
   | Ping -> Json.Obj [ ("op", Json.Str "ping") ]
   | Stats -> Json.Obj [ ("op", Json.Str "stats") ]
   | Health -> Json.Obj [ ("op", Json.Str "health") ]
@@ -71,6 +78,8 @@ let request_of_json j =
                  text;
                  timeout_s = num "timeout_s";
                  sleep_s = (match num "sleep_s" with Some s -> s | None -> 0.);
+                 want_cert =
+                   (match Json.member "cert" j with Some (Json.Bool b) -> b | _ -> false);
                })
       | _ -> Error "solve request lacks a dqdimacs string")
   | Some (Json.Str op) -> Error ("unknown op: " ^ op)
@@ -98,15 +107,16 @@ let metrics_of_json j =
       go [] items
 
 let reply_to_json = function
-  | Verdict { sat; elapsed_s; cached; audited } ->
+  | Verdict { sat; elapsed_s; cached; audited; cert } ->
       Json.Obj
-        [
-          ("r", Json.Str "verdict");
-          ("sat", Json.Bool sat);
-          ("elapsed_s", Json.Num elapsed_s);
-          ("cached", Json.Bool cached);
-          ("audited", Json.Bool audited);
-        ]
+        ([
+           ("r", Json.Str "verdict");
+           ("sat", Json.Bool sat);
+           ("elapsed_s", Json.Num elapsed_s);
+           ("cached", Json.Bool cached);
+           ("audited", Json.Bool audited);
+         ]
+        @ match cert with Some c -> [ ("cert", Json.Str c) ] | None -> [])
   | Failed { failure; elapsed_s; detail } ->
       Json.Obj
         [
@@ -168,7 +178,7 @@ let reply_of_json j =
   | Some "verdict" -> (
       match (bool "sat", num "elapsed_s", bool "cached", bool "audited") with
       | Some sat, Some elapsed_s, Some cached, Some audited ->
-          Ok (Verdict { sat; elapsed_s; cached; audited })
+          Ok (Verdict { sat; elapsed_s; cached; audited; cert = str "cert" })
       | _ -> Error "malformed verdict reply")
   | Some "failed" -> (
       match (Option.bind (str "failure") failure_of_name, num "elapsed_s", str "detail") with
@@ -244,9 +254,17 @@ type wreq = {
   kill : bool;
   sleep_s : float;
   trace : string option;
+  cert : bool;  (** solve through the certifying entry point *)
+  escalate : bool;  (** re-solve after a certificate audit failure: full checks *)
+  poison : bool;  (** chaos: corrupt the certificate before the audit *)
 }
 
-type wresult = W_sat of bool | W_timeout | W_memout | W_error of string
+type wresult =
+  | W_sat of bool
+  | W_timeout
+  | W_memout
+  | W_error of string
+  | W_cert_failed of string
 
 type wreply = {
   w_jid : int;
@@ -255,9 +273,10 @@ type wreply = {
   retiring : bool;  (** the worker exits after this reply (planned, not a crash) *)
   samples : Metrics.sample list;
   w_events : Obs.Trace.event list;
+  cert_blob : string option;  (** the rendered certificate on a certifying solve *)
 }
 
-let wreq_to_json { jid; text; timeout_s; kill; sleep_s; trace } =
+let wreq_to_json { jid; text; timeout_s; kill; sleep_s; trace; cert; escalate; poison } =
   Json.Obj
     ([
        ("jid", Json.Num (float_of_int jid));
@@ -266,7 +285,10 @@ let wreq_to_json { jid; text; timeout_s; kill; sleep_s; trace } =
        ("kill", Json.Bool kill);
        ("sleep_s", Json.Num sleep_s);
      ]
-    @ match trace with Some id -> [ ("trace", Json.Str id) ] | None -> [])
+    @ (match trace with Some id -> [ ("trace", Json.Str id) ] | None -> [])
+    @ (if cert then [ ("cert", Json.Bool true) ] else [])
+    @ (if escalate then [ ("escalate", Json.Bool true) ] else [])
+    @ if poison then [ ("poison", Json.Bool true) ] else [])
 
 let wreq_of_json j =
   match
@@ -282,7 +304,21 @@ let wreq_of_json j =
           let trace =
             match Json.member "trace" j with Some (Json.Str id) -> Some id | _ -> None
           in
-          Ok { jid = int_of_float jid; text; timeout_s; kill; sleep_s; trace }
+          let flag name =
+            match Json.member name j with Some (Json.Bool b) -> b | _ -> false
+          in
+          Ok
+            {
+              jid = int_of_float jid;
+              text;
+              timeout_s;
+              kill;
+              sleep_s;
+              trace;
+              cert = flag "cert";
+              escalate = flag "escalate";
+              poison = flag "poison";
+            }
       | _ -> Error "malformed worker request numbers")
   | _ -> Error "malformed worker request"
 
@@ -291,6 +327,7 @@ let wresult_to_json = function
   | W_timeout -> Json.Str "timeout"
   | W_memout -> Json.Str "memout"
   | W_error msg -> Json.Obj [ ("error", Json.Str msg) ]
+  | W_cert_failed msg -> Json.Obj [ ("cert_failed", Json.Str msg) ]
 
 let wresult_of_json = function
   | Json.Str "sat" -> Ok (W_sat true)
@@ -298,12 +335,13 @@ let wresult_of_json = function
   | Json.Str "timeout" -> Ok W_timeout
   | Json.Str "memout" -> Ok W_memout
   | Json.Obj _ as o -> (
-      match Json.member "error" o with
-      | Some (Json.Str msg) -> Ok (W_error msg)
+      match (Json.member "error" o, Json.member "cert_failed" o) with
+      | Some (Json.Str msg), _ -> Ok (W_error msg)
+      | _, Some (Json.Str msg) -> Ok (W_cert_failed msg)
       | _ -> Error "malformed worker result")
   | _ -> Error "malformed worker result"
 
-let wreply_to_json { w_jid; result; w_elapsed_s; retiring; samples; w_events } =
+let wreply_to_json { w_jid; result; w_elapsed_s; retiring; samples; w_events; cert_blob } =
   Json.Obj
     ([
        ("jid", Json.Num (float_of_int w_jid));
@@ -312,7 +350,8 @@ let wreply_to_json { w_jid; result; w_elapsed_s; retiring; samples; w_events } =
        ("retiring", Json.Bool retiring);
        ("samples", metrics_to_json samples);
      ]
-    @ if w_events = [] then [] else [ ("events", Obs.Trace.events_to_json w_events) ])
+    @ (if w_events = [] then [] else [ ("events", Obs.Trace.events_to_json w_events) ])
+    @ match cert_blob with Some c -> [ ("cert", Json.Str c) ] | None -> [])
 
 let wreply_of_json j =
   match
@@ -330,6 +369,18 @@ let wreply_of_json j =
             | Some ev -> Obs.Trace.events_of_json ev
             | None -> []
           in
-          Ok { w_jid = int_of_float jid; result; w_elapsed_s; retiring; samples; w_events }
+          let cert_blob =
+            match Json.member "cert" j with Some (Json.Str c) -> Some c | _ -> None
+          in
+          Ok
+            {
+              w_jid = int_of_float jid;
+              result;
+              w_elapsed_s;
+              retiring;
+              samples;
+              w_events;
+              cert_blob;
+            }
       | _ -> Error "malformed worker reply fields")
   | _ -> Error "malformed worker reply"

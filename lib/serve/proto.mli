@@ -18,6 +18,10 @@ type request =
               budget before solving, so a sleep past [timeout_s] expires
               the budget deterministically — makes deadline-expiry, queue
               and drain tests repeatable. 0 in production. *)
+      want_cert : bool;
+          (** ask for the solve's certificate artifact inline in the
+              {!Verdict} reply (only honored by a daemon running with
+              certification on) *)
     }
   | Ping
   | Stats
@@ -44,7 +48,16 @@ type health = {
 }
 
 type reply =
-  | Verdict of { sat : bool; elapsed_s : float; cached : bool; audited : bool }
+  | Verdict of {
+      sat : bool;
+      elapsed_s : float;
+      cached : bool;
+      audited : bool;
+      cert : string option;
+          (** the rendered certificate artifact, inline, when the request
+              asked for one and the certifying solve produced it ([None]
+              for cache hits — the cache stores verdicts, not artifacts) *)
+    }
   | Failed of { failure : failure; elapsed_s : float; detail : string }
       (** structured failure — the client never sees a torn connection *)
   | Overloaded of { queue_depth : int }  (** admission queue full; retry later *)
@@ -79,9 +92,26 @@ type wreq = {
       (** request trace id, present only while the daemon is tracing —
           the worker brackets the solve in a span carrying it, so worker
           rows in the merged trace link back to the daemon's request *)
+  cert : bool;
+      (** solve through {!Hqs.solve_pcnf_certified} and ship the rendered
+          artifact back in [cert_blob] *)
+  escalate : bool;
+      (** this is a re-solve after a certificate audit failure: the
+          worker runs with checks forced to [Full] and degradation off *)
+  poison : bool;
+      (** chaos: the worker corrupts the certificate before its own audit
+          — the deterministic fault injection for the recovery loop *)
 }
 
-type wresult = W_sat of bool | W_timeout | W_memout | W_error of string
+type wresult =
+  | W_sat of bool
+  | W_timeout
+  | W_memout
+  | W_error of string
+  | W_cert_failed of string
+      (** the in-worker certificate audit tripped ({!Check.Violation} at
+          the [Post_certify] stage) — the daemon treats this like a
+          crash: evict the cache entry, retry escalated, quarantine *)
 
 type wreply = {
   w_jid : int;
@@ -96,6 +126,8 @@ type wreply = {
       (** the worker's span buffer for this job (empty unless the request
           carried a trace id) — merged under the worker's pid row via
           {!Obs.Trace.inject} *)
+  cert_blob : string option;
+      (** the rendered certificate on a successful certifying solve *)
 }
 
 val wreq_to_json : wreq -> Obs.Json.t

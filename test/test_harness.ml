@@ -55,6 +55,7 @@ let fake_results =
       soundness = R.Consistent;
       attempts = 1;
       worker_pid = None;
+      cert_path = None;
     };
     {
       R.id = "a2";
@@ -67,6 +68,7 @@ let fake_results =
       soundness = R.Consistent;
       attempts = 1;
       worker_pid = None;
+      cert_path = None;
     };
     {
       R.id = "b1";
@@ -79,6 +81,7 @@ let fake_results =
       soundness = R.Consistent;
       attempts = 1;
       worker_pid = None;
+      cert_path = None;
     };
   ]
 
@@ -172,6 +175,7 @@ let disagreeing_results =
         soundness = R.Disagreement { hqs_sat = true; idq_sat = false };
         attempts = 1;
         worker_pid = None;
+        cert_path = None;
       };
     ]
 
@@ -200,6 +204,7 @@ let crashy_results =
         soundness = R.Consistent;
         attempts = 3;
         worker_pid = Some 1234;
+        cert_path = None;
       };
     ]
 
@@ -223,15 +228,15 @@ let test_csv_executor_columns () =
     (let prefix = "id,family,hqs_outcome,hqs_time,idq_outcome,idq_time,hqs_degraded" in
      let n = String.length prefix in
      String.length header > n && String.sub header 0 n = prefix);
-  check "executor, analysis then inproc columns last" true
+  check "executor, analysis, inproc then cert columns last" true
     (let suffix =
-       ",outcome,attempts,worker_pid,hqs_dep_scheme,hqs_analysis_edges_pruned,hqs_analysis_linearized,hqs_inproc_mode,hqs_inproc_rounds,hqs_inproc_units,hqs_inproc_scc_merges,hqs_inproc_subsumed,hqs_inproc_strengthened,hqs_inproc_failed_lits,hqs_inproc_bve,hqs_inproc_clauses_removed,hqs_inproc_lits_removed"
+       ",outcome,attempts,worker_pid,hqs_dep_scheme,hqs_analysis_edges_pruned,hqs_analysis_linearized,hqs_inproc_mode,hqs_inproc_rounds,hqs_inproc_units,hqs_inproc_scc_merges,hqs_inproc_subsumed,hqs_inproc_strengthened,hqs_inproc_failed_lits,hqs_inproc_bve,hqs_inproc_clauses_removed,hqs_inproc_lits_removed,hqs_cert_status,cert"
      in
      let n = String.length header and m = String.length suffix in
      n > m && String.sub header (n - m) m = suffix);
-  check "in-process rows: solved, 1 attempt, empty pid, blank analysis and inproc cells"
+  check "in-process rows: solved, 1 attempt, empty pid, blank analysis/inproc/cert cells"
     true
-    (contains s ",solved,1,,,,,,,,,,,,,,\n")
+    (contains s ",solved,1,,,,,,,,,,,,,,,,\n")
 
 (* regression for the BENCH_analysis.json sentinel leak: a run without
    stats must render as JSON [null], never as [-1] (which downstream

@@ -100,6 +100,32 @@ let test_no_stdout () =
   check "Buffer/Format sinks pass" false
     (has Linter.No_stdout ~path:lib_path "let f b s = Buffer.add_string b s\n")
 
+let test_cert_isolation () =
+  let cc = "bin/certcheck.ml" in
+  check "qualified solver reference flagged" true
+    (has Linter.Cert_isolation ~path:cc "let f x = Sat.Solver.solve x\n");
+  check "cert library itself flagged" true
+    (has Linter.Cert_isolation ~path:cc "let f s = Cert.parse s\n");
+  check "open of a solver library flagged" true
+    (has Linter.Cert_isolation ~path:cc "open Dqbf\nlet x = 1\n");
+  check "module alias of a solver library flagged" true
+    (has Linter.Cert_isolation ~path:cc "module H = Hqs\nlet x = 1\n");
+  check "local let open flagged" true
+    (has Linter.Cert_isolation ~path:cc "let f () = let open Hqs_util in 1\n");
+  check "stdlib modules pass" false
+    (has Linter.Cert_isolation ~path:cc
+       "let f l = List.sort Int.compare l\nlet g s = String.length s\n");
+  check "bare local idents pass" false
+    (has Linter.Cert_isolation ~path:cc "let solve x = x\nlet f x = solve x\n");
+  check "solver references elsewhere pass" false
+    (has Linter.Cert_isolation ~path:"bin/hqs_cli.ml" "let f x = Hqs.solve_pcnf x\n");
+  (* the rule holds on the real source as committed *)
+  let real = "../bin/certcheck.ml" in
+  if Sys.file_exists real then
+    check "committed certcheck.ml is isolated" false
+      (has Linter.Cert_isolation ~path:"bin/certcheck.ml"
+         (In_channel.with_open_bin real In_channel.input_all))
+
 let test_syntax () =
   check "unparsable source reported" true (has Linter.Syntax ~path:lib_path "let let let\n");
   check "unparsable mli reported" true (has Linter.Syntax ~path:"lib/fake/mod.mli" "val val\n");
@@ -228,6 +254,7 @@ let () =
           Alcotest.test_case "raw-fd scope" `Quick test_raw_fd;
           Alcotest.test_case "wall-clock scope" `Quick test_wall_clock;
           Alcotest.test_case "no-stdout scope" `Quick test_no_stdout;
+          Alcotest.test_case "cert isolation" `Quick test_cert_isolation;
           Alcotest.test_case "syntax" `Quick test_syntax;
           Alcotest.test_case "missing mli" `Quick test_missing_mli;
           Alcotest.test_case "positions" `Quick test_positions;

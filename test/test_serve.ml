@@ -71,8 +71,8 @@ let with_daemon cfg f =
         check "daemon drained and exited 0" true (st = Unix.WEXITED 0);
         r)
 
-let solve ?timeout_s ?(sleep_s = 0.) ~socket text =
-  C.roundtrip ~socket (P.Solve { text; timeout_s; sleep_s })
+let solve ?timeout_s ?(sleep_s = 0.) ?(want_cert = false) ~socket text =
+  C.roundtrip ~socket (P.Solve { text; timeout_s; sleep_s; want_cert })
 
 (* Stats_reply carries an inlined record; destructure to a tuple of
    (workers, queue_depth, metrics) *)
@@ -301,13 +301,13 @@ let test_queue_overflow_sheds () =
           (try Unix.close fd1 with Unix.Unix_error _ -> ());
           try Unix.close fd2 with Unix.Unix_error _ -> ())
         (fun () ->
-          send_raw fd1 (P.Solve { text = sat_text; timeout_s = Some 5.; sleep_s = 0.5 });
+          send_raw fd1 (P.Solve { text = sat_text; timeout_s = Some 5.; sleep_s = 0.5; want_cert = false });
           (* let the daemon dispatch conn1's job before conn2's arrives,
              otherwise both land in one select batch and conn2 is the
              one shed *)
           Unix.sleepf 0.1;
           send_raw fd2
-            (P.Solve { text = unsat_text; timeout_s = Some 5.; sleep_s = 0.3 });
+            (P.Solve { text = unsat_text; timeout_s = Some 5.; sleep_s = 0.3; want_cert = false });
           Unix.sleepf 0.1;
           (match solve ~socket sat_text with
           | Ok (P.Overloaded { queue_depth }) ->
@@ -328,7 +328,7 @@ let test_client_disconnect_mid_reply () =
       (* send a solve and vanish before the reply; the daemon must
          survive, finish the job, and cache the verdict *)
       let fd = C.connect socket in
-      send_raw fd (P.Solve { text = sat_text; timeout_s = Some 5.; sleep_s = 0.2 });
+      send_raw fd (P.Solve { text = sat_text; timeout_s = Some 5.; sleep_s = 0.2; want_cert = false });
       Unix.close fd;
       Unix.sleepf 0.5;
       (match solve ~socket sat_text with
@@ -358,7 +358,7 @@ let test_sigterm_drain_finishes_inflight () =
         wait_ready socket;
         (* put a job in flight, then SIGTERM while it runs *)
         let fd = C.connect socket in
-        send_raw fd (P.Solve { text = sat_text; timeout_s = Some 5.; sleep_s = 0.4 });
+        send_raw fd (P.Solve { text = sat_text; timeout_s = Some 5.; sleep_s = 0.4; want_cert = false });
         Unix.sleepf 0.1;
         Unix.kill pid Sys.sigterm;
         Unix.sleepf 0.05;
@@ -408,6 +408,228 @@ let test_serve_metrics_present () =
       check "latency histogram saw the requests" true
         (metric ~socket "serve.request_latency_s.count" >= 2.))
 
+(* ---------------------------------------------------------- certification *)
+
+let certify_config ?(check_level = Check.Cheap) socket =
+  { (test_config socket) with D.certify = true; check_level }
+
+let test_certified_solve_ships_artifact () =
+  let socket = fresh_socket () in
+  with_daemon (certify_config socket) (fun () ->
+      (match solve ~socket ~want_cert:true sat_text with
+      | Ok (P.Verdict { sat = true; cert = Some blob; _ }) -> (
+          check "artifact is a SAT certificate" true (contains blob "s cert SAT");
+          (* the shipped blob is independently parsable and checks out
+             against the exact instance bytes the daemon solved *)
+          match Cert.parse blob with
+          | Ok c -> (
+              match Cert.check ~instance_text:sat_text (Dqbf.Pcnf.parse_string sat_text) c with
+              | Ok () -> ()
+              | Error e -> Alcotest.failf "shipped certificate rejected: %s" e)
+          | Error e -> Alcotest.failf "shipped certificate unparsable: %s" e)
+      | r -> Alcotest.failf "expected a certificate-carrying verdict, got %s" (reply_str r));
+      (* a client that does not ask gets no blob *)
+      (match solve ~socket unsat_text with
+      | Ok (P.Verdict { sat = false; cert = None; _ }) -> ()
+      | r -> Alcotest.failf "unsolicited certificate: %s" (reply_str r));
+      check "audits counted" true (metric ~socket "serve.cert_audits" >= 2.))
+
+(* the recovery drill: chaos corrupts jid 1's certificate before the
+   in-worker audit; the daemon must tombstone the cache entry, re-solve
+   escalated, and still hand the client a verified artifact *)
+let test_cert_poison_recovers () =
+  let socket = fresh_socket () in
+  let cfg =
+    {
+      (certify_config socket) with
+      D.chaos =
+        Hqs_util.Chaos.create ~limit:1 ~seed:7
+          ~points:[ D.cert_point ~jid:1 ~attempt:1 ]
+          ();
+    }
+  in
+  with_daemon cfg (fun () ->
+      (match solve ~socket ~want_cert:true sat_text with
+      | Ok (P.Verdict { sat = true; audited = true; cert = Some blob; _ }) ->
+          check "recovered artifact is a SAT certificate" true (contains blob "s cert SAT")
+      | r -> Alcotest.failf "expected recovered certified verdict, got %s" (reply_str r));
+      check "cert audit failure counted" true
+        (metric ~socket "serve.cert_audit_failed" >= 1.);
+      (* the poisoned attempt must not have leaked a cache entry: the
+         recovery re-solve stored the good verdict, so this hits *)
+      match solve ~socket sat_text with
+      | Ok (P.Verdict { sat = true; cached = true; _ }) -> ()
+      | r -> Alcotest.failf "expected cache hit after recovery, got %s" (reply_str r))
+
+(* poison every attempt: the job must be quarantined with a structured
+   crash reply instead of looping forever *)
+let test_cert_poison_exhausts_attempts () =
+  let socket = fresh_socket () in
+  let points = List.map (fun a -> D.cert_point ~jid:1 ~attempt:a) [ 1; 2; 3 ] in
+  let cfg =
+    {
+      (certify_config socket) with
+      D.chaos = Hqs_util.Chaos.create ~limit:3 ~seed:7 ~points ();
+    }
+  in
+  with_daemon cfg (fun () ->
+      (match solve ~socket ~want_cert:true sat_text with
+      | Ok (P.Failed { failure = P.F_crash; detail; _ }) ->
+          check "detail names the audit" true (contains detail "certificate audit")
+      | r -> Alcotest.failf "expected quarantine crash reply, got %s" (reply_str r));
+      (* the pool is healthy and the tombstoned key re-solves cleanly *)
+      match solve ~socket sat_text with
+      | Ok (P.Verdict { sat = true; cached = false; _ }) -> ()
+      | r -> Alcotest.failf "pool unhealthy after quarantine: %s" (reply_str r))
+
+(* ------------------------------------------------- hqs query exit codes *)
+
+(* drive the installed CLI against a forked daemon and assert the full
+   documented exit-code surface (10/20/124/125/5/75/3/2, certificate
+   round trip); tests run from _build/default/test, so the binaries sit
+   one directory up *)
+let cli = "../bin/hqs_cli.exe"
+let certcheck = "../bin/certcheck.exe"
+
+let write_tmp tag text =
+  let path = Filename.temp_file tag ".dqdimacs" in
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc text);
+  path
+
+let run_cmd cmd =
+  match Unix.system (cmd ^ " >/dev/null 2>&1") with
+  | Unix.WEXITED n -> n
+  | Unix.WSIGNALED n | Unix.WSTOPPED n -> 128 + n
+
+let query_code ~socket args = run_cmd (Printf.sprintf "%s query --socket %s %s" cli socket args)
+
+let test_query_exit_codes_verdicts () =
+  let sat_file = write_tmp "serve_sat" sat_text in
+  let unsat_file = write_tmp "serve_unsat" unsat_text in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove sat_file;
+      Sys.remove unsat_file)
+    (fun () ->
+      let socket = fresh_socket () in
+      with_daemon (test_config socket) (fun () ->
+          (* timeout first: once the verdict is cached, the sleep hook is
+             short-circuited by the cache hit *)
+          check_int "timeout exits 124" 124
+            (query_code ~socket (Printf.sprintf "-t 0.2 --sleep 0.6 %s" sat_file));
+          check_int "SAT exits 10" 10 (query_code ~socket sat_file);
+          check_int "UNSAT exits 20" 20 (query_code ~socket unsat_file);
+          check_int "ping exits 0" 0 (query_code ~socket "--ping");
+          check_int "health exits 0" 0 (query_code ~socket "--health"));
+      check_int "unreachable daemon exits 2" 2 (query_code ~socket:"/tmp/no_such.sock" "--ping"))
+
+let test_query_exit_code_memout () =
+  (* an instance that genuinely needs AIG construction, so a tiny node
+     budget trips the heap governor (the 2-variable smoke instances are
+     dispatched by preprocessing without building a single node) *)
+  let inst = Circuit.Families.adder ~bits:4 ~boxes:2 ~fault:false in
+  let hard_file = write_tmp "serve_memout" (Dqbf.Pcnf.to_string inst.Circuit.Families.pcnf) in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove hard_file)
+    (fun () ->
+      let socket = fresh_socket () in
+      let cfg =
+        {
+          (test_config socket) with
+          D.solver =
+            { Hqs.default_config with Hqs.node_limit = Some 64; restart_on_memout = false };
+        }
+      in
+      with_daemon cfg (fun () ->
+          check_int "memout exits 125" 125 (query_code ~socket hard_file)))
+
+let test_query_exit_code_crash () =
+  let sat_file = write_tmp "serve_sat" sat_text in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove sat_file)
+    (fun () ->
+      let socket = fresh_socket () in
+      with_daemon
+        (chaos_config ~attempts:[ 1; 2; 3 ] socket)
+        (fun () -> check_int "crash-out exits 5" 5 (query_code ~socket sat_file)))
+
+let test_query_exit_code_overloaded () =
+  let sat_file = write_tmp "serve_sat" sat_text in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove sat_file)
+    (fun () ->
+      let socket = fresh_socket () in
+      with_daemon
+        (test_config ~workers:1 ~queue_cap:1 socket)
+        (fun () ->
+          let fd1 = C.connect socket in
+          let fd2 = C.connect socket in
+          Fun.protect
+            ~finally:(fun () ->
+              (try Unix.close fd1 with Unix.Unix_error _ -> ());
+              try Unix.close fd2 with Unix.Unix_error _ -> ())
+            (fun () ->
+              send_raw fd1
+                (P.Solve
+                   { text = sat_text; timeout_s = Some 5.; sleep_s = 0.5; want_cert = false });
+              Unix.sleepf 0.1;
+              send_raw fd2
+                (P.Solve
+                   { text = unsat_text; timeout_s = Some 5.; sleep_s = 0.3; want_cert = false });
+              Unix.sleepf 0.1;
+              check_int "overloaded exits 75" 75 (query_code ~socket sat_file);
+              (* drain both admitted jobs before the daemon is stopped *)
+              ignore (recv_raw fd1);
+              ignore (recv_raw fd2))))
+
+let test_query_exit_code_audit_failure () =
+  let sat_file = write_tmp "serve_sat" sat_text in
+  let cache = Filename.temp_file "serve_cache" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove sat_file;
+      if Sys.file_exists cache then Sys.remove cache)
+    (fun () ->
+      let key =
+        (Dqbf.Canon.canonicalize (Dqbf.Pcnf.parse_string sat_text)).Dqbf.Canon.key
+      in
+      let c = Serve.Cache.open_ ~path:cache () in
+      Serve.Cache.store c key ~sat:false ~elapsed_s:0.1;
+      Serve.Cache.close c;
+      let socket = fresh_socket () in
+      with_daemon
+        {
+          (test_config socket) with
+          D.cache_path = Some cache;
+          check_level = Check.Full;
+          audit_period = 1;
+        }
+        (fun () -> check_int "cache-audit failure exits 3" 3 (query_code ~socket sat_file)))
+
+(* the full external loop: query --certify writes the shipped artifact,
+   and the isolated verifier accepts it against the instance bytes *)
+let test_query_certify_roundtrip () =
+  let sat_file = write_tmp "serve_sat" sat_text in
+  let cert_file = Filename.temp_file "serve_cert" ".cert" in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove sat_file;
+      if Sys.file_exists cert_file then Sys.remove cert_file)
+    (fun () ->
+      let socket = fresh_socket () in
+      with_daemon (certify_config socket) (fun () ->
+          check_int "certified query exits 10" 10
+            (query_code ~socket (Printf.sprintf "--certify %s %s" cert_file sat_file));
+          check "artifact written" true (Sys.file_exists cert_file);
+          check_int "external verifier accepts" 0
+            (run_cmd (Printf.sprintf "%s %s %s" certcheck sat_file cert_file));
+          (* corrupting the artifact must flip the verifier to `refuted' *)
+          let blob = In_channel.with_open_bin cert_file In_channel.input_all in
+          let bad = Str.replace_first (Str.regexp "h ") "h f" blob in
+          Out_channel.with_open_bin cert_file (fun oc -> Out_channel.output_string oc bad);
+          check "corrupted artifact rejected" true
+            (run_cmd (Printf.sprintf "%s %s %s" certcheck sat_file cert_file) <> 0)))
+
 let () =
   Exec.Ipc.ignore_sigpipe ();
   Alcotest.run "serve"
@@ -434,5 +656,22 @@ let () =
           Alcotest.test_case "sigterm drain finishes in-flight" `Quick
             test_sigterm_drain_finishes_inflight;
           Alcotest.test_case "serve metrics present" `Quick test_serve_metrics_present;
+        ] );
+      ( "certification",
+        [
+          Alcotest.test_case "certified solve ships artifact" `Quick
+            test_certified_solve_ships_artifact;
+          Alcotest.test_case "cert poison recovers" `Quick test_cert_poison_recovers;
+          Alcotest.test_case "cert poison exhausts attempts" `Quick
+            test_cert_poison_exhausts_attempts;
+        ] );
+      ( "query exit codes",
+        [
+          Alcotest.test_case "verdicts and probes" `Quick test_query_exit_codes_verdicts;
+          Alcotest.test_case "memout" `Quick test_query_exit_code_memout;
+          Alcotest.test_case "crash" `Quick test_query_exit_code_crash;
+          Alcotest.test_case "overloaded" `Quick test_query_exit_code_overloaded;
+          Alcotest.test_case "cache audit failure" `Quick test_query_exit_code_audit_failure;
+          Alcotest.test_case "certify roundtrip" `Quick test_query_certify_roundtrip;
         ] );
     ]
