@@ -1,0 +1,138 @@
+(* deepcheck: the typed-tree interprocedural analysis gate. Reads the
+   .cmt/.cmti artifacts dune already produced (refusing stale ones with
+   exit 2), builds the whole-repo call graph, and enforces three
+   policies kept as reviewed files at the repo root:
+
+     exn-escape   may-raise sets of every public value vs. the
+                  per-library allowlists in deepcheck.escapes
+     fork-unsafe  toplevel mutable state / inherited fds reachable from
+                  the fork entry points vs. deepcheck.forkinit
+     layering     actual inter-library deps (dune describe) vs. the
+                  allowed DAG in deepcheck.layers
+
+   Must not run under `dune exec` (dune holds the build lock deepcheck's
+   `dune describe` subprocess needs): build it, then run
+   _build/default/bin/deepcheck.exe — as ci.sh does. *)
+
+let file_arg names ~default ~doc =
+  let open Cmdliner in
+  Arg.(value (opt string default (info names ~docv:"FILE" ~doc)))
+
+let format_arg =
+  let open Cmdliner in
+  let human = (Linter.Human, Arg.info [ "human" ] ~doc:"Human-readable output (default).") in
+  let json =
+    ( Linter.Json,
+      Arg.info [ "json" ]
+        ~doc:
+          "One JSON document on stdout: \
+           {\"tool\":\"deepcheck\",\"findings\":[...],\"count\":N}. Emitted even on a clean run."
+    )
+  in
+  Arg.(value (vflag Linter.Human [ human; json ]))
+
+let rules_doc =
+  [
+    `I
+      ( "$(b,exn-escape)",
+        "An exception may escape a value exported by a library's .mli without being named in \
+         that library's stanza in deepcheck.escapes. The may-raise set is a whole-repo fixpoint: \
+         direct raises, stdlib partial functions (Hashtbl.find, List.find, int_of_string, ...), \
+         and everything transitively called, minus what enclosing handlers provably catch \
+         (catch-alls that re-raise their binder do not count as handlers)." );
+    `I
+      ( "$(b,fork-unsafe)",
+        "Code reachable from a fork entry point (deepcheck.forkinit 'entry' lines) reads or \
+         writes toplevel mutable state or an inherited file descriptor that is not sanctioned \
+         by an 'allow' line. A forked child shares the parent's heap snapshot and fds; every \
+         such touch must be deliberately reinitialised (see Obs.fork_reinit) or sanctioned with \
+         a reason." );
+    `I
+      ( "$(b,layering)",
+        "A local library or executable depends on a local library that deepcheck.layers does \
+         not allow. The actual edges come from `dune describe`, so the committed DAG is checked \
+         against what dune really links, not against comments." );
+  ]
+
+let man =
+  [
+    `S Cmdliner.Manpage.s_description;
+    `P
+      "Interprocedural companion to $(b,lint)(1): where lint parses sources, deepcheck walks \
+       the typed trees (.cmt) dune already produced and reasons across calls. A stale or \
+       missing .cmt is exit 2, never a silent pass: run $(b,dune build) first.";
+    `S "RULES";
+  ]
+  @ rules_doc
+  @ [
+      `S "SUPPRESSION";
+      `P
+        "A finding is silenced by the marker $(b,deepcheck: allow RULE) on the offending line \
+         or the line directly above — same engine as lint. Policy-level sanctions belong in \
+         the deepcheck.* files, with a reason.";
+      `S "SEE ALSO";
+      `P "$(b,lint)(1).";
+    ]
+
+let cmd =
+  let open Cmdliner in
+  let run root describe_file escapes forkinit layers format dump =
+    Deepcheck.Driver.run
+      {
+        Deepcheck.Driver.c_root = root;
+        c_describe_file = describe_file;
+        c_escapes_file = escapes;
+        c_forkinit_file = forkinit;
+        c_layers_file = layers;
+        c_format = format;
+        c_dump = dump;
+      }
+  in
+  let root_arg =
+    Arg.(value (opt string "." (info [ "root" ] ~docv:"DIR" ~doc:"Repository root (default: cwd).")))
+  in
+  let describe_arg =
+    Arg.(
+      value
+        (opt (some string) None
+           (info [ "describe" ] ~docv:"FILE"
+              ~doc:
+                "Read captured `dune describe` output from $(docv) instead of running dune \
+                 (used by CI fixtures; the staleness audit still runs).")))
+  in
+  let escapes_arg =
+    file_arg [ "escapes" ] ~default:"deepcheck.escapes"
+      ~doc:"Per-library exception allowlist file."
+  in
+  let forkinit_arg =
+    file_arg [ "forkinit" ] ~default:"deepcheck.forkinit"
+      ~doc:"Fork entry points and sanctioned globals file."
+  in
+  let layers_arg =
+    file_arg [ "layers" ] ~default:"deepcheck.layers" ~doc:"Allowed inter-library DAG file."
+  in
+  let dump_arg =
+    Arg.(
+      value
+        (flag
+           (info [ "dump" ]
+              ~doc:
+                "Print the extracted call graph (nodes, raises, may-raise sets, public \
+                 surface) instead of analyzing — the debugging window into what the analyses \
+                 see.")))
+  in
+  let info =
+    Cmd.info "deepcheck" ~doc:"typed-tree interprocedural analysis gate for the hqs repo" ~man
+      ~exits:
+        [
+          Cmd.Exit.info 0 ~doc:"clean";
+          Cmd.Exit.info 1 ~doc:"findings reported";
+          Cmd.Exit.info 2 ~doc:"usage, staleness, or policy-file error";
+        ]
+  in
+  Cmd.v info
+    Term.(
+      const run $ root_arg $ describe_arg $ escapes_arg $ forkinit_arg $ layers_arg $ format_arg
+      $ dump_arg)
+
+let () = exit (Cmdliner.Cmd.eval' cmd)

@@ -36,12 +36,34 @@ let arg_str name ev =
   | Some args -> (
       match Obs.Json.member name args with Some (Obs.Json.Str s) -> Some s | _ -> None)
 
-let check file min_spans min_pids min_cross_links verbose =
+(* --json-only: generic JSON round-trip stability (parse -> render ->
+   re-parse -> compare), no trace semantics. CI uses this to assert the
+   lint/deepcheck --json output is well-formed Obs.Json. *)
+let json_roundtrip file body =
+  let json =
+    match Obs.Json.parse body with Ok j -> j | Error msg -> fail "invalid JSON: %s" msg
+  in
+  let rendered = Obs.Json.render json in
+  let reparsed =
+    match Obs.Json.parse rendered with
+    | Ok j -> j
+    | Error msg -> fail "rendered JSON does not re-parse: %s" msg
+  in
+  if not (String.equal rendered (Obs.Json.render reparsed)) then
+    fail "JSON round-trip is not stable for %s" file;
+  Printf.printf "ok: %s round-trips through Obs.Json (%d bytes rendered)\n" file
+    (String.length rendered)
+
+let check file json_only min_spans min_pids min_cross_links verbose =
   let body =
     match read_file file with
     | s -> s
     | exception Sys_error msg -> fail "%s" msg
   in
+  if json_only then begin
+    json_roundtrip file body;
+    exit 0
+  end;
   let json = match Obs.Json.parse body with Ok j -> j | Error msg -> fail "invalid JSON: %s" msg in
   let raw_events =
     match Obs.Json.member "traceEvents" json with
@@ -181,9 +203,18 @@ let cmd =
              the span_id it names (cross-process trace stitches)")
   in
   let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"list the span names") in
+  let json_only =
+    Arg.(
+      value
+      & flag
+      & info [ "json-only" ]
+          ~doc:
+            "only check that the file is JSON that round-trips through Obs.Json \
+             (parse/render/re-parse); skip all trace semantics")
+  in
   Cmd.v
     (Cmd.info "tracecheck" ~doc:"validate a Chrome trace produced by hqs --trace")
-    Term.(const check $ file $ min_spans $ min_pids $ min_cross_links $ verbose)
+    Term.(const check $ file $ json_only $ min_spans $ min_pids $ min_cross_links $ verbose)
 
 (* cmdliner's default cli-error code (124) collides with the repo's
    timeout exit convention; map evaluation outcomes explicitly *)

@@ -11,37 +11,45 @@
 #      lib/exec, wall-clock reads outside lib/util) plus the lint
 #      driver's usage-error contract (nonexistent path => exit 2)
 #   4. unit + property test suites
-#   5. dependency-scheme gate: solve a generated example suite twice
+#   5. deepcheck gate (bin/deepcheck, typed-tree whole-program
+#      analysis over dune's .cmt artifacts): the tree passes the
+#      exception-escape, fork-safety and layering analyses against the
+#      committed deepcheck.{escapes,forkinit,layers} policy files; both
+#      analyzers' --json output round-trips through Obs.Json; a seeded
+#      allowlist deletion, a temporary dune edit (circuit -> serve), a
+#      stale .cmt and an unresolvable fork entry are each refused with
+#      the right exit code
+#   6. dependency-scheme gate: solve a generated example suite twice
 #      (--dep-scheme trivial vs rp) under --check full, diff the verdict
 #      lines byte-for-byte, assert rp never grows the MaxSAT elimination
 #      set and prunes at least one edge on the c432 PEC family
-#   6. inprocessing gate: re-solve the example suite with the CNF
+#   7. inprocessing gate: re-solve the example suite with the CNF
 #      inprocessing engine on vs off under --check full and diff the
 #      verdict lines byte-for-byte; run `hqs analyze` on the committed
 #      fixture and assert at least one SCC merge and one subsumption
 #      were found and audited; prove the no-stdout lint rule fires on a
 #      seeded stdout write under lib/
-#   7. chaos-enabled smoke solve: generate a small PEC instance and
+#   8. chaos-enabled smoke solve: generate a small PEC instance and
 #      solve it with fault injection armed AND the soundness auditor at
 #      full depth (HQS_CHECK=full), proving the degradation ladder and
 #      the stage audits end-to-end through the real CLI
-#   8. traced smoke solve: solve an instance with incomparable dependency
+#   9. traced smoke solve: solve an instance with incomparable dependency
 #      sets under --trace and validate the trace with bin/tracecheck
 #      (well-formed Chrome JSON, balanced spans, >= 6 pipeline phases)
-#   9. supervised mini-sweep: run `hqs sweep` over a generated instance
+#  10. supervised mini-sweep: run `hqs sweep` over a generated instance
 #      directory with 2 workers and a chaos-injected worker kill,
 #      asserting the victim is quarantined as a CRASH row while the rest
 #      solve; then kill a journaled sweep midway (SIGKILL, torn tail and
 #      all) and prove --resume completes exactly the remaining tasks and
 #      that a second resume executes nothing and reproduces the report
 #      byte-for-byte
-#  10. serve gate: start the persistent daemon with a cache, a trace and
+#  11. serve gate: start the persistent daemon with a cache, a trace and
 #      a chaos-armed worker kill; fire 8 concurrent queries (with
 #      duplicates), assert every client gets a structured verdict, a
 #      sequential duplicate is served from the cache, the serve.*
 #      metrics counted the crash/respawn/hits, SIGTERM drains to exit 0,
 #      and the emitted trace tracecheck-validates with serve.* events
-#  11. distobs gate: a traced chaos-kill sweep must merge worker span
+#  12. distobs gate: a traced chaos-kill sweep must merge worker span
 #      buffers under their own pid rows with cross-pid parent links
 #      (tracecheck --min-pids/--min-cross-links); benchdiff passes on
 #      the committed trajectory baseline and trips on a seeded 25%
@@ -50,7 +58,7 @@
 #      and leaves a complete, trace-correlated JSONL event trail; the
 #      raw-fd/no-stdout/mono-clock-span lint rules fire on seeded
 #      fixtures
-#  12. cert gate: assert the isolated verifier links zero libraries
+#  13. cert gate: assert the isolated verifier links zero libraries
 #      (dune describe) and that the cert-isolation lint rule fires on a
 #      seeded solver reference; certify every example-suite instance
 #      under --check full and verify each artifact with bin/certcheck
@@ -90,6 +98,79 @@ dune runtest
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 HQS_BIN=_build/default/bin/hqs_cli.exe
+
+echo "== deepcheck (typed-tree whole-program analysis) =="
+# the built binary is invoked directly: deepcheck shells out to
+# `dune describe`, which needs the build lock `dune exec` would hold
+DEEPCHECK=_build/default/bin/deepcheck.exe
+# 1) the real tree passes all three analyses against the committed
+#    policy files (deepcheck.escapes / .forkinit / .layers)
+"$DEEPCHECK" || {
+  echo "== ci FAILED: deepcheck found violations on a clean tree =="
+  exit 1
+}
+# 2) machine output: both analyzers' --json documents must round-trip
+#    through Obs.Json (same checker the trace pipeline uses)
+"$DEEPCHECK" --json >"$tmp/deepcheck.json"
+dune exec bin/tracecheck.exe -- "$tmp/deepcheck.json" --json-only
+dune exec bin/lint.exe -- --json lib bin bench test examples >"$tmp/lint.json"
+dune exec bin/tracecheck.exe -- "$tmp/lint.json" --json-only
+# 3) seeded escape: drop one allowlisted exception and the exn-escape
+#    rule must fire — an allowlist edit nobody notices is not a gate
+grep -v 'Cert.Parse_error' deepcheck.escapes >"$tmp/escapes.seeded"
+esc_status=0
+"$DEEPCHECK" --escapes "$tmp/escapes.seeded" >"$tmp/dc.escape.out" 2>&1 || esc_status=$?
+if [ "$esc_status" != 1 ] || ! grep -q 'exn-escape' "$tmp/dc.escape.out" \
+  || ! grep -q 'Cert.Parse_error' "$tmp/dc.escape.out"; then
+  echo "== ci FAILED: seeded escape not flagged (exit $esc_status) =="
+  cat "$tmp/dc.escape.out"
+  exit 1
+fi
+# 4) seeded layering: a real (temporary) dune edit adds circuit -> serve;
+#    the captured describe must trip the layering rule, proving the gate
+#    checks what dune actually links, not the comments
+cp lib/circuit/dune "$tmp/circuit.dune.orig"
+printf '(library\n (name circuit)\n (libraries dqbf serve hqs_util))\n' >lib/circuit/dune
+dd_status=0
+dune describe >"$tmp/describe.seeded" 2>"$tmp/describe.err" || dd_status=$?
+cp "$tmp/circuit.dune.orig" lib/circuit/dune
+if [ "$dd_status" != 0 ]; then
+  echo "== ci FAILED: dune describe on the seeded layering edit exited $dd_status =="
+  cat "$tmp/describe.err"
+  exit 1
+fi
+lay_status=0
+"$DEEPCHECK" --describe "$tmp/describe.seeded" >"$tmp/dc.layer.out" 2>&1 || lay_status=$?
+if [ "$lay_status" != 1 ] || ! grep -q 'layering' "$tmp/dc.layer.out" \
+  || ! grep -q "depends on local library 'serve'" "$tmp/dc.layer.out"; then
+  echo "== ci FAILED: seeded layering violation not flagged (exit $lay_status) =="
+  cat "$tmp/dc.layer.out"
+  exit 1
+fi
+# 5) staleness refusal: an edited source with an old .cmt is exit 2 with
+#    a pointed message, never a silent pass over stale typed trees
+#    (dune content-hashes, so restoring freshness needs touch -r, not a
+#    rebuild)
+touch lib/util/mono.ml
+stale_status=0
+"$DEEPCHECK" >"$tmp/dc.stale.out" 2>&1 || stale_status=$?
+touch -r _build/default/lib/util/.hqs_util.objs/byte/hqs_util__Mono.cmt lib/util/mono.ml
+if [ "$stale_status" != 2 ] || ! grep -q 'newer than its .cmt' "$tmp/dc.stale.out"; then
+  echo "== ci FAILED: stale .cmt not refused (exit $stale_status) =="
+  cat "$tmp/dc.stale.out"
+  exit 1
+fi
+# 6) a forkinit entry that no longer resolves is a config error (exit 2):
+#    fork-safety whose entry points vanished in a refactor checks nothing
+printf 'entry No.Such.Entry\n' >"$tmp/forkinit.seeded"
+fk_status=0
+"$DEEPCHECK" --forkinit "$tmp/forkinit.seeded" >"$tmp/dc.fork.out" 2>&1 || fk_status=$?
+if [ "$fk_status" != 2 ] || ! grep -q 'does not resolve' "$tmp/dc.fork.out"; then
+  echo "== ci FAILED: unresolvable forkinit entry not refused (exit $fk_status) =="
+  cat "$tmp/dc.fork.out"
+  exit 1
+fi
+echo "c deepcheck gate: tree clean, JSON round-trips, seeded escape/layering/staleness/forkinit all refused"
 
 echo "== analysis (dependency schemes) =="
 mkdir -p "$tmp/an"
@@ -699,4 +780,4 @@ grep -q '"ev":"retry"' "$elog3" || {
 }
 echo "c cert gate: suite certified+verified, corruption refuted, isolation asserted, daemon recovery drilled"
 
-echo "== ci OK (smoke verdict exit $status, traced exit $trace_status, sweep crash+resume verified, serve gate passed, distobs gate passed, cert gate passed) =="
+echo "== ci OK (smoke verdict exit $status, traced exit $trace_status, sweep crash+resume verified, serve gate passed, distobs gate passed, cert gate passed, deepcheck gate passed) =="

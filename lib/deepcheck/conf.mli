@@ -1,0 +1,32 @@
+(** Parsers for the three reviewed policy files ([deepcheck.escapes],
+    [deepcheck.forkinit], [deepcheck.layers]). Parse errors are loud
+    [Error]s the driver turns into exit 2 — a half-parsed policy is a
+    policy that silently stopped being enforced. *)
+
+type escapes = (string * Extract.SSet.t) list
+(** library name -> exception names allowed to escape its [.mli]. *)
+
+val parse_escapes : string -> (escapes, string) result
+val escapes_allowed : escapes -> string -> Extract.SSet.t
+
+type forkinit = {
+  fi_entries : string list;  (** worker entry nodes, fully qualified *)
+  fi_allow : (string * string) list;  (** sanctioned global -> reason *)
+}
+
+val parse_forkinit : string -> (forkinit, string) result
+(** Errors if no [entry] lines: fork-safety with no entries checks
+    nothing, and must say so rather than pass. *)
+
+type layer_rule = {
+  lr_kind : [ `Library | `Executable ];
+  lr_name : string;  (** may end in ['*'] (glob), e.g. ["test_*"] *)
+  lr_deps : [ `Any | `Only of Extract.SSet.t ];
+}
+
+type layers = layer_rule list
+
+val parse_layers : string -> (layers, string) result
+
+val layer_rule_for : layers -> [ `Library | `Executable ] -> string -> layer_rule option
+(** First matching rule wins; exact names should precede globs. *)

@@ -1,0 +1,155 @@
+(* Parsed view of `dune describe`: the ground truth for which libraries
+   exist, what each directly requires, and where dune put every module's
+   source and .cmt. Everything the analyzer consumes downstream
+   (layering edges, cmt paths, staleness pairs) comes from here — never
+   from guessing at directory layout. *)
+
+type module_info = {
+  m_name : string;
+  m_impl : string option;  (* build-relative source path *)
+  m_intf : string option;
+  m_cmt : string option;
+  m_cmti : string option;
+}
+
+type library = {
+  lib_name : string;
+  lib_uid : string;
+  lib_local : bool;
+  lib_requires : string list;  (* uids of direct dependencies *)
+  lib_source_dir : string;
+  lib_modules : module_info list;
+}
+
+type executables = {
+  exe_names : string list;  (* one stanza can define several binaries *)
+  exe_requires : string list;  (* uids *)
+  exe_modules : module_info list;
+}
+
+type t = { root : string; build_context : string; libraries : library list; exes : executables list }
+
+let module_of_sexp sx =
+  match Sexp.field_atom "name" sx with
+  | None -> None
+  | Some m_name ->
+      let path key =
+        match Sexp.field key sx with
+        | Some [ Sexp.List [ Sexp.Atom p ] ] | Some [ Sexp.Atom p ] -> Some p
+        | _ -> None
+      in
+      Some
+        {
+          m_name;
+          m_impl = path "impl";
+          m_intf = path "intf";
+          m_cmt = path "cmt";
+          m_cmti = path "cmti";
+        }
+
+let modules_of_sexp sx =
+  match Sexp.field "modules" sx with
+  | Some [ Sexp.List items ] -> List.filter_map module_of_sexp items
+  | _ -> []
+
+let library_of_sexp sx =
+  match (Sexp.field_atom "name" sx, Sexp.field_atom "uid" sx) with
+  | Some lib_name, Some lib_uid ->
+      Some
+        {
+          lib_name;
+          lib_uid;
+          lib_local = Sexp.field_atom "local" sx = Some "true";
+          lib_requires = Option.value ~default:[] (Sexp.field_atoms "requires" sx);
+          lib_source_dir = Option.value ~default:"" (Sexp.field_atom "source_dir" sx);
+          lib_modules = modules_of_sexp sx;
+        }
+  | _ -> None
+
+let exe_of_sexp sx =
+  match Sexp.field_atoms "names" sx with
+  | None | Some [] -> None
+  | Some exe_names ->
+      Some
+        {
+          exe_names;
+          exe_requires = Option.value ~default:[] (Sexp.field_atoms "requires" sx);
+          exe_modules = modules_of_sexp sx;
+        }
+
+let of_sexp sx =
+  match sx with
+  | Sexp.Atom _ -> Error "dune describe output is not a list"
+  | Sexp.List items ->
+      let root = ref "" and build_context = ref "_build/default" in
+      let libraries = ref [] and exes = ref [] in
+      List.iter
+        (fun item ->
+          match item with
+          | Sexp.List [ Sexp.Atom "root"; Sexp.Atom r ] -> root := r
+          | Sexp.List [ Sexp.Atom "build_context"; Sexp.Atom b ] -> build_context := b
+          | Sexp.List [ Sexp.Atom "library"; payload ] -> (
+              match library_of_sexp payload with
+              | Some lib -> libraries := lib :: !libraries
+              | None -> ())
+          | Sexp.List [ Sexp.Atom "executables"; payload ] -> (
+              match exe_of_sexp payload with Some e -> exes := e :: !exes | None -> ())
+          | Sexp.Atom _ | Sexp.List _ -> ())
+        items;
+      Ok
+        {
+          root = !root;
+          build_context = !build_context;
+          libraries = List.rev !libraries;
+          exes = List.rev !exes;
+        }
+
+let of_string s = Result.bind (Sexp.parse s) of_sexp
+
+(* ----------------------------------------------------------- conveniences *)
+
+let lib_name_of_uid t uid =
+  List.find_map
+    (fun l -> if String.equal l.lib_uid uid then Some l.lib_name else None)
+    t.libraries
+
+let local_libraries t = List.filter (fun l -> l.lib_local) t.libraries
+
+(* strip the build context prefix: "_build/default/lib/aig/man.ml" ->
+   "lib/aig/man.ml" (the path a developer edits and a diagnostic names) *)
+let source_relative t path =
+  let prefix = t.build_context ^ "/" in
+  if String.length path > String.length prefix && String.starts_with ~prefix path then
+    String.sub path (String.length prefix) (String.length path - String.length prefix)
+  else path
+
+(* ---------------------------------------------------------------- runner *)
+
+(* `dune describe` is run as a subprocess so the analyzer always sees the
+   build system's own view. Must not be invoked from under `dune exec`
+   (the build lock is held); CI calls the installed binary directly. *)
+let run_dune_describe ~root =
+  let cmd = Printf.sprintf "dune describe --root %s 2>/dev/null" (Filename.quote root) in
+  match Unix.open_process_in cmd with
+  | ic -> (
+      let out = In_channel.input_all ic in
+      match Unix.close_process_in ic with
+      | Unix.WEXITED 0 -> Ok out
+      | Unix.WEXITED code -> Error (Printf.sprintf "dune describe exited %d" code)
+      | Unix.WSIGNALED s | Unix.WSTOPPED s ->
+          Error (Printf.sprintf "dune describe killed by signal %d" s)
+      | exception Unix.Unix_error (e, _, _) ->
+          Error (Printf.sprintf "dune describe: %s" (Unix.error_message e)))
+  | exception Unix.Unix_error (e, _, _) ->
+      Error (Printf.sprintf "cannot run dune describe: %s" (Unix.error_message e))
+
+let load ~root ~describe_file =
+  let text =
+    match describe_file with
+    | Some f -> (
+        match In_channel.with_open_bin f In_channel.input_all with
+        | s -> Ok s
+        | exception Sys_error msg -> Error ("cannot read describe file: " ^ msg))
+    | None -> run_dune_describe ~root
+  in
+  Result.bind text of_string

@@ -1,0 +1,54 @@
+(** Parsed view of `dune describe`: libraries, executables, direct
+    dependency uids, and per-module source/[.cmt] paths — the analyzer's
+    ground truth for layout (layering edges, cmt loading, staleness). *)
+
+type module_info = {
+  m_name : string;
+  m_impl : string option;  (** build-relative source path *)
+  m_intf : string option;
+  m_cmt : string option;
+  m_cmti : string option;
+}
+
+type library = {
+  lib_name : string;
+  lib_uid : string;
+  lib_local : bool;
+  lib_requires : string list;  (** uids of direct dependencies *)
+  lib_source_dir : string;
+  lib_modules : module_info list;
+}
+
+type executables = {
+  exe_names : string list;  (** one stanza can define several binaries *)
+  exe_requires : string list;  (** uids *)
+  exe_modules : module_info list;
+}
+
+type t = {
+  root : string;
+  build_context : string;
+  libraries : library list;
+  exes : executables list;
+}
+
+val of_string : string -> (t, string) result
+(** Parse `dune describe` output. Malformed input is a loud [Error]. *)
+
+val of_sexp : Sexp.t -> (t, string) result
+
+val lib_name_of_uid : t -> string -> string option
+val local_libraries : t -> library list
+
+val source_relative : t -> string -> string
+(** Strip the build-context prefix: the path a developer edits and a
+    diagnostic names. *)
+
+val run_dune_describe : root:string -> (string, string) result
+(** Run `dune describe` as a subprocess. Must not be called from under
+    [dune exec] (the build lock is held); CI invokes the built binary
+    directly. *)
+
+val load : root:string -> describe_file:string option -> (t, string) result
+(** [load]: read [describe_file] when given, otherwise run
+    {!run_dune_describe}, then parse. *)

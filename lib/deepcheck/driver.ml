@@ -1,0 +1,319 @@
+(* The deepcheck driver: load the build layout (Describe), refuse stale
+   artifacts (Stale), extract every local unit (Extract), close the call
+   graph (Graph), then run the three interprocedural analyses against the
+   reviewed policy files (Conf). Same contract as bin/lint: exit 0 clean,
+   1 findings, 2 usage/staleness/config error — staleness is never a
+   silent pass. *)
+
+module SSet = Extract.SSet
+module SMap = Graph.SMap
+
+let rule_exn_escape = "exn-escape"
+let rule_fork_unsafe = "fork-unsafe"
+let rule_layering = "layering"
+
+let all_rules = [ rule_exn_escape; rule_fork_unsafe; rule_layering ]
+
+type config = {
+  c_root : string;
+  c_describe_file : string option;  (* captured `dune describe` output (CI fixtures) *)
+  c_escapes_file : string;
+  c_forkinit_file : string;
+  c_layers_file : string;
+  c_format : Linter.format;
+  c_dump : bool;  (* print the extracted graph instead of analyzing *)
+}
+
+(* fatal condition (config, staleness, unreadable cmt): exit 2, loudly *)
+exception Fatal of string
+
+let origin_finding (o : Extract.origin) rule msg =
+  {
+    Linter.f_file = o.Extract.o_file;
+    f_line = o.Extract.o_line;
+    f_col = o.Extract.o_col;
+    f_rule = rule;
+    f_msg = msg;
+  }
+
+(* ------------------------------------------------------- suppression *)
+
+(* "deepcheck: allow <rule>" on the finding's line or the line above,
+   via the engine shared with bin/lint *)
+let suppressed cfg =
+  let cache : (string, string array) Hashtbl.t = Hashtbl.create 16 in
+  fun (f : Linter.finding) ->
+    let path =
+      if Filename.is_relative f.Linter.f_file then Filename.concat cfg.c_root f.Linter.f_file
+      else f.Linter.f_file
+    in
+    let lines =
+      match Hashtbl.find_opt cache path with
+      | Some l -> l
+      | None ->
+          let l =
+            match In_channel.with_open_bin path In_channel.input_all with
+            | text -> Array.of_list (String.split_on_char '\n' text)
+            | exception Sys_error _ -> [||]
+          in
+          Hashtbl.replace cache path l;
+          l
+    in
+    Linter.suppressed_by_marker ~lines
+      ~marker:("deepcheck: allow " ^ f.Linter.f_rule)
+      f.Linter.f_line
+
+(* ------------------------------------------------------------ loading *)
+
+let load_units (d : Describe.t) =
+  let under_root p = if Filename.is_relative p then Filename.concat d.Describe.root p else p in
+  List.concat_map
+    (fun (lib : Describe.library) ->
+      List.filter_map
+        (fun (m : Describe.module_info) ->
+          match m.Describe.m_cmt with
+          | None -> None
+          | Some cmt -> (
+              let source =
+                match m.Describe.m_impl with
+                | Some impl -> Describe.source_relative d impl
+                | None -> cmt
+              in
+              match
+                Extract.load_unit ~lib:lib.Describe.lib_name ~source ~cmt:(under_root cmt)
+                  ~cmti:(Option.map under_root m.Describe.m_cmti)
+              with
+              | Extract.Unit u -> Some u
+              | Extract.Skipped _ -> None
+              | Extract.Unreadable msg -> raise (Fatal msg)))
+        lib.Describe.lib_modules)
+    (Describe.local_libraries d)
+
+(* ------------------------------------------------------------- escapes *)
+
+(* every value a library's .mli exports, with its computed may-raise set;
+   anything not named in the library's allowlist is a finding *)
+let check_escapes (allow : Conf.escapes) (units : Extract.unit_info list) (g : Graph.t) =
+  List.concat_map
+    (fun (u : Extract.unit_info) ->
+      let allowed = Conf.escapes_allowed allow u.Extract.u_lib in
+      List.concat_map
+        (fun (name, loc) ->
+          let escaping = SSet.diff (Graph.may_raise g name) allowed in
+          List.map
+            (fun exn ->
+              let what =
+                if String.equal exn "*" then
+                  "an unnamed exception (raise of a computed value; name it or allow '*')"
+                else exn
+              in
+              origin_finding loc rule_exn_escape
+                (Printf.sprintf
+                   "%s may raise %s, which is not declared in the '%s' allowlist \
+                    (deepcheck.escapes): %s"
+                   name what u.Extract.u_lib (Graph.chain g name exn)))
+            (SSet.elements escaping))
+        u.Extract.u_public)
+    units
+
+(* --------------------------------------------------------- fork safety *)
+
+let check_fork (fi : Conf.forkinit) (g : Graph.t) =
+  (* every entry must resolve: a fork-safety pass whose entry points
+     silently vanished in a refactor would check nothing *)
+  List.iter
+    (fun e ->
+      if not (SMap.mem e g.Graph.nodes) then
+        raise
+          (Fatal
+             (Printf.sprintf
+                "deepcheck.forkinit: entry %s does not resolve to any definition — update the \
+                 entry list (did a refactor rename it?)"
+                e)))
+    fi.Conf.fi_entries;
+  let seen = Graph.reachable g ~entries:fi.Conf.fi_entries in
+  let sanctioned target = List.mem_assoc target fi.Conf.fi_allow in
+  let findings = ref [] in
+  let seen_pair = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun name _ ->
+      match Graph.node g name with
+      | None -> ()
+      | Some n ->
+          List.iter
+            (fun (target, _, site) ->
+              let reason =
+                if Extract.inherited_fd target then Some "inherited file descriptor"
+                else
+                  Option.bind (Graph.node g target) (fun t ->
+                      Option.map
+                        (fun r -> "toplevel mutable state (" ^ r ^ ")")
+                        t.Extract.n_mutable)
+              in
+              match reason with
+              | Some why when not (sanctioned target) ->
+                  if not (Hashtbl.mem seen_pair (name, target)) then begin
+                    Hashtbl.replace seen_pair (name, target) ();
+                    findings :=
+                      origin_finding site rule_fork_unsafe
+                        (Printf.sprintf
+                           "%s is %s reached from a fork entry point without a sanction in \
+                            deepcheck.forkinit: %s"
+                           target why (Graph.reach_path seen name))
+                      :: !findings
+                  end
+              | _ -> ())
+            n.Extract.n_edges)
+    seen;
+  List.rev !findings
+
+(* ------------------------------------------------------------ layering *)
+
+let dune_file_finding dir rule msg =
+  { Linter.f_file = Filename.concat dir "dune"; f_line = 1; f_col = 0; f_rule = rule; f_msg = msg }
+
+let check_layers (rules : Conf.layers) (d : Describe.t) =
+  let local_names =
+    SSet.of_list (List.map (fun (l : Describe.library) -> l.Describe.lib_name) (Describe.local_libraries d))
+  in
+  let resolve_dep uid ctx =
+    match Describe.lib_name_of_uid d uid with
+    | Some name -> name
+    | None ->
+        raise
+          (Fatal
+             (Printf.sprintf
+                "dune describe lists dependency uid %s of %s but no library with that uid — \
+                 describe output is inconsistent (stale capture?)"
+                uid ctx))
+  in
+  (* only edges between local sublibraries are policed; external deps
+     (unix, cmdliner, compiler-libs) are dune's business *)
+  let check_entity kind kind_word name dir dep_uids =
+    match Conf.layer_rule_for rules kind name with
+    | None ->
+        raise
+          (Fatal
+             (Printf.sprintf
+                "deepcheck.layers has no rule for %s '%s' — every local %s must be covered (add \
+                 '%s %s -> ...')"
+                kind_word name kind_word kind_word name))
+    | Some { Conf.lr_deps = `Any; _ } -> []
+    | Some { Conf.lr_deps = `Only allowed; _ } ->
+        List.filter_map
+          (fun uid ->
+            let dep = resolve_dep uid name in
+            if SSet.mem dep local_names && not (SSet.mem dep allowed) then
+              Some
+                (dune_file_finding dir rule_layering
+                   (Printf.sprintf
+                      "%s '%s' depends on local library '%s', which deepcheck.layers does not \
+                       allow (allowed: %s)"
+                      kind_word name dep
+                      (match SSet.elements allowed with
+                      | [] -> "none"
+                      | l -> String.concat " " l)))
+            else None)
+          dep_uids
+  in
+  let lib_findings =
+    List.concat_map
+      (fun (l : Describe.library) ->
+        check_entity `Library "library" l.Describe.lib_name
+          (Describe.source_relative d l.Describe.lib_source_dir)
+          l.Describe.lib_requires)
+      (Describe.local_libraries d)
+  in
+  let exe_dir (e : Describe.executables) =
+    match
+      List.find_map (fun (m : Describe.module_info) -> m.Describe.m_impl) e.Describe.exe_modules
+    with
+    | Some impl -> Filename.dirname (Describe.source_relative d impl)
+    | None -> "."
+  in
+  let exe_findings =
+    List.concat_map
+      (fun (e : Describe.executables) ->
+        List.concat_map
+          (fun name -> check_entity `Executable "executable" name (exe_dir e) e.Describe.exe_requires)
+          e.Describe.exe_names)
+      d.Describe.exes
+  in
+  lib_findings @ exe_findings
+
+(* ----------------------------------------------------------------- dump *)
+
+(* debugging/inspection surface: the extracted graph as text, one line
+   per fact, greppable. Used by tests to pin extraction behaviour. *)
+let dump_units out (units : Extract.unit_info list) (g : Graph.t) =
+  List.iter
+    (fun (u : Extract.unit_info) ->
+      Printf.fprintf out "unit %s lib=%s src=%s\n" u.Extract.u_unit u.Extract.u_lib
+        u.Extract.u_source;
+      List.iter
+        (fun (n : Extract.node) ->
+          Printf.fprintf out "  node %s%s%s\n" n.Extract.n_name
+            (if n.Extract.n_is_fun then " fun" else "")
+            (match n.Extract.n_mutable with Some r -> " mutable:" ^ r | None -> "");
+          List.iter
+            (fun (exn, _, o) ->
+              Printf.fprintf out "    raise %s at %s\n" exn (Graph.origin_string o))
+            n.Extract.n_raises;
+          let may = Graph.may_raise g n.Extract.n_name in
+          if not (SSet.is_empty may) then
+            Printf.fprintf out "    may-raise %s\n" (String.concat " " (SSet.elements may)))
+        u.Extract.u_nodes;
+      List.iter (fun (name, _) -> Printf.fprintf out "  public %s\n" name) u.Extract.u_public)
+    units
+
+(* ------------------------------------------------------------------ run *)
+
+let run cfg =
+  match
+    let d =
+      match Describe.load ~root:cfg.c_root ~describe_file:cfg.c_describe_file with
+      | Ok d -> d
+      | Error msg -> raise (Fatal ("dune describe: " ^ msg))
+    in
+    (* staleness first: analyzing stale trees would make everything
+       after this line a lie — exit 2, never a silent pass *)
+    (match Stale.audit ~root:cfg.c_root d with
+    | Ok () -> ()
+    | Error msgs -> raise (Fatal (String.concat "\n" msgs)));
+    let units = load_units d in
+    let graph = Graph.build (List.concat_map (fun u -> u.Extract.u_nodes) units) in
+    if cfg.c_dump then begin
+      dump_units stdout units graph;
+      0
+    end
+    else begin
+      let escapes =
+        match Conf.parse_escapes cfg.c_escapes_file with
+        | Ok e -> e
+        | Error msg -> raise (Fatal msg)
+      in
+      let forkinit =
+        match Conf.parse_forkinit cfg.c_forkinit_file with
+        | Ok f -> f
+        | Error msg -> raise (Fatal msg)
+      in
+      let layers =
+        match Conf.parse_layers cfg.c_layers_file with
+        | Ok l -> l
+        | Error msg -> raise (Fatal msg)
+      in
+      let findings =
+        check_escapes escapes units graph
+        @ check_fork forkinit graph
+        @ check_layers layers d
+      in
+      let is_suppressed = suppressed cfg in
+      let findings = List.filter (fun f -> not (is_suppressed f)) findings in
+      Linter.print_findings ~tool:"deepcheck" cfg.c_format findings;
+      if findings = [] then 0 else 1
+    end
+  with
+  | code -> code
+  | exception Fatal msg ->
+      Printf.eprintf "deepcheck: %s\n" msg;
+      2

@@ -1,0 +1,28 @@
+(** Deepcheck orchestration: layout (Describe) → staleness refusal
+    (Stale) → per-unit extraction (Extract) → call-graph closure (Graph)
+    → the three analyses against the reviewed policy files (Conf).
+
+    Exit contract, shared with [bin/lint]: 0 clean, 1 findings, 2
+    usage/staleness/config error. Staleness is never a silent pass. *)
+
+val rule_exn_escape : string
+val rule_fork_unsafe : string
+val rule_layering : string
+
+val all_rules : string list
+(** Rule names as they appear in diagnostics and in
+    ["deepcheck: allow <rule>"] suppression markers. *)
+
+type config = {
+  c_root : string;
+  c_describe_file : string option;
+      (** captured `dune describe` output (CI fixtures); the staleness
+          audit still runs against the paths it names *)
+  c_escapes_file : string;
+  c_forkinit_file : string;
+  c_layers_file : string;
+  c_format : Linter.format;
+  c_dump : bool;  (** print the extracted graph instead of analyzing *)
+}
+
+val run : config -> int

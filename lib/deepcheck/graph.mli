@@ -1,0 +1,37 @@
+(** Whole-repo call graph: the may-raise fixpoint (exception-escape) and
+    entry reachability with provenance (fork-safety witness chains). *)
+
+module SSet = Extract.SSet
+module SMap : Map.S with type key = string
+
+type provenance =
+  | Direct of Extract.origin
+  | Via of { callee : string; site : Extract.origin }
+
+type t = {
+  nodes : Extract.node SMap.t;
+  may_raise : SSet.t SMap.t;
+  provenance : provenance SMap.t SMap.t;
+}
+
+val build : Extract.node list -> t
+(** Worklist fixpoint: [may_raise(n) = direct(n) ∪ ⋃ (may_raise(c) \ mask)]
+    over call edges into arrow-typed callees. *)
+
+val node : t -> string -> Extract.node option
+val may_raise : t -> string -> SSet.t
+
+val origin_string : Extract.origin -> string
+
+val chain : t -> string -> string -> string
+(** [chain g node exn]: human witness of how [exn] reaches [node]
+    ("via A.g (lib/x.ml:12:4), raised at lib/y.ml:3:2"). *)
+
+type reach = { r_parent : (string * Extract.origin) option }
+
+val reachable : t -> entries:string list -> (string, reach) Hashtbl.t
+(** BFS from the entry set over call edges; only arrow-typed targets
+    propagate further. *)
+
+val reach_path : (string, reach) Hashtbl.t -> string -> string
+(** Call-path witness from an entry down to [name]. *)

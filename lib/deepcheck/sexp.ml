@@ -1,0 +1,119 @@
+(* Minimal s-expression reader — just enough to parse `dune describe`
+   output. Atoms are bare tokens or double-quoted strings with the
+   escapes dune emits; anything unparseable is a loud [Error], never a
+   partial result. *)
+
+type t = Atom of string | List of t list
+
+exception Parse_error of string
+
+let parse_error fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+let parse_exn s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | Some ';' ->
+        (* line comment, as in dune files *)
+        while !pos < n && s.[!pos] <> '\n' do
+          advance ()
+        done;
+        skip_ws ()
+    | _ -> ()
+  in
+  let quoted_atom () =
+    advance ();
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then parse_error "unterminated string at offset %d" !pos
+      else
+        match s.[!pos] with
+        | '"' -> advance ()
+        | '\\' ->
+            advance ();
+            if !pos >= n then parse_error "dangling escape at offset %d" !pos
+            else begin
+              (match s.[!pos] with
+              | 'n' -> Buffer.add_char buf '\n'
+              | 't' -> Buffer.add_char buf '\t'
+              | 'r' -> Buffer.add_char buf '\r'
+              | c -> Buffer.add_char buf c);
+              advance ();
+              go ()
+            end
+        | c ->
+            Buffer.add_char buf c;
+            advance ();
+            go ()
+    in
+    go ();
+    Atom (Buffer.contents buf)
+  in
+  let bare_atom () =
+    let start = !pos in
+    let rec go () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r' | '(' | ')' | '"' | ';') | None -> ()
+      | Some _ ->
+          advance ();
+          go ()
+    in
+    go ();
+    Atom (String.sub s start (!pos - start))
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | None -> parse_error "unexpected end of input at offset %d" !pos
+    | Some '(' ->
+        advance ();
+        let items = ref [] in
+        let rec items_loop () =
+          skip_ws ();
+          match peek () with
+          | Some ')' -> advance ()
+          | None -> parse_error "unclosed list at offset %d" !pos
+          | Some _ ->
+              items := value () :: !items;
+              items_loop ()
+        in
+        items_loop ();
+        List (List.rev !items)
+    | Some ')' -> parse_error "unexpected ')' at offset %d" !pos
+    | Some '"' -> quoted_atom ()
+    | Some _ -> bare_atom ()
+  in
+  let v = value () in
+  skip_ws ();
+  if !pos <> n then parse_error "trailing input at offset %d" !pos;
+  v
+
+let parse s = match parse_exn s with v -> Ok v | exception Parse_error msg -> Error msg
+
+(* --------------------------------------------------------- field helpers *)
+
+(* dune describe records are alists of (key value...) pairs *)
+let field key = function
+  | List items ->
+      List.find_map
+        (function
+          | List (Atom k :: rest) when String.equal k key -> Some rest | Atom _ | List _ -> None)
+        items
+  | Atom _ -> None
+
+let atom = function Atom a -> Some a | List _ -> None
+let list = function List l -> Some l | Atom _ -> None
+
+let field_atom key sx = match field key sx with Some [ Atom a ] -> Some a | _ -> None
+
+let field_atoms key sx =
+  match field key sx with
+  | Some [ List items ] -> Some (List.filter_map atom items)
+  | Some items -> Some (List.filter_map atom items)
+  | None -> None

@@ -1,0 +1,22 @@
+(** Minimal s-expression reader for `dune describe` output. *)
+
+type t = Atom of string | List of t list
+
+val parse : string -> (t, string) result
+(** Whole-input parse of one s-expression (bare or double-quoted atoms,
+    [;] line comments). [Error] carries a message with an offset —
+    malformed input is never a partial result. *)
+
+val field : string -> t -> t list option
+(** [field key sx]: the payload of the [(key v1 v2 ...)] entry of an
+    alist-shaped list, if present. *)
+
+val atom : t -> string option
+val list : t -> t list option
+
+val field_atom : string -> t -> string option
+(** [(key atom)] convenience accessor. *)
+
+val field_atoms : string -> t -> string list option
+(** [(key (a1 a2 ...))] or [(key a1 a2 ...)]: the atoms of the payload
+    (non-atoms are dropped). *)

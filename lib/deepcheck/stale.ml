@@ -1,0 +1,69 @@
+(* .cmt staleness: the analyzer reads build artifacts, so an edited
+   source with an old .cmt would make every analysis silently lie about
+   the code as written. Any mismatch is a loud exit-2 refusal upstream —
+   never a silent pass over stale trees. *)
+
+type status =
+  | Fresh
+  | Missing_cmt of { src : string }
+  | Stale of { src : string; cmt : string; src_mtime : float; cmt_mtime : float }
+
+(* pure core, testable without a build tree: [src_mtime]/[cmt_mtime] are
+   [None] when the corresponding file does not exist. A generated source
+   ([src_mtime = None]) cannot be edited, so only cmt presence matters;
+   equal mtimes are fresh (same-second builds). *)
+let classify ~src ~cmt ~src_mtime ~cmt_mtime =
+  match (src_mtime, cmt_mtime) with
+  | _, None -> Missing_cmt { src }
+  | None, Some _ -> Fresh
+  | Some s, Some c -> if s > c then Stale { src; cmt; src_mtime = s; cmt_mtime = c } else Fresh
+
+let describe_status = function
+  | Fresh -> None
+  | Missing_cmt { src } ->
+      Some
+        (Printf.sprintf "%s: no .cmt artifact — run `dune build` before deepcheck (exit 2, the \
+                         analyzer refuses to guess)" src)
+  | Stale { src; cmt; src_mtime; cmt_mtime } ->
+      Some
+        (Printf.sprintf
+           "%s: source is newer than its .cmt (%s; source %+.0fs ahead) — rebuild before \
+            deepcheck, stale typed trees would make every analysis lie"
+           src cmt (src_mtime -. cmt_mtime))
+
+let mtime path =
+  match Unix.stat path with
+  | { Unix.st_mtime; _ } -> Some st_mtime
+  | exception Unix.Unix_error (_, _, _) -> None
+
+(* Audit every module of every local library. The source mtime is taken
+   from the root checkout (the file a developer touches), not dune's
+   _build copy; the cmt from the build tree. Returns the full message
+   list so CI output names every stale unit at once. *)
+let audit ~root (d : Describe.t) =
+  let under_root p = if Filename.is_relative p then Filename.concat root p else p in
+  let bad = ref [] in
+  List.iter
+    (fun (lib : Describe.library) ->
+      List.iter
+        (fun (m : Describe.module_info) ->
+          let pair src_build cmt =
+            match src_build with
+            | None -> ()
+            | Some src_build ->
+                let src_rel = Describe.source_relative d src_build in
+                let src_real = under_root src_rel in
+                let cmt_real = Option.map under_root cmt in
+                let status =
+                  classify ~src:src_rel
+                    ~cmt:(Option.value ~default:"<no cmt>" cmt)
+                    ~src_mtime:(mtime src_real)
+                    ~cmt_mtime:(Option.fold ~none:None ~some:mtime cmt_real)
+                in
+                (match describe_status status with Some msg -> bad := msg :: !bad | None -> ())
+          in
+          pair m.Describe.m_impl m.Describe.m_cmt;
+          pair m.Describe.m_intf m.Describe.m_cmti)
+        lib.Describe.lib_modules)
+    (Describe.local_libraries d);
+  match List.rev !bad with [] -> Ok () | msgs -> Error msgs

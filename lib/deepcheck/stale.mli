@@ -1,0 +1,28 @@
+(** .cmt staleness detection. The analyzer reads build artifacts; an
+    edited source with an old [.cmt] would make every analysis silently
+    lie about the code as written, so any mismatch is a loud exit-2
+    refusal upstream — never a silent pass. *)
+
+type status =
+  | Fresh
+  | Missing_cmt of { src : string }
+  | Stale of { src : string; cmt : string; src_mtime : float; cmt_mtime : float }
+
+val classify :
+  src:string ->
+  cmt:string ->
+  src_mtime:float option ->
+  cmt_mtime:float option ->
+  status
+(** Pure core ([None] = file absent): missing cmt is always fatal; a
+    generated source (absent in the checkout) only needs its cmt; a
+    source strictly newer than its cmt is stale (equal mtimes are fresh —
+    same-second builds). *)
+
+val describe_status : status -> string option
+(** Pointed human message, [None] for {!Fresh}. *)
+
+val audit : root:string -> Describe.t -> (unit, string list) result
+(** Check every impl/intf of every local library: source mtimes from the
+    root checkout, artifact mtimes from the build tree. [Error] lists
+    every stale unit at once. *)

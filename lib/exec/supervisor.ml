@@ -153,9 +153,10 @@ let run_child config worker payload fd ~task_id ~attempt ~trace_id ~parent_span 
      SIGKILL takes out any grandchildren too *)
   (try ignore (Unix.setsid ()) with Unix.Unix_error (_, _, _) -> ());
   Limits.apply_in_child config.limits;
-  (* drop the parent's buffered events/open spans: they belong to the
-     supervisor's row of the merged trace, not this worker's *)
-  Obs.Trace.fork_child ();
+  (* drop the parent's buffered events/open spans (they belong to the
+     supervisor's row of the merged trace, not this worker's), clear any
+     inherited flush hook and reset the fallback clock mark *)
+  Obs.fork_reinit ();
   if Hqs_util.Chaos.fire config.chaos (Hqs_util.Chaos.worker_kill_point ~task:task_id ~attempt)
   then Unix.kill (Unix.getpid ()) Sys.sigkill;
   let before = Obs.Metrics.snapshot () in

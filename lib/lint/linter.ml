@@ -58,10 +58,111 @@ let rule_name = function
   | Cert_isolation -> "cert-isolation"
   | Syntax -> "syntax"
 
+let all_rules =
+  [
+    Catch_all; Poly_compare; Obj_magic; Failwith_lib; Missing_mli; Raw_fd; Wall_clock;
+    Mono_clock_span; No_stdout; Cert_isolation; Syntax;
+  ]
+
+let rule_doc = function
+  | Catch_all ->
+      "catch-all exception handler ([try ... with _ ->] or [with e ->]): a bare handler \
+       swallows Budget.Timeout and Check.Violation aborts and converts them into wrong \
+       verdicts."
+  | Poly_compare ->
+      "polymorphic comparison: first-class ( = )/( <> ), any use of Stdlib.compare or \
+       Hashtbl.hash. Structural comparison silently changes meaning when a type gains a \
+       non-canonical field; pass a monomorphic function instead. Fully applied [a = b] is \
+       ordinary OCaml and passes."
+  | Obj_magic -> "Obj.magic defeats the type system."
+  | Failwith_lib ->
+      "failwith under lib/: escapes as an untyped Failure callers cannot distinguish from a \
+       parse error. Raise a typed exception. The DIMACS-family parsers are allowlisted \
+       (Failure is their documented parse-error channel)."
+  | Missing_mli ->
+      "a lib/ implementation without a sibling .mli leaks mutable internals the run-time \
+       auditor assumes only the public API can touch."
+  | Raw_fd ->
+      "raw Unix.openfile/pipe/socket/socketpair/accept outside lib/exec or lib/serve: \
+       descriptors opened elsewhere have none of the supervisor's close-on-exec and cleanup \
+       discipline and leak into forked workers."
+  | Wall_clock ->
+      "Unix.gettimeofday/Unix.time outside lib/util: wall time breaks budgets and trace \
+       timestamps under clock steps — use the monotonic Budget.now."
+  | Mono_clock_span ->
+      "non-canonical timestamp source (Sys.time, the low-level Mono.now, \
+       Unix.clock_gettime) under lib/ outside lib/util: Obs span and event timestamps must \
+       all come from Budget.now so traces from forked workers merge onto one timebase."
+  | No_stdout ->
+      "stdout write (Printf.printf, print_endline, ...) under lib/ outside lib/harness: \
+       solver stdout is a machine-readable channel (verdict lines, CSV, JSON baselines)."
+  | Cert_isolation ->
+      "a module-qualified reference, open or module alias rooted in any repo library inside \
+       bin/certcheck.ml: the independent certificate verifier must share no code with the \
+       solver it checks."
+  | Syntax -> "the file does not parse (also covers unreadable files)."
+
 type diag = { file : string; line : int; col : int; rule : rule; msg : string }
 
 let pp_diag fmt d =
   Format.fprintf fmt "%s:%d:%d: [%s] %s" d.file d.line d.col (rule_name d.rule) d.msg
+
+(* ------------------------------------------------- tool-neutral findings *)
+
+(* [bin/lint] and [bin/deepcheck] share one diagnostic surface: the same
+   human line format, the same one-line JSON document, the same
+   suppression-comment convention — so downstream tooling (benchdiff-style
+   consumers, editors) parses both with one reader. *)
+
+type finding = { f_file : string; f_line : int; f_col : int; f_rule : string; f_msg : string }
+
+let finding_of_diag d =
+  { f_file = d.file; f_line = d.line; f_col = d.col; f_rule = rule_name d.rule; f_msg = d.msg }
+
+type format = Human | Json
+
+let pp_finding fmt f =
+  Format.fprintf fmt "%s:%d:%d: [%s] %s" f.f_file f.f_line f.f_col f.f_rule f.f_msg
+
+(* minimal JSON string escaping, compatible with [Obs.Json.parse] (which
+   this library cannot depend on: linter must stay a leaf) *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let render_json ~tool findings =
+  let item f =
+    Printf.sprintf {|{"file":"%s","line":%d,"col":%d,"rule":"%s","msg":"%s"}|}
+      (json_escape f.f_file) f.f_line f.f_col (json_escape f.f_rule) (json_escape f.f_msg)
+  in
+  Printf.sprintf {|{"tool":"%s","findings":[%s],"count":%d}|} (json_escape tool)
+    (String.concat "," (List.map item findings))
+    (List.length findings)
+
+(* Human mode is byte-identical to the historical [bin/lint] output: one
+   line per finding plus a trailing count line, and {e nothing} on a
+   clean run. JSON mode always emits exactly one document, clean or not,
+   so machine consumers never have to special-case an empty stream. *)
+let print_findings ~tool format findings =
+  match format with
+  (* the renderer IS the tool's stdout channel — lint: allow no-stdout *)
+  | Json -> print_endline (render_json ~tool findings)
+  | Human ->
+      if findings <> [] then begin
+        List.iter (fun f -> Format.printf "%a@." pp_finding f) findings;
+        Format.printf "%s: %d finding(s)@." tool (List.length findings)
+      end
 
 (* The documented allowlist: [failwith] is the parse-error channel of the
    DIMACS-family parsers, caught as [Failure] at the CLI boundary. *)
@@ -254,8 +355,10 @@ let lint_source ~path content =
 
 (* -------------------------------------------------- suppression comments *)
 
-let suppressed ~lines d =
-  let marker = "lint: allow " ^ rule_name d.rule in
+(* the generic engine, shared with [deepcheck]'s source-comment
+   suppression: a diagnostic on line [line] is silenced by [marker]
+   appearing on that line or the line directly above *)
+let suppressed_by_marker ~lines ~marker line =
   let has i =
     i >= 1 && i <= Array.length lines
     &&
@@ -266,7 +369,10 @@ let suppressed ~lines d =
     in
     find 0
   in
-  has d.line || has (d.line - 1)
+  has line || has (line - 1)
+
+let suppressed ~lines d =
+  suppressed_by_marker ~lines ~marker:("lint: allow " ^ rule_name d.rule) d.line
 
 let lint_file path =
   match In_channel.with_open_bin path In_channel.input_all with
@@ -331,7 +437,7 @@ let lint_paths paths =
   let files = List.sort String.compare files in
   List.concat_map lint_file files @ check_missing_mli files
 
-let run paths =
+let run ?(format = Human) paths =
   match List.filter (fun p -> not (Sys.file_exists p)) paths with
   | missing :: _ ->
       Printf.eprintf "lint: no such file or directory: %s\n" missing;
@@ -359,8 +465,9 @@ let run paths =
               2
           | None -> (
               match lint_paths paths with
-              | [] -> 0
+              | [] ->
+                  print_findings ~tool:"lint" format [];
+                  0
               | diags ->
-                  List.iter (fun d -> Format.printf "%a@." pp_diag d) diags;
-                  Format.printf "lint: %d finding(s)@." (List.length diags);
+                  print_findings ~tool:"lint" format (List.map finding_of_diag diags);
                   1))

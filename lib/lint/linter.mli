@@ -58,10 +58,52 @@ val rule_name : rule -> string
     ["no-stdout"], ["cert-isolation"], ["syntax"] — the names used by
     suppression comments. *)
 
+val all_rules : rule list
+(** Every rule, in a stable order — the single source for the
+    [bin/lint --help] rule listing and its coverage test. *)
+
+val rule_doc : rule -> string
+(** One-paragraph prose description of the rule, used verbatim in the
+    [bin/lint] man page. *)
+
 type diag = { file : string; line : int; col : int; rule : rule; msg : string }
 
 val pp_diag : Format.formatter -> diag -> unit
 (** [file:line:col: [rule] message]. *)
+
+(** {2 Tool-neutral findings}
+
+    [bin/lint] and [bin/deepcheck] share one diagnostic surface: the
+    same human line format, the same one-line JSON document, the same
+    suppression convention — so downstream tooling parses both with one
+    reader. *)
+
+type finding = { f_file : string; f_line : int; f_col : int; f_rule : string; f_msg : string }
+
+val finding_of_diag : diag -> finding
+
+type format = Human | Json
+
+val pp_finding : Format.formatter -> finding -> unit
+(** Same line shape as {!pp_diag}. *)
+
+val render_json : tool:string -> finding list -> string
+(** One-line JSON document
+    [{"tool":T,"findings":[{"file":..,"line":..,"col":..,"rule":..,"msg":..},...],"count":N}].
+    The output parses back through [Obs.Json.parse] (escaping is
+    compatible; this library stays a leaf and cannot link [obs]). *)
+
+val print_findings : tool:string -> format -> finding list -> unit
+(** Print to stdout. [Human] is byte-identical to the historical
+    [bin/lint] output: one {!pp_finding} line per finding plus a
+    trailing ["<tool>: N finding(s)"] count line, and {e nothing} on a
+    clean run. [Json] always prints exactly one {!render_json} document,
+    clean or not. *)
+
+val suppressed_by_marker : lines:string array -> marker:string -> int -> bool
+(** [suppressed_by_marker ~lines ~marker line]: does [marker] occur on
+    [line] (1-based) or the line directly above? The shared engine
+    behind [lint: allow <rule>] and [deepcheck: allow <rule>]. *)
 
 val lint_source : path:string -> string -> diag list
 (** Lint one source text ([path] selects [.mli] handling and the
@@ -79,8 +121,9 @@ val lint_paths : string list -> diag list
     directories are skipped here (the pure API stays total); {!run}
     turns them into a usage error. *)
 
-val run : string list -> int
-(** CLI driver: print diagnostics, return the exit code — 0 clean,
-    1 findings, 2 usage error (no paths, a path that does not exist or
-    cannot be read, or a path contributing no [.ml]/[.mli] files —
-    nothing a CI gate passes is ever silently skipped). *)
+val run : ?format:format -> string list -> int
+(** CLI driver: print diagnostics in [format] (default [Human]), return
+    the exit code — 0 clean, 1 findings, 2 usage error (no paths, a path
+    that does not exist or cannot be read, or a path contributing no
+    [.ml]/[.mli] files — nothing a CI gate passes is ever silently
+    skipped). Usage errors go to stderr as prose in both formats. *)

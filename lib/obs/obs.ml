@@ -886,3 +886,18 @@ module Span = struct
 
   let current () = match st.stack with (name, _) :: _ -> Some name | [] -> None
 end
+
+(* ----------------------------------------------------------- fork reinit *)
+
+(* The one fork boundary entry point: every forked worker (sweep child,
+   serve pool worker) must call this before doing any work. It drops the
+   parent's span buffer and open-span stack (Trace.fork_child), clears
+   the parent's partial-state flush hook — an inherited hook would write
+   frames onto a pipe fd the child does not own — and resets the Mono
+   fallback clock's high-water mark. The deepcheck fork-safety analysis
+   sanctions the underlying mutable globals on the strength of this
+   reset running on every worker entry path. *)
+let fork_reinit () =
+  Trace.fork_child ();
+  Span.set_flush_hook None;
+  Hqs_util.Mono.fork_reinit ()

@@ -158,11 +158,13 @@ module Trace : sig
       (reported as ["truncated": true] in the Chrome [otherData]). *)
 
   val fork_child : unit -> unit
-  (** Call first thing in a freshly forked worker: drops the parent's
-      buffered events and open-span stack but keeps the enabled flag and
-      the clock origin (the Budget clock is machine-wide monotonic, so
-      child timestamps merge directly into the parent's timeline), and
-      rebinds the recorded pid to the child. *)
+  (** Drops the parent's buffered events and open-span stack but keeps
+      the enabled flag and the clock origin (the Budget clock is
+      machine-wide monotonic, so child timestamps merge directly into
+      the parent's timeline), and rebinds the recorded pid to the child.
+      Worker entry points should call the top-level {!fork_reinit},
+      which also clears the inherited flush hook and fallback-clock
+      mark; this lower-level reset leaves both in place. *)
 
   val emit : ?tid:int -> ?attrs:(string * value) list -> string -> ph -> unit
   (** Stack-free event emission for code multiplexing overlapping logical
@@ -227,6 +229,16 @@ module Span : sig
       on the supervisor's side of the pipe. Exceptions raised by the hook
       are swallowed: a dead parent must not take the solve down. *)
 end
+
+val fork_reinit : unit -> unit
+(** Call first thing in every freshly forked worker. Runs
+    {!Trace.fork_child}, clears the {!Span.set_flush_hook} hook (an
+    inherited hook would write partial frames onto a pipe fd the child
+    does not own), and resets the [Mono] fallback clock's high-water
+    mark — so no child observability state aliases the parent's. The
+    deepcheck fork-safety analysis sanctions the underlying mutable
+    globals on the strength of this reset running on every worker entry
+    path. *)
 
 (** Statistical cross-check of the exact span timings: {!tick} is called
     from coarse poll points of the solve loop and attributes the wall

@@ -94,8 +94,12 @@ let worker_main (config : config) fd =
   Ipc.ignore_sigpipe ();
   (* drop the daemon's span buffer but keep its enabled flag: when the
      daemon traces, each job's spans are recorded here and shipped back
-     in the reply for merging under this worker's pid row *)
-  Obs.Trace.fork_child ();
+     in the reply for merging under this worker's pid row. fork_reinit
+     also clears any inherited partial-frame flush hook — a daemon that
+     is itself running under a sweep worker would otherwise hand this
+     pool worker a hook writing onto the sweep supervisor's pipe — and
+     resets the fallback clock mark *)
+  Obs.fork_reinit ();
   (* hard address-space backstop at 2x the soft heap budget: the Budget
      governor raises a clean, recoverable memout first in the common
      case; the rlimit catches runaway native allocations *)

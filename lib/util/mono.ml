@@ -16,3 +16,11 @@ let fallback_now () =
   m
 
 let now () = if available then Int64.to_float (clock_ns ()) *. 1e-9 else fallback_now ()
+
+(* a forked child inherits the parent's high-water mark; on the fallback
+   path that mark is parent observability state the child must not keep
+   extending (the deepcheck fork-safety analysis sanctions this ref only
+   because this reset runs on every worker entry). Resetting to
+   [neg_infinity] is safe: monotonicity is a per-process property and the
+   next reading re-seeds the mark. *)
+let fork_reinit () = fallback_last := neg_infinity

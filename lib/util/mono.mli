@@ -19,3 +19,9 @@ val now : unit -> float
 val available : bool
 (** Whether the OS monotonic clock answered at startup; [false] means
     {!now} is running on the monotonicized-wall-clock fallback. *)
+
+val fork_reinit : unit -> unit
+(** Call in a freshly forked worker: drop the fallback clock's inherited
+    high-water mark so the child never keeps extending parent state.
+    A no-op in effect when {!available} (the normal case); part of the
+    fork-reinit discipline checked by [bin/deepcheck]. *)

@@ -1,0 +1,350 @@
+(* Unit tests for the deepcheck analyzer's pure core: the sexp reader,
+   the dune-describe model, staleness classification, the three policy
+   parsers, the may-raise fixpoint and reachability on synthetic graphs,
+   the shared JSON finding renderer (round-tripped through Obs.Json),
+   and — through the real binary — the missing-.cmt exit-2 refusal.
+   End-to-end analysis of the real tree lives in ci.sh, where a live
+   build is guaranteed. *)
+
+module Sexp = Deepcheck.Sexp
+module Describe = Deepcheck.Describe
+module Stale = Deepcheck.Stale
+module Conf = Deepcheck.Conf
+module Extract = Deepcheck.Extract
+module Graph = Deepcheck.Graph
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.equal (String.sub hay i n) needle || go (i + 1)) in
+  go 0
+
+(* ------------------------------------------------------------- sexp *)
+
+let test_sexp () =
+  (match Sexp.parse "(a b (c \"d e\") ; comment\n f)" with
+  | Ok (Sexp.List [ Sexp.Atom "a"; Sexp.Atom "b"; Sexp.List [ Sexp.Atom "c"; Sexp.Atom "d e" ]; Sexp.Atom "f" ]) ->
+      ()
+  | Ok _ -> Alcotest.fail "wrong shape"
+  | Error msg -> Alcotest.fail msg);
+  check_bool "unbalanced is an error" true (Result.is_error (Sexp.parse "(a (b)"));
+  check_bool "trailing garbage is an error" true (Result.is_error (Sexp.parse "(a) (b)"));
+  check_bool "empty input is an error" true (Result.is_error (Sexp.parse "  ; only comment\n"));
+  let alist =
+    match Sexp.parse "((name aig) (uid abc123) (requires (u1 u2)))" with
+    | Ok s -> s
+    | Error msg -> Alcotest.fail msg
+  in
+  check_string "field_atom" "aig" (Option.get (Sexp.field_atom "name" alist));
+  Alcotest.(check (list string)) "field_atoms" [ "u1"; "u2" ]
+    (Option.get (Sexp.field_atoms "requires" alist));
+  check_bool "missing field" true (Sexp.field "nope" alist = None)
+
+(* --------------------------------------------------------- describe *)
+
+let describe_text =
+  {|((root /repo)
+ (build_context _build/default)
+ (library ((name ext) (uid u9) (local false) (requires ()) (source_dir /opt/ext) (modules ())))
+ (library ((name aig) (uid u1) (local true) (requires (u2 u9))
+   (source_dir _build/default/lib/aig)
+   (modules (((name Man) (impl (_build/default/lib/aig/man.ml))
+              (intf (_build/default/lib/aig/man.mli))
+              (cmt (_build/default/lib/aig/.aig.objs/byte/aig__Man.cmt))
+              (cmti (_build/default/lib/aig/.aig.objs/byte/aig__Man.cmti)))))))
+ (library ((name util) (uid u2) (local true) (requires ()) (source_dir _build/default/lib/util) (modules ())))
+ (executables ((names (cli)) (requires (u1 u2))
+   (modules (((name Cli) (impl (_build/default/bin/cli.ml))))))))|}
+
+let parse_describe () =
+  match Describe.of_string describe_text with Ok d -> d | Error msg -> Alcotest.fail msg
+
+let test_describe () =
+  let d = parse_describe () in
+  check_string "root" "/repo" d.Describe.root;
+  check_int "all libraries" 3 (List.length d.Describe.libraries);
+  check_int "local libraries" 2 (List.length (Describe.local_libraries d));
+  check_string "uid resolution" "aig" (Option.get (Describe.lib_name_of_uid d "u1"));
+  check_bool "unknown uid" true (Describe.lib_name_of_uid d "zz" = None);
+  let aig = List.find (fun l -> l.Describe.lib_name = "aig") d.Describe.libraries in
+  Alcotest.(check (list string)) "requires are uids" [ "u2"; "u9" ] aig.Describe.lib_requires;
+  let m = List.hd aig.Describe.lib_modules in
+  check_string "impl path" "_build/default/lib/aig/man.ml" (Option.get m.Describe.m_impl);
+  check_string "source_relative strips context" "lib/aig/man.ml"
+    (Describe.source_relative d (Option.get m.Describe.m_impl));
+  let exe = List.hd d.Describe.exes in
+  Alcotest.(check (list string)) "exe names" [ "cli" ] exe.Describe.exe_names
+
+(* ------------------------------------------------------------ stale *)
+
+let test_stale_classify () =
+  let fresh = Stale.classify ~src:"a.ml" ~cmt:"a.cmt" ~src_mtime:(Some 5.) ~cmt_mtime:(Some 5.) in
+  check_bool "equal mtimes are fresh" true (fresh = Stale.Fresh);
+  check_bool "older source is fresh" true
+    (Stale.classify ~src:"a.ml" ~cmt:"a.cmt" ~src_mtime:(Some 4.) ~cmt_mtime:(Some 5.)
+    = Stale.Fresh);
+  (match Stale.classify ~src:"a.ml" ~cmt:"a.cmt" ~src_mtime:(Some 6.) ~cmt_mtime:(Some 5.) with
+  | Stale.Stale { src = "a.ml"; _ } -> ()
+  | _ -> Alcotest.fail "newer source must be stale");
+  (match Stale.classify ~src:"a.ml" ~cmt:"a.cmt" ~src_mtime:(Some 1.) ~cmt_mtime:None with
+  | Stale.Missing_cmt { src = "a.ml" } -> ()
+  | _ -> Alcotest.fail "missing cmt must be fatal");
+  check_bool "generated source needs only its cmt" true
+    (Stale.classify ~src:"gen.ml" ~cmt:"gen.cmt" ~src_mtime:None ~cmt_mtime:(Some 1.)
+    = Stale.Fresh);
+  (* the messages must point at the remedy, not just the fact *)
+  let msg status = Option.get (Stale.describe_status status) in
+  check_bool "fresh has no message" true (Stale.describe_status Stale.Fresh = None);
+  let missing = msg (Stale.Missing_cmt { src = "lib/x.ml" }) in
+  check_bool "missing message names source" true
+    (contains ~needle:"lib/x.ml" missing);
+  check_bool "missing message names the remedy" true
+    (contains ~needle:"dune build" missing)
+
+(* ------------------------------------------------------------- conf *)
+
+let with_temp_file content f =
+  let path = Filename.temp_file "deepcheck_test" ".conf" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc content);
+      f path)
+
+let test_conf_escapes () =
+  with_temp_file "# header\nlibrary aig\n  Not_found # guarded\n  Stack.Empty\nlibrary obs\n"
+    (fun path ->
+      match Conf.parse_escapes path with
+      | Error msg -> Alcotest.fail msg
+      | Ok e ->
+          check_int "two stanzas" 2 (List.length e);
+          check_bool "aig allows Not_found" true
+            (Extract.SSet.mem "Not_found" (Conf.escapes_allowed e "aig"));
+          check_bool "obs stanza is empty" true
+            (Extract.SSet.is_empty (Conf.escapes_allowed e "obs"));
+          check_bool "unknown library allows nothing" true
+            (Extract.SSet.is_empty (Conf.escapes_allowed e "nope")));
+  with_temp_file "Not_found\n" (fun path ->
+      check_bool "exception before stanza is an error" true
+        (Result.is_error (Conf.parse_escapes path)))
+
+let test_conf_forkinit () =
+  with_temp_file "entry A.run\nentry B.main\nallow C.state reset by A.init\n" (fun path ->
+      match Conf.parse_forkinit path with
+      | Error msg -> Alcotest.fail msg
+      | Ok fi ->
+          Alcotest.(check (list string)) "entries" [ "A.run"; "B.main" ] fi.Conf.fi_entries;
+          check_string "allow reason" "reset by A.init" (List.assoc "C.state" fi.Conf.fi_allow));
+  with_temp_file "allow C.state some reason\n" (fun path ->
+      check_bool "no entries is an error" true (Result.is_error (Conf.parse_forkinit path)));
+  with_temp_file "entry A.run\nallow C.state\n" (fun path ->
+      check_bool "allow without reason is an error" true
+        (Result.is_error (Conf.parse_forkinit path)))
+
+let test_conf_layers () =
+  with_temp_file
+    "library util ->\nlibrary aig -> util obs\nexecutable certcheck ->\nexecutable test_* -> *\n"
+    (fun path ->
+      match Conf.parse_layers path with
+      | Error msg -> Alcotest.fail msg
+      | Ok l ->
+          (match Conf.layer_rule_for l `Library "aig" with
+          | Some { Conf.lr_deps = `Only deps; _ } ->
+              check_bool "aig deps" true (Extract.SSet.mem "util" deps)
+          | _ -> Alcotest.fail "aig rule missing");
+          (match Conf.layer_rule_for l `Library "util" with
+          | Some { Conf.lr_deps = `Only deps; _ } ->
+              check_bool "empty dep list means no deps allowed" true (Extract.SSet.is_empty deps)
+          | _ -> Alcotest.fail "util rule missing");
+          (match Conf.layer_rule_for l `Executable "test_foo" with
+          | Some { Conf.lr_deps = `Any; _ } -> ()
+          | _ -> Alcotest.fail "glob rule must match test_foo");
+          check_bool "library rules do not cover executables" true
+            (Conf.layer_rule_for l `Executable "aig" = None);
+          check_bool "uncovered entity has no rule" true
+            (Conf.layer_rule_for l `Library "serve" = None))
+
+(* ------------------------------------------------------------ graph *)
+
+let o file line = { Extract.o_file = file; o_line = line; o_col = 0 }
+
+let node ?(is_fun = true) ?mutable_ name ~raises ~edges =
+  {
+    Extract.n_name = name;
+    n_loc = o "g.ml" 1;
+    n_is_fun = is_fun;
+    n_mutable = mutable_;
+    n_raises = raises;
+    n_edges = edges;
+  }
+
+let names l = Extract.Names (Extract.SSet.of_list l)
+
+let test_fixpoint () =
+  (* low raises Not_found; mid calls low catching Not_found but raising
+     Failure itself; top calls mid under a catch-all; leaf_val is not a
+     function so referencing it propagates nothing *)
+  let g =
+    Graph.build
+      [
+        node "M.low" ~raises:[ ("Not_found", names [], o "g.ml" 2) ] ~edges:[];
+        node "M.mid"
+          ~raises:[ ("Failure", names [], o "g.ml" 10) ]
+          ~edges:[ ("M.low", names [ "Not_found" ], o "g.ml" 11) ];
+        node "M.top" ~raises:[] ~edges:[ ("M.mid", Extract.All, o "g.ml" 20) ];
+        node "M.uses_val" ~raises:[] ~edges:[ ("M.leaf_val", names [], o "g.ml" 30) ];
+        node ~is_fun:false "M.leaf_val" ~raises:[ ("Failure", names [], o "g.ml" 40) ] ~edges:[];
+      ]
+  in
+  let may name = Extract.SSet.elements (Graph.may_raise g name) in
+  Alcotest.(check (list string)) "direct raise" [ "Not_found" ] (may "M.low");
+  Alcotest.(check (list string)) "masked callee exn dropped, own raise kept" [ "Failure" ]
+    (may "M.mid");
+  Alcotest.(check (list string)) "catch-all swallows everything" [] (may "M.top");
+  Alcotest.(check (list string)) "non-function reference propagates nothing" []
+    (may "M.uses_val");
+  (* provenance chain bottoms out at the raise site *)
+  let chain = Graph.chain g "M.mid" "Failure" in
+  check_bool "chain names the raise site" true (contains ~needle:"g.ml:10" chain)
+
+let test_fixpoint_star () =
+  (* the unknown exception "*" passes Names masks but not catch-alls *)
+  let g =
+    Graph.build
+      [
+        node "M.dyn" ~raises:[ ("*", names [], o "g.ml" 2) ] ~edges:[];
+        node "M.caller" ~raises:[] ~edges:[ ("M.dyn", names [ "Not_found" ], o "g.ml" 5) ];
+        node "M.catcher" ~raises:[] ~edges:[ ("M.dyn", Extract.All, o "g.ml" 6) ];
+      ]
+  in
+  Alcotest.(check (list string)) "* passes a named mask" [ "*" ]
+    (Extract.SSet.elements (Graph.may_raise g "M.caller"));
+  Alcotest.(check (list string)) "* stops at a catch-all" []
+    (Extract.SSet.elements (Graph.may_raise g "M.catcher"))
+
+let test_reachability () =
+  let g =
+    Graph.build
+      [
+        node "E.entry" ~raises:[] ~edges:[ ("A.f", names [], o "e.ml" 2) ];
+        node "A.f" ~raises:[]
+          ~edges:[ ("A.state", names [], o "a.ml" 3); ("A.g", names [], o "a.ml" 4) ];
+        node "A.g" ~raises:[] ~edges:[];
+        node ~is_fun:false ~mutable_:"ref cell" "A.state" ~raises:[] ~edges:[];
+        node "B.unreached" ~raises:[] ~edges:[ ("A.state", names [], o "b.ml" 1) ];
+      ]
+  in
+  let seen = Graph.reachable g ~entries:[ "E.entry" ] in
+  check_bool "entry reached" true (Hashtbl.mem seen "E.entry");
+  check_bool "transitive function reached" true (Hashtbl.mem seen "A.g");
+  check_bool "mutable value is not traversed into" true (not (Hashtbl.mem seen "A.state"));
+  check_bool "unconnected node not reached" true (not (Hashtbl.mem seen "B.unreached"));
+  let path = Graph.reach_path seen "A.g" in
+  check_bool "witness path starts at the entry" true
+    (String.starts_with ~prefix:"E.entry" path);
+  check_bool "witness path names the call site" true
+    (contains ~needle:"a.ml:4" path)
+
+(* ----------------------------------------------- shared JSON renderer *)
+
+let test_json_renderer () =
+  let f =
+    {
+      Linter.f_file = "lib/a.ml";
+      f_line = 3;
+      f_col = 7;
+      f_rule = "exn-escape";
+      f_msg = "quote \" backslash \\ newline \n tab \t done";
+    }
+  in
+  let doc = Linter.render_json ~tool:"deepcheck" [ f ] in
+  (match Obs.Json.parse doc with
+  | Error msg -> Alcotest.fail ("renderer output must parse as JSON: " ^ msg)
+  | Ok json ->
+      (match Obs.Json.member "tool" json with
+      | Some (Obs.Json.Str "deepcheck") -> ()
+      | _ -> Alcotest.fail "tool field");
+      (match Obs.Json.member "count" json with
+      | Some (Obs.Json.Num 1.) -> ()
+      | _ -> Alcotest.fail "count field");
+      let finding =
+        match Option.bind (Obs.Json.member "findings" json) Obs.Json.to_list with
+        | Some [ f ] -> f
+        | _ -> Alcotest.fail "findings array"
+      in
+      (match Obs.Json.member "msg" finding with
+      | Some (Obs.Json.Str msg) -> check_string "escapes round-trip" f.Linter.f_msg msg
+      | _ -> Alcotest.fail "msg field"));
+  check_string "clean run is still one document"
+    {|{"tool":"lint","findings":[],"count":0}|}
+    (Linter.render_json ~tool:"lint" [])
+
+(* ------------------------------------------ binary: missing-cmt exit 2 *)
+
+(* a captured describe naming a cmt that does not exist must be exit 2
+   with a message naming the source and the remedy — absence of build
+   artifacts is a refusal, never a silent pass *)
+let test_missing_cmt_exit2 () =
+  let dir = Filename.temp_file "deepcheck_tree" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let describe =
+    Printf.sprintf
+      "((root %s) (build_context %s/_build/default) (library ((name solo) (uid u1) (local \
+       true) (requires ()) (source_dir %s/_build/default/lib/solo) (modules (((name M) (impl \
+       (%s/_build/default/lib/solo/m.ml)) (cmt (%s/_build/default/lib/solo/.solo.objs/m.cmt))))))))"
+      dir dir dir dir dir
+  in
+  let dfile = Filename.concat dir "describe.sexp" in
+  Out_channel.with_open_bin dfile (fun oc -> Out_channel.output_string oc describe);
+  (* the source exists in the "checkout", the cmt does not *)
+  Unix.mkdir (Filename.concat dir "lib") 0o755;
+  Unix.mkdir (Filename.concat dir "lib/solo") 0o755;
+  Out_channel.with_open_bin
+    (Filename.concat dir "lib/solo/m.ml")
+    (fun oc -> Out_channel.output_string oc "let x = 1\n");
+  let out = Filename.concat dir "stderr.txt" in
+  let cmd =
+    Printf.sprintf "../bin/deepcheck.exe --root %s --describe %s 2>%s" (Filename.quote dir)
+      (Filename.quote dfile) (Filename.quote out)
+  in
+  let code =
+    match Unix.system cmd with
+    | Unix.WEXITED c -> c
+    | Unix.WSIGNALED _ | Unix.WSTOPPED _ -> -1
+  in
+  check_int "missing cmt is exit 2" 2 code;
+  let stderr_text = In_channel.with_open_bin out In_channel.input_all in
+  check_bool "message names the source" true
+    (contains ~needle:"lib/solo/m.ml" stderr_text);
+  check_bool "message names the remedy" true
+    (contains ~needle:"dune build" stderr_text)
+
+let () =
+  Alcotest.run "deepcheck"
+    [
+      ( "parsing",
+        [
+          Alcotest.test_case "sexp" `Quick test_sexp;
+          Alcotest.test_case "describe" `Quick test_describe;
+          Alcotest.test_case "escapes conf" `Quick test_conf_escapes;
+          Alcotest.test_case "forkinit conf" `Quick test_conf_forkinit;
+          Alcotest.test_case "layers conf" `Quick test_conf_layers;
+        ] );
+      ( "staleness",
+        [
+          Alcotest.test_case "classify" `Quick test_stale_classify;
+          Alcotest.test_case "missing cmt exit 2" `Quick test_missing_cmt_exit2;
+        ] );
+      ( "graph",
+        [
+          Alcotest.test_case "may-raise fixpoint" `Quick test_fixpoint;
+          Alcotest.test_case "unknown exception" `Quick test_fixpoint_star;
+          Alcotest.test_case "reachability" `Quick test_reachability;
+        ] );
+      ( "render",
+        [ Alcotest.test_case "json via Obs.Json" `Quick test_json_renderer ] );
+    ]

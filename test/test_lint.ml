@@ -242,6 +242,33 @@ let test_run_exit_codes () =
         ~finally:(fun () -> Sys.remove bad)
         (fun () -> check_int "findings exit 1" 1 (Linter.run [ dir ])))
 
+(* the cmdliner man page is the discoverability surface for the rule set
+   and the suppression marker; if a rule is added without a doc entry the
+   help must fail this test, not silently omit it *)
+let test_help_lists_rules () =
+  let out = Filename.temp_file "lint_help" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove out)
+    (fun () ->
+      let code =
+        match Unix.system (Printf.sprintf "../bin/lint.exe --help=plain >%s 2>&1" (Filename.quote out)) with
+        | Unix.WEXITED c -> c
+        | Unix.WSIGNALED _ | Unix.WSTOPPED _ -> -1
+      in
+      check_int "--help exits 0" 0 code;
+      let help = In_channel.with_open_bin out In_channel.input_all in
+      let contains ~needle hay =
+        let n = String.length needle and h = String.length hay in
+        let rec go i = i + n <= h && (String.equal (String.sub hay i n) needle || go (i + 1)) in
+        go 0
+      in
+      List.iter
+        (fun rule ->
+          let name = Linter.rule_name rule in
+          check (Printf.sprintf "help documents rule %s" name) true (contains ~needle:name help))
+        Linter.all_rules;
+      check "help documents the suppression marker" true (contains ~needle:"lint: allow" help))
+
 let () =
   Alcotest.run "lint"
     [
@@ -265,5 +292,6 @@ let () =
           Alcotest.test_case "no-stdout suppression" `Quick test_no_stdout_suppression;
           Alcotest.test_case "allowlist and walk" `Quick test_allowlist_and_walk;
           Alcotest.test_case "run exit codes" `Quick test_run_exit_codes;
+          Alcotest.test_case "help lists every rule" `Quick test_help_lists_rules;
         ] );
     ]
